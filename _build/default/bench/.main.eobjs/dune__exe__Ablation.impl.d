@@ -1,0 +1,1 @@
+bench/ablation.ml: Data List Metric Printf Report Sketch Xmldoc Xsketch

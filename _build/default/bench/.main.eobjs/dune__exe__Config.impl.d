@@ -1,0 +1,1 @@
+bench/config.ml: Datagen List

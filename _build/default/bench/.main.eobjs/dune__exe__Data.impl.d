@@ -1,0 +1,1 @@
+bench/data.ml: Config Datagen Float Hashtbl List Sketch Stdlib Twig Workload Xmldoc Xsketch

@@ -1,0 +1,1 @@
+bench/fig11.ml: Config Data List Metric Printf Report Sketch Twig Xmldoc Xsketch

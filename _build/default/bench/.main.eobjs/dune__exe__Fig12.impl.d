@@ -1,0 +1,1 @@
+bench/fig12.ml: Data List Printf Report Sketch Xsketch

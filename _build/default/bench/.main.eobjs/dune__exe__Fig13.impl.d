@@ -1,0 +1,1 @@
+bench/fig13.ml: Config Data List Printf Report Sketch

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Config Fig11 Fig12 Fig13 List Micro Negative Printf String Sys Table1 Table2 Table3 Treebank Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Data Hashtbl Instance List Measure Metric Printf Report Sketch Staged Stdlib Test Time Toolkit Twig Xmldoc

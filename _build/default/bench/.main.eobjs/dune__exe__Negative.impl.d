@@ -1,0 +1,1 @@
+bench/negative.ml: Config Data List Printf Report Sketch Workload

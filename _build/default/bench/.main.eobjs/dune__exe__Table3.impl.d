@@ -1,0 +1,1 @@
+bench/table3.ml: Data Float List Printf Report Sketch Xsketch

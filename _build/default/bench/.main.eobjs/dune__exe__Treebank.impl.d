@@ -1,0 +1,1 @@
+bench/treebank.ml: Config Data List Printf Report Sketch Xmldoc Xsketch

@@ -1,0 +1,181 @@
+(* Ablations of the design choices called out in DESIGN.md:
+
+   1. the ESD set-distance penalty (superlinear MAC vs linear MAC vs
+      EMD) on the Figure 10 scenario — the superlinear multiplicity
+      penalty is what makes ESD prefer correlation-preserving answers;
+   2. the twig-XSKETCH stability gate: faithful-2004 (histograms only
+      across B/F-stable dimensions) vs the modernized every-edge
+      variant;
+   3. TSBUILD candidate-pool size (Uh): quality/time trade-off of the
+      CREATEPOOL heuristic. *)
+
+module Tree = Xmldoc.Tree
+
+let fig10_scenario () =
+  let sc () = Tree.v "c" [ Tree.v "x" [] ] in
+  let sd () = Tree.v "d" [ Tree.v "y" [] ] in
+  let mk_a nc nd =
+    Tree.v "a" (List.init nc (fun _ -> sc ()) @ List.init nd (fun _ -> sd ()))
+  in
+  let t = Tree.v "r" [ mk_a 4 1; mk_a 1 4 ] in
+  let t1 = Tree.v "r" [ mk_a 1 1; mk_a 4 4 ] in
+  let t2 = Tree.v "r" [ mk_a 6 2; mk_a 2 6 ] in
+  (t, t1, t2)
+
+let metric_ablation () =
+  Report.header "Ablation 1 — ESD set-distance penalty on the Figure 10 scenario";
+  let t, t1, t2 = fig10_scenario () in
+  let rows =
+    List.map
+      (fun (name, metric) ->
+        let d1 = Metric.Esd.between_trees ?metric t t1 in
+        let d2 = Metric.Esd.between_trees ?metric t t2 in
+        let verdict =
+          if d2 < d1 then "prefers T2 (correct)"
+          else if d1 < d2 then "prefers T1 (wrong)"
+          else "tie"
+        in
+        [ name; Printf.sprintf "%.0f" d1; Printf.sprintf "%.0f" d2; verdict ])
+      [
+        ("MAC superlinear", Some Metric.Esd.Mac);
+        ("MAC linear", Some Metric.Esd.Mac_linear);
+        ("EMD", Some Metric.Esd.Emd);
+      ]
+  in
+  Report.table
+    ~columns:[ "Set distance"; "ESD(T,T1)"; "ESD(T,T2)"; "Verdict" ]
+    ~widths:[ 17; 11; 11; 24 ]
+    rows;
+  let e1 = Metric.Tree_edit.distance_insert_delete t t1 in
+  let e2 = Metric.Tree_edit.distance_insert_delete t t2 in
+  Report.note "Tree-edit distance (the §5 strawman): distE(T,T1)=%d, distE(T,T2)=%d" e1 e2;
+  Report.note
+    "T2 preserves the Sc/Sd anti-correlation and should win; only the";
+  Report.note "superlinear multiplicity penalty delivers that preference."
+
+let stability_ablation cfg =
+  Report.header
+    "Ablation 2 — twig-XSketch histogram stability gate (2004-faithful vs modernized)";
+  let p = List.hd (Data.tx cfg) in
+  let budget = 10 * 1024 in
+  let measure params =
+    let xs, t =
+      Report.timed (fun () ->
+          Xsketch.Builder.build ~params p.Data.stable ~training:p.training ~budget)
+    in
+    let errors =
+      List.map2
+        (fun q truth ->
+          Sketch.Selectivity.relative_error ~actual:truth
+            ~estimate:(Xsketch.Estimate.tuples xs q) ~sanity:p.sanity)
+        p.queries p.truths
+    in
+    (100. *. Report.avg errors, t)
+  in
+  let faithful, t1 =
+    measure { Xsketch.Builder.default_params with stable_dims_only = true }
+  in
+  let modern, t2 =
+    measure { Xsketch.Builder.default_params with stable_dims_only = false }
+  in
+  Report.table
+    ~columns:[ "Variant"; "Sel. error %"; "Build time" ]
+    ~widths:[ 30; 13; 11 ]
+    [
+      [ "stable dims only (2004)"; Printf.sprintf "%.1f" faithful; Report.seconds t1 ];
+      [ "all dims (modernized)"; Printf.sprintf "%.1f" modern; Report.seconds t2 ];
+    ];
+  Report.note "(%s at 10KB.)  The 2004 model records joint distributions only" p.label;
+  Report.note
+    "across B/F-stable edges; lifting that restriction is an anachronistic";
+  Report.note "upgrade the original system did not have (see EXPERIMENTS.md)."
+
+let pool_ablation cfg =
+  Report.header "Ablation 3 — TSBUILD candidate-pool size (Uh)";
+  let p = List.hd (Data.tx cfg) in
+  let budget = 10 * 1024 in
+  let rows =
+    List.map
+      (fun heap_max ->
+        let params = { Sketch.Build.default_params with heap_max } in
+        let cl = Sketch.Cluster.of_stable p.Data.stable in
+        let (), t =
+          Report.timed (fun () -> Sketch.Build.compress ~params cl ~budget)
+        in
+        let ts = Sketch.Cluster.to_synopsis cl in
+        let errors =
+          List.map2
+            (fun q truth ->
+              Sketch.Selectivity.relative_error ~actual:truth
+                ~estimate:(Sketch.Selectivity.estimate ts q) ~sanity:p.sanity)
+            p.queries p.truths
+        in
+        [
+          string_of_int heap_max;
+          Printf.sprintf "%.0f" (Sketch.Cluster.sq_error cl);
+          Printf.sprintf "%.1f" (100. *. Report.avg errors);
+          Report.seconds t;
+        ])
+      [ 100; 1_000; 10_000 ]
+  in
+  Report.table
+    ~columns:[ "Uh"; "Squared error"; "Sel. error %"; "Time" ]
+    ~widths:[ 8; 14; 13; 8 ]
+    rows;
+  Report.note "(%s compressed to 10KB.)  Larger pools explore more merges per" p.label;
+  Report.note "regeneration; the paper's Uh=10000 is the quality/time sweet spot."
+
+let construction_ablation cfg =
+  Report.header
+    "Ablation 4 — bottom-up TSBUILD vs top-down (split-based) construction";
+  let budget = 10 * 1024 in
+  let rows =
+    List.map
+      (fun (p : Data.prepared) ->
+        let (td, td_sq), td_time =
+          Report.timed (fun () -> Sketch.Topdown.build p.Data.stable ~budget)
+        in
+        let cl, bu_time =
+          Report.timed (fun () ->
+              let cl = Sketch.Cluster.of_stable p.stable in
+              Sketch.Build.compress cl ~budget;
+              cl)
+        in
+        let bu = Sketch.Cluster.to_synopsis cl in
+        let err ts =
+          let errors =
+            List.map2
+              (fun q truth ->
+                Sketch.Selectivity.relative_error ~actual:truth
+                  ~estimate:(Sketch.Selectivity.estimate ts q) ~sanity:p.sanity)
+              p.queries p.truths
+          in
+          100. *. Report.avg errors
+        in
+        [
+          p.label;
+          Printf.sprintf "%.0f / %.0f" (Sketch.Cluster.sq_error cl) td_sq;
+          Printf.sprintf "%.1f / %.1f" (err bu) (err td);
+          Printf.sprintf "%s / %s" (Report.seconds bu_time) (Report.seconds td_time);
+        ])
+      (Data.tx cfg)
+  in
+  Report.table
+    ~columns:[ "Data set"; "sq err (bu/td)"; "sel %% (bu/td)"; "time (bu/td)" ]
+    ~widths:[ 14; 17; 16; 15 ]
+    rows;
+  Report.note
+    "The paper (S4.2) reports bottom-up construction 'yields much better";
+  Report.note
+    "results'; on our profile-generated data the top-down splitter wins both";
+  Report.note
+    "metrics - its max-variance dimension splits align with the generators'";
+  Report.note
+    "clean variance structure.  A negative reproduction result, recorded in";
+  Report.note "EXPERIMENTS.md."
+
+let run cfg =
+  metric_ablation ();
+  stability_ablation cfg;
+  pool_ablation cfg;
+  construction_ablation cfg

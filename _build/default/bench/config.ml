@@ -1,0 +1,55 @@
+(* Shared experiment configuration.
+
+   The paper's experiments run 1000-query workloads against real
+   multi-megabyte documents; the defaults here are scaled so the whole
+   suite finishes in minutes on a laptop while preserving every
+   qualitative comparison.  [--full] restores paper-scale workloads. *)
+
+type t = {
+  seed : int;
+  queries : int;  (** selectivity-workload size (paper: 1000) *)
+  esd_queries : int;  (** answer-quality workload size *)
+  training : int;  (** twig-XSKETCH training workload size *)
+  budgets_kb : int list;  (** synopsis budgets (paper: 10..50 KB) *)
+  quick : bool;
+}
+
+let default =
+  {
+    seed = 7;
+    queries = 200;
+    esd_queries = 60;
+    training = 20;
+    budgets_kb = [ 10; 20; 30; 40; 50 ];
+    quick = false;
+  }
+
+let full = { default with queries = 1000; esd_queries = 200 }
+
+let quick =
+  {
+    default with
+    queries = 50;
+    esd_queries = 15;
+    training = 10;
+    budgets_kb = [ 10; 30; 50 ];
+    quick = true;
+  }
+
+(* dataset scales: chosen so element counts land near the paper's
+   Table 1 (TX variants; the large variants are scaled-down stand-ins
+   for the 0.5M-2M-element originals, see DESIGN.md) *)
+
+let tx_scales = [ (Datagen.Datasets.Imdb, 3.0); (Xmark, 9.0); (Sprot, 4.0) ]
+
+let large_scales =
+  [
+    (Datagen.Datasets.Imdb, 7.0);
+    (Xmark, 20.0);
+    (Sprot, 10.0);
+    (Dblp, 10.0);
+  ]
+
+let budgets_bytes cfg = List.map (fun kb -> kb * 1024) cfg.budgets_kb
+
+let extra_scales = [ (Datagen.Datasets.Treebank, 1.0) ]

@@ -1,0 +1,79 @@
+(* Dataset preparation, cached per (dataset, scale) so experiments in
+   one run share documents, summaries, workloads, and ground truth. *)
+
+type prepared = {
+  label : string;  (** e.g. "XMark-TX" *)
+  dataset : Datagen.Datasets.dataset;
+  doc : Xmldoc.Tree.t;
+  idx : Twig.Doc.t;
+  stable : Sketch.Synopsis.t;
+  queries : Twig.Syntax.t list;
+  truths : float list;  (** exact selectivities, aligned with queries *)
+  training : Xsketch.Builder.training;
+  sanity : float;  (** 10-percentile of true counts (§6.1) *)
+}
+
+let cache : (string * int, prepared) Hashtbl.t = Hashtbl.create 8
+
+let percentile p xs =
+  match List.sort Stdlib.compare xs with
+  | [] -> 1.
+  | sorted ->
+    let n = List.length sorted in
+    let idx = min (n - 1) (int_of_float (p *. float_of_int n)) in
+    List.nth sorted idx
+
+let prepare cfg ~suffix (ds, scale) =
+  let label = Datagen.Datasets.name ds ^ suffix in
+  let key = (label, cfg.Config.queries) in
+  match Hashtbl.find_opt cache key with
+  | Some p -> p
+  | None ->
+    let doc = Datagen.Datasets.generate ~seed:cfg.Config.seed ~scale ds in
+    let idx = Twig.Doc.of_tree doc in
+    let stable = Sketch.Stable.build doc in
+    let queries =
+      Workload.positive ~seed:(cfg.seed + 1) ~n:cfg.Config.queries stable
+    in
+    let truths = List.map (fun q -> Twig.Eval.selectivity idx q) queries in
+    let training =
+      Workload.positive ~seed:(cfg.seed + 2) ~n:cfg.Config.training stable
+      |> List.map (fun q -> (q, Twig.Eval.selectivity idx q))
+    in
+    let sanity = Float.max 1. (percentile 0.1 truths) in
+    let p =
+      { label; dataset = ds; doc; idx; stable; queries; truths; training; sanity }
+    in
+    Hashtbl.add cache key p;
+    p
+
+let tx cfg = List.map (prepare cfg ~suffix:"-TX") Config.tx_scales
+
+let large cfg = List.map (prepare cfg ~suffix:"") Config.large_scales
+
+(* Budget sweeps, cached per prepared dataset. *)
+
+let ts_cache : (string, (int * Sketch.Synopsis.t) list) Hashtbl.t = Hashtbl.create 8
+
+let treesketches cfg p =
+  match Hashtbl.find_opt ts_cache p.label with
+  | Some l -> l
+  | None ->
+    let l =
+      Sketch.Build.build_with_checkpoints p.stable ~budgets:(Config.budgets_bytes cfg)
+    in
+    Hashtbl.add ts_cache p.label l;
+    l
+
+let xs_cache : (string, (int * Xsketch.Model.t) list) Hashtbl.t = Hashtbl.create 8
+
+let xsketches cfg p =
+  match Hashtbl.find_opt xs_cache p.label with
+  | Some l -> l
+  | None ->
+    let l =
+      Xsketch.Builder.build_with_checkpoints p.stable ~training:p.training
+        ~budgets:(Config.budgets_bytes cfg)
+    in
+    Hashtbl.add xs_cache p.label l;
+    l

@@ -1,0 +1,48 @@
+(* Figure 13: TREESKETCH estimation error on the large data sets
+   (IMDB, XMark, SwissProt, DBLP) across budgets, plus construction
+   times, demonstrating the scaling behaviour of §6.2. *)
+
+let run cfg =
+  Report.header
+    "Figure 13 — TreeSketch selectivity error (%) on large data sets";
+  let datasets = Data.large cfg in
+  let sweeps =
+    List.map
+      (fun (p : Data.prepared) ->
+        let sweep, t = Report.timed (fun () -> Data.treesketches cfg p) in
+        (p, sweep, t))
+      datasets
+  in
+  let budgets = Config.budgets_bytes cfg in
+  let rows =
+    List.map
+      (fun budget ->
+        Printf.sprintf "%d" (budget / 1024)
+        :: List.map
+             (fun ((p : Data.prepared), sweep, _) ->
+               let ts = List.assoc budget sweep in
+               let errors =
+                 List.map2
+                   (fun q truth ->
+                     Sketch.Selectivity.relative_error ~actual:truth
+                       ~estimate:(Sketch.Selectivity.estimate ts q)
+                       ~sanity:p.sanity)
+                   p.queries p.truths
+               in
+               Printf.sprintf "%.1f" (100. *. Report.avg errors))
+             sweeps)
+      budgets
+  in
+  Report.table
+    ~columns:("  KB" :: List.map (fun ((p : Data.prepared), _, _) -> p.label) sweeps)
+    ~widths:(6 :: List.map (fun _ -> 12) sweeps)
+    rows;
+  print_newline ();
+  List.iter
+    (fun ((p : Data.prepared), _, t) ->
+      Report.note "%s: budget sweep built in %s" p.label (Report.seconds t))
+    sweeps;
+  Report.note
+    "Paper (Fig 13): error drops below 5%% at 50KB on all four data sets;";
+  Report.note
+    "construction stays affordable (paper: 2.5-240 min on 2004 hardware)."

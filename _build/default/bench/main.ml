@@ -1,0 +1,53 @@
+(* Benchmark harness entry point.
+
+   Every table and figure of the paper's evaluation (§6) has a
+   generator here; see DESIGN.md for the experiment index.  Usage:
+
+     dune exec bench/main.exe                  # everything, default scale
+     dune exec bench/main.exe -- fig12 fig13   # a subset
+     dune exec bench/main.exe -- --quick all   # smoke-test scale
+     dune exec bench/main.exe -- --full all    # paper-scale workloads *)
+
+let experiments =
+  [
+    ("table1", Table1.run);
+    ("table2", Table2.run);
+    ("table3", Table3.run);
+    ("fig11", Fig11.run);
+    ("fig12", Fig12.run);
+    ("fig13", Fig13.run);
+    ("negative", Negative.run);
+    ("treebank", Treebank.run);
+    ("ablation", Ablation.run);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let cfg =
+    if List.mem "--quick" args then Config.quick
+    else if List.mem "--full" args then Config.full
+    else Config.default
+  in
+  let requested =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  let requested =
+    if requested = [] || List.mem "all" requested then List.map fst experiments
+    else requested
+  in
+  let t0 = Unix.gettimeofday () in
+  Printf.printf
+    "TreeSketch reproduction benchmarks (seed %d, %d-query workloads, budgets %s KB)\n"
+    cfg.Config.seed cfg.queries
+    (String.concat "," (List.map string_of_int cfg.budgets_kb));
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run -> run cfg
+      | None ->
+        Printf.eprintf "unknown experiment %S; available: %s\n" name
+          (String.concat " " (List.map fst experiments));
+        exit 2)
+    requested;
+  Printf.printf "\nTotal wall-clock: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,72 @@
+(* Micro-benchmarks (bechamel): throughput of the core operations —
+   parsing, BUILD_STABLE, TSBUILD compression, EVAL_QUERY, selectivity
+   estimation, and ESD scoring.  These back the paper's claim that a
+   concise synopsis answers queries orders of magnitude faster than
+   evaluation over the base data. *)
+
+open Bechamel
+open Toolkit
+
+let tests cfg =
+  let p = List.hd (Data.tx cfg) in
+  let xml = Xmldoc.Printer.to_string p.Data.doc in
+  let ts = snd (List.hd (Data.treesketches cfg p)) in
+  let query = List.nth p.queries (List.length p.queries / 2) in
+  let true_nest =
+    match (Twig.Eval.run p.idx query).nesting with
+    | Some nt -> Sketch.Stable.build nt
+    | None -> p.stable
+  in
+  let answer = (Sketch.Eval.eval ts query).Sketch.Eval.synopsis in
+  [
+    Test.make ~name:"parse document"
+      (Staged.stage (fun () -> ignore (Xmldoc.Parser.of_string xml)));
+    Test.make ~name:"build stable summary"
+      (Staged.stage (fun () -> ignore (Sketch.Stable.build p.doc)));
+    Test.make ~name:"tsbuild to 10KB"
+      (Staged.stage (fun () ->
+           ignore (Sketch.Build.build p.stable ~budget:(10 * 1024))));
+    Test.make ~name:"exact query eval"
+      (Staged.stage (fun () -> ignore (Twig.Eval.selectivity p.idx query)));
+    Test.make ~name:"EVAL_QUERY over 10KB sketch"
+      (Staged.stage (fun () -> ignore (Sketch.Eval.eval ts query)));
+    Test.make ~name:"selectivity estimate"
+      (Staged.stage (fun () -> ignore (Sketch.Selectivity.estimate ts query)));
+    Test.make ~name:"ESD scoring"
+      (Staged.stage (fun () ->
+           ignore (Metric.Esd.between_synopses true_nest answer)));
+  ]
+
+let pretty_ns ns =
+  if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+  else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+  else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+  else Printf.sprintf "%8.0f ns" ns
+
+let run cfg =
+  Report.header "Micro-benchmarks (bechamel, monotonic clock per run)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let bench_cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s %s" (tests cfg) in
+  let raw = Benchmark.all bench_cfg instances grouped in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  let clock = Hashtbl.find merged (Measure.label Instance.monotonic_clock) in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ ns ] -> rows := (name, ns) :: !rows
+      | _ -> ())
+    clock;
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-32s %s\n" name (pretty_ns ns))
+    (List.sort (fun (_, a) (_, b) -> Stdlib.compare a b) !rows);
+  Report.note "(IMDB-TX document; 10KB TreeSketch; one mid-workload twig query.)"

@@ -1,0 +1,44 @@
+(* Negative workloads (§6.1, text): TREESKETCHes consistently produce
+   empty answers for queries with empty results. *)
+
+let run cfg =
+  Report.header "Negative workloads — fraction of empty approximate answers";
+  let rows =
+    List.map
+      (fun (p : Data.prepared) ->
+        let negatives =
+          Workload.negative ~seed:(cfg.Config.seed + 9) ~n:cfg.Config.queries p.stable
+        in
+        let sweep = Data.treesketches cfg p in
+        let _, smallest = List.hd sweep in
+        let empty_count =
+          List.fold_left
+            (fun acc q ->
+              if (Sketch.Eval.eval smallest q).Sketch.Eval.empty then acc + 1 else acc)
+            0 negatives
+        in
+        let zero_estimates =
+          List.fold_left
+            (fun acc q ->
+              if Sketch.Selectivity.estimate smallest q = 0. then acc + 1 else acc)
+            0 negatives
+        in
+        [
+          p.label;
+          string_of_int (List.length negatives);
+          Printf.sprintf "%.0f%%"
+            (100. *. float_of_int empty_count /. float_of_int (List.length negatives));
+          Printf.sprintf "%.0f%%"
+            (100.
+            *. float_of_int zero_estimates
+            /. float_of_int (List.length negatives));
+        ])
+      (Data.tx cfg)
+  in
+  Report.table
+    ~columns:[ "Data set"; "Queries"; "Empty answers"; "Zero estimates" ]
+    ~widths:[ 14; 9; 15; 15 ]
+    rows;
+  Report.note
+    "Paper: \"our experiments with negative workloads have shown that";
+  Report.note "TreeSketches consistently produce empty answers as approximations\"."

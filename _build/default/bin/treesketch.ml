@@ -1,0 +1,214 @@
+(* The `treesketch` command-line tool.
+
+     treesketch datagen  --dataset xmark --scale 2 -o doc.xml
+     treesketch build    doc.xml --budget 10KB -o doc.ts
+     treesketch query    doc.ts "//item[//mail]{//incategory?}"
+     treesketch query    doc.ts QUERY --exact doc.xml
+     treesketch esd      a.xml b.xml
+     treesketch stats    doc.xml *)
+
+open Cmdliner
+
+let read_doc path =
+  try Xmldoc.Parser.of_file path
+  with e -> (
+    match Xmldoc.Parser.error_to_string e with
+    | Some msg ->
+      prerr_endline msg;
+      exit 1
+    | None -> raise e)
+
+let parse_budget s =
+  let s = String.trim s in
+  let num, mult =
+    if Filename.check_suffix (String.uppercase_ascii s) "KB" then
+      (String.sub s 0 (String.length s - 2), 1024)
+    else if Filename.check_suffix (String.uppercase_ascii s) "B" then
+      (String.sub s 0 (String.length s - 1), 1)
+    else (s, 1)
+  in
+  match int_of_string_opt (String.trim num) with
+  | Some n when n > 0 -> Ok (n * mult)
+  | _ -> Error (`Msg (Printf.sprintf "bad budget %S (try 10KB or 4096)" s))
+
+let budget_conv = Arg.conv (parse_budget, fun ppf b -> Format.fprintf ppf "%dB" b)
+
+(* ------------------------------- datagen ------------------------------ *)
+
+let datagen_cmd =
+  let dataset =
+    let parse s =
+      match Datagen.Datasets.of_name s with
+      | Some ds -> Ok ds
+      | None -> Error (`Msg (Printf.sprintf "unknown dataset %S" s))
+    in
+    let print ppf ds = Format.pp_print_string ppf (Datagen.Datasets.name ds) in
+    Arg.(
+      required
+      & opt (some (conv (parse, print))) None
+      & info [ "d"; "dataset" ] ~docv:"NAME"
+          ~doc:"Dataset profile: imdb, xmark, sprot, dblp.")
+  in
+  let scale =
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc:"Size multiplier.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let run ds scale seed out =
+    let doc = Datagen.Datasets.generate ~seed ~scale ds in
+    (match out with
+    | Some path -> Xmldoc.Printer.to_file path doc
+    | None -> print_endline (Xmldoc.Printer.to_string ~indent:1 doc));
+    let stats = Xmldoc.Stats.compute doc in
+    Printf.eprintf "generated %s: %d elements, %d bytes serialized\n"
+      (Datagen.Datasets.name ds) stats.elements stats.serialized_bytes
+  in
+  Cmd.v
+    (Cmd.info "datagen" ~doc:"Generate a synthetic XML dataset.")
+    Term.(const run $ dataset $ scale $ seed $ out)
+
+(* -------------------------------- build ------------------------------- *)
+
+let build_cmd =
+  let input =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC.xml")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt budget_conv (10 * 1024)
+      & info [ "b"; "budget" ] ~docv:"SIZE" ~doc:"Space budget, e.g. 10KB.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Output synopsis.")
+  in
+  let stable_only =
+    Arg.(
+      value & flag
+      & info [ "stable" ] ~doc:"Emit the lossless count-stable summary instead.")
+  in
+  let run input budget out stable_only =
+    let doc = read_doc input in
+    let stable = Sketch.Stable.build doc in
+    let synopsis =
+      if stable_only then stable else Sketch.Build.build stable ~budget
+    in
+    let text = Sketch.Serialize.to_string synopsis in
+    (match out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc
+    | None -> print_string text);
+    Printf.eprintf "%s: %d classes, %d bytes (stable summary: %d bytes)\n"
+      (if stable_only then "count-stable summary" else "treesketch")
+      (Sketch.Synopsis.num_nodes synopsis)
+      (Sketch.Synopsis.size_bytes synopsis)
+      (Sketch.Synopsis.size_bytes stable)
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Build a TREESKETCH synopsis from an XML document.")
+    Term.(const run $ input $ budget $ out $ stable_only)
+
+(* -------------------------------- query ------------------------------- *)
+
+let query_arg =
+  let parse s =
+    match Twig.Parse.query s with
+    | q -> Ok q
+    | exception e -> (
+      match Twig.Parse.error_to_string e with
+      | Some msg -> Error (`Msg msg)
+      | None -> raise e)
+  in
+  Arg.conv (parse, fun ppf q -> Twig.Syntax.pp ppf q)
+
+let query_cmd =
+  let synopsis =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SYNOPSIS.ts")
+  in
+  let query =
+    Arg.(required & pos 1 (some query_arg) None & info [] ~docv:"QUERY")
+  in
+  let exact =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "exact" ] ~docv:"DOC.xml"
+          ~doc:"Also evaluate exactly over the document and report the error.")
+  in
+  let show_answer =
+    Arg.(value & flag & info [ "answer" ] ~doc:"Print the approximate nesting tree.")
+  in
+  let run synopsis query exact show_answer =
+    let ts = Sketch.Serialize.load synopsis in
+    let answer = Sketch.Eval.eval ts query in
+    let estimate = Sketch.Selectivity.of_answer query answer in
+    if answer.empty then print_endline "answer: (empty)"
+    else begin
+      Printf.printf "estimated binding tuples: %g\n" estimate;
+      Printf.printf "answer synopsis: %d classes\n"
+        (Sketch.Synopsis.num_nodes answer.synopsis);
+      if show_answer then
+        match Sketch.Eval.to_nesting_tree answer with
+        | Some tree -> Format.printf "answer: %a@." Xmldoc.Tree.pp tree
+        | None -> print_endline "answer too large to expand"
+    end;
+    match exact with
+    | None -> ()
+    | Some path ->
+      let doc = Twig.Doc.of_tree (read_doc path) in
+      let result = Twig.Eval.run doc query in
+      Printf.printf "exact binding tuples:     %g\n" result.selectivity;
+      (match (result.nesting, Sketch.Eval.to_nesting_tree answer) with
+      | Some t, Some a ->
+        Printf.printf "ESD(exact, approximate):  %g\n" (Metric.Esd.between_trees t a)
+      | _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Answer a twig query approximately from a synopsis.")
+    Term.(const run $ synopsis $ query $ exact $ show_answer)
+
+(* --------------------------------- esd -------------------------------- *)
+
+let esd_cmd =
+  let a = Arg.(required & pos 0 (some file) None & info [] ~docv:"A.xml") in
+  let b = Arg.(required & pos 1 (some file) None & info [] ~docv:"B.xml") in
+  let metric =
+    Arg.(
+      value
+      & opt (enum [ ("mac", Metric.Esd.Mac); ("mac-linear", Mac_linear); ("emd", Emd) ])
+          Metric.Esd.Mac
+      & info [ "metric" ] ~doc:"Set distance: mac (default), mac-linear, emd.")
+  in
+  let run a b metric =
+    let ta = read_doc a and tb = read_doc b in
+    Printf.printf "ESD = %g\n" (Metric.Esd.between_trees ~metric ta tb);
+    Printf.printf "tree-edit distance = %d\n" (Metric.Tree_edit.distance ta tb)
+  in
+  Cmd.v
+    (Cmd.info "esd" ~doc:"Element Simulation Distance between two XML documents.")
+    Term.(const run $ a $ b $ metric)
+
+(* -------------------------------- stats ------------------------------- *)
+
+let stats_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC.xml") in
+  let run input =
+    let doc = read_doc input in
+    Format.printf "%a@." Xmldoc.Stats.pp (Xmldoc.Stats.compute doc);
+    let stable = Sketch.Stable.build doc in
+    Format.printf "count-stable summary: %d classes, %d bytes@."
+      (Sketch.Synopsis.num_nodes stable)
+      (Sketch.Synopsis.size_bytes stable)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Structural statistics of an XML document.")
+    Term.(const run $ input)
+
+let () =
+  let doc = "Approximate XML query answering with TREESKETCH synopses." in
+  let info = Cmd.info "treesketch" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ datagen_cmd; build_cmd; query_cmd; esd_cmd; stats_cmd ]))

@@ -1,0 +1,1 @@
+examples/esd_demo.ml: Format List Metric Xmldoc

@@ -1,0 +1,1 @@
+examples/exploration.ml: Datagen Float Format List Sketch Twig Unix Xmldoc

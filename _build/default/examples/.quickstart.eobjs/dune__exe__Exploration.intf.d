@@ -1,0 +1,1 @@
+examples/exploration.mli:

@@ -1,0 +1,1 @@
+examples/motivation.ml: Format List Sketch Twig Xmldoc

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Metric Sketch Twig Xmldoc

@@ -1,0 +1,55 @@
+(* Quickstart: summarize a document, ask a twig query, get an
+   approximate answer and a selectivity estimate.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. An XML document — parse from text (or build with Tree.v). *)
+  let doc =
+    Xmldoc.Parser.of_string
+      "<library>\
+         <shelf><book><title/><author/><award/></book>\
+                <book><title/><author/><author/></book></shelf>\
+         <shelf><book><title/><author/></book>\
+                <journal><title/><issue/><issue/></journal></shelf>\
+       </library>"
+  in
+  Format.printf "Document: %d elements@." (Xmldoc.Tree.size doc);
+
+  (* 2. The count-stable summary: a lossless structural synopsis. *)
+  let stable = Sketch.Stable.build doc in
+  Format.printf "Count-stable summary: %d classes, %d bytes@."
+    (Sketch.Synopsis.num_nodes stable)
+    (Sketch.Synopsis.size_bytes stable);
+
+  (* 3. A TREESKETCH: the summary compressed into a space budget. *)
+  let ts = Sketch.Build.build stable ~budget:120 in
+  Format.printf "TreeSketch (120-byte budget): %d nodes, %d bytes@."
+    (Sketch.Synopsis.num_nodes ts)
+    (Sketch.Synopsis.size_bytes ts);
+
+  (* 4. A twig query: books with an author, returning their titles. *)
+  let q = Twig.Parse.query "//book[author]{/title,/author?}" in
+  Format.printf "@.Query: %s@." (Twig.Syntax.to_string q);
+
+  (* 5. The approximate answer, computed on the synopsis alone. *)
+  let answer = Sketch.Eval.eval ts q in
+  (match Sketch.Eval.to_nesting_tree answer with
+  | Some tree -> Format.printf "Approximate answer: %a@." Xmldoc.Tree.pp tree
+  | None -> Format.printf "Approximate answer: (empty)@.");
+  Format.printf "Estimated binding tuples: %g@."
+    (Sketch.Selectivity.estimate ts q);
+
+  (* 6. Compare with the exact result. *)
+  let exact = Twig.Eval.run (Twig.Doc.of_tree doc) q in
+  Format.printf "Exact binding tuples:     %g@." exact.selectivity;
+  (match exact.nesting with
+  | Some tree -> Format.printf "Exact answer:       %a@." Xmldoc.Tree.pp tree
+  | None -> ());
+
+  (* 7. Score the approximation with the ESD metric. *)
+  match (exact.nesting, Sketch.Eval.to_nesting_tree answer) with
+  | Some t, Some a ->
+    Format.printf "@.ESD(exact, approximate) = %g  (0 = perfect)@."
+      (Metric.Esd.between_trees t a)
+  | _ -> ()

@@ -1,0 +1,1 @@
+lib/core/build.ml: Cluster Dheap Hashtbl List Stable Stdlib Xmldoc

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Hashtbl List Option Synopsis Xmldoc

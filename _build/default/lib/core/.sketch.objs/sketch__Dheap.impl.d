@@ -1,0 +1,1 @@
+lib/core/dheap.ml: Array Obj

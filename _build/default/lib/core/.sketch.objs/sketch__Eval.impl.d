@@ -1,0 +1,1 @@
+lib/core/eval.ml: Array Bytes Expand Hashtbl List Option Stdlib Synopsis Twig Vec Xmldoc

@@ -1,0 +1,1 @@
+lib/core/expand.ml: Array Float List Synopsis Xmldoc

@@ -1,0 +1,1 @@
+lib/core/selectivity.ml: Array Eval Float List Stdlib Synopsis Twig

@@ -1,0 +1,1 @@
+lib/core/selectivity.mli: Eval Synopsis Twig

@@ -1,0 +1,1 @@
+lib/core/serialize.ml: Array Buffer Fun Hashtbl List Printf String Synopsis Xmldoc

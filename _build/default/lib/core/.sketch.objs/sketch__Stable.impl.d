@@ -1,0 +1,1 @@
+lib/core/stable.ml: Array Hashtbl List Option Stdlib Synopsis Twig Xmldoc

@@ -1,0 +1,1 @@
+lib/core/stable.mli: Synopsis Twig Xmldoc

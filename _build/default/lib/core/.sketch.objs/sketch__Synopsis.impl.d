@@ -1,0 +1,1 @@
+lib/core/synopsis.ml: Array Float Format Hashtbl List Option Stdlib Xmldoc

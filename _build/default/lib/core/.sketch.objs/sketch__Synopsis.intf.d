@@ -1,0 +1,1 @@
+lib/core/synopsis.mli: Format Xmldoc

@@ -1,0 +1,1 @@
+lib/core/topdown.ml: Array Hashtbl List Stdlib Synopsis Xmldoc

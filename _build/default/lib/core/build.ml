@@ -1,0 +1,168 @@
+type params = {
+  heap_max : int;
+  heap_min : int;
+  max_pairs_per_group : int;
+}
+
+let default_params = { heap_max = 10_000; heap_min = 100; max_pairs_per_group = 200_000 }
+
+type candidate = {
+  u : int;
+  v : int;
+  ver_u : int;
+  ver_v : int;
+}
+
+let push_candidate cl heap ~heap_max u v =
+  match Cluster.delta cl u v with
+  | None -> ()
+  | Some { errd; sized } ->
+    let ratio = errd /. float_of_int sized in
+    Dheap.push heap ratio
+      { u; v; ver_u = Cluster.version cl u; ver_v = Cluster.version cl v };
+    if Dheap.length heap > heap_max then ignore (Dheap.pop_max heap)
+
+(* CREATEPOOL (Figure 6): candidate same-label pairs at increasing
+   depth, until all depths are done or the pool is full after a
+   complete depth. *)
+let create_pool params cl =
+  let heap : candidate Dheap.t = Dheap.create () in
+  (* group representatives by label *)
+  let groups : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let key = Xmldoc.Label.to_int (Cluster.label cl r) in
+      match Hashtbl.find_opt groups key with
+      | Some l -> l := r :: !l
+      | None -> Hashtbl.add groups key (ref [ r ]))
+    (Cluster.alive_ids cl);
+  let max_height =
+    List.fold_left (fun acc r -> max acc (Cluster.height cl r)) 0 (Cluster.alive_ids cl)
+  in
+  (* thin a list deterministically to at most [limit] elements *)
+  let thin limit l =
+    let n = List.length l in
+    if n <= limit then l
+    else begin
+      let stride = (n + limit - 1) / limit in
+      List.filteri (fun i _ -> i mod stride = 0) l
+    end
+  in
+  let level = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !level <= max_height do
+    Hashtbl.iter
+      (fun _ group ->
+        let eq = List.filter (fun r -> Cluster.height cl r = !level) !group in
+        let lower = List.filter (fun r -> Cluster.height cl r < !level) !group in
+        (* pair budget per (label, depth) group *)
+        let n_eq = List.length eq and n_lo = List.length lower in
+        let pairs = (n_eq * (n_eq - 1) / 2) + (n_eq * n_lo) in
+        let eq, lower =
+          if pairs > params.max_pairs_per_group then begin
+            let limit =
+              max 2 (int_of_float (sqrt (float_of_int params.max_pairs_per_group)))
+            in
+            (thin limit eq, thin limit lower)
+          end
+          else (eq, lower)
+        in
+        let rec eq_pairs = function
+          | [] -> ()
+          | u :: rest ->
+            List.iter (fun v -> push_candidate cl heap ~heap_max:params.heap_max u v) rest;
+            List.iter
+              (fun v -> push_candidate cl heap ~heap_max:params.heap_max u v)
+              lower;
+            eq_pairs rest
+        in
+        eq_pairs eq)
+      groups;
+    if Dheap.length heap >= params.heap_max then continue_ := false;
+    incr level
+  done;
+  heap
+
+(* TSBUILD (Figure 5) with a callback invoked after every applied
+   merge, used to snapshot checkpoints. *)
+let compress_gen params cl ~budget ~on_merge =
+  let exhausted = ref false in
+  while Cluster.size_bytes cl > budget && not !exhausted do
+    let heap = create_pool params cl in
+    if Dheap.is_empty heap then exhausted := true
+    else begin
+      (* When the whole pool fits under Lh, regenerating it would yield
+         the same candidates: drain it completely instead. *)
+      let low_mark = if Dheap.length heap <= params.heap_min then 0 else params.heap_min in
+      let progressed = ref false in
+      let continue_ = ref true in
+      while
+        !continue_
+        && Cluster.size_bytes cl > budget
+        && Dheap.length heap > low_mark
+      do
+        match Dheap.pop_min heap with
+        | None -> continue_ := false
+        | Some (_, cand) ->
+          let u = Cluster.find cl cand.u and v = Cluster.find cl cand.v in
+          if u <> v then begin
+            if
+              u = cand.u && v = cand.v
+              && Cluster.version cl u = cand.ver_u
+              && Cluster.version cl v = cand.ver_v
+            then begin
+              ignore (Cluster.merge cl u v);
+              progressed := true;
+              on_merge ()
+            end
+            else
+              (* stale: re-evaluate against the current clustering *)
+              push_candidate cl heap ~heap_max:params.heap_max u v
+          end
+      done;
+      (* A pool that produced no merge at all cannot make progress by
+         regeneration either. *)
+      if (not !progressed) && Dheap.length heap <= low_mark then exhausted := true
+    end
+  done
+
+let compress ?(params = default_params) cl ~budget =
+  compress_gen params cl ~budget ~on_merge:(fun () -> ())
+
+let build ?params stable ~budget =
+  let cl = Cluster.of_stable stable in
+  compress ?params cl ~budget;
+  Cluster.to_synopsis cl
+
+let build_of_tree ?params tree ~budget = build ?params (Stable.build tree) ~budget
+
+let build_with_checkpoints ?(params = default_params) stable ~budgets =
+  let sorted = List.sort_uniq (fun a b -> Stdlib.compare b a) budgets in
+  let cl = Cluster.of_stable stable in
+  let results = Hashtbl.create 8 in
+  let remaining = ref sorted in
+  let snapshot_reached () =
+    let rec loop () =
+      match !remaining with
+      | b :: rest when Cluster.size_bytes cl <= b ->
+        Hashtbl.replace results b (Cluster.to_synopsis cl);
+        remaining := rest;
+        loop ()
+      | _ -> ()
+    in
+    loop ()
+  in
+  snapshot_reached ();
+  (match !remaining with
+  | [] -> ()
+  | _ ->
+    let final = List.fold_left min max_int sorted in
+    compress_gen params cl ~budget:final ~on_merge:snapshot_reached);
+  (* Budgets below the label-split floor get the smallest synopsis. *)
+  let floor = Cluster.to_synopsis cl in
+  List.map
+    (fun b ->
+      match Hashtbl.find_opt results b with
+      | Some s -> (b, s)
+      | None -> (b, floor))
+    budgets

@@ -1,0 +1,40 @@
+(** [TSBUILD] and [CREATEPOOL] (§4.2, Figures 5 and 6): compressing the
+    count-stable summary down to a space budget by greedy bottom-up
+    merging.
+
+    The candidate pool is a double-ended heap ordered by the
+    marginal-gain ratio [errd /. sized]; [CREATEPOOL] populates it with
+    same-label pairs examined at increasing node depth (height), keeping
+    only the best [heap_max] candidates.  Merges are applied best-first;
+    entries whose endpoints were merged away or whose neighborhoods
+    changed (the [affected(h,m)] set) are detected by cluster versions
+    and re-evaluated on pop. *)
+
+type params = {
+  heap_max : int;  (** [Uh]: candidate-pool capacity (paper: 10000) *)
+  heap_min : int;  (** [Lh]: regenerate the pool below this (paper: 100) *)
+  max_pairs_per_group : int;
+      (** safety valve: cap on candidate pairs enumerated per
+          (label, depth) group; beyond it pairs are sampled with a
+          deterministic stride.  [max_int] reproduces the paper
+          exactly. *)
+}
+
+val default_params : params
+
+val compress : ?params:params -> Cluster.t -> budget:int -> unit
+(** Merge until [Cluster.size_bytes] fits [budget] (bytes) or no merge
+    is possible (the label-split graph has been reached). *)
+
+val build : ?params:params -> Synopsis.t -> budget:int -> Synopsis.t
+(** [build stable ~budget] is the TREESKETCH of the given count-stable
+    summary fitting in [budget] bytes. *)
+
+val build_of_tree : ?params:params -> Xmldoc.Tree.t -> budget:int -> Synopsis.t
+(** Convenience: [BUILD_STABLE] then [build]. *)
+
+val build_with_checkpoints :
+  ?params:params -> Synopsis.t -> budgets:int list -> (int * Synopsis.t) list
+(** One construction run snapshotting the synopsis at every budget
+    (descending), so a budget sweep costs a single compression pass.
+    Returns [(budget, synopsis)] pairs in the order given. *)

@@ -1,0 +1,188 @@
+(* Interval heap (Leeuwen & Wood / Sahni): the array is viewed as a
+   sequence of intervals; slot [2j] holds the low endpoint and [2j+1]
+   the high endpoint of interval [j].  Interval [j]'s children are
+   intervals [2j+1] and [2j+2].  Invariant: every element stored in the
+   subtree of interval [j] lies within [lo_j, hi_j]. *)
+
+type 'a entry = {
+  prio : float;
+  value : 'a;
+}
+
+type 'a t = {
+  mutable a : 'a entry array;
+  mutable n : int;
+}
+
+let dummy = Obj.magic 0
+
+let create () = { a = [||]; n = 0 }
+
+let length t = t.n
+
+let is_empty t = t.n = 0
+
+let clear t =
+  t.a <- [||];
+  t.n <- 0
+
+let ensure_capacity t =
+  if t.n >= Array.length t.a then begin
+    let cap = max 16 (2 * Array.length t.a) in
+    let bigger = Array.make cap { prio = 0.; value = dummy } in
+    Array.blit t.a 0 bigger 0 t.n;
+    t.a <- bigger
+  end
+
+let swap t i j =
+  let tmp = t.a.(i) in
+  t.a.(i) <- t.a.(j);
+  t.a.(j) <- tmp
+
+(* Bubble a low endpoint towards the root along the min chain. *)
+let rec bubble_min t idx =
+  let j = idx / 2 in
+  if j > 0 then begin
+    let pj = (j - 1) / 2 in
+    if t.a.(idx).prio < t.a.(2 * pj).prio then begin
+      swap t idx (2 * pj);
+      bubble_min t (2 * pj)
+    end
+  end
+
+(* Bubble a high endpoint towards the root along the max chain. *)
+let rec bubble_max t idx =
+  let j = idx / 2 in
+  if j > 0 then begin
+    let pj = (j - 1) / 2 in
+    if t.a.(idx).prio > t.a.((2 * pj) + 1).prio then begin
+      swap t idx ((2 * pj) + 1);
+      bubble_max t ((2 * pj) + 1)
+    end
+  end
+
+let push t prio value =
+  ensure_capacity t;
+  let idx = t.n in
+  t.a.(idx) <- { prio; value };
+  t.n <- t.n + 1;
+  if idx > 0 then begin
+    if idx land 1 = 1 then begin
+      (* completing an interval: order the pair, then fix both chains *)
+      if t.a.(idx).prio < t.a.(idx - 1).prio then swap t idx (idx - 1);
+      bubble_max t idx;
+      bubble_min t (idx - 1)
+    end
+    else begin
+      (* a new single-element interval: route towards whichever parent
+         bound it violates (at most one) *)
+      let pj = (idx / 2 - 1) / 2 in
+      if t.a.(idx).prio < t.a.(2 * pj).prio then bubble_min t idx
+      else if t.a.(idx).prio > t.a.((2 * pj) + 1).prio then begin
+        swap t idx ((2 * pj) + 1);
+        bubble_max t ((2 * pj) + 1)
+      end
+    end
+  end
+
+let min_priority t = if t.n = 0 then None else Some t.a.(0).prio
+
+let max_priority t =
+  if t.n = 0 then None
+  else if t.n = 1 then Some t.a.(0).prio
+  else Some t.a.(1).prio
+
+(* Re-insert [x] starting from the root's low slot, descending the min
+   chain (Sahni's delete-min repair). *)
+let sift_down_min t x =
+  let rec go j x =
+    (* keep x within the interval: it must not exceed the high slot *)
+    let x =
+      if (2 * j) + 1 < t.n && x.prio > t.a.((2 * j) + 1).prio then begin
+        let h = t.a.((2 * j) + 1) in
+        t.a.((2 * j) + 1) <- x;
+        h
+      end
+      else x
+    in
+    let c1 = (2 * j) + 1 and c2 = (2 * j) + 2 in
+    let best = ref (-1) in
+    if 2 * c1 < t.n then best := c1;
+    if 2 * c2 < t.n && t.a.(2 * c2).prio < t.a.(2 * c1).prio then best := c2;
+    if !best >= 0 && t.a.(2 * !best).prio < x.prio then begin
+      t.a.(2 * j) <- t.a.(2 * !best);
+      go !best x
+    end
+    else t.a.(2 * j) <- x
+  in
+  go 0 x
+
+(* Effective max slot of interval [j]: the high slot if the interval is
+   full, otherwise its single low slot. *)
+let max_slot t j = if (2 * j) + 1 < t.n then (2 * j) + 1 else 2 * j
+
+let sift_down_max t x =
+  let rec go j x =
+    let mj = max_slot t j in
+    let x =
+      if mj = (2 * j) + 1 && x.prio < t.a.(2 * j).prio then begin
+        let l = t.a.(2 * j) in
+        t.a.(2 * j) <- x;
+        l
+      end
+      else x
+    in
+    let c1 = (2 * j) + 1 and c2 = (2 * j) + 2 in
+    let best = ref (-1) in
+    if 2 * c1 < t.n then best := c1;
+    if 2 * c2 < t.n && t.a.(max_slot t c2).prio > t.a.(max_slot t c1).prio then
+      best := c2;
+    if !best >= 0 && t.a.(max_slot t !best).prio > x.prio then begin
+      t.a.(mj) <- t.a.(max_slot t !best);
+      go !best x
+    end
+    else t.a.(mj) <- x
+  in
+  go 0 x
+
+let pop_min t =
+  if t.n = 0 then None
+  else begin
+    let res = t.a.(0) in
+    let last = t.a.(t.n - 1) in
+    t.n <- t.n - 1;
+    if t.n > 0 then sift_down_min t last;
+    Some (res.prio, res.value)
+  end
+
+let pop_max t =
+  if t.n = 0 then None
+  else if t.n = 1 then begin
+    let res = t.a.(0) in
+    t.n <- 0;
+    Some (res.prio, res.value)
+  end
+  else begin
+    let res = t.a.(1) in
+    let last = t.a.(t.n - 1) in
+    t.n <- t.n - 1;
+    if t.n > 1 then sift_down_max t last;
+    Some (res.prio, res.value)
+  end
+
+let check_invariant t =
+  let ok = ref true in
+  for j = 0 to ((t.n + 1) / 2) - 1 do
+    (* interval ordering *)
+    if (2 * j) + 1 < t.n && t.a.(2 * j).prio > t.a.((2 * j) + 1).prio then
+      ok := false;
+    (* containment of children in the parent interval *)
+    if j > 0 then begin
+      let pj = (j - 1) / 2 in
+      let lo_p = t.a.(2 * pj).prio and hi_p = t.a.((2 * pj) + 1).prio in
+      if t.a.(2 * j).prio < lo_p then ok := false;
+      if (2 * j) + 1 < t.n && t.a.((2 * j) + 1).prio > hi_p then ok := false;
+      if (2 * j) + 1 >= t.n && t.a.(2 * j).prio > hi_p then ok := false
+    end
+  done;
+  !ok

@@ -1,0 +1,365 @@
+module Syntax = Twig.Syntax
+
+let prune_below = 1e-12
+
+(* Maximum number of times one synopsis node may appear on a single
+   //-step embedding path.  Compressed synopses can be cyclic (merges
+   of same-label nodes at different depths); bounding the unrolling
+   keeps the enumeration finite and prevents the loop's average counts
+   from being multiplied all the way to the hop limit. *)
+let cycle_unroll = 3
+
+type answer = {
+  synopsis : Synopsis.t;
+  raw : Synopsis.t;
+  source : int array;
+  var : int array;
+  empty : bool;
+}
+
+(* Enumeration work budget: synopsis graphs with many same-label nodes
+   can harbor combinatorially many embeddings; the DFS stops expanding
+   once a path-evaluation has spent this many edge visits (results are
+   then slight undercounts — preferable to non-termination). *)
+let embedding_work_budget = 200_000
+
+type ctx = {
+  ts : Synopsis.t;
+  max_hops : int;
+  work : int ref;
+  (* per target label: bitmap of nodes from which the label is
+     reachable through at least one edge — prunes fruitless DFS
+     branches of //-steps *)
+  reach : (int, Bytes.t) Hashtbl.t;
+}
+
+(* Default hop bound: enough for the synopsis's acyclic height (so
+   evaluation over a stable summary is never truncated), floored at 20
+   and capped at 64 for heavily cyclic graphs. *)
+let default_max_hops ts =
+  let h = Array.fold_left max 0 (Synopsis.heights ts) in
+  min 64 (max 20 (h + 1))
+
+let make_ctx ts max_hops =
+  { ts; max_hops; work = ref embedding_work_budget; reach = Hashtbl.create 8 }
+
+let reachable ctx label =
+  let key = Xmldoc.Label.to_int label in
+  match Hashtbl.find_opt ctx.reach key with
+  | Some b -> b
+  | None ->
+    let n = Synopsis.num_nodes ctx.ts in
+    let b = Bytes.make n '\000' in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for v = 0 to n - 1 do
+        if Bytes.get b v = '\000' then begin
+          let hit =
+            Array.exists
+              (fun (w, _) ->
+                Xmldoc.Label.equal (Synopsis.label ctx.ts w) label
+                || Bytes.get b w = '\001')
+              (Synopsis.edges ctx.ts v)
+          in
+          if hit then begin
+            Bytes.set b v '\001';
+            changed := true
+          end
+        end
+      done
+    done;
+    Hashtbl.add ctx.reach key b;
+    b
+
+(* All embeddings of [p] starting at [u], as (end node, count) pairs,
+   one entry per embedding (not yet aggregated).  [emit] receives each
+   embedding's end node and count. *)
+let rec iter_embeddings ctx u (p : Syntax.path) emit =
+  match p with
+  | [] -> emit u 1.
+  | step :: rest ->
+    let continue_from v k_here =
+      let s = pred_selectivity ctx v step.Syntax.preds in
+      let k = k_here *. s in
+      if k > prune_below then
+        iter_embeddings ctx v rest (fun e ke -> emit e (k *. ke))
+    in
+    (match step.axis with
+    | Child ->
+      Array.iter
+        (fun (v, k) ->
+          if Xmldoc.Label.equal (Synopsis.label ctx.ts v) step.label then
+            continue_from v k)
+        (Synopsis.edges ctx.ts u)
+    | Descendant ->
+      (* DFS over synopsis paths of length >= 1, bounded by max_hops,
+         per-path node-visit counts (see [cycle_unroll]), and pruned to
+         nodes that can still reach the step's label. *)
+      let reach = reachable ctx step.label in
+      let visits : (int, int) Hashtbl.t = Hashtbl.create 8 in
+      let rec dfs w acc hops =
+        if hops > 0 && acc > prune_below && !(ctx.work) > 0 then
+          Array.iter
+            (fun (v, k) ->
+              decr ctx.work;
+              let is_match =
+                Xmldoc.Label.equal (Synopsis.label ctx.ts v) step.label
+              in
+              let can_reach = Bytes.get reach v = '\001' in
+              if is_match || can_reach then begin
+                let seen = Option.value ~default:0 (Hashtbl.find_opt visits v) in
+                if seen < cycle_unroll && !(ctx.work) > 0 then begin
+                  let acc' = acc *. k in
+                  if is_match then continue_from v acc';
+                  if can_reach then begin
+                    Hashtbl.replace visits v (seen + 1);
+                    dfs v acc' (hops - 1);
+                    Hashtbl.replace visits v seen
+                  end
+                end
+              end)
+            (Synopsis.edges ctx.ts w)
+      in
+      dfs u 1. ctx.max_hops)
+
+(* Selectivity of the branching predicates anchored at node [v]
+   (EVAL_EMBED lines 2-13): per predicate, aggregate descendant counts
+   by end node, then apply inclusion-exclusion (computed as
+   1 - prod (1 - k_j)) unless some count reaches 1. *)
+and pred_selectivity ctx v preds =
+  List.fold_left
+    (fun acc pred ->
+      if acc <= prune_below then acc
+      else begin
+        let by_end : (int, float ref) Hashtbl.t = Hashtbl.create 8 in
+        iter_embeddings ctx v pred (fun e k ->
+            match Hashtbl.find_opt by_end e with
+            | Some cell -> cell := !cell +. k
+            | None -> Hashtbl.add by_end e (ref k));
+        let saturated = ref false in
+        let misses = ref 1. in
+        Hashtbl.iter
+          (fun _ k ->
+            if !k >= 1. then saturated := true
+            else misses := !misses *. (1. -. !k))
+          by_end;
+        let s = if !saturated then 1. else 1. -. !misses in
+        acc *. s
+      end)
+    1. preds
+
+let embeddings_ctx ctx u p =
+  let by_end : (int, float ref) Hashtbl.t = Hashtbl.create 8 in
+  iter_embeddings ctx u p (fun e k ->
+      match Hashtbl.find_opt by_end e with
+      | Some cell -> cell := !cell +. k
+      | None -> Hashtbl.add by_end e (ref k));
+  Hashtbl.fold (fun e k acc -> (e, !k) :: acc) by_end []
+
+let embeddings ?max_hops ts u p =
+  let max_hops =
+    match max_hops with Some h -> h | None -> default_max_hops ts
+  in
+  embeddings_ctx (make_ctx ts max_hops) u p
+
+(* ------------------------------------------------------------------ *)
+(* EVAL_QUERY                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type building = {
+  nodes : (Xmldoc.Label.t * int * int) Vec.t;  (* label, source, var *)
+  index : (int * int, int) Hashtbl.t;  (* (source node, var) -> answer id *)
+  out : (int * int, float ref) Hashtbl.t;  (* (from, to) -> count *)
+  bind : (int, int list ref) Hashtbl.t;  (* var -> answer ids *)
+}
+
+let fresh_node b ~src ~var label =
+  match Hashtbl.find_opt b.index (src, var) with
+  | Some id -> id
+  | None ->
+    let id = Vec.length b.nodes in
+    Vec.push b.nodes (label, src, var);
+    Hashtbl.add b.index (src, var) id;
+    (match Hashtbl.find_opt b.bind var with
+    | Some l -> l := id :: !l
+    | None -> Hashtbl.add b.bind var (ref [ id ]));
+    id
+
+let add_count b from into k =
+  match Hashtbl.find_opt b.out (from, into) with
+  | Some cell -> cell := !cell +. k
+  | None -> Hashtbl.add b.out (from, into) (ref k)
+
+let eval ?max_hops ts (q : Syntax.t) =
+  let max_hops =
+    match max_hops with Some h -> h | None -> default_max_hops ts
+  in
+  let b =
+    {
+      nodes = Vec.create ();
+      index = Hashtbl.create 64;
+      out = Hashtbl.create 64;
+      bind = Hashtbl.create 16;
+    }
+  in
+  let eval_ctx = make_ctx ts max_hops in
+  let root_label = Twig.Eval.nesting_label 0 (Synopsis.label ts ts.Synopsis.root) in
+  let (_ : int) = fresh_node b ~src:ts.Synopsis.root ~var:0 root_label in
+  (* Pre-order traversal of the query tree: by construction bind[q] is
+     complete when q's out-edges are processed. *)
+  let rec process (qn : Syntax.node) =
+    List.iter
+      (fun (edge : Syntax.edge) ->
+        let qc = edge.target in
+        let parents =
+          match Hashtbl.find_opt b.bind qn.var with Some l -> !l | None -> []
+        in
+        List.iter
+          (fun uq ->
+            let _, u, _ = Vec.get b.nodes uq in
+            List.iter
+              (fun (v, k) ->
+                if k > prune_below then begin
+                  let lbl = Twig.Eval.nesting_label qc.var (Synopsis.label ts v) in
+                  let vq = fresh_node b ~src:v ~var:qc.var lbl in
+                  add_count b uq vq k
+                end)
+              (let ctx = { eval_ctx with work = ref embedding_work_budget } in
+               embeddings_ctx ctx u edge.path))
+          parents;
+        process qc)
+      qn.edges
+  in
+  process q;
+  (* Validity pruning: an element is a binding only if every required
+     query edge has at least one target (§2).  Count-stability makes
+     validity uniform per class, so dropping result nodes that lack a
+     required child edge is exact over a stable synopsis and the
+     natural approximation otherwise.  Children have strictly larger
+     variables, so one descending-variable pass suffices. *)
+  let n_raw = Vec.length b.nodes in
+  let required_children = Array.make (Syntax.num_vars q) [] in
+  let rec note (qn : Syntax.node) =
+    required_children.(qn.var) <-
+      List.filter_map
+        (fun (e : Syntax.edge) -> if e.optional then None else Some e.target.var)
+        qn.edges;
+    List.iter (fun (e : Syntax.edge) -> note e.target) qn.edges
+  in
+  note q;
+  let valid = Array.make n_raw true in
+  let ids = Array.init n_raw (fun i -> i) in
+  Array.sort
+    (fun a c ->
+      let _, _, va = Vec.get b.nodes a and _, _, vc = Vec.get b.nodes c in
+      Stdlib.compare (vc, c) (va, a))
+    ids;
+  let out_of = Array.make n_raw [] in
+  Hashtbl.iter
+    (fun (from, into) k -> out_of.(from) <- (into, !k) :: out_of.(from))
+    b.out;
+  Array.iter
+    (fun uq ->
+      let _, _, var = Vec.get b.nodes uq in
+      let ok =
+        List.for_all
+          (fun cvar ->
+            List.exists
+              (fun (wq, k) ->
+                let _, _, wvar = Vec.get b.nodes wq in
+                wvar = cvar && k > prune_below && valid.(wq))
+              out_of.(uq))
+          required_children.(var)
+      in
+      valid.(uq) <- ok)
+    ids;
+  Hashtbl.reset b.bind;
+  let keep = Hashtbl.create 64 in
+  Array.iteri
+    (fun i v ->
+      if v then begin
+        Hashtbl.add keep i (Hashtbl.length keep);
+        let _, _, var = Vec.get b.nodes i in
+        match Hashtbl.find_opt b.bind var with
+        | Some l -> l := i :: !l
+        | None -> Hashtbl.add b.bind var (ref [ i ])
+      end)
+    valid;
+  let pruned_out : (int * int, float ref) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (from, into) k ->
+      match (Hashtbl.find_opt keep from, Hashtbl.find_opt keep into) with
+      | Some f, Some i -> Hashtbl.replace pruned_out (f, i) k
+      | _ -> ())
+    b.out;
+  let pruned_nodes = Vec.create () in
+  Array.iteri
+    (fun i v -> if v then Vec.push pruned_nodes (Vec.get b.nodes i))
+    valid;
+  let root_valid =
+    Hashtbl.mem keep (Hashtbl.find b.index (ts.Synopsis.root, 0))
+  in
+  (* The answer is empty iff the root is invalid: a required variable
+     somewhere on the required spine has no (transitively valid)
+     bindings.  Required edges nested under optional edges must NOT
+     nullify the answer — they only prune their local sub-bindings. *)
+  let empty = ref (not root_valid) in
+  let b =
+    if root_valid then
+      { b with nodes = pruned_nodes; out = pruned_out }
+    else b (* keep the un-pruned graph so a root node always exists *)
+  in
+  (* Materialize the synopsis: counts flow topologically (query vars
+     strictly increase along edges, so ascending var order works). *)
+  let n = Vec.length b.nodes in
+  let labels = Array.init n (fun i -> let l, _, _ = Vec.get b.nodes i in l) in
+  let srcs = Array.init n (fun i -> let _, s, _ = Vec.get b.nodes i in s) in
+  let vars = Array.init n (fun i -> let _, _, v = Vec.get b.nodes i in v) in
+  let counts = Array.make n 0. in
+  let root_id =
+    let raw_root = Hashtbl.find b.index (ts.Synopsis.root, 0) in
+    match Hashtbl.find_opt keep raw_root with
+    | Some r when root_valid -> r
+    | _ -> raw_root
+  in
+  counts.(root_id) <- 1.;
+  let edges_of = Array.make n [] in
+  Hashtbl.iter
+    (fun (from, into) k -> edges_of.(from) <- (into, !k) :: edges_of.(from))
+    b.out;
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a bq -> Stdlib.compare (vars.(a), a) (vars.(bq), bq)) order;
+  Array.iter
+    (fun u ->
+      List.iter
+        (fun (v, k) -> counts.(v) <- counts.(v) +. (counts.(u) *. k))
+        edges_of.(u))
+    order;
+  let nodes =
+    Array.init n (fun i ->
+        {
+          Synopsis.label = labels.(i);
+          count = counts.(i);
+          edges = Array.of_list edges_of.(i);
+        })
+  in
+  let raw = Synopsis.make ~root:root_id nodes in
+  {
+    (* The canonical quotient collapses result nodes with
+       indistinguishable result sub-structure (e.g. the many document
+       classes a leaf variable binds); it is what approximates the
+       nesting tree and what ESD compares. *)
+    synopsis = Synopsis.canonicalize raw;
+    raw;
+    source = srcs;
+    var = vars;
+    empty = !empty;
+  }
+
+let to_nesting_tree ?(max_nodes = 2_000_000) ans =
+  if ans.empty then None
+  else
+    match Expand.approximate ~max_nodes ans.synopsis with
+    | tree -> Some tree
+    | exception Invalid_argument _ -> None

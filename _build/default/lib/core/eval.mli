@@ -1,0 +1,58 @@
+(** [EVAL_QUERY] and [EVAL_EMBED] (§4.3, Figures 7 and 8): approximate
+    query answers over a TREESKETCH.
+
+    The query is processed directly over the synopsis graph; the output
+    is another synopsis that summarizes the query's nesting tree.  Each
+    output node [uQ(u, q)] represents the elements of synopsis node [u]
+    bound to query variable [q]; at most one output node exists per
+    [(u, q)] pair, bounding the result by [O(|TS| * |Q|)].
+
+    Descendant ([//]) steps are resolved by enumerating synopsis-path
+    embeddings; the count along an embedding is the product of its edge
+    averages (the TREESKETCH independence assumption), and branching
+    predicates contribute selectivities combined with the
+    inclusion–exclusion rule over per-target descendant counts.
+
+    Compressed TREESKETCHes may contain cycles (a merge of same-label
+    nodes at different depths); embedding enumeration is therefore
+    bounded by [max_hops] edges per descendant step and prunes
+    embeddings whose accumulated count falls below [1e-12]. *)
+
+type answer = {
+  synopsis : Synopsis.t;
+      (** summarizes the nesting tree, in canonical (coarsest
+          count-stable) form; node labels are the composite
+          ["q<var>#<label>"] labels of {!Twig.Eval.nesting_label}, so
+          the answer is directly comparable (via ESD) with an exact
+          nesting tree's stable summary *)
+  raw : Synopsis.t;
+      (** the un-canonicalized result graph, one node per
+          (input node, variable) pair *)
+  source : int array;  (** per raw node, the input-synopsis node *)
+  var : int array;  (** per raw node, the query variable *)
+  empty : bool;
+      (** true iff some required query variable has no bindings — the
+          approximate answer is the empty document *)
+}
+
+val eval : ?max_hops:int -> Synopsis.t -> Twig.Syntax.t -> answer
+(** Evaluate a twig query over a TREESKETCH.  [max_hops] bounds the
+    length of any [//]-step embedding; the default adapts to the
+    synopsis's acyclic height (min 20, max 64), so stable-summary
+    evaluation is never truncated. *)
+
+val to_nesting_tree : ?max_nodes:int -> answer -> Xmldoc.Tree.t option
+(** The approximate nesting tree: [Expand] applied to the answer
+    synopsis (fractional counts are discretized with the
+    largest-remainder rule).  This is the tree the user would be
+    shown, and the object the ESD error metric scores against the true
+    nesting tree (§5, §6.1).  [None] if the answer is empty or the
+    expansion exceeds [max_nodes] (default 2_000_000). *)
+
+val embeddings :
+  ?max_hops:int -> Synopsis.t -> int -> Twig.Syntax.path -> (int * float) list
+(** [embeddings ts u p] lists, for each synopsis node [v] reachable
+    from [u] along an embedding of [p], the estimated number of
+    descendants per element of [u] (embeddings ending at the same node
+    are summed).  Branch predicates are folded in as selectivities.
+    Exposed for tests and for the selectivity estimator. *)

@@ -1,0 +1,76 @@
+module Tree = Xmldoc.Tree
+
+let exact (s : Synopsis.t) =
+  let memo : Tree.t option array = Array.make (Synopsis.num_nodes s) None in
+  let in_progress = Array.make (Synopsis.num_nodes s) false in
+  let rec subtree u =
+    match memo.(u) with
+    | Some t -> t
+    | None ->
+      if in_progress.(u) then
+        invalid_arg "Expand.exact: cyclic synopsis";
+      in_progress.(u) <- true;
+      let children =
+        Array.fold_right
+          (fun (v, k) acc ->
+            if not (Float.equal k (Float.round k)) then
+              invalid_arg "Expand.exact: non-integral edge count";
+            let t = subtree v in
+            let rec add n acc = if n = 0 then acc else add (n - 1) (t :: acc) in
+            add (int_of_float k) acc)
+          (Synopsis.edges s u) []
+      in
+      in_progress.(u) <- false;
+      let t = Tree.make (Synopsis.label s u) children in
+      memo.(u) <- Some t;
+      t
+  in
+  subtree s.root
+
+let approximate ?(max_nodes = 1_000_000) (s : Synopsis.t) =
+  let built = ref 0 in
+  (* Build [m] copies of node [u].  Copies differ only in how the
+     rounded child totals are spread, so at most a handful of distinct
+     shapes exist per call, but we keep the code simple and build each
+     copy; [max_nodes] bounds the total work. *)
+  let rec copies depth u m =
+    if m <= 0 then []
+    else begin
+      built := !built + m;
+      if !built > max_nodes || depth > 4096 then
+        invalid_arg "Expand.approximate: expansion exceeds max_nodes";
+      (* For each edge, the total number of children across the m
+         copies, rounded once (largest-remainder at the extent level). *)
+      let totals =
+        Array.map
+          (fun (v, k) -> (v, int_of_float (Float.round (float_of_int m *. k))))
+          (Synopsis.edges s u)
+      in
+      (* Children trees per edge, built in bulk then dealt out. *)
+      let pools =
+        Array.map (fun (v, total) -> (v, ref (copies (depth + 1) v total), total)) totals
+      in
+      List.init m (fun i ->
+          let children = ref [] in
+          Array.iter
+            (fun (_, pool, total) ->
+              (* copy i receives ceil or floor of total/m *)
+              let base = total / m and extra = total mod m in
+              let mine = base + if i < extra then 1 else 0 in
+              let rec take n =
+                if n > 0 then
+                  match !pool with
+                  | [] -> ()
+                  | t :: rest ->
+                    pool := rest;
+                    children := t :: !children;
+                    take (n - 1)
+              in
+              take mine)
+            pools;
+          Tree.make (Synopsis.label s u) (List.rev !children))
+    end
+  in
+  match copies 0 s.root 1 with
+  | [ t ] -> t
+  | _ -> assert false

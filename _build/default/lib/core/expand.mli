@@ -1,0 +1,25 @@
+(** [Expand] (Lemma 3.1): reconstructing a document from a synopsis.
+
+    For a count-stable synopsis the reconstruction is exact: every
+    element of a class has identical sub-tree structure, so the result
+    is isomorphic to the original document (sibling order is not
+    preserved — it is not represented in a synopsis).
+
+    For a compressed TREESKETCH the edge averages are fractional; the
+    expansion then distributes child totals over element copies with a
+    largest-remainder rule, preserving aggregate counts. *)
+
+val exact : Synopsis.t -> Xmldoc.Tree.t
+(** Expansion of a count-stable synopsis.  Sub-trees are shared
+    structurally, so this is cheap even for large documents.
+    @raise Invalid_argument if an edge average is not integral or the
+    synopsis is cyclic. *)
+
+val approximate : ?max_nodes:int -> Synopsis.t -> Xmldoc.Tree.t
+(** Expansion of an arbitrary synopsis.  Fractional child counts are
+    rounded per parent-extent with a largest-remainder distribution
+    ([round (n *. k)] children spread as evenly as possible over the
+    [n] copies).  Cycles are cut when the accumulated expected count of
+    a node copy drops below one half.  [max_nodes] (default
+    [1_000_000]) aborts runaway expansions.
+    @raise Invalid_argument if the expansion exceeds [max_nodes]. *)

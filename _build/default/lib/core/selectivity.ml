@@ -1,0 +1,48 @@
+module Syntax = Twig.Syntax
+
+let of_answer (q : Syntax.t) (ans : Eval.answer) =
+  if ans.empty then 0.
+  else begin
+    (* query children per variable: (child var, optional) *)
+    let max_var = Syntax.num_vars q in
+    let q_children = Array.make max_var [] in
+    List.iter
+      (fun (qn : Syntax.node) ->
+        q_children.(qn.var) <-
+          List.map (fun (e : Syntax.edge) -> (e.target.var, e.optional)) qn.edges)
+      (Syntax.nodes_preorder q);
+    let syn = ans.raw in
+    let n = Synopsis.num_nodes syn in
+    let tuples = Array.make n 1. in
+    (* children have strictly larger query variables: descending var
+       order is a valid post-order *)
+    let order = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b -> Stdlib.compare (ans.var.(b), b) (ans.var.(a), a))
+      order;
+    Array.iter
+      (fun uq ->
+        let product =
+          List.fold_left
+            (fun acc (cvar, optional) ->
+              let sum =
+                Array.fold_left
+                  (fun s (wq, k) ->
+                    if ans.var.(wq) = cvar then s +. (k *. tuples.(wq)) else s)
+                  0.
+                  (Synopsis.edges syn uq)
+              in
+              let factor = if optional then Float.max 1. sum else sum in
+              acc *. factor)
+            1.
+            q_children.(ans.var.(uq))
+        in
+        tuples.(uq) <- product)
+      order;
+    tuples.(syn.Synopsis.root)
+  end
+
+let estimate ?max_hops ts q = of_answer q (Eval.eval ?max_hops ts q)
+
+let relative_error ~actual ~estimate ~sanity =
+  Float.abs (actual -. estimate) /. Float.max actual sanity

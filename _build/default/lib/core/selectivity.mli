@@ -1,0 +1,20 @@
+(** Selectivity estimation over a TREESKETCH (§4.4).
+
+    The estimate is computed from the result synopsis of [EVAL_QUERY]
+    with one post-order pass: for every result node, the average number
+    of binding tuples per element of its extent is the product, over
+    the query children of its variable, of the summed
+    [edge count * child tuples] contributions (an optional/dashed edge
+    contributes at least 1 — the outer-join convention matched by the
+    exact evaluator {!Twig.Eval}). *)
+
+val of_answer : Twig.Syntax.t -> Eval.answer -> float
+(** Estimated number of binding tuples summarized by an answer.  An
+    empty answer estimates 0. *)
+
+val estimate : ?max_hops:int -> Synopsis.t -> Twig.Syntax.t -> float
+(** [estimate ts q] runs [EVAL_QUERY] and folds the result. *)
+
+val relative_error : actual:float -> estimate:float -> sanity:float -> float
+(** The error measure of §6.1: [|r - e| / max(r, s)] with sanity bound
+    [s] (the paper uses the 10-percentile of true workload counts). *)

@@ -1,0 +1,71 @@
+let to_string (s : Synopsis.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "treesketch 1\n";
+  Buffer.add_string buf (Printf.sprintf "root %d\n" s.root);
+  Array.iteri
+    (fun i n ->
+      Buffer.add_string buf
+        (Printf.sprintf "node %d %.17g %s\n" i n.Synopsis.count
+           (Xmldoc.Label.to_string n.Synopsis.label)))
+    s.nodes;
+  Array.iteri
+    (fun i n ->
+      Array.iter
+        (fun (t, k) -> Buffer.add_string buf (Printf.sprintf "edge %d %d %.17g\n" i t k))
+        n.Synopsis.edges)
+    s.nodes;
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let root = ref (-1) in
+  let nodes : (int, Xmldoc.Label.t * float) Hashtbl.t = Hashtbl.create 256 in
+  let edges : (int, (int * float) list ref) Hashtbl.t = Hashtbl.create 256 in
+  let parse_line line =
+    match String.split_on_char ' ' (String.trim line) with
+    | [ "" ] | [] -> ()
+    | [ "treesketch"; "1" ] -> ()
+    | [ "root"; id ] -> root := int_of_string id
+    | "node" :: id :: count :: label_words ->
+      let label = String.concat " " label_words in
+      Hashtbl.replace nodes (int_of_string id)
+        (Xmldoc.Label.of_string label, float_of_string count)
+    | [ "edge"; from; into; avg ] ->
+      let from = int_of_string from in
+      let entry = (int_of_string into, float_of_string avg) in
+      (match Hashtbl.find_opt edges from with
+      | Some l -> l := entry :: !l
+      | None -> Hashtbl.add edges from (ref [ entry ]))
+    | _ -> failwith (Printf.sprintf "Serialize.of_string: bad line %S" line)
+  in
+  (try List.iter parse_line lines
+   with Failure _ as e -> raise e | _ -> failwith "Serialize.of_string: malformed input");
+  let n = Hashtbl.length nodes in
+  if !root < 0 || !root >= n then failwith "Serialize.of_string: missing or bad root";
+  let node_arr =
+    Array.init n (fun i ->
+        match Hashtbl.find_opt nodes i with
+        | None -> failwith (Printf.sprintf "Serialize.of_string: missing node %d" i)
+        | Some (label, count) ->
+          let edges =
+            match Hashtbl.find_opt edges i with
+            | Some l -> Array.of_list !l
+            | None -> [||]
+          in
+          { Synopsis.label; count; edges })
+  in
+  Synopsis.make ~root:!root node_arr
+
+let save path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string s))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))

@@ -1,0 +1,21 @@
+(** Plain-text persistence for synopses, used by the command-line
+    tools ([tsbuild] writes, [tsquery] reads).
+
+    Format (line oriented):
+    {v
+    treesketch 1
+    root <id>
+    node <id> <count> <label>
+    edge <from> <to> <avg>
+    v} *)
+
+val save : string -> Synopsis.t -> unit
+(** Write the synopsis to a file. *)
+
+val load : string -> Synopsis.t
+(** Read a synopsis back.  @raise Failure on malformed input. *)
+
+val to_string : Synopsis.t -> string
+
+val of_string : string -> Synopsis.t
+(** @raise Failure on malformed input. *)

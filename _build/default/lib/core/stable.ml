@@ -1,0 +1,125 @@
+module Tree = Xmldoc.Tree
+
+(* A class signature: the element's label plus its child classes and
+   per-class counts, canonically ordered.  Signatures are encoded as
+   int arrays to get cheap, allocation-light hashing. *)
+module Sig = struct
+  type t = int array
+  (* layout: [| label; class1; count1; class2; count2; ... |] *)
+
+  let equal (a : t) (b : t) =
+    Array.length a = Array.length b
+    && begin
+      let rec loop i = i >= Array.length a || (a.(i) = b.(i) && loop (i + 1)) in
+      loop 0
+    end
+
+  let hash (a : t) =
+    (* FNV-1a over the int components; good enough dispersion. *)
+    let h = ref 0x811c9dc5 in
+    Array.iter
+      (fun x ->
+        h := (!h lxor x) * 0x01000193;
+        h := !h land max_int)
+      a;
+    !h
+end
+
+module SigTbl = Hashtbl.Make (Sig)
+
+type builder = {
+  table : int SigTbl.t;  (* signature -> class id *)
+  mutable labels : Xmldoc.Label.t list;  (* class labels, reversed *)
+  mutable class_edges : (int * int) list list;  (* per class, reversed *)
+  mutable num_classes : int;
+  counts : (int, int) Hashtbl.t;  (* class id -> extent size *)
+}
+
+let new_builder () =
+  {
+    table = SigTbl.create 4096;
+    labels = [];
+    class_edges = [];
+    num_classes = 0;
+    counts = Hashtbl.create 4096;
+  }
+
+(* The (class, count) pairs of an element's children, canonically
+   sorted by class id. *)
+let child_signature child_classes =
+  let sorted = List.sort Stdlib.compare child_classes in
+  let rec group = function
+    | [] -> []
+    | c :: rest ->
+      let rec take n = function
+        | c' :: tl when c' = c -> take (n + 1) tl
+        | tl -> (n, tl)
+      in
+      let n, tl = take 1 rest in
+      (c, n) :: group tl
+  in
+  group sorted
+
+let encode label pairs =
+  let arr = Array.make (1 + (2 * List.length pairs)) 0 in
+  arr.(0) <- Xmldoc.Label.to_int label;
+  List.iteri
+    (fun i (c, n) ->
+      arr.(1 + (2 * i)) <- c;
+      arr.(2 + (2 * i)) <- n)
+    pairs;
+  arr
+
+let classify b label child_classes =
+  let pairs = child_signature child_classes in
+  let key = encode label pairs in
+  let cls =
+    match SigTbl.find_opt b.table key with
+    | Some id -> id
+    | None ->
+      let id = b.num_classes in
+      b.num_classes <- id + 1;
+      b.labels <- label :: b.labels;
+      b.class_edges <- pairs :: b.class_edges;
+      SigTbl.add b.table key id;
+      id
+  in
+  Hashtbl.replace b.counts cls
+    (1 + Option.value ~default:0 (Hashtbl.find_opt b.counts cls));
+  cls
+
+let finish b ~root_class =
+  let n = b.num_classes in
+  let labels = Array.of_list (List.rev b.labels) in
+  let edges = Array.of_list (List.rev b.class_edges) in
+  let nodes =
+    Array.init n (fun i ->
+        {
+          Synopsis.label = labels.(i);
+          count = float_of_int (Hashtbl.find b.counts i);
+          edges =
+            Array.of_list
+              (List.map (fun (c, k) -> (c, float_of_int k)) edges.(i));
+        })
+  in
+  Synopsis.make ~root:root_class nodes
+
+let class_of_elements tree =
+  let b = new_builder () in
+  let classes = Array.make (Tree.size tree) 0 in
+  let counter = ref 0 in
+  (* Pre-order oid assignment, post-order classification. *)
+  let rec visit node =
+    let oid = !counter in
+    incr counter;
+    let kids = Array.map visit (Tree.children node) in
+    let cls = classify b (Tree.label node) (Array.to_list kids) in
+    classes.(oid) <- cls;
+    cls
+  in
+  let root_class = visit tree in
+  (finish b ~root_class, classes)
+
+let build tree = fst (class_of_elements tree)
+
+let build_doc doc = build (Twig.Doc.tree doc)

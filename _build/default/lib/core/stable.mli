@@ -1,0 +1,20 @@
+(** [BUILD_STABLE] (§4.1, Figure 4): the unique minimal count-stable
+    summary of a document.
+
+    Elements are processed in post-order; each element's equivalence
+    class is determined by its label together with the multiset of
+    (child class, child count) pairs, looked up in a hash table.  The
+    construction runs in [O(|T|)] hash operations. *)
+
+val build : Xmldoc.Tree.t -> Synopsis.t
+(** The count-stable synopsis of the document.  Every edge average is
+    an exact integer; [Expand.exact] inverts the construction up to
+    sibling order (Lemma 3.1). *)
+
+val build_doc : Twig.Doc.t -> Synopsis.t
+(** Same, over an already-indexed document. *)
+
+val class_of_elements : Xmldoc.Tree.t -> Synopsis.t * int array
+(** [class_of_elements t] also returns the class (synopsis node id) of
+    every element, indexed by pre-order oid — used by tests and by the
+    workload sampler. *)

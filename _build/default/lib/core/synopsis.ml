@@ -1,0 +1,215 @@
+type node = {
+  label : Xmldoc.Label.t;
+  count : float;
+  edges : (int * float) array;
+}
+
+type t = {
+  nodes : node array;
+  root : int;
+}
+
+(* Size model: a node stores a label id and an element count (4 + 4
+   bytes); an edge stores a target id and an average child count
+   (4 + 4 bytes).  These constants calibrate the KB budgets quoted in
+   the experiments. *)
+let node_bytes = 8
+
+let edge_bytes = 8
+
+let num_nodes s = Array.length s.nodes
+
+let num_edges s =
+  Array.fold_left (fun acc n -> acc + Array.length n.edges) 0 s.nodes
+
+let size_bytes s = (node_bytes * num_nodes s) + (edge_bytes * num_edges s)
+
+let label s u = s.nodes.(u).label
+
+let count s u = s.nodes.(u).count
+
+let edges s u = s.nodes.(u).edges
+
+let edge_count s u v =
+  let arr = s.nodes.(u).edges in
+  (* edges are sorted by target: binary search *)
+  let rec bsearch lo hi =
+    if lo >= hi then 0.
+    else begin
+      let mid = (lo + hi) / 2 in
+      let t, k = arr.(mid) in
+      if t = v then k else if t < v then bsearch (mid + 1) hi else bsearch lo mid
+    end
+  in
+  bsearch 0 (Array.length arr)
+
+let parents s =
+  let deg = Array.make (num_nodes s) 0 in
+  Array.iter
+    (fun n -> Array.iter (fun (t, _) -> deg.(t) <- deg.(t) + 1) n.edges)
+    s.nodes;
+  let out = Array.map (fun d -> Array.make d 0) deg in
+  let fill = Array.make (num_nodes s) 0 in
+  Array.iteri
+    (fun u n ->
+      Array.iter
+        (fun (t, _) ->
+          out.(t).(fill.(t)) <- u;
+          fill.(t) <- fill.(t) + 1)
+        n.edges)
+    s.nodes;
+  out
+
+let total_elements s = Array.fold_left (fun acc n -> acc +. n.count) 0. s.nodes
+
+let is_count_stable s =
+  Array.for_all
+    (fun n ->
+      Array.for_all (fun (_, k) -> Float.equal k (Float.round k)) n.edges)
+    s.nodes
+
+let heights s =
+  let n = num_nodes s in
+  let h = Array.make n (-1) in
+  let on_stack = Array.make n false in
+  let rec visit u =
+    if h.(u) >= 0 then h.(u)
+    else if on_stack.(u) then 0 (* cycle guard: stop the walk *)
+    else begin
+      on_stack.(u) <- true;
+      let best = ref 0 in
+      Array.iter
+        (fun (t, _) ->
+          let ht = 1 + visit t in
+          if ht > !best then best := ht)
+        s.nodes.(u).edges;
+      on_stack.(u) <- false;
+      h.(u) <- !best;
+      !best
+    end
+  in
+  for u = 0 to n - 1 do
+    ignore (visit u)
+  done;
+  h
+
+let canonicalize s =
+  let n = Array.length s.nodes in
+  if n = 0 then s
+  else begin
+    (* partition refinement: blocks start as labels and split on the
+       multiset of (child block, per-element count) pairs until stable *)
+    let block = Array.init n (fun u -> Xmldoc.Label.to_int s.nodes.(u).label) in
+    let renumber keys =
+      (* compress arbitrary keys to dense block ids; returns #blocks *)
+      let tbl = Hashtbl.create n in
+      Array.iteri
+        (fun u key ->
+          let id =
+            match Hashtbl.find_opt tbl key with
+            | Some id -> id
+            | None ->
+              let id = Hashtbl.length tbl in
+              Hashtbl.add tbl key id;
+              id
+          in
+          block.(u) <- id)
+        keys;
+      Hashtbl.length tbl
+    in
+    let count_blocks = renumber (Array.map string_of_int (Array.copy block)) in
+    let blocks = ref count_blocks in
+    let changed = ref true in
+    while !changed do
+      let keys =
+        Array.mapi
+          (fun u node ->
+            let sig_edges =
+              Array.to_list node.edges
+              |> List.map (fun (t, k) -> (block.(t), k))
+              |> List.sort Stdlib.compare
+            in
+            (* fold duplicate target blocks *)
+            let rec fold = function
+              | (b1, k1) :: (b2, k2) :: tl when b1 = b2 -> fold ((b1, k1 +. k2) :: tl)
+              | x :: tl -> x :: fold tl
+              | [] -> []
+            in
+            Format.asprintf "%d|%a" block.(u)
+              (fun ppf l ->
+                List.iter (fun (b, k) -> Format.fprintf ppf "%d:%h;" b k) l)
+              (fold sig_edges))
+          s.nodes
+      in
+      let nb = renumber keys in
+      changed := nb <> !blocks;
+      blocks := nb
+    done;
+    if !blocks = n then s
+    else begin
+      (* one representative node per block; counts add *)
+      let count = Array.make !blocks 0. in
+      let repr = Array.make !blocks (-1) in
+      Array.iteri
+        (fun u node ->
+          count.(block.(u)) <- count.(block.(u)) +. node.count;
+          if repr.(block.(u)) < 0 then repr.(block.(u)) <- u)
+        s.nodes;
+      let nodes =
+        Array.init !blocks (fun b ->
+            let u = repr.(b) in
+            let tbl = Hashtbl.create 8 in
+            Array.iter
+              (fun (t, k) ->
+                let bt = block.(t) in
+                Hashtbl.replace tbl bt
+                  (k +. Option.value ~default:0. (Hashtbl.find_opt tbl bt)))
+              s.nodes.(u).edges;
+            {
+              label = s.nodes.(u).label;
+              count = count.(b);
+              edges = Array.of_list (Hashtbl.fold (fun t k acc -> (t, k) :: acc) tbl []);
+            })
+      in
+      let edges_sorted =
+        Array.map
+          (fun node ->
+            let e = Array.copy node.edges in
+            Array.sort (fun (a, _) (b, _) -> Stdlib.compare a b) e;
+            { node with edges = e })
+          nodes
+      in
+      { nodes = edges_sorted; root = block.(s.root) }
+    end
+  end
+
+let make ~root nodes =
+  let n = Array.length nodes in
+  if root < 0 || root >= n then invalid_arg "Synopsis.make: bad root";
+  let nodes =
+    Array.map
+      (fun node ->
+        Array.iter
+          (fun (t, k) ->
+            if t < 0 || t >= n then invalid_arg "Synopsis.make: bad edge target";
+            if not (k > 0.) then invalid_arg "Synopsis.make: non-positive edge count")
+          node.edges;
+        let edges = Array.copy node.edges in
+        Array.sort (fun (a, _) (b, _) -> Stdlib.compare a b) edges;
+        { node with edges })
+      nodes
+  in
+  { nodes; root }
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>synopsis: %d nodes, %d edges, %d bytes, root=%d@,"
+    (num_nodes s) (num_edges s) (size_bytes s) s.root;
+  Array.iteri
+    (fun u n ->
+      Format.fprintf ppf "  [%d] %s count=%g:" u
+        (Xmldoc.Label.to_string n.label)
+        n.count;
+      Array.iter (fun (t, k) -> Format.fprintf ppf " ->%d(%g)" t k) n.edges;
+      Format.fprintf ppf "@,")
+    s.nodes;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,84 @@
+(** Graph synopses — the shared representation of count-stable
+    summaries, TREESKETCH synopses, and query-result synopses (§3).
+
+    A synopsis is a node- and edge-labeled graph: each node [u]
+    summarizes a set of identically-labeled document elements (its
+    {e extent}) and carries [count u] = |extent(u)|; each edge [(u,v)]
+    carries the {e average} number of children in [extent v] per
+    element of [extent u] (Definition 3.2).  In a count-stable synopsis
+    every edge average is an exact integer (Definition 3.1). *)
+
+type node = {
+  label : Xmldoc.Label.t;
+  count : float;
+      (** extent cardinality.  A float: result synopses produced by
+          [EVAL_QUERY] carry fractional derived counts. *)
+  edges : (int * float) array;
+      (** outgoing edges [(target, avg_child_count)], sorted by target
+          id, averages strictly positive *)
+}
+
+type t = {
+  nodes : node array;
+  root : int;  (** the node summarizing the document root; count 1 *)
+}
+
+val node_bytes : int
+(** Storage cost charged per synopsis node (label + count). *)
+
+val edge_bytes : int
+(** Storage cost charged per synopsis edge (target + average). *)
+
+val size_bytes : t -> int
+(** The storage footprint used against construction space budgets and
+    reported on the x-axis of Figures 11–13. *)
+
+val num_nodes : t -> int
+
+val num_edges : t -> int
+
+val label : t -> int -> Xmldoc.Label.t
+
+val count : t -> int -> float
+
+val edges : t -> int -> (int * float) array
+
+val edge_count : t -> int -> int -> float
+(** [edge_count s u v] is the average on edge [(u,v)], or [0.] if
+    absent. *)
+
+val parents : t -> int array array
+(** Reverse adjacency: [ (parents s).(v) ] lists the sources of edges
+    into [v]. *)
+
+val total_elements : t -> float
+(** Sum of node counts = number of summarized document elements. *)
+
+val is_count_stable : t -> bool
+(** True iff every edge average is integral — necessary (and, for
+    synopses produced by {!Stable.build}, sufficient) for zero-error
+    expansion. *)
+
+val heights : t -> int array
+(** Per-node height: leaves are 0, otherwise 1 + max over children.
+    Nodes on cycles get the height of the longest acyclic path through
+    them, computed with a visited guard. *)
+
+val canonicalize : t -> t
+(** Coarsest count-stable quotient of the synopsis: nodes with the same
+    label and identical per-element edge counts into the same target
+    blocks are merged (extents add), computed by partition refinement.
+    For a count-stable summary of a tree this is the identity (it is
+    already minimal, Lemma 3.1); for the result synopses of
+    [EVAL_QUERY] it collapses bindings of the same variable whose
+    result sub-structure is indistinguishable — e.g. the hundreds of
+    document classes a leaf variable binds — which is required for a
+    fair ESD comparison against the (canonical) stable summary of the
+    true nesting tree. *)
+
+val make : root:int -> node array -> t
+(** Build a synopsis, normalizing edge order.  Raises [Invalid_argument]
+    if the root id is out of range or an edge target is invalid. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable dump. *)

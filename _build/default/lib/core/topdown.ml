@@ -1,0 +1,210 @@
+(* Top-down construction: label-split start, error-greedy splits.
+
+   The working state is a partition of stable-summary classes, as in
+   {!Cluster}, but only the per-cluster squared error (children part)
+   is tracked: splits never change other clusters' variances except
+   through the re-bucketing of their dimensions, which is recomputed
+   for the affected parents. *)
+
+(* Child counts of stable class [s] grouped by current cluster. *)
+let signature stable assign s =
+  let local : (int, float ref) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun (tgt, k) ->
+      let c = assign.(tgt) in
+      match Hashtbl.find_opt local c with
+      | Some cell -> cell := !cell +. k
+      | None -> Hashtbl.add local c (ref k))
+    (Synopsis.edges stable s);
+  local
+
+type cluster_stats = {
+  sq : float;  (* children-part squared error *)
+  edges : int;  (* distinct target clusters *)
+  count : float;
+}
+
+let stats_of stable assign members =
+  let acc : (int, float ref * float ref) Hashtbl.t = Hashtbl.create 8 in
+  let count = ref 0. in
+  List.iter
+    (fun s ->
+      let n_s = Synopsis.count stable s in
+      count := !count +. n_s;
+      Hashtbl.iter
+        (fun tgt k ->
+          let sum, sumsq =
+            match Hashtbl.find_opt acc tgt with
+            | Some cell -> cell
+            | None ->
+              let cell = (ref 0., ref 0.) in
+              Hashtbl.add acc tgt cell;
+              cell
+          in
+          sum := !sum +. (n_s *. !k);
+          sumsq := !sumsq +. (n_s *. !k *. !k))
+        (signature stable assign s))
+    members;
+  let sq =
+    Hashtbl.fold
+      (fun _ (sum, sumsq) total -> total +. !sumsq -. (!sum *. !sum /. !count))
+      acc 0.
+  in
+  { sq; edges = Hashtbl.length acc; count = !count }
+
+(* Split [members] on the dimension with the highest variance, at its
+   mean; None when structurally homogeneous. *)
+let split_members stable assign members =
+  if List.length members < 2 then None
+  else begin
+    let acc : (int, float ref * float ref) Hashtbl.t = Hashtbl.create 8 in
+    let total = ref 0. in
+    List.iter
+      (fun s ->
+        let w = Synopsis.count stable s in
+        total := !total +. w;
+        Hashtbl.iter
+          (fun tgt k ->
+            let sx, sxx =
+              match Hashtbl.find_opt acc tgt with
+              | Some cell -> cell
+              | None ->
+                let cell = (ref 0., ref 0.) in
+                Hashtbl.add acc tgt cell;
+                cell
+            in
+            sx := !sx +. (w *. !k);
+            sxx := !sxx +. (w *. !k *. !k))
+          (signature stable assign s))
+      members;
+    let best = ref None in
+    Hashtbl.iter
+      (fun tgt (sx, sxx) ->
+        let mean = !sx /. !total in
+        let var = (!sxx /. !total) -. (mean *. mean) in
+        match !best with
+        | Some (_, _, bv) when bv >= var -> ()
+        | _ -> if var > 1e-12 then best := Some (tgt, mean, var))
+      acc;
+    match !best with
+    | None -> None
+    | Some (tgt, mean, _) ->
+      let value s =
+        match Hashtbl.find_opt (signature stable assign s) tgt with
+        | Some k -> !k
+        | None -> 0.
+      in
+      let lo, hi = List.partition (fun s -> value s <= mean) members in
+      if lo = [] || hi = [] then None else Some (lo, hi)
+  end
+
+let build stable ~budget =
+  let n_stable = Synopsis.num_nodes stable in
+  let parents = Synopsis.parents stable in
+  (* label-split initial partition *)
+  let by_label : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let assign = Array.make n_stable 0 in
+  let n = ref 0 in
+  for s = 0 to n_stable - 1 do
+    let l = Xmldoc.Label.to_int (Synopsis.label stable s) in
+    (match Hashtbl.find_opt by_label l with
+    | Some c -> assign.(s) <- c
+    | None ->
+      Hashtbl.add by_label l !n;
+      assign.(s) <- !n;
+      incr n)
+  done;
+  let members : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  for s = n_stable - 1 downto 0 do
+    match Hashtbl.find_opt members assign.(s) with
+    | Some l -> l := s :: !l
+    | None -> Hashtbl.add members assign.(s) (ref [ s ])
+  done;
+  let stats : (int, cluster_stats) Hashtbl.t = Hashtbl.create 64 in
+  let recompute c = Hashtbl.replace stats c (stats_of stable assign !(Hashtbl.find members c)) in
+  Hashtbl.iter (fun c _ -> recompute c) members;
+  let size () =
+    Hashtbl.fold
+      (fun _ st acc ->
+        acc + Synopsis.node_bytes + (Synopsis.edge_bytes * st.edges))
+      stats 0
+  in
+  (* affected parents of a cluster: clusters owning a stable parent of
+     one of its members *)
+  let parent_clusters c =
+    let set = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+        Array.iter (fun p -> Hashtbl.replace set assign.(p) ()) parents.(s))
+      !(Hashtbl.find members c);
+    set
+  in
+  let continue_ = ref true in
+  while !continue_ && size () < budget do
+    (* split the worst cluster that can be split *)
+    let candidates =
+      Hashtbl.fold (fun c st acc -> (st.sq, c) :: acc) stats []
+      |> List.sort (fun (a, _) (b, _) -> Stdlib.compare b a)
+    in
+    let rec try_split = function
+      | [] -> false
+      | (sq, c) :: rest ->
+        if sq <= 1e-12 then false
+        else begin
+          match split_members stable assign !(Hashtbl.find members c) with
+          | None -> try_split rest
+          | Some (lo, hi) ->
+            let fresh = !n in
+            incr n;
+            Hashtbl.replace members c (ref lo);
+            Hashtbl.add members fresh (ref hi);
+            List.iter (fun s -> assign.(s) <- fresh) hi;
+            (* re-bucketed dimensions: parents of both halves *)
+            recompute c;
+            recompute fresh;
+            Hashtbl.iter (fun p () -> recompute p) (parent_clusters c);
+            Hashtbl.iter (fun p () -> recompute p) (parent_clusters fresh);
+            true
+        end
+    in
+    continue_ := try_split candidates
+  done;
+  (* export *)
+  let ids = Hashtbl.fold (fun c _ acc -> c :: acc) members [] in
+  let index = Hashtbl.create 64 in
+  List.iteri (fun i c -> Hashtbl.add index c i) ids;
+  let nodes =
+    Array.of_list
+      (List.map
+         (fun c ->
+           let mem = !(Hashtbl.find members c) in
+           let count =
+             List.fold_left (fun a s -> a +. Synopsis.count stable s) 0. mem
+           in
+           let acc : (int, float ref) Hashtbl.t = Hashtbl.create 8 in
+           List.iter
+             (fun s ->
+               let n_s = Synopsis.count stable s in
+               Hashtbl.iter
+                 (fun tgt k ->
+                   match Hashtbl.find_opt acc tgt with
+                   | Some cell -> cell := !cell +. (n_s *. !k)
+                   | None -> Hashtbl.add acc tgt (ref (n_s *. !k)))
+                 (signature stable assign s))
+             mem;
+           let edges =
+             Hashtbl.fold
+               (fun tgt sum acc ->
+                 (Hashtbl.find index tgt, !sum /. count) :: acc)
+               acc []
+           in
+           {
+             Synopsis.label = Synopsis.label stable (List.hd mem);
+             count;
+             edges = Array.of_list edges;
+           })
+         ids)
+  in
+  let total_sq = Hashtbl.fold (fun _ st acc -> acc +. st.sq) stats 0. in
+  ( Synopsis.make ~root:(Hashtbl.find index assign.(stable.Synopsis.root)) nodes,
+    total_sq )

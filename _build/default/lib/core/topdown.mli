@@ -1,0 +1,19 @@
+(** Top-down TREESKETCH construction — the alternative §4.2 considers
+    and rejects.
+
+    Instead of compressing the count-stable summary bottom-up
+    (TSBUILD), construction starts from the coarse label-split graph
+    and greedily {e splits} the cluster contributing the most squared
+    error, on its highest-variance outgoing dimension, until the budget
+    is filled.  This mirrors the XSKETCH construction discipline; the
+    paper reports that "bottom-up TREESKETCH construction yields much
+    better results, without significantly increasing construction
+    time", which the [ablation] benchmark reproduces. *)
+
+val build : Synopsis.t -> budget:int -> Synopsis.t * float
+(** [build stable ~budget] grows a synopsis from the label-split graph
+    by error-greedy splitting until the budget is reached (the final
+    split may overshoot it by one node's worth of bytes).  Returns the
+    synopsis and its squared error (same metric as
+    {!Cluster.sq_error}, so bottom-up and top-down construction are
+    directly comparable). *)

@@ -1,0 +1,24 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create () = { data = [||]; len = 0 }
+
+let length v = v.len
+
+let push v x =
+  if v.len >= Array.length v.data then begin
+    let cap = max 16 (2 * Array.length v.data) in
+    let bigger = Array.make cap x in
+    Array.blit v.data 0 bigger 0 v.len;
+    v.data <- bigger
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get";
+  v.data.(i)
+
+let to_array v = Array.sub v.data 0 v.len

@@ -1,0 +1,14 @@
+(** Minimal growable vector used by the query-evaluation builders. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val to_array : 'a t -> 'a array

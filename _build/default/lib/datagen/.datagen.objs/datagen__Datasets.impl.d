@@ -1,0 +1,1 @@
+lib/datagen/datasets.ml: Profile String

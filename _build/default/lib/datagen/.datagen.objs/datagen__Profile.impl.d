@@ -1,0 +1,1 @@
+lib/datagen/profile.ml: Float Hashtbl List Printf Random Xmldoc

@@ -1,0 +1,497 @@
+open Profile
+
+type dataset = Imdb | Xmark | Sprot | Dblp | Treebank
+
+let all = [ Imdb; Xmark; Sprot; Dblp; Treebank ]
+
+let name = function
+  | Imdb -> "IMDB"
+  | Xmark -> "XMark"
+  | Sprot -> "SwissProt"
+  | Dblp -> "DBLP"
+  | Treebank -> "TreeBank"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "imdb" -> Some Imdb
+  | "xmark" -> Some Xmark
+  | "sprot" | "swissprot" -> Some Sprot
+  | "dblp" -> Some Dblp
+  | "treebank" | "tbank" -> Some Treebank
+  | _ -> None
+
+let leaf tag = simple tag []
+
+(* ------------------------------------------------------------------ *)
+(* IMDB: movie database with a blockbuster/indie dichotomy that
+   propagates vertically (blockbuster casts are credited with roles,
+   hit series have documented episodes).                               *)
+(* ------------------------------------------------------------------ *)
+
+let imdb =
+  {
+    name = "IMDB";
+    root = "imdb";
+    max_depth = 8;
+    rules =
+      [
+        simple "imdb"
+          [
+            child ~count:(Const 900) ~scaled:true "movie";
+            child ~count:(Const 250) ~scaled:true "tvseries";
+          ];
+        (* Blockbusters have big casts, many keywords and credited
+           roles; indies few of each: sibling counts correlate within a
+           variant, and the context reaches down into the cast. *)
+        rule "movie"
+          [
+            variant ~name:"blockbuster" 0.3
+              [
+                child "title";
+                child "year";
+                child ~count:(Uniform (2, 3)) "genre";
+                child ~count:(Uniform (6, 14)) "keyword";
+                child ~bias:"big" "cast";
+                child ~count:(Uniform (1, 2)) "director";
+                child ~prob:0.9 "rating";
+                child ~prob:0.7 "trivia";
+              ];
+            variant ~name:"indie" 0.7
+              [
+                child "title";
+                child "year";
+                child ~count:(Uniform (1, 2)) "genre";
+                child ~count:(Uniform (0, 4)) "keyword";
+                child ~bias:"small" "cast";
+                child "director";
+                child ~prob:0.5 "rating";
+              ];
+          ];
+        rule "cast"
+          [
+            variant ~name:"big" 0.3
+              [ child ~count:(Uniform (8, 20)) ~bias:"credited" "actor" ];
+            variant ~name:"small" 0.7
+              [ child ~count:(Zipf (6, 1.2)) ~bias:"uncredited" "actor" ];
+          ];
+        rule "actor"
+          [
+            variant ~name:"credited" 0.4 [ child "name"; child "role" ];
+            variant ~name:"uncredited" 0.6 [ child "name" ];
+          ];
+        rule "tvseries"
+          [
+            variant ~name:"hit" 0.35
+              [
+                child "title";
+                child "year";
+                child ~count:(Uniform (3, 6)) ~bias:"documented" "season";
+                child ~count:(Uniform (2, 5)) "keyword";
+              ];
+            variant ~name:"flop" 0.65
+              [
+                child "title";
+                child "year";
+                child ~count:(Uniform (1, 2)) ~bias:"sparse" "season";
+                child ~count:(Uniform (0, 1)) "keyword";
+              ];
+          ];
+        rule "season"
+          [
+            variant ~name:"documented" 0.4
+              [ child ~count:(Uniform (8, 14)) ~bias:"aired" "episode" ];
+            variant ~name:"sparse" 0.6
+              [ child ~count:(Uniform (2, 6)) ~bias:"bare" "episode" ];
+          ];
+        rule "episode"
+          [
+            variant ~name:"aired" 0.5 [ child "title"; child "airdate" ];
+            variant ~name:"bare" 0.5 [ child "title" ];
+          ];
+        simple "director" [ child "name" ];
+        leaf "title"; leaf "year"; leaf "genre"; leaf "keyword"; leaf "name";
+        leaf "role"; leaf "rating"; leaf "trivia"; leaf "airdate";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* XMark: auction site.  Item richness depends on the region (the
+   vertical correlation), and description mark-up recurses.            *)
+(* ------------------------------------------------------------------ *)
+
+let xmark =
+  let region tag items bias_name =
+    simple tag [ child ~count:(Const items) ~scaled:true ~bias:bias_name "item" ]
+  in
+  {
+    name = "XMark";
+    root = "site";
+    max_depth = 14;
+    rules =
+      [
+        simple "site"
+          [
+            child "regions";
+            child "categories";
+            child "people";
+            child "open_auctions";
+            child "closed_auctions";
+          ];
+        simple "regions"
+          [
+            child "africa"; child "asia"; child "australia";
+            child "europe"; child "namerica"; child "samerica";
+          ];
+        region "africa" 12 "poor";
+        region "asia" 30 "poor";
+        region "australia" 18 "rich";
+        region "europe" 65 "rich";
+        region "namerica" 75 "rich";
+        region "samerica" 12 "poor";
+        rule "item"
+          [
+            variant ~name:"rich" 0.5
+              [
+                child "location";
+                child "quantity";
+                child "name";
+                child "payment";
+                child ~bias:"deep" "description";
+                child "shipping";
+                child ~count:(Uniform (3, 6)) "incategory";
+                child ~prob:0.7 "mailbox";
+              ];
+            variant ~name:"poor" 0.5
+              [
+                child "location";
+                child "quantity";
+                child "name";
+                child ~bias:"flat" "description";
+                child "incategory";
+                child ~prob:0.1 "mailbox";
+              ];
+          ];
+        simple "mailbox" [ child ~count:(Uniform (1, 4)) "mail" ];
+        simple "mail" [ child "from"; child "to"; child "date"; child "text" ];
+        (* recursive document mark-up: text or nested parlist *)
+        rule "description"
+          [
+            variant ~name:"flat" 0.85 [ child "text" ];
+            variant ~name:"deep" 0.15 [ child "parlist" ];
+          ];
+        simple "parlist" [ child ~count:(Uniform (1, 3)) "listitem" ];
+        rule "listitem"
+          [
+            variant 0.85 [ child "text" ];
+            variant 0.15 [ child "parlist" ];
+          ];
+        simple "categories" [ child ~count:(Const 25) ~scaled:true "category" ];
+        simple "category" [ child "name"; child "description" ];
+        simple "people" [ child ~count:(Const 255) ~scaled:true "person" ];
+        rule "person"
+          [
+            variant ~name:"full" 0.4
+              [
+                child "name";
+                child "emailaddress";
+                child ~prob:0.9 "phone";
+                child ~prob:0.9 "address";
+                child ~prob:0.6 "homepage";
+                child ~prob:0.9 "creditcard";
+                child ~bias:"engaged" "profile";
+                child ~prob:0.25 "watches";
+              ];
+            variant ~name:"casual" 0.6
+              [
+                child "name";
+                child "emailaddress";
+                child ~prob:0.2 "phone";
+                child ~prob:0.1 "address";
+                child ~prob:0.35 "creditcard";
+                child ~prob:0.4 ~bias:"minimal" "profile";
+              ];
+          ];
+        simple "address"
+          [ child "street"; child "city"; child "country"; child "zipcode" ];
+        rule "profile"
+          [
+            variant ~name:"engaged" 0.5
+              [
+                child ~count:(Uniform (2, 5)) "interest";
+                child ~prob:0.8 "education";
+                child ~prob:0.9 "gender";
+                child "business";
+                child ~prob:0.9 "age";
+              ];
+            variant ~name:"minimal" 0.5
+              [ child ~count:(Uniform (0, 1)) "interest"; child "business" ];
+          ];
+        simple "watches" [ child ~count:(Uniform (1, 3)) "watch" ];
+        simple "open_auctions" [ child ~count:(Const 120) ~scaled:true "open_auction" ];
+        rule "open_auction"
+          [
+            variant ~name:"contested" 0.3
+              [
+                child "initial";
+                child ~count:(Uniform (5, 12)) "bidder";
+                child "current";
+                child "itemref";
+                child "seller";
+                child ~bias:"verbose" "annotation";
+                child "quantity";
+                child "type";
+                child "interval";
+              ];
+            variant ~name:"quiet" 0.7
+              [
+                child "initial";
+                child ~count:(Uniform (0, 2)) "bidder";
+                child "current";
+                child "itemref";
+                child "seller";
+                child ~prob:0.6 ~bias:"terse" "annotation";
+                child "quantity";
+                child "type";
+                child "interval";
+              ];
+          ];
+        simple "bidder" [ child "date"; child "time"; child "increase" ];
+        rule "annotation"
+          [
+            variant ~name:"verbose" 0.4
+              [ child "author"; child ~bias:"deep" "description"; child "happiness" ];
+            variant ~name:"terse" 0.6
+              [ child "author"; child ~bias:"flat" "description" ];
+          ];
+        simple "interval" [ child "start"; child "end" ];
+        simple "closed_auctions"
+          [ child ~count:(Const 80) ~scaled:true "closed_auction" ];
+        simple "closed_auction"
+          [
+            child "seller"; child "buyer"; child "itemref"; child "price";
+            child "date"; child "quantity"; child "type";
+            child ~bias:"terse" "annotation";
+          ];
+        leaf "location"; leaf "quantity"; leaf "name"; leaf "payment";
+        leaf "shipping"; leaf "incategory"; leaf "from"; leaf "to";
+        leaf "date"; leaf "text"; leaf "emailaddress"; leaf "phone";
+        leaf "street"; leaf "city"; leaf "country"; leaf "zipcode";
+        leaf "homepage"; leaf "creditcard"; leaf "interest"; leaf "education";
+        leaf "gender"; leaf "business"; leaf "age"; leaf "watch";
+        leaf "initial"; leaf "current"; leaf "itemref"; leaf "seller";
+        leaf "buyer"; leaf "price"; leaf "type"; leaf "start"; leaf "end";
+        leaf "time"; leaf "increase"; leaf "author"; leaf "happiness";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* SwissProt: wide protein entries.  Enzyme-like and structural
+   entries carry anti-correlated feature mixes, and the entry kind
+   reaches down into reference and feature structure.                  *)
+(* ------------------------------------------------------------------ *)
+
+let sprot =
+  {
+    name = "SwissProt";
+    root = "sptr";
+    max_depth = 8;
+    rules =
+      [
+        simple "sptr" [ child ~count:(Const 700) ~scaled:true "entry" ];
+        rule "entry"
+          [
+            variant ~name:"enzyme" 0.5
+              [
+                child "ac";
+                child "mod";
+                child "descr";
+                child ~count:(Uniform (1, 2)) "species";
+                child ~count:(Uniform (1, 3)) "org";
+                child ~count:(Uniform (3, 8)) ~bias:"cited" "ref";
+                child ~count:(Uniform (2, 6)) "keyword";
+                child ~bias:"enzymatic" "features";
+              ];
+            variant ~name:"fragment" 0.5
+              [
+                child "ac";
+                child "mod";
+                child "descr";
+                child "species";
+                child "org";
+                child ~count:(Uniform (1, 2)) ~bias:"bare" "ref";
+                child ~count:(Uniform (0, 2)) "keyword";
+                child ~bias:"structural" "features";
+              ];
+          ];
+        rule "ref"
+          [
+            variant ~name:"cited" 0.5
+              [
+                child ~count:(Uniform (3, 8)) "author";
+                child "cite";
+                child ~prob:0.9 "medline";
+              ];
+            variant ~name:"bare" 0.5
+              [ child ~count:(Uniform (1, 3)) "author"; child "cite" ];
+          ];
+        (* anti-correlated feature mixes (the Figure 10 pattern at
+           data-set scale) *)
+        rule "features"
+          [
+            variant ~name:"enzymatic" 0.5
+              [
+                child ~count:(Uniform (4, 10)) ~bias:"annotated" "domain";
+                child ~count:(Uniform (0, 1)) "chain";
+                child ~count:(Uniform (0, 3)) "transmem";
+              ];
+            variant ~name:"structural" 0.5
+              [
+                child ~count:(Uniform (0, 1)) ~bias:"plain" "domain";
+                child ~count:(Uniform (4, 10)) "chain";
+                child ~count:(Uniform (0, 2)) "binding";
+              ];
+          ];
+        rule "domain"
+          [
+            variant ~name:"annotated" 0.5
+              [ child "descr"; child "from"; child "to" ];
+            variant ~name:"plain" 0.5 [ child "from"; child "to" ];
+          ];
+        simple "chain" [ child "descr"; child "from"; child "to" ];
+        simple "transmem" [ child "from"; child "to" ];
+        simple "binding" [ child "from"; child "to" ];
+        leaf "ac"; leaf "mod"; leaf "descr"; leaf "species"; leaf "org";
+        leaf "author"; leaf "cite"; leaf "medline"; leaf "keyword";
+        leaf "from"; leaf "to";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* DBLP: flat, regular bibliography.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let dblp =
+  {
+    name = "DBLP";
+    root = "dblp";
+    max_depth = 6;
+    rules =
+      [
+        simple "dblp"
+          [
+            child ~count:(Const 1500) ~scaled:true "article";
+            child ~count:(Const 1800) ~scaled:true "inproceedings";
+            child ~count:(Const 60) ~scaled:true "proceedings";
+            child ~count:(Const 25) ~scaled:true "phdthesis";
+            child ~count:(Const 40) ~scaled:true "www";
+          ];
+        simple "article"
+          [
+            child ~count:(Zipf (6, 1.0)) "author";
+            child "title";
+            child "journal";
+            child "year";
+            child ~prob:0.8 "volume";
+            child ~prob:0.7 "number";
+            child ~prob:0.85 "pages";
+            child ~prob:0.6 "ee";
+            child ~prob:0.4 "url";
+          ];
+        simple "inproceedings"
+          [
+            child ~count:(Zipf (6, 1.0)) "author";
+            child "title";
+            child "booktitle";
+            child "year";
+            child ~prob:0.85 "pages";
+            child ~prob:0.6 "ee";
+            child ~prob:0.5 "crossref";
+            child ~prob:0.3 "url";
+          ];
+        simple "proceedings"
+          [
+            child ~count:(Uniform (1, 3)) "editor";
+            child "title";
+            child "booktitle";
+            child "year";
+            child ~prob:0.8 "publisher";
+            child ~prob:0.7 "isbn";
+            child ~prob:0.5 "series";
+          ];
+        simple "phdthesis"
+          [
+            child "author"; child "title"; child "year"; child "school";
+            child ~prob:0.3 "ee";
+          ];
+        simple "www"
+          [ child ~count:(Uniform (1, 4)) "author"; child "title"; child ~prob:0.9 "url" ];
+        leaf "author"; leaf "title"; leaf "journal"; leaf "year";
+        leaf "volume"; leaf "number"; leaf "pages"; leaf "ee"; leaf "url";
+        leaf "booktitle"; leaf "crossref"; leaf "editor"; leaf "publisher";
+        leaf "isbn"; leaf "series"; leaf "school";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* TreeBank: parse trees of natural-language sentences — the deeply
+   recursive, high-entropy structure that is the classic stress case
+   for XML summarization (not part of the paper's evaluation; used by
+   the `treebank` benchmark as a beyond-the-paper hard case).          *)
+(* ------------------------------------------------------------------ *)
+
+let treebank =
+  {
+    name = "TreeBank";
+    root = "treebank";
+    max_depth = 24;
+    rules =
+      [
+        simple "treebank" [ child ~count:(Const 800) ~scaled:true "s" ];
+        (* S -> NP VP (declarative) | S CC S (coordination) | VP (imperative) *)
+        rule "s"
+          [
+            variant 0.7 [ child "np"; child "vp"; child ~prob:0.3 "punct" ];
+            variant 0.15 [ child "s"; child "cc"; child "s" ];
+            variant 0.15 [ child "vp" ];
+          ];
+        (* NP -> DT? JJ* NN | NP PP | PRP | NP SBAR *)
+        rule "np"
+          [
+            variant 0.55
+              [
+                child ~prob:0.7 "dt";
+                child ~count:(Geometric (0.6, 3)) "jj";
+                child "nn";
+              ];
+            variant 0.25 [ child "np"; child "pp" ];
+            variant 0.12 [ child "prp" ];
+            variant 0.08 [ child "np"; child "sbar" ];
+          ];
+        (* VP -> VB NP? PP* | VP PP | MD VP | VB S *)
+        rule "vp"
+          [
+            variant 0.55
+              [
+                child "vb";
+                child ~prob:0.7 "np";
+                child ~count:(Geometric (0.5, 2)) "pp";
+              ];
+            variant 0.2 [ child "vp"; child "pp" ];
+            variant 0.15 [ child "md"; child "vp" ];
+            variant 0.1 [ child "vb"; child "s" ];
+          ];
+        simple "pp" [ child "in"; child "np" ];
+        simple "sbar" [ child ~prob:0.8 "in"; child "s" ];
+        leaf "dt"; leaf "nn"; leaf "jj"; leaf "prp"; leaf "vb"; leaf "md";
+        leaf "in"; leaf "cc"; leaf "punct";
+      ];
+  }
+
+let profile = function
+  | Imdb -> imdb
+  | Xmark -> xmark
+  | Sprot -> sprot
+  | Dblp -> dblp
+  | Treebank -> treebank
+
+let generate ?seed ?scale ds = Profile.generate ?seed ?scale (profile ds)

@@ -1,0 +1,44 @@
+(** Profiles mimicking the four data sets of the paper's evaluation
+    (Table 1).
+
+    Each profile reproduces the structural traits that drive the
+    paper's experiments:
+
+    - {b IMDB}: movie/series records with skewed cast and keyword
+      fan-outs and a blockbuster/indie dichotomy (correlated sibling
+      counts);
+    - {b XMark}: the auction-site schema, including the recursive
+      [description/parlist/listitem] nesting that makes XMark's
+      count-stable summary disproportionately large (Table 1);
+    - {b SwissProt}: wide, flat protein entries with many references
+      and features — the workloads with huge binding-tuple counts
+      (Table 2) — plus anti-correlated feature mixes;
+    - {b DBLP}: a large, highly regular bibliography whose stable
+      summary is tiny relative to the document (Table 1).
+
+    [scale = 1.] yields documents in the few-tens-of-thousands of
+    elements ("TX"-like, scaled down from the paper's 100K–2M so the
+    full benchmark suite runs in minutes); benchmarks pass larger
+    scales for the Figure 13 datasets. *)
+
+type dataset =
+  | Imdb
+  | Xmark
+  | Sprot
+  | Dblp
+  | Treebank
+      (** natural-language parse trees: deeply recursive, high-entropy
+          structure — a beyond-the-paper stress case *)
+
+val all : dataset list
+
+val name : dataset -> string
+
+val of_name : string -> dataset option
+(** Case-insensitive lookup ("imdb", "xmark", "sprot" / "swissprot",
+    "dblp", "treebank"). *)
+
+val profile : dataset -> Profile.t
+
+val generate : ?seed:int -> ?scale:float -> dataset -> Xmldoc.Tree.t
+(** Deterministic per seed. *)

@@ -1,0 +1,132 @@
+type dist =
+  | Const of int
+  | Uniform of int * int
+  | Geometric of float * int
+  | Zipf of int * float
+
+type child_spec = {
+  tag : string;
+  count : dist;
+  prob : float;
+  scaled : bool;
+  bias : string option;
+}
+
+type variant = {
+  name : string option;
+  weight : float;
+  children : child_spec list;
+}
+
+let bias_strength = 0.85
+
+type rule = {
+  tag : string;
+  variants : variant list;
+}
+
+type t = {
+  name : string;
+  root : string;
+  rules : rule list;
+  max_depth : int;
+}
+
+let child ?(count = Const 1) ?(prob = 1.) ?(scaled = false) ?bias tag =
+  { tag; count; prob; scaled; bias }
+
+let variant ?name weight children = { name; weight; children }
+
+let rule tag variants =
+  if variants = [] then invalid_arg "Profile.rule: no variants";
+  { tag; variants }
+
+let simple tag children = rule tag [ { name = None; weight = 1.; children } ]
+
+let draw_dist rng = function
+  | Const n -> n
+  | Uniform (lo, hi) ->
+    if hi < lo then invalid_arg "Profile: bad Uniform bounds";
+    lo + Random.State.int rng (hi - lo + 1)
+  | Geometric (p, cap) ->
+    if not (p > 0. && p <= 1.) then invalid_arg "Profile: bad Geometric p";
+    let rec draw n =
+      if n >= cap then cap
+      else if Random.State.float rng 1. < p then n
+      else draw (n + 1)
+    in
+    draw 0
+  | Zipf (n, s) ->
+    if n < 1 then invalid_arg "Profile: bad Zipf n";
+    (* inverse-CDF sampling over 1..n with weights 1/k^s *)
+    let total = ref 0. in
+    for k = 1 to n do
+      total := !total +. (1. /. (float_of_int k ** s))
+    done;
+    let target = Random.State.float rng !total in
+    let rec find k acc =
+      if k >= n then n
+      else begin
+        let acc = acc +. (1. /. (float_of_int k ** s)) in
+        if acc >= target then k else find (k + 1) acc
+      end
+    in
+    find 1 0.
+
+let pick_variant rng variants =
+  let total = List.fold_left (fun acc v -> acc +. v.weight) 0. variants in
+  let target = Random.State.float rng total in
+  let rec find acc = function
+    | [ v ] -> v
+    | v :: rest -> if acc +. v.weight >= target then v else find (acc +. v.weight) rest
+    | [] -> assert false
+  in
+  find 0. variants
+
+let generate ?(seed = 0x5eed) ?(scale = 1.) profile =
+  let rng = Random.State.make [| seed |] in
+  let rules = Hashtbl.create 32 in
+  List.iter
+    (fun r ->
+      if Hashtbl.mem rules r.tag then
+        invalid_arg (Printf.sprintf "Profile.generate: duplicate rule for %s" r.tag);
+      Hashtbl.add rules r.tag r)
+    profile.rules;
+  let rule_of tag =
+    match Hashtbl.find_opt rules tag with
+    | Some r -> r
+    | None -> invalid_arg (Printf.sprintf "Profile.generate: no rule for tag %s" tag)
+  in
+  let rec element depth tag forced =
+    let r = rule_of tag in
+    let children =
+      if depth >= profile.max_depth then []
+      else begin
+        let variant =
+          match forced with
+          | Some forced_name
+            when Random.State.float rng 1. < bias_strength
+                 && List.exists
+                      (fun (v : variant) -> v.name = Some forced_name)
+                      r.variants ->
+            List.find (fun (v : variant) -> v.name = Some forced_name) r.variants
+          | _ -> pick_variant rng r.variants
+        in
+        List.concat_map
+          (fun spec ->
+            if Random.State.float rng 1. >= spec.prob then []
+            else begin
+              let n = draw_dist rng spec.count in
+              let n =
+                if spec.scaled then
+                  int_of_float (Float.round (float_of_int n *. scale))
+                else n
+              in
+              List.init (max 0 n) (fun _ -> element (depth + 1) spec.tag spec.bias)
+            end)
+          variant.children
+      end
+    in
+    Xmldoc.Tree.v tag children
+  in
+  element 0 profile.root None

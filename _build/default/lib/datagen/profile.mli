@@ -1,0 +1,75 @@
+(** Profile-driven synthetic XML generation.
+
+    The paper evaluates on four real data sets (IMDB, XMark, SwissProt,
+    DBLP) that are not available in this environment; {!Datasets}
+    defines profiles that mimic their documented structural traits —
+    label vocabulary, fan-out skew, optional elements, recursion, and
+    sibling-count correlations — at configurable scale.  The
+    TREESKETCH algorithms are sensitive exactly to those traits, so the
+    substitution preserves the experimental behaviour (see DESIGN.md).
+
+    A profile is a set of rules, one per element tag.  Each rule is a
+    weighted mixture of {e variants}; an element first draws a variant,
+    then materializes that variant's child specifications.  Variants
+    are what encode sibling correlations (e.g. "many reviews and few
+    sales" vs "few reviews and many sales" — the T/T2 pattern of
+    Figure 10 that selectivity-only synopses cannot tell apart). *)
+
+type dist =
+  | Const of int
+  | Uniform of int * int  (** inclusive bounds *)
+  | Geometric of float * int  (** success probability, cap *)
+  | Zipf of int * float  (** values 1..n with exponent s *)
+
+type child_spec = {
+  tag : string;
+  count : dist;
+  prob : float;  (** probability that this child group is present *)
+  scaled : bool;  (** multiply the drawn count by the generation scale *)
+  bias : string option;
+      (** vertical correlation: children generated from this spec pick
+          the named variant of their own rule with probability
+          {!bias_strength}.  This propagates structural context down
+          the tree — the correlation that clustering-based synopses
+          capture and one-level histograms cannot. *)
+}
+
+type variant = {
+  name : string option;  (** referenced by [bias] *)
+  weight : float;
+  children : child_spec list;
+}
+
+val bias_strength : float
+(** Probability that a biased child follows the named variant
+    (0.85). *)
+
+type rule = {
+  tag : string;
+  variants : variant list;  (** non-empty; weights need not sum to 1 *)
+}
+
+type t = {
+  name : string;
+  root : string;
+  rules : rule list;
+  max_depth : int;  (** recursion cut-off (root is at depth 0) *)
+}
+
+val child :
+  ?count:dist -> ?prob:float -> ?scaled:bool -> ?bias:string -> string -> child_spec
+(** Defaults: [count = Const 1], [prob = 1.], [scaled = false], no
+    bias. *)
+
+val variant : ?name:string -> float -> child_spec list -> variant
+
+val rule : string -> variant list -> rule
+
+val simple : string -> child_spec list -> rule
+(** A rule with a single variant. *)
+
+val generate : ?seed:int -> ?scale:float -> t -> Xmldoc.Tree.t
+(** Generate a document.  [scale] (default 1.0) multiplies the counts
+    of [scaled] child groups.  Same seed, same document.
+    @raise Invalid_argument if a tag lacks a rule or the profile is
+    malformed. *)

@@ -1,0 +1,1 @@
+lib/metric/esd.ml: Array Float Hashtbl List Set_distance Sketch Xmldoc

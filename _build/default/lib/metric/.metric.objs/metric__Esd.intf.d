@@ -1,0 +1,1 @@
+lib/metric/esd.mli: Sketch Xmldoc

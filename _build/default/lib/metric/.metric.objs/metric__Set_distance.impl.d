@@ -1,0 +1,1 @@
+lib/metric/set_distance.ml: Array Float List Stdlib

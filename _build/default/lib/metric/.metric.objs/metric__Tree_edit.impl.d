@@ -1,0 +1,1 @@
+lib/metric/tree_edit.ml: Array Hashtbl List Stdlib Xmldoc

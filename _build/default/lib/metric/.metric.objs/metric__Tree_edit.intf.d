@@ -1,0 +1,1 @@
+lib/metric/tree_edit.mli: Xmldoc

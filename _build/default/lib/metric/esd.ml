@@ -1,0 +1,105 @@
+module Synopsis = Sketch.Synopsis
+
+type set_metric = Mac | Mac_linear | Emd
+
+let subtree_sizes (s : Synopsis.t) =
+  let n = Synopsis.num_nodes s in
+  let sizes = Array.make n (-1.) in
+  let in_progress = Array.make n false in
+  let rec size u =
+    if sizes.(u) >= 0. then sizes.(u)
+    else if in_progress.(u) then 0. (* cycle: cut the walk *)
+    else begin
+      in_progress.(u) <- true;
+      let total =
+        Array.fold_left
+          (fun acc (v, k) -> acc +. (k *. size v))
+          1. (Synopsis.edges s u)
+      in
+      in_progress.(u) <- false;
+      sizes.(u) <- total;
+      total
+    end
+  in
+  for u = 0 to n - 1 do
+    ignore (size u)
+  done;
+  sizes
+
+let between_synopses ?(metric = Mac) (sa : Synopsis.t) (sb : Synopsis.t) =
+  let size_a = subtree_sizes sa and size_b = subtree_sizes sb in
+  let set_dist ~size ~dist u v =
+    match metric with
+    | Mac -> Set_distance.mac ~penalty:`Superlinear ~size ~dist u v
+    | Mac_linear -> Set_distance.mac ~penalty:`Linear ~size ~dist u v
+    | Emd -> Set_distance.emd ~size ~dist u v
+  in
+  (* Values compared by the set metric: Left = class of sa, Right =
+     class of sb.  Sizes price sub-tree insertion/deletion. *)
+  let value_size = function
+    | `Left u -> size_a.(u)
+    | `Right v -> size_b.(v)
+  in
+  let memo : (int * int, float) Hashtbl.t = Hashtbl.create 256 in
+  let in_progress : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  (* children of a class grouped by tag: (tag, [(class, per-element count)]) *)
+  let children_by_tag s u =
+    let tbl : (int, (int * float) list ref) Hashtbl.t = Hashtbl.create 8 in
+    Array.iter
+      (fun (v, k) ->
+        let tag = Xmldoc.Label.to_int (Synopsis.label s v) in
+        match Hashtbl.find_opt tbl tag with
+        | Some l -> l := (v, k) :: !l
+        | None -> Hashtbl.add tbl tag (ref [ (v, k) ]))
+      (Synopsis.edges s u);
+    tbl
+  in
+  let rec esd u v =
+    if not (Xmldoc.Label.equal (Synopsis.label sa u) (Synopsis.label sb v)) then
+      size_a.(u) +. size_b.(v)
+    else
+      match Hashtbl.find_opt memo (u, v) with
+      | Some d -> d
+      | None ->
+        if Hashtbl.mem in_progress (u, v) then
+          Float.abs (size_a.(u) -. size_b.(v))
+        else begin
+          Hashtbl.add in_progress (u, v) ();
+          let ca = children_by_tag sa u and cb = children_by_tag sb v in
+          let tags = Hashtbl.create 8 in
+          Hashtbl.iter (fun t _ -> Hashtbl.replace tags t ()) ca;
+          Hashtbl.iter (fun t _ -> Hashtbl.replace tags t ()) cb;
+          let ground x y =
+            match (x, y) with
+            | `Left a, `Right b | `Right b, `Left a -> esd a b
+            | `Left a, `Left a' ->
+              (* same-side distances arise only inside a set metric
+                 comparing left to right; defensive fallback *)
+              Float.abs (size_a.(a) -. size_a.(a'))
+            | `Right b, `Right b' -> Float.abs (size_b.(b) -. size_b.(b'))
+          in
+          let total =
+            Hashtbl.fold
+              (fun tag () acc ->
+                let left =
+                  match Hashtbl.find_opt ca tag with
+                  | Some l -> List.map (fun (c, k) -> (`Left c, k)) !l
+                  | None -> []
+                in
+                let right =
+                  match Hashtbl.find_opt cb tag with
+                  | Some l -> List.map (fun (c, k) -> (`Right c, k)) !l
+                  | None -> []
+                in
+                acc +. set_dist ~size:value_size ~dist:ground left right)
+              tags 0.
+          in
+          Hashtbl.remove in_progress (u, v);
+          Hashtbl.replace memo (u, v) total;
+          total
+        end
+  in
+  esd sa.Synopsis.root sb.Synopsis.root
+
+let between_trees ?metric a b =
+  between_synopses ?metric (Sketch.Stable.build a) (Sketch.Stable.build b)

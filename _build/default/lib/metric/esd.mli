@@ -1,0 +1,36 @@
+(** Element Simulation Distance (§5).
+
+    [ESD(u, v)] between two identically-labeled elements is the sum,
+    over child tags [t], of a value-set distance between the multisets
+    of [t]-children, with the ground distance between two children
+    being a recursive ESD call; missing sub-trees are priced at their
+    size, per the paper's empty-set transformation.  The distance
+    between two trees is the ESD of their roots.
+
+    Following the paper's efficiency remark, the metric is evaluated on
+    {e stable summaries}: all elements of a synopsis class share one
+    sub-tree structure, so a single memoized class-pair ESD covers
+    every element pair, and the child multisets are read directly off
+    the synopsis edges (the per-element child count of an edge is its
+    frequency — fractional for compressed or query-result synopses,
+    which is how approximate answers are scored without expansion). *)
+
+type set_metric =
+  | Mac  (** greedy match-and-compare, superlinear frequency penalty *)
+  | Mac_linear  (** same with linear penalty *)
+  | Emd  (** exact transportation distance *)
+
+val between_synopses :
+  ?metric:set_metric -> Sketch.Synopsis.t -> Sketch.Synopsis.t -> float
+(** ESD between the documents summarized by two synopses (compared at
+    their roots).  Roots with different labels are at distance
+    [size a + size b].  Cycles in compressed synopses are cut by an
+    in-progress guard that falls back to the size difference.
+    Default metric: [Mac]. *)
+
+val between_trees : ?metric:set_metric -> Xmldoc.Tree.t -> Xmldoc.Tree.t -> float
+(** Builds the stable summaries on the fly and compares them. *)
+
+val subtree_sizes : Sketch.Synopsis.t -> float array
+(** Per-class expected sub-tree size: [1 + sum_edges k * size(child)]
+    (exact for stable synopses).  Exposed for tests. *)

@@ -1,0 +1,193 @@
+type 'v multiset = ('v * float) list
+
+type penalty = [ `Linear | `Superlinear ]
+
+(* ------------------------------------------------------------------ *)
+(* MAC: greedy match-and-compare.                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* MAC as a greedy transportation with a superlinear surcharge on
+   unmatched (residual) mass.
+
+   1. Mass is matched greedily in order of increasing ground distance,
+      many-to-one allowed (the "match" phase), each unit of flow paying
+      the ground distance (capped by the cost of deleting both
+      endpoints).
+   2. Residual mass r = f - m of a value whose matched mass is m pays
+      a deletion surcharge r * amp * size, where amp = f / m when
+      m >= 1 (the superlinear multiplicity distortion that makes ESD
+      prefer correlation-preserving answers, Figure 10) and 1
+      otherwise (a value matched fractionally, or not at all, must not
+      cost more than plain deletion).  The surcharge is capped at
+      2 f * size. *)
+let mac ?(penalty = `Superlinear) ~size ~dist u v =
+  match (u, v) with
+  | [], [] -> 0.
+  | u, [] -> List.fold_left (fun acc (x, f) -> acc +. (f *. size x)) 0. u
+  | [], v -> List.fold_left (fun acc (x, f) -> acc +. (f *. size x)) 0. v
+  | u, v ->
+    let u = Array.of_list u and v = Array.of_list v in
+    let nu = Array.length u and nv = Array.length v in
+    let su = Array.map (fun (x, _) -> size x) u in
+    let sv = Array.map (fun (x, _) -> size x) v in
+    (* candidate flows, cheapest ground distance first; deleting both
+       endpoints bounds any sensible move *)
+    let cands = ref [] in
+    for i = 0 to nu - 1 do
+      for j = 0 to nv - 1 do
+        let d = Float.min (dist (fst u.(i)) (fst v.(j))) (su.(i) +. sv.(j)) in
+        cands := (d, i, j) :: !cands
+      done
+    done;
+    let cands = List.sort Stdlib.compare !cands in
+    let rem_u = Array.map snd u and rem_v = Array.map snd v in
+    let total = ref 0. in
+    List.iter
+      (fun (d, i, j) ->
+        let flow = Float.min rem_u.(i) rem_v.(j) in
+        if flow > 0. then begin
+          rem_u.(i) <- rem_u.(i) -. flow;
+          rem_v.(j) <- rem_v.(j) -. flow;
+          total := !total +. (flow *. d)
+        end)
+      cands;
+    let residual f r s =
+      if r <= 0. then 0.
+      else begin
+        let m = f -. r in
+        let amp =
+          match penalty with
+          | `Linear -> 1.
+          | `Superlinear -> if m >= 1. then f /. m else 1.
+        in
+        Float.min (r *. amp) (2. *. f) *. s
+      end
+    in
+    Array.iteri (fun i (_, f) -> total := !total +. residual f rem_u.(i) su.(i)) u;
+    Array.iteri (fun j (_, f) -> total := !total +. residual f rem_v.(j) sv.(j)) v;
+    !total
+
+(* ------------------------------------------------------------------ *)
+(* EMD: exact transportation via successive shortest paths.            *)
+(* ------------------------------------------------------------------ *)
+
+let eps = 1e-9
+
+let emd ~size ~dist u v =
+  match (u, v) with
+  | [], [] -> 0.
+  | u, [] -> List.fold_left (fun acc (x, f) -> acc +. (f *. size x)) 0. u
+  | [], v -> List.fold_left (fun acc (x, f) -> acc +. (f *. size x)) 0. v
+  | u, v ->
+    let u = Array.of_list u and v = Array.of_list v in
+    let nu = Array.length u and nv = Array.length v in
+    let tot_u = Array.fold_left (fun a (_, f) -> a +. f) 0. u in
+    let tot_v = Array.fold_left (fun a (_, f) -> a +. f) 0. v in
+    (* Transportation network: sources 0..nu (index nu = "birth" source
+       supplying mass for the surplus of v), sinks 0..nv (index nv =
+       "death" sink absorbing the surplus of u). *)
+    let ns = nu + 1 and nt = nv + 1 in
+    let supply = Array.init ns (fun i ->
+        if i < nu then snd u.(i) else Float.max 0. (tot_v -. tot_u))
+    in
+    let demand = Array.init nt (fun j ->
+        if j < nv then snd v.(j) else Float.max 0. (tot_u -. tot_v))
+    in
+    let cost i j =
+      if i < nu && j < nv then dist (fst u.(i)) (fst v.(j))
+      else if i < nu then size (fst u.(i)) (* delete a u value *)
+      else if j < nv then size (fst v.(j)) (* create a v value *)
+      else 0. (* birth -> death: moving virtual mass is free *)
+    in
+    let flow = Array.make_matrix ns nt 0. in
+    let remaining_supply = Array.copy supply and remaining_demand = Array.copy demand in
+    let total_cost = ref 0. in
+    (* Successive shortest augmenting paths on the residual network.
+       Nodes: 0..ns-1 sources, ns..ns+nt-1 sinks, plus virtual src/dst. *)
+    let nn = ns + nt + 2 in
+    let src = ns + nt and dst = ns + nt + 1 in
+    let continue_ = ref true in
+    while !continue_ do
+      (* Bellman-Ford over the residual graph *)
+      let d = Array.make nn infinity in
+      let pred = Array.make nn (-1) in
+      d.(src) <- 0.;
+      let changed = ref true in
+      let iters = ref 0 in
+      while !changed && !iters <= nn do
+        changed := false;
+        incr iters;
+        (* src -> sources with remaining supply *)
+        for i = 0 to ns - 1 do
+          if remaining_supply.(i) > eps && d.(src) < d.(i) then begin
+            d.(i) <- d.(src);
+            pred.(i) <- src;
+            changed := true
+          end
+        done;
+        for i = 0 to ns - 1 do
+          for j = 0 to nt - 1 do
+            let c = cost i j in
+            (* forward arc *)
+            if d.(i) +. c < d.(ns + j) -. eps then begin
+              d.(ns + j) <- d.(i) +. c;
+              pred.(ns + j) <- i;
+              changed := true
+            end;
+            (* residual (backward) arc *)
+            if flow.(i).(j) > eps && d.(ns + j) -. c < d.(i) -. eps then begin
+              d.(i) <- d.(ns + j) -. c;
+              pred.(i) <- ns + j;
+              changed := true
+            end
+          done
+        done;
+        for j = 0 to nt - 1 do
+          if remaining_demand.(j) > eps && d.(ns + j) < d.(dst) then begin
+            d.(dst) <- d.(ns + j);
+            pred.(dst) <- ns + j;
+            changed := true
+          end
+        done
+      done;
+      if d.(dst) = infinity then continue_ := false
+      else begin
+        (* trace the path and find the bottleneck *)
+        let rec bottleneck node acc =
+          if node = src then acc
+          else begin
+            let p = pred.(node) in
+            let amount =
+              if p = src then remaining_supply.(node)
+              else if node = dst then remaining_demand.(p - ns)
+              else if p < ns then infinity (* forward arc has no capacity *)
+              else flow.(node).(p - ns) (* backward arc limited by flow *)
+            in
+            bottleneck p (Float.min acc amount)
+          end
+        in
+        let amount = bottleneck dst infinity in
+        if amount <= eps then continue_ := false
+        else begin
+          let rec apply node =
+            if node <> src then begin
+              let p = pred.(node) in
+              if p = src then remaining_supply.(node) <- remaining_supply.(node) -. amount
+              else if node = dst then
+                remaining_demand.(p - ns) <- remaining_demand.(p - ns) -. amount
+              else if p < ns then begin
+                flow.(p).(node - ns) <- flow.(p).(node - ns) +. amount;
+                total_cost := !total_cost +. (amount *. cost p (node - ns))
+              end
+              else begin
+                flow.(node).(p - ns) <- flow.(node).(p - ns) -. amount;
+                total_cost := !total_cost -. (amount *. cost node (p - ns))
+              end;
+              apply p
+            end
+          in
+          apply dst
+        end
+      end
+    done;
+    !total_cost

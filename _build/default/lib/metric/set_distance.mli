@@ -1,0 +1,51 @@
+(** Distances between multisets of values — the building block of the
+    ESD metric (§5).
+
+    The paper computes the distance [distS(Ut, Vt)] between the
+    [t]-tagged children of two elements with a value-set metric such as
+    MAC (Ioannidis & Poosala, VLDB'99) or EMD.  Both need:
+
+    - a {e ground distance} between two values (here: a recursive ESD
+      call);
+    - a {e size} per value (here: the sub-tree size |e|), which prices
+      the insertion of a missing sub-tree, per the paper's
+      empty-set transformation [ESD(e, ev) = |e|].
+
+    Values are given as [(value, frequency)] pairs with strictly
+    positive — possibly fractional — frequencies (a synopsis edge
+    average is a fractional per-element child count).
+
+    Our MAC implementation is a match-and-compare scheme: distinct
+    values are greedily paired by ground distance; a matched pair costs
+    [min(f1,f2) * d] for the common mass plus a frequency-mismatch
+    penalty.  With the [`Superlinear] penalty the mismatch costs
+    [(hi - lo) * (hi / lo) * size]: relative multiplicity distortions
+    are punished harder, which is what lets ESD prefer the
+    correlation-preserving answer T2 over T1 in Figure 10 (the revised
+    MAC of the paper has the same qualitative behaviour; its exact
+    constants were never published).  [`Linear] drops the ratio factor
+    and makes MAC coincide with a greedy transportation cost. *)
+
+type 'v multiset = ('v * float) list
+
+type penalty = [ `Linear | `Superlinear ]
+
+val mac :
+  ?penalty:penalty ->
+  size:('v -> float) ->
+  dist:('v -> 'v -> float) ->
+  'v multiset ->
+  'v multiset ->
+  float
+(** Match-and-compare distance.  Default penalty: [`Superlinear]. *)
+
+val emd :
+  size:('v -> float) ->
+  dist:('v -> 'v -> float) ->
+  'v multiset ->
+  'v multiset ->
+  float
+(** Exact transportation (earth mover's) distance with
+    creation/deletion priced at [size v], computed with a successive-
+    shortest-path min-cost flow (exact for the small sets arising in
+    ESD computations). *)

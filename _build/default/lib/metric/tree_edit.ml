@@ -1,0 +1,92 @@
+module Tree = Xmldoc.Tree
+
+(* Post-order flattening: labels and leftmost-leaf indices, 1-based as
+   in the Zhang-Shasha formulation. *)
+type flat = {
+  labels : Xmldoc.Label.t array;  (* index 1..n *)
+  lml : int array;  (* leftmost leaf of node i *)
+  keyroots : int list;  (* ascending *)
+  n : int;
+}
+
+let flatten t =
+  let n = Tree.size t in
+  let labels = Array.make (n + 1) (Tree.label t) in
+  let lml = Array.make (n + 1) 0 in
+  let counter = ref 0 in
+  let rec visit node =
+    let kids = Tree.children node in
+    let first_leaf = ref 0 in
+    Array.iteri
+      (fun i kid ->
+        let leaf = visit kid in
+        if i = 0 then first_leaf := leaf)
+      kids;
+    incr counter;
+    let id = !counter in
+    labels.(id) <- Tree.label node;
+    lml.(id) <- (if Array.length kids = 0 then id else !first_leaf);
+    lml.(id)
+  in
+  ignore (visit t);
+  (* keyroots: nodes that are not the leftmost-descendant continuation
+     of a higher node, i.e. for each distinct lml value keep the
+     largest node having it *)
+  let best = Hashtbl.create 64 in
+  for i = 1 to n do
+    Hashtbl.replace best lml.(i) i
+  done;
+  let keyroots = Hashtbl.fold (fun _ i acc -> i :: acc) best [] in
+  { labels; lml; keyroots = List.sort Stdlib.compare keyroots; n }
+
+let distance_gen ~rename a b =
+  let fa = flatten a and fb = flatten b in
+  let td = Array.make_matrix (fa.n + 1) (fb.n + 1) 0 in
+  (* forest-distance scratch, re-used across keyroot pairs *)
+  let fd = Array.make_matrix (fa.n + 1) (fb.n + 1) 0 in
+  List.iter
+    (fun i1 ->
+      List.iter
+        (fun j1 ->
+          let li1 = fa.lml.(i1) and lj1 = fb.lml.(j1) in
+          (* fd indices: (i - li1 + 1), (j - lj1 + 1); index 0 = empty *)
+          fd.(0).(0) <- 0;
+          for i = li1 to i1 do
+            fd.(i - li1 + 1).(0) <- fd.(i - li1).(0) + 1
+          done;
+          for j = lj1 to j1 do
+            fd.(0).(j - lj1 + 1) <- fd.(0).(j - lj1) + 1
+          done;
+          for i = li1 to i1 do
+            for j = lj1 to j1 do
+              let ii = i - li1 + 1 and jj = j - lj1 + 1 in
+              if fa.lml.(i) = li1 && fb.lml.(j) = lj1 then begin
+                let r =
+                  rename
+                    (Xmldoc.Label.equal fa.labels.(i) fb.labels.(j))
+                in
+                let d =
+                  min
+                    (min (fd.(ii - 1).(jj) + 1) (fd.(ii).(jj - 1) + 1))
+                    (fd.(ii - 1).(jj - 1) + r)
+                in
+                fd.(ii).(jj) <- d;
+                td.(i).(j) <- d
+              end
+              else begin
+                let pi = fa.lml.(i) - li1 and pj = fb.lml.(j) - lj1 in
+                fd.(ii).(jj) <-
+                  min
+                    (min (fd.(ii - 1).(jj) + 1) (fd.(ii).(jj - 1) + 1))
+                    (fd.(pi).(pj) + td.(i).(j))
+              end
+            done
+          done)
+        fb.keyroots)
+    fa.keyroots;
+  td.(fa.n).(fb.n)
+
+let distance a b = distance_gen ~rename:(fun equal -> if equal then 0 else 1) a b
+
+let distance_insert_delete a b =
+  distance_gen ~rename:(fun equal -> if equal then 0 else 2) a b

@@ -1,0 +1,15 @@
+(** Tree-edit distance (Zhang & Shasha 1989) — the graph-theoretic
+    baseline metric whose unsuitability for approximate answers §5
+    demonstrates (Figure 10): syntactic edit cost treats the
+    correlation-preserving and correlation-breaking approximations as
+    equally good.
+
+    Unit costs: insert 1, delete 1, relabel 1 (0 when labels match).
+    Complexity O(n1 * n2 * min(d1, l1) * min(d2, l2)); fine for the
+    example-sized trees it is used on. *)
+
+val distance : Xmldoc.Tree.t -> Xmldoc.Tree.t -> int
+
+val distance_insert_delete : Xmldoc.Tree.t -> Xmldoc.Tree.t -> int
+(** Variant with relabeling forbidden (cost 2 via delete+insert),
+    matching the edit model used in the Figure 10 discussion. *)

@@ -1,0 +1,1 @@
+lib/query/doc.ml: Array Xmldoc

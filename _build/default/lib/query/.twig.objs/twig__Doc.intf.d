@@ -1,0 +1,1 @@
+lib/query/doc.mli: Xmldoc

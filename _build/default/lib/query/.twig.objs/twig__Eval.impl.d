@@ -1,0 +1,1 @@
+lib/query/eval.ml: Array Bytes Doc Float List Printf Stdlib Syntax Xmldoc

@@ -1,0 +1,1 @@
+lib/query/parse.ml: List Printf String Syntax Xmldoc

@@ -1,0 +1,1 @@
+lib/query/syntax.ml: Format List Xmldoc

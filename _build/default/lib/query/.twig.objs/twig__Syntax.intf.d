@@ -1,0 +1,1 @@
+lib/query/syntax.mli: Format Xmldoc

@@ -1,0 +1,61 @@
+type oid = int
+
+type t = {
+  labels : Xmldoc.Label.t array;
+  children : oid array array;
+  parent : oid array;
+  subtree : int array;  (* subtree sizes, element included *)
+  tree : Xmldoc.Tree.t;
+  height : int;
+}
+
+let of_tree tree =
+  let n = Xmldoc.Tree.size tree in
+  let labels = Array.make n (Xmldoc.Tree.label tree) in
+  let children = Array.make n [||] in
+  let parent = Array.make n (-1) in
+  let subtree = Array.make n 1 in
+  let counter = ref 0 in
+  (* Pre-order numbering; returns the subtree size of the visited node. *)
+  let rec visit par (node : Xmldoc.Tree.t) =
+    let oid = !counter in
+    incr counter;
+    labels.(oid) <- Xmldoc.Tree.label node;
+    parent.(oid) <- par;
+    let kids = Xmldoc.Tree.children node in
+    let child_oids = Array.make (Array.length kids) 0 in
+    let total = ref 1 in
+    Array.iteri
+      (fun i kid ->
+        child_oids.(i) <- !counter;
+        total := !total + visit oid kid)
+      kids;
+    children.(oid) <- child_oids;
+    subtree.(oid) <- !total;
+    !total
+  in
+  let (_ : int) = visit (-1) tree in
+  { labels; children; parent; subtree; tree; height = Xmldoc.Tree.height tree }
+
+let size d = Array.length d.labels
+
+let root (_ : t) = 0
+
+let label d oid = d.labels.(oid)
+
+let children d oid = d.children.(oid)
+
+let parent d oid = d.parent.(oid)
+
+let subtree_size d oid = d.subtree.(oid)
+
+let subtree_last d oid = oid + d.subtree.(oid) - 1
+
+let height d = d.height
+
+let iter_descendants d oid f =
+  for i = oid + 1 to subtree_last d oid do
+    f i
+  done
+
+let tree d = d.tree

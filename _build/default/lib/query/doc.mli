@@ -1,0 +1,41 @@
+(** Indexed documents for exact query evaluation.
+
+    The element nodes of a {!Xmldoc.Tree.t} are numbered in pre-order,
+    so the proper descendants of an element [e] are exactly the
+    contiguous oid range [(e + 1) .. (e + subtree_size e - 1)].  This
+    makes descendant-axis scans cache-friendly range sweeps. *)
+
+type oid = int
+(** Element identifier: the element's pre-order rank, root = 0. *)
+
+type t
+
+val of_tree : Xmldoc.Tree.t -> t
+
+val size : t -> int
+(** Total number of elements. *)
+
+val root : t -> oid
+
+val label : t -> oid -> Xmldoc.Label.t
+
+val children : t -> oid -> oid array
+
+val parent : t -> oid -> oid
+(** Parent oid; the root's parent is [-1]. *)
+
+val subtree_size : t -> oid -> int
+(** Number of elements in the subtree rooted at the oid (itself
+    included). *)
+
+val subtree_last : t -> oid -> oid
+(** Last oid (inclusive) of the element's subtree range. *)
+
+val height : t -> int
+(** Height of the document tree. *)
+
+val iter_descendants : t -> oid -> (oid -> unit) -> unit
+(** Apply a function to every proper descendant of the element. *)
+
+val tree : t -> Xmldoc.Tree.t
+(** The original tree the document was built from. *)

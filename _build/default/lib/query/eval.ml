@@ -1,0 +1,166 @@
+module Label = Xmldoc.Label
+module Tree = Xmldoc.Tree
+
+type result = {
+  selectivity : float;
+  nesting : Tree.t option;
+}
+
+exception Found
+
+(* [satisfies d e p]: does at least one embedding of [p] exist under
+   [e]?  Raises-and-catches [Found] to short-circuit range scans. *)
+let rec satisfies d e (p : Syntax.path) =
+  match p with
+  | [] -> true
+  | step :: rest -> (
+    let try_node t =
+      if
+        Label.equal (Doc.label d t) step.Syntax.label
+        && List.for_all (fun pred -> satisfies d t pred) step.preds
+        && satisfies d t rest
+      then raise Found
+    in
+    try
+      (match step.axis with
+      | Child -> Array.iter try_node (Doc.children d e)
+      | Descendant -> Doc.iter_descendants d e try_node);
+      false
+    with Found -> true)
+
+(* Elements matching one step from [e] (predicates enforced). *)
+let step_targets d e (step : Syntax.step) acc =
+  let consider t acc =
+    if
+      Label.equal (Doc.label d t) step.label
+      && List.for_all (fun pred -> satisfies d t pred) step.preds
+    then t :: acc
+    else acc
+  in
+  match step.axis with
+  | Child -> Array.fold_right consider (Doc.children d e) acc
+  | Descendant ->
+    let acc = ref acc in
+    Doc.iter_descendants d e (fun t -> acc := consider t !acc);
+    !acc
+
+let eval_path ?(dedup = true) d e (p : Syntax.path) =
+  let rec walk current = function
+    | [] -> current
+    | step :: rest ->
+      let next = List.fold_left (fun acc e -> step_targets d e step acc) [] current in
+      (* Under node-set (XPath) semantics, distinct current elements
+         sharing descendants (e.g. a //-step over nested identical
+         tags) are deduplicated.  Under witness-path semantics — the
+         counting model of the synopsis framework — every step-witness
+         path counts separately. *)
+      let next = if dedup then List.sort_uniq Stdlib.compare next else next in
+      walk next rest
+  in
+  walk [ e ] p
+
+let nesting_label var l =
+  Label.of_string (Printf.sprintf "q%d#%s" var (Label.to_string l))
+
+(* Per-(variable, element) memo tables.  [valid] uses a byte per cell:
+   0 = unknown, 1 = valid, 2 = invalid. *)
+type memo = {
+  doc : Doc.t;
+  valid : Bytes.t array;  (* indexed by var *)
+  tuples : float array array;
+  nest : Tree.t option array array;  (* None = not yet built *)
+  want_nesting : bool;
+  dedup : bool;
+}
+
+let make_memo d q ~want_nesting ~dedup =
+  let v = Syntax.num_vars q in
+  let n = Doc.size d in
+  {
+    doc = d;
+    valid = Array.init v (fun _ -> Bytes.make n '\000');
+    tuples = Array.init v (fun _ -> Array.make n nan);
+    nest =
+      (if want_nesting then Array.init v (fun _ -> Array.make n None)
+       else [||]);
+    want_nesting;
+    dedup;
+  }
+
+let rec is_valid memo (q : Syntax.node) e =
+  let cache = memo.valid.(q.var) in
+  match Bytes.get cache e with
+  | '\001' -> true
+  | '\002' -> false
+  | _ ->
+    let ok =
+      List.for_all
+        (fun (edge : Syntax.edge) ->
+          edge.optional
+          || List.exists
+               (fun t -> is_valid memo edge.target t)
+               (eval_path ~dedup:true memo.doc e edge.path))
+        q.edges
+    in
+    Bytes.set cache e (if ok then '\001' else '\002');
+    ok
+
+let rec tuples_of memo (q : Syntax.node) e =
+  let cache = memo.tuples.(q.var) in
+  let cached = cache.(e) in
+  if not (Float.is_nan cached) then cached
+  else begin
+    (* Break cycles defensively (cannot happen on tree documents with
+       downward axes, but a 0 sentinel is cheap insurance). *)
+    cache.(e) <- 0.;
+    let product =
+      List.fold_left
+        (fun acc (edge : Syntax.edge) ->
+          let sum =
+            List.fold_left
+              (fun s t ->
+                if is_valid memo edge.target t then s +. tuples_of memo edge.target t
+                else s)
+              0.
+              (eval_path ~dedup:memo.dedup memo.doc e edge.path)
+          in
+          let factor = if edge.optional then Float.max 1. sum else sum in
+          acc *. factor)
+        1. q.edges
+    in
+    cache.(e) <- product;
+    product
+  end
+
+let rec nesting_of memo (q : Syntax.node) e =
+  match memo.nest.(q.var).(e) with
+  | Some t -> t
+  | None ->
+    let children =
+      List.concat_map
+        (fun (edge : Syntax.edge) ->
+          eval_path ~dedup:memo.dedup memo.doc e edge.path
+          |> List.filter_map (fun t ->
+                 if is_valid memo edge.target t then
+                   Some (nesting_of memo edge.target t)
+                 else None))
+        q.edges
+    in
+    let node = Tree.make (nesting_label q.var (Doc.label memo.doc e)) children in
+    memo.nest.(q.var).(e) <- Some node;
+    node
+
+let run ?(dedup = true) d q =
+  let memo = make_memo d q ~want_nesting:true ~dedup in
+  let root = Doc.root d in
+  if is_valid memo q root then
+    {
+      selectivity = tuples_of memo q root;
+      nesting = Some (nesting_of memo q root);
+    }
+  else { selectivity = 0.; nesting = None }
+
+let selectivity ?(dedup = true) d q =
+  let memo = make_memo d q ~want_nesting:false ~dedup in
+  let root = Doc.root d in
+  if is_valid memo q root then tuples_of memo q root else 0.

@@ -1,0 +1,55 @@
+(** Exact twig-query evaluation over an indexed document.
+
+    This is the ground truth against which the approximate answers and
+    selectivity estimates of the synopses are measured.  The semantics
+    follow §2 of the paper:
+
+    - a binding tuple assigns an element to every query variable such
+      that every edge's path constraint holds;
+    - an element is a valid binding for a variable iff every {e
+      required} (non-dashed) outgoing edge has at least one valid
+      target;
+    - optional (dashed) edges may be empty; for tuple counting they
+      behave like an outer join (an empty optional edge contributes a
+      single null combination);
+    - the {e nesting tree} [NT(Q)] contains the elements appearing in
+      bindings, preserving their ancestor/descendant relations, with
+      each node annotated by the variable it binds. *)
+
+type result = {
+  selectivity : float;
+      (** number of binding tuples of the query (0 if the result is
+          empty).  A float because tuple counts are products of child
+          cardinalities and can exceed [max_int] on pathological
+          queries. *)
+  nesting : Xmldoc.Tree.t option;
+      (** the nesting tree, with composite labels built by
+          {!nesting_label}; [None] iff the result is empty *)
+}
+
+val run : ?dedup:bool -> Doc.t -> Syntax.t -> result
+(** Evaluate the query exactly.  [dedup] (default true) selects
+    node-set (XPath) semantics: an element reached through several
+    overlapping descendant-step witnesses counts once.  With
+    [~dedup:false], every witness path counts separately — the
+    {e witness-path} semantics that graph-synopsis frameworks
+    (including the paper's [EVAL_EMBED]) implement; the two coincide
+    whenever same-label elements do not nest along the query paths,
+    which is the common case the paper's evaluation relies on. *)
+
+val selectivity : ?dedup:bool -> Doc.t -> Syntax.t -> float
+(** Just the binding-tuple count (skips nesting-tree construction). *)
+
+val eval_path : ?dedup:bool -> Doc.t -> Doc.oid -> Syntax.path -> Doc.oid list
+(** [eval_path d e p] is the sorted list of elements reachable from
+    [e] along [p], branching predicates enforced; duplicate-free under
+    the default node-set semantics. *)
+
+val satisfies : Doc.t -> Doc.oid -> Syntax.path -> bool
+(** [satisfies d e p] tests whether at least one element is reachable
+    from [e] along [p] (short-circuiting). *)
+
+val nesting_label : int -> Xmldoc.Label.t -> Xmldoc.Label.t
+(** [nesting_label var l] is the composite label ["q<var>#<l>"] used
+    for nesting-tree nodes, so that the ESD metric only matches
+    elements bound to the same query variable (§6.1). *)

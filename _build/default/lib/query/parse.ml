@@ -1,0 +1,143 @@
+exception Error of { offset : int; message : string }
+
+type state = {
+  src : string;
+  mutable pos : int;
+}
+
+let fail st message = raise (Error { offset = st.pos; message })
+
+let eof st = st.pos >= String.length st.src
+
+let peek st = st.src.[st.pos]
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let skip_spaces st =
+  while (not (eof st)) && (peek st = ' ' || peek st = '\t' || peek st = '\n') do
+    st.pos <- st.pos + 1
+  done
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+  | _ -> false
+
+let scan_name st =
+  skip_spaces st;
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then fail st "expected an element name";
+  String.sub st.src start (st.pos - start)
+
+(* axis: '//' or '/'; [default] is used when the axis is omitted (legal
+   only for the first step of a predicate path). *)
+let scan_axis ?default st : Syntax.axis =
+  skip_spaces st;
+  if looking_at st "//" then begin
+    st.pos <- st.pos + 2;
+    Descendant
+  end
+  else if (not (eof st)) && peek st = '/' then begin
+    st.pos <- st.pos + 1;
+    Child
+  end
+  else
+    match default with
+    | Some axis -> axis
+    | None -> fail st "expected '/' or '//'"
+
+let rec scan_step ?default st : Syntax.step =
+  let axis = scan_axis ?default st in
+  let name = scan_name st in
+  let preds = ref [] in
+  skip_spaces st;
+  while (not (eof st)) && peek st = '[' do
+    st.pos <- st.pos + 1;
+    let p = scan_path ~in_pred:true st in
+    skip_spaces st;
+    if eof st || peek st <> ']' then fail st "expected ']'";
+    st.pos <- st.pos + 1;
+    preds := p :: !preds;
+    skip_spaces st
+  done;
+  { axis; label = Xmldoc.Label.of_string name; preds = List.rev !preds }
+
+and scan_path ~in_pred st : Syntax.path =
+  (* Inside a predicate the first step may omit its axis (child). *)
+  let first =
+    if in_pred then scan_step ~default:Syntax.Child st else scan_step st
+  in
+  let steps = ref [ first ] in
+  skip_spaces st;
+  while (not (eof st)) && peek st = '/' do
+    steps := scan_step st :: !steps
+  done;
+  List.rev !steps
+
+let rec scan_twig st : Syntax.edge =
+  let path = scan_path ~in_pred:false st in
+  skip_spaces st;
+  let optional =
+    if (not (eof st)) && peek st = '?' then begin
+      st.pos <- st.pos + 1;
+      true
+    end
+    else false
+  in
+  skip_spaces st;
+  let edges =
+    if (not (eof st)) && peek st = '{' then begin
+      st.pos <- st.pos + 1;
+      let subs = ref [ scan_twig st ] in
+      skip_spaces st;
+      while (not (eof st)) && peek st = ',' do
+        st.pos <- st.pos + 1;
+        subs := scan_twig st :: !subs;
+        skip_spaces st
+      done;
+      if eof st || peek st <> '}' then fail st "expected '}' or ','";
+      st.pos <- st.pos + 1;
+      List.rev !subs
+    end
+    else []
+  in
+  Syntax.edge ~optional path (Syntax.node edges)
+
+let finish st v =
+  skip_spaces st;
+  if not (eof st) then fail st "trailing characters";
+  v
+
+let path src =
+  let st = { src; pos = 0 } in
+  finish st (scan_path ~in_pred:false st)
+
+let query src =
+  let st = { src; pos = 0 } in
+  skip_spaces st;
+  let edges =
+    if (not (eof st)) && peek st = '{' then begin
+      st.pos <- st.pos + 1;
+      let subs = ref [ scan_twig st ] in
+      skip_spaces st;
+      while (not (eof st)) && peek st = ',' do
+        st.pos <- st.pos + 1;
+        subs := scan_twig st :: !subs;
+        skip_spaces st
+      done;
+      if eof st || peek st <> '}' then fail st "expected '}' or ','";
+      st.pos <- st.pos + 1;
+      List.rev !subs
+    end
+    else [ scan_twig st ]
+  in
+  finish st (Syntax.query edges)
+
+let error_to_string = function
+  | Error { offset; message } ->
+    Some (Printf.sprintf "twig parse error at offset %d: %s" offset message)
+  | _ -> None

@@ -1,0 +1,12 @@
+(** Parser for the textual twig syntax documented in {!Syntax}. *)
+
+exception Error of { offset : int; message : string }
+
+val path : string -> Syntax.path
+(** Parse a bare path, e.g. ["//a\[//b\]/c"].  @raise Error *)
+
+val query : string -> Syntax.t
+(** Parse a full twig query, e.g. ["//a\[//b\]{//p{//k?},//n?}"].
+    @raise Error *)
+
+val error_to_string : exn -> string option

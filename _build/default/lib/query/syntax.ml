@@ -1,0 +1,131 @@
+type axis = Child | Descendant
+
+type step = {
+  axis : axis;
+  label : Xmldoc.Label.t;
+  preds : path list;
+}
+
+and path = step list
+
+type edge = {
+  path : path;
+  optional : bool;
+  target : node;
+}
+
+and node = {
+  var : int;
+  edges : edge list;
+}
+
+type t = node
+
+let step ?(preds = []) axis label =
+  { axis; label = Xmldoc.Label.of_string label; preds }
+
+let child ?preds label = step ?preds Child label
+
+let desc ?preds label = step ?preds Descendant label
+
+let edge ?(optional = false) path target =
+  if path = [] then invalid_arg "Syntax.edge: empty path";
+  { path; optional; target }
+
+let node edges = { var = 0; edges }
+
+let renumber root =
+  let counter = ref 0 in
+  let rec visit n =
+    let var = !counter in
+    incr counter;
+    { var; edges = List.map (fun e -> { e with target = visit e.target }) n.edges }
+  in
+  visit root
+
+let query edges = renumber (node edges)
+
+let nodes_preorder root =
+  let rec visit acc n =
+    List.fold_left (fun acc e -> visit acc e.target) (n :: acc) n.edges
+  in
+  List.rev (visit [] root)
+
+let num_vars root = List.length (nodes_preorder root)
+
+let path_length = List.length
+
+let fold_paths f init root =
+  let rec visit acc n =
+    List.fold_left (fun acc e -> visit (f acc e.path) e.target) acc n.edges
+  in
+  visit init root
+
+let axis_string = function Child -> "/" | Descendant -> "//"
+
+let rec pp_step ppf s =
+  Format.fprintf ppf "%s%s" (axis_string s.axis) (Xmldoc.Label.to_string s.label);
+  List.iter (fun p -> Format.fprintf ppf "[%a]" pp_pred_path p) s.preds
+
+and pp_path ppf p = List.iter (pp_step ppf) p
+
+(* Inside predicates, a leading child axis is printed without the '/'
+   (the parser defaults a bare leading name to the child axis). *)
+and pp_pred_path ppf = function
+  | [] -> ()
+  | first :: rest ->
+    (match first.axis with
+    | Child -> Format.pp_print_string ppf (Xmldoc.Label.to_string first.label)
+    | Descendant ->
+      Format.fprintf ppf "//%s" (Xmldoc.Label.to_string first.label));
+    List.iter (fun p -> Format.fprintf ppf "[%a]" pp_pred_path p) first.preds;
+    pp_path ppf rest
+
+let rec pp_edge ppf e =
+  pp_path ppf e.path;
+  if e.optional then Format.pp_print_char ppf '?';
+  match e.target.edges with
+  | [] -> ()
+  | edges ->
+    Format.pp_print_char ppf '{';
+    List.iteri
+      (fun i sub ->
+        if i > 0 then Format.pp_print_char ppf ',';
+        pp_edge ppf sub)
+      edges;
+    Format.pp_print_char ppf '}'
+
+let pp ppf root =
+  match root.edges with
+  | [ e ] -> pp_edge ppf e
+  | edges ->
+    Format.pp_print_char ppf '{';
+    List.iteri
+      (fun i e ->
+        if i > 0 then Format.pp_print_char ppf ',';
+        pp_edge ppf e)
+      edges;
+    Format.pp_print_char ppf '}'
+
+let to_string q = Format.asprintf "%a" pp q
+
+let rec equal_path a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (sa : step) (sb : step) ->
+         sa.axis = sb.axis
+         && Xmldoc.Label.equal sa.label sb.label
+         && List.length sa.preds = List.length sb.preds
+         && List.for_all2 equal_path sa.preds sb.preds)
+       a b
+
+let rec equal_node a b =
+  List.length a.edges = List.length b.edges
+  && List.for_all2
+       (fun ea eb ->
+         ea.optional = eb.optional
+         && equal_path ea.path eb.path
+         && equal_node ea.target eb.target)
+       a.edges b.edges
+
+let equal = equal_node

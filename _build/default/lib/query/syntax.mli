@@ -1,0 +1,101 @@
+(** The twig-query model of the paper (§2).
+
+    A twig query is a node-labeled query tree [TQ]: each node is a
+    variable [qi] (with [q0] a distinguished root bound to the document
+    root) and each edge [(qi, qj)] carries an XPath expression
+    [path(qi, qj)] built from the child ([/]) and descendant ([//])
+    axes, with optional existential branching predicates [\[l̄\]] whose
+    [l̄] is a label path.  Following the generalized-tree-pattern
+    notation, an edge may be {e optional} ("dashed"): its emptiness does
+    not nullify the query result. *)
+
+type axis =
+  | Child  (** [/l] — direct children labeled [l] *)
+  | Descendant  (** [//l] — proper descendants labeled [l] *)
+
+type step = {
+  axis : axis;
+  label : Xmldoc.Label.t;
+  preds : path list;
+      (** existential branching predicates anchored at this step *)
+}
+
+and path = step list
+(** A non-empty sequence of steps. *)
+
+type edge = {
+  path : path;
+  optional : bool;  (** dashed edge: may be empty without nullifying *)
+  target : node;
+}
+
+and node = {
+  var : int;  (** variable index; the root is always [0] *)
+  edges : edge list;
+}
+
+type t = node
+(** A twig query — its root node (variable [q0]). *)
+
+(** {1 Construction}
+
+    The constructors below build queries with temporary variable
+    numbers; {!renumber} (applied automatically by {!query}) assigns
+    final pre-order numbers. *)
+
+val step : ?preds:path list -> axis -> string -> step
+
+val child : ?preds:path list -> string -> step
+(** [child l] is [step Child l]. *)
+
+val desc : ?preds:path list -> string -> step
+(** [desc l] is [step Descendant l]. *)
+
+val edge : ?optional:bool -> path -> node -> edge
+
+val node : edge list -> node
+
+val query : edge list -> t
+(** [query edges] is the full query: the root variable [q0] with the
+    given outgoing edges, all variables renumbered in pre-order. *)
+
+val renumber : t -> t
+(** Re-assign variable indices in pre-order starting from 0. *)
+
+(** {1 Observers} *)
+
+val num_vars : t -> int
+(** Number of variables (query nodes), root included. *)
+
+val nodes_preorder : t -> node list
+(** All query nodes, root first, in pre-order. *)
+
+val path_length : path -> int
+(** Number of steps, branching predicates not counted. *)
+
+val fold_paths : ('a -> path -> 'a) -> 'a -> t -> 'a
+(** Fold over every edge path in the query (not over predicates). *)
+
+(** {1 Printing}
+
+    The concrete syntax (accepted by {!Parse}) is:
+    {v
+      twig     ::= path '?'? ( '{' twig (',' twig)* '}' )?
+      path     ::= step+
+      step     ::= ('/' | '//') name pred*
+      pred     ::= '[' predpath ']'
+      predpath ::= firststep step*      (* leading axis may be omitted,
+                                           defaulting to child *)
+    v}
+    For example, the query of Figure 2 is
+    [//a[//b]{//p{//k?},//n?}]. *)
+
+val pp_path : Format.formatter -> path -> unit
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+(** Structural equality (variable numbers ignored, edge order
+    significant). *)

@@ -1,0 +1,185 @@
+module Synopsis = Sketch.Synopsis
+module Syntax = Twig.Syntax
+
+type params = {
+  max_vars : int;
+  max_path_len : int;
+  descendant_prob : float;
+  optional_prob : float;
+  pred_prob : float;
+}
+
+let default_params =
+  {
+    max_vars = 5;
+    max_path_len = 3;
+    descendant_prob = 0.5;
+    optional_prob = 0.3;
+    pred_prob = 0.4;
+  }
+
+(* A random downward walk of [hops] edges in the stable synopsis,
+   starting below [u]; returns the visited nodes (length <= hops, cut
+   at leaves).  Every hop follows an existing synopsis edge, so every
+   element of class [u] owns a matching path (count-stability!). *)
+let random_walk rng syn u hops =
+  let rec go u left acc =
+    let out = Synopsis.edges syn u in
+    if left = 0 || Array.length out = 0 then List.rev acc
+    else begin
+      let v, _ = out.(Random.State.int rng (Array.length out)) in
+      go v (left - 1) (v :: acc)
+    end
+  in
+  go u hops []
+
+(* Turn a walk into a path: keep the final node, keep intermediate
+   nodes with probability 1/2; a kept node at gap 1 from its
+   predecessor draws its axis, larger gaps force [//]. *)
+let path_of_walk rng params syn walk ~preds_at_end =
+  let n = List.length walk in
+  let kept =
+    List.filteri (fun i _ -> i = n - 1 || Random.State.float rng 1. < 0.5) walk
+  in
+  let walk_arr = Array.of_list walk in
+  let gap_of node prev =
+    (* distance between positions in the original walk *)
+    let pos x =
+      let rec find i = if walk_arr.(i) == x then i else find (i + 1) in
+      find 0
+    in
+    match prev with None -> pos node + 1 | Some p -> pos node - pos p
+  in
+  let rec steps prev = function
+    | [] -> []
+    | node :: rest ->
+      let gap = gap_of node prev in
+      let axis =
+        if gap > 1 then Syntax.Descendant
+        else if Random.State.float rng 1. < params.descendant_prob then
+          Syntax.Descendant
+        else Syntax.Child
+      in
+      let preds =
+        if rest = [] then preds_at_end node
+        else []
+      in
+      { Syntax.axis; label = Synopsis.label syn node; preds } :: steps (Some node) rest
+  in
+  (steps None kept, List.rev kept |> List.hd)
+
+let sample_pred rng params syn v =
+  let hops = 1 + Random.State.int rng 2 in
+  match random_walk rng syn v hops with
+  | [] -> []
+  | walk ->
+    let path, _ = path_of_walk rng params syn walk ~preds_at_end:(fun _ -> []) in
+    [ path ]
+
+(* Sample one positive query. *)
+let sample_query rng params syn =
+  let budget = ref (1 + Random.State.int rng params.max_vars) in
+  let rec grow u ~depth ~first =
+    if !budget <= 0 then None
+    else begin
+      let hops = 1 + Random.State.int rng params.max_path_len in
+      match random_walk rng syn u hops with
+      | [] -> None
+      | walk ->
+        decr budget;
+        let preds_at_end node =
+          if Random.State.float rng 1. < params.pred_prob then
+            sample_pred rng params syn node
+          else []
+        in
+        let path, end_node = path_of_walk rng params syn walk ~preds_at_end in
+        let optional =
+          (not first) && Random.State.float rng 1. < params.optional_prob
+        in
+        let fanout =
+          if depth = 0 then 1 + Random.State.int rng 2
+          else Random.State.int rng 3
+        in
+        let children =
+          List.init fanout (fun i ->
+              grow end_node ~depth:(depth + 1) ~first:(first && i = 0))
+          |> List.filter_map Fun.id
+        in
+        Some (Syntax.edge ~optional path (Syntax.node children))
+    end
+  in
+  match grow syn.Synopsis.root ~depth:0 ~first:true with
+  | None -> None
+  | Some edge -> Some (Syntax.query [ edge ])
+
+let generate_distinct rng params syn n transform =
+  let seen = Hashtbl.create (2 * n) in
+  let out = ref [] in
+  let found = ref 0 in
+  let attempts = ref 0 in
+  let max_attempts = 200 * n in
+  while !found < n && !attempts < max_attempts do
+    incr attempts;
+    match sample_query rng params syn with
+    | None -> ()
+    | Some q -> (
+      match transform q with
+      | None -> ()
+      | Some q ->
+        let key = Syntax.to_string q in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          out := q :: !out;
+          incr found
+        end)
+  done;
+  List.rev !out
+
+let positive ?(params = default_params) ~seed ~n syn =
+  let rng = Random.State.make [| seed; 0xca11 |] in
+  generate_distinct rng params syn n (fun q -> Some q)
+
+(* A label absent from any document: interned once. *)
+let absent_label = Xmldoc.Label.of_string "__no_such_element__"
+
+let negative ?(params = default_params) ~seed ~n syn =
+  let rng = Random.State.make [| seed; 0xdead |] in
+  let poison (q : Syntax.t) =
+    (* replace the last step's label on the first (required) edge *)
+    match q.edges with
+    | [] -> None
+    | edge :: rest ->
+      let rec replace_last = function
+        | [] -> []
+        | [ (step : Syntax.step) ] -> [ { step with label = absent_label } ]
+        | step :: tl -> step :: replace_last tl
+      in
+      Some
+        (Syntax.renumber
+           {
+             q with
+             edges = { edge with path = replace_last edge.path } :: rest;
+           })
+  in
+  generate_distinct rng params syn n poison
+
+type stats = {
+  queries : int;
+  avg_binding_tuples : float;
+  positive_fraction : float;
+}
+
+let measure doc queries =
+  let total = ref 0. and pos = ref 0 in
+  List.iter
+    (fun q ->
+      let s = Twig.Eval.selectivity doc q in
+      total := !total +. s;
+      if s > 0. then incr pos)
+    queries;
+  let n = List.length queries in
+  {
+    queries = n;
+    avg_binding_tuples = (if n = 0 then 0. else !total /. float_of_int n);
+    positive_fraction = (if n = 0 then 0. else float_of_int !pos /. float_of_int n);
+  }

@@ -1,0 +1,1 @@
+lib/xml/parser.ml: Char Fun Label List Printf String Tree

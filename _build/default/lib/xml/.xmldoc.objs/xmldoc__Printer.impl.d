@@ -1,0 +1,1 @@
+lib/xml/printer.ml: Array Buffer Fun Label String Tree

@@ -1,0 +1,1 @@
+lib/xml/stats.ml: Array Format Hashtbl List Option Printer Stdlib Tree

@@ -1,0 +1,1 @@
+lib/xml/tree.ml: Array Format Hashtbl Label List Stdlib

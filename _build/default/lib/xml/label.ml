@@ -1,0 +1,36 @@
+type t = int
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 256
+
+let names : string array ref = ref (Array.make 256 "")
+
+let next = ref 0
+
+let of_string s =
+  match Hashtbl.find_opt table s with
+  | Some id -> id
+  | None ->
+    let id = !next in
+    incr next;
+    if id >= Array.length !names then begin
+      let bigger = Array.make (2 * Array.length !names) "" in
+      Array.blit !names 0 bigger 0 (Array.length !names);
+      names := bigger
+    end;
+    !names.(id) <- s;
+    Hashtbl.add table s id;
+    id
+
+let to_string id = !names.(id)
+
+let to_int id = id
+
+let equal (a : int) (b : int) = a = b
+
+let compare (a : int) (b : int) = Stdlib.compare a b
+
+let hash (id : int) = id
+
+let count () = !next
+
+let pp ppf id = Format.pp_print_string ppf (to_string id)

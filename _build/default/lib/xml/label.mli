@@ -1,0 +1,34 @@
+(** Interned element labels (tags).
+
+    Every distinct tag string is mapped to a small integer once, so that
+    label comparison — the innermost operation of every algorithm in this
+    repository — is a single integer comparison.  The interning table is
+    global and append-only; labels are never garbage collected. *)
+
+type t = private int
+(** An interned label.  The representation is exposed as [private int] so
+    that labels can be used directly as array indices and hash keys. *)
+
+val of_string : string -> t
+(** [of_string s] interns [s], returning the existing label if [s] was
+    seen before. *)
+
+val to_string : t -> string
+(** [to_string l] is the tag string [l] was interned from. *)
+
+val to_int : t -> int
+(** [to_int l] is the integer identity of [l] (unique per distinct tag). *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order on labels.  The order is interning order, not
+    lexicographic order of the underlying strings. *)
+
+val hash : t -> int
+
+val count : unit -> int
+(** Number of distinct labels interned so far. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the underlying tag string. *)

@@ -1,0 +1,209 @@
+exception Error of { line : int; column : int; message : string }
+
+(* Hand-rolled recursive-descent scanner over a string.  Position
+   tracking is maintained lazily: we record only the byte offset and
+   recover line/column when raising. *)
+
+type state = {
+  src : string;
+  mutable pos : int;
+}
+
+let position st upto =
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to min upto (String.length st.src) - 1 do
+    if st.src.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
+
+let fail st message =
+  let line, column = position st st.pos in
+  raise (Error { line; column; message })
+
+let eof st = st.pos >= String.length st.src
+
+let peek st = st.src.[st.pos]
+
+let advance st = st.pos <- st.pos + 1
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | c -> Char.code c >= 128
+
+let is_name_char c =
+  is_name_start c
+  || match c with '0' .. '9' | '-' | '.' -> true | _ -> false
+
+let skip_spaces st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done
+
+let expect st c =
+  if eof st || peek st <> c then
+    fail st (Printf.sprintf "expected %C" c)
+  else advance st
+
+let scan_name st =
+  if eof st || not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+(* Skip until the terminator string [stop] is found (inclusive). *)
+let skip_until st stop =
+  let n = String.length stop in
+  let limit = String.length st.src - n in
+  let rec search i =
+    if i > limit then fail st (Printf.sprintf "unterminated construct, expected %S" stop)
+    else if String.sub st.src i n = stop then st.pos <- i + n
+    else search (i + 1)
+  in
+  search st.pos
+
+(* Attributes: name = "value" | name = 'value'.  Values are discarded. *)
+let skip_attributes st =
+  let rec loop () =
+    skip_spaces st;
+    if eof st then fail st "unterminated start tag"
+    else
+      match peek st with
+      | '>' | '/' -> ()
+      | _ ->
+        let _name = scan_name st in
+        skip_spaces st;
+        if (not (eof st)) && peek st = '=' then begin
+          advance st;
+          skip_spaces st;
+          (match if eof st then '\000' else peek st with
+          | ('"' | '\'') as quote ->
+            advance st;
+            (try
+               while peek st <> quote do
+                 advance st
+               done
+             with Invalid_argument _ -> fail st "unterminated attribute value");
+            advance st
+          | _ -> fail st "expected a quoted attribute value")
+        end;
+        loop ()
+  in
+  loop ()
+
+(* Skip non-element content between tags: text, comments, CDATA and
+   processing instructions.  Returns when positioned at a '<' that opens
+   an element start/end tag, or at end of input. *)
+let rec skip_misc st =
+  while (not (eof st)) && peek st <> '<' do
+    advance st
+  done;
+  if not (eof st) then begin
+    if st.pos + 1 < String.length st.src then
+      match st.src.[st.pos + 1] with
+      | '!' ->
+        if
+          st.pos + 3 < String.length st.src
+          && String.sub st.src st.pos 4 = "<!--"
+        then begin
+          st.pos <- st.pos + 4;
+          skip_until st "-->";
+          skip_misc st
+        end
+        else if
+          st.pos + 8 < String.length st.src
+          && String.sub st.src st.pos 9 = "<![CDATA["
+        then begin
+          st.pos <- st.pos + 9;
+          skip_until st "]]>";
+          skip_misc st
+        end
+        else begin
+          (* DOCTYPE or other declaration: skip to the matching '>'.
+             Internal subsets in brackets are handled by nesting count. *)
+          let depth = ref 0 in
+          (try
+             while
+               not (peek st = '>' && !depth = 0)
+             do
+               (match peek st with
+               | '[' -> incr depth
+               | ']' -> decr depth
+               | _ -> ());
+               advance st
+             done
+           with Invalid_argument _ -> fail st "unterminated declaration");
+          advance st;
+          skip_misc st
+        end
+      | '?' ->
+        st.pos <- st.pos + 2;
+        skip_until st "?>";
+        skip_misc st
+      | _ -> ()
+  end
+
+(* Parse one element, positioned at its '<'. *)
+let rec parse_element st =
+  expect st '<';
+  let name = scan_name st in
+  skip_attributes st;
+  if eof st then fail st "unterminated start tag";
+  if peek st = '/' then begin
+    advance st;
+    expect st '>';
+    Tree.leaf (Label.of_string name)
+  end
+  else begin
+    expect st '>';
+    let children = ref [] in
+    let rec content () =
+      skip_misc st;
+      if eof st then fail st (Printf.sprintf "missing </%s>" name)
+      else if st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = '/'
+      then begin
+        st.pos <- st.pos + 2;
+        let close = scan_name st in
+        if close <> name then
+          fail st (Printf.sprintf "mismatched tags: <%s> closed by </%s>" name close);
+        skip_spaces st;
+        expect st '>'
+      end
+      else begin
+        children := parse_element st :: !children;
+        content ()
+      end
+    in
+    content ();
+    Tree.make (Label.of_string name) (List.rev !children)
+  end
+
+let of_string src =
+  let st = { src; pos = 0 } in
+  skip_misc st;
+  if eof st then fail st "no root element";
+  let root = parse_element st in
+  skip_misc st;
+  if not (eof st) then fail st "content after the root element";
+  root
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let src = really_input_string ic len in
+      of_string src)
+
+let error_to_string = function
+  | Error { line; column; message } ->
+    Some (Printf.sprintf "XML parse error at line %d, column %d: %s" line column message)
+  | _ -> None

@@ -1,0 +1,27 @@
+(** A small, dependency-free parser for the element structure of XML.
+
+    The paper's algorithms only look at the label structure of a
+    document, so this parser deliberately implements the subset of
+    XML 1.0 needed to recover it:
+
+    - elements: [<tag ...>...</tag>] and [<tag ... />];
+    - attributes are scanned and discarded;
+    - text content, comments, CDATA sections, processing instructions
+      and the DOCTYPE declaration are skipped;
+    - entities inside text are not expanded (text is discarded anyway).
+
+    A document must have exactly one root element. *)
+
+exception Error of { line : int; column : int; message : string }
+(** Raised on malformed input, with a 1-based source position. *)
+
+val of_string : string -> Tree.t
+(** Parse a document held in memory.  @raise Error on malformed input. *)
+
+val of_file : string -> Tree.t
+(** Parse a document from a file.  @raise Error on malformed input,
+    [Sys_error] if the file cannot be read. *)
+
+val error_to_string : exn -> string option
+(** [error_to_string e] renders [e] if it is an {!Error}, for
+    human-facing diagnostics. *)

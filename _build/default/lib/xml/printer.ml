@@ -1,0 +1,52 @@
+let rec emit buf indent level (t : Tree.t) =
+  let pad () =
+    if indent > 0 then begin
+      if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (indent * level) ' ')
+    end
+  in
+  pad ();
+  let tag = Label.to_string (Tree.label t) in
+  let kids = Tree.children t in
+  if Array.length kids = 0 then begin
+    Buffer.add_char buf '<';
+    Buffer.add_string buf tag;
+    Buffer.add_string buf "/>"
+  end
+  else begin
+    Buffer.add_char buf '<';
+    Buffer.add_string buf tag;
+    Buffer.add_char buf '>';
+    Array.iter (emit buf indent (level + 1)) kids;
+    pad ();
+    Buffer.add_string buf "</";
+    Buffer.add_string buf tag;
+    Buffer.add_char buf '>'
+  end
+
+let to_buffer ?(indent = 0) buf t = emit buf indent 0 t
+
+let to_string ?indent t =
+  let buf = Buffer.create 1024 in
+  to_buffer ?indent buf t;
+  Buffer.contents buf
+
+let to_file ?indent path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "<?xml version=\"1.0\"?>\n";
+      let buf = Buffer.create 65536 in
+      to_buffer ?indent buf t;
+      Buffer.output_buffer oc buf;
+      output_char oc '\n')
+
+(* <tag/> costs |tag| + 3 bytes; <tag>...</tag> costs 2|tag| + 5. *)
+let serialized_size t =
+  Tree.fold_pre
+    (fun acc n ->
+      let len = String.length (Label.to_string (Tree.label n)) in
+      if Array.length (Tree.children n) = 0 then acc + len + 3
+      else acc + (2 * len) + 5)
+    0 t

@@ -1,0 +1,17 @@
+(** Serialization of {!Tree.t} back to XML text. *)
+
+val to_buffer : ?indent:int -> Buffer.t -> Tree.t -> unit
+(** [to_buffer ~indent buf t] appends the XML rendering of [t] to
+    [buf].  [indent] is the number of spaces per nesting level;
+    [~indent:0] (the default) produces compact single-line output with
+    no whitespace between elements. *)
+
+val to_string : ?indent:int -> Tree.t -> string
+
+val to_file : ?indent:int -> string -> Tree.t -> unit
+(** [to_file path t] writes [t] to [path], prefixed with an XML
+    declaration. *)
+
+val serialized_size : Tree.t -> int
+(** Number of bytes of the compact serialization — the "file size"
+    statistic of Table 1, computed without materializing the string. *)

@@ -1,0 +1,54 @@
+type t = {
+  elements : int;
+  height : int;
+  distinct_labels : int;
+  max_fanout : int;
+  avg_fanout : float;
+  leaves : int;
+  serialized_bytes : int;
+}
+
+let compute tree =
+  let elements = ref 0 in
+  let leaves = ref 0 in
+  let max_fanout = ref 0 in
+  let internal = ref 0 in
+  let fanout_sum = ref 0 in
+  Tree.iter
+    (fun n ->
+      incr elements;
+      let f = Array.length (Tree.children n) in
+      if f = 0 then incr leaves
+      else begin
+        incr internal;
+        fanout_sum := !fanout_sum + f;
+        if f > !max_fanout then max_fanout := f
+      end)
+    tree;
+  {
+    elements = !elements;
+    height = Tree.height tree;
+    distinct_labels = List.length (Tree.distinct_labels tree);
+    max_fanout = !max_fanout;
+    avg_fanout =
+      (if !internal = 0 then 0. else float_of_int !fanout_sum /. float_of_int !internal);
+    leaves = !leaves;
+    serialized_bytes = Printer.serialized_size tree;
+  }
+
+let label_histogram tree =
+  let counts = Hashtbl.create 64 in
+  Tree.iter
+    (fun n ->
+      let l = Tree.label n in
+      Hashtbl.replace counts l (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)))
+    tree;
+  Hashtbl.fold (fun l c acc -> (l, c) :: acc) counts []
+  |> List.sort (fun (_, a) (_, b) -> Stdlib.compare b a)
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>elements: %d@,height: %d@,distinct labels: %d@,max fanout: %d@,\
+     avg fanout: %.2f@,leaves: %d@,serialized bytes: %d@]"
+    s.elements s.height s.distinct_labels s.max_fanout s.avg_fanout s.leaves
+    s.serialized_bytes

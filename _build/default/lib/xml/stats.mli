@@ -1,0 +1,19 @@
+(** Document statistics used by Table 1 and by the data generators'
+    self-checks. *)
+
+type t = {
+  elements : int;  (** total number of element nodes *)
+  height : int;  (** tree height, leaf = 0 *)
+  distinct_labels : int;
+  max_fanout : int;
+  avg_fanout : float;  (** over internal (non-leaf) nodes *)
+  leaves : int;
+  serialized_bytes : int;  (** size of the compact XML serialization *)
+}
+
+val compute : Tree.t -> t
+
+val label_histogram : Tree.t -> (Label.t * int) list
+(** Occurrences per label, sorted by decreasing count. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,96 @@
+type t = {
+  label : Label.t;
+  children : t array;
+}
+
+let make_arr label children = { label; children }
+
+let make label children = { label; children = Array.of_list children }
+
+let leaf label = { label; children = [||] }
+
+let v tag children = make (Label.of_string tag) children
+
+let label t = t.label
+
+let children t = t.children
+
+let rec size t = Array.fold_left (fun acc c -> acc + size c) 1 t.children
+
+let rec height t =
+  Array.fold_left (fun acc c -> max acc (1 + height c)) 0 t.children
+
+let rec fold_pre f acc t =
+  let acc = f acc t in
+  Array.fold_left (fold_pre f) acc t.children
+
+let rec fold_post f acc t =
+  let acc = Array.fold_left (fold_post f) acc t.children in
+  f acc t
+
+let iter f t = fold_pre (fun () n -> f n) () t
+
+let count_label l t =
+  fold_pre (fun acc n -> if Label.equal n.label l then acc + 1 else acc) 0 t
+
+let distinct_labels t =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  iter
+    (fun n ->
+      if not (Hashtbl.mem seen n.label) then begin
+        Hashtbl.add seen n.label ();
+        order := n.label :: !order
+      end)
+    t;
+  List.rev !order
+
+let rec equal a b =
+  Label.equal a.label b.label
+  && Array.length a.children = Array.length b.children
+  && begin
+    let n = Array.length a.children in
+    let rec loop i = i >= n || (equal a.children.(i) b.children.(i) && loop (i + 1)) in
+    loop 0
+  end
+
+(* The canonical order sorts children recursively, so isomorphic trees
+   (modulo sibling order) compare equal.  Sorting is done on the fly; for
+   the sizes used in tests this is fast enough. *)
+let rec compare_canonical a b =
+  let c = Label.compare a.label b.label in
+  if c <> 0 then c
+  else begin
+    let sort arr =
+      let copy = Array.copy arr in
+      Array.sort compare_canonical copy;
+      copy
+    in
+    let ca = sort a.children and cb = sort b.children in
+    let c = Stdlib.compare (Array.length ca) (Array.length cb) in
+    if c <> 0 then c
+    else begin
+      let n = Array.length ca in
+      let rec loop i =
+        if i >= n then 0
+        else
+          let c = compare_canonical ca.(i) cb.(i) in
+          if c <> 0 then c else loop (i + 1)
+      in
+      loop 0
+    end
+  end
+
+let equal_unordered a b = compare_canonical a b = 0
+
+let rec pp ppf t =
+  Label.pp ppf t.label;
+  if Array.length t.children > 0 then begin
+    Format.pp_print_char ppf '(';
+    Array.iteri
+      (fun i c ->
+        if i > 0 then Format.pp_print_char ppf ',';
+        pp ppf c)
+      t.children;
+    Format.pp_print_char ppf ')'
+  end

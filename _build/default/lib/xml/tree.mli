@@ -1,0 +1,75 @@
+(** Node-labeled ordered trees — the XML data model of the paper (§2).
+
+    A document is a tree [T(V, E)] where every node carries a label and
+    edges capture element containment.  Values (text content) are outside
+    the scope of the paper and of this reproduction; the parser drops
+    them.  Children are ordered (document order) although none of the
+    algorithms here depend on the order. *)
+
+type t = private {
+  label : Label.t;
+  children : t array;
+}
+
+val make : Label.t -> t list -> t
+(** [make label children] builds an element node. *)
+
+val make_arr : Label.t -> t array -> t
+(** Like {!make} but takes ownership of the array (no copy). *)
+
+val leaf : Label.t -> t
+(** [leaf label] is an element with no children. *)
+
+val v : string -> t list -> t
+(** [v tag children] is [make (Label.of_string tag) children] — the
+    convenient constructor used by tests and examples. *)
+
+val label : t -> Label.t
+
+val children : t -> t array
+
+(** {1 Measures} *)
+
+val size : t -> int
+(** Number of element nodes in the tree (including the root). *)
+
+val height : t -> int
+(** [height t] is [0] for a leaf and [1 + max (height children)]
+    otherwise — the "depth" notion used by [CREATEPOOL] (§4.2). *)
+
+val count_label : Label.t -> t -> int
+(** Number of nodes carrying the given label. *)
+
+val distinct_labels : t -> Label.t list
+(** All labels occurring in the tree, each once, in discovery order. *)
+
+(** {1 Traversals} *)
+
+val fold_pre : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over all nodes. *)
+
+val fold_post : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Post-order fold over all nodes: children are visited (recursively)
+    before their parent, mirroring [BUILD_STABLE]'s traversal. *)
+
+val iter : (t -> unit) -> t -> unit
+(** Pre-order iteration. *)
+
+(** {1 Comparisons} *)
+
+val equal : t -> t -> bool
+(** Structural equality: same labels, same children in the same order. *)
+
+val equal_unordered : t -> t -> bool
+(** Isomorphism that ignores sibling order — the equivalence of
+    Lemma 3.1 ([Expand (Build_stable t)] is isomorphic to [t]).
+    Runs in [O(n log n)] per level via sorted canonical keys. *)
+
+val compare_canonical : t -> t -> int
+(** A total order compatible with {!equal_unordered}: two trees are
+    equal under this order iff they are isomorphic modulo sibling
+    order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact one-line rendering, e.g. [a(b,c(d))] — for debugging and
+    test failure messages. *)

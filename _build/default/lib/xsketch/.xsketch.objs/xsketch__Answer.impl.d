@@ -1,0 +1,1 @@
+lib/xsketch/answer.ml: Array Bytes Estimate Float Fun Hashtbl Histogram List Model Random Twig Xmldoc

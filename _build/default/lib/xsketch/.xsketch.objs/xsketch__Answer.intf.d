@@ -1,0 +1,1 @@
+lib/xsketch/answer.mli: Model Twig Xmldoc

@@ -1,0 +1,1 @@
+lib/xsketch/builder.ml: Array Estimate Float Fun Hashtbl Histogram List Model Sketch Stdlib Twig Xmldoc

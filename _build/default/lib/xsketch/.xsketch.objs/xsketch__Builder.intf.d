@@ -1,0 +1,1 @@
+lib/xsketch/builder.mli: Model Sketch Twig

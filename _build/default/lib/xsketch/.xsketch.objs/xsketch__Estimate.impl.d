@@ -1,0 +1,1 @@
+lib/xsketch/estimate.ml: Array Float Hashtbl Histogram List Model Twig Xmldoc

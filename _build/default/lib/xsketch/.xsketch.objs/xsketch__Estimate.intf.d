@@ -1,0 +1,1 @@
+lib/xsketch/estimate.mli: Model Twig

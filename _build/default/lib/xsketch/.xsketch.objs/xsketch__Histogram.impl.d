@@ -1,0 +1,1 @@
+lib/xsketch/histogram.ml: Array Float Hashtbl List Stdlib

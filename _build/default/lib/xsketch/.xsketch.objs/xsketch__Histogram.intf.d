@@ -1,0 +1,1 @@
+lib/xsketch/histogram.mli:

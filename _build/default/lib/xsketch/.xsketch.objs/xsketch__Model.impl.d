@@ -1,0 +1,1 @@
+lib/xsketch/model.ml: Array Format Histogram Sketch Xmldoc

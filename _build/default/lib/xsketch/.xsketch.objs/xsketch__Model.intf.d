@@ -1,0 +1,1 @@
+lib/xsketch/model.mli: Format Histogram Xmldoc

@@ -1,0 +1,180 @@
+module Syntax = Twig.Syntax
+module Tree = Xmldoc.Tree
+
+(* Approximate answers per the §6.1 description: for each element of
+   the result tree and each query edge, the {e number of descendants}
+   along the edge's path is sampled from the recorded edge histograms —
+   one count draw per hop of a path embedding, multiplied along the
+   embedding (the per-hop independence that histogram synopses impose
+   on multi-hop structure).  Bound elements are then materialized and
+   recurse independently.  Intermediate (unbound) elements never
+   materialize, exactly like in a nesting tree. *)
+
+type ctx = {
+  xs : Model.t;
+  rng : Random.State.t;
+  max_hops : int;
+  mutable budget : int;
+  reach : (int, Bytes.t) Hashtbl.t;
+}
+
+let reachable ctx label =
+  let key = Xmldoc.Label.to_int label in
+  match Hashtbl.find_opt ctx.reach key with
+  | Some b -> b
+  | None ->
+    let n = Model.num_nodes ctx.xs in
+    let b = Bytes.make n '\000' in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for v = 0 to n - 1 do
+        if Bytes.get b v = '\000' then begin
+          let hit =
+            Array.exists
+              (fun (w, _) ->
+                Xmldoc.Label.equal (Model.label ctx.xs w) label
+                || Bytes.get b w = '\001')
+              (Model.edges ctx.xs v)
+          in
+          if hit then begin
+            Bytes.set b v '\001';
+            changed := true
+          end
+        end
+      done
+    done;
+    Hashtbl.add ctx.reach key b;
+    b
+
+(* One draw of the child count along dimension [j] of node [u]: pick a
+   bucket by weight, read the dimension, randomized rounding for the
+   residual bucket's fractional counts. *)
+let draw_count ctx u j =
+  let h = Model.hist ctx.xs u in
+  match h with
+  | [] -> 0
+  | h ->
+    let target = Random.State.float ctx.rng 1. in
+    let rec pick acc = function
+      | [ (b : Histogram.bucket) ] -> b
+      | b :: rest ->
+        if acc +. b.Histogram.weight >= target then b else pick (acc +. b.weight) rest
+      | [] -> assert false
+    in
+    let c = (pick 0. h).counts.(j) in
+    let base = int_of_float (Float.floor c) in
+    let frac = c -. Float.floor c in
+    base + if frac > 0. && Random.State.float ctx.rng 1. < frac then 1 else 0
+
+let binomial ctx n p =
+  if p >= 1. then n
+  else begin
+    let k = ref 0 in
+    for _ = 1 to n do
+      if Random.State.float ctx.rng 1. < p then incr k
+    done;
+    !k
+  end
+
+(* Sampled number of path matches per end node, for ONE parent element:
+   one count draw per hop, multiplied along each embedding. *)
+let rec sample_matches ctx u (p : Syntax.path) : (int * int) list =
+  match p with
+  | [] -> [ (u, 1) ]
+  | step :: rest ->
+    let acc : (int, int ref) Hashtbl.t = Hashtbl.create 8 in
+    let add v n =
+      if n > 0 then
+        match Hashtbl.find_opt acc v with
+        | Some cell -> cell := !cell + n
+        | None -> Hashtbl.add acc v (ref n)
+    in
+    (* [through w mult]: the embedding reached node [w] carrying
+       [mult] sampled copies of the hop products so far. *)
+    let matched w mult =
+      (* branch predicates thin the count *)
+      let mult =
+        List.fold_left
+          (fun m pred ->
+            if m = 0 then 0
+            else begin
+              let s = Estimate.path_prob ~max_hops:ctx.max_hops ctx.xs w pred in
+              binomial ctx m s
+            end)
+          mult step.preds
+      in
+      if mult > 0 then
+        List.iter (fun (e, n) -> add e (mult * n)) (sample_matches ctx w rest)
+    in
+    let hop u j mult = mult * draw_count ctx u j in
+    (match step.axis with
+    | Child ->
+      Array.iteri
+        (fun j (w, _) ->
+          if Xmldoc.Label.equal (Model.label ctx.xs w) step.label then begin
+            let m = hop u j 1 in
+            if m > 0 then matched w m
+          end)
+        (Model.edges ctx.xs u)
+    | Descendant ->
+      let reach = reachable ctx step.label in
+      let rec dfs v mult hops =
+        if hops > 0 && mult > 0 && mult < 1_000_000 then
+          Array.iteri
+            (fun j (w, _) ->
+              let is_match =
+                Xmldoc.Label.equal (Model.label ctx.xs w) step.label
+              in
+              let can_reach = Bytes.get reach w = '\001' in
+              if is_match || can_reach then begin
+                let m = hop v j mult in
+                if m > 0 then begin
+                  if is_match then matched w m;
+                  if can_reach then dfs w m (hops - 1)
+                end
+              end)
+            (Model.edges ctx.xs v)
+      in
+      dfs u 1 ctx.max_hops);
+    Hashtbl.fold (fun v n out -> (v, !n) :: out) acc []
+
+let rec sample_binding ctx v (qn : Syntax.node) =
+  if ctx.budget <= 0 then None
+  else begin
+    ctx.budget <- ctx.budget - 1;
+    let results =
+      List.map
+        (fun (e : Syntax.edge) ->
+          let children =
+            sample_matches ctx v e.path
+            |> List.concat_map (fun (w, n) ->
+                   List.init (min n ctx.budget) (fun _ -> sample_binding ctx w e.target))
+            |> List.filter_map Fun.id
+          in
+          (e, children))
+        qn.edges
+    in
+    let invalid =
+      List.exists
+        (fun ((e : Syntax.edge), children) -> (not e.optional) && children = [])
+        results
+    in
+    if invalid then None
+    else begin
+      let children = List.concat_map snd results in
+      Some (Tree.make (Twig.Eval.nesting_label qn.var (Model.label ctx.xs v)) children)
+    end
+  end
+
+let sample ?(seed = 1) ?(max_hops = 20) ?(max_nodes = 300_000) xs q =
+  let ctx =
+    {
+      xs;
+      rng = Random.State.make [| seed; 0x5a3 |];
+      max_hops;
+      budget = max_nodes;
+      reach = Hashtbl.create 8;
+    }
+  in
+  sample_binding ctx xs.Model.root q

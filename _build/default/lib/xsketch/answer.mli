@@ -1,0 +1,21 @@
+(** Approximate answers from a twig-XSKETCH (§6.1).
+
+    The original twig-XSKETCH work targeted selectivity only; following
+    the comparison methodology of the TREESKETCH paper, an approximate
+    {e answer} is produced by traversing the query tree and {e sampling}
+    the number of descendants of every result element from the recorded
+    edge histograms.  The output is a concrete nesting tree (with the
+    composite [q<var>#label] labels), directly comparable to the true
+    nesting tree under ESD. *)
+
+val sample :
+  ?seed:int ->
+  ?max_hops:int ->
+  ?max_nodes:int ->
+  Model.t ->
+  Twig.Syntax.t ->
+  Xmldoc.Tree.t option
+(** Sample one approximate nesting tree.  [None] when the sampled
+    answer is empty (a required variable found no bindings).
+    [max_nodes] (default 300_000) truncates runaway expansions;
+    [max_hops] (default 20) bounds descendant-step depth. *)

@@ -1,0 +1,421 @@
+module Synopsis = Sketch.Synopsis
+
+type params = {
+  candidates_per_round : int;
+  bucket_increment : int;
+  initial_buckets : int;
+  max_buckets : int;
+  max_rounds : int;
+  stable_dims_only : bool;
+}
+
+let default_params =
+  {
+    candidates_per_round = 32;
+    bucket_increment = 2;
+    initial_buckets = 1;
+    max_buckets = 8;
+    max_rounds = 100_000;
+    stable_dims_only = true;
+  }
+
+type training = (Twig.Syntax.t * float) list
+
+(* Working state: a partition of the stable summary's nodes. *)
+type state = {
+  stable : Synopsis.t;
+  stable_parents : int array array;
+  stable_dims_only : bool;
+  mutable members : int list array;  (* per cluster *)
+  mutable buckets : int array;  (* per cluster bucket budget *)
+  assign : int array;  (* stable node -> cluster *)
+  mutable n : int;  (* number of clusters *)
+}
+
+(* Per-member signature: child counts grouped by target cluster. *)
+let signature st s =
+  let local : (int, float ref) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun (tgt, k) ->
+      let c = st.assign.(tgt) in
+      match Hashtbl.find_opt local c with
+      | Some cell -> cell := !cell +. k
+      | None -> Hashtbl.add local c (ref k))
+    (Synopsis.edges st.stable s);
+  local
+
+(* Build the Xsketch node for cluster [c]: edges, averages, histogram. *)
+let export_node st c =
+  let members = st.members.(c) in
+  let count =
+    List.fold_left (fun acc s -> acc +. Synopsis.count st.stable s) 0. members
+  in
+  (* collect target dims *)
+  let dim_index : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let dims = ref [] in
+  List.iter
+    (fun s ->
+      Hashtbl.iter
+        (fun tgt _ ->
+          if not (Hashtbl.mem dim_index tgt) then begin
+            Hashtbl.add dim_index tgt (Hashtbl.length dim_index);
+            dims := tgt :: !dims
+          end)
+        (signature st s))
+    members;
+  let ndims = Hashtbl.length dim_index in
+  let dim_targets = Array.make ndims 0 in
+  List.iter (fun tgt -> dim_targets.(Hashtbl.find dim_index tgt) <- tgt) !dims;
+  let sigs =
+    List.map
+      (fun s ->
+        let vec = Array.make ndims 0. in
+        Hashtbl.iter
+          (fun tgt k -> vec.(Hashtbl.find dim_index tgt) <- !k)
+          (signature st s);
+        (vec, Synopsis.count st.stable s))
+      members
+  in
+  (* B/F-stability gate (the original model): the joint distribution is
+     only recorded across stable dimensions; an unstable dimension
+     carries its average only (its bucket coordinates are flattened to
+     the mean, which also lets duplicate buckets coalesce). *)
+  let sigs =
+    if not st.stable_dims_only then sigs
+    else begin
+      let total_w =
+        List.fold_left (fun a (_, w) -> a +. w) 0. sigs
+      in
+      let stable_dim = Array.make ndims true in
+      Array.iteri
+        (fun j tgt ->
+          (* F-stable: every element of c has a child in tgt *)
+          let f_stable = List.for_all (fun (vec, _) -> vec.(j) >= 1.) sigs in
+          (* B-stable: every element of tgt has its parents in c *)
+          let b_stable =
+            List.for_all
+              (fun t ->
+                Array.for_all (fun p -> st.assign.(p) = c) st.stable_parents.(t))
+              st.members.(tgt)
+          in
+          stable_dim.(j) <- f_stable && b_stable)
+        dim_targets;
+      if Array.for_all Fun.id stable_dim then sigs
+      else begin
+        let means = Array.make ndims 0. in
+        List.iter
+          (fun (vec, w) ->
+            Array.iteri (fun j v -> means.(j) <- means.(j) +. (w *. v)) vec)
+          sigs;
+        Array.iteri (fun j m -> means.(j) <- m /. total_w) means;
+        List.map
+          (fun (vec, w) ->
+            (Array.mapi (fun j v -> if stable_dim.(j) then v else means.(j)) vec, w))
+          sigs
+      end
+    end
+  in
+  let hist = Histogram.of_signatures sigs ~max_buckets:st.buckets.(c) in
+  let edges =
+    Array.init ndims (fun j ->
+        (dim_targets.(j), Histogram.mean hist j))
+    |> Array.to_list
+    |> List.filter (fun (_, avg) -> avg > 0.)
+    |> Array.of_list
+  in
+  (* keep histogram dims aligned with the (possibly filtered) edges *)
+  let keep =
+    Array.init ndims (fun j -> Histogram.mean hist j > 0.)
+  in
+  let filter_vec vec =
+    let out = ref [] in
+    Array.iteri (fun j v -> if keep.(j) then out := v :: !out) vec;
+    Array.of_list (List.rev !out)
+  in
+  let hist =
+    List.map
+      (fun (b : Histogram.bucket) -> { b with counts = filter_vec b.counts })
+      hist
+  in
+  let label =
+    match members with
+    | s :: _ -> Synopsis.label st.stable s
+    | [] -> invalid_arg "Builder.export_node: empty cluster"
+  in
+  { Model.label; count; edges; hist }
+
+let export st =
+  let nodes = Array.init st.n (fun c -> export_node st c) in
+  Model.make ~root:st.assign.(st.stable.Synopsis.root) nodes
+
+let size_of_state st = Model.size_bytes (export st)
+
+(* ------------------------------------------------------------------ *)
+(* Candidates                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type refinement =
+  | Split of int  (** split cluster on its highest-variance dimension *)
+  | More_buckets of int
+
+(* Partition members of [c] along its highest-variance dimension at the
+   mean; returns the two member lists or None if structurally
+   homogeneous. *)
+let split_members st c =
+  let members = st.members.(c) in
+  if List.length members < 2 then None
+  else begin
+    (* per-dim weighted mean/variance *)
+    let acc : (int, float ref * float ref * float ref) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    List.iter
+      (fun s ->
+        let w = Synopsis.count st.stable s in
+        Hashtbl.iter
+          (fun tgt k ->
+            let sw, sx, sxx =
+              match Hashtbl.find_opt acc tgt with
+              | Some cell -> cell
+              | None ->
+                let cell = (ref 0., ref 0., ref 0.) in
+                Hashtbl.add acc tgt cell;
+                cell
+            in
+            sw := !sw +. w;
+            sx := !sx +. (w *. !k);
+            sxx := !sxx +. (w *. !k *. !k))
+          (signature st s))
+      members;
+    let total_w =
+      List.fold_left (fun a s -> a +. Synopsis.count st.stable s) 0. members
+    in
+    let best = ref None in
+    Hashtbl.iter
+      (fun tgt (_, sx, sxx) ->
+        (* variance over the whole extent (absent dims count as 0) *)
+        let mean = !sx /. total_w in
+        let var = (!sxx /. total_w) -. (mean *. mean) in
+        match !best with
+        | Some (_, _, bv) when bv >= var -> ()
+        | _ -> if var > 1e-12 then best := Some (tgt, mean, var))
+      acc;
+    match !best with
+    | None -> None
+    | Some (tgt, mean, _) ->
+      let value s =
+        match Hashtbl.find_opt (signature st s) tgt with
+        | Some k -> !k
+        | None -> 0.
+      in
+      let lo, hi = List.partition (fun s -> value s <= mean) members in
+      if lo = [] || hi = [] then None else Some (lo, hi)
+  end
+
+let apply st = function
+  | More_buckets c -> st.buckets.(c) <- st.buckets.(c) + 1
+  | Split c -> (
+    match split_members st c with
+    | None -> ()
+    | Some (lo, hi) ->
+      let fresh = st.n in
+      st.n <- st.n + 1;
+      if fresh >= Array.length st.members then begin
+        let grow arr fill =
+          let bigger = Array.make (2 * Array.length arr) fill in
+          Array.blit arr 0 bigger 0 (Array.length arr);
+          bigger
+        in
+        st.members <- grow st.members [];
+        st.buckets <- grow st.buckets 0
+      end;
+      st.members.(c) <- lo;
+      st.members.(fresh) <- hi;
+      st.buckets.(fresh) <- st.buckets.(c);
+      List.iter (fun s -> st.assign.(s) <- fresh) hi)
+
+(* error of a synopsis on the training workload *)
+let workload_error xs training =
+  let n = List.length training in
+  if n = 0 then 0.
+  else begin
+    let total =
+      List.fold_left
+        (fun acc (q, truth) ->
+          let est = Estimate.tuples xs q in
+          acc +. (Float.abs (truth -. est) /. Float.max truth 1.))
+        0. training
+    in
+    total /. float_of_int n
+  end
+
+(* cheap pre-score used to shortlist candidates before the expensive
+   workload evaluation *)
+let prescore st = function
+  | More_buckets c ->
+    (* favor big clusters with tight bucket budgets (saturated
+       histograms) *)
+    float_of_int (List.length st.members.(c)) /. float_of_int st.buckets.(c)
+  | Split c -> (
+    match split_members st c with
+    | None -> neg_infinity
+    | Some (lo, hi) -> float_of_int (min (List.length lo) (List.length hi)))
+
+let candidates params st =
+  let out = ref [] in
+  for c = 0 to st.n - 1 do
+    if List.length st.members.(c) > 1 then begin
+      out := Split c :: !out;
+      if st.buckets.(c) < params.max_buckets then out := More_buckets c :: !out
+    end
+  done;
+  !out
+
+let make_state stable ~initial_buckets ~stable_dims_only =
+  let n_stable = Synopsis.num_nodes stable in
+  let by_label : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let assign = Array.make n_stable 0 in
+  let count = ref 0 in
+  for s = 0 to n_stable - 1 do
+    let l = Xmldoc.Label.to_int (Synopsis.label stable s) in
+    let c =
+      match Hashtbl.find_opt by_label l with
+      | Some c -> c
+      | None ->
+        let c = !count in
+        incr count;
+        Hashtbl.add by_label l c;
+        c
+    in
+    assign.(s) <- c
+  done;
+  let members = Array.make (max 1 (2 * !count)) [] in
+  for s = n_stable - 1 downto 0 do
+    members.(assign.(s)) <- s :: members.(assign.(s))
+  done;
+  {
+    stable;
+    stable_parents = Synopsis.parents stable;
+    stable_dims_only;
+    members;
+    buckets = Array.make (Array.length members) initial_buckets;
+    assign;
+    n = !count;
+  }
+
+let label_split stable ~initial_buckets =
+  export (make_state stable ~initial_buckets ~stable_dims_only:true)
+
+let make_trial st r params =
+  let trial =
+    {
+      st with
+      members = Array.copy st.members;
+      buckets = Array.copy st.buckets;
+      assign = Array.copy st.assign;
+    }
+  in
+  (match r with
+  | More_buckets c -> trial.buckets.(c) <- trial.buckets.(c) + params.bucket_increment - 1
+  | Split _ -> ());
+  apply trial r;
+  export trial
+
+let build_gen params stable ~training ~on_step ~stop =
+  let st =
+    make_state stable ~initial_buckets:params.initial_buckets
+      ~stable_dims_only:params.stable_dims_only
+  in
+  on_step st;
+  let rounds = ref 0 in
+  let exhausted = ref false in
+  while (not (stop st)) && (not !exhausted) && !rounds < params.max_rounds do
+    incr rounds;
+    let cands =
+      candidates params st
+      |> List.map (fun r -> (prescore st r, r))
+      |> List.filter (fun (sc, _) -> sc > neg_infinity)
+      |> List.sort (fun (a, _) (b, _) -> Stdlib.compare b a)
+    in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: tl -> x :: take (n - 1) tl
+    in
+    match take params.candidates_per_round cands with
+    | [] -> exhausted := true
+    | top ->
+      (* full workload evaluation of each shortlisted refinement *)
+      let scored =
+        List.map
+          (fun (_, r) ->
+            let trial = make_trial st r params in
+            let err = workload_error trial training in
+            (err, r))
+          top
+      in
+      let best_err, best =
+        List.fold_left
+          (fun (be, br) (e, r) -> if e < be then (e, r) else (be, br))
+          (infinity, snd (List.hd scored))
+          scored
+      in
+      ignore best_err;
+      apply st best;
+      (match best with
+      | More_buckets c -> st.buckets.(c) <- st.buckets.(c) + params.bucket_increment - 1
+      | Split _ -> ());
+      on_step st
+  done;
+  st
+
+let build ?(params = default_params) stable ~training ~budget =
+  let st =
+    build_gen params stable ~training
+      ~on_step:(fun _ -> ())
+      ~stop:(fun st -> size_of_state st >= budget)
+  in
+  export st
+
+let build_with_checkpoints ?(params = default_params) stable ~training ~budgets =
+  let sorted = List.sort_uniq Stdlib.compare budgets in
+  let results = Hashtbl.create 8 in
+  let remaining = ref sorted in
+  let last : Model.t option ref = ref None in
+  let on_step st =
+    let xs = export st in
+    last := Some xs;
+    let size = Model.size_bytes xs in
+    let rec note () =
+      match !remaining with
+      | b :: rest when size >= b ->
+        (* first synopsis at or above the budget: keep the previous one
+           (the largest fitting the budget), or this one if none *)
+        let chosen =
+          match Hashtbl.find_opt results (-b) with Some s -> s | None -> xs
+        in
+        Hashtbl.replace results b chosen;
+        remaining := rest;
+        note ()
+      | b :: _ ->
+        (* remember the latest synopsis still under budget b *)
+        Hashtbl.replace results (-b) xs
+      | [] -> ()
+    in
+    note ()
+  in
+  let final_budget = List.fold_left max 0 sorted in
+  let st =
+    build_gen params stable ~training ~on_step ~stop:(fun st ->
+        size_of_state st >= final_budget)
+  in
+  let final = export st in
+  List.map
+    (fun b ->
+      match Hashtbl.find_opt results b with
+      | Some s -> (b, s)
+      | None -> (
+        match Hashtbl.find_opt results (-b) with
+        | Some s -> (b, s)
+        | None -> (b, final)))
+    budgets

@@ -1,0 +1,68 @@
+(** Top-down, workload-driven twig-XSKETCH construction.
+
+    Following the original proposal (as summarized in §3.1 and §6.1 of
+    the TREESKETCH paper), construction starts from the coarse
+    {e label-split graph} (one node per tag) and greedily applies
+    refinement operations until the space budget is filled:
+
+    - {e node splits}: a node is split on its highest-variance outgoing
+      dimension (members with child count above/below the mean part
+      ways), sharpening both structure and histograms;
+    - {e histogram refinements}: a node's bucket budget is increased,
+      letting its joint histogram keep more exact buckets.
+
+    Candidate refinements are ranked by the {e estimation error of the
+    resulting synopsis on a training workload} — the expensive
+    workload-driven evaluation step that Table 3 blames for
+    twig-XSKETCH's high construction times (and that TSBUILD's
+    workload-independent squared-error metric avoids).
+
+    Like TSBUILD, the builder reads extents and exact signatures off
+    the count-stable summary rather than the base document. *)
+
+type params = {
+  candidates_per_round : int;
+      (** how many top-scoring candidates get the full workload
+          evaluation each round *)
+  bucket_increment : int;  (** buckets added by a histogram refinement *)
+  initial_buckets : int;  (** bucket budget of label-split nodes *)
+  max_buckets : int;
+      (** per-node bucket ceiling.  The original system kept per-node
+          histograms small (high-dimensional joint spaces defeat
+          fine-grained buckets — the weakness §6.2 points at); budget
+          beyond this must go to structural splits. *)
+  max_rounds : int;  (** safety stop *)
+  stable_dims_only : bool;
+      (** faithful-2004 mode (default true): joint bucket distributions
+          are recorded only across B/F-stable dimensions, as in the
+          original model ("edge distribution information ... across
+          different stable ancestor or descendant edges"); unstable
+          dimensions carry their average only.  [false] yields the
+          modernized baseline used as an ablation in EXPERIMENTS.md. *)
+}
+
+val default_params : params
+
+type training = (Twig.Syntax.t * float) list
+(** Training workload: queries with their true selectivities. *)
+
+val label_split : Sketch.Synopsis.t -> initial_buckets:int -> Model.t
+(** The coarsest synopsis: one node per label. *)
+
+val build :
+  ?params:params ->
+  Sketch.Synopsis.t ->
+  training:training ->
+  budget:int ->
+  Model.t
+(** Grow a twig-XSKETCH from the label-split graph up to [budget]
+    bytes, guided by the training workload. *)
+
+val build_with_checkpoints :
+  ?params:params ->
+  Sketch.Synopsis.t ->
+  training:training ->
+  budgets:int list ->
+  (int * Model.t) list
+(** One growth pass snapshotting at each budget (ascending); returns
+    [(budget, xsketch)] in the order given. *)

@@ -1,0 +1,237 @@
+module Syntax = Twig.Syntax
+
+(* All estimation happens as expectations of demand products over a
+   node's joint bucket histogram.  A demand maps a bucket's count
+   vector (aligned with the node's edge array) to a factor. *)
+
+type ctx = {
+  xs : Model.t;
+  max_hops : int;
+  (* memo tables for the descendant-step recursions, keyed by
+     (node, path suffix).  Paths are small; structural hashing is
+     fine. *)
+  desc_val : (int * Syntax.step * Syntax.path * int * int, float) Hashtbl.t;
+      (* key: node, //-step, remaining path, hops left, terminal-value id *)
+  desc_prob : (int * Syntax.step * Syntax.path, float) Hashtbl.t;
+  (* memo for query-node tuple values, keyed by (node, var) *)
+  tup_memo : (int * int, float) Hashtbl.t;
+}
+
+let joint ctx v demands =
+  match demands with
+  | [] -> 1.
+  | demands ->
+    let h = Model.hist ctx.xs v in
+    if h = [] then
+      (* leaf with no outgoing edges: evaluate demands on an empty
+         vector *)
+      List.fold_left (fun acc d -> acc *. d [||]) 1. demands
+    else
+      Histogram.expectation h (fun c ->
+          List.fold_left (fun acc d -> acc *. d c) 1. demands)
+
+(* [value_demand ctx v step rest tv] and friends build, for a node
+   [v], the demand corresponding to one query path.  [tv] is the value
+   collected at each final match. *)
+
+(* Terminal values carry an id so memo entries for different query
+   contexts with equal path suffixes do not collide. *)
+let rec path_value_at ctx v (p : Syntax.path) (tv : int * (int -> float)) =
+  (* expected sum of tv over matches of p, for one element of v *)
+  match p with
+  | [] -> snd tv v
+  | _ -> joint ctx v [ value_demand ctx v p tv ]
+
+(* demand (over v's buckets) for the first step of [p] *)
+and value_demand ctx v (p : Syntax.path) tv =
+  match p with
+  | [] -> fun _ -> 1.
+  | step :: rest ->
+    let edges = Model.edges ctx.xs v in
+    (match step.axis with
+    | Child ->
+      let per_child =
+        Array.map
+          (fun (w, _) ->
+            if Xmldoc.Label.equal (Model.label ctx.xs w) step.label then
+              with_preds_value ctx w step.preds rest tv
+            else 0.)
+          edges
+      in
+      fun c ->
+        let sum = ref 0. in
+        Array.iteri (fun j m -> if m <> 0. then sum := !sum +. (c.(j) *. m)) per_child;
+        !sum
+    | Descendant ->
+      let per_child =
+        Array.map
+          (fun (w, _) ->
+            let direct =
+              if Xmldoc.Label.equal (Model.label ctx.xs w) step.label then
+                with_preds_value ctx w step.preds rest tv
+              else 0.
+            in
+            direct +. desc_value ctx w step rest tv ctx.max_hops)
+          edges
+      in
+      fun c ->
+        let sum = ref 0. in
+        Array.iteri (fun j m -> if m <> 0. then sum := !sum +. (c.(j) *. m)) per_child;
+        !sum)
+
+(* value through deeper descendants of [v] for a //-step *)
+and desc_value ctx v step rest tv hops =
+  if hops <= 0 then 0.
+  else begin
+    let key = (v, step, rest, hops, fst tv) in
+    match Hashtbl.find_opt ctx.desc_val key with
+    | Some x -> x
+    | None ->
+      Hashtbl.add ctx.desc_val key 0. (* cycle cut *) ;
+      let edges = Model.edges ctx.xs v in
+      let per_child =
+        Array.map
+          (fun (w, _) ->
+            let direct =
+              if Xmldoc.Label.equal (Model.label ctx.xs w) step.Syntax.label then
+                with_preds_value ctx w step.preds rest tv
+              else 0.
+            in
+            direct +. desc_value ctx w step rest tv (hops - 1))
+          edges
+      in
+      let demand c =
+        let sum = ref 0. in
+        Array.iteri (fun j m -> if m <> 0. then sum := !sum +. (c.(j) *. m)) per_child;
+        !sum
+      in
+      let x = joint ctx v [ demand ] in
+      Hashtbl.replace ctx.desc_val key x;
+      x
+  end
+
+(* value of [rest] from [w], jointly with the step's branch predicates
+   (all consume w's dimensions in one expectation) *)
+and with_preds_value ctx w preds rest tv =
+  let pred_demands = List.map (fun p -> prob_demand ctx w p) preds in
+  match rest with
+  | [] ->
+    (* the match is w itself; predicates gate it *)
+    joint ctx w pred_demands *. snd tv w
+  | _ -> joint ctx w (value_demand ctx w rest tv :: pred_demands)
+
+(* ---- existence probabilities ---- *)
+
+and path_prob_at ctx v (p : Syntax.path) =
+  match p with [] -> 1. | _ -> joint ctx v [ prob_demand ctx v p ]
+
+and prob_demand ctx v (p : Syntax.path) =
+  match p with
+  | [] -> fun _ -> 1.
+  | step :: rest ->
+    let edges = Model.edges ctx.xs v in
+    let per_child =
+      Array.map
+        (fun (w, _) ->
+          match step.Syntax.axis with
+          | Child ->
+            if Xmldoc.Label.equal (Model.label ctx.xs w) step.label then
+              with_preds_prob ctx w step.preds rest
+            else 0.
+          | Descendant ->
+            let direct =
+              if Xmldoc.Label.equal (Model.label ctx.xs w) step.label then
+                with_preds_prob ctx w step.preds rest
+              else 0.
+            in
+            let deeper = desc_prob ctx w step rest in
+            1. -. ((1. -. direct) *. (1. -. deeper)))
+        edges
+    in
+    fun c ->
+      let miss = ref 1. in
+      Array.iteri
+        (fun j q ->
+          if q > 0. then miss := !miss *. ((1. -. Float.min 1. q) ** c.(j)))
+        per_child;
+      1. -. !miss
+
+and desc_prob ctx v step rest =
+  let key = (v, step, rest) in
+  match Hashtbl.find_opt ctx.desc_prob key with
+  | Some x -> x
+  | None ->
+    Hashtbl.add ctx.desc_prob key 0. (* cycle cut *) ;
+    let edges = Model.edges ctx.xs v in
+    let per_child =
+      Array.map
+        (fun (w, _) ->
+          let direct =
+            if Xmldoc.Label.equal (Model.label ctx.xs w) step.Syntax.label then
+              with_preds_prob ctx w step.preds rest
+            else 0.
+          in
+          let deeper = desc_prob ctx w step rest in
+          1. -. ((1. -. direct) *. (1. -. deeper)))
+        edges
+    in
+    let demand c =
+      let miss = ref 1. in
+      Array.iteri
+        (fun j q ->
+          if q > 0. then miss := !miss *. ((1. -. Float.min 1. q) ** c.(j)))
+        per_child;
+      1. -. !miss
+    in
+    let x = joint ctx v [ demand ] in
+    Hashtbl.replace ctx.desc_prob key x;
+    x
+
+and with_preds_prob ctx w preds rest =
+  let pred_demands = List.map (fun p -> prob_demand ctx w p) preds in
+  match rest with
+  | [] -> joint ctx w pred_demands
+  | _ -> joint ctx w (prob_demand ctx w rest :: pred_demands)
+
+(* ---- query tuples ---- *)
+
+let rec tup ctx v (qn : Syntax.node) =
+  let key = (v, qn.var) in
+  match Hashtbl.find_opt ctx.tup_memo key with
+  | Some x -> x
+  | None ->
+    Hashtbl.add ctx.tup_memo key 0. (* cycle cut for recursive labels *) ;
+    let demands =
+      List.map
+        (fun (e : Syntax.edge) ->
+          let d =
+            value_demand ctx v e.path
+              (e.target.var, fun w -> tup ctx w e.target)
+          in
+          if e.optional then fun c -> Float.max 1. (d c) else d)
+        qn.edges
+    in
+    let x = joint ctx v demands in
+    Hashtbl.replace ctx.tup_memo key x;
+    x
+
+let make_ctx ?(max_hops = 20) xs =
+  {
+    xs;
+    max_hops;
+    desc_val = Hashtbl.create 256;
+    desc_prob = Hashtbl.create 256;
+    tup_memo = Hashtbl.create 64;
+  }
+
+let tuples ?max_hops xs q =
+  let ctx = make_ctx ?max_hops xs in
+  tup ctx xs.Model.root q
+
+let path_prob ?max_hops xs v p =
+  let ctx = make_ctx ?max_hops xs in
+  path_prob_at ctx v p
+
+let path_count ?max_hops xs v p =
+  let ctx = make_ctx ?max_hops xs in
+  path_value_at ctx v p (-1, fun _ -> 1.)

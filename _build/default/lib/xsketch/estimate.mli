@@ -1,0 +1,23 @@
+(** Twig selectivity estimation over a twig-XSKETCH.
+
+    The estimator mirrors the methodology of the original paper
+    (illustrated in §3.1: [sel(Q) = |extent(A)| * sum_b,c H_A(b) *
+    H_B(c|b) * b * c]): within each synopsis node, all query demands
+    that consume that node's outgoing dimensions — path continuations,
+    branch predicates, and sibling query edges — are combined under a
+    single expectation over the node's joint bucket histogram, so
+    one-level sibling correlations are captured exactly.  Across nodes,
+    independence is assumed (as in the original).  Descendant steps
+    recurse over the synopsis graph with a hop bound. *)
+
+val tuples : ?max_hops:int -> Model.t -> Twig.Syntax.t -> float
+(** Estimated number of binding tuples (the outer-join convention of
+    {!Twig.Eval} for optional edges). *)
+
+val path_prob : ?max_hops:int -> Model.t -> int -> Twig.Syntax.path -> float
+(** Probability that an element of the given node has at least one
+    match of the path — exposed for tests. *)
+
+val path_count : ?max_hops:int -> Model.t -> int -> Twig.Syntax.path -> float
+(** Expected number of matches of the path per element of the node —
+    exposed for tests. *)

@@ -1,0 +1,69 @@
+type bucket = {
+  weight : float;
+  counts : float array;
+}
+
+type t = bucket list
+
+let of_signatures sigs ~max_buckets =
+  match sigs with
+  | [] -> []
+  | (first, _) :: _ ->
+    let ndims = Array.length first in
+    let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. sigs in
+    if total <= 0. then []
+    else begin
+      (* coalesce identical vectors *)
+      let tbl : (float array, float ref) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun (vec, w) ->
+          match Hashtbl.find_opt tbl vec with
+          | Some cell -> cell := !cell +. w
+          | None -> Hashtbl.add tbl (Array.copy vec) (ref w))
+        sigs;
+      let all =
+        Hashtbl.fold (fun vec w acc -> (vec, !w) :: acc) tbl []
+        |> List.sort (fun (va, a) (vb, b) ->
+               let c = Stdlib.compare b a in
+               if c <> 0 then c else Stdlib.compare va vb)
+      in
+      let max_buckets = max 1 max_buckets in
+      let rec split i kept = function
+        | [] -> (List.rev kept, [])
+        | x :: tl when i < max_buckets - 1 -> split (i + 1) (x :: kept) tl
+        | rest -> (List.rev kept, rest)
+      in
+      let kept, rest =
+        if List.length all <= max_buckets then (all, []) else split 0 [] all
+      in
+      let buckets =
+        List.map (fun (vec, w) -> { weight = w /. total; counts = vec }) kept
+      in
+      match rest with
+      | [] -> buckets
+      | rest ->
+        let rw = List.fold_left (fun acc (_, w) -> acc +. w) 0. rest in
+        let avg = Array.make ndims 0. in
+        List.iter
+          (fun (vec, w) ->
+            Array.iteri (fun i c -> avg.(i) <- avg.(i) +. (w *. c)) vec)
+          rest;
+        Array.iteri (fun i s -> avg.(i) <- s /. rw) avg;
+        buckets @ [ { weight = rw /. total; counts = avg } ]
+    end
+
+let dims = function [] -> 0 | b :: _ -> Array.length b.counts
+
+let num_buckets = List.length
+
+let mean h i =
+  List.fold_left (fun acc b -> acc +. (b.weight *. b.counts.(i))) 0. h
+
+let exist_prob h i =
+  List.fold_left (fun acc b -> acc +. (b.weight *. Float.min 1. b.counts.(i))) 0. h
+
+let expectation h f =
+  List.fold_left (fun acc b -> acc +. (b.weight *. f b.counts)) 0. h
+
+let size_bytes h =
+  List.fold_left (fun acc b -> acc + 4 + (4 * Array.length b.counts)) 0 h

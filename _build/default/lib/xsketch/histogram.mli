@@ -1,0 +1,50 @@
+(** Per-node edge histograms (§3.1).
+
+    A twig-XSKETCH node [u] stores a histogram over the joint
+    distribution of its elements' child counts along its outgoing
+    synopsis edges: bucket [(c1, ..., cn) -> w] says that a fraction
+    [w] of [extent u] has exactly [ci] children along edge [i].  This
+    captures sibling-edge correlations one level deep — the extra
+    power twig-XSKETCHes have over plain averages, bought with the
+    extra space the buckets cost.
+
+    Histograms are compressed to a bucket budget: the heaviest buckets
+    are kept exact and the remainder is collapsed into one residual
+    average bucket. *)
+
+type bucket = {
+  weight : float;  (** fraction of the extent, in (0, 1] *)
+  counts : float array;
+      (** child counts per outgoing-edge dimension; integral for exact
+          buckets, averaged for the residual bucket *)
+}
+
+type t = bucket list
+(** Invariant: weights sum to ~1 (up to float noise); at most one
+    residual (non-integral) bucket. *)
+
+val of_signatures : (float array * float) list -> max_buckets:int -> t
+(** [of_signatures sigs ~max_buckets] builds a compressed histogram
+    from [(count vector, element weight)] pairs.  Equal vectors are
+    coalesced; the heaviest [max_buckets - 1] become exact buckets and
+    the rest are averaged into a residual bucket. *)
+
+val dims : t -> int
+
+val num_buckets : t -> int
+
+val mean : t -> int -> float
+(** Expected child count along one dimension. *)
+
+val exist_prob : t -> int -> float
+(** Fraction of elements with at least one child along the dimension
+    (residual buckets contribute via [min 1 count]). *)
+
+val expectation : t -> (float array -> float) -> float
+(** [expectation h f] is [sum_b w_b * f b.counts] — the workhorse for
+    bucket-aware query estimation. *)
+
+val size_bytes : t -> int
+(** Storage charge: [4 + 4 * dims] bytes per bucket (weight plus
+    32-bit counts), matching the storage model of the original
+    twig-XSKETCH implementation. *)

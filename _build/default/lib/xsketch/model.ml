@@ -1,0 +1,47 @@
+type node = {
+  label : Xmldoc.Label.t;
+  count : float;
+  edges : (int * float) array;
+  hist : Histogram.t;
+}
+
+type t = {
+  nodes : node array;
+  root : int;
+}
+
+let size_bytes s =
+  Array.fold_left
+    (fun acc n ->
+      acc + Sketch.Synopsis.node_bytes
+      + (Sketch.Synopsis.edge_bytes * Array.length n.edges)
+      + Histogram.size_bytes n.hist)
+    0 s.nodes
+
+let num_nodes s = Array.length s.nodes
+
+let label s u = s.nodes.(u).label
+
+let count s u = s.nodes.(u).count
+
+let edges s u = s.nodes.(u).edges
+
+let hist s u = s.nodes.(u).hist
+
+let make ~root nodes =
+  if root < 0 || root >= Array.length nodes then invalid_arg "Xsketch.Model.make: bad root";
+  { nodes; root }
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>twig-xsketch: %d nodes, %d bytes, root=%d@,"
+    (num_nodes s) (size_bytes s) s.root;
+  Array.iteri
+    (fun u n ->
+      Format.fprintf ppf "  [%d] %s count=%g (%d buckets):" u
+        (Xmldoc.Label.to_string n.label)
+        n.count
+        (Histogram.num_buckets n.hist);
+      Array.iter (fun (t, k) -> Format.fprintf ppf " ->%d(%g)" t k) n.edges;
+      Format.fprintf ppf "@,")
+    s.nodes;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,40 @@
+(** The twig-XSKETCH synopsis (Polyzotis–Garofalakis–Ioannidis,
+    ICDE 2004), reimplemented as the comparison baseline of §6.
+
+    Like a TREESKETCH it is a graph synopsis (node partitions + per-node
+    counts + edges), but each node additionally stores an edge
+    {!Histogram.t} over its outgoing dimensions.  Edge averages are kept
+    too (they are the 1-bucket degenerate histogram). *)
+
+type node = {
+  label : Xmldoc.Label.t;
+  count : float;
+  edges : (int * float) array;  (** (target, average), sorted by target *)
+  hist : Histogram.t;
+      (** joint child-count histogram; dimension [i] of a bucket refers
+          to [edges.(i)] *)
+}
+
+type t = {
+  nodes : node array;
+  root : int;
+}
+
+val size_bytes : t -> int
+(** Node and edge costs as in {!Sketch.Synopsis} plus
+    {!Histogram.size_bytes} per node; buckets are what a twig-XSKETCH
+    spends its budget on. *)
+
+val num_nodes : t -> int
+
+val label : t -> int -> Xmldoc.Label.t
+
+val count : t -> int -> float
+
+val edges : t -> int -> (int * float) array
+
+val hist : t -> int -> Histogram.t
+
+val make : root:int -> node array -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_build.ml: Alcotest Array Build Cluster Datagen List Option Printf Random Sketch Stable Synopsis Testutil Topdown Xmldoc

@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Datagen Datasets List Profile Testutil Xmldoc

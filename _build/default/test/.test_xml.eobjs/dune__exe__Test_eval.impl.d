@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Build Eval Float List QCheck Selectivity Sketch Stable String Synopsis Testutil Twig Xmldoc

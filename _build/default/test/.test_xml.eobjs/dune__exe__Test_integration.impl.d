@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Datagen Float List Metric Printf Sketch Testutil Twig Workload Xmldoc Xsketch

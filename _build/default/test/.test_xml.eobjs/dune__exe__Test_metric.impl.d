@@ -1,0 +1,1 @@
+test/test_metric.ml: Alcotest Array Gen Hashtbl List Metric Option QCheck Sketch String Testutil Xmldoc

@@ -1,0 +1,1 @@
+test/test_sketch.ml: Alcotest Array Build Dheap Expand Gen List QCheck Serialize Sketch Stable Stdlib Synopsis Testutil Xmldoc

@@ -1,0 +1,1 @@
+test/test_twig.ml: Alcotest Array Doc Eval Float List Parse QCheck Syntax Testutil Twig Xmldoc

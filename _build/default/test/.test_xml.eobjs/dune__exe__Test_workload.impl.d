@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Datagen List Sketch Stdlib Testutil Twig Workload Xmldoc

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Buffer Gen Label List Parser Printer Printf QCheck Stats String Testutil Tree Xmldoc

@@ -1,0 +1,1 @@
+test/test_xsketch.ml: Alcotest Array Datagen Float Gen List QCheck Sketch Stdlib Testutil Twig Workload Xmldoc Xsketch

@@ -1,0 +1,275 @@
+(* Tests for the clustering engine (sufficient statistics, merge
+   bookkeeping) and TSBUILD. *)
+
+open Sketch
+module T = Testutil
+module Tree = Xmldoc.Tree
+
+let small_doc =
+  Xmldoc.Parser.of_string
+    "<d><a><n/><p><y/><t/><k/></p><p><y/><t/><k/><k/></p><b><t/></b></a>\
+     <a><p><y/><t/><k/></p><n/><b><t/></b></a>\
+     <a><n/><p><y/><t/><k/></p><b><t/></b></a></d>"
+
+(* a slightly larger deterministic document for merge stress *)
+let bigger_doc = Datagen.Datasets.generate ~seed:7 ~scale:0.1 Datagen.Datasets.Imdb
+
+(* ---------------- cluster bookkeeping ---------------- *)
+
+let test_cluster_initial () =
+  let stable = Stable.build small_doc in
+  let cl = Cluster.of_stable stable in
+  Alcotest.(check int) "alive = classes" (Synopsis.num_nodes stable) (Cluster.num_alive cl);
+  T.check_float "initial sq error" 0. (Cluster.sq_error cl);
+  Alcotest.(check int) "initial size" (Synopsis.size_bytes stable) (Cluster.size_bytes cl)
+
+let test_cluster_merge_p_classes () =
+  let stable = Stable.build small_doc in
+  let cl = Cluster.of_stable stable in
+  (* find the two p classes *)
+  let p = Xmldoc.Label.of_string "p" in
+  let ps =
+    List.filter (fun r -> Xmldoc.Label.equal (Cluster.label cl r) p) (Cluster.alive_ids cl)
+  in
+  match ps with
+  | [ p1; p2 ] ->
+    let d = Option.get (Cluster.delta cl p1 p2) in
+    (* merging p(y,t,k) x3 with p(y,t,k,k) x1: only the k dimension has
+       variance: counts 1,1,1,2 -> mean 1.25, sq = 3*(0.25)^2 + (0.75)^2 *)
+    T.check_float "errd" ((3. *. 0.0625) +. 0.5625) d.errd;
+    let before_sq = Cluster.sq_error cl in
+    let before_size = Cluster.size_bytes cl in
+    let rep = Cluster.merge cl p1 p2 in
+    Alcotest.(check bool) "rep is one of the two" true (rep = p1 || rep = p2);
+    T.check_float "sq after merge" (before_sq +. d.errd) (Cluster.sq_error cl);
+    Alcotest.(check int) "size after merge" (before_size - d.sized) (Cluster.size_bytes cl);
+    T.check_float "incremental = direct" (Cluster.sq_error_direct cl) (Cluster.sq_error cl)
+  | _ -> Alcotest.fail "expected exactly two p classes"
+
+let test_cluster_merge_rejects () =
+  let stable = Stable.build small_doc in
+  let cl = Cluster.of_stable stable in
+  let ids = Cluster.alive_ids cl in
+  let a = List.hd ids in
+  Alcotest.(check bool) "self merge rejected" true (Cluster.delta cl a a = None);
+  let diff_label =
+    List.find
+      (fun b -> not (Xmldoc.Label.equal (Cluster.label cl a) (Cluster.label cl b)))
+      ids
+  in
+  Alcotest.(check bool) "label mismatch rejected" true (Cluster.delta cl a diff_label = None)
+
+(* exhaustively merge random same-label pairs and verify the
+   incremental statistics against recomputation from scratch *)
+let merge_randomly ~seed ~steps stable =
+  let cl = Cluster.of_stable stable in
+  let rng = Random.State.make [| seed |] in
+  let steps = ref steps in
+  let continue_ = ref true in
+  while !continue_ && !steps > 0 do
+    let ids = Array.of_list (Cluster.alive_ids cl) in
+    (* all same-label pairs *)
+    let pairs = ref [] in
+    Array.iter
+      (fun u ->
+        Array.iter
+          (fun v ->
+            if u < v && Xmldoc.Label.equal (Cluster.label cl u) (Cluster.label cl v)
+            then pairs := (u, v) :: !pairs)
+          ids)
+      ids;
+    match !pairs with
+    | [] -> continue_ := false
+    | pairs ->
+      let arr = Array.of_list pairs in
+      let u, v = arr.(Random.State.int rng (Array.length arr)) in
+      ignore (Cluster.merge cl u v);
+      decr steps
+  done;
+  cl
+
+let test_random_merges_consistency () =
+  List.iter
+    (fun seed ->
+      let stable = Stable.build bigger_doc in
+      let cl = merge_randomly ~seed ~steps:60 stable in
+      T.check_float ~eps:1e-6 "incremental sq = direct sq"
+        (Cluster.sq_error_direct cl) (Cluster.sq_error cl);
+      (* size bookkeeping equals the exported synopsis *)
+      let syn = Cluster.to_synopsis cl in
+      Alcotest.(check int) "size bookkeeping" (Synopsis.size_bytes syn)
+        (Cluster.size_bytes cl);
+      (* exported synopsis preserves total elements *)
+      T.check_float "elements preserved"
+        (float_of_int (Tree.size bigger_doc))
+        (Synopsis.total_elements syn))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_delta_matches_merge () =
+  (* the delta promised before the merge equals the observed change *)
+  let stable = Stable.build bigger_doc in
+  let cl = Cluster.of_stable stable in
+  let rng = Random.State.make [| 42 |] in
+  for _ = 1 to 40 do
+    let ids = Array.of_list (Cluster.alive_ids cl) in
+    let pairs = ref [] in
+    Array.iter
+      (fun u ->
+        Array.iter
+          (fun v ->
+            if u < v && Xmldoc.Label.equal (Cluster.label cl u) (Cluster.label cl v)
+            then pairs := (u, v) :: !pairs)
+          ids)
+      ids;
+    match !pairs with
+    | [] -> ()
+    | pairs ->
+      let arr = Array.of_list pairs in
+      let u, v = arr.(Random.State.int rng (Array.length arr)) in
+      let d = Option.get (Cluster.delta cl u v) in
+      let sq0 = Cluster.sq_error cl and sz0 = Cluster.size_bytes cl in
+      ignore (Cluster.merge cl u v);
+      T.check_float ~eps:1e-6 "errd applied" (sq0 +. d.errd) (Cluster.sq_error cl);
+      Alcotest.(check int) "sized applied" (sz0 - d.sized) (Cluster.size_bytes cl)
+  done
+
+(* ---------------- TSBUILD ---------------- *)
+
+let test_build_respects_budget () =
+  let stable = Stable.build bigger_doc in
+  let full = Synopsis.size_bytes stable in
+  List.iter
+    (fun budget ->
+      let ts = Build.build stable ~budget in
+      Alcotest.(check bool)
+        (Printf.sprintf "fits %d" budget)
+        true
+        (Synopsis.size_bytes ts <= budget);
+      T.check_float "elements preserved"
+        (float_of_int (Tree.size bigger_doc))
+        (Synopsis.total_elements ts))
+    [ full / 2; full / 4; full / 10 ]
+
+let test_build_label_split_floor () =
+  let stable = Stable.build small_doc in
+  let ts = Build.build stable ~budget:1 in
+  (* cannot go below one node per label *)
+  let labels = List.length (Tree.distinct_labels small_doc) in
+  Alcotest.(check int) "label split floor" labels (Synopsis.num_nodes ts)
+
+let test_build_zero_error_when_room () =
+  (* a budget >= the stable size should not merge anything *)
+  let stable = Stable.build small_doc in
+  let ts = Build.build stable ~budget:(Synopsis.size_bytes stable) in
+  Alcotest.(check int) "unchanged" (Synopsis.num_nodes stable) (Synopsis.num_nodes ts);
+  Alcotest.(check bool) "still stable" true (Synopsis.is_count_stable ts)
+
+let test_build_with_checkpoints () =
+  let stable = Stable.build bigger_doc in
+  let full = Synopsis.size_bytes stable in
+  let budgets = [ full / 2; full / 4; full / 8 ] in
+  let sweep = Build.build_with_checkpoints stable ~budgets in
+  Alcotest.(check int) "all budgets served" (List.length budgets) (List.length sweep);
+  List.iter2
+    (fun budget (b, syn) ->
+      Alcotest.(check int) "budget echoed" budget b;
+      Alcotest.(check bool) "fits" true (Synopsis.size_bytes syn <= budget))
+    budgets sweep;
+  (* checkpoints must match independent builds in size class *)
+  List.iter
+    (fun (b, syn) ->
+      let indep = Build.build stable ~budget:b in
+      Alcotest.(check bool) "same ballpark as independent build" true
+        (abs (Synopsis.size_bytes indep - Synopsis.size_bytes syn) <= b / 4))
+    sweep
+
+let prop_build_always_fits =
+  T.qtest ~count:40 "TSBUILD fits budget or hits the floor" (T.arb_tree ())
+    (fun t ->
+      let stable = Stable.build t in
+      let budget = max 64 (Synopsis.size_bytes stable / 3) in
+      let ts = Build.build stable ~budget in
+      let floor_nodes = List.length (Tree.distinct_labels t) in
+      Synopsis.size_bytes ts <= budget || Synopsis.num_nodes ts = floor_nodes)
+
+let prop_build_preserves_elements =
+  T.qtest ~count:40 "TSBUILD preserves element counts per label" (T.arb_tree ())
+    (fun t ->
+      let ts = Build.build (Stable.build t) ~budget:128 in
+      List.for_all
+        (fun l ->
+          let total =
+            Array.fold_left
+              (fun acc (n : Synopsis.node) ->
+                if Xmldoc.Label.equal n.label l then acc +. n.count else acc)
+              0. ts.Synopsis.nodes
+          in
+          T.feq total (float_of_int (Tree.count_label l t)))
+        (Tree.distinct_labels t))
+
+let prop_sq_error_monotone_in_budget =
+  T.qtest ~count:25 "smaller budgets give larger squared error" (T.arb_tree ())
+    (fun t ->
+      let stable = Stable.build t in
+      let full = Synopsis.size_bytes stable in
+      let cl1 = Cluster.of_stable stable in
+      Build.compress cl1 ~budget:(full / 2);
+      let cl2 = Cluster.of_stable stable in
+      Build.compress cl2 ~budget:(full / 4);
+      Cluster.sq_error cl2 >= Cluster.sq_error cl1 -. 1e-9)
+
+(* ---------------- top-down construction ---------------- *)
+
+let test_topdown_basics () =
+  let stable = Stable.build bigger_doc in
+  let budget = Synopsis.size_bytes stable / 4 in
+  let td, sq = Topdown.build stable ~budget in
+  Alcotest.(check bool) "near budget" true
+    (Synopsis.size_bytes td <= budget + 512);
+  Alcotest.(check bool) "positive error under compression" true (sq >= 0.);
+  T.check_float "elements preserved"
+    (float_of_int (Tree.size bigger_doc))
+    (Synopsis.total_elements td)
+
+let test_topdown_full_budget () =
+  (* with room for the whole stable summary, splitting drives the
+     squared error to (near) zero *)
+  let stable = Stable.build small_doc in
+  let _, sq = Topdown.build stable ~budget:(4 * Synopsis.size_bytes stable) in
+  T.check_float "zero error at full budget" 0. sq
+
+let test_topdown_label_floor () =
+  let stable = Stable.build small_doc in
+  let td, _ = Topdown.build stable ~budget:1 in
+  Alcotest.(check int) "label-split floor"
+    (List.length (Tree.distinct_labels small_doc))
+    (Synopsis.num_nodes td)
+
+let () =
+  Alcotest.run "build"
+    [
+      ( "cluster",
+        [
+          Alcotest.test_case "initial state" `Quick test_cluster_initial;
+          Alcotest.test_case "merge p classes" `Quick test_cluster_merge_p_classes;
+          Alcotest.test_case "merge rejections" `Quick test_cluster_merge_rejects;
+          Alcotest.test_case "random merges consistent" `Slow test_random_merges_consistency;
+          Alcotest.test_case "delta matches merge" `Slow test_delta_matches_merge;
+        ] );
+      ( "tsbuild",
+        [
+          Alcotest.test_case "respects budget" `Quick test_build_respects_budget;
+          Alcotest.test_case "label-split floor" `Quick test_build_label_split_floor;
+          Alcotest.test_case "no merge when room" `Quick test_build_zero_error_when_room;
+          Alcotest.test_case "checkpoints" `Slow test_build_with_checkpoints;
+          prop_build_always_fits;
+          prop_build_preserves_elements;
+          prop_sq_error_monotone_in_budget;
+        ] );
+      ( "topdown",
+        [
+          Alcotest.test_case "basics" `Quick test_topdown_basics;
+          Alcotest.test_case "full budget" `Quick test_topdown_full_budget;
+          Alcotest.test_case "label floor" `Quick test_topdown_label_floor;
+        ] );
+    ]

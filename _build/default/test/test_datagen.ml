@@ -1,0 +1,171 @@
+(* Tests for the profile engine and the four dataset profiles. *)
+
+module T = Testutil
+module Tree = Xmldoc.Tree
+open Datagen
+
+let test_determinism () =
+  List.iter
+    (fun ds ->
+      let a = Datasets.generate ~seed:11 ~scale:0.2 ds in
+      let b = Datasets.generate ~seed:11 ~scale:0.2 ds in
+      Alcotest.(check bool)
+        (Datasets.name ds ^ " deterministic")
+        true (Tree.equal a b);
+      let c = Datasets.generate ~seed:12 ~scale:0.2 ds in
+      Alcotest.(check bool)
+        (Datasets.name ds ^ " seed sensitive")
+        false (Tree.equal a c))
+    Datasets.all
+
+let test_scale () =
+  List.iter
+    (fun ds ->
+      let small = Tree.size (Datasets.generate ~seed:3 ~scale:0.2 ds) in
+      let large = Tree.size (Datasets.generate ~seed:3 ~scale:1.0 ds) in
+      Alcotest.(check bool)
+        (Datasets.name ds ^ " scales up")
+        true
+        (float_of_int large > 3. *. float_of_int small))
+    Datasets.all
+
+let test_roots () =
+  let root ds = Xmldoc.Label.to_string (Tree.label (Datasets.generate ~scale:0.05 ds)) in
+  Alcotest.(check string) "imdb root" "imdb" (root Datasets.Imdb);
+  Alcotest.(check string) "xmark root" "site" (root Datasets.Xmark);
+  Alcotest.(check string) "sprot root" "sptr" (root Datasets.Sprot);
+  Alcotest.(check string) "dblp root" "dblp" (root Datasets.Dblp)
+
+let test_of_name () =
+  Alcotest.(check bool) "imdb" true (Datasets.of_name "IMDB" = Some Datasets.Imdb);
+  Alcotest.(check bool) "swissprot" true (Datasets.of_name "SwissProt" = Some Datasets.Sprot);
+  Alcotest.(check bool) "unknown" true (Datasets.of_name "nope" = None)
+
+let test_xmark_recursion () =
+  (* the parlist/listitem recursion must actually nest *)
+  let doc = Datasets.generate ~seed:5 ~scale:2.0 Datasets.Xmark in
+  let parlist = Xmldoc.Label.of_string "parlist" in
+  let deep = ref 0 in
+  let rec walk depth_in_parlist (t : Tree.t) =
+    let d =
+      if Xmldoc.Label.equal (Tree.label t) parlist then depth_in_parlist + 1
+      else depth_in_parlist
+    in
+    if d >= 2 then incr deep;
+    Array.iter (walk d) (Tree.children t)
+  in
+  walk 0 doc;
+  Alcotest.(check bool) "nested parlists exist" true (!deep > 0)
+
+let test_vertical_correlation () =
+  (* IMDB: cast size correlates with keyword count through the movie
+     variant — big casts should co-occur with many keywords *)
+  let doc = Datasets.generate ~seed:9 ~scale:1.0 Datasets.Imdb in
+  let movie = Xmldoc.Label.of_string "movie" in
+  let keyword = Xmldoc.Label.of_string "keyword" in
+  let actor = Xmldoc.Label.of_string "actor" in
+  let big_kw = ref 0. and big_n = ref 0 and small_kw = ref 0. and small_n = ref 0 in
+  Tree.iter
+    (fun n ->
+      if Xmldoc.Label.equal (Tree.label n) movie then begin
+        let kw = Tree.count_label keyword n and cast = Tree.count_label actor n in
+        if cast >= 8 then begin
+          big_kw := !big_kw +. float_of_int kw;
+          incr big_n
+        end
+        else begin
+          small_kw := !small_kw +. float_of_int kw;
+          incr small_n
+        end
+      end)
+    doc;
+  Alcotest.(check bool) "both kinds present" true (!big_n > 0 && !small_n > 0);
+  let avg_big = !big_kw /. float_of_int !big_n in
+  let avg_small = !small_kw /. float_of_int !small_n in
+  Alcotest.(check bool) "keywords follow cast size" true (avg_big > avg_small +. 2.)
+
+let test_sprot_anticorrelation () =
+  (* domains and chains are anti-correlated under features *)
+  let doc = Datasets.generate ~seed:4 ~scale:1.0 Datasets.Sprot in
+  let features = Xmldoc.Label.of_string "features" in
+  let domain = Xmldoc.Label.of_string "domain" in
+  let chain = Xmldoc.Label.of_string "chain" in
+  let both_high = ref 0 and total = ref 0 in
+  Tree.iter
+    (fun n ->
+      if Xmldoc.Label.equal (Tree.label n) features then begin
+        incr total;
+        if Tree.count_label domain n >= 3 && Tree.count_label chain n >= 3 then
+          incr both_high
+      end)
+    doc;
+  Alcotest.(check bool) "features present" true (!total > 100);
+  Alcotest.(check bool) "never many of both" true (!both_high = 0)
+
+let test_profile_validation () =
+  let bad =
+    {
+      Profile.name = "bad";
+      root = "a";
+      rules = [ Profile.simple "a" [ Profile.child "missing" ] ];
+      max_depth = 4;
+    }
+  in
+  match Profile.generate bad with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected missing-rule error"
+
+let test_dists () =
+  (* distribution draws stay within their supports *)
+  let p kind =
+    {
+      Profile.name = "t";
+      root = "r";
+      rules = [ Profile.simple "r" [ Profile.child ~count:kind "x" ]; Profile.simple "x" [] ];
+      max_depth = 3;
+    }
+  in
+  for seed = 0 to 50 do
+    let n t = Tree.count_label (Xmldoc.Label.of_string "x") t in
+    let u = n (Profile.generate ~seed (p (Profile.Uniform (2, 5)))) in
+    Alcotest.(check bool) "uniform support" true (u >= 2 && u <= 5);
+    let c = n (Profile.generate ~seed (p (Profile.Const 3))) in
+    Alcotest.(check int) "const" 3 c;
+    let g = n (Profile.generate ~seed (p (Profile.Geometric (0.5, 8)))) in
+    Alcotest.(check bool) "geometric cap" true (g >= 0 && g <= 8);
+    let z = n (Profile.generate ~seed (p (Profile.Zipf (4, 1.2)))) in
+    Alcotest.(check bool) "zipf support" true (z >= 1 && z <= 4)
+  done
+
+let test_max_depth () =
+  let rec_profile =
+    {
+      Profile.name = "rec";
+      root = "a";
+      rules = [ Profile.simple "a" [ Profile.child ~count:(Profile.Const 1) "a" ] ];
+      max_depth = 5;
+    }
+  in
+  let t = Profile.generate rec_profile in
+  Alcotest.(check int) "depth capped" 5 (Tree.height t)
+
+let () =
+  Alcotest.run "datagen"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "scaling" `Quick test_scale;
+          Alcotest.test_case "missing rule" `Quick test_profile_validation;
+          Alcotest.test_case "distributions" `Quick test_dists;
+          Alcotest.test_case "max depth" `Quick test_max_depth;
+        ] );
+      ( "datasets",
+        [
+          Alcotest.test_case "roots" `Quick test_roots;
+          Alcotest.test_case "of_name" `Quick test_of_name;
+          Alcotest.test_case "xmark recursion" `Quick test_xmark_recursion;
+          Alcotest.test_case "imdb vertical correlation" `Quick test_vertical_correlation;
+          Alcotest.test_case "sprot anti-correlation" `Quick test_sprot_anticorrelation;
+        ] );
+    ]

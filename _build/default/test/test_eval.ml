@@ -1,0 +1,250 @@
+(* Tests for EVAL_QUERY / EVAL_EMBED and selectivity estimation over
+   TREESKETCH synopses, including the worked example of Figure 9. *)
+
+open Sketch
+module T = Testutil
+module Syntax = Twig.Syntax
+
+let fig1 =
+  Xmldoc.Parser.of_string
+    "<d><a><n/><p><y/><t/><k/></p><p><y/><t/><k/><k/></p><b><t/></b></a>\
+     <a><p><y/><t/><k/></p><n/><b><t/></b></a>\
+     <a><n/><p><y/><t/><k/></p><b><t/></b></a></d>"
+
+let fig1_doc = Twig.Doc.of_tree fig1
+
+let fig1_stable = Stable.build fig1
+
+(* ---------------- Figure 9: the worked example ---------------- *)
+
+(* The synopsis of Figure 9(b): node letters map to ids below. *)
+let fig9 =
+  let lbl = Xmldoc.Label.of_string in
+  (* ids: 0=r 1=A 2=B 3=E 4=D 5=F(under B) 6=F(under D) 7=G1 8=G2 9=C *)
+  Synopsis.make ~root:0
+    [|
+      { Synopsis.label = lbl "r"; count = 1.; edges = [| (1, 10.) |] };
+      { Synopsis.label = lbl "a"; count = 10.; edges = [| (2, 5.); (3, 0.2); (4, 2.) |] };
+      { Synopsis.label = lbl "b"; count = 50.; edges = [| (5, 2.) |] };
+      { Synopsis.label = lbl "e"; count = 2.; edges = [| (6, 5.) |] };
+      { Synopsis.label = lbl "d"; count = 20.; edges = [| (6, 0.5); (7, 0.6); (8, 0.7) |] };
+      { Synopsis.label = lbl "f"; count = 100.; edges = [||] };
+      { Synopsis.label = lbl "f"; count = 20.; edges = [| (9, 1.5) |] };
+      { Synopsis.label = lbl "g"; count = 12.; edges = [||] };
+      { Synopsis.label = lbl "g"; count = 14.; edges = [||] };
+      { Synopsis.label = lbl "c"; count = 30.; edges = [||] };
+    |]
+
+(* The paper's example computes the binding of q3 along d[/g]//f:
+   nt = count(A,D) * count(D,F) = 2 * 0.5 = 1, scaled by the branch
+   selectivity s = 0.6 + 0.7 - 0.6*0.7 = 0.88. *)
+let test_fig9_embed_branch () =
+  let path = Twig.Parse.path "/d[/g]//f" in
+  match Eval.embeddings fig9 1 path with
+  | [ (v, k) ] ->
+    Alcotest.(check int) "lands on F under D" 6 v;
+    T.check_float "0.88 descendants" 0.88 k
+  | other ->
+    Alcotest.failf "expected one binding, got %d" (List.length other)
+
+let test_fig9_full_query () =
+  (* q0 -//a-> q1 { -b|e...-> } — we exercise the a and d branches *)
+  let q = Twig.Parse.query "//a{/d[/g]//f,/b}" in
+  let ans = Eval.eval fig9 q in
+  Alcotest.(check bool) "non empty" false ans.empty;
+  (* root -> 10 a's; per a: 0.88 f's via d, 5 b's *)
+  let syn = ans.synopsis in
+  let root = syn.Synopsis.root in
+  (* one child of var 1 with edge count 10 *)
+  let a_edge = Synopsis.edges syn root in
+  Alcotest.(check int) "one root edge" 1 (Array.length a_edge);
+  T.check_float "10 a bindings" 10. (snd a_edge.(0))
+
+let test_fig9_selectivity () =
+  let q = Twig.Parse.query "//a{/d[/g]//f}" in
+  (* tuples = 10 a's x 0.88 f's *)
+  T.check_float "selectivity" 8.8 (Selectivity.estimate fig9 q)
+
+(* ---------------- exactness over count-stable synopses ---------------- *)
+
+(* EVAL_QUERY over a count-stable synopsis computes the exact nesting
+   tree (§4.3), hence exact selectivity too. *)
+let check_exact_on query_src =
+  let q = Twig.Parse.query query_src in
+  let exact = Twig.Eval.selectivity fig1_doc q in
+  let est = Selectivity.estimate fig1_stable q in
+  T.check_float ("selectivity " ^ query_src) exact est
+
+let test_exact_simple () =
+  List.iter check_exact_on
+    [ "//a"; "//p"; "//k"; "/a/p"; "//p{/k}"; "//a{//k}"; "//a[//b]{//p{//k?},//n?}" ]
+
+let test_exact_nesting_tree () =
+  let q = Twig.Parse.query "//a[//b]{//p{//k?},//n?}" in
+  let ans = Eval.eval fig1_stable q in
+  let exact = Twig.Eval.run fig1_doc q in
+  match (exact.nesting, Eval.to_nesting_tree ans) with
+  | Some nt, Some approx ->
+    Alcotest.(check bool) "exact nesting recovered" true
+      (Xmldoc.Tree.equal_unordered nt approx)
+  | _ -> Alcotest.fail "expected non-empty results"
+
+(* The zero-error claims hold under witness-path semantics (see
+   {!Twig.Eval.run}); node-set semantics coincide when same-label
+   elements do not nest along query paths. *)
+let prop_exact_over_stable =
+  T.qtest ~count:100 "stable synopsis gives exact selectivity"
+    (QCheck.pair (T.arb_tree ()) T.arb_query)
+    (fun (t, q) ->
+      let d = Twig.Doc.of_tree t in
+      let stable = Stable.build t in
+      T.feq ~eps:1e-6
+        (Twig.Eval.selectivity ~dedup:false d q)
+        (Selectivity.estimate stable q))
+
+let prop_exact_nesting_over_stable =
+  T.qtest ~count:60 "stable synopsis recovers the exact nesting tree"
+    (QCheck.pair (T.arb_tree ()) T.arb_query)
+    (fun (t, q) ->
+      let d = Twig.Doc.of_tree t in
+      let stable = Stable.build t in
+      let exact = (Twig.Eval.run ~dedup:false d q).nesting in
+      let approx = Eval.to_nesting_tree (Eval.eval stable q) in
+      match (exact, approx) with
+      | None, None -> true
+      | Some nt, Some at -> Xmldoc.Tree.equal_unordered nt at
+      | _ -> false)
+
+(* ---------------- compressed synopses ---------------- *)
+
+let test_empty_on_negative () =
+  let ts = Build.build fig1_stable ~budget:100 in
+  let q = Twig.Parse.query "//zz" in
+  let ans = Eval.eval ts q in
+  Alcotest.(check bool) "empty flagged" true ans.empty;
+  T.check_float "zero selectivity" 0. (Selectivity.of_answer q ans)
+
+let test_optional_missing_not_empty () =
+  let ts = Build.build fig1_stable ~budget:100 in
+  let q = Twig.Parse.query "//a{//zz?}" in
+  let ans = Eval.eval ts q in
+  Alcotest.(check bool) "optional missing tolerated" false ans.empty
+
+let prop_compressed_estimates_finite =
+  T.qtest ~count:60 "compressed estimates are finite and non-negative"
+    (QCheck.pair (T.arb_tree ()) T.arb_query)
+    (fun (t, q) ->
+      let ts = Build.build (Stable.build t) ~budget:96 in
+      let est = Selectivity.estimate ts q in
+      Float.is_finite est && est >= 0.)
+
+let prop_answer_var_labels =
+  T.qtest ~count:60 "answer labels carry the query variables"
+    (QCheck.pair (T.arb_tree ()) T.arb_query)
+    (fun (t, q) ->
+      let ts = Build.build (Stable.build t) ~budget:96 in
+      let ans = Eval.eval ts q in
+      Array.for_all
+        (fun (n : Synopsis.node) ->
+          String.length (Xmldoc.Label.to_string n.label) > 0
+          && (Xmldoc.Label.to_string n.label).[0] = 'q')
+        ans.synopsis.Synopsis.nodes)
+
+let test_relative_error () =
+  T.check_float "overestimate" 0.5
+    (Selectivity.relative_error ~actual:100. ~estimate:150. ~sanity:10.);
+  T.check_float "sanity bound kicks in" 0.5
+    (Selectivity.relative_error ~actual:1. ~estimate:6. ~sanity:10.);
+  T.check_float "exact" 0. (Selectivity.relative_error ~actual:5. ~estimate:5. ~sanity:1.)
+
+(* regression: a required edge nested under an optional edge must not
+   nullify the answer when it is globally empty *)
+let test_required_under_optional () =
+  let doc = Xmldoc.Parser.of_string "<r><e><f/></e></r>" in
+  let stable = Stable.build doc in
+  (* //e is required and non-empty; the optional //f child carries a
+     required //zz grandchild that never matches *)
+  let q = Twig.Parse.query "//e{//f?{//zz}}" in
+  let ans = Eval.eval stable q in
+  Alcotest.(check bool) "answer not nullified" false ans.empty;
+  T.check_float "exact agreement"
+    (Twig.Eval.selectivity (Twig.Doc.of_tree doc) q)
+    (Selectivity.of_answer q ans)
+
+(* regression: bindings whose required child edges are empty must be
+   pruned from the answer (validity is per-class on a stable synopsis) *)
+let test_invalid_class_pruning () =
+  (* two kinds of a: with and without a b child; //a{/b} binds only the
+     first kind *)
+  let doc = Xmldoc.Parser.of_string "<r><a><b/></a><a><b/></a><a><c/></a></r>" in
+  let stable = Stable.build doc in
+  let q = Twig.Parse.query "//a{/b}" in
+  let ans = Eval.eval stable q in
+  (match Eval.to_nesting_tree ans with
+  | Some t ->
+    let a = Twig.Eval.nesting_label 1 (Xmldoc.Label.of_string "a") in
+    Alcotest.(check int) "only valid a's" 2 (Xmldoc.Tree.count_label a t)
+  | None -> Alcotest.fail "expected an answer");
+  T.check_float "selectivity" 2. (Selectivity.of_answer q ans)
+
+(* regression: //-step embeddings must be found on late sibling edges
+   even when earlier siblings harbor deep sub-graphs (reachability
+   pruning must keep the DFS work budget for useful branches) *)
+let test_reachability_pruning () =
+  let deep_arm n =
+    let rec build i = if i = 0 then Xmldoc.Tree.v "leaf" [] else
+        Xmldoc.Tree.v ("mid" ^ string_of_int (i mod 3)) [ build (i - 1); build (i - 1) ] in
+    Xmldoc.Tree.v "arm" [ build n ]
+  in
+  let doc =
+    Xmldoc.Tree.v "r"
+      [ deep_arm 8; deep_arm 9; deep_arm 10; Xmldoc.Tree.v "target" [] ]
+  in
+  let stable = Stable.build doc in
+  let q = Twig.Parse.query "//target" in
+  T.check_float "target found past deep arms" 1. (Selectivity.estimate stable q)
+
+(* cyclic synopsis: evaluation must terminate and stay finite *)
+let test_cyclic_eval_terminates () =
+  let lbl = Xmldoc.Label.of_string in
+  let cyc =
+    Synopsis.make ~root:0
+      [|
+        { Synopsis.label = lbl "r"; count = 1.; edges = [| (1, 3.) |] };
+        { Synopsis.label = lbl "p"; count = 9.; edges = [| (2, 2.) |] };
+        { Synopsis.label = lbl "l"; count = 18.; edges = [| (1, 0.3) |] };
+      |]
+  in
+  let q = Twig.Parse.query "//p{//l{//l?}}" in
+  let est = Selectivity.estimate cyc q in
+  Alcotest.(check bool) "finite" true (Float.is_finite est && est >= 0.)
+
+let () =
+  Alcotest.run "eval"
+    [
+      ( "figure9",
+        [
+          Alcotest.test_case "branch selectivity 0.88" `Quick test_fig9_embed_branch;
+          Alcotest.test_case "full query" `Quick test_fig9_full_query;
+          Alcotest.test_case "selectivity" `Quick test_fig9_selectivity;
+        ] );
+      ( "exact-over-stable",
+        [
+          Alcotest.test_case "simple queries" `Quick test_exact_simple;
+          Alcotest.test_case "nesting tree recovered" `Quick test_exact_nesting_tree;
+          prop_exact_over_stable;
+          prop_exact_nesting_over_stable;
+        ] );
+      ( "compressed",
+        [
+          Alcotest.test_case "negative query empty" `Quick test_empty_on_negative;
+          Alcotest.test_case "optional missing ok" `Quick test_optional_missing_not_empty;
+          Alcotest.test_case "relative error" `Quick test_relative_error;
+          Alcotest.test_case "cyclic synopsis terminates" `Quick test_cyclic_eval_terminates;
+          Alcotest.test_case "required under optional" `Quick test_required_under_optional;
+          Alcotest.test_case "invalid class pruning" `Quick test_invalid_class_pruning;
+          Alcotest.test_case "reachability pruning" `Quick test_reachability_pruning;
+          prop_compressed_estimates_finite;
+          prop_answer_var_labels;
+        ] );
+    ]

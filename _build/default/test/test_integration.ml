@@ -1,0 +1,153 @@
+(* End-to-end integration tests: document -> summaries -> queries ->
+   answers -> metrics, across the generated datasets. *)
+
+module T = Testutil
+module Tree = Xmldoc.Tree
+module Synopsis = Sketch.Synopsis
+
+let with_dataset ds scale f =
+  let doc = Datagen.Datasets.generate ~seed:101 ~scale ds in
+  let d = Twig.Doc.of_tree doc in
+  let stable = Sketch.Stable.build doc in
+  f doc d stable
+
+(* The full zero-error pipeline: over the stable summary, estimates are
+   exact and approximate nesting trees are isomorphic to the truth. *)
+let test_zero_error_pipeline () =
+  List.iter
+    (fun ds ->
+      with_dataset ds 0.15 (fun _doc d stable ->
+          let qs = Workload.positive ~seed:1 ~n:25 stable in
+          List.iter
+            (fun q ->
+              let exact = Twig.Eval.run ~dedup:false d q in
+              let est = Sketch.Selectivity.estimate stable q in
+              T.check_float ~eps:1e-6
+                (Datagen.Datasets.name ds ^ ": " ^ Twig.Syntax.to_string q)
+                exact.selectivity est;
+              match (exact.nesting, Sketch.Eval.to_nesting_tree (Sketch.Eval.eval stable q)) with
+              | Some nt, Some at ->
+                T.check_float "esd zero" 0.
+                  (Metric.Esd.between_trees nt at)
+              | None, None -> ()
+              | _ -> Alcotest.fail "emptiness mismatch")
+            qs))
+    Datagen.Datasets.all
+
+(* Compression keeps estimates within a loose factor of truth and keeps
+   the answers non-degenerate. *)
+let test_compressed_pipeline () =
+  with_dataset Datagen.Datasets.Imdb 0.4 (fun doc d stable ->
+      let budget = Synopsis.size_bytes stable / 5 in
+      let ts = Sketch.Build.build stable ~budget in
+      Alcotest.(check bool) "fits" true (Synopsis.size_bytes ts <= budget);
+      T.check_float "elements preserved"
+        (float_of_int (Tree.size doc))
+        (Synopsis.total_elements ts);
+      let qs = Workload.positive ~seed:2 ~n:40 stable in
+      let errs =
+        List.map
+          (fun q ->
+            let exact = Twig.Eval.selectivity d q in
+            let est = Sketch.Selectivity.estimate ts q in
+            Sketch.Selectivity.relative_error ~actual:exact ~estimate:est ~sanity:1.)
+          qs
+      in
+      let avg = List.fold_left ( +. ) 0. errs /. float_of_int (List.length errs) in
+      Alcotest.(check bool)
+        (Printf.sprintf "avg error %.3f below 25%%" avg)
+        true (avg < 0.25))
+
+(* Negative workloads produce empty approximate answers (§6.1). *)
+let test_negative_workloads_empty () =
+  List.iter
+    (fun ds ->
+      with_dataset ds 0.15 (fun _doc _d stable ->
+          let budget = Synopsis.size_bytes stable / 4 in
+          let ts = Sketch.Build.build stable ~budget in
+          let qs = Workload.negative ~seed:3 ~n:20 stable in
+          List.iter
+            (fun q ->
+              let ans = Sketch.Eval.eval ts q in
+              Alcotest.(check bool)
+                ("empty: " ^ Twig.Syntax.to_string q)
+                true ans.empty)
+            qs))
+    Datagen.Datasets.all
+
+(* The xsketch baseline agrees with the exact evaluator on the same
+   zero-compression regime it can represent: label-count queries. *)
+let test_xsketch_baseline_sane () =
+  with_dataset Datagen.Datasets.Dblp 0.2 (fun _doc d stable ->
+      let training =
+        List.map
+          (fun q -> (q, Twig.Eval.selectivity d q))
+          (Workload.positive ~seed:5 ~n:8 stable)
+      in
+      let xs = Xsketch.Builder.build stable ~training ~budget:4096 in
+      let qs = Workload.positive ~seed:6 ~n:25 stable in
+      List.iter
+        (fun q ->
+          let est = Xsketch.Estimate.tuples xs q in
+          Alcotest.(check bool) "finite" true (Float.is_finite est && est >= 0.))
+        qs)
+
+(* ESD ranks the stable summary's answers at 0 and compressed answers
+   worse; more compression cannot help. *)
+let test_esd_budget_ordering () =
+  with_dataset Datagen.Datasets.Sprot 0.3 (fun _doc d stable ->
+      let full = Synopsis.size_bytes stable in
+      let sweep =
+        Sketch.Build.build_with_checkpoints stable ~budgets:[ full / 2; full / 10 ]
+      in
+      let qs = Workload.positive ~seed:7 ~n:15 stable in
+      let avg_esd ts =
+        let es =
+          List.filter_map
+            (fun q ->
+              match (Twig.Eval.run d q).nesting with
+              | None -> None
+              | Some nt ->
+                let ans = Sketch.Eval.eval ts q in
+                let approx =
+                  match Sketch.Eval.to_nesting_tree ans with
+                  | Some t -> Sketch.Stable.build t
+                  | None -> ans.Sketch.Eval.synopsis
+                in
+                Some (Metric.Esd.between_synopses (Sketch.Stable.build nt) approx))
+            qs
+        in
+        List.fold_left ( +. ) 0. es /. float_of_int (List.length es)
+      in
+      match sweep with
+      | [ (_, big); (_, small) ] ->
+        let e_big = avg_esd big and e_small = avg_esd small in
+        Alcotest.(check bool)
+          (Printf.sprintf "esd grows with compression (%.0f <= %.0f)" e_big e_small)
+          true
+          (e_big <= e_small +. 1e-9)
+      | _ -> Alcotest.fail "expected two checkpoints")
+
+(* Serialization round trips a compressed sketch and its estimates. *)
+let test_serialize_compressed () =
+  with_dataset Datagen.Datasets.Xmark 0.3 (fun _doc _d stable ->
+      let ts = Sketch.Build.build stable ~budget:(Synopsis.size_bytes stable / 4) in
+      let ts' = Sketch.Serialize.of_string (Sketch.Serialize.to_string ts) in
+      let q = Twig.Parse.query "//item{//mail?}" in
+      T.check_float "estimates survive serialization"
+        (Sketch.Selectivity.estimate ts q)
+        (Sketch.Selectivity.estimate ts' q))
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "zero error over stable" `Slow test_zero_error_pipeline;
+          Alcotest.test_case "compressed accuracy" `Slow test_compressed_pipeline;
+          Alcotest.test_case "negative workloads empty" `Slow test_negative_workloads_empty;
+          Alcotest.test_case "xsketch baseline sane" `Slow test_xsketch_baseline_sane;
+          Alcotest.test_case "esd budget ordering" `Slow test_esd_budget_ordering;
+          Alcotest.test_case "serialize compressed" `Quick test_serialize_compressed;
+        ] );
+    ]

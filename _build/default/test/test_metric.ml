@@ -1,0 +1,278 @@
+(* Tests for the distance metrics: MAC/EMD set distances, ESD, and the
+   tree-edit baseline, including the Figure 10 / Example 5.1 scenario. *)
+
+module T = Testutil
+module Tree = Xmldoc.Tree
+
+(* ---------------- set distances ---------------- *)
+
+let size_one _ = 1.
+
+let dist_eq a b = if String.equal a b then 0. else 2.
+
+let test_mac_identical () =
+  let s = [ ("x", 3.); ("y", 2.) ] in
+  T.check_float "identical sets" 0. (Metric.Set_distance.mac ~size:size_one ~dist:dist_eq s s)
+
+let test_mac_empty () =
+  let s = [ ("x", 3.); ("y", 2.) ] in
+  T.check_float "vs empty = total size" 5.
+    (Metric.Set_distance.mac ~size:size_one ~dist:dist_eq s []);
+  T.check_float "symmetric empty" 5.
+    (Metric.Set_distance.mac ~size:size_one ~dist:dist_eq [] s);
+  T.check_float "both empty" 0. (Metric.Set_distance.mac ~size:size_one ~dist:dist_eq [] [])
+
+let test_mac_frequency_penalty () =
+  (* 4-vs-1 is punished harder than 4-vs-6 + 1-vs-2 (Example 5.1) *)
+  let d41 = Metric.Set_distance.mac ~size:size_one ~dist:dist_eq [ ("x", 4.) ] [ ("x", 1.) ] in
+  let d46 = Metric.Set_distance.mac ~size:size_one ~dist:dist_eq [ ("x", 4.) ] [ ("x", 6.) ] in
+  let d12 = Metric.Set_distance.mac ~size:size_one ~dist:dist_eq [ ("y", 1.) ] [ ("y", 2.) ] in
+  Alcotest.(check bool) "superlinear ordering" true (d41 > d46 +. d12)
+
+let test_mac_fraction_cheaper_than_absence () =
+  (* claiming 0.3 of a sub-tree must cost less than claiming absence *)
+  let frac =
+    Metric.Set_distance.mac ~size:size_one ~dist:dist_eq [ ("x", 1.) ] [ ("x", 0.3) ]
+  in
+  let absent = Metric.Set_distance.mac ~size:size_one ~dist:dist_eq [ ("x", 1.) ] [] in
+  Alcotest.(check bool) "fraction cheaper" true (frac < absent)
+
+let test_mac_mass_matching () =
+  (* one true class split into several near-identical ones is cheap *)
+  let split =
+    Metric.Set_distance.mac ~size:size_one ~dist:dist_eq
+      [ ("x", 10.) ]
+      [ ("x", 4.); ("x", 6.) ]
+  in
+  T.check_float "split classes free" 0. split
+
+let test_emd_basic () =
+  let emd = Metric.Set_distance.emd ~size:size_one ~dist:dist_eq in
+  T.check_float "identical" 0. (emd [ ("x", 3.) ] [ ("x", 3.) ]);
+  T.check_float "move 2 at distance 2" 4. (emd [ ("x", 3.) ] [ ("x", 1.); ("y", 2.) ]);
+  T.check_float "pure creation" 2. (emd [ ("x", 1.) ] [ ("x", 1.); ("y", 2.) ]);
+  T.check_float "empty" 3. (emd [ ("x", 3.) ] [])
+
+let test_emd_optimal_routing () =
+  (* EMD must route mass optimally, not greedily by list order *)
+  let dist a b =
+    match (a, b) with
+    | "u1", "v1" | "u2", "v2" -> 1.
+    | "u1", "v2" | "u2", "v1" -> 10.
+    | _ -> 0.
+  in
+  let emd = Metric.Set_distance.emd ~size:(fun _ -> 100.) ~dist in
+  T.check_float "diagonal matching" 2.
+    (emd [ ("u1", 1.); ("u2", 1.) ] [ ("v2", 1.); ("v1", 1.) ])
+
+let arb_multiset =
+  QCheck.(
+    list_of_size (Gen.int_range 0 6)
+      (pair (oneofl [ "a"; "b"; "c"; "d" ]) (float_range 0.5 5.)))
+
+let dedup m =
+  (* generators can repeat values; coalesce for cleaner semantics *)
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (v, f) ->
+      Hashtbl.replace tbl v (f +. Option.value ~default:0. (Hashtbl.find_opt tbl v)))
+    m;
+  Hashtbl.fold (fun v f acc -> (v, f) :: acc) tbl []
+
+let prop_mac_nonneg_and_self =
+  T.qtest "mac >= 0 and mac(s,s) = 0" arb_multiset (fun m ->
+      let m = dedup m in
+      let mac = Metric.Set_distance.mac ~size:size_one ~dist:dist_eq in
+      mac m m < 1e-9 && mac m [] >= 0.)
+
+let prop_mac_symmetric =
+  T.qtest "mac symmetric" (QCheck.pair arb_multiset arb_multiset) (fun (a, b) ->
+      let a = dedup a and b = dedup b in
+      let mac = Metric.Set_distance.mac ~size:size_one ~dist:dist_eq in
+      T.feq ~eps:1e-6 (mac a b) (mac b a))
+
+let prop_emd_symmetric =
+  T.qtest ~count:100 "emd symmetric" (QCheck.pair arb_multiset arb_multiset)
+    (fun (a, b) ->
+      let a = dedup a and b = dedup b in
+      let emd = Metric.Set_distance.emd ~size:size_one ~dist:dist_eq in
+      T.feq ~eps:1e-6 (emd a b) (emd b a))
+
+let prop_emd_leq_deletion =
+  T.qtest ~count:100 "emd <= delete everything" (QCheck.pair arb_multiset arb_multiset)
+    (fun (a, b) ->
+      let a = dedup a and b = dedup b in
+      let emd = Metric.Set_distance.emd ~size:size_one ~dist:dist_eq in
+      let total = List.fold_left (fun acc (_, f) -> acc +. f) 0. in
+      emd a b <= total a +. total b +. 1e-6)
+
+(* ---------------- tree edit distance ---------------- *)
+
+let test_tree_edit_basics () =
+  let a = Tree.v "a" [ Tree.v "b" []; Tree.v "c" [] ] in
+  Alcotest.(check int) "self" 0 (Metric.Tree_edit.distance a a);
+  let b = Tree.v "a" [ Tree.v "b" [] ] in
+  Alcotest.(check int) "one deletion" 1 (Metric.Tree_edit.distance a b);
+  let c = Tree.v "a" [ Tree.v "b" []; Tree.v "d" [] ] in
+  Alcotest.(check int) "one rename" 1 (Metric.Tree_edit.distance a c);
+  Alcotest.(check int) "rename forbidden = 2" 2 (Metric.Tree_edit.distance_insert_delete a c)
+
+let test_tree_edit_structure () =
+  let a = Tree.v "a" [ Tree.v "b" [ Tree.v "c" [] ] ] in
+  let b = Tree.v "a" [ Tree.v "b" []; Tree.v "c" [] ] in
+  (* moving c up = delete + insert under unit model is 2, but ZS allows
+     keeping c and restructuring at cost <= 2 *)
+  Alcotest.(check bool) "small restructure" true (Metric.Tree_edit.distance a b <= 2)
+
+let prop_tree_edit_self =
+  T.qtest ~count:60 "distance t t = 0" (T.arb_tree ()) (fun t ->
+      Metric.Tree_edit.distance t t = 0)
+
+let prop_tree_edit_symmetric =
+  T.qtest ~count:40 "tree edit symmetric"
+    (QCheck.pair (T.arb_tree ()) (T.arb_tree ()))
+    (fun (a, b) -> Metric.Tree_edit.distance a b = Metric.Tree_edit.distance b a)
+
+let prop_tree_edit_bounds =
+  T.qtest ~count:40 "tree edit bounded by sizes"
+    (QCheck.pair (T.arb_tree ()) (T.arb_tree ()))
+    (fun (a, b) ->
+      let d = Metric.Tree_edit.distance a b in
+      d >= abs (Tree.size a - Tree.size b) && d <= Tree.size a + Tree.size b)
+
+let prop_tree_edit_triangle =
+  T.qtest ~count:25 "tree edit triangle inequality"
+    (QCheck.triple (T.arb_tree ()) (T.arb_tree ()) (T.arb_tree ()))
+    (fun (a, b, c) ->
+      Metric.Tree_edit.distance a c
+      <= Metric.Tree_edit.distance a b + Metric.Tree_edit.distance b c)
+
+(* ---------------- ESD ---------------- *)
+
+(* the Figure 10 trees *)
+let sc () = Tree.v "c" [ Tree.v "x" [] ]
+
+let sd () = Tree.v "d" [ Tree.v "y" [] ]
+
+let mk_a nc nd = Tree.v "a" (List.init nc (fun _ -> sc ()) @ List.init nd (fun _ -> sd ()))
+
+let fig10_t = Tree.v "r" [ mk_a 4 1; mk_a 1 4 ]
+
+let fig10_t1 = Tree.v "r" [ mk_a 1 1; mk_a 4 4 ]
+
+let fig10_t2 = Tree.v "r" [ mk_a 6 2; mk_a 2 6 ]
+
+let test_esd_self () =
+  T.check_float "ESD(T,T)" 0. (Metric.Esd.between_trees fig10_t fig10_t);
+  T.check_float "ESD(T1,T1)" 0. (Metric.Esd.between_trees fig10_t1 fig10_t1)
+
+let test_fig10_esd_ordering () =
+  (* the correlation-preserving answer T2 must beat T1 under ESD/MAC *)
+  let d1 = Metric.Esd.between_trees fig10_t fig10_t1 in
+  let d2 = Metric.Esd.between_trees fig10_t fig10_t2 in
+  Alcotest.(check bool) "T2 closer than T1" true (d2 < d1)
+
+let test_fig10_tree_edit_fails () =
+  (* tree-edit does NOT prefer T2 — the motivating failure of §5 *)
+  let d1 = Metric.Tree_edit.distance_insert_delete fig10_t fig10_t1 in
+  let d2 = Metric.Tree_edit.distance_insert_delete fig10_t fig10_t2 in
+  Alcotest.(check bool) "edit distance misleads" true (d1 <= d2)
+
+let test_fig10_linear_ablation () =
+  (* with a linear penalty (EMD) the two approximations tie: the
+     superlinear multiplicity penalty is what creates the preference *)
+  let d1 = Metric.Esd.between_trees ~metric:Emd fig10_t fig10_t1 in
+  let d2 = Metric.Esd.between_trees ~metric:Emd fig10_t fig10_t2 in
+  T.check_float "EMD ties" d1 d2
+
+let test_esd_example51_element_level () =
+  let esd_pair x y =
+    Metric.Esd.between_trees (Tree.v "root" [ x ]) (Tree.v "root" [ y ])
+  in
+  let d_v = esd_pair (mk_a 4 1) (mk_a 1 1) in
+  let d_v' = esd_pair (mk_a 4 1) (mk_a 6 2) in
+  Alcotest.(check bool) "ESD(u,v) > ESD(u,v')" true (d_v > d_v')
+
+let test_esd_label_mismatch () =
+  let a = Tree.v "a" [] and b = Tree.v "b" [] in
+  T.check_float "different roots = total size" 2. (Metric.Esd.between_trees a b)
+
+let test_esd_subtree_sizes () =
+  let s = Sketch.Stable.build fig10_t in
+  let sizes = Metric.Esd.subtree_sizes s in
+  T.check_float "root size = document size"
+    (float_of_int (Tree.size fig10_t))
+    sizes.(s.Sketch.Synopsis.root)
+
+let prop_esd_self_zero =
+  T.qtest ~count:100 "ESD(t,t) = 0" (T.arb_tree ()) (fun t ->
+      Metric.Esd.between_trees t t < 1e-9)
+
+let prop_esd_symmetric =
+  T.qtest ~count:60 "ESD symmetric" (QCheck.pair (T.arb_tree ()) (T.arb_tree ()))
+    (fun (a, b) ->
+      T.feq ~eps:1e-6 (Metric.Esd.between_trees a b) (Metric.Esd.between_trees b a))
+
+let prop_esd_nonneg =
+  T.qtest ~count:60 "ESD >= 0" (QCheck.pair (T.arb_tree ()) (T.arb_tree ()))
+    (fun (a, b) -> Metric.Esd.between_trees a b >= 0.)
+
+let prop_esd_iso_invariant =
+  (* sibling order does not matter *)
+  T.qtest ~count:60 "ESD invariant under sibling reorder" (T.arb_tree ()) (fun t ->
+      let rec reversed (x : Tree.t) =
+        Tree.make (Tree.label x)
+          (List.rev_map reversed (Array.to_list (Tree.children x)))
+      in
+      Metric.Esd.between_trees t (reversed t) < 1e-9)
+
+let prop_esd_emd_agree_on_equal =
+  T.qtest ~count:60 "all metrics are zero on isomorphic trees" (T.arb_tree ())
+    (fun t ->
+      Metric.Esd.between_trees ~metric:Emd t t < 1e-9
+      && Metric.Esd.between_trees ~metric:Mac_linear t t < 1e-9)
+
+let () =
+  Alcotest.run "metric"
+    [
+      ( "set-distance",
+        [
+          Alcotest.test_case "mac identical" `Quick test_mac_identical;
+          Alcotest.test_case "mac vs empty" `Quick test_mac_empty;
+          Alcotest.test_case "mac frequency penalty" `Quick test_mac_frequency_penalty;
+          Alcotest.test_case "fraction cheaper than absence" `Quick
+            test_mac_fraction_cheaper_than_absence;
+          Alcotest.test_case "mass matching" `Quick test_mac_mass_matching;
+          Alcotest.test_case "emd basics" `Quick test_emd_basic;
+          Alcotest.test_case "emd optimal routing" `Quick test_emd_optimal_routing;
+          prop_mac_nonneg_and_self;
+          prop_mac_symmetric;
+          prop_emd_symmetric;
+          prop_emd_leq_deletion;
+        ] );
+      ( "tree-edit",
+        [
+          Alcotest.test_case "basics" `Quick test_tree_edit_basics;
+          Alcotest.test_case "restructuring" `Quick test_tree_edit_structure;
+          prop_tree_edit_self;
+          prop_tree_edit_symmetric;
+          prop_tree_edit_bounds;
+          prop_tree_edit_triangle;
+        ] );
+      ( "esd",
+        [
+          Alcotest.test_case "self distance" `Quick test_esd_self;
+          Alcotest.test_case "figure 10 ordering" `Quick test_fig10_esd_ordering;
+          Alcotest.test_case "tree edit fails figure 10" `Quick test_fig10_tree_edit_fails;
+          Alcotest.test_case "linear ablation ties" `Quick test_fig10_linear_ablation;
+          Alcotest.test_case "example 5.1 element level" `Quick
+            test_esd_example51_element_level;
+          Alcotest.test_case "label mismatch" `Quick test_esd_label_mismatch;
+          Alcotest.test_case "subtree sizes" `Quick test_esd_subtree_sizes;
+          prop_esd_self_zero;
+          prop_esd_symmetric;
+          prop_esd_nonneg;
+          prop_esd_iso_invariant;
+          prop_esd_emd_agree_on_equal;
+        ] );
+    ]

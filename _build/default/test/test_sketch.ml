@@ -1,0 +1,360 @@
+(* Tests for the synopsis representation, BUILD_STABLE, Expand, the
+   interval heap, canonicalization, and serialization. *)
+
+open Sketch
+module T = Testutil
+module Tree = Xmldoc.Tree
+
+let fig1 =
+  Xmldoc.Parser.of_string
+    "<d><a><n/><p><y/><t/><k/></p><p><y/><t/><k/><k/></p><b><t/></b></a>\
+     <a><p><y/><t/><k/></p><n/><b><t/></b></a>\
+     <a><n/><p><y/><t/><k/></p><b><t/></b></a></d>"
+
+(* ---------------- BUILD_STABLE ---------------- *)
+
+let test_stable_fig1 () =
+  let s = Stable.build fig1 in
+  (* d; a(n,p,p,b) x1; a(n,p,b) x2; p(y,t,k); p(y,t,k,k); b(t);
+     n; y; t; k  -> 10 classes *)
+  Alcotest.(check int) "classes" 10 (Synopsis.num_nodes s);
+  Alcotest.(check bool) "count stable" true (Synopsis.is_count_stable s);
+  T.check_float "total elements" (float_of_int (Tree.size fig1)) (Synopsis.total_elements s);
+  T.check_float "root count" 1. (Synopsis.count s s.Synopsis.root)
+
+let test_stable_same_label_different_structure () =
+  (* Figure 3: two documents with equal label paths but different
+     count structure get different stable synopses *)
+  let t1 =
+    Xmldoc.Parser.of_string
+      "<r><a><b><c/></b><b><c/><c/><c/><c/></b></a>\
+       <a><b><c/></b><b><c/><c/><c/><c/></b></a></r>"
+  in
+  let t2 =
+    Xmldoc.Parser.of_string
+      "<r><a><b><c/></b><b><c/></b></a>\
+       <a><b><c/><c/><c/><c/></b><b><c/><c/><c/><c/></b></a></r>"
+  in
+  let s1 = Stable.build t1 and s2 = Stable.build t2 in
+  (* t1: both a's identical -> one a class; t2: two a classes *)
+  Alcotest.(check int) "t1 classes" 5 (Synopsis.num_nodes s1);
+  Alcotest.(check int) "t2 classes" 6 (Synopsis.num_nodes s2)
+
+let test_class_of_elements () =
+  let s, classes = Stable.class_of_elements fig1 in
+  Alcotest.(check int) "one class per element" (Tree.size fig1) (Array.length classes);
+  (* extent counts must match the class assignment *)
+  let counts = Array.make (Synopsis.num_nodes s) 0 in
+  Array.iter (fun c -> counts.(c) <- counts.(c) + 1) classes;
+  Array.iteri
+    (fun u n -> T.check_float "extent count" (float_of_int n) (Synopsis.count s u))
+    counts
+
+(* Lemma 3.1: Expand inverts BUILD_STABLE up to sibling order. *)
+let prop_stable_roundtrip =
+  T.qtest "Expand (Build_stable t) iso t" (T.arb_tree ()) (fun t ->
+      Tree.equal_unordered t (Expand.exact (Stable.build t)))
+
+let prop_stable_minimal =
+  (* building the stable summary of the expansion is a fixpoint *)
+  T.qtest "stable summary is a fixpoint" (T.arb_tree ()) (fun t ->
+      let s = Stable.build t in
+      Synopsis.num_nodes (Stable.build (Expand.exact s)) = Synopsis.num_nodes s)
+
+let prop_stable_counts =
+  T.qtest "stable preserves per-label element counts" (T.arb_tree ()) (fun t ->
+      let s = Stable.build t in
+      List.for_all
+        (fun l ->
+          let from_syn =
+            Array.fold_left
+              (fun acc (n : Synopsis.node) ->
+                if Xmldoc.Label.equal n.label l then acc +. n.count else acc)
+              0. s.Synopsis.nodes
+          in
+          T.feq from_syn (float_of_int (Tree.count_label l t)))
+        (Tree.distinct_labels t))
+
+let prop_stable_idempotent_on_regular =
+  T.qtest "stable synopsis smaller than document" (T.arb_tree ()) (fun t ->
+      Synopsis.num_nodes (Stable.build t) <= Tree.size t)
+
+(* ---------------- Expand.approximate ---------------- *)
+
+let test_expand_approximate_totals () =
+  (* fractional counts are distributed with preserved totals *)
+  let nodes =
+    [|
+      { Synopsis.label = Xmldoc.Label.of_string "r"; count = 1.; edges = [| (1, 4.) |] };
+      { Synopsis.label = Xmldoc.Label.of_string "a"; count = 4.; edges = [| (2, 1.5) |] };
+      { Synopsis.label = Xmldoc.Label.of_string "b"; count = 6.; edges = [||] };
+    |]
+  in
+  let s = Synopsis.make ~root:0 nodes in
+  let t = Expand.approximate s in
+  Alcotest.(check int) "4 a's" 4 (Tree.count_label (Xmldoc.Label.of_string "a") t);
+  Alcotest.(check int) "6 b's" 6 (Tree.count_label (Xmldoc.Label.of_string "b") t)
+
+let test_expand_cyclic_guard () =
+  let nodes =
+    [|
+      { Synopsis.label = Xmldoc.Label.of_string "r"; count = 1.; edges = [| (1, 1.) |] };
+      { Synopsis.label = Xmldoc.Label.of_string "a"; count = 5.; edges = [| (1, 1.) |] };
+    |]
+  in
+  let s = Synopsis.make ~root:0 nodes in
+  (match Expand.exact s with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected cycle rejection in exact expansion");
+  match Expand.approximate ~max_nodes:1000 s with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected max_nodes abort on a k=1 self loop"
+
+(* ---------------- synopsis helpers ---------------- *)
+
+let test_synopsis_access () =
+  let s = Stable.build fig1 in
+  Alcotest.(check int) "size bytes"
+    ((Synopsis.num_nodes s * Synopsis.node_bytes)
+    + (Synopsis.num_edges s * Synopsis.edge_bytes))
+    (Synopsis.size_bytes s);
+  let parents = Synopsis.parents s in
+  let total_in = Array.fold_left (fun acc a -> acc + Array.length a) 0 parents in
+  Alcotest.(check int) "in-degree sum = edges" (Synopsis.num_edges s) total_in;
+  (* edge_count finds existing edges and returns 0 for absent *)
+  Array.iteri
+    (fun u (n : Synopsis.node) ->
+      Array.iter
+        (fun (v, k) -> T.check_float "edge_count" k (Synopsis.edge_count s u v))
+        n.Synopsis.edges)
+    s.Synopsis.nodes;
+  T.check_float "absent edge" 0. (Synopsis.edge_count s s.Synopsis.root s.Synopsis.root)
+
+let test_heights () =
+  let s = Stable.build fig1 in
+  let h = Synopsis.heights s in
+  Alcotest.(check int) "root height = doc height" (Tree.height fig1) h.(s.Synopsis.root)
+
+let test_canonicalize_merges_leaves () =
+  (* two same-label leaf classes merge *)
+  let lbl = Xmldoc.Label.of_string in
+  let nodes =
+    [|
+      { Synopsis.label = lbl "r"; count = 1.; edges = [| (1, 2.); (2, 3.) |] };
+      { Synopsis.label = lbl "x"; count = 2.; edges = [||] };
+      { Synopsis.label = lbl "x"; count = 3.; edges = [||] };
+    |]
+  in
+  let s = Synopsis.canonicalize (Synopsis.make ~root:0 nodes) in
+  Alcotest.(check int) "merged" 2 (Synopsis.num_nodes s);
+  T.check_float "counts added" 5. (Synopsis.count s (1 - s.Synopsis.root));
+  T.check_float "edge counts added" 5.
+    (Synopsis.edge_count s s.Synopsis.root (1 - s.Synopsis.root))
+
+let test_canonicalize_keeps_distinct () =
+  let lbl = Xmldoc.Label.of_string in
+  let nodes =
+    [|
+      { Synopsis.label = lbl "r"; count = 1.; edges = [| (1, 2.); (2, 3.) |] };
+      { Synopsis.label = lbl "x"; count = 2.; edges = [| (3, 1.) |] };
+      { Synopsis.label = lbl "x"; count = 3.; edges = [| (3, 2.) |] };
+      { Synopsis.label = lbl "y"; count = 8.; edges = [||] };
+    |]
+  in
+  let s = Synopsis.canonicalize (Synopsis.make ~root:0 nodes) in
+  Alcotest.(check int) "no bogus merge" 4 (Synopsis.num_nodes s)
+
+let prop_canonicalize_fixpoint_on_stable =
+  T.qtest "stable synopses are canonical" (T.arb_tree ()) (fun t ->
+      let s = Stable.build t in
+      Synopsis.num_nodes (Synopsis.canonicalize s) = Synopsis.num_nodes s)
+
+let prop_canonicalize_preserves_expansion =
+  T.qtest "canonicalization preserves the document" (T.arb_tree ()) (fun t ->
+      let s = Stable.build t in
+      Tree.equal_unordered (Expand.exact s) (Expand.exact (Synopsis.canonicalize s)))
+
+(* ---------------- serialization ---------------- *)
+
+let test_serialize_roundtrip () =
+  let s = Stable.build fig1 in
+  let s' = Serialize.of_string (Serialize.to_string s) in
+  Alcotest.(check int) "nodes" (Synopsis.num_nodes s) (Synopsis.num_nodes s');
+  Alcotest.(check int) "edges" (Synopsis.num_edges s) (Synopsis.num_edges s');
+  Alcotest.(check bool) "same expansion" true
+    (Tree.equal_unordered (Expand.exact s) (Expand.exact s'))
+
+let prop_serialize_roundtrip =
+  T.qtest ~count:100 "serialize round trip" (T.arb_tree ()) (fun t ->
+      let s = Stable.build t in
+      let s' = Serialize.of_string (Serialize.to_string s) in
+      Tree.equal_unordered (Expand.exact s) (Expand.exact s'))
+
+let test_serialize_errors () =
+  let fails src =
+    match Serialize.of_string src with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.failf "expected failure on %S" src
+  in
+  fails "";
+  fails "root 0";
+  fails "treesketch 1\nroot 0\nnode 1 2 a\n";
+  fails "treesketch 1\nroot 0\nbogus line\n"
+
+(* ---------------- interval heap ---------------- *)
+
+let test_dheap_basics () =
+  let h = Dheap.create () in
+  Alcotest.(check bool) "empty" true (Dheap.is_empty h);
+  List.iter (fun p -> Dheap.push h p (int_of_float p)) [ 5.; 1.; 9.; 3.; 7. ];
+  Alcotest.(check int) "length" 5 (Dheap.length h);
+  Alcotest.(check (option (pair (float 0.) int))) "min" (Some (1., 1)) (Dheap.pop_min h);
+  Alcotest.(check (option (pair (float 0.) int))) "max" (Some (9., 9)) (Dheap.pop_max h);
+  Alcotest.(check (option (pair (float 0.) int))) "min2" (Some (3., 3)) (Dheap.pop_min h);
+  Alcotest.(check (option (pair (float 0.) int))) "max2" (Some (7., 7)) (Dheap.pop_max h);
+  Alcotest.(check (option (pair (float 0.) int))) "last" (Some (5., 5)) (Dheap.pop_min h);
+  Alcotest.(check bool) "drained" true (Dheap.is_empty h);
+  Alcotest.(check (option (pair (float 0.) int))) "empty pop" None (Dheap.pop_min h)
+
+let arb_ops =
+  (* a random interleaving of pushes and pops *)
+  QCheck.(list_of_size (Gen.int_range 1 200) (pair (int_range 0 2) (float_range (-100.) 100.)))
+
+let prop_dheap_invariant =
+  T.qtest "interval heap invariant" arb_ops (fun ops ->
+      let h = Dheap.create () in
+      List.for_all
+        (fun (op, prio) ->
+          (match op with
+          | 0 -> Dheap.push h prio ()
+          | 1 -> ignore (Dheap.pop_min h)
+          | _ -> ignore (Dheap.pop_max h));
+          Dheap.check_invariant h)
+        ops)
+
+let prop_dheap_total_order =
+  T.qtest "drain min yields sorted output" QCheck.(list (float_range (-1e6) 1e6))
+    (fun prios ->
+      let h = Dheap.create () in
+      List.iter (fun p -> Dheap.push h p ()) prios;
+      let rec drain acc =
+        match Dheap.pop_min h with
+        | None -> List.rev acc
+        | Some (p, ()) -> drain (p :: acc)
+      in
+      let drained = drain [] in
+      drained = List.sort Stdlib.compare prios)
+
+let prop_dheap_max_order =
+  T.qtest "drain max yields reverse sorted output"
+    QCheck.(list (float_range (-1e6) 1e6))
+    (fun prios ->
+      let h = Dheap.create () in
+      List.iter (fun p -> Dheap.push h p ()) prios;
+      let rec drain acc =
+        match Dheap.pop_max h with
+        | None -> List.rev acc
+        | Some (p, ()) -> drain (p :: acc)
+      in
+      drain [] = List.sort (fun a b -> Stdlib.compare b a) prios)
+
+let prop_dheap_mixed =
+  T.qtest "min <= max at all times" arb_ops (fun ops ->
+      let h = Dheap.create () in
+      List.for_all
+        (fun (op, prio) ->
+          (match op with
+          | 0 -> Dheap.push h prio ()
+          | 1 -> ignore (Dheap.pop_min h)
+          | _ -> ignore (Dheap.pop_max h));
+          match (Dheap.min_priority h, Dheap.max_priority h) with
+          | Some lo, Some hi -> lo <= hi
+          | None, None -> Dheap.is_empty h
+          | _ -> false)
+        ops)
+
+(* model check: the interval heap agrees with a sorted-list reference
+   under arbitrary interleavings *)
+let prop_dheap_model =
+  T.qtest ~count:150 "interval heap matches sorted-list model" arb_ops (fun ops ->
+      let h = Dheap.create () in
+      let model = ref [] in
+      List.for_all
+        (fun (op, prio) ->
+          match op with
+          | 0 ->
+            Dheap.push h prio ();
+            model := List.merge Stdlib.compare [ prio ] !model;
+            true
+          | 1 -> (
+            match (Dheap.pop_min h, !model) with
+            | None, [] -> true
+            | Some (p, ()), m :: rest ->
+              model := rest;
+              p = m
+            | _ -> false)
+          | _ -> (
+            match (Dheap.pop_max h, List.rev !model) with
+            | None, [] -> true
+            | Some (p, ()), m :: rest ->
+              model := List.rev rest;
+              p = m
+            | _ -> false))
+        ops)
+
+(* canonicalization is idempotent, also on compressed (non-stable)
+   synopses *)
+let prop_canonicalize_idempotent =
+  T.qtest ~count:60 "canonicalize is idempotent" (T.arb_tree ()) (fun t ->
+      let stable = Stable.build t in
+      let ts = Build.build stable ~budget:(Synopsis.size_bytes stable / 2) in
+      let once = Synopsis.canonicalize ts in
+      let twice = Synopsis.canonicalize once in
+      Synopsis.num_nodes once = Synopsis.num_nodes twice
+      && T.feq (Synopsis.total_elements once) (Synopsis.total_elements twice))
+
+let () =
+  Alcotest.run "sketch"
+    [
+      ( "stable",
+        [
+          Alcotest.test_case "figure 1 classes" `Quick test_stable_fig1;
+          Alcotest.test_case "figure 3 distinction" `Quick
+            test_stable_same_label_different_structure;
+          Alcotest.test_case "class_of_elements" `Quick test_class_of_elements;
+          prop_stable_roundtrip;
+          prop_stable_minimal;
+          prop_stable_counts;
+          prop_stable_idempotent_on_regular;
+        ] );
+      ( "expand",
+        [
+          Alcotest.test_case "approximate totals" `Quick test_expand_approximate_totals;
+          Alcotest.test_case "cycle guards" `Quick test_expand_cyclic_guard;
+        ] );
+      ( "synopsis",
+        [
+          Alcotest.test_case "accessors" `Quick test_synopsis_access;
+          Alcotest.test_case "heights" `Quick test_heights;
+          Alcotest.test_case "canonicalize merges" `Quick test_canonicalize_merges_leaves;
+          Alcotest.test_case "canonicalize distinct" `Quick test_canonicalize_keeps_distinct;
+          prop_canonicalize_fixpoint_on_stable;
+          prop_canonicalize_preserves_expansion;
+        ] );
+      ( "serialize",
+        [
+          Alcotest.test_case "round trip" `Quick test_serialize_roundtrip;
+          Alcotest.test_case "errors" `Quick test_serialize_errors;
+          prop_serialize_roundtrip;
+        ] );
+      ( "dheap",
+        [
+          Alcotest.test_case "basics" `Quick test_dheap_basics;
+          prop_dheap_invariant;
+          prop_dheap_total_order;
+          prop_dheap_max_order;
+          prop_dheap_mixed;
+          prop_dheap_model;
+        ] );
+      ("canonical-extra", [ prop_canonicalize_idempotent ]);
+    ]

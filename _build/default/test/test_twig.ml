@@ -1,0 +1,210 @@
+(* Tests for the twig-query substrate: syntax, parser, indexed
+   documents, exact evaluation. *)
+
+open Twig
+module T = Testutil
+module Tree = Xmldoc.Tree
+
+(* the running example: the document of Figure 1 *)
+let fig1 =
+  Xmldoc.Parser.of_string
+    "<d><a><n/><p><y/><t/><k/></p><p><y/><t/><k/><k/></p><b><t/></b></a>\
+     <a><p><y/><t/><k/></p><n/><b><t/></b></a>\
+     <a><n/><p><y/><t/><k/></p><b><t/></b></a></d>"
+
+let doc = Doc.of_tree fig1
+
+(* ---------------- syntax & parser ---------------- *)
+
+let roundtrip src =
+  let q = Parse.query src in
+  Alcotest.(check string) ("round trip " ^ src) src (Syntax.to_string q)
+
+let test_parse_roundtrip () =
+  List.iter roundtrip
+    [
+      "//a";
+      "/a/b/c";
+      "//a[//b]";
+      "//a[b/c][//d]/e";
+      "//a{//b,//c?}";
+      "//a[//b]{//p{//k?},//n?}";
+      "/a//b[c[d]]{/e?,//f{//g}}";
+    ]
+
+let test_parse_pred_default_axis () =
+  (* a bare name in a predicate defaults to the child axis *)
+  let q1 = Parse.query "//a[b]" in
+  let q2 = Parse.query "//a[/b]" in
+  Alcotest.(check bool) "bare = child" true (Syntax.equal q1 q2);
+  let q3 = Parse.query "//a[//b]" in
+  Alcotest.(check bool) "desc differs" false (Syntax.equal q1 q3)
+
+let test_parse_errors () =
+  let fails src =
+    match Parse.query src with
+    | exception Parse.Error _ -> ()
+    | _ -> Alcotest.failf "expected parse error on %S" src
+  in
+  fails "";
+  fails "//";
+  fails "//a[";
+  fails "//a{//b";
+  fails "//a{}";
+  fails "a[]"
+
+let test_renumber () =
+  let q = Parse.query "//a{//b{//c},//d}" in
+  let vars = List.map (fun (n : Syntax.node) -> n.var) (Syntax.nodes_preorder q) in
+  Alcotest.(check (list int)) "pre-order vars" [ 0; 1; 2; 3; 4 ] vars;
+  Alcotest.(check int) "num vars" 5 (Syntax.num_vars q)
+
+let prop_query_roundtrip =
+  T.qtest "query print/parse round trip" T.arb_query (fun q ->
+      Syntax.equal q (Parse.query (Syntax.to_string q)))
+
+(* ---------------- indexed documents ---------------- *)
+
+let test_doc_basics () =
+  Alcotest.(check int) "size" (Tree.size fig1) (Doc.size doc);
+  Alcotest.(check int) "root" 0 (Doc.root doc);
+  Alcotest.(check string) "root label" "d"
+    (Xmldoc.Label.to_string (Doc.label doc 0));
+  Alcotest.(check int) "root subtree" (Doc.size doc) (Doc.subtree_size doc 0);
+  Alcotest.(check int) "root parent" (-1) (Doc.parent doc 0)
+
+let test_doc_preorder_ranges () =
+  for oid = 0 to Doc.size doc - 1 do
+    let sum =
+      Array.fold_left
+        (fun acc c -> acc + Doc.subtree_size doc c)
+        1 (Doc.children doc oid)
+    in
+    Alcotest.(check int) "subtree = 1 + children subtrees" (Doc.subtree_size doc oid) sum;
+    Array.iter
+      (fun c -> Alcotest.(check int) "parent pointer" oid (Doc.parent doc c))
+      (Doc.children doc oid)
+  done
+
+let prop_doc_consistent =
+  T.qtest "Doc invariants on random trees" (T.arb_tree ()) (fun t ->
+      let d = Doc.of_tree t in
+      Doc.size d = Tree.size t
+      && Doc.height d = Tree.height t
+      && begin
+        let ok = ref true in
+        for oid = 0 to Doc.size d - 1 do
+          let last = Doc.subtree_last d oid in
+          if last >= Doc.size d then ok := false;
+          Array.iter (fun c -> if c <= oid || c > last then ok := false) (Doc.children d oid)
+        done;
+        !ok
+      end)
+
+(* ---------------- exact evaluation ---------------- *)
+
+let sel src = Eval.selectivity doc (Parse.query src)
+
+let test_eval_simple_counts () =
+  T.check_float "//a" 3. (sel "//a");
+  T.check_float "//p" 4. (sel "//p");
+  T.check_float "//k" 5. (sel "//k");
+  T.check_float "/a/p" 4. (sel "/a/p");
+  T.check_float "//zz" 0. (sel "//zz")
+
+let test_eval_preds () =
+  T.check_float "//a[//b]" 3. (sel "//a[//b]");
+  T.check_float "//p[k]" 4. (sel "//p[k]");
+  T.check_float "//a[zz]" 0. (sel "//a[zz]");
+  T.check_float "//a[//b][//k]" 3. (sel "//a[//b][//k]")
+
+let test_eval_twig_fig2 () =
+  let q = Parse.query "//a[//b]{//p{//k},//n}" in
+  (* a1: 2 p's with 1 and 2 k's times 1 n; a2, a3: 1 p with 1 k, 1 n *)
+  let expected = (1. +. 2.) +. 1. +. 1. in
+  T.check_float "fig2 tuples" expected (Eval.selectivity doc q)
+
+let test_eval_optional () =
+  let required = Parse.query "//a{//zz}" in
+  let optional = Parse.query "//a{//zz?}" in
+  T.check_float "required empty nullifies" 0. (Eval.selectivity doc required);
+  T.check_float "optional empty keeps parents" 3. (Eval.selectivity doc optional)
+
+let test_eval_nesting_tree () =
+  let q = Parse.query "//b{/t}" in
+  match (Eval.run doc q).nesting with
+  | None -> Alcotest.fail "expected non-empty nesting tree"
+  | Some nt ->
+    (* root + 3 b's + 3 t's *)
+    Alcotest.(check int) "nesting size" 7 (Tree.size nt);
+    let b = Eval.nesting_label 1 (Xmldoc.Label.of_string "b") in
+    Alcotest.(check int) "3 bound b elements" 3 (Tree.count_label b nt)
+
+let test_eval_empty_nesting () =
+  let q = Parse.query "//zz" in
+  let r = Eval.run doc q in
+  Alcotest.(check bool) "no nesting" true (r.nesting = None);
+  T.check_float "zero tuples" 0. r.selectivity
+
+let test_eval_path_dedup () =
+  (* nested identical tags a1 > a2 > a3: node-set semantics count the
+     distinct bound elements (a2, a3); witness-path semantics count
+     step assignments (a2 via a1; a3 via a1; a3 via a2) *)
+  let t = Xmldoc.Parser.of_string "<r><a><a><a/></a></a></r>" in
+  let d = Doc.of_tree t in
+  T.check_float "//a" 3. (Eval.selectivity d (Parse.query "//a"));
+  T.check_float "//a//a node-set" 2. (Eval.selectivity d (Parse.query "//a//a"));
+  T.check_float "//a//a witness paths" 3.
+    (Eval.selectivity ~dedup:false d (Parse.query "//a//a"))
+
+let test_satisfies () =
+  let p = Parse.path "//a[//b]/p" in
+  Alcotest.(check bool) "root satisfies" true (Eval.satisfies doc 0 p);
+  let none = Parse.path "//a/zz" in
+  Alcotest.(check bool) "absent path" false (Eval.satisfies doc 0 none)
+
+let prop_run_vs_selectivity =
+  T.qtest ~count:100 "run and selectivity agree" T.arb_query (fun q ->
+      let r = Eval.run doc q in
+      T.feq r.selectivity (Eval.selectivity doc q)
+      && (r.selectivity > 0.) = (r.nesting <> None))
+
+let prop_eval_on_random_docs =
+  T.qtest ~count:100 "eval total on random docs"
+    (QCheck.pair (T.arb_tree ()) T.arb_query)
+    (fun (t, q) ->
+      let d = Doc.of_tree t in
+      let r = Eval.run d q in
+      Float.is_finite r.selectivity && r.selectivity >= 0.)
+
+let () =
+  Alcotest.run "twig"
+    [
+      ( "syntax",
+        [
+          Alcotest.test_case "round trips" `Quick test_parse_roundtrip;
+          Alcotest.test_case "pred default axis" `Quick test_parse_pred_default_axis;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "renumber" `Quick test_renumber;
+          prop_query_roundtrip;
+        ] );
+      ( "doc",
+        [
+          Alcotest.test_case "basics" `Quick test_doc_basics;
+          Alcotest.test_case "pre-order ranges" `Quick test_doc_preorder_ranges;
+          prop_doc_consistent;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "simple counts" `Quick test_eval_simple_counts;
+          Alcotest.test_case "predicates" `Quick test_eval_preds;
+          Alcotest.test_case "figure 2 twig" `Quick test_eval_twig_fig2;
+          Alcotest.test_case "optional edges" `Quick test_eval_optional;
+          Alcotest.test_case "nesting tree" `Quick test_eval_nesting_tree;
+          Alcotest.test_case "empty result" `Quick test_eval_empty_nesting;
+          Alcotest.test_case "descendant dedup" `Quick test_eval_path_dedup;
+          Alcotest.test_case "satisfies" `Quick test_satisfies;
+          prop_run_vs_selectivity;
+          prop_eval_on_random_docs;
+        ] );
+    ]

@@ -1,0 +1,116 @@
+(* Tests for the workload generator. *)
+
+module T = Testutil
+
+let doc = Datagen.Datasets.generate ~seed:21 ~scale:0.3 Datagen.Datasets.Imdb
+
+let d = Twig.Doc.of_tree doc
+
+let stable = Sketch.Stable.build doc
+
+let test_positive_all_positive () =
+  let qs = Workload.positive ~seed:1 ~n:100 stable in
+  Alcotest.(check int) "requested count" 100 (List.length qs);
+  let stats = Workload.measure d qs in
+  T.check_float "all positive" 1. stats.positive_fraction;
+  Alcotest.(check bool) "tuples flow" true (stats.avg_binding_tuples > 0.)
+
+let test_positive_distinct () =
+  let qs = Workload.positive ~seed:2 ~n:80 stable in
+  let keys = List.map Twig.Syntax.to_string qs in
+  Alcotest.(check int) "all distinct" (List.length keys)
+    (List.length (List.sort_uniq Stdlib.compare keys))
+
+let test_positive_deterministic () =
+  let a = Workload.positive ~seed:3 ~n:20 stable in
+  let b = Workload.positive ~seed:3 ~n:20 stable in
+  Alcotest.(check (list string)) "same seed same workload"
+    (List.map Twig.Syntax.to_string a)
+    (List.map Twig.Syntax.to_string b)
+
+let test_negative_all_negative () =
+  let qs = Workload.negative ~seed:4 ~n:50 stable in
+  Alcotest.(check bool) "got queries" true (List.length qs > 0);
+  let stats = Workload.measure d qs in
+  T.check_float "all negative" 0. stats.positive_fraction
+
+let test_params_respected () =
+  let params = { Workload.default_params with max_vars = 1; pred_prob = 0. } in
+  let qs = Workload.positive ~params ~seed:5 ~n:30 stable in
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) "at most 2 vars" true (Twig.Syntax.num_vars q <= 2);
+      let no_preds =
+        Twig.Syntax.fold_paths
+          (fun acc p -> acc && List.for_all (fun (s : Twig.Syntax.step) -> s.preds = []) p)
+          true q
+      in
+      Alcotest.(check bool) "no predicates" true no_preds)
+    qs
+
+let test_negative_uses_absent_label () =
+  let qs = Workload.negative ~seed:11 ~n:20 stable in
+  let absent = Xmldoc.Label.of_string "__no_such_element__" in
+  List.iter
+    (fun q ->
+      let found =
+        Twig.Syntax.fold_paths
+          (fun acc p ->
+            acc
+            || List.exists
+                 (fun (s : Twig.Syntax.step) -> Xmldoc.Label.equal s.label absent)
+                 p)
+          false q
+      in
+      Alcotest.(check bool) "poison label present" true found)
+    qs
+
+let test_measure_empty () =
+  let s = Workload.measure d [] in
+  Alcotest.(check int) "no queries" 0 s.queries;
+  T.check_float "zero avg" 0. s.avg_binding_tuples
+
+let test_features_present () =
+  (* over a decent sample, the generator exercises optional edges,
+     predicates, and both axes *)
+  let qs = Workload.positive ~seed:6 ~n:200 stable in
+  let has_opt = ref false and has_pred = ref false in
+  let has_child = ref false and has_desc = ref false in
+  let rec scan_node (n : Twig.Syntax.node) =
+    List.iter
+      (fun (e : Twig.Syntax.edge) ->
+        if e.optional then has_opt := true;
+        List.iter
+          (fun (s : Twig.Syntax.step) ->
+            if s.preds <> [] then has_pred := true;
+            match s.axis with
+            | Twig.Syntax.Child -> has_child := true
+            | Twig.Syntax.Descendant -> has_desc := true)
+          e.path;
+        scan_node e.target)
+      n.edges
+  in
+  List.iter scan_node qs;
+  Alcotest.(check bool) "optional edges" true !has_opt;
+  Alcotest.(check bool) "predicates" true !has_pred;
+  Alcotest.(check bool) "child axis" true !has_child;
+  Alcotest.(check bool) "descendant axis" true !has_desc
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "positive",
+        [
+          Alcotest.test_case "all positive" `Quick test_positive_all_positive;
+          Alcotest.test_case "distinct" `Quick test_positive_distinct;
+          Alcotest.test_case "deterministic" `Quick test_positive_deterministic;
+          Alcotest.test_case "params respected" `Quick test_params_respected;
+          Alcotest.test_case "features present" `Quick test_features_present;
+        ] );
+      ( "negative",
+        [
+          Alcotest.test_case "all negative" `Quick test_negative_all_negative;
+          Alcotest.test_case "poison label" `Quick test_negative_uses_absent_label;
+          Alcotest.test_case "measure empty" `Quick test_measure_empty;
+        ] );
+    ]

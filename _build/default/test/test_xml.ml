@@ -1,0 +1,247 @@
+(* Tests for the XML substrate: labels, trees, parser, printer, stats. *)
+
+open Xmldoc
+module T = Testutil
+
+(* ---------------- labels ---------------- *)
+
+let test_label_interning () =
+  let a = Label.of_string "widget" in
+  let b = Label.of_string "widget" in
+  let c = Label.of_string "gadget" in
+  Alcotest.(check bool) "same string, same label" true (Label.equal a b);
+  Alcotest.(check bool) "different strings differ" false (Label.equal a c);
+  Alcotest.(check string) "round trip" "widget" (Label.to_string a);
+  Alcotest.(check string) "round trip other" "gadget" (Label.to_string c)
+
+let test_label_many () =
+  (* interning stays consistent across a large batch (forces growth) *)
+  let names = List.init 1000 (fun i -> Printf.sprintf "tag%d" i) in
+  let labels = List.map Label.of_string names in
+  List.iter2
+    (fun name label ->
+      Alcotest.(check string) "batch round trip" name (Label.to_string label))
+    names labels;
+  let again = List.map Label.of_string names in
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "stable ids" true (Label.equal a b))
+    labels again
+
+let test_label_order () =
+  let a = Label.of_string "zzz_order_1" in
+  let b = Label.of_string "zzz_order_2" in
+  Alcotest.(check bool) "interning order" true (Label.compare a b < 0);
+  Alcotest.(check int) "self compare" 0 (Label.compare a a)
+
+(* ---------------- trees ---------------- *)
+
+let abc = Tree.v "a" [ Tree.v "b" []; Tree.v "c" [ Tree.v "d" [] ] ]
+
+let test_tree_measures () =
+  Alcotest.(check int) "size" 4 (Tree.size abc);
+  Alcotest.(check int) "height" 2 (Tree.height abc);
+  Alcotest.(check int) "leaf size" 1 (Tree.size (Tree.v "x" []));
+  Alcotest.(check int) "leaf height" 0 (Tree.height (Tree.v "x" []))
+
+let test_tree_traversals () =
+  let pre = Tree.fold_pre (fun acc n -> Label.to_string (Tree.label n) :: acc) [] abc in
+  Alcotest.(check (list string)) "pre-order" [ "a"; "b"; "c"; "d" ] (List.rev pre);
+  let post = Tree.fold_post (fun acc n -> Label.to_string (Tree.label n) :: acc) [] abc in
+  Alcotest.(check (list string)) "post-order" [ "b"; "d"; "c"; "a" ] (List.rev post)
+
+let test_count_label () =
+  let t = Tree.v "a" [ Tree.v "b" []; Tree.v "a" [ Tree.v "b" [] ] ] in
+  Alcotest.(check int) "count a" 2 (Tree.count_label (Label.of_string "a") t);
+  Alcotest.(check int) "count b" 2 (Tree.count_label (Label.of_string "b") t);
+  Alcotest.(check int) "count absent" 0 (Tree.count_label (Label.of_string "zz") t)
+
+let test_distinct_labels () =
+  let t = Tree.v "a" [ Tree.v "b" []; Tree.v "a" [ Tree.v "c" [] ] ] in
+  let names = List.map Label.to_string (Tree.distinct_labels t) in
+  Alcotest.(check (list string)) "discovery order" [ "a"; "b"; "c" ] names
+
+let test_equal_unordered () =
+  let t1 = Tree.v "a" [ Tree.v "b" []; Tree.v "c" [] ] in
+  let t2 = Tree.v "a" [ Tree.v "c" []; Tree.v "b" [] ] in
+  let t3 = Tree.v "a" [ Tree.v "c" []; Tree.v "c" [] ] in
+  Alcotest.(check bool) "ordered differ" false (Tree.equal t1 t2);
+  Alcotest.(check bool) "iso modulo order" true (Tree.equal_unordered t1 t2);
+  Alcotest.(check bool) "different multisets" false (Tree.equal_unordered t1 t3)
+
+(* ---------------- parser ---------------- *)
+
+let parse = Parser.of_string
+
+let test_parse_simple () =
+  Alcotest.check T.tree "self closing" (Tree.v "a" []) (parse "<a/>");
+  Alcotest.check T.tree "open close" (Tree.v "a" []) (parse "<a></a>");
+  Alcotest.check T.tree "nested" abc (parse "<a><b/><c><d/></c></a>")
+
+let test_parse_whitespace_and_text () =
+  Alcotest.check T.tree "text dropped"
+    (Tree.v "a" [ Tree.v "b" [] ])
+    (parse "<a>\n  hello <b/> world\n</a>")
+
+let test_parse_attributes () =
+  Alcotest.check T.tree "attributes scanned and dropped"
+    (Tree.v "a" [ Tree.v "b" [] ])
+    (parse {|<a x="1" y='two words' flag><b z="<not a tag>"/></a>|})
+
+let test_parse_misc_constructs () =
+  Alcotest.check T.tree "declaration comment cdata doctype"
+    (Tree.v "a" [ Tree.v "b" [] ])
+    (parse
+       {|<?xml version="1.0"?><!DOCTYPE a [<!ELEMENT a (b)>]><a><!-- a comment
+          with <b/> inside --><![CDATA[<fake/>]]><b/></a>|})
+
+let test_parse_errors () =
+  let fails src =
+    match parse src with
+    | exception Parser.Error _ -> ()
+    | _ -> Alcotest.failf "expected a parse error on %S" src
+  in
+  fails "";
+  fails "<a>";
+  fails "<a></b>";
+  fails "<a/><b/>";
+  fails "just text";
+  fails "<a foo=bar/>";
+  fails "<a><!-- unterminated </a>"
+
+let test_parse_error_position () =
+  match parse "<a>\n<b></c></a>" with
+  | exception Parser.Error { line; column = _; message = _ } ->
+    Alcotest.(check int) "error line" 2 line
+  | _ -> Alcotest.fail "expected mismatched-tag error"
+
+let test_parse_deep () =
+  (* deep nesting does not blow the stack at reasonable depths *)
+  let depth = 10_000 in
+  let buf = Buffer.create (depth * 7) in
+  for _ = 1 to depth do
+    Buffer.add_string buf "<d>"
+  done;
+  for _ = 1 to depth do
+    Buffer.add_string buf "</d>"
+  done;
+  let t = parse (Buffer.contents buf) in
+  Alcotest.(check int) "deep size" depth (Tree.size t)
+
+(* ---------------- printer ---------------- *)
+
+let test_print_parse_roundtrip () =
+  Alcotest.check T.tree "compact" abc (parse (Printer.to_string abc));
+  Alcotest.check T.tree "indented" abc (parse (Printer.to_string ~indent:2 abc))
+
+let test_serialized_size () =
+  Alcotest.(check int) "size equals string length"
+    (String.length (Printer.to_string abc))
+    (Printer.serialized_size abc)
+
+let prop_roundtrip =
+  T.qtest "print/parse round trip" (T.arb_tree ())
+    (fun t -> Tree.equal t (parse (Printer.to_string t)))
+
+let prop_roundtrip_indented =
+  T.qtest "indented print/parse round trip" (T.arb_tree ())
+    (fun t -> Tree.equal t (parse (Printer.to_string ~indent:3 t)))
+
+let prop_serialized_size =
+  T.qtest "serialized_size = string length" (T.arb_tree ())
+    (fun t -> Printer.serialized_size t = String.length (Printer.to_string t))
+
+let prop_canonical_reflexive =
+  T.qtest "canonical order reflexive" (T.arb_tree ())
+    (fun t -> Tree.compare_canonical t t = 0)
+
+let prop_parser_fuzz =
+  (* arbitrary bytes either parse or raise Parser.Error — never crash *)
+  T.qtest ~count:300 "parser never crashes on junk"
+    QCheck.(string_gen_of_size (Gen.int_range 0 200) Gen.printable)
+    (fun junk ->
+      match Parser.of_string junk with
+      | (_ : Tree.t) -> true
+      | exception Parser.Error _ -> true)
+
+let prop_parser_fuzz_taggy =
+  (* junk biased towards tag-like character soup *)
+  T.qtest ~count:300 "parser never crashes on tag soup"
+    QCheck.(
+      string_gen_of_size (Gen.int_range 0 120)
+        (Gen.oneofl [ '<'; '>'; '/'; 'a'; 'b'; ' '; '"'; '='; '!'; '-'; '['; ']' ]))
+    (fun junk ->
+      match Parser.of_string junk with
+      | (_ : Tree.t) -> true
+      | exception Parser.Error _ -> true)
+
+(* ---------------- stats ---------------- *)
+
+let test_stats () =
+  let s = Stats.compute abc in
+  Alcotest.(check int) "elements" 4 s.elements;
+  Alcotest.(check int) "height" 2 s.height;
+  Alcotest.(check int) "distinct labels" 4 s.distinct_labels;
+  Alcotest.(check int) "leaves" 2 s.leaves;
+  Alcotest.(check int) "max fanout" 2 s.max_fanout;
+  T.check_float "avg fanout" 1.5 s.avg_fanout
+
+let test_label_histogram () =
+  let t = Tree.v "a" [ Tree.v "b" []; Tree.v "b" []; Tree.v "c" [] ] in
+  match Stats.label_histogram t with
+  | (top, 2) :: _ -> Alcotest.(check string) "top label" "b" (Label.to_string top)
+  | _ -> Alcotest.fail "expected b with count 2 first"
+
+let prop_stats_consistent =
+  T.qtest "stats internally consistent" (T.arb_tree ())
+    (fun t ->
+      let s = Stats.compute t in
+      s.elements = Tree.size t
+      && s.height = Tree.height t
+      && s.leaves <= s.elements
+      && (s.elements = s.leaves || s.avg_fanout >= 1.))
+
+let () =
+  Alcotest.run "xmldoc"
+    [
+      ( "label",
+        [
+          Alcotest.test_case "interning" `Quick test_label_interning;
+          Alcotest.test_case "many labels" `Quick test_label_many;
+          Alcotest.test_case "ordering" `Quick test_label_order;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "measures" `Quick test_tree_measures;
+          Alcotest.test_case "traversals" `Quick test_tree_traversals;
+          Alcotest.test_case "count_label" `Quick test_count_label;
+          Alcotest.test_case "distinct_labels" `Quick test_distinct_labels;
+          Alcotest.test_case "unordered equality" `Quick test_equal_unordered;
+          prop_canonical_reflexive;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "simple" `Quick test_parse_simple;
+          Alcotest.test_case "text skipped" `Quick test_parse_whitespace_and_text;
+          Alcotest.test_case "attributes" `Quick test_parse_attributes;
+          Alcotest.test_case "misc constructs" `Quick test_parse_misc_constructs;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "error position" `Quick test_parse_error_position;
+          Alcotest.test_case "deep document" `Quick test_parse_deep;
+          prop_parser_fuzz;
+          prop_parser_fuzz_taggy;
+        ] );
+      ( "printer",
+        [
+          Alcotest.test_case "round trip" `Quick test_print_parse_roundtrip;
+          Alcotest.test_case "serialized size" `Quick test_serialized_size;
+          prop_roundtrip;
+          prop_roundtrip_indented;
+          prop_serialized_size;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "compute" `Quick test_stats;
+          Alcotest.test_case "label histogram" `Quick test_label_histogram;
+          prop_stats_consistent;
+        ] );
+    ]

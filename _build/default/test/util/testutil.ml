@@ -1,0 +1,83 @@
+(* Shared helpers and QCheck generators for the test suites. *)
+
+module Tree = Xmldoc.Tree
+
+let tree : Tree.t Alcotest.testable =
+  Alcotest.testable Tree.pp Tree.equal
+
+let tree_iso : Tree.t Alcotest.testable =
+  Alcotest.testable Tree.pp Tree.equal_unordered
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. Float.max 1. (Float.abs a)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if not (feq ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Random labeled trees                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let default_labels = [| "a"; "b"; "c"; "d"; "e" |]
+
+(* A random tree of at most [size] nodes over a small alphabet; the
+   small alphabet maximizes label collisions and thus stresses the
+   summarization machinery. *)
+let gen_tree_sized ?(labels = default_labels) size =
+  let open QCheck.Gen in
+  let label = oneofa labels in
+  fix
+    (fun self budget ->
+      if budget <= 1 then label >|= fun l -> Tree.v l []
+      else
+        label >>= fun l ->
+        int_range 0 (min 5 (budget - 1)) >>= fun fanout ->
+        if fanout = 0 then return (Tree.v l [])
+        else begin
+          let child_budget = (budget - 1) / fanout in
+          list_repeat fanout (self (max 1 child_budget)) >|= fun children ->
+          Tree.v l children
+        end)
+    size
+
+let gen_tree ?labels () =
+  QCheck.Gen.(sized_size (int_range 1 60) (fun n -> gen_tree_sized ?labels (max 1 n)))
+
+let arb_tree ?labels () =
+  QCheck.make ~print:(Format.asprintf "%a" Tree.pp) (gen_tree ?labels ())
+
+(* Random twig queries guaranteed positive on the given document are
+   provided by the Workload library; here is a generator for arbitrary
+   (possibly empty-result) queries over a small alphabet. *)
+let gen_step =
+  let open QCheck.Gen in
+  let* axis = oneofl [ Twig.Syntax.Child; Twig.Syntax.Descendant ] in
+  let* label = oneofa default_labels in
+  return
+    (match axis with
+    | Twig.Syntax.Child -> Twig.Syntax.child label
+    | Twig.Syntax.Descendant -> Twig.Syntax.desc label)
+
+let gen_path =
+  QCheck.Gen.(list_size (int_range 1 3) gen_step)
+
+let gen_query =
+  let open QCheck.Gen in
+  let gen_edge self depth =
+    let* path = gen_path in
+    let* optional = bool in
+    let* subs =
+      if depth >= 2 then return []
+      else list_size (int_range 0 2) (self (depth + 1))
+    in
+    return (Twig.Syntax.edge ~optional path (Twig.Syntax.node subs))
+  in
+  let rec edge depth = gen_edge edge depth in
+  let* top = edge 0 in
+  return (Twig.Syntax.query [ { top with optional = false } ])
+
+let arb_query = QCheck.make ~print:Twig.Syntax.to_string gen_query
+
+(* Register a QCheck property over an arbitrary as an alcotest case. *)
+let qtest ?(count = 200) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
