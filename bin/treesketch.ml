@@ -9,27 +9,35 @@
 
 open Cmdliner
 
+(* Every loader failure exits through here: the structured fault is
+   rendered to stderr and mapped to its own exit code (parse error 1,
+   corrupt synopsis 2, limit exceeded 3, deadline 4, I/O error 5). *)
+let die fault =
+  prerr_endline (Xmldoc.Fault.to_string fault);
+  exit (Xmldoc.Fault.exit_code fault)
+
 let read_doc path =
-  try Xmldoc.Parser.of_file path
-  with e -> (
-    match Xmldoc.Parser.error_to_string e with
-    | Some msg ->
-      prerr_endline msg;
-      exit 1
-    | None -> raise e)
+  match Xmldoc.Parser.of_file_res path with Ok t -> t | Error f -> die f
+
+let read_synopsis path =
+  match Sketch.Serialize.load_res path with Ok s -> s | Error f -> die f
 
 let parse_budget s =
   let s = String.trim s in
   let num, mult =
-    if Filename.check_suffix (String.uppercase_ascii s) "KB" then
+    let up = String.uppercase_ascii s in
+    if Filename.check_suffix up "KB" then
       (String.sub s 0 (String.length s - 2), 1024)
-    else if Filename.check_suffix (String.uppercase_ascii s) "B" then
+    else if Filename.check_suffix up "MB" then
+      (String.sub s 0 (String.length s - 2), 1024 * 1024)
+    else if Filename.check_suffix up "B" then
       (String.sub s 0 (String.length s - 1), 1)
     else (s, 1)
   in
   match int_of_string_opt (String.trim num) with
-  | Some n when n > 0 -> Ok (n * mult)
-  | _ -> Error (`Msg (Printf.sprintf "bad budget %S (try 10KB or 4096)" s))
+  | Some n when n > 0 && n <= max_int / mult -> Ok (n * mult)
+  | Some n when n > 0 -> Error (`Msg (Printf.sprintf "budget %S overflows" s))
+  | _ -> Error (`Msg (Printf.sprintf "bad budget %S (try 10KB, 2MB or 4096)" s))
 
 let budget_conv = Arg.conv (parse_budget, fun ppf b -> Format.fprintf ppf "%dB" b)
 
@@ -90,11 +98,30 @@ let build_cmd =
       value & flag
       & info [ "stable" ] ~doc:"Emit the lossless count-stable summary instead.")
   in
-  let run input budget out stable_only =
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Construction deadline.  On expiry the best-so-far synopsis is \
+             emitted (flagged degraded on stderr) instead of failing.")
+  in
+  let run input budget out stable_only timeout =
     let doc = read_doc input in
     let stable = Sketch.Stable.build doc in
-    let synopsis =
-      if stable_only then stable else Sketch.Build.build stable ~budget
+    let synopsis, degraded =
+      if stable_only then (stable, false)
+      else begin
+        let limits =
+          match timeout with
+          | None -> Xmldoc.Limits.unlimited
+          | Some s -> Xmldoc.Limits.with_timeout s Xmldoc.Limits.unlimited
+        in
+        match Sketch.Build.build_res ~limits stable ~budget with
+        | Ok { synopsis; degraded } -> (synopsis, degraded)
+        | Error f -> die f
+      end
     in
     let text = Sketch.Serialize.to_string synopsis in
     (match out with
@@ -103,6 +130,10 @@ let build_cmd =
       output_string oc text;
       close_out oc
     | None -> print_string text);
+    if degraded then
+      prerr_endline
+        "warning: deadline expired mid-construction; emitting the best-so-far \
+         (over-budget) synopsis";
     Printf.eprintf "%s: %d classes, %d bytes (stable summary: %d bytes)\n"
       (if stable_only then "count-stable summary" else "treesketch")
       (Sketch.Synopsis.num_nodes synopsis)
@@ -111,7 +142,7 @@ let build_cmd =
   in
   Cmd.v
     (Cmd.info "build" ~doc:"Build a TREESKETCH synopsis from an XML document.")
-    Term.(const run $ input $ budget $ out $ stable_only)
+    Term.(const run $ input $ budget $ out $ stable_only $ timeout)
 
 (* -------------------------------- query ------------------------------- *)
 
@@ -144,7 +175,7 @@ let query_cmd =
     Arg.(value & flag & info [ "answer" ] ~doc:"Print the approximate nesting tree.")
   in
   let run synopsis query exact show_answer =
-    let ts = Sketch.Serialize.load synopsis in
+    let ts = read_synopsis synopsis in
     let answer = Sketch.Eval.eval ts query in
     let estimate = Sketch.Selectivity.of_answer query answer in
     if answer.empty then print_endline "answer: (empty)"
@@ -210,5 +241,14 @@ let stats_cmd =
 
 let () =
   let doc = "Approximate XML query answering with TREESKETCH synopses." in
-  let info = Cmd.info "treesketch" ~version:"1.0.0" ~doc in
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P
+        "Ingestion failures use distinct exit codes: 1 XML parse error, 2 \
+         corrupt synopsis, 3 resource limit exceeded, 4 deadline expired, 5 \
+         I/O error.";
+    ]
+  in
+  let info = Cmd.info "treesketch" ~version:"1.0.0" ~doc ~man in
   exit (Cmd.eval (Cmd.group info [ datagen_cmd; build_cmd; query_cmd; esd_cmd; stats_cmd ]))

@@ -84,10 +84,14 @@ let create_pool params cl =
   heap
 
 (* TSBUILD (Figure 5) with a callback invoked after every applied
-   merge, used to snapshot checkpoints. *)
-let compress_gen params cl ~budget ~on_merge =
+   merge, used to snapshot checkpoints, and a deadline from [limits].
+   Returns [false] iff the deadline expired before the budget (or the
+   label-split floor) was reached — the clustering is then left at the
+   best state reached so far, which is always a valid synopsis. *)
+let compress_gen params cl ~budget ~limits ~on_merge =
+  let expired = ref (Xmldoc.Limits.expired limits) in
   let exhausted = ref false in
-  while Cluster.size_bytes cl > budget && not !exhausted do
+  while Cluster.size_bytes cl > budget && (not !exhausted) && not !expired do
     let heap = create_pool params cl in
     if Dheap.is_empty heap then exhausted := true
     else begin
@@ -100,6 +104,7 @@ let compress_gen params cl ~budget ~on_merge =
         !continue_
         && Cluster.size_bytes cl > budget
         && Dheap.length heap > low_mark
+        && not (expired := Xmldoc.Limits.expired limits; !expired)
       do
         match Dheap.pop_min heap with
         | None -> continue_ := false
@@ -122,17 +127,50 @@ let compress_gen params cl ~budget ~on_merge =
       done;
       (* A pool that produced no merge at all cannot make progress by
          regeneration either. *)
-      if (not !progressed) && Dheap.length heap <= low_mark then exhausted := true
+      if (not !progressed) && (not !expired) && Dheap.length heap <= low_mark then
+        exhausted := true
     end
-  done
+  done;
+  not (!expired && Cluster.size_bytes cl > budget)
 
 let compress ?(params = default_params) cl ~budget =
-  compress_gen params cl ~budget ~on_merge:(fun () -> ())
+  ignore
+    (compress_gen params cl ~budget ~limits:Xmldoc.Limits.unlimited
+       ~on_merge:(fun () -> ()))
 
 let build ?params stable ~budget =
   let cl = Cluster.of_stable stable in
   compress ?params cl ~budget;
   Cluster.to_synopsis cl
+
+type outcome = {
+  synopsis : Synopsis.t;
+  degraded : bool;
+}
+
+let build_res ?(params = default_params) ?(limits = Xmldoc.Limits.unlimited) stable
+    ~budget =
+  match Synopsis.validate stable with
+  | Error message ->
+    Error (Xmldoc.Fault.Corrupt_synopsis { line = 0; content = ""; message })
+  | Ok () ->
+    let cl = Cluster.of_stable stable in
+    let completed =
+      compress_gen params cl ~budget ~limits ~on_merge:(fun () -> ())
+    in
+    let synopsis = Cluster.to_synopsis cl in
+    (match Synopsis.validate synopsis with
+    | Error message ->
+      (* TSBUILD broke its own invariants — an internal bug, but still
+         reported as a structured error rather than an exception. *)
+      Error
+        (Xmldoc.Fault.Corrupt_synopsis
+           {
+             line = 0;
+             content = "";
+             message = Printf.sprintf "TSBUILD produced an invalid synopsis: %s" message;
+           })
+    | Ok () -> Ok { synopsis; degraded = not completed })
 
 let build_of_tree ?params tree ~budget = build ?params (Stable.build tree) ~budget
 
@@ -157,7 +195,9 @@ let build_with_checkpoints ?(params = default_params) stable ~budgets =
   | [] -> ()
   | _ ->
     let final = List.fold_left min max_int sorted in
-    compress_gen params cl ~budget:final ~on_merge:snapshot_reached);
+    ignore
+      (compress_gen params cl ~budget:final ~limits:Xmldoc.Limits.unlimited
+         ~on_merge:snapshot_reached));
   (* Budgets below the label-split floor get the smallest synopsis. *)
   let floor = Cluster.to_synopsis cl in
   List.map

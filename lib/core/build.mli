@@ -30,6 +30,28 @@ val build : ?params:params -> Synopsis.t -> budget:int -> Synopsis.t
 (** [build stable ~budget] is the TREESKETCH of the given count-stable
     summary fitting in [budget] bytes. *)
 
+type outcome = {
+  synopsis : Synopsis.t;
+  degraded : bool;
+      (** [true] when the deadline expired before the budget was
+          reached: [synopsis] is the best-so-far (valid, but possibly
+          over budget) state of the compression *)
+}
+
+val build_res :
+  ?params:params ->
+  ?limits:Xmldoc.Limits.t ->
+  Synopsis.t ->
+  budget:int ->
+  (outcome, Xmldoc.Fault.t) result
+(** Guarded [build]: the input is checked with {!Synopsis.validate}
+    (rejections are [Error (Corrupt_synopsis _)]) and the [limits]
+    deadline is polled after every candidate merge.  On expiry the
+    construction degrades gracefully — the best-so-far clustering is
+    returned with [degraded = true] instead of failing — so callers
+    always get a synopsis that passes {!Synopsis.validate}.  [limits]
+    defaults to {!Xmldoc.Limits.unlimited}. *)
+
 val build_of_tree : ?params:params -> Xmldoc.Tree.t -> budget:int -> Synopsis.t
 (** Convenience: [BUILD_STABLE] then [build]. *)
 

@@ -16,36 +16,80 @@ let to_string (s : Synopsis.t) =
     s.nodes;
   Buffer.contents buf
 
-let of_string text =
+(* Structured parse failure carrier, converted to [Fault.t] at the
+   entry-point boundary. *)
+exception Corrupt of { line : int; content : string; message : string }
+
+let corrupt ~line ~content fmt =
+  Printf.ksprintf (fun message -> raise (Corrupt { line; content; message })) fmt
+
+let of_string_exn (limits : Xmldoc.Limits.t) text =
+  let start = Xmldoc.Limits.now () in
   let lines = String.split_on_char '\n' text in
   let root = ref (-1) in
   let nodes : (int, Xmldoc.Label.t * float) Hashtbl.t = Hashtbl.create 256 in
   let edges : (int, (int * float) list ref) Hashtbl.t = Hashtbl.create 256 in
-  let parse_line line =
+  let parse_line lineno line =
+    let fail fmt = corrupt ~line:lineno ~content:line fmt in
+    let int_field what s =
+      match int_of_string_opt s with
+      | Some v -> v
+      | None -> fail "%s %S is not an integer" what s
+    in
+    let float_field what s =
+      match float_of_string_opt s with
+      | Some v -> v
+      | None -> fail "%s %S is not a number" what s
+    in
     match String.split_on_char ' ' (String.trim line) with
     | [ "" ] | [] -> ()
     | [ "treesketch"; "1" ] -> ()
-    | [ "root"; id ] -> root := int_of_string id
+    | "treesketch" :: v -> fail "unsupported format version %S" (String.concat " " v)
+    | [ "root"; id ] -> root := int_field "root id" id
     | "node" :: id :: count :: label_words ->
+      let id = int_field "node id" id in
+      if id < 0 then fail "negative node id %d" id;
+      if Hashtbl.mem nodes id then fail "duplicate node id %d" id;
+      if Hashtbl.length nodes >= limits.max_elements then
+        raise
+          (Xmldoc.Fault.Fault
+             (Limit_exceeded
+                {
+                  what = "nodes";
+                  actual = Hashtbl.length nodes + 1;
+                  limit = limits.max_elements;
+                }));
       let label = String.concat " " label_words in
-      Hashtbl.replace nodes (int_of_string id)
-        (Xmldoc.Label.of_string label, float_of_string count)
+      if label = "" then fail "node %d: empty label" id;
+      Hashtbl.add nodes id (Xmldoc.Label.of_string label, float_field "node count" count)
     | [ "edge"; from; into; avg ] ->
-      let from = int_of_string from in
-      let entry = (int_of_string into, float_of_string avg) in
+      let from = int_field "edge source" from in
+      let entry = (int_field "edge target" into, float_field "edge average" avg) in
       (match Hashtbl.find_opt edges from with
       | Some l -> l := entry :: !l
       | None -> Hashtbl.add edges from (ref [ entry ]))
-    | _ -> failwith (Printf.sprintf "Serialize.of_string: bad line %S" line)
+    | word :: _ -> fail "unknown record %S" word
   in
-  (try List.iter parse_line lines
-   with Failure _ as e -> raise e | _ -> failwith "Serialize.of_string: malformed input");
+  List.iteri
+    (fun i line ->
+      if i land 4095 = 0 && Xmldoc.Limits.expired limits then
+        raise
+          (Xmldoc.Fault.Fault
+             (Deadline
+                {
+                  stage = "synopsis load";
+                  elapsed = Xmldoc.Limits.now () -. start;
+                }));
+      parse_line (i + 1) line)
+    lines;
   let n = Hashtbl.length nodes in
-  if !root < 0 || !root >= n then failwith "Serialize.of_string: missing or bad root";
+  let whole fmt = corrupt ~line:0 ~content:"" fmt in
+  if n = 0 then whole "no node records";
+  if !root < 0 || !root >= n then whole "missing or bad root %d (have %d nodes)" !root n;
   let node_arr =
     Array.init n (fun i ->
         match Hashtbl.find_opt nodes i with
-        | None -> failwith (Printf.sprintf "Serialize.of_string: missing node %d" i)
+        | None -> whole "missing node %d (ids must be dense 0..%d)" i (n - 1)
         | Some (label, count) ->
           let edges =
             match Hashtbl.find_opt edges i with
@@ -54,7 +98,35 @@ let of_string text =
           in
           { Synopsis.label; count; edges })
   in
-  Synopsis.make ~root:!root node_arr
+  Hashtbl.iter
+    (fun from _ ->
+      if from < 0 || from >= n then whole "edge source %d out of range [0,%d)" from n)
+    edges;
+  let s =
+    try Synopsis.make ~root:!root node_arr
+    with Invalid_argument msg -> whole "%s" msg
+  in
+  (match Synopsis.validate s with
+  | Ok () -> ()
+  | Error msg -> whole "%s" msg);
+  s
+
+let of_string_res ?(limits = Xmldoc.Limits.default) text =
+  if String.length text > limits.max_bytes then
+    Error
+      (Xmldoc.Fault.Limit_exceeded
+         { what = "bytes"; actual = String.length text; limit = limits.max_bytes })
+  else
+    match of_string_exn limits text with
+    | s -> Ok s
+    | exception Corrupt { line; content; message } ->
+      Error (Xmldoc.Fault.Corrupt_synopsis { line; content; message })
+    | exception Xmldoc.Fault.Fault f -> Error f
+
+let of_string ?limits text =
+  match of_string_res ?limits text with
+  | Ok s -> s
+  | Error f -> failwith (Xmldoc.Fault.to_string f)
 
 let save path s =
   let oc = open_out_bin path in
@@ -62,10 +134,26 @@ let save path s =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (to_string s))
 
-let load path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let len = in_channel_length ic in
-      of_string (really_input_string ic len))
+let load_res ?(limits = Xmldoc.Limits.default) path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        if len > limits.max_bytes then
+          Error
+            (Xmldoc.Fault.Limit_exceeded
+               { what = "bytes"; actual = len; limit = limits.max_bytes })
+        else of_string_res ~limits (really_input_string ic len))
+  with
+  | r -> r
+  | exception Sys_error message -> Error (Xmldoc.Fault.Io_error { path; message })
+  | exception End_of_file ->
+    Error (Xmldoc.Fault.Io_error { path; message = "unexpected end of file" })
+
+let load ?limits path =
+  match load_res ?limits path with
+  | Ok s -> s
+  | Error (Xmldoc.Fault.Io_error { message; _ }) -> raise (Sys_error message)
+  | Error f -> failwith (Xmldoc.Fault.to_string f)

@@ -7,15 +7,34 @@
     root <id>
     node <id> <count> <label>
     edge <from> <to> <avg>
-    v} *)
+    v}
+
+    Loading is total and validating: the [*_res] entry points never
+    raise — every malformed line is reported as
+    [Fault.Corrupt_synopsis] carrying the 1-based line number and the
+    offending line's text, resource bounds from the supplied
+    [Xmldoc.Limits.t] are enforced, and every successfully decoded
+    synopsis has passed {!Synopsis.validate} (so downstream code can
+    index it without bounds anxiety). *)
 
 val save : string -> Synopsis.t -> unit
 (** Write the synopsis to a file. *)
 
-val load : string -> Synopsis.t
-(** Read a synopsis back.  @raise Failure on malformed input. *)
+val load_res : ?limits:Xmldoc.Limits.t -> string -> (Synopsis.t, Xmldoc.Fault.t) result
+(** Read and validate a synopsis.  Never raises: corrupt input is
+    [Error (Corrupt_synopsis _)], an unreadable file
+    [Error (Io_error _)], a violated bound [Error (Limit_exceeded _)]
+    or [Error (Deadline _)]. *)
+
+val of_string_res : ?limits:Xmldoc.Limits.t -> string -> (Synopsis.t, Xmldoc.Fault.t) result
+(** In-memory variant of {!load_res}. *)
+
+val load : ?limits:Xmldoc.Limits.t -> string -> Synopsis.t
+(** Read a synopsis back.  @raise Failure on malformed input (the
+    message includes the offending line), [Sys_error] if the file
+    cannot be read. *)
 
 val to_string : Synopsis.t -> string
 
-val of_string : string -> Synopsis.t
+val of_string : ?limits:Xmldoc.Limits.t -> string -> Synopsis.t
 (** @raise Failure on malformed input. *)

@@ -183,6 +183,42 @@ let canonicalize s =
     end
   end
 
+let validate s =
+  let n = Array.length s.nodes in
+  let fail fmt = Printf.ksprintf (fun msg -> Stdlib.Error msg) fmt in
+  if n = 0 then fail "empty synopsis"
+  else if s.root < 0 || s.root >= n then
+    fail "root %d out of range [0,%d)" s.root n
+  else begin
+    let problem = ref None in
+    let report fmt = Printf.ksprintf (fun msg -> problem := Some msg) fmt in
+    Array.iteri
+      (fun u node ->
+        if !problem = None then begin
+          if not (Float.is_finite node.count) then
+            report "node %d: count %g is not finite" u node.count
+          else if node.count < 0. then
+            report "node %d: negative count %g" u node.count;
+          let prev = ref (-1) in
+          Array.iter
+            (fun (t, k) ->
+              if !problem = None then begin
+                if t < 0 || t >= n then
+                  report "node %d: edge target %d out of range [0,%d)" u t n
+                else if t <= !prev then
+                  report "node %d: duplicate or unsorted edge target %d" u t
+                else if not (Float.is_finite k) then
+                  report "edge (%d,%d): average %g is not finite" u t k
+                else if not (k > 0.) then
+                  report "edge (%d,%d): non-positive average %g" u t k;
+                prev := t
+              end)
+            node.edges
+        end)
+      s.nodes;
+    match !problem with None -> Ok () | Some msg -> Stdlib.Error msg
+  end
+
 let make ~root nodes =
   let n = Array.length nodes in
   if root < 0 || root >= n then invalid_arg "Synopsis.make: bad root";

@@ -76,6 +76,14 @@ val canonicalize : t -> t
     fair ESD comparison against the (canonical) stable summary of the
     true nesting tree. *)
 
+val validate : t -> (unit, string) result
+(** Invariant check run on every untrusted or freshly-constructed
+    synopsis (after [Serialize] loads and after [TSBUILD] merges):
+    the root id is in range, every edge target is in range, edge lists
+    are strictly sorted by target (no duplicates), and all counts and
+    edge averages are finite with [count >= 0] and averages [> 0].
+    Returns the first violation as a human-readable message. *)
+
 val make : root:int -> node array -> t
 (** Build a synopsis, normalizing edge order.  Raises [Invalid_argument]
     if the root id is out of range or an edge target is invalid. *)

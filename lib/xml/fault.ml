@@ -1,0 +1,27 @@
+type t =
+  | Parse_error of { line : int; column : int; message : string }
+  | Limit_exceeded of { what : string; actual : int; limit : int }
+  | Corrupt_synopsis of { line : int; content : string; message : string }
+  | Deadline of { stage : string; elapsed : float }
+  | Io_error of { path : string; message : string }
+
+exception Fault of t
+
+let to_string = function
+  | Parse_error { line; column; message } ->
+    Printf.sprintf "XML parse error at line %d, column %d: %s" line column message
+  | Limit_exceeded { what; actual; limit } ->
+    Printf.sprintf "resource limit exceeded: %s = %d (limit %d)" what actual limit
+  | Corrupt_synopsis { line; content; message } ->
+    if line = 0 then Printf.sprintf "corrupt synopsis: %s" message
+    else Printf.sprintf "corrupt synopsis at line %d (%S): %s" line content message
+  | Deadline { stage; elapsed } ->
+    Printf.sprintf "deadline expired during %s after %.3fs" stage elapsed
+  | Io_error { path; message } -> Printf.sprintf "cannot read %s: %s" path message
+
+let exit_code = function
+  | Parse_error _ -> 1
+  | Corrupt_synopsis _ -> 2
+  | Limit_exceeded _ -> 3
+  | Deadline _ -> 4
+  | Io_error _ -> 5

@@ -1,0 +1,34 @@
+(** The single error taxonomy of the ingestion layer.
+
+    Every [*_res] loader in the repository — [Xmldoc.Parser],
+    [Sketch.Serialize], [Sketch.Build] — reports failure as a value of
+    this type, so callers (the CLI in particular) handle corrupt XML,
+    corrupt synopsis files, resource-limit violations and expired
+    deadlines uniformly, each with its own exit code. *)
+
+type t =
+  | Parse_error of { line : int; column : int; message : string }
+      (** malformed XML, with a 1-based source position *)
+  | Limit_exceeded of { what : string; actual : int; limit : int }
+      (** a {!Limits.t} bound was hit; [what] names the resource
+          ("bytes", "depth", "elements", "nodes") *)
+  | Corrupt_synopsis of { line : int; content : string; message : string }
+      (** malformed or invariant-violating synopsis file; [line] is
+          1-based ([0] when the failure is not tied to one line) and
+          [content] is the offending line's text *)
+  | Deadline of { stage : string; elapsed : float }
+      (** the {!Limits.t} deadline expired during [stage] *)
+  | Io_error of { path : string; message : string }
+      (** the underlying file could not be read *)
+
+exception Fault of t
+(** Raising carrier used by the legacy non-[result] entry points for
+    faults that predate them (limit and deadline violations). *)
+
+val to_string : t -> string
+(** One-line human-readable rendering, suitable for stderr. *)
+
+val exit_code : t -> int
+(** Distinct process exit code per taxonomy case, used by the CLI:
+    parse error 1, corrupt synopsis 2, limit exceeded 3, deadline 4,
+    I/O error 5. *)

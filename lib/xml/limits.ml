@@ -1,0 +1,27 @@
+type t = {
+  max_bytes : int;
+  max_depth : int;
+  max_elements : int;
+  deadline : float option;
+}
+
+let default =
+  {
+    max_bytes = 256 * 1024 * 1024;
+    max_depth = 200_000;
+    max_elements = 50_000_000;
+    deadline = None;
+  }
+
+let unlimited =
+  { max_bytes = max_int; max_depth = max_int; max_elements = max_int; deadline = None }
+
+(* Sys.time is processor time: monotone, dependency-free, and immune to
+   wall-clock adjustments.  Deadlines guard against runaway computation,
+   not calendar scheduling, so CPU seconds are the right unit. *)
+let now () = Sys.time ()
+
+let with_timeout seconds l = { l with deadline = Some (now () +. seconds) }
+
+let expired l =
+  match l.deadline with None -> false | Some d -> now () > d

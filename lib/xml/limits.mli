@@ -1,0 +1,40 @@
+(** Resource limits threaded through every ingestion entry point.
+
+    Loading untrusted bytes must be a total function: it returns a value
+    or a structured {!Fault.t}, never a crash.  A [Limits.t] bounds the
+    four resources a hostile or degenerate input can exhaust — input
+    size, nesting depth, element/node count, and wall-clock budget —
+    and is accepted by [Xmldoc.Parser], [Sketch.Serialize] and
+    [Sketch.Build].
+
+    Deadlines are absolute timestamps on the {!now} clock; an expired
+    deadline makes loaders return [Fault.Deadline] and makes
+    [Sketch.Build.build_res] degrade gracefully instead of failing. *)
+
+type t = {
+  max_bytes : int;  (** maximum input size in bytes *)
+  max_depth : int;  (** maximum element nesting depth (root = 1) *)
+  max_elements : int;
+      (** maximum number of elements (XML) or synopsis nodes (sketch) *)
+  deadline : float option;
+      (** absolute timestamp on the {!now} clock, [None] = no deadline *)
+}
+
+val default : t
+(** Generous production defaults: 256 MiB, depth 200k, 50M elements,
+    no deadline.  Large enough that every document in the paper's
+    experiments (§6) loads unimpeded. *)
+
+val unlimited : t
+(** No bounds at all — for trusted, already-validated inputs. *)
+
+val now : unit -> float
+(** The clock deadlines are measured on (seconds, monotone within a
+    process). *)
+
+val with_timeout : float -> t -> t
+(** [with_timeout seconds l] is [l] with a deadline [seconds] from
+    now. *)
+
+val expired : t -> bool
+(** Has the deadline passed? Always [false] without a deadline. *)

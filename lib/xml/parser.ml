@@ -1,12 +1,17 @@
 exception Error of { line : int; column : int; message : string }
 
-(* Hand-rolled recursive-descent scanner over a string.  Position
-   tracking is maintained lazily: we record only the byte offset and
-   recover line/column when raising. *)
+(* Hand-rolled scanner over a string.  Position tracking is maintained
+   lazily: we record only the byte offset and recover line/column when
+   raising.  Element structure is parsed with an explicit stack (not
+   recursive descent) so nesting depth is bounded by [Limits.max_depth],
+   never by the OCaml call stack. *)
 
 type state = {
   src : string;
   mutable pos : int;
+  limits : Limits.t;
+  mutable elements : int;
+  start : float;
 }
 
 let position st upto =
@@ -23,6 +28,9 @@ let position st upto =
 let fail st message =
   let line, column = position st st.pos in
   raise (Error { line; column; message })
+
+let limit_fail what actual limit =
+  raise (Fault.Fault (Limit_exceeded { what; actual; limit }))
 
 let eof st = st.pos >= String.length st.src
 
@@ -100,13 +108,16 @@ let skip_attributes st =
 
 (* Skip non-element content between tags: text, comments, CDATA and
    processing instructions.  Returns when positioned at a '<' that opens
-   an element start/end tag, or at end of input. *)
-let rec skip_misc st =
-  while (not (eof st)) && peek st <> '<' do
-    advance st
-  done;
-  if not (eof st) then begin
-    if st.pos + 1 < String.length st.src then
+   an element start/end tag, or at end of input.  Iterative: a run of a
+   million consecutive comments must not consume stack. *)
+let skip_misc st =
+  let continue_ = ref true in
+  while !continue_ do
+    while (not (eof st)) && peek st <> '<' do
+      advance st
+    done;
+    if eof st || st.pos + 1 >= String.length st.src then continue_ := false
+    else
       match st.src.[st.pos + 1] with
       | '!' ->
         if
@@ -114,16 +125,14 @@ let rec skip_misc st =
           && String.sub st.src st.pos 4 = "<!--"
         then begin
           st.pos <- st.pos + 4;
-          skip_until st "-->";
-          skip_misc st
+          skip_until st "-->"
         end
         else if
           st.pos + 8 < String.length st.src
           && String.sub st.src st.pos 9 = "<![CDATA["
         then begin
           st.pos <- st.pos + 9;
-          skip_until st "]]>";
-          skip_misc st
+          skip_until st "]]>"
         end
         else begin
           (* DOCTYPE or other declaration: skip to the matching '>'.
@@ -140,70 +149,143 @@ let rec skip_misc st =
                advance st
              done
            with Invalid_argument _ -> fail st "unterminated declaration");
-          advance st;
-          skip_misc st
+          advance st
         end
       | '?' ->
         st.pos <- st.pos + 2;
-        skip_until st "?>";
-        skip_misc st
-      | _ -> ()
-  end
+        skip_until st "?>"
+      | _ -> continue_ := false
+  done
 
-(* Parse one element, positioned at its '<'. *)
-let rec parse_element st =
-  expect st '<';
-  let name = scan_name st in
-  skip_attributes st;
-  if eof st then fail st "unterminated start tag";
-  if peek st = '/' then begin
-    advance st;
-    expect st '>';
-    Tree.leaf (Label.of_string name)
-  end
-  else begin
-    expect st '>';
-    let children = ref [] in
-    let rec content () =
+(* One frame per open element; [children] accumulates in reverse. *)
+type frame = {
+  name : string;
+  mutable children : Tree.t list;
+}
+
+let budget_element st =
+  st.elements <- st.elements + 1;
+  if st.elements > st.limits.Limits.max_elements then
+    limit_fail "elements" st.elements st.limits.Limits.max_elements;
+  if st.elements land 511 = 0 && Limits.expired st.limits then
+    raise
+      (Fault.Fault
+         (Deadline { stage = "XML parse"; elapsed = Limits.now () -. st.start }))
+
+(* Parse the document's single element tree, positioned at its '<'.
+   Explicit-stack loop: the outer iteration consumes one start tag (or
+   self-closing element), the inner one pops any run of close tags. *)
+let parse_document st =
+  let stack = ref [] in
+  let depth = ref 0 in
+  let finished = ref None in
+  let complete tree =
+    match !stack with
+    | [] -> finished := Some tree
+    | f :: _ -> f.children <- tree :: f.children
+  in
+  while !finished = None do
+    (* positioned at the '<' of a start tag *)
+    expect st '<';
+    let name = scan_name st in
+    skip_attributes st;
+    if eof st then fail st "unterminated start tag";
+    budget_element st;
+    if peek st = '/' then begin
+      advance st;
+      expect st '>';
+      complete (Tree.leaf (Label.of_string name))
+    end
+    else begin
+      expect st '>';
+      stack := { name; children = [] } :: !stack;
+      incr depth;
+      if !depth > st.limits.Limits.max_depth then
+        limit_fail "depth" !depth st.limits.Limits.max_depth
+    end;
+    (* pop close tags until the next start tag, or the root closes *)
+    let scanning = ref true in
+    while !scanning && !finished = None do
       skip_misc st;
-      if eof st then fail st (Printf.sprintf "missing </%s>" name)
-      else if st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = '/'
-      then begin
-        st.pos <- st.pos + 2;
-        let close = scan_name st in
-        if close <> name then
-          fail st (Printf.sprintf "mismatched tags: <%s> closed by </%s>" name close);
-        skip_spaces st;
-        expect st '>'
-      end
-      else begin
-        children := parse_element st :: !children;
-        content ()
-      end
-    in
-    content ();
-    Tree.make (Label.of_string name) (List.rev !children)
+      match !stack with
+      | [] -> assert false (* [complete] on the root sets [finished] *)
+      | f :: rest ->
+        if eof st then fail st (Printf.sprintf "missing </%s>" f.name)
+        else if st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = '/'
+        then begin
+          st.pos <- st.pos + 2;
+          let close = scan_name st in
+          if close <> f.name then
+            fail st
+              (Printf.sprintf "mismatched tags: <%s> closed by </%s>" f.name close);
+          skip_spaces st;
+          expect st '>';
+          stack := rest;
+          decr depth;
+          complete (Tree.make (Label.of_string f.name) (List.rev f.children))
+        end
+        else scanning := false
+    done
+  done;
+  Option.get !finished
+
+let of_string_res ?(limits = Limits.default) src =
+  if String.length src > limits.Limits.max_bytes then
+    Stdlib.Error
+      (Fault.Limit_exceeded
+         { what = "bytes"; actual = String.length src; limit = limits.Limits.max_bytes })
+  else begin
+    let st = { src; pos = 0; limits; elements = 0; start = Limits.now () } in
+    match
+      skip_misc st;
+      if eof st then fail st "no root element";
+      let root = parse_document st in
+      skip_misc st;
+      if not (eof st) then fail st "content after the root element";
+      root
+    with
+    | root -> Ok root
+    | exception Error { line; column; message } ->
+      Stdlib.Error (Fault.Parse_error { line; column; message })
+    | exception Fault.Fault f -> Stdlib.Error f
   end
 
-let of_string src =
-  let st = { src; pos = 0 } in
-  skip_misc st;
-  if eof st then fail st "no root element";
-  let root = parse_element st in
-  skip_misc st;
-  if not (eof st) then fail st "content after the root element";
-  root
+let raise_fault = function
+  | Fault.Parse_error { line; column; message } ->
+    raise (Error { line; column; message })
+  | f -> raise (Fault.Fault f)
 
-let of_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let len = in_channel_length ic in
-      let src = really_input_string ic len in
-      of_string src)
+let of_string ?limits src =
+  match of_string_res ?limits src with
+  | Ok t -> t
+  | Stdlib.Error f -> raise_fault f
+
+let of_file_res ?(limits = Limits.default) path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        if len > limits.Limits.max_bytes then
+          Stdlib.Error
+            (Fault.Limit_exceeded
+               { what = "bytes"; actual = len; limit = limits.Limits.max_bytes })
+        else of_string_res ~limits (really_input_string ic len))
+  with
+  | r -> r
+  | exception Sys_error message -> Stdlib.Error (Fault.Io_error { path; message })
+  | exception End_of_file ->
+    Stdlib.Error (Fault.Io_error { path; message = "unexpected end of file" })
+
+let of_file ?limits path =
+  match of_file_res ?limits path with
+  | Ok t -> t
+  | Stdlib.Error (Fault.Io_error { message; _ }) -> raise (Sys_error message)
+  | Stdlib.Error f -> raise_fault f
 
 let error_to_string = function
   | Error { line; column; message } ->
-    Some (Printf.sprintf "XML parse error at line %d, column %d: %s" line column message)
+    Some (Fault.to_string (Parse_error { line; column; message }))
+  | Fault.Fault f -> Some (Fault.to_string f)
   | _ -> None

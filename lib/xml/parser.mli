@@ -10,18 +10,40 @@
       and the DOCTYPE declaration are skipped;
     - entities inside text are not expanded (text is discarded anyway).
 
-    A document must have exactly one root element. *)
+    A document must have exactly one root element.
+
+    Loading is total: element structure is parsed with an explicit
+    stack, so nesting depth is bounded only by [Limits.max_depth] —
+    a 100k-deep document parses without [Stack_overflow] — and every
+    resource in the supplied {!Limits.t} (bytes, depth, elements,
+    deadline) is enforced.  The [*_res] entry points return every
+    failure as a structured {!Fault.t}; the legacy entry points raise
+    {!Error} on malformed input and [Fault.Fault] on limit/deadline
+    violations. *)
 
 exception Error of { line : int; column : int; message : string }
 (** Raised on malformed input, with a 1-based source position. *)
 
-val of_string : string -> Tree.t
-(** Parse a document held in memory.  @raise Error on malformed input. *)
+val of_string_res : ?limits:Limits.t -> string -> (Tree.t, Fault.t) result
+(** Parse a document held in memory.  Never raises: malformed input is
+    [Error (Parse_error _)], a violated resource bound is
+    [Error (Limit_exceeded _)] or [Error (Deadline _)].
+    [limits] defaults to {!Limits.default}. *)
 
-val of_file : string -> Tree.t
+val of_file_res : ?limits:Limits.t -> string -> (Tree.t, Fault.t) result
+(** Like {!of_string_res} from a file; an unreadable file is
+    [Error (Io_error _)].  The size limit is checked against the file
+    length before the contents are read into memory. *)
+
+val of_string : ?limits:Limits.t -> string -> Tree.t
+(** Parse a document held in memory.  @raise Error on malformed input,
+    [Fault.Fault] on a limit or deadline violation. *)
+
+val of_file : ?limits:Limits.t -> string -> Tree.t
 (** Parse a document from a file.  @raise Error on malformed input,
-    [Sys_error] if the file cannot be read. *)
+    [Sys_error] if the file cannot be read, [Fault.Fault] on a limit or
+    deadline violation. *)
 
 val error_to_string : exn -> string option
-(** [error_to_string e] renders [e] if it is an {!Error}, for
-    human-facing diagnostics. *)
+(** [error_to_string e] renders [e] if it is an {!Error} or a
+    [Fault.Fault], for human-facing diagnostics. *)

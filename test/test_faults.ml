@@ -1,0 +1,358 @@
+(* Fault-injection harness for the ingestion layer.
+
+   A seeded byte-level corruptor (truncate, bit-flip, splice,
+   duplicate-line, drop-line, deep-nest generators) feeds hundreds of
+   mutated XML documents and synopsis files through every loader and
+   asserts the only outcomes are [Ok] or a structured [Error] — never
+   an uncaught exception, stack overflow, or hang.  Everything is
+   deterministic: one fixed seed, no wall-clock dependence in the
+   mutations themselves. *)
+
+open Xmldoc
+module Synopsis = Sketch.Synopsis
+module Serialize = Sketch.Serialize
+module Stable = Sketch.Stable
+module Build = Sketch.Build
+
+let seed = 0x7ee5
+
+(* Per-loader hang guard: a mutation that sent a loader into a loop
+   would otherwise stall the suite, not fail it. *)
+let guarded_limits () = Limits.with_timeout 10. Limits.default
+
+let truncate_excerpt s =
+  if String.length s <= 60 then s else String.sub s 0 60 ^ "..."
+
+(* ------------------------------------------------------------------ *)
+(* Corruptors                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let truncate rng s =
+  if s = "" then s else String.sub s 0 (Random.State.int rng (String.length s))
+
+let bit_flip rng s =
+  if s = "" then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = Random.State.int rng (Bytes.length b) in
+    let bit = 1 lsl Random.State.int rng 8 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor bit));
+    Bytes.to_string b
+  end
+
+(* Insert a random slice of the input (or raw bytes) at a random spot. *)
+let splice rng s =
+  let n = String.length s in
+  let at = if n = 0 then 0 else Random.State.int rng n in
+  let graft =
+    if n > 0 && Random.State.bool rng then begin
+      let from = Random.State.int rng n in
+      String.sub s from (Random.State.int rng (n - from))
+    end
+    else
+      String.init
+        (Random.State.int rng 24)
+        (fun _ -> Char.chr (Random.State.int rng 256))
+  in
+  String.sub s 0 at ^ graft ^ String.sub s at (n - at)
+
+let on_lines f rng s =
+  let lines = String.split_on_char '\n' s in
+  String.concat "\n" (f rng lines)
+
+let duplicate_line =
+  on_lines (fun rng lines ->
+      match lines with
+      | [] -> []
+      | _ ->
+        let i = Random.State.int rng (List.length lines) in
+        List.concat_map
+          (fun (j, l) -> if i = j then [ l; l ] else [ l ])
+          (List.mapi (fun j l -> (j, l)) lines))
+
+let drop_line =
+  on_lines (fun rng lines ->
+      match lines with
+      | [] -> []
+      | _ ->
+        let i = Random.State.int rng (List.length lines) in
+        List.filteri (fun j _ -> j <> i) lines)
+
+let corruptors =
+  [| truncate; bit_flip; splice; duplicate_line; drop_line |]
+
+let mutate rng s =
+  (* compose one to three corruptions *)
+  let rounds = 1 + Random.State.int rng 3 in
+  let m = ref s in
+  for _ = 1 to rounds do
+    m := corruptors.(Random.State.int rng (Array.length corruptors)) rng !m
+  done;
+  !m
+
+(* Deeply nested documents, balanced or truncated mid-nest. *)
+let deep_nest rng =
+  let depth = 1 + Random.State.int rng 50_000 in
+  let buf = Buffer.create (depth * 7) in
+  for _ = 1 to depth do
+    Buffer.add_string buf "<d>"
+  done;
+  let close = Random.State.int rng 3 in
+  if close > 0 then
+    for _ = 1 to if close = 1 then depth else Random.State.int rng depth do
+      Buffer.add_string buf "</d>"
+    done;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Corpora                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sample_doc ds = Datagen.Datasets.generate ~seed:1 ~scale:0.05 ds
+
+let xml_corpus =
+  [
+    Printer.to_string (sample_doc Datagen.Datasets.Xmark);
+    Printer.to_string ~indent:1 (sample_doc Datagen.Datasets.Imdb);
+    Printer.to_string ~indent:2 (sample_doc Datagen.Datasets.Treebank);
+    {|<?xml version="1.0"?><!DOCTYPE r [<!ELEMENT r (a)>]><r>
+        <!-- comment --> <![CDATA[<fake/>]]> <a href="x" quoted='y z'/> text </r>|};
+    "<a><b/><c><d/></c></a>";
+  ]
+
+let synopsis_corpus =
+  List.map
+    (fun ds -> Serialize.to_string (Stable.build (sample_doc ds)))
+    [ Datagen.Datasets.Xmark; Datagen.Datasets.Dblp ]
+  @ [ "treesketch 1\nroot 0\nnode 0 1 a\nnode 1 3 b\nedge 0 1 3\n" ]
+
+(* ------------------------------------------------------------------ *)
+(* The harness proper                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Feed one mutant through both the result-returning and the raising
+   XML entry points; anything but a structured outcome fails. *)
+let drive_xml mutant =
+  (match Parser.of_string_res ~limits:(guarded_limits ()) mutant with
+  | Ok _ | Error _ -> ()
+  | exception e ->
+    Alcotest.failf "of_string_res leaked %s on %S" (Printexc.to_string e)
+      (truncate_excerpt mutant));
+  match Parser.of_string ~limits:(guarded_limits ()) mutant with
+  | (_ : Tree.t) -> ()
+  | exception Parser.Error _ -> ()
+  | exception Fault.Fault _ -> ()
+  | exception e ->
+    Alcotest.failf "of_string leaked %s on %S" (Printexc.to_string e)
+      (truncate_excerpt mutant)
+
+let drive_synopsis mutant =
+  (match Serialize.of_string_res ~limits:(guarded_limits ()) mutant with
+  | Ok s -> (
+    (* whatever decodes successfully must satisfy the invariants *)
+    match Synopsis.validate s with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "loader accepted an invalid synopsis: %s" msg)
+  | Error _ -> ()
+  | exception e ->
+    Alcotest.failf "Serialize.of_string_res leaked %s on %S" (Printexc.to_string e)
+      (truncate_excerpt mutant));
+  match Serialize.of_string ~limits:(guarded_limits ()) mutant with
+  | (_ : Synopsis.t) -> ()
+  | exception Failure _ -> ()
+  | exception e ->
+    Alcotest.failf "Serialize.of_string leaked %s on %S" (Printexc.to_string e)
+      (truncate_excerpt mutant)
+
+let mutants_per_base = 80
+
+let test_xml_mutations () =
+  let rng = Random.State.make [| seed |] in
+  let driven = ref 0 in
+  List.iter
+    (fun base ->
+      for _ = 1 to mutants_per_base do
+        drive_xml (mutate rng base);
+        incr driven
+      done)
+    xml_corpus;
+  for _ = 1 to 25 do
+    drive_xml (deep_nest rng);
+    incr driven
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "enough XML mutants (%d)" !driven)
+    true (!driven >= 400)
+
+let test_synopsis_mutations () =
+  let rng = Random.State.make [| seed + 1 |] in
+  let driven = ref 0 in
+  List.iter
+    (fun base ->
+      for _ = 1 to mutants_per_base do
+        drive_synopsis (mutate rng base);
+        incr driven
+      done)
+    synopsis_corpus;
+  Alcotest.(check bool)
+    (Printf.sprintf "enough synopsis mutants (%d)" !driven)
+    true (!driven >= 200)
+
+(* ------------------------------------------------------------------ *)
+(* Resource guards                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let deep_doc depth =
+  let buf = Buffer.create (depth * 7) in
+  for _ = 1 to depth do
+    Buffer.add_string buf "<d>"
+  done;
+  for _ = 1 to depth do
+    Buffer.add_string buf "</d>"
+  done;
+  Buffer.contents buf
+
+(* Regression for the explicit-stack parser: 100k nesting levels used
+   to overflow the OCaml stack under recursive descent. *)
+let test_100k_deep () =
+  let depth = 100_000 in
+  match Parser.of_string_res (deep_doc depth) with
+  | Ok t -> Alcotest.(check int) "size" depth (Tree.size t)
+  | Error f -> Alcotest.failf "expected Ok, got %s" (Fault.to_string f)
+
+let check_limit what = function
+  | Error (Fault.Limit_exceeded l) ->
+    Alcotest.(check string) "which limit" what l.what
+  | Ok _ -> Alcotest.failf "expected %s limit error, got Ok" what
+  | Error f -> Alcotest.failf "expected %s limit error, got %s" what (Fault.to_string f)
+
+let test_parser_limits () =
+  let doc = deep_doc 1_000 in
+  check_limit "depth"
+    (Parser.of_string_res ~limits:{ Limits.default with max_depth = 100 } doc);
+  check_limit "bytes"
+    (Parser.of_string_res ~limits:{ Limits.default with max_bytes = 64 } doc);
+  check_limit "elements"
+    (Parser.of_string_res ~limits:{ Limits.default with max_elements = 100 } doc);
+  match
+    Parser.of_string_res
+      ~limits:(Limits.with_timeout (-1.) Limits.default)
+      (deep_doc 10_000)
+  with
+  | Error (Fault.Deadline _) -> ()
+  | Ok _ -> Alcotest.fail "expected deadline error, got Ok"
+  | Error f -> Alcotest.failf "expected deadline error, got %s" (Fault.to_string f)
+
+let test_serialize_limits () =
+  let text = List.nth synopsis_corpus 0 in
+  check_limit "bytes"
+    (Serialize.of_string_res ~limits:{ Limits.default with max_bytes = 16 } text);
+  check_limit "nodes"
+    (Serialize.of_string_res ~limits:{ Limits.default with max_elements = 2 } text)
+
+(* Structured synopsis corruption: the error names the offending line. *)
+let test_corrupt_synopsis_context () =
+  let text = "treesketch 1\nroot 0\nnode 0 1 a\nnode x 2 b\n" in
+  (match Serialize.of_string_res text with
+  | Error (Fault.Corrupt_synopsis { line; content; _ }) ->
+    Alcotest.(check int) "line number" 4 line;
+    Alcotest.(check string) "content" "node x 2 b" content
+  | Ok _ -> Alcotest.fail "expected corrupt-synopsis error"
+  | Error f -> Alcotest.failf "wrong fault %s" (Fault.to_string f));
+  match Serialize.of_string text with
+  | (_ : Synopsis.t) -> Alcotest.fail "expected Failure"
+  | exception Failure msg ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+      scan 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "message %S names the line" msg)
+      true (contains msg "line 4")
+
+let test_corrupt_synopsis_cases () =
+  let corrupt text =
+    match Serialize.of_string_res text with
+    | Error (Fault.Corrupt_synopsis _) -> ()
+    | Ok _ -> Alcotest.failf "expected corrupt-synopsis error on %S" text
+    | Error f -> Alcotest.failf "wrong fault %s on %S" (Fault.to_string f) text
+  in
+  corrupt "";
+  corrupt "root 0";
+  corrupt "treesketch 2\nroot 0\nnode 0 1 a\n";
+  corrupt "treesketch 1\nroot 5\nnode 0 1 a\n";
+  corrupt "treesketch 1\nroot 0\nnode 0 1 a\nnode 0 2 b\n" (* duplicate id *);
+  corrupt "treesketch 1\nroot 0\nnode 0 1 a\nedge 0 7 2\n" (* target range *);
+  corrupt "treesketch 1\nroot 0\nnode 0 nan a\n" (* non-finite count *);
+  corrupt "treesketch 1\nroot 0\nnode 0 1 a\nedge 9 0 2\n" (* source range *)
+
+(* ------------------------------------------------------------------ *)
+(* Deadline degradation in TSBUILD                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_build_degrades () =
+  let stable = Stable.build (sample_doc Datagen.Datasets.Xmark) in
+  let budget = Synopsis.size_bytes stable / 8 in
+  (* already-expired deadline: zero merges happen, yet we still get a
+     valid best-so-far synopsis flagged as degraded *)
+  (match
+     Build.build_res ~limits:(Limits.with_timeout (-1.) Limits.unlimited) stable ~budget
+   with
+  | Ok { synopsis; degraded } ->
+    Alcotest.(check bool) "degraded" true degraded;
+    Alcotest.(check bool) "over budget" true (Synopsis.size_bytes synopsis > budget);
+    (match Synopsis.validate synopsis with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "degraded synopsis invalid: %s" msg)
+  | Error f -> Alcotest.failf "expected degraded Ok, got %s" (Fault.to_string f));
+  (* no deadline: compression runs to its natural end, not flagged *)
+  match Build.build_res stable ~budget with
+  | Ok { synopsis; degraded } ->
+    Alcotest.(check bool) "not degraded" false degraded;
+    (match Synopsis.validate synopsis with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "built synopsis invalid: %s" msg)
+  | Error f -> Alcotest.failf "expected Ok, got %s" (Fault.to_string f)
+
+let test_build_rejects_invalid () =
+  let bad =
+    {
+      Synopsis.nodes =
+        [|
+          { Synopsis.label = Label.of_string "a"; count = Float.nan; edges = [||] };
+        |];
+      root = 0;
+    }
+  in
+  match Build.build_res bad ~budget:64 with
+  | Error (Fault.Corrupt_synopsis _) -> ()
+  | Ok _ -> Alcotest.fail "expected rejection of a NaN-count synopsis"
+  | Error f -> Alcotest.failf "wrong fault %s" (Fault.to_string f)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "fault injection",
+        [
+          Alcotest.test_case "xml mutations" `Quick test_xml_mutations;
+          Alcotest.test_case "synopsis mutations" `Quick test_synopsis_mutations;
+        ] );
+      ( "resource guards",
+        [
+          Alcotest.test_case "100k-deep document" `Quick test_100k_deep;
+          Alcotest.test_case "parser limits" `Quick test_parser_limits;
+          Alcotest.test_case "serialize limits" `Quick test_serialize_limits;
+        ] );
+      ( "corrupt synopsis",
+        [
+          Alcotest.test_case "line context" `Quick test_corrupt_synopsis_context;
+          Alcotest.test_case "corruption cases" `Quick test_corrupt_synopsis_cases;
+        ] );
+      ( "deadline degradation",
+        [
+          Alcotest.test_case "build degrades" `Quick test_build_degrades;
+          Alcotest.test_case "build rejects invalid input" `Quick
+            test_build_rejects_invalid;
+        ] );
+    ]

@@ -101,12 +101,20 @@ let test_parse_errors () =
     | _ -> Alcotest.failf "expected a parse error on %S" src
   in
   fails "";
+  fails "   \n\t ";
   fails "<a>";
-  fails "<a></b>";
+  fails "<a" (* truncated start tag *);
+  fails "<a foo" (* truncated mid-attributes *);
+  fails "<a></b>" (* mismatched close tag *);
+  fails "<a><b></a></b>" (* crossed close tags *);
   fails "<a/><b/>";
   fails "just text";
   fails "<a foo=bar/>";
-  fails "<a><!-- unterminated </a>"
+  fails {|<a foo="never closed /></a>|} (* unterminated attribute value *);
+  fails "<a><!-- unterminated </a>" (* unterminated comment *);
+  fails "<a><![CDATA[ unterminated </a>" (* unterminated CDATA *);
+  fails "<a><?pi unterminated </a>" (* unterminated processing instr. *);
+  fails "<a><!DOCTYPE oops [" (* unterminated declaration *)
 
 let test_parse_error_position () =
   match parse "<a>\n<b></c></a>" with
@@ -114,9 +122,7 @@ let test_parse_error_position () =
     Alcotest.(check int) "error line" 2 line
   | _ -> Alcotest.fail "expected mismatched-tag error"
 
-let test_parse_deep () =
-  (* deep nesting does not blow the stack at reasonable depths *)
-  let depth = 10_000 in
+let deep_doc depth =
   let buf = Buffer.create (depth * 7) in
   for _ = 1 to depth do
     Buffer.add_string buf "<d>"
@@ -124,8 +130,32 @@ let test_parse_deep () =
   for _ = 1 to depth do
     Buffer.add_string buf "</d>"
   done;
-  let t = parse (Buffer.contents buf) in
+  Buffer.contents buf
+
+let test_parse_deep () =
+  (* deep nesting does not blow the stack at reasonable depths *)
+  let depth = 10_000 in
+  let t = parse (deep_doc depth) in
   Alcotest.(check int) "deep size" depth (Tree.size t)
+
+let test_parse_very_deep () =
+  (* regression for the explicit-stack parser: recursive descent
+     overflowed the OCaml stack well before 100k levels *)
+  let depth = 100_000 in
+  let t = parse (deep_doc depth) in
+  Alcotest.(check int) "very deep size" depth (Tree.size t);
+  Alcotest.(check int) "very deep height" (depth - 1) (Tree.height t)
+
+let test_parse_many_comments () =
+  (* consecutive misc constructs must not consume stack either *)
+  let n = 50_000 in
+  let buf = Buffer.create (n * 9) in
+  Buffer.add_string buf "<a>";
+  for _ = 1 to n do
+    Buffer.add_string buf "<!--c-->"
+  done;
+  Buffer.add_string buf "</a>";
+  Alcotest.check T.tree "comments skipped" (Tree.v "a" []) (parse (Buffer.contents buf))
 
 (* ---------------- printer ---------------- *)
 
@@ -227,6 +257,9 @@ let () =
           Alcotest.test_case "errors" `Quick test_parse_errors;
           Alcotest.test_case "error position" `Quick test_parse_error_position;
           Alcotest.test_case "deep document" `Quick test_parse_deep;
+          Alcotest.test_case "100k-deep document" `Quick test_parse_very_deep;
+          Alcotest.test_case "many consecutive comments" `Quick
+            test_parse_many_comments;
           prop_parser_fuzz;
           prop_parser_fuzz_taggy;
         ] );
