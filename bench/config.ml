@@ -52,4 +52,19 @@ let large_scales =
 
 let budgets_bytes cfg = List.map (fun kb -> kb * 1024) cfg.budgets_kb
 
+(* "--budgets 10KB,25KB,1MB" — each element goes through the shared
+   size parser; sub-kilobyte budgets round up to 1 KB. *)
+let parse_budgets_kb spec =
+  let parse_one acc item =
+    match acc with
+    | Error _ as e -> e
+    | Ok kbs -> (
+      match Xmldoc.Limits.parse_bytes item with
+      | Ok bytes -> Ok ((max 1 ((bytes + 1023) / 1024)) :: kbs)
+      | Error msg -> Error msg)
+  in
+  match String.split_on_char ',' spec with
+  | [] | [ "" ] -> Error (Printf.sprintf "empty budget list %S" spec)
+  | items -> Result.map List.rev (List.fold_left parse_one (Ok []) items)
+
 let extra_scales = [ (Datagen.Datasets.Treebank, 1.0) ]

@@ -6,7 +6,8 @@
      dune exec bench/main.exe                  # everything, default scale
      dune exec bench/main.exe -- fig12 fig13   # a subset
      dune exec bench/main.exe -- --quick all   # smoke-test scale
-     dune exec bench/main.exe -- --full all    # paper-scale workloads *)
+     dune exec bench/main.exe -- --full all    # paper-scale workloads
+     dune exec bench/main.exe -- --budgets=10KB,25KB,1MB fig12 *)
 
 let experiments =
   [
@@ -28,6 +29,24 @@ let () =
     if List.mem "--quick" args then Config.quick
     else if List.mem "--full" args then Config.full
     else Config.default
+  in
+  let cfg =
+    let prefix = "--budgets=" in
+    match
+      List.find_opt
+        (fun a -> String.length a > String.length prefix
+                  && String.sub a 0 (String.length prefix) = prefix)
+        args
+    with
+    | None -> cfg
+    | Some a -> (
+      let spec = String.sub a (String.length prefix)
+                   (String.length a - String.length prefix) in
+      match Config.parse_budgets_kb spec with
+      | Ok budgets_kb -> { cfg with budgets_kb }
+      | Error msg ->
+        Printf.eprintf "--budgets: %s\n" msg;
+        exit 2)
   in
   let requested =
     List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args

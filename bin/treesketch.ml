@@ -4,6 +4,7 @@
      treesketch build    doc.xml --budget 10KB -o doc.ts
      treesketch query    doc.ts "//item[//mail]{//incategory?}"
      treesketch query    doc.ts QUERY --exact doc.xml
+     treesketch serve    --catalog synopses/ [--socket /tmp/ts.sock]
      treesketch esd      a.xml b.xml
      treesketch stats    doc.xml *)
 
@@ -23,21 +24,7 @@ let read_synopsis path =
   match Sketch.Serialize.load_res path with Ok s -> s | Error f -> die f
 
 let parse_budget s =
-  let s = String.trim s in
-  let num, mult =
-    let up = String.uppercase_ascii s in
-    if Filename.check_suffix up "KB" then
-      (String.sub s 0 (String.length s - 2), 1024)
-    else if Filename.check_suffix up "MB" then
-      (String.sub s 0 (String.length s - 2), 1024 * 1024)
-    else if Filename.check_suffix up "B" then
-      (String.sub s 0 (String.length s - 1), 1)
-    else (s, 1)
-  in
-  match int_of_string_opt (String.trim num) with
-  | Some n when n > 0 && n <= max_int / mult -> Ok (n * mult)
-  | Some n when n > 0 -> Error (`Msg (Printf.sprintf "budget %S overflows" s))
-  | _ -> Error (`Msg (Printf.sprintf "bad budget %S (try 10KB, 2MB or 4096)" s))
+  Result.map_error (fun msg -> `Msg msg) (Xmldoc.Limits.parse_bytes s)
 
 let budget_conv = Arg.conv (parse_budget, fun ppf b -> Format.fprintf ppf "%dB" b)
 
@@ -123,13 +110,14 @@ let build_cmd =
         | Error f -> die f
       end
     in
-    let text = Sketch.Serialize.to_string synopsis in
     (match out with
-    | Some path ->
-      let oc = open_out path in
-      output_string oc text;
-      close_out oc
-    | None -> print_string text);
+    | Some path -> (
+      (* temp-file + atomic rename + checksum trailer: a crash mid-write
+         can never leave a torn snapshot where a catalog would find it *)
+      match Sketch.Serialize.save_atomic path synopsis with
+      | Ok () -> ()
+      | Error f -> die f)
+    | None -> print_string (Sketch.Serialize.to_snapshot_string synopsis));
     if degraded then
       prerr_endline
         "warning: deadline expired mid-construction; emitting the best-so-far \
@@ -203,6 +191,82 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Answer a twig query approximately from a synopsis.")
     Term.(const run $ synopsis $ query $ exact $ show_answer)
 
+(* -------------------------------- serve ------------------------------- *)
+
+let serve_cmd =
+  let catalog =
+    Arg.(
+      required
+      & opt (some dir) None
+      & info [ "c"; "catalog" ] ~docv:"DIR"
+          ~doc:"Directory of $(b,name.ts) snapshots to serve.")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix domain socket instead of serving \
+             stdin/stdout.")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 5.0
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Default per-request deadline; on expiry the partial \
+             approximate answer is returned flagged degraded.  0 \
+             disables.")
+  in
+  let max_answer_nodes =
+    Arg.(
+      value
+      & opt int Serve.Server.default_config.max_answer_nodes
+      & info [ "max-answer-nodes" ] ~docv:"N"
+          ~doc:"Cap on answer/tree nodes per request.")
+  in
+  let max_inflight =
+    Arg.(
+      value
+      & opt int Serve.Server.default_config.max_inflight
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Socket connections served concurrently before shedding \
+             load with $(b,error overloaded).")
+  in
+  let no_auto_reload =
+    Arg.(
+      value & flag
+      & info [ "no-auto-reload" ]
+          ~doc:
+            "Only pick up snapshot changes on an explicit RELOAD \
+             request.")
+  in
+  let run catalog socket deadline max_answer_nodes max_inflight no_auto_reload =
+    let config =
+      {
+        Serve.Server.default_config with
+        deadline = (if deadline <= 0.0 then None else Some deadline);
+        max_answer_nodes;
+        max_inflight;
+        auto_reload = not no_auto_reload;
+      }
+    in
+    let server = Serve.Server.create ~config catalog in
+    match socket with
+    | Some path -> Serve.Server.serve_socket server ~path
+    | None -> Serve.Server.serve_channels server stdin stdout
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve twig queries from a resident synopsis catalog (line \
+          protocol on stdin/stdout or a Unix socket).")
+    Term.(
+      const run $ catalog $ socket $ deadline $ max_answer_nodes $ max_inflight
+      $ no_auto_reload)
+
 (* --------------------------------- esd -------------------------------- *)
 
 let esd_cmd =
@@ -251,4 +315,7 @@ let () =
     ]
   in
   let info = Cmd.info "treesketch" ~version:"1.0.0" ~doc ~man in
-  exit (Cmd.eval (Cmd.group info [ datagen_cmd; build_cmd; query_cmd; esd_cmd; stats_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ datagen_cmd; build_cmd; query_cmd; serve_cmd; esd_cmd; stats_cmd ]))

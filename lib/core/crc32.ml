@@ -1,0 +1,44 @@
+(* Table-driven CRC-32 (IEEE 802.3 polynomial, reflected), implemented
+   here because the sealed toolchain has no zlib binding.  Matches the
+   checksum of [cksum -o 3] / zlib's [crc32], which keeps snapshot
+   files verifiable with standard external tools. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc s pos len =
+  let table = Lazy.force table in
+  let crc = ref (Int32.logxor crc 0xFFFFFFFFl) in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code s.[i]))) 0xFFl)
+    in
+    crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8)
+  done;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let string s = update 0l s 0 (String.length s)
+
+let to_hex crc = Printf.sprintf "%08lx" crc
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else
+    (* Int32.of_string accepts signed decimals etc.; restrict to hex
+       digits so snapshot crc fields are exactly 8 hex characters. *)
+    let ok =
+      String.for_all
+        (fun c ->
+          (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F'))
+        s
+    in
+    if not ok then None else Int32.of_string_opt ("0x" ^ s)

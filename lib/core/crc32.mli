@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE, as in zlib) — the integrity checksum of the
+    version-2 synopsis snapshot format ({!Serialize}). *)
+
+val string : string -> int32
+(** Checksum of a whole string. *)
+
+val update : int32 -> string -> int -> int -> int32
+(** [update crc s pos len] extends [crc] with [s.[pos..pos+len-1]]. *)
+
+val to_hex : int32 -> string
+(** Lower-case, zero-padded, 8 characters. *)
+
+val of_hex : string -> int32 option
+(** Inverse of {!to_hex}; [None] unless exactly 8 hex digits. *)

@@ -15,6 +15,7 @@ type answer = {
   source : int array;
   var : int array;
   empty : bool;
+  degraded : bool;
 }
 
 (* Enumeration work budget: synopsis graphs with many same-label nodes
@@ -27,6 +28,9 @@ type ctx = {
   ts : Synopsis.t;
   max_hops : int;
   work : int ref;
+  budget : Xmldoc.Budget.t;
+      (* cooperative cancellation: per-request deadline / node / work
+         caps from the serving layer, tick-checked in the DFS *)
   (* per target label: bitmap of nodes from which the label is
      reachable through at least one edge — prunes fruitless DFS
      branches of //-steps *)
@@ -40,8 +44,11 @@ let default_max_hops ts =
   let h = Array.fold_left max 0 (Synopsis.heights ts) in
   min 64 (max 20 (h + 1))
 
-let make_ctx ts max_hops =
-  { ts; max_hops; work = ref embedding_work_budget; reach = Hashtbl.create 8 }
+let make_ctx ?budget ts max_hops =
+  let budget =
+    match budget with Some b -> b | None -> Xmldoc.Budget.unlimited ()
+  in
+  { ts; max_hops; work = ref embedding_work_budget; budget; reach = Hashtbl.create 8 }
 
 let reachable ctx label =
   let key = Xmldoc.Label.to_int label in
@@ -89,8 +96,10 @@ let rec iter_embeddings ctx u (p : Syntax.path) emit =
     | Child ->
       Array.iter
         (fun (v, k) ->
-          if Xmldoc.Label.equal (Synopsis.label ctx.ts v) step.label then
-            continue_from v k)
+          if
+            Xmldoc.Budget.tick ctx.budget
+            && Xmldoc.Label.equal (Synopsis.label ctx.ts v) step.label
+          then continue_from v k)
         (Synopsis.edges ctx.ts u)
     | Descendant ->
       (* DFS over synopsis paths of length >= 1, bounded by max_hops,
@@ -99,10 +108,14 @@ let rec iter_embeddings ctx u (p : Syntax.path) emit =
       let reach = reachable ctx step.label in
       let visits : (int, int) Hashtbl.t = Hashtbl.create 8 in
       let rec dfs w acc hops =
-        if hops > 0 && acc > prune_below && !(ctx.work) > 0 then
+        if
+          hops > 0 && acc > prune_below && !(ctx.work) > 0
+          && Xmldoc.Budget.alive ctx.budget
+        then
           Array.iter
             (fun (v, k) ->
               decr ctx.work;
+              if Xmldoc.Budget.tick ctx.budget then
               let is_match =
                 Xmldoc.Label.equal (Synopsis.label ctx.ts v) step.label
               in
@@ -157,11 +170,11 @@ let embeddings_ctx ctx u p =
       | None -> Hashtbl.add by_end e (ref k));
   Hashtbl.fold (fun e k acc -> (e, !k) :: acc) by_end []
 
-let embeddings ?max_hops ts u p =
+let embeddings ?max_hops ?budget ts u p =
   let max_hops =
     match max_hops with Some h -> h | None -> default_max_hops ts
   in
-  embeddings_ctx (make_ctx ts max_hops) u p
+  embeddings_ctx (make_ctx ?budget ts max_hops) u p
 
 (* ------------------------------------------------------------------ *)
 (* EVAL_QUERY                                                          *)
@@ -174,26 +187,36 @@ type building = {
   bind : (int, int list ref) Hashtbl.t;  (* var -> answer ids *)
 }
 
-let fresh_node b ~src ~var label =
+(* Creating a result node consumes a slot of the request budget; when
+   the node cap is exhausted, [None] — the caller skips the node and the
+   answer degrades to a partial one.  [force] is for the root, which
+   every answer must materialize. *)
+let fresh_node ?(force = false) b budget ~src ~var label =
   match Hashtbl.find_opt b.index (src, var) with
-  | Some id -> id
+  | Some id -> Some id
   | None ->
-    let id = Vec.length b.nodes in
-    Vec.push b.nodes (label, src, var);
-    Hashtbl.add b.index (src, var) id;
-    (match Hashtbl.find_opt b.bind var with
-    | Some l -> l := id :: !l
-    | None -> Hashtbl.add b.bind var (ref [ id ]));
-    id
+    if not (force || Xmldoc.Budget.take_node budget) then None
+    else begin
+      let id = Vec.length b.nodes in
+      Vec.push b.nodes (label, src, var);
+      Hashtbl.add b.index (src, var) id;
+      (match Hashtbl.find_opt b.bind var with
+      | Some l -> l := id :: !l
+      | None -> Hashtbl.add b.bind var (ref [ id ]));
+      Some id
+    end
 
 let add_count b from into k =
   match Hashtbl.find_opt b.out (from, into) with
   | Some cell -> cell := !cell +. k
   | None -> Hashtbl.add b.out (from, into) (ref k)
 
-let eval ?max_hops ts (q : Syntax.t) =
+let eval ?max_hops ?budget ts (q : Syntax.t) =
   let max_hops =
     match max_hops with Some h -> h | None -> default_max_hops ts
+  in
+  let budget =
+    match budget with Some b -> b | None -> Xmldoc.Budget.unlimited ()
   in
   let b =
     {
@@ -203,9 +226,15 @@ let eval ?max_hops ts (q : Syntax.t) =
       bind = Hashtbl.create 16;
     }
   in
-  let eval_ctx = make_ctx ts max_hops in
+  let eval_ctx = make_ctx ~budget ts max_hops in
   let root_label = Twig.Eval.nesting_label 0 (Synopsis.label ts ts.Synopsis.root) in
-  let (_ : int) = fresh_node b ~src:ts.Synopsis.root ~var:0 root_label in
+  (* The root is charged against the node cap but materialized
+     unconditionally: even a fully-degraded answer is a synopsis with a
+     root. *)
+  let (_ : bool) = Xmldoc.Budget.take_node budget in
+  let (_ : int option) =
+    fresh_node ~force:true b budget ~src:ts.Synopsis.root ~var:0 root_label
+  in
   (* Pre-order traversal of the query tree: by construction bind[q] is
      complete when q's out-edges are processed. *)
   let rec process (qn : Syntax.node) =
@@ -217,16 +246,19 @@ let eval ?max_hops ts (q : Syntax.t) =
         in
         List.iter
           (fun uq ->
-            let _, u, _ = Vec.get b.nodes uq in
-            List.iter
-              (fun (v, k) ->
-                if k > prune_below then begin
-                  let lbl = Twig.Eval.nesting_label qc.var (Synopsis.label ts v) in
-                  let vq = fresh_node b ~src:v ~var:qc.var lbl in
-                  add_count b uq vq k
-                end)
-              (let ctx = { eval_ctx with work = ref embedding_work_budget } in
-               embeddings_ctx ctx u edge.path))
+            if Xmldoc.Budget.alive budget then begin
+              let _, u, _ = Vec.get b.nodes uq in
+              List.iter
+                (fun (v, k) ->
+                  if k > prune_below && Xmldoc.Budget.alive budget then begin
+                    let lbl = Twig.Eval.nesting_label qc.var (Synopsis.label ts v) in
+                    match fresh_node b budget ~src:v ~var:qc.var lbl with
+                    | Some vq -> add_count b uq vq k
+                    | None -> () (* node cap: drop — the answer degrades *)
+                  end)
+                (let ctx = { eval_ctx with work = ref embedding_work_budget } in
+                 embeddings_ctx ctx u edge.path)
+            end)
           parents;
         process qc)
       qn.edges
@@ -355,6 +387,7 @@ let eval ?max_hops ts (q : Syntax.t) =
     source = srcs;
     var = vars;
     empty = !empty;
+    degraded = Xmldoc.Budget.stopped budget <> None;
   }
 
 let to_nesting_tree ?(max_nodes = 2_000_000) ans =

@@ -33,13 +33,29 @@ type answer = {
   empty : bool;
       (** true iff some required query variable has no bindings — the
           approximate answer is the empty document *)
+  degraded : bool;
+      (** true iff the request {!Xmldoc.Budget.t} stopped (deadline,
+          node cap or work cap) before evaluation completed: the answer
+          is a valid but partial approximation — embeddings discovered
+          after the stop are missing, so counts (and hence the
+          selectivity estimate) are lower bounds of the undegraded
+          estimate *)
 }
 
-val eval : ?max_hops:int -> Synopsis.t -> Twig.Syntax.t -> answer
+val eval :
+  ?max_hops:int -> ?budget:Xmldoc.Budget.t -> Synopsis.t -> Twig.Syntax.t -> answer
 (** Evaluate a twig query over a TREESKETCH.  [max_hops] bounds the
     length of any [//]-step embedding; the default adapts to the
     synopsis's acyclic height (min 20, max 64), so stable-summary
-    evaluation is never truncated. *)
+    evaluation is never truncated.
+
+    [budget] is the request's cooperative-cancellation budget: the
+    embedding DFS ticks it per edge visit and every fresh result node
+    reserves a slot, so an expired deadline or exhausted cap stops the
+    evaluation at the next check and the partial answer comes back with
+    [degraded = true] (never an exception).  The answer root is always
+    materialized; with a node cap [c >= 1] the raw answer has at most
+    [c] nodes. *)
 
 val to_nesting_tree : ?max_nodes:int -> answer -> Xmldoc.Tree.t option
 (** The approximate nesting tree: [Expand] applied to the answer
@@ -50,7 +66,12 @@ val to_nesting_tree : ?max_nodes:int -> answer -> Xmldoc.Tree.t option
     expansion exceeds [max_nodes] (default 2_000_000). *)
 
 val embeddings :
-  ?max_hops:int -> Synopsis.t -> int -> Twig.Syntax.path -> (int * float) list
+  ?max_hops:int ->
+  ?budget:Xmldoc.Budget.t ->
+  Synopsis.t ->
+  int ->
+  Twig.Syntax.path ->
+  (int * float) list
 (** [embeddings ts u p] lists, for each synopsis node [v] reachable
     from [u] along an embedding of [p], the estimated number of
     descendants per element of [u] (embeddings ending at the same node

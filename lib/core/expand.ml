@@ -27,50 +27,100 @@ let exact (s : Synopsis.t) =
   in
   subtree s.root
 
-let approximate ?(max_nodes = 1_000_000) (s : Synopsis.t) =
+type partial = {
+  tree : Tree.t;
+  truncated : bool;
+  nodes : int;
+}
+
+let partial ?(max_nodes = 1_000_000) ?budget (s : Synopsis.t) =
+  let budget =
+    match budget with Some b -> b | None -> Xmldoc.Budget.unlimited ()
+  in
   let built = ref 0 in
+  let truncated = ref false in
+  (* Reserve one tree node against both caps; a refusal truncates the
+     expansion (remaining copies are simply not built). *)
+  let grant () =
+    if !built < max_nodes && Xmldoc.Budget.take_node budget then begin
+      incr built;
+      true
+    end
+    else begin
+      truncated := true;
+      false
+    end
+  in
   (* Build [m] copies of node [u].  Copies differ only in how the
      rounded child totals are spread, so at most a handful of distinct
      shapes exist per call, but we keep the code simple and build each
      copy; [max_nodes] bounds the total work. *)
   let rec copies depth u m =
     if m <= 0 then []
+    else if depth > 4096 then begin
+      (* a cycle survived the count decay: cut it *)
+      truncated := true;
+      []
+    end
     else begin
-      built := !built + m;
-      if !built > max_nodes || depth > 4096 then
-        invalid_arg "Expand.approximate: expansion exceeds max_nodes";
-      (* For each edge, the total number of children across the m
-         copies, rounded once (largest-remainder at the extent level). *)
-      let totals =
-        Array.map
-          (fun (v, k) -> (v, int_of_float (Float.round (float_of_int m *. k))))
-          (Synopsis.edges s u)
+      let granted =
+        let k = ref 0 in
+        while !k < m && grant () do
+          incr k
+        done;
+        !k
       in
-      (* Children trees per edge, built in bulk then dealt out. *)
-      let pools =
-        Array.map (fun (v, total) -> (v, ref (copies (depth + 1) v total), total)) totals
-      in
-      List.init m (fun i ->
-          let children = ref [] in
-          Array.iter
-            (fun (_, pool, total) ->
-              (* copy i receives ceil or floor of total/m *)
-              let base = total / m and extra = total mod m in
-              let mine = base + if i < extra then 1 else 0 in
-              let rec take n =
-                if n > 0 then
-                  match !pool with
-                  | [] -> ()
-                  | t :: rest ->
-                    pool := rest;
-                    children := t :: !children;
-                    take (n - 1)
-              in
-              take mine)
-            pools;
-          Tree.make (Synopsis.label s u) (List.rev !children))
+      if granted = 0 then []
+      else begin
+        let m = granted in
+        (* For each edge, the total number of children across the m
+           copies, rounded once (largest-remainder at the extent level). *)
+        let totals =
+          Array.map
+            (fun (v, k) -> (v, int_of_float (Float.round (float_of_int m *. k))))
+            (Synopsis.edges s u)
+        in
+        (* Children trees per edge, built in bulk then dealt out. *)
+        let pools =
+          Array.map
+            (fun (v, total) -> (v, ref (copies (depth + 1) v total), total))
+            totals
+        in
+        List.init m (fun i ->
+            let children = ref [] in
+            Array.iter
+              (fun (_, pool, total) ->
+                (* copy i receives ceil or floor of total/m *)
+                let base = total / m and extra = total mod m in
+                let mine = base + if i < extra then 1 else 0 in
+                let rec take n =
+                  if n > 0 then
+                    match !pool with
+                    | [] -> ()
+                    | t :: rest ->
+                      pool := rest;
+                      children := t :: !children;
+                      take (n - 1)
+                in
+                take mine)
+              pools;
+            Tree.make (Synopsis.label s u) (List.rev !children))
+      end
     end
   in
-  match copies 0 s.root 1 with
-  | [ t ] -> t
-  | _ -> assert false
+  let tree =
+    match copies 0 s.root 1 with
+    | [ t ] -> t
+    | _ ->
+      (* even the root was refused (node cap 0 or dead budget): the
+         smallest honest partial answer is the bare root *)
+      truncated := true;
+      Tree.make (Synopsis.label s s.root) []
+  in
+  { tree; truncated = !truncated; nodes = !built }
+
+let approximate ?max_nodes (s : Synopsis.t) =
+  let p = partial ?max_nodes s in
+  if p.truncated then
+    invalid_arg "Expand.approximate: expansion exceeds max_nodes";
+  p.tree

@@ -23,3 +23,20 @@ val approximate : ?max_nodes:int -> Synopsis.t -> Xmldoc.Tree.t
     a node copy drops below one half.  [max_nodes] (default
     [1_000_000]) aborts runaway expansions.
     @raise Invalid_argument if the expansion exceeds [max_nodes]. *)
+
+type partial = {
+  tree : Xmldoc.Tree.t;
+  truncated : bool;
+      (** some copies were not built: a cap tripped or a cycle was
+          cut *)
+  nodes : int;  (** tree nodes actually built *)
+}
+
+val partial :
+  ?max_nodes:int -> ?budget:Xmldoc.Budget.t -> Synopsis.t -> partial
+(** Total variant of {!approximate} for the serving layer: instead of
+    raising when the expansion exceeds [max_nodes] (or when the request
+    [budget]'s deadline/node cap stops it), the already-built prefix of
+    the tree is returned with [truncated = true].  Aggregate child
+    counts of the returned prefix match the synopsis; missing subtrees
+    are simply absent.  The root is always materialized. *)

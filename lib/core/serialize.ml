@@ -1,6 +1,6 @@
-let to_string (s : Synopsis.t) =
+let render ~version (s : Synopsis.t) =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "treesketch 1\n";
+  Buffer.add_string buf (Printf.sprintf "treesketch %d\n" version);
   Buffer.add_string buf (Printf.sprintf "root %d\n" s.root);
   Array.iteri
     (fun i n ->
@@ -16,6 +16,12 @@ let to_string (s : Synopsis.t) =
     s.nodes;
   Buffer.contents buf
 
+let to_string = render ~version:1
+
+let to_snapshot_string s =
+  let body = render ~version:2 s in
+  body ^ "crc " ^ Crc32.to_hex (Crc32.string body) ^ "\n"
+
 (* Structured parse failure carrier, converted to [Fault.t] at the
    entry-point boundary. *)
 exception Corrupt of { line : int; content : string; message : string }
@@ -27,9 +33,14 @@ let of_string_exn (limits : Xmldoc.Limits.t) text =
   let start = Xmldoc.Limits.now () in
   let lines = String.split_on_char '\n' text in
   let root = ref (-1) in
+  let version = ref 0 in
+  let root_seen = ref false in
+  (* Some (declared checksum, byte offset of the crc line): set once
+     the trailer is seen, after which only blank lines may follow. *)
+  let crc_at = ref None in
   let nodes : (int, Xmldoc.Label.t * float) Hashtbl.t = Hashtbl.create 256 in
   let edges : (int, (int * float) list ref) Hashtbl.t = Hashtbl.create 256 in
-  let parse_line lineno line =
+  let parse_line lineno offset line =
     let fail fmt = corrupt ~line:lineno ~content:line fmt in
     let int_field what s =
       match int_of_string_opt s with
@@ -43,9 +54,24 @@ let of_string_exn (limits : Xmldoc.Limits.t) text =
     in
     match String.split_on_char ' ' (String.trim line) with
     | [ "" ] | [] -> ()
-    | [ "treesketch"; "1" ] -> ()
+    | _ when !crc_at <> None ->
+      (* A snapshot ends at its crc trailer; any record after it is a
+         torn or concatenated write. *)
+      fail "trailing garbage after the crc trailer"
+    | [ "treesketch"; ("1" | "2") ] when !version <> 0 ->
+      fail "duplicate header (concatenated snapshots?)"
+    | [ "treesketch"; "1" ] -> version := 1
+    | [ "treesketch"; "2" ] -> version := 2
     | "treesketch" :: v -> fail "unsupported format version %S" (String.concat " " v)
-    | [ "root"; id ] -> root := int_field "root id" id
+    | [ "root"; id ] ->
+      if !root_seen then fail "duplicate root record";
+      root_seen := true;
+      root := int_field "root id" id
+    | [ "crc"; hex ] ->
+      if !version <> 2 then fail "crc trailer outside a version-2 snapshot";
+      (match Crc32.of_hex hex with
+      | None -> fail "checksum %S is not 8 hex digits" hex
+      | Some declared -> crc_at := Some (declared, offset))
     | "node" :: id :: count :: label_words ->
       let id = int_field "node id" id in
       if id < 0 then fail "negative node id %d" id;
@@ -70,6 +96,7 @@ let of_string_exn (limits : Xmldoc.Limits.t) text =
       | None -> Hashtbl.add edges from (ref [ entry ]))
     | word :: _ -> fail "unknown record %S" word
   in
+  let offset = ref 0 in
   List.iteri
     (fun i line ->
       if i land 4095 = 0 && Xmldoc.Limits.expired limits then
@@ -80,10 +107,23 @@ let of_string_exn (limits : Xmldoc.Limits.t) text =
                   stage = "synopsis load";
                   elapsed = Xmldoc.Limits.now () -. start;
                 }));
-      parse_line (i + 1) line)
+      parse_line (i + 1) !offset line;
+      offset := !offset + String.length line + 1)
     lines;
-  let n = Hashtbl.length nodes in
   let whole fmt = corrupt ~line:0 ~content:"" fmt in
+  (* Version-2 snapshots carry a mandatory checksum trailer; a missing
+     trailer is the signature of a write cut short, a mismatch that of
+     in-place corruption.  Either way: reject, never a partial load. *)
+  if !version = 2 then begin
+    match !crc_at with
+    | None -> whole "missing crc trailer (snapshot truncated mid-write?)"
+    | Some (declared, at) ->
+      let actual = Crc32.update 0l text 0 at in
+      if not (Int32.equal declared actual) then
+        whole "checksum mismatch: trailer says %s, content hashes to %s"
+          (Crc32.to_hex declared) (Crc32.to_hex actual)
+  end;
+  let n = Hashtbl.length nodes in
   if n = 0 then whole "no node records";
   if !root < 0 || !root >= n then whole "missing or bad root %d (have %d nodes)" !root n;
   let node_arr =
@@ -134,6 +174,43 @@ let save path s =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (to_string s))
 
+let save_atomic path s =
+  let text = to_snapshot_string s in
+  match
+    let dir = Filename.dirname path in
+    let tmp = Filename.temp_file ~temp_dir:dir ".treesketch" ".tmp" in
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists tmp then try Sys.remove tmp with Sys_error _ -> ())
+      (fun () ->
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc text;
+            flush oc;
+            (* Data must be durable before the rename publishes it:
+               otherwise a crash could leave the *renamed* file empty,
+               which is exactly the torn state the format exists to
+               prevent. *)
+            Unix.fsync (Unix.descr_of_out_channel oc));
+        (* Atomic publish: readers see the old snapshot or the new one,
+           never a prefix. *)
+        Sys.rename tmp path;
+        (* Persist the directory entry too (best-effort: some systems
+           refuse fsync on directories). *)
+        match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+        | fd ->
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+        | exception Unix.Unix_error _ -> ())
+  with
+  | () -> Ok ()
+  | exception Sys_error message -> Error (Xmldoc.Fault.Io_error { path; message })
+  | exception Unix.Unix_error (e, fn, _) ->
+    Error
+      (Xmldoc.Fault.Io_error { path; message = fn ^ ": " ^ Unix.error_message e })
+
 let load_res ?(limits = Xmldoc.Limits.default) path =
   match
     let ic = open_in_bin path in
@@ -147,7 +224,8 @@ let load_res ?(limits = Xmldoc.Limits.default) path =
                { what = "bytes"; actual = len; limit = limits.max_bytes })
         else of_string_res ~limits (really_input_string ic len))
   with
-  | r -> r
+  | Ok s -> Ok s
+  | Error f -> Error (Xmldoc.Fault.with_path path f)
   | exception Sys_error message -> Error (Xmldoc.Fault.Io_error { path; message })
   | exception End_of_file ->
     Error (Xmldoc.Fault.Io_error { path; message = "unexpected end of file" })

@@ -1,13 +1,23 @@
 (** Plain-text persistence for synopses, used by the command-line
-    tools ([tsbuild] writes, [tsquery] reads).
+    tools and the serving runtime's snapshot store.
 
-    Format (line oriented):
+    Two format versions share the record grammar:
     {v
-    treesketch 1
-    root <id>
+    treesketch 1          treesketch 2
+    root <id>             root <id>
     node <id> <count> <label>
     edge <from> <to> <avg>
+                          crc <8-hex-digit CRC-32 of all preceding bytes>
     v}
+
+    Version 1 is the legacy CLI format.  Version 2 is the {e snapshot}
+    format of the crash-safe store: the mandatory [crc] trailer is both
+    an integrity checksum (CRC-32, as in zlib) and an end-of-snapshot
+    marker, so a write cut short at any byte — missing trailer — or
+    corrupted in place — checksum mismatch — is rejected as
+    [Corrupt_synopsis], and anything {e after} the trailer (a
+    concatenated or torn rewrite) is trailing garbage.  Both versions
+    reject duplicate headers and duplicate [root] records.
 
     Loading is total and validating: the [*_res] entry points never
     raise — every malformed line is reported as
@@ -15,19 +25,29 @@
     offending line's text, resource bounds from the supplied
     [Xmldoc.Limits.t] are enforced, and every successfully decoded
     synopsis has passed {!Synopsis.validate} (so downstream code can
-    index it without bounds anxiety). *)
+    index it without bounds anxiety).  Faults from {!load_res} always
+    name the file they came from. *)
 
 val save : string -> Synopsis.t -> unit
-(** Write the synopsis to a file. *)
+(** Write the synopsis to a file (version 1, non-atomic). *)
+
+val save_atomic : string -> Synopsis.t -> (unit, Xmldoc.Fault.t) result
+(** Crash-safe snapshot write (version 2): the checksummed snapshot is
+    written to a unique [.tmp] file in the destination directory,
+    fsynced, and atomically renamed over [path] — a reader (or a
+    post-crash reload) sees the previous complete snapshot or the new
+    complete snapshot, never a prefix.  I/O failures are returned as
+    [Error (Io_error _)] and the temp file is removed. *)
 
 val load_res : ?limits:Xmldoc.Limits.t -> string -> (Synopsis.t, Xmldoc.Fault.t) result
-(** Read and validate a synopsis.  Never raises: corrupt input is
-    [Error (Corrupt_synopsis _)], an unreadable file
-    [Error (Io_error _)], a violated bound [Error (Limit_exceeded _)]
-    or [Error (Deadline _)]. *)
+(** Read and validate a synopsis, accepting either format version.
+    Never raises: corrupt input is [Error (Corrupt_synopsis _)], an
+    unreadable file [Error (Io_error _)], a violated bound
+    [Error (Limit_exceeded _)] or [Error (Deadline _)].  Every fault is
+    tagged with [path] (see {!Xmldoc.Fault.with_path}). *)
 
 val of_string_res : ?limits:Xmldoc.Limits.t -> string -> (Synopsis.t, Xmldoc.Fault.t) result
-(** In-memory variant of {!load_res}. *)
+(** In-memory variant of {!load_res} (no path tagging). *)
 
 val load : ?limits:Xmldoc.Limits.t -> string -> Synopsis.t
 (** Read a synopsis back.  @raise Failure on malformed input (the
@@ -35,6 +55,11 @@ val load : ?limits:Xmldoc.Limits.t -> string -> Synopsis.t
     cannot be read. *)
 
 val to_string : Synopsis.t -> string
+(** Version-1 rendering (no checksum). *)
+
+val to_snapshot_string : Synopsis.t -> string
+(** Version-2 rendering with the [crc] trailer — what {!save_atomic}
+    writes. *)
 
 val of_string : ?limits:Xmldoc.Limits.t -> string -> Synopsis.t
 (** @raise Failure on malformed input. *)

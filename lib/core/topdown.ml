@@ -98,7 +98,10 @@ let split_members stable assign members =
       if lo = [] || hi = [] then None else Some (lo, hi)
   end
 
-let build stable ~budget =
+let build ?cancel stable ~budget =
+  let cancel =
+    match cancel with Some b -> b | None -> Xmldoc.Budget.unlimited ()
+  in
   let n_stable = Synopsis.num_nodes stable in
   let parents = Synopsis.parents stable in
   (* label-split initial partition *)
@@ -140,7 +143,10 @@ let build stable ~budget =
     set
   in
   let continue_ = ref true in
-  while !continue_ && size () < budget do
+  (* [poll], not [tick]: one split is itself expensive, so the clock is
+     consulted on every iteration.  A stopped budget leaves the current
+     (coarser) partition — always a valid synopsis — as the result. *)
+  while !continue_ && size () < budget && Xmldoc.Budget.poll cancel do
     (* split the worst cluster that can be split *)
     let candidates =
       Hashtbl.fold (fun c st acc -> (st.sq, c) :: acc) stats []

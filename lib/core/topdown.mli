@@ -10,10 +10,17 @@
     better results, without significantly increasing construction
     time", which the [ablation] benchmark reproduces. *)
 
-val build : Synopsis.t -> budget:int -> Synopsis.t * float
+val build :
+  ?cancel:Xmldoc.Budget.t -> Synopsis.t -> budget:int -> Synopsis.t * float
 (** [build stable ~budget] grows a synopsis from the label-split graph
     by error-greedy splitting until the budget is reached (the final
     split may overshoot it by one node's worth of bytes).  Returns the
     synopsis and its squared error (same metric as
     {!Cluster.sq_error}, so bottom-up and top-down construction are
-    directly comparable). *)
+    directly comparable).
+
+    [cancel] is polled once per split: a stopped budget (deadline or
+    work cap) ends construction early and the coarser
+    partition-so-far is returned — a valid synopsis, merely less
+    refined.  Check [Xmldoc.Budget.stopped] to distinguish completion
+    from cancellation. *)

@@ -1,0 +1,126 @@
+type entry = {
+  name : string;
+  path : string;
+  synopsis : Sketch.Synopsis.t;
+  mtime : float;
+  size : int;
+}
+
+type quarantined = {
+  q_name : string;
+  q_path : string;
+  fault : Xmldoc.Fault.t;
+}
+
+type event =
+  | Loaded of string
+  | Reloaded of string
+  | Quarantined of string * Xmldoc.Fault.t
+  | Removed of string
+  | Scan_error of Xmldoc.Fault.t
+
+type t = {
+  dir : string;
+  limits : Xmldoc.Limits.t;
+  entries : (string, entry) Hashtbl.t;
+  quarantine : (string, quarantined) Hashtbl.t;
+}
+
+let snapshot_extension = ".ts"
+
+let create ?(limits = Xmldoc.Limits.default) dir =
+  { dir; limits; entries = Hashtbl.create 16; quarantine = Hashtbl.create 4 }
+
+let dir t = t.dir
+
+let find t name = Hashtbl.find_opt t.entries name
+
+let fault_for t name =
+  match Hashtbl.find_opt t.quarantine name with
+  | Some q -> Some q.fault
+  | None -> None
+
+let names t =
+  List.sort String.compare
+    (Hashtbl.fold (fun name _ acc -> name :: acc) t.entries [])
+
+let quarantined t =
+  List.sort
+    (fun a b -> String.compare a.q_name b.q_name)
+    (Hashtbl.fold (fun _ q acc -> q :: acc) t.quarantine [])
+
+let size t = Hashtbl.length t.entries
+
+(* A snapshot file is reconsidered when its (mtime, size) fingerprint
+   moves.  [force] reconsiders everything — the RELOAD escape hatch for
+   same-second rewrites that a coarse mtime clock cannot distinguish. *)
+let changed entry st =
+  entry.mtime <> st.Unix.st_mtime || entry.size <> st.Unix.st_size
+
+let refresh ?(force = false) t =
+  let events = ref [] in
+  let note e = events := e :: !events in
+  match Sys.readdir t.dir with
+  | exception Sys_error message ->
+    note (Scan_error (Xmldoc.Fault.Io_error { path = t.dir; message }));
+    List.rev !events
+  | files ->
+    let seen = Hashtbl.create 16 in
+    Array.sort String.compare files;
+    Array.iter
+      (fun file ->
+        if Filename.check_suffix file snapshot_extension then begin
+          let name = Filename.chop_suffix file snapshot_extension in
+          let path = Filename.concat t.dir file in
+          match Unix.stat path with
+          | exception Unix.Unix_error _ -> () (* deleted between readdir and stat *)
+          | st when st.Unix.st_kind <> Unix.S_REG -> ()
+          | st ->
+            Hashtbl.replace seen name ();
+            let known = Hashtbl.find_opt t.entries name in
+            let needs_load =
+              force
+              || (match known with None -> true | Some e -> changed e st)
+              ||
+              (* a quarantined file is retried on every refresh: repair
+                 by rewriting in place must not require a restart even
+                 when the fingerprint stands still *)
+              Hashtbl.mem t.quarantine name
+            in
+            if needs_load then begin
+              match Sketch.Serialize.load_res ~limits:t.limits path with
+              | Ok synopsis ->
+                Hashtbl.replace t.entries name
+                  {
+                    name;
+                    path;
+                    synopsis;
+                    mtime = st.Unix.st_mtime;
+                    size = st.Unix.st_size;
+                  };
+                Hashtbl.remove t.quarantine name;
+                note (if known = None then Loaded name else Reloaded name)
+              | Error fault ->
+                (* Quarantine the file; a previously resident version
+                   keeps serving (stale beats absent — the synopsis is
+                   approximate either way). *)
+                Hashtbl.replace t.quarantine name { q_name = name; q_path = path; fault };
+                note (Quarantined (name, fault))
+            end
+        end)
+      files;
+    let gone =
+      Hashtbl.fold
+        (fun name _ acc -> if Hashtbl.mem seen name then acc else name :: acc)
+        t.entries []
+    in
+    List.iter
+      (fun name ->
+        Hashtbl.remove t.entries name;
+        note (Removed name))
+      (List.sort String.compare gone);
+    Hashtbl.iter
+      (fun name q ->
+        if not (Sys.file_exists q.q_path) then Hashtbl.remove t.quarantine name)
+      (Hashtbl.copy t.quarantine);
+    List.rev !events

@@ -1,0 +1,76 @@
+(** The resident synopsis catalog of the serving runtime.
+
+    A catalog maps names to loaded synopses, backed by a directory of
+    [.ts] snapshot files ([name.ts] serves as [name]).  {!refresh}
+    reconciles the resident set with the directory:
+
+    - new or changed files (by [(mtime, size)] fingerprint) are
+      re-loaded through the validating {!Sketch.Serialize.load_res};
+    - files that fail to load are {e quarantined}, never partially
+      loaded: the structured fault is recorded, and — crucially — a
+      previously resident version of the same name {e keeps serving}
+      (approximate answers from a slightly stale synopsis beat no
+      answers); quarantined files are retried on every refresh so an
+      in-place repair is picked up without a restart;
+    - files that disappeared are dropped.
+
+    Combined with {!Sketch.Serialize.save_atomic}'s
+    write-temp-then-rename discipline, a crash at any byte of a
+    snapshot write leaves the catalog serving the previous complete
+    version; a torn in-place write is caught by the version-2 checksum
+    and quarantined. *)
+
+type entry = {
+  name : string;
+  path : string;
+  synopsis : Sketch.Synopsis.t;
+  mtime : float;  (** fingerprint at load time *)
+  size : int;  (** fingerprint at load time *)
+}
+
+type quarantined = {
+  q_name : string;
+  q_path : string;
+  fault : Xmldoc.Fault.t;
+}
+
+type event =
+  | Loaded of string
+  | Reloaded of string
+  | Quarantined of string * Xmldoc.Fault.t
+  | Removed of string
+  | Scan_error of Xmldoc.Fault.t
+      (** the catalog directory itself could not be scanned *)
+
+type t
+
+val snapshot_extension : string
+(** [".ts"] — the only files the catalog considers, which is what makes
+    {!Sketch.Serialize.save_atomic}'s [.tmp] staging files invisible to
+    readers. *)
+
+val create : ?limits:Xmldoc.Limits.t -> string -> t
+(** [create dir] is an empty catalog over [dir]; call {!refresh} to
+    populate it.  [limits] bounds every snapshot load. *)
+
+val refresh : ?force:bool -> t -> event list
+(** Reconcile with the directory; returns what changed, in
+    deterministic (name-sorted) order.  [force] reloads unchanged files
+    too.  Never raises. *)
+
+val find : t -> string -> entry option
+
+val fault_for : t -> string -> Xmldoc.Fault.t option
+(** The quarantine fault recorded for [name], if any — present exactly
+    when the on-disk file is unloadable (the name may still be
+    resident from an earlier good version). *)
+
+val names : t -> string list
+(** Resident names, sorted. *)
+
+val quarantined : t -> quarantined list
+(** Quarantine records, sorted by name. *)
+
+val size : t -> int
+
+val dir : t -> string

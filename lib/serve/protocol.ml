@@ -1,0 +1,101 @@
+type opts = {
+  deadline : float option;
+  max_nodes : int option;
+}
+
+let no_opts = { deadline = None; max_nodes = None }
+
+type request =
+  | Ping
+  | List
+  | Reload of { force : bool }
+  | Stat of string
+  | Query of opts * string * Twig.Syntax.t
+  | Answer of opts * string * Twig.Syntax.t
+  | Quit
+
+(* One request per line: an upper-case verb, then [-key=value] options,
+   then operands.  Parsing is total; every rejection names its cause. *)
+
+let split_words line =
+  List.filter (fun w -> w <> "") (String.split_on_char ' ' (String.trim line))
+
+let parse_opt opts tok =
+  match String.index_opt tok '=' with
+  | None -> Error (Printf.sprintf "malformed option %S (want -key=value)" tok)
+  | Some eq ->
+    let key = String.sub tok 1 (eq - 1) in
+    let value = String.sub tok (eq + 1) (String.length tok - eq - 1) in
+    (match key with
+    | "deadline" -> (
+      match float_of_string_opt value with
+      | Some s when Float.is_finite s ->
+        Ok { opts with deadline = Some s }
+      | _ -> Error (Printf.sprintf "bad deadline %S (want seconds)" value))
+    | "max-nodes" -> (
+      match int_of_string_opt value with
+      | Some n when n >= 1 -> Ok { opts with max_nodes = Some n }
+      | _ -> Error (Printf.sprintf "bad max-nodes %S (want a positive integer)" value)
+      )
+    | _ -> Error (Printf.sprintf "unknown option -%s" key))
+
+let rec parse_opts opts = function
+  | tok :: rest when String.length tok > 1 && tok.[0] = '-' -> (
+    match parse_opt opts tok with
+    | Ok opts -> parse_opts opts rest
+    | Error msg -> Error msg)
+  | rest -> Ok (opts, rest)
+
+let parse_query_text text =
+  match Twig.Parse.query text with
+  | q -> Ok q
+  | exception e -> (
+    match Twig.Parse.error_to_string e with
+    | Some msg -> Error (Printf.sprintf "bad query %S: %s" text msg)
+    | None -> Error (Printf.sprintf "bad query %S" text))
+
+let parse_targeted verb make words =
+  match parse_opts no_opts words with
+  | Error msg -> Error msg
+  | Ok (_, []) -> Error (Printf.sprintf "%s needs a synopsis name and a query" verb)
+  | Ok (_, [ _ ]) -> Error (Printf.sprintf "%s needs a query after the name" verb)
+  | Ok (opts, name :: query_words) ->
+    Result.map
+      (fun q -> make opts name q)
+      (parse_query_text (String.concat " " query_words))
+
+let parse line =
+  match split_words line with
+  | [] -> Error "empty request"
+  | verb :: rest -> (
+    match (String.uppercase_ascii verb, rest) with
+    | "PING", [] -> Ok Ping
+    | "LIST", [] -> Ok List
+    | "QUIT", [] -> Ok Quit
+    | "RELOAD", [] -> Ok (Reload { force = false })
+    | "RELOAD", [ "-force" ] -> Ok (Reload { force = true })
+    | "STAT", [ name ] -> Ok (Stat name)
+    | "STAT", _ -> Error "STAT takes exactly one synopsis name"
+    | "QUERY", words -> parse_targeted "QUERY" (fun o n q -> Query (o, n, q)) words
+    | "ANSWER", words -> parse_targeted "ANSWER" (fun o n q -> Answer (o, n, q)) words
+    | ("PING" | "LIST" | "QUIT" | "RELOAD"), _ ->
+      Error (Printf.sprintf "%s takes no operands" (String.uppercase_ascii verb))
+    | v, _ ->
+      Error
+        (Printf.sprintf
+           "unknown verb %S (want PING, LIST, RELOAD, STAT, QUERY, ANSWER or QUIT)" v))
+
+(* Responses are single lines too; anything woven into one (fault
+   messages above all) is flattened first. *)
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let error_line ~cls message =
+  Printf.sprintf "error %s %s" cls (one_line message)
+
+let fault_line fault =
+  error_line ~cls:(Xmldoc.Fault.class_name fault) (Xmldoc.Fault.to_string fault)
+
+let degraded_token = function
+  | None -> "no"
+  | Some stop -> Xmldoc.Budget.stop_to_string stop

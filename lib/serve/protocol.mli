@@ -1,0 +1,71 @@
+(** The line-oriented request protocol of [treesketch serve].
+
+    One request per line, one response line per request — trivially
+    scriptable over stdin/stdout, a pipe, or the Unix socket.
+
+    {2 Requests}
+    {v
+    PING
+    LIST
+    RELOAD [-force]
+    STAT <name>
+    QUERY  [-deadline=<seconds>] [-max-nodes=<n>] <name> <twig-query>
+    ANSWER [-deadline=<seconds>] [-max-nodes=<n>] <name> <twig-query>
+    QUIT
+    v}
+    Verbs are case-insensitive.  [<name>] is a catalog entry
+    ([name.ts]).  [-deadline] is relative seconds from request receipt
+    (negative = already expired, useful for testing degradation);
+    [-max-nodes] caps answer/tree nodes.  Both are clamped by the
+    server's own configured caps.
+
+    {2 Responses}
+    {v
+    pong
+    bye
+    ok catalog n=<d> names=<a,b,...> quarantined=<d>
+    ok reload loaded=<d> reloaded=<d> quarantined=<d> removed=<d>
+    ok stat name=<s> classes=<d> edges=<d> bytes=<d> stable=<yes|no>
+    ok query degraded=<no|deadline|nodes|work> est=<g> classes=<d> empty=<yes|no>
+    ok answer degraded=<no|deadline|nodes|work> empty=yes
+    ok answer degraded=<no|deadline|nodes|work> truncated=<yes|no> nodes=<d> tree=<xml>
+    error <class> <message>
+    v}
+    [degraded] names why the request budget stopped ([no] = it did
+    not): a degraded response still carries the partial answer and its
+    selectivity estimate — graceful degradation, never an abort.
+    Error classes are {!Xmldoc.Fault.class_name} tags ([parse],
+    [corrupt], [limit], [deadline], [io]) plus the protocol-level
+    [bad-request], [not-found], [overloaded] and [internal]. *)
+
+type opts = {
+  deadline : float option;  (** relative seconds *)
+  max_nodes : int option;
+}
+
+val no_opts : opts
+
+type request =
+  | Ping
+  | List
+  | Reload of { force : bool }
+  | Stat of string
+  | Query of opts * string * Twig.Syntax.t
+  | Answer of opts * string * Twig.Syntax.t
+  | Quit
+
+val parse : string -> (request, string) result
+(** Total: every malformed request line is [Error reason] (rendered by
+    the server as [error bad-request <reason>]). *)
+
+val one_line : string -> string
+(** Newlines flattened to spaces — applied to anything woven into a
+    response line. *)
+
+val error_line : cls:string -> string -> string
+
+val fault_line : Xmldoc.Fault.t -> string
+(** [error <class> <message>] for a structured fault. *)
+
+val degraded_token : Xmldoc.Budget.stop option -> string
+(** [no], [deadline], [nodes] or [work]. *)

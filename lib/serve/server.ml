@@ -1,0 +1,310 @@
+type config = {
+  limits : Xmldoc.Limits.t;
+  deadline : float option;
+  max_answer_nodes : int;
+  max_work : int;
+  max_inflight : int;
+  auto_reload : bool;
+}
+
+let default_config =
+  {
+    limits = Xmldoc.Limits.default;
+    deadline = Some 5.0;
+    max_answer_nodes = 100_000;
+    max_work = 10_000_000;
+    max_inflight = 8;
+    auto_reload = true;
+  }
+
+type stats = {
+  mutable served : int;
+  mutable errors : int;
+  mutable degraded : int;
+}
+
+type t = {
+  config : config;
+  catalog : Catalog.t;
+  log : string -> unit;
+  stats : stats;
+  mutable req_id : int;
+}
+
+let stats t = t.stats
+
+let catalog t = t.catalog
+
+let log_event t fmt = Printf.ksprintf t.log fmt
+
+let log_catalog_events t events =
+  List.iter
+    (fun event ->
+      match event with
+      | Catalog.Loaded name -> log_event t "event=load name=%s" name
+      | Catalog.Reloaded name -> log_event t "event=reload name=%s" name
+      | Catalog.Removed name -> log_event t "event=remove name=%s" name
+      | Catalog.Quarantined (name, fault) ->
+        log_event t "event=quarantine name=%s class=%s msg=%S" name
+          (Xmldoc.Fault.class_name fault)
+          (Xmldoc.Fault.to_string fault)
+      | Catalog.Scan_error fault ->
+        log_event t "event=scan-error class=%s msg=%S"
+          (Xmldoc.Fault.class_name fault)
+          (Xmldoc.Fault.to_string fault))
+    events
+
+let create ?(log = prerr_endline) ?(config = default_config) dir =
+  let t =
+    {
+      config;
+      catalog = Catalog.create ~limits:config.limits dir;
+      log;
+      stats = { served = 0; errors = 0; degraded = 0 };
+      req_id = 0;
+    }
+  in
+  log_catalog_events t (Catalog.refresh t.catalog);
+  t
+
+(* Per-request budget: the request's own [-deadline]/[-max-nodes] can
+   tighten the server's caps, never widen them. *)
+let budget_for t (opts : Protocol.opts) =
+  let relative =
+    match (t.config.deadline, opts.deadline) with
+    | None, req -> req
+    | (Some _ as cfg), None -> cfg
+    | Some cfg, Some req -> Some (Float.min cfg req)
+  in
+  let deadline = Option.map (fun s -> Xmldoc.Limits.now () +. s) relative in
+  let max_nodes =
+    match opts.max_nodes with
+    | Some n -> min n t.config.max_answer_nodes
+    | None -> t.config.max_answer_nodes
+  in
+  Xmldoc.Budget.create ?deadline ~max_nodes ~max_work:t.config.max_work ()
+
+let resolve t name =
+  match Catalog.find t.catalog name with
+  | Some entry -> Ok entry
+  | None -> (
+    match Catalog.fault_for t.catalog name with
+    | Some fault -> Error (Protocol.fault_line fault)
+    | None ->
+      Error
+        (Protocol.error_line ~cls:"not-found"
+           (Printf.sprintf "no synopsis %S in the catalog" name)))
+
+let yes_no b = if b then "yes" else "no"
+
+let handle_request t (req : Protocol.request) =
+  match req with
+  | Ping -> ("pong", false)
+  | Quit -> ("bye", true)
+  | List ->
+    let names = Catalog.names t.catalog in
+    ( Printf.sprintf "ok catalog n=%d names=%s quarantined=%d"
+        (List.length names) (String.concat "," names)
+        (List.length (Catalog.quarantined t.catalog)),
+      false )
+  | Reload { force } ->
+    let events = Catalog.refresh ~force t.catalog in
+    log_catalog_events t events;
+    let count p = List.length (List.filter p events) in
+    ( Printf.sprintf "ok reload loaded=%d reloaded=%d quarantined=%d removed=%d"
+        (count (function Catalog.Loaded _ -> true | _ -> false))
+        (count (function Catalog.Reloaded _ -> true | _ -> false))
+        (count (function Catalog.Quarantined _ -> true | _ -> false))
+        (count (function Catalog.Removed _ -> true | _ -> false)),
+      false )
+  | Stat name -> (
+    match resolve t name with
+    | Error line -> (line, false)
+    | Ok entry ->
+      let s = entry.synopsis in
+      ( Printf.sprintf "ok stat name=%s classes=%d edges=%d bytes=%d stable=%s" name
+          (Sketch.Synopsis.num_nodes s)
+          (Sketch.Synopsis.num_edges s)
+          (Sketch.Synopsis.size_bytes s)
+          (yes_no (Sketch.Synopsis.is_count_stable s)),
+        false ))
+  | Query (opts, name, q) -> (
+    match resolve t name with
+    | Error line -> (line, false)
+    | Ok entry ->
+      let budget = budget_for t opts in
+      let ans = Sketch.Eval.eval ~budget entry.synopsis q in
+      let est = Sketch.Selectivity.of_answer q ans in
+      if ans.degraded then t.stats.degraded <- t.stats.degraded + 1;
+      ( Printf.sprintf "ok query degraded=%s est=%g classes=%d empty=%s"
+          (Protocol.degraded_token (Xmldoc.Budget.stopped budget))
+          est
+          (Sketch.Synopsis.num_nodes ans.synopsis)
+          (yes_no ans.empty),
+        false ))
+  | Answer (opts, name, q) -> (
+    match resolve t name with
+    | Error line -> (line, false)
+    | Ok entry ->
+      (* One budget spans evaluation and expansion: the request's caps
+         are end-to-end, whichever stage exhausts them. *)
+      let budget = budget_for t opts in
+      let ans = Sketch.Eval.eval ~budget entry.synopsis q in
+      if ans.empty then begin
+        if ans.degraded then t.stats.degraded <- t.stats.degraded + 1;
+        ( Printf.sprintf "ok answer degraded=%s empty=yes"
+            (Protocol.degraded_token (Xmldoc.Budget.stopped budget)),
+          false )
+      end
+      else begin
+        let p = Sketch.Expand.partial ~budget ans.synopsis in
+        let degraded_or_truncated =
+          Xmldoc.Budget.stopped budget <> None || p.truncated
+        in
+        if degraded_or_truncated then t.stats.degraded <- t.stats.degraded + 1;
+        ( Printf.sprintf "ok answer degraded=%s truncated=%s nodes=%d tree=%s"
+            (Protocol.degraded_token (Xmldoc.Budget.stopped budget))
+            (yes_no p.truncated) p.nodes
+            (Protocol.one_line (Xmldoc.Printer.to_string p.tree)),
+          false )
+      end)
+
+(* The supervision boundary: whatever a request does — malformed
+   syntax, a missing synopsis, an evaluator invariant violation — the
+   server answers with a single structured line and keeps serving.
+   Only the channel itself failing ends the loop. *)
+let handle_line t line =
+  t.req_id <- t.req_id + 1;
+  t.stats.served <- t.stats.served + 1;
+  match Protocol.parse line with
+  | Error reason ->
+    t.stats.errors <- t.stats.errors + 1;
+    (Protocol.error_line ~cls:"bad-request" reason, false)
+  | Ok req -> (
+    if
+      t.config.auto_reload
+      && (match req with Ping | Quit | Reload _ -> false | _ -> true)
+    then log_catalog_events t (Catalog.refresh t.catalog);
+    match handle_request t req with
+    | response -> response
+    | exception e ->
+      t.stats.errors <- t.stats.errors + 1;
+      let msg = Printexc.to_string e in
+      log_event t "event=request-error id=%d class=internal msg=%S" t.req_id msg;
+      (Protocol.error_line ~cls:"internal" msg, false))
+
+let serve_channels t ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+    | line ->
+      let response, quit = handle_line t line in
+      (match
+         output_string oc response;
+         output_char oc '\n';
+         flush oc
+       with
+      | () -> if not quit then loop ()
+      | exception Sys_error _ -> ())
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Admission = struct
+  type t = {
+    mutex : Mutex.t;
+    capacity : int;
+    mutable in_flight : int;
+  }
+
+  let create capacity = { mutex = Mutex.create (); capacity; in_flight = 0 }
+
+  let try_acquire a =
+    Mutex.protect a.mutex (fun () ->
+        if a.in_flight >= a.capacity then false
+        else begin
+          a.in_flight <- a.in_flight + 1;
+          true
+        end)
+
+  let release a =
+    Mutex.protect a.mutex (fun () -> a.in_flight <- max 0 (a.in_flight - 1))
+
+  let in_flight a = Mutex.protect a.mutex (fun () -> a.in_flight)
+
+  let capacity a = a.capacity
+end
+
+(* ------------------------------------------------------------------ *)
+(* Unix-socket front end                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_socket ?(backlog = 64) t ~path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec sock;
+  (match Unix.unlink path with
+  | () -> ()
+  | exception Unix.Unix_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock backlog;
+  let admission = Admission.create t.config.max_inflight in
+  (* Label interning, the catalog tables and the stats record are
+     shared mutable state: request processing is serialized under one
+     lock; the threads buy overlap of connection I/O, and admission
+     control sheds connections beyond [max_inflight] instead of letting
+     them queue without bound. *)
+  let process_lock = Mutex.create () in
+  let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> () in
+  let connection fd =
+    Fun.protect
+      ~finally:(fun () ->
+        Admission.release admission;
+        close_quietly fd)
+      (fun () ->
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        let rec loop () =
+          match input_line ic with
+          | exception End_of_file -> ()
+          | exception Sys_error _ -> ()
+          | line ->
+            let response, quit =
+              Mutex.protect process_lock (fun () -> handle_line t line)
+            in
+            (match
+               output_string oc response;
+               output_char oc '\n';
+               flush oc
+             with
+            | () -> if not quit then loop ()
+            | exception Sys_error _ -> ())
+        in
+        loop ())
+  in
+  log_event t "event=listening socket=%s max_inflight=%d" path
+    t.config.max_inflight;
+  let rec accept_loop () =
+    let fd, _ = Unix.accept sock in
+    if Admission.try_acquire admission then
+      ignore (Thread.create connection fd : Thread.t)
+    else begin
+      (* shed load immediately rather than tying up a worker *)
+      let oc = Unix.out_channel_of_descr fd in
+      (try
+         output_string oc
+           (Protocol.error_line ~cls:"overloaded"
+              (Printf.sprintf "%d connections already in flight"
+                 t.config.max_inflight)
+           ^ "\n");
+         flush oc
+       with Sys_error _ -> ());
+      close_quietly fd;
+      t.stats.errors <- t.stats.errors + 1
+    end;
+    accept_loop ()
+  in
+  accept_loop ()

@@ -1,0 +1,82 @@
+(** The [treesketch serve] runtime: a supervised request loop over a
+    resident {!Catalog}.
+
+    Requests and responses follow the line protocol of {!Protocol}.
+    Three robustness mechanisms are layered on top of plain dispatch:
+
+    - {e Cooperative cancellation}: every QUERY/ANSWER gets an
+      {!Xmldoc.Budget.t} combining the server's caps with the request's
+      own (requests may tighten, never widen).  A tripped deadline or
+      node cap degrades the evaluation — the response carries the
+      partial approximate answer flagged [degraded=<why>] — it never
+      aborts the request.
+    - {e Supervision}: {!handle_line} is total.  Malformed requests,
+      missing synopses and unexpected evaluator exceptions all come
+      back as one [error <class> <message>] line plus a structured
+      stderr log record; the loop keeps serving.
+    - {e Crash-safe catalog}: snapshots are hot-reloaded on change and
+      quarantined (previous resident version keeps serving) when
+      corrupt; see {!Catalog}. *)
+
+type config = {
+  limits : Xmldoc.Limits.t;  (** bounds every snapshot load *)
+  deadline : float option;
+      (** default per-request deadline, seconds ([None] = none) *)
+  max_answer_nodes : int;  (** cap on answer/tree nodes per request *)
+  max_work : int;  (** cap on evaluation work ticks per request *)
+  max_inflight : int;  (** socket connections before shedding load *)
+  auto_reload : bool;
+      (** refresh the catalog before each catalog-touching request *)
+}
+
+val default_config : config
+(** 5 s deadline, 100_000 answer nodes, 10 M work ticks, 8 in-flight
+    connections, auto-reload on. *)
+
+type stats = {
+  mutable served : int;  (** request lines handled (including errors) *)
+  mutable errors : int;  (** [error ...] responses and shed connections *)
+  mutable degraded : int;  (** degraded or truncated answers *)
+}
+
+type t
+
+val create : ?log:(string -> unit) -> ?config:config -> string -> t
+(** [create dir] builds a server over the snapshot directory [dir] and
+    performs the initial catalog refresh.  [log] receives structured
+    one-line records ([event=... key=value ...]); default stderr. *)
+
+val stats : t -> stats
+
+val catalog : t -> Catalog.t
+
+val handle_line : t -> string -> string * bool
+(** [handle_line t line] is one supervised request: the response line
+    (never containing a newline) and whether the client asked to QUIT.
+    Total — never raises. *)
+
+val serve_channels : t -> in_channel -> out_channel -> unit
+(** Serve requests line-by-line until EOF, QUIT or a broken channel.
+    This is the stdio front end, and what tests drive over a pipe. *)
+
+(** Bounded-in-flight admission control, exposed for unit tests. *)
+module Admission : sig
+  type t
+
+  val create : int -> t
+
+  val try_acquire : t -> bool
+  (** [false] = at capacity, shed the work. *)
+
+  val release : t -> unit
+  val in_flight : t -> int
+  val capacity : t -> int
+end
+
+val serve_socket : ?backlog:int -> t -> path:string -> unit
+(** Accept loop on a Unix domain socket at [path] (an existing socket
+    file is replaced).  Each connection is served by a thread;
+    connections beyond [max_inflight] are answered with a single
+    [error overloaded ...] line and closed.  Request processing is
+    serialized (label interning and the catalog are shared mutable
+    state); does not return. *)

@@ -1,0 +1,90 @@
+type stop = Deadline | Node_cap | Work_cap
+
+(* Deadline polling period: [Limits.now] costs a system call, so the
+   clock is consulted only every [clock_period] ticks.  [clock_due]
+   starts saturated so an already-expired deadline is caught on the
+   very first tick. *)
+let clock_period = 512
+
+type t = {
+  deadline : float option;
+  max_nodes : int;
+  max_work : int;
+  mutable nodes : int;
+  mutable work : int;
+  mutable clock_due : int;
+  mutable stopped : stop option;
+  started : float;
+}
+
+let create ?deadline ?(max_nodes = max_int) ?(max_work = max_int) () =
+  {
+    deadline;
+    max_nodes;
+    max_work;
+    nodes = 0;
+    work = 0;
+    clock_due = clock_period;
+    stopped = None;
+    started = Limits.now ();
+  }
+
+let unlimited () = create ()
+
+let of_limits ?max_nodes ?max_work (l : Limits.t) =
+  create ?deadline:l.deadline ?max_nodes ?max_work ()
+
+let with_timeout seconds =
+  create ~deadline:(Limits.now () +. seconds) ()
+
+let stopped b = b.stopped
+
+let alive b = b.stopped = None
+
+let check_clock b =
+  b.clock_due <- 0;
+  match b.deadline with
+  | Some d when Limits.now () > d -> b.stopped <- Some Deadline
+  | _ -> ()
+
+let tick b =
+  match b.stopped with
+  | Some _ -> false
+  | None ->
+    b.work <- b.work + 1;
+    if b.work > b.max_work then b.stopped <- Some Work_cap
+    else begin
+      b.clock_due <- b.clock_due + 1;
+      if b.clock_due >= clock_period then check_clock b
+    end;
+    b.stopped = None
+
+let poll b =
+  match b.stopped with
+  | Some _ -> false
+  | None ->
+    b.work <- b.work + 1;
+    if b.work > b.max_work then b.stopped <- Some Work_cap else check_clock b;
+    b.stopped = None
+
+let take_node b =
+  match b.stopped with
+  | Some _ -> false
+  | None ->
+    if b.nodes >= b.max_nodes then begin
+      b.stopped <- Some Node_cap;
+      false
+    end
+    else begin
+      b.nodes <- b.nodes + 1;
+      true
+    end
+
+let nodes b = b.nodes
+
+let elapsed b = Limits.now () -. b.started
+
+let stop_to_string = function
+  | Deadline -> "deadline"
+  | Node_cap -> "nodes"
+  | Work_cap -> "work"

@@ -1,0 +1,70 @@
+(** Cooperative cancellation for query serving.
+
+    A [Budget.t] is threaded into the evaluation hot loops
+    ([Sketch.Eval], [Sketch.Expand], [Sketch.Topdown]) and tick-checked
+    there: once the per-request deadline expires or a node/work cap is
+    hit, the loops stop expanding and return the partial state built so
+    far, flagged {e degraded}, instead of aborting.  This is what lets
+    a long-lived server bound every request's latency and answer size
+    while still returning a usable approximate answer (the paper's
+    answers are approximate anyway — a truncated enumeration merely
+    degrades the approximation).
+
+    A budget is single-use and mutable; once stopped it stays stopped,
+    so one budget shared across the stages of a request gives a single
+    end-to-end cap.  Deadlines are on the {!Limits.now} clock and are
+    polled only every few hundred ticks to keep the per-edge cost of
+    checking negligible. *)
+
+type stop =
+  | Deadline  (** the absolute deadline passed *)
+  | Node_cap  (** the answer/tree node cap was reached *)
+  | Work_cap  (** the total work (tick) cap was reached *)
+
+type t
+
+val create : ?deadline:float -> ?max_nodes:int -> ?max_work:int -> unit -> t
+(** [deadline] is an absolute timestamp on the {!Limits.now} clock;
+    [max_nodes] bounds {!take_node} reservations; [max_work] bounds
+    {!tick}s.  Omitted bounds are unlimited. *)
+
+val unlimited : unit -> t
+(** A budget that never stops.  A fresh value each call — budgets are
+    mutable. *)
+
+val of_limits : ?max_nodes:int -> ?max_work:int -> Limits.t -> t
+(** Adopt the deadline of a {!Limits.t}. *)
+
+val with_timeout : float -> t
+(** [with_timeout s] is a budget expiring [s] seconds from now. *)
+
+val tick : t -> bool
+(** Charge one unit of work; [true] iff evaluation may continue.
+    After the first [false] every subsequent call is [false]. *)
+
+val poll : t -> bool
+(** Like {!tick} but always consults the clock — for coarse loops whose
+    iterations are individually expensive (e.g. one construction split),
+    where waiting {!tick}'s polling period would overshoot the
+    deadline. *)
+
+val take_node : t -> bool
+(** Reserve one output node; [false] (and the budget stops with
+    {!Node_cap}) when the cap is exhausted. *)
+
+val alive : t -> bool
+(** [true] iff the budget has not stopped.  Does not charge work or
+    consult the clock. *)
+
+val stopped : t -> stop option
+(** Why the budget stopped, if it has. *)
+
+val nodes : t -> int
+(** Output nodes reserved so far. *)
+
+val elapsed : t -> float
+(** Seconds on the {!Limits.now} clock since the budget was created. *)
+
+val stop_to_string : stop -> string
+(** ["deadline"], ["nodes"] or ["work"] — the [reason] token of the
+    serving protocol's degraded responses. *)

@@ -19,6 +19,21 @@ let to_string = function
     Printf.sprintf "deadline expired during %s after %.3fs" stage elapsed
   | Io_error { path; message } -> Printf.sprintf "cannot read %s: %s" path message
 
+let with_path path = function
+  | Parse_error r -> Parse_error { r with message = path ^ ": " ^ r.message }
+  | Corrupt_synopsis r ->
+    Corrupt_synopsis { r with message = path ^ ": " ^ r.message }
+  | Limit_exceeded r -> Limit_exceeded { r with what = path ^ ": " ^ r.what }
+  | Deadline r -> Deadline { r with stage = r.stage ^ " of " ^ path }
+  | Io_error r -> Io_error { r with path }
+
+let class_name = function
+  | Parse_error _ -> "parse"
+  | Corrupt_synopsis _ -> "corrupt"
+  | Limit_exceeded _ -> "limit"
+  | Deadline _ -> "deadline"
+  | Io_error _ -> "io"
+
 let exit_code = function
   | Parse_error _ -> 1
   | Corrupt_synopsis _ -> 2

@@ -28,6 +28,17 @@ exception Fault of t
 val to_string : t -> string
 (** One-line human-readable rendering, suitable for stderr. *)
 
+val with_path : string -> t -> t
+(** Tag a fault with the file it came from: the path is woven into the
+    human-facing field of each case ([message], [what], [stage]; the
+    [Io_error] path is replaced), so multi-file consumers — the serving
+    catalog above all — always report {e which} file failed. *)
+
+val class_name : t -> string
+(** Stable one-word taxonomy tag per case ([parse], [corrupt], [limit],
+    [deadline], [io]) — the error class of the serving protocol and of
+    structured log records. *)
+
 val exit_code : t -> int
 (** Distinct process exit code per taxonomy case, used by the CLI:
     parse error 1, corrupt synopsis 2, limit exceeded 3, deadline 4,

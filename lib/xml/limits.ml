@@ -25,3 +25,24 @@ let with_timeout seconds l = { l with deadline = Some (now () +. seconds) }
 
 let expired l =
   match l.deadline with None -> false | Some d -> now () > d
+
+(* Shared by the CLI (--budget, --max-bytes) and the bench harness
+   (--budgets): one place decides what "10KB" means. *)
+let parse_bytes s =
+  let s = String.trim s in
+  let num, mult =
+    let up = String.uppercase_ascii s in
+    if Filename.check_suffix up "KB" then
+      (String.sub s 0 (String.length s - 2), 1024)
+    else if Filename.check_suffix up "MB" then
+      (String.sub s 0 (String.length s - 2), 1024 * 1024)
+    else if Filename.check_suffix up "GB" then
+      (String.sub s 0 (String.length s - 2), 1024 * 1024 * 1024)
+    else if Filename.check_suffix up "B" then
+      (String.sub s 0 (String.length s - 1), 1)
+    else (s, 1)
+  in
+  match int_of_string_opt (String.trim num) with
+  | Some n when n > 0 && n <= max_int / mult -> Ok (n * mult)
+  | Some n when n > 0 -> Error (Printf.sprintf "size %S overflows" s)
+  | _ -> Error (Printf.sprintf "bad size %S (try 10KB, 2MB or 4096)" s)

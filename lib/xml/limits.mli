@@ -38,3 +38,9 @@ val with_timeout : float -> t -> t
 
 val expired : t -> bool
 (** Has the deadline passed? Always [false] without a deadline. *)
+
+val parse_bytes : string -> (int, string) result
+(** Parse a human byte-size spec: a positive integer with an optional
+    case-insensitive [B], [KB], [MB] or [GB] suffix (["10KB"], ["2MB"],
+    ["4096"]).  Rejects non-positive values and sizes that overflow
+    [int].  Shared by the CLI budget flags and the bench harness. *)

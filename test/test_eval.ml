@@ -219,6 +219,72 @@ let test_cyclic_eval_terminates () =
   let est = Selectivity.estimate cyc q in
   Alcotest.(check bool) "finite" true (Float.is_finite est && est >= 0.)
 
+(* ---------------- degraded evaluation under a budget ---------------- *)
+
+(* an already-expired deadline still yields a valid, well-formed answer
+   — flagged degraded, never an exception *)
+let test_expired_deadline_degrades () =
+  let ts = Build.build fig1_stable ~budget:100 in
+  let q = Twig.Parse.query "//a[//t]{//p?}" in
+  let budget = Xmldoc.Budget.with_timeout (-1.0) in
+  let ans = Eval.eval ~budget ts q in
+  Alcotest.(check bool) "degraded flagged" true ans.degraded;
+  Alcotest.(check bool)
+    "stop reason is the deadline" true
+    (Xmldoc.Budget.stopped budget = Some Xmldoc.Budget.Deadline);
+  (match Synopsis.validate ans.raw with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "degraded raw answer invalid: %s" msg);
+  let est = Selectivity.of_answer q ans in
+  Alcotest.(check bool) "estimate finite" true (Float.is_finite est && est >= 0.)
+
+(* a node cap of c >= 1 bounds the raw answer by c nodes, root included *)
+let test_node_cap_bounds_answer () =
+  let q = Twig.Parse.query "//p{//t?,//k?}" in
+  List.iter
+    (fun cap ->
+      let budget = Xmldoc.Budget.create ~max_nodes:cap () in
+      let ans = Eval.eval ~budget fig1_stable q in
+      let n = Synopsis.num_nodes ans.raw in
+      if n > cap then Alcotest.failf "cap %d: raw answer has %d nodes" cap n;
+      match Synopsis.validate ans.raw with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "cap %d: invalid answer: %s" cap msg)
+    [ 1; 2; 3; 5; 100 ]
+
+let test_uncapped_not_degraded () =
+  let q = Twig.Parse.query "//a{//p?}" in
+  let budget = Xmldoc.Budget.unlimited () in
+  let ans = Eval.eval ~budget fig1_stable q in
+  Alcotest.(check bool) "not degraded" false ans.degraded;
+  Alcotest.(check bool) "budget never stopped" true
+    (Xmldoc.Budget.stopped budget = None)
+
+(* degradation only loses embeddings, so the degraded estimate is a
+   lower bound of the full estimate *)
+let prop_degraded_selectivity_lower_bound =
+  T.qtest ~count:120 "degraded selectivity <= full selectivity"
+    (QCheck.triple (T.arb_tree ()) T.arb_query QCheck.(1 -- 12))
+    (fun (t, q, cap) ->
+      let ts = Build.build (Stable.build t) ~budget:96 in
+      let full = Selectivity.of_answer q (Eval.eval ts q) in
+      let budget = Xmldoc.Budget.create ~max_nodes:cap ~max_work:200 () in
+      let degraded = Selectivity.of_answer q (Eval.eval ~budget ts q) in
+      degraded <= full +. 1e-9 *. Float.max 1. full)
+
+(* partial expansion under the same budget machinery: node caps
+   truncate, never raise, and the built prefix stays within the cap *)
+let test_partial_expansion_truncates () =
+  let ts = Build.build fig1_stable ~budget:100 in
+  let p = Expand.partial ~max_nodes:4 ts in
+  Alcotest.(check bool) "truncated" true p.truncated;
+  Alcotest.(check bool) "within cap" true (p.nodes <= 4);
+  Alcotest.(check bool) "tree matches count" true (Xmldoc.Tree.size p.tree <= 5);
+  let full = Expand.partial ts in
+  Alcotest.(check bool) "full not truncated" false full.truncated;
+  Alcotest.(check T.tree_iso) "partial agrees with approximate"
+    (Expand.approximate ts) full.tree
+
 let () =
   Alcotest.run "eval"
     [
@@ -246,5 +312,17 @@ let () =
           Alcotest.test_case "reachability pruning" `Quick test_reachability_pruning;
           prop_compressed_estimates_finite;
           prop_answer_var_labels;
+        ] );
+      ( "degraded",
+        [
+          Alcotest.test_case "expired deadline degrades" `Quick
+            test_expired_deadline_degrades;
+          Alcotest.test_case "node cap bounds the answer" `Quick
+            test_node_cap_bounds_answer;
+          Alcotest.test_case "unlimited budget stays clean" `Quick
+            test_uncapped_not_degraded;
+          Alcotest.test_case "partial expansion truncates" `Quick
+            test_partial_expansion_truncates;
+          prop_degraded_selectivity_lower_bound;
         ] );
     ]

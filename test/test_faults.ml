@@ -288,6 +288,118 @@ let test_corrupt_synopsis_cases () =
   corrupt "treesketch 1\nroot 0\nnode 0 1 a\nedge 9 0 2\n" (* source range *)
 
 (* ------------------------------------------------------------------ *)
+(* Store crashes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "tsstore" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun file -> try Sys.remove (Filename.concat dir file) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let write_file path text =
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc
+
+let store_synopsis =
+  lazy (Stable.build (Parser.of_string "<r><a><b/><c/></a><a><b/></a><d/></r>"))
+
+let canonical s = Serialize.to_string s
+
+(* A write torn at ANY byte offset must load as the complete synopsis
+   or fail as [Corrupt_synopsis] — never as a partial synopsis. *)
+let test_truncation_every_offset () =
+  let s = Lazy.force store_synopsis in
+  let snap = Serialize.to_snapshot_string s in
+  let full = canonical s in
+  let complete = ref 0 in
+  for cut = 0 to String.length snap - 1 do
+    match Serialize.of_string_res (String.sub snap 0 cut) with
+    | Error (Fault.Corrupt_synopsis _) -> ()
+    | Ok loaded ->
+      Alcotest.(check string)
+        (Printf.sprintf "cut at byte %d loads complete" cut)
+        full (canonical loaded);
+      incr complete
+    | Error f ->
+      Alcotest.failf "cut at byte %d: unexpected fault %s" cut (Fault.to_string f)
+  done;
+  (* only losing the final newline leaves a verifiable snapshot *)
+  Alcotest.(check bool) "at most one complete prefix" true (!complete <= 1)
+
+(* Anything after a well-formed snapshot (a torn second write, a
+   concatenation) is rejected, in both format versions. *)
+let test_trailing_garbage_rejected () =
+  let s = Lazy.force store_synopsis in
+  let reject text =
+    match Serialize.of_string_res text with
+    | Error (Fault.Corrupt_synopsis _) -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" (truncate_excerpt text)
+    | Error f ->
+      Alcotest.failf "wrong fault %s on %S" (Fault.to_string f) (truncate_excerpt text)
+  in
+  let snap = Serialize.to_snapshot_string s in
+  reject (snap ^ "node 0 1 zz\n");
+  reject (snap ^ "x");
+  reject (snap ^ snap);
+  let v1 = canonical s in
+  reject (v1 ^ "garbage\n");
+  reject (v1 ^ v1)
+
+(* Every loader fault names the offending file. *)
+let test_fault_names_path () =
+  with_temp_dir (fun dir ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+        nn = 0 || scan 0
+      in
+      let expect_path path = function
+        | Ok (_ : Synopsis.t) -> Alcotest.failf "expected a fault for %s" path
+        | Error f ->
+          Alcotest.(check bool)
+            (Printf.sprintf "fault %S names %s" (Fault.to_string f) path)
+            true
+            (contains (Fault.to_string f) path)
+      in
+      let bad = Filename.concat dir "bad.ts" in
+      write_file bad "treesketch 1\nroot 0\nnode x 1 a\n";
+      expect_path bad (Serialize.load_res bad);
+      let torn = Filename.concat dir "torn.ts" in
+      let snap = Serialize.to_snapshot_string (Lazy.force store_synopsis) in
+      write_file torn (String.sub snap 0 (String.length snap / 2));
+      expect_path torn (Serialize.load_res torn);
+      let absent = Filename.concat dir "absent.ts" in
+      expect_path absent (Serialize.load_res absent))
+
+(* save_atomic: the snapshot round-trips, leaves no staging litter, and
+   atomically replaces an existing file. *)
+let test_save_atomic_roundtrip () =
+  with_temp_dir (fun dir ->
+      let s = Lazy.force store_synopsis in
+      let path = Filename.concat dir "snap.ts" in
+      (match Serialize.save_atomic path s with
+      | Ok () -> ()
+      | Error f -> Alcotest.failf "save failed: %s" (Fault.to_string f));
+      (match Serialize.load_res path with
+      | Ok loaded -> Alcotest.(check string) "round trip" (canonical s) (canonical loaded)
+      | Error f -> Alcotest.failf "load failed: %s" (Fault.to_string f));
+      (* overwrite in place: still exactly one file, still loadable *)
+      (match Serialize.save_atomic path s with
+      | Ok () -> ()
+      | Error f -> Alcotest.failf "re-save failed: %s" (Fault.to_string f));
+      let files = Sys.readdir dir in
+      Array.sort String.compare files;
+      Alcotest.(check (array string)) "no staging litter" [| "snap.ts" |] files)
+
+(* ------------------------------------------------------------------ *)
 (* Deadline degradation in TSBUILD                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -348,6 +460,16 @@ let () =
         [
           Alcotest.test_case "line context" `Quick test_corrupt_synopsis_context;
           Alcotest.test_case "corruption cases" `Quick test_corrupt_synopsis_cases;
+        ] );
+      ( "store crashes",
+        [
+          Alcotest.test_case "truncation at every offset" `Quick
+            test_truncation_every_offset;
+          Alcotest.test_case "trailing garbage rejected" `Quick
+            test_trailing_garbage_rejected;
+          Alcotest.test_case "faults name the path" `Quick test_fault_names_path;
+          Alcotest.test_case "save_atomic round trip" `Quick
+            test_save_atomic_roundtrip;
         ] );
       ( "deadline degradation",
         [

@@ -1,0 +1,438 @@
+(* Tests for the serving runtime: catalog crash-safety and hot-reload,
+   the request protocol, admission control, an end-to-end smoke of the
+   server loop over real channels, and a seeded chaos run that
+   interleaves malformed requests, corrupt snapshots, expired deadlines
+   and over-cap answers — asserting the server never dies and every
+   response is structurally well-formed. *)
+
+module Server = Serve.Server
+module Catalog = Serve.Catalog
+module Protocol = Serve.Protocol
+module Serialize = Sketch.Serialize
+module Synopsis = Sketch.Synopsis
+module Stable = Sketch.Stable
+module T = Testutil
+
+let seed = 0x5e17e
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "tsserve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun file -> try Sys.remove (Filename.concat dir file) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let write_file path text =
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc
+
+let synopsis_a =
+  lazy (Stable.build (Xmldoc.Parser.of_string
+          "<db><movie><actor/><actor/><title/></movie>\
+           <movie><actor/><title/></movie><short><title/></short></db>"))
+
+let synopsis_b =
+  lazy (Stable.build (Xmldoc.Parser.of_string "<lib><book><ref/></book></lib>"))
+
+let canonical s = Serialize.to_string s
+
+let save path s =
+  match Serialize.save_atomic path s with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "save %s: %s" path (Xmldoc.Fault.to_string f)
+
+(* mtime has 1-second granularity on some filesystems; tests that
+   rewrite a file in place force the reload instead of sleeping *)
+let refresh_force c = Catalog.refresh ~force:true c
+
+let quiet_server ?config dir = Server.create ~log:(fun _ -> ()) ?config dir
+
+(* ------------------------------------------------------------------ *)
+(* Catalog                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_catalog_loads () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "a.ts") (Lazy.force synopsis_a);
+      save (Filename.concat dir "b.ts") (Lazy.force synopsis_b);
+      write_file (Filename.concat dir "notes.txt") "not a snapshot";
+      let c = Catalog.create dir in
+      let events = Catalog.refresh c in
+      Alcotest.(check int) "two loads" 2
+        (List.length
+           (List.filter (function Catalog.Loaded _ -> true | _ -> false) events));
+      Alcotest.(check (list string)) "names" [ "a"; "b" ] (Catalog.names c);
+      (match Catalog.find c "a" with
+      | Some e ->
+        Alcotest.(check string) "a content" (canonical (Lazy.force synopsis_a))
+          (canonical e.synopsis)
+      | None -> Alcotest.fail "a not resident");
+      Alcotest.(check int) "no quarantine" 0 (List.length (Catalog.quarantined c)))
+
+let test_catalog_quarantines_and_keeps_previous () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "a.ts" in
+      save path (Lazy.force synopsis_a);
+      let c = Catalog.create dir in
+      ignore (Catalog.refresh c);
+      (* corrupt the file behind the catalog's back *)
+      write_file path "treesketch 2\nroot 0\nnode 0 1 zz\n" (* missing crc *);
+      let events = refresh_force c in
+      (match events with
+      | [ Catalog.Quarantined ("a", Xmldoc.Fault.Corrupt_synopsis _) ] -> ()
+      | _ -> Alcotest.failf "expected one quarantine event, got %d" (List.length events));
+      (* the previous resident version keeps serving *)
+      (match Catalog.find c "a" with
+      | Some e ->
+        Alcotest.(check string) "stale version served"
+          (canonical (Lazy.force synopsis_a))
+          (canonical e.synopsis)
+      | None -> Alcotest.fail "previous version dropped");
+      Alcotest.(check bool) "fault recorded" true (Catalog.fault_for c "a" <> None);
+      (* repair in place: picked up without a restart *)
+      save path (Lazy.force synopsis_a);
+      (match refresh_force c with
+      | [ Catalog.Reloaded "a" ] -> ()
+      | events -> Alcotest.failf "expected a reload, got %d events" (List.length events));
+      Alcotest.(check bool) "quarantine cleared" true (Catalog.fault_for c "a" = None))
+
+(* catalog-level crash-safety: a snapshot torn at any sampled offset
+   either leaves the previous version serving (quarantine) or — if the
+   tear kept the file complete — reloads it identically; never partial *)
+let test_catalog_torn_writes_never_partial () =
+  with_temp_dir (fun dir ->
+      let s = Lazy.force synopsis_a in
+      let full = canonical s in
+      let snap = Serialize.to_snapshot_string s in
+      let path = Filename.concat dir "a.ts" in
+      save path s;
+      let c = Catalog.create dir in
+      ignore (Catalog.refresh c);
+      let cut = ref 0 in
+      while !cut < String.length snap do
+        write_file path (String.sub snap 0 !cut);
+        ignore (refresh_force c);
+        (match Catalog.find c "a" with
+        | Some e ->
+          Alcotest.(check string)
+            (Printf.sprintf "cut at %d serves a complete synopsis" !cut)
+            full (canonical e.synopsis)
+        | None -> Alcotest.failf "cut at %d: synopsis vanished" !cut);
+        cut := !cut + 7
+      done;
+      (* a torn staging file must be invisible to the scan *)
+      write_file (Filename.concat dir ".treesketch_torn.tmp")
+        (String.sub snap 0 (String.length snap / 2));
+      write_file path snap;
+      ignore (refresh_force c);
+      Alcotest.(check (list string)) "staging file invisible" [ "a" ] (Catalog.names c);
+      Alcotest.(check int) "no quarantine" 0 (List.length (Catalog.quarantined c)))
+
+let test_catalog_removal () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "a.ts" in
+      save path (Lazy.force synopsis_a);
+      let c = Catalog.create dir in
+      ignore (Catalog.refresh c);
+      Sys.remove path;
+      (match Catalog.refresh c with
+      | [ Catalog.Removed "a" ] -> ()
+      | events -> Alcotest.failf "expected removal, got %d events" (List.length events));
+      Alcotest.(check (list string)) "empty" [] (Catalog.names c))
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_parse () =
+  let ok line expect =
+    match Protocol.parse line with
+    | Ok req when req = expect -> ()
+    | Ok _ -> Alcotest.failf "%S parsed to the wrong request" line
+    | Error msg -> Alcotest.failf "%S rejected: %s" line msg
+  in
+  ok "PING" Protocol.Ping;
+  ok "ping" Protocol.Ping;
+  ok "  LIST  " Protocol.List;
+  ok "QUIT" Protocol.Quit;
+  ok "RELOAD" (Protocol.Reload { force = false });
+  ok "RELOAD -force" (Protocol.Reload { force = true });
+  ok "STAT db" (Protocol.Stat "db");
+  (match Protocol.parse "QUERY -deadline=0.5 -max-nodes=9 db //movie" with
+  | Ok (Protocol.Query (opts, "db", _)) ->
+    Alcotest.(check (option int)) "max-nodes" (Some 9) opts.max_nodes;
+    (match opts.deadline with
+    | Some d -> Alcotest.(check bool) "deadline" true (T.feq d 0.5)
+    | None -> Alcotest.fail "deadline dropped")
+  | Ok _ -> Alcotest.fail "wrong request shape"
+  | Error msg -> Alcotest.failf "rejected: %s" msg);
+  let fails line =
+    match Protocol.parse line with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%S accepted" line
+  in
+  fails "";
+  fails "   ";
+  fails "BOGUS";
+  fails "STAT";
+  fails "STAT a b";
+  fails "PING extra";
+  fails "QUERY db";
+  fails "QUERY -deadline=soon db //a";
+  fails "QUERY -max-nodes=0 db //a";
+  fails "QUERY -frobnicate=1 db //a";
+  fails "ANSWER db //a[";
+  Alcotest.(check string) "one_line flattens" "a b c" (Protocol.one_line "a\nb\rc")
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_admission () =
+  let a = Server.Admission.create 2 in
+  Alcotest.(check int) "capacity" 2 (Server.Admission.capacity a);
+  Alcotest.(check bool) "first" true (Server.Admission.try_acquire a);
+  Alcotest.(check bool) "second" true (Server.Admission.try_acquire a);
+  Alcotest.(check bool) "third shed" false (Server.Admission.try_acquire a);
+  Alcotest.(check int) "in flight" 2 (Server.Admission.in_flight a);
+  Server.Admission.release a;
+  Alcotest.(check bool) "slot freed" true (Server.Admission.try_acquire a);
+  Server.Admission.release a;
+  Server.Admission.release a;
+  Alcotest.(check int) "drained" 0 (Server.Admission.in_flight a)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end over real channels                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* run one serve_channels session over temp files, returning the
+   response lines *)
+let session server requests =
+  let req_path = Filename.temp_file "tsreq" ".txt" in
+  let resp_path = Filename.temp_file "tsresp" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove req_path with Sys_error _ -> ());
+      try Sys.remove resp_path with Sys_error _ -> ())
+    (fun () ->
+      write_file req_path (String.concat "\n" requests ^ "\n");
+      let ic = open_in req_path in
+      let oc = open_out resp_path in
+      Fun.protect
+        ~finally:(fun () ->
+          close_in_noerr ic;
+          close_out_noerr oc)
+        (fun () -> Server.serve_channels server ic oc);
+      let ic = open_in resp_path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec read acc =
+            match input_line ic with
+            | line -> read (line :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          read []))
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let check_prefix what prefix line =
+  if not (starts_with prefix line) then
+    Alcotest.failf "%s: expected %S..., got %S" what prefix line
+
+let test_serve_end_to_end () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "db.ts" in
+      save path (Lazy.force synopsis_a);
+      let server = quiet_server dir in
+      (* session 1: browse and query a healthy catalog *)
+      (match
+         session server
+           [ "PING"; "LIST"; "STAT db"; "QUERY db //movie[//actor]";
+             "ANSWER db //short"; "QUERY ghost //a" ]
+       with
+      | [ pong; list; stat; query; answer; ghost ] ->
+        Alcotest.(check string) "pong" "pong" pong;
+        check_prefix "list" "ok catalog n=1 names=db quarantined=0" list;
+        check_prefix "stat" "ok stat name=db classes=" stat;
+        check_prefix "query" "ok query degraded=no est=2 " query;
+        check_prefix "answer" "ok answer degraded=no truncated=no" answer;
+        check_prefix "missing name" "error not-found" ghost
+      | lines -> Alcotest.failf "session 1: %d responses" (List.length lines));
+      (* corrupt the snapshot behind the server's back; the resident
+         version keeps serving and the quarantine is visible *)
+      write_file path "treesketch 2\nroot 0\nnode 0 1 zz\n";
+      (match session server [ "RELOAD -force"; "QUERY db //movie"; "LIST" ] with
+      | [ reload; query; list ] ->
+        check_prefix "reload" "ok reload loaded=0 reloaded=0 quarantined=1" reload;
+        check_prefix "stale still serves" "ok query degraded=no" query;
+        check_prefix "quarantine visible" "ok catalog n=1 names=db quarantined=1" list
+      | lines -> Alcotest.failf "session 2: %d responses" (List.length lines));
+      (* repair in place: hot-reloaded, quarantine cleared, QUIT stops
+         the loop before later requests *)
+      save path (Lazy.force synopsis_a);
+      (match
+         session server
+           [ "RELOAD -force"; "QUERY db //movie"; "QUIT"; "PING" ]
+       with
+      | [ reload; query; bye ] ->
+        check_prefix "repair reloads" "ok reload loaded=0 reloaded=1 quarantined=0" reload;
+        check_prefix "healthy again" "ok query degraded=no" query;
+        Alcotest.(check string) "bye" "bye" bye
+      | lines -> Alcotest.failf "session 3: %d responses" (List.length lines)))
+
+let test_serve_degradation_over_channel () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "db.ts") (Lazy.force synopsis_a);
+      let server = quiet_server dir in
+      match
+        session server
+          [
+            "QUERY -deadline=-1 db //movie[//actor]";
+            "ANSWER -max-nodes=1 db //movie";
+          ]
+      with
+      | [ query; answer ] ->
+        check_prefix "expired deadline degrades" "ok query degraded=deadline" query;
+        check_prefix "node cap truncates" "ok answer degraded=nodes" answer;
+        Alcotest.(check int) "degraded counted" 2 (Server.stats server).degraded
+      | lines -> Alcotest.failf "%d responses" (List.length lines))
+
+(* ------------------------------------------------------------------ *)
+(* Chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let error_classes =
+  [ "bad-request"; "not-found"; "overloaded"; "internal";
+    "parse"; "corrupt"; "limit"; "deadline"; "io" ]
+
+(* >= 500 seeded requests interleaving malformed lines, corrupt and
+   vanishing snapshots, expired deadlines and over-cap answers.  The
+   server must answer every single one with a well-formed line — a
+   full answer, a degraded partial answer, or a structured error with a
+   known class — and never exit or raise.  *)
+let test_chaos () =
+  with_temp_dir (fun dir ->
+      let rng = Random.State.make [| seed |] in
+      let s = Lazy.force synopsis_a in
+      let snap = Serialize.to_snapshot_string s in
+      let path = Filename.concat dir "db.ts" in
+      save path s;
+      let server = quiet_server dir in
+      let queries =
+        [| "//movie"; "//movie[//actor]"; "//movie{//title?}"; "//short";
+           "//nothing"; "/db/movie" |]
+      in
+      let random_garbage () =
+        String.init (Random.State.int rng 30) (fun _ ->
+            Char.chr (1 + Random.State.int rng 255))
+      in
+      let request () =
+        match Random.State.int rng 12 with
+        | 0 -> "PING"
+        | 1 -> "LIST"
+        | 2 -> "RELOAD" ^ (if Random.State.bool rng then " -force" else "")
+        | 3 -> "STAT " ^ (if Random.State.bool rng then "db" else "ghost")
+        | 4 -> random_garbage ()
+        | 5 -> "QUERY db " ^ random_garbage ()
+        | 6 ->
+          Printf.sprintf "QUERY -deadline=%g db %s"
+            (Random.State.float rng 0.001 -. 0.0005)
+            queries.(Random.State.int rng (Array.length queries))
+        | 7 ->
+          Printf.sprintf "ANSWER -max-nodes=%d db %s"
+            (1 + Random.State.int rng 4)
+            queries.(Random.State.int rng (Array.length queries))
+        | 8 -> "QUERY ghost //a"
+        | _ ->
+          Printf.sprintf "%s db %s"
+            (if Random.State.bool rng then "QUERY" else "ANSWER")
+            queries.(Random.State.int rng (Array.length queries))
+      in
+      let corrupt_store () =
+        match Random.State.int rng 4 with
+        | 0 -> write_file path (String.sub snap 0 (Random.State.int rng (String.length snap)))
+        | 1 -> write_file path (random_garbage ())
+        | 2 -> ( try Sys.remove path with Sys_error _ -> ())
+        | _ -> write_file path snap (* repair *)
+      in
+      let n = 600 in
+      let oks = ref 0 and errors = ref 0 and degraded = ref 0 in
+      for i = 1 to n do
+        if i mod 17 = 0 then corrupt_store ();
+        let line = request () in
+        let response, quit =
+          match Server.handle_line server line with
+          | r -> r
+          | exception e ->
+            Alcotest.failf "request %d %S killed the server: %s" i
+              (String.escaped line) (Printexc.to_string e)
+        in
+        if quit then Alcotest.failf "request %d unexpectedly quit" i;
+        if String.contains response '\n' then
+          Alcotest.failf "request %d: multi-line response" i;
+        if starts_with "ok " response || response = "pong" then begin
+          incr oks;
+          if T.contains response "degraded=deadline"
+             || T.contains response "degraded=nodes"
+             || T.contains response "degraded=work"
+             || T.contains response "truncated=yes"
+          then incr degraded
+        end
+        else if starts_with "error " response then begin
+          incr errors;
+          let cls =
+            match String.split_on_char ' ' response with
+            | "error" :: cls :: _ -> cls
+            | _ -> "?"
+          in
+          if not (List.mem cls error_classes) then
+            Alcotest.failf "request %d: unknown error class %S in %S" i cls response;
+          if cls = "internal" then
+            Alcotest.failf "request %d: internal error leaked: %S" i response
+        end
+        else Alcotest.failf "request %d: malformed response %S" i response
+      done;
+      Alcotest.(check int) "every request answered" n ((Server.stats server).served);
+      Alcotest.(check int) "tallies add up" n (!oks + !errors);
+      Alcotest.(check bool) "saw successes" true (!oks > 0);
+      Alcotest.(check bool) "saw structured errors" true (!errors > 0);
+      Alcotest.(check bool) "saw degraded answers" true (!degraded > 0))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "catalog",
+        [
+          Alcotest.test_case "loads a directory" `Quick test_catalog_loads;
+          Alcotest.test_case "quarantine keeps previous version" `Quick
+            test_catalog_quarantines_and_keeps_previous;
+          Alcotest.test_case "torn writes never load partially" `Quick
+            test_catalog_torn_writes_never_partial;
+          Alcotest.test_case "removal" `Quick test_catalog_removal;
+        ] );
+      ( "protocol",
+        [ Alcotest.test_case "parse" `Quick test_protocol_parse ] );
+      ( "admission",
+        [ Alcotest.test_case "bounded in-flight" `Quick test_admission ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "catalog, corruption, hot reload" `Quick
+            test_serve_end_to_end;
+          Alcotest.test_case "degradation over the wire" `Quick
+            test_serve_degradation_over_channel;
+        ] );
+      ( "chaos", [ Alcotest.test_case "600 mixed requests" `Quick test_chaos ] );
+    ]

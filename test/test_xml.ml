@@ -221,6 +221,41 @@ let test_label_histogram () =
   | (top, 2) :: _ -> Alcotest.(check string) "top label" "b" (Label.to_string top)
   | _ -> Alcotest.fail "expected b with count 2 first"
 
+(* ---------------- limits ---------------- *)
+
+let test_parse_bytes () =
+  let ok spec expected =
+    match Limits.parse_bytes spec with
+    | Ok n -> Alcotest.(check int) spec expected n
+    | Error msg -> Alcotest.failf "%s rejected: %s" spec msg
+  in
+  ok "4096" 4096;
+  ok "10KB" (10 * 1024);
+  ok "10kb" (10 * 1024);
+  ok " 2MB " (2 * 1024 * 1024);
+  ok "1GB" (1024 * 1024 * 1024);
+  ok "512B" 512;
+  ok "512b" 512
+
+let test_parse_bytes_rejects () =
+  let fails spec =
+    match Limits.parse_bytes spec with
+    | Ok n -> Alcotest.failf "%S accepted as %d" spec n
+    | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S error mentions the input" spec)
+        true
+        (T.contains msg spec || String.trim spec = "" || T.contains msg (String.trim spec))
+  in
+  fails "";
+  fails "  ";
+  fails "KB";
+  fails "0";
+  fails "-5KB";
+  fails "3.5MB";
+  fails "10XB";
+  fails (Printf.sprintf "%dKB" max_int) (* overflow *)
+
 let prop_stats_consistent =
   T.qtest "stats internally consistent" (T.arb_tree ())
     (fun t ->
@@ -276,5 +311,10 @@ let () =
           Alcotest.test_case "compute" `Quick test_stats;
           Alcotest.test_case "label histogram" `Quick test_label_histogram;
           prop_stats_consistent;
+        ] );
+      ( "limits",
+        [
+          Alcotest.test_case "parse_bytes accepts" `Quick test_parse_bytes;
+          Alcotest.test_case "parse_bytes rejects" `Quick test_parse_bytes_rejects;
         ] );
     ]

@@ -10,6 +10,11 @@ let tree_iso : Tree.t Alcotest.testable =
 
 let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. Float.max 1. (Float.abs a)
 
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
 let check_float ?(eps = 1e-9) msg expected actual =
   if not (feq ~eps expected actual) then
     Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
