@@ -193,6 +193,13 @@ let save_atomic path s =
                which is exactly the torn state the format exists to
                prevent. *)
             Unix.fsync (Unix.descr_of_out_channel oc));
+        (* [Filename.temp_file] creates 0600 files; publishing one as
+           the snapshot would tighten its mode relative to [save],
+           whose files get the usual umask-derived 0666.  Re-apply the
+           umask-derived mode before the rename. *)
+        let mask = Unix.umask 0 in
+        ignore (Unix.umask mask : int);
+        Unix.chmod tmp (0o666 land lnot mask);
         (* Atomic publish: readers see the old snapshot or the new one,
            never a prefix. *)
         Sys.rename tmp path;

@@ -10,6 +10,8 @@ type quarantined = {
   q_name : string;
   q_path : string;
   fault : Xmldoc.Fault.t;
+  q_mtime : float;
+  q_size : int;
 }
 
 type event =
@@ -80,12 +82,17 @@ let refresh ?(force = false) t =
             let known = Hashtbl.find_opt t.entries name in
             let needs_load =
               force
-              || (match known with None -> true | Some e -> changed e st)
               ||
-              (* a quarantined file is retried on every refresh: repair
-                 by rewriting in place must not require a restart even
-                 when the fingerprint stands still *)
-              Hashtbl.mem t.quarantine name
+              match Hashtbl.find_opt t.quarantine name with
+              | Some q ->
+                (* a quarantined file is retried only once its
+                   fingerprint moves: unconditional retry would re-read
+                   and re-parse a persistently corrupt file on every
+                   refresh.  RELOAD -force stays the escape hatch for
+                   same-second rewrites the fingerprint cannot see. *)
+                q.q_mtime <> st.Unix.st_mtime || q.q_size <> st.Unix.st_size
+              | None -> (
+                match known with None -> true | Some e -> changed e st)
             in
             if needs_load then begin
               match Sketch.Serialize.load_res ~limits:t.limits path with
@@ -104,7 +111,14 @@ let refresh ?(force = false) t =
                 (* Quarantine the file; a previously resident version
                    keeps serving (stale beats absent — the synopsis is
                    approximate either way). *)
-                Hashtbl.replace t.quarantine name { q_name = name; q_path = path; fault };
+                Hashtbl.replace t.quarantine name
+                  {
+                    q_name = name;
+                    q_path = path;
+                    fault;
+                    q_mtime = st.Unix.st_mtime;
+                    q_size = st.Unix.st_size;
+                  };
                 note (Quarantined (name, fault))
             end
         end)

@@ -10,8 +10,10 @@
       loaded: the structured fault is recorded, and — crucially — a
       previously resident version of the same name {e keeps serving}
       (approximate answers from a slightly stale synopsis beat no
-      answers); quarantined files are retried on every refresh so an
-      in-place repair is picked up without a restart;
+      answers); a quarantined file is retried once its fingerprint
+      moves — so an in-place repair is picked up without a restart,
+      while a persistently corrupt file is not re-parsed on every
+      refresh ([refresh ~force:true] retries unconditionally);
     - files that disappeared are dropped.
 
     Combined with {!Sketch.Serialize.save_atomic}'s
@@ -32,6 +34,8 @@ type quarantined = {
   q_name : string;
   q_path : string;
   fault : Xmldoc.Fault.t;
+  q_mtime : float;  (** fingerprint of the rejected file *)
+  q_size : int;  (** fingerprint of the rejected file *)
 }
 
 type event =

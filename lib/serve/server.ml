@@ -244,6 +244,12 @@ end
 (* ------------------------------------------------------------------ *)
 
 let serve_socket ?(backlog = 64) t ~path =
+  (* A client that disconnects mid-response must surface as a
+     [Sys_error] (EPIPE) on the write — which the per-connection
+     handlers catch — not as SIGPIPE, whose default action kills the
+     whole process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.set_close_on_exec sock;
   (match Unix.unlink path with
@@ -288,23 +294,36 @@ let serve_socket ?(backlog = 64) t ~path =
   log_event t "event=listening socket=%s max_inflight=%d" path
     t.config.max_inflight;
   let rec accept_loop () =
-    let fd, _ = Unix.accept sock in
-    if Admission.try_acquire admission then
-      ignore (Thread.create connection fd : Thread.t)
-    else begin
-      (* shed load immediately rather than tying up a worker *)
-      let oc = Unix.out_channel_of_descr fd in
-      (try
-         output_string oc
-           (Protocol.error_line ~cls:"overloaded"
-              (Printf.sprintf "%d connections already in flight"
-                 t.config.max_inflight)
-           ^ "\n");
-         flush oc
-       with Sys_error _ -> ());
-      close_quietly fd;
-      t.stats.errors <- t.stats.errors + 1
-    end;
-    accept_loop ()
+    match Unix.accept sock with
+    | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) ->
+      (* the connection died before we got it, or a signal landed:
+         nothing to serve, keep listening *)
+      accept_loop ()
+    | exception Unix.Unix_error (((EMFILE | ENFILE | ENOMEM) as e), _, _) ->
+      (* fd/memory exhaustion — exactly the overload admission control
+         exists for.  Back off briefly so in-flight connections can
+         drain and release descriptors, then keep listening. *)
+      log_event t "event=accept-error errno=%s" (Unix.error_message e);
+      Thread.delay 0.05;
+      accept_loop ()
+    | fd, _ ->
+      if Admission.try_acquire admission then
+        ignore (Thread.create connection fd : Thread.t)
+      else begin
+        (* shed load immediately rather than tying up a worker *)
+        let oc = Unix.out_channel_of_descr fd in
+        (try
+           output_string oc
+             (Protocol.error_line ~cls:"overloaded"
+                (Printf.sprintf "%d connections already in flight"
+                   t.config.max_inflight)
+             ^ "\n");
+           flush oc
+         with Sys_error _ -> ());
+        close_quietly fd;
+        Mutex.protect process_lock (fun () ->
+            t.stats.errors <- t.stats.errors + 1)
+      end;
+      accept_loop ()
   in
   accept_loop ()

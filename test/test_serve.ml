@@ -106,6 +106,37 @@ let test_catalog_quarantines_and_keeps_previous () =
       | events -> Alcotest.failf "expected a reload, got %d events" (List.length events));
       Alcotest.(check bool) "quarantine cleared" true (Catalog.fault_for c "a" = None))
 
+(* a persistently corrupt file must not be re-parsed on every refresh:
+   the retry is gated on the (mtime, size) fingerprint moving, with
+   [~force] as the unconditional escape hatch *)
+let test_catalog_quarantine_retry_gated_by_fingerprint () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "a.ts" in
+      write_file path "treesketch 2\nroot 0\nnode 0 1 zz\n" (* missing crc *);
+      let c = Catalog.create dir in
+      (match Catalog.refresh c with
+      | [ Catalog.Quarantined ("a", _) ] -> ()
+      | events ->
+        Alcotest.failf "expected one quarantine event, got %d" (List.length events));
+      (* unchanged fingerprint: the corrupt file is left alone *)
+      (match Catalog.refresh c with
+      | [] -> ()
+      | events ->
+        Alcotest.failf "quarantined file retried while unchanged (%d events)"
+          (List.length events));
+      Alcotest.(check bool) "still quarantined" true (Catalog.fault_for c "a" <> None);
+      (* -force retries unconditionally *)
+      (match Catalog.refresh ~force:true c with
+      | [ Catalog.Quarantined ("a", _) ] -> ()
+      | _ -> Alcotest.fail "force did not retry the quarantined file");
+      (* an in-place repair moves the fingerprint and is picked up on a
+         plain refresh, no force required *)
+      save path (Lazy.force synopsis_a);
+      (match Catalog.refresh c with
+      | [ Catalog.Loaded "a" ] -> ()
+      | events -> Alcotest.failf "repair not picked up (%d events)" (List.length events));
+      Alcotest.(check bool) "quarantine cleared" true (Catalog.fault_for c "a" = None))
+
 (* catalog-level crash-safety: a snapshot torn at any sampled offset
    either leaves the previous version serving (quarantine) or — if the
    tear kept the file complete — reloads it identically; never partial *)
@@ -311,6 +342,57 @@ let test_serve_degradation_over_channel () =
       | lines -> Alcotest.failf "%d responses" (List.length lines))
 
 (* ------------------------------------------------------------------ *)
+(* Unix-socket front end                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec connect ?(attempts = 100) path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> fd
+  | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _) when attempts > 0 ->
+    Unix.close fd;
+    Thread.delay 0.02;
+    connect ~attempts:(attempts - 1) path
+
+(* a client that disconnects without reading its responses makes the
+   server write to a dead peer — EPIPE, and with SIGPIPE at its default
+   disposition that would kill the whole process, not just the
+   connection.  The accept loop must shrug it off and keep serving. *)
+let test_socket_survives_rude_client () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "db.ts") (Lazy.force synopsis_a);
+      let sock_path = Filename.concat dir "serve.sock" in
+      let server = quiet_server dir in
+      let _ : Thread.t =
+        Thread.create
+          (fun () ->
+            try Server.serve_socket server ~path:sock_path
+            with _ -> () (* the listener dies with the test process *))
+          ()
+      in
+      (* burst enough requests that responses are still being written
+         after the close, then vanish without reading any of them *)
+      let rude = connect sock_path in
+      let burst =
+        String.concat "" (List.init 50 (fun _ -> "QUERY db //movie\n"))
+      in
+      ignore (Unix.write_substring rude burst 0 (String.length burst) : int);
+      Unix.close rude;
+      (* the server must still be accepting and answering *)
+      let polite = connect sock_path in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close polite with Unix.Unix_error _ -> ())
+        (fun () ->
+          let ic = Unix.in_channel_of_descr polite in
+          let oc = Unix.out_channel_of_descr polite in
+          output_string oc "PING\n";
+          flush oc;
+          Alcotest.(check string) "alive after rude client" "pong" (input_line ic);
+          output_string oc "QUERY db //movie\n";
+          flush oc;
+          check_prefix "still serving queries" "ok query" (input_line ic)))
+
+(* ------------------------------------------------------------------ *)
 (* Chaos                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -419,6 +501,8 @@ let () =
           Alcotest.test_case "loads a directory" `Quick test_catalog_loads;
           Alcotest.test_case "quarantine keeps previous version" `Quick
             test_catalog_quarantines_and_keeps_previous;
+          Alcotest.test_case "quarantine retry gated by fingerprint" `Quick
+            test_catalog_quarantine_retry_gated_by_fingerprint;
           Alcotest.test_case "torn writes never load partially" `Quick
             test_catalog_torn_writes_never_partial;
           Alcotest.test_case "removal" `Quick test_catalog_removal;
@@ -433,6 +517,11 @@ let () =
             test_serve_end_to_end;
           Alcotest.test_case "degradation over the wire" `Quick
             test_serve_degradation_over_channel;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "survives a client disconnecting mid-response"
+            `Quick test_socket_survives_rude_client;
         ] );
       ( "chaos", [ Alcotest.test_case "600 mixed requests" `Quick test_chaos ] );
     ]
