@@ -26,6 +26,16 @@ let tests cfg =
     Test.make ~name:"tsbuild to 10KB"
       (Staged.stage (fun () ->
            ignore (Sketch.Build.build p.stable ~budget:(10 * 1024))));
+    (* same compression journaling every 64 merges: the price of
+       crash-safe resumability (atomic fsynced checkpoint writes) *)
+    Test.make ~name:"tsbuild to 10KB (checkpointed)"
+      (Staged.stage
+         (let ckpt = Filename.temp_file "tsbench" ".ckpt" in
+          at_exit (fun () -> try Sys.remove ckpt with Sys_error _ -> ());
+          fun () ->
+            ignore
+              (Sketch.Build.build_checkpointed_res ~checkpoint_every:64
+                 ~checkpoint:ckpt p.stable ~budget:(10 * 1024))));
     Test.make ~name:"exact query eval"
       (Staged.stage (fun () -> ignore (Twig.Eval.selectivity p.idx query)));
     Test.make ~name:"EVAL_QUERY over 10KB sketch"

@@ -68,7 +68,9 @@ let datagen_cmd =
 
 let build_cmd =
   let input =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC.xml")
+    (* optional because --resume continues from a checkpoint instead of
+       a document *)
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"DOC.xml")
   in
   let budget =
     Arg.(
@@ -94,21 +96,71 @@ let build_cmd =
             "Construction deadline.  On expiry the best-so-far synopsis is \
              emitted (flagged degraded on stderr) instead of failing.")
   in
-  let run input budget out stable_only timeout =
-    let doc = read_doc input in
-    let stable = Sketch.Stable.build doc in
-    let synopsis, degraded =
-      if stable_only then (stable, false)
-      else begin
-        let limits =
-          match timeout with
-          | None -> Xmldoc.Limits.unlimited
-          | Some s -> Xmldoc.Limits.with_timeout s Xmldoc.Limits.unlimited
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Journal the in-progress build to $(docv) (atomic, \
+             checksummed) so an interrupted run can continue with \
+             $(b,--resume).")
+  in
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt int Sketch.Build.default_checkpoint_every
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Merges between checkpoint writes (default 256).")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Continue an interrupted build from its checkpoint journal; \
+             $(i,DOC.xml), $(b,--budget) and $(b,--stable) are ignored \
+             (the checkpoint carries the budget).")
+  in
+  let run input budget out stable_only timeout checkpoint checkpoint_every resume =
+    let limits =
+      match timeout with
+      | None -> Xmldoc.Limits.unlimited
+      | Some s -> Xmldoc.Limits.with_timeout s Xmldoc.Limits.unlimited
+    in
+    if checkpoint_every < 1 then begin
+      prerr_endline "treesketch: --checkpoint-every must be >= 1";
+      exit Cmd.Exit.cli_error
+    end;
+    let synopsis, degraded, stable =
+      match resume with
+      | Some ckpt -> (
+        match Sketch.Build.resume_res ~limits ~checkpoint_every ckpt with
+        | Ok { synopsis; degraded } -> (synopsis, degraded, None)
+        | Error f -> die f)
+      | None ->
+        let doc =
+          match input with
+          | Some path -> read_doc path
+          | None ->
+            prerr_endline "treesketch: build needs DOC.xml (or --resume=FILE)";
+            exit Cmd.Exit.cli_error
         in
-        match Sketch.Build.build_res ~limits stable ~budget with
-        | Ok { synopsis; degraded } -> (synopsis, degraded)
-        | Error f -> die f
-      end
+        let stable = Sketch.Stable.build doc in
+        if stable_only then (stable, false, Some stable)
+        else begin
+          let result =
+            match checkpoint with
+            | Some path ->
+              Sketch.Build.build_checkpointed_res ~limits ~checkpoint_every
+                ~checkpoint:path stable ~budget
+            | None -> Sketch.Build.build_res ~limits stable ~budget
+          in
+          match result with
+          | Ok { synopsis; degraded } -> (synopsis, degraded, Some stable)
+          | Error f -> die f
+        end
     in
     (match out with
     | Some path -> (
@@ -120,17 +172,25 @@ let build_cmd =
     | None -> print_string (Sketch.Serialize.to_snapshot_string synopsis));
     if degraded then
       prerr_endline
-        "warning: deadline expired mid-construction; emitting the best-so-far \
+        "warning: a limit tripped mid-construction; emitting the best-so-far \
          (over-budget) synopsis";
-    Printf.eprintf "%s: %d classes, %d bytes (stable summary: %d bytes)\n"
-      (if stable_only then "count-stable summary" else "treesketch")
-      (Sketch.Synopsis.num_nodes synopsis)
-      (Sketch.Synopsis.size_bytes synopsis)
-      (Sketch.Synopsis.size_bytes stable)
+    (match stable with
+    | Some stable ->
+      Printf.eprintf "%s: %d classes, %d bytes (stable summary: %d bytes)\n"
+        (if stable_only then "count-stable summary" else "treesketch")
+        (Sketch.Synopsis.num_nodes synopsis)
+        (Sketch.Synopsis.size_bytes synopsis)
+        (Sketch.Synopsis.size_bytes stable)
+    | None ->
+      Printf.eprintf "treesketch (resumed): %d classes, %d bytes\n"
+        (Sketch.Synopsis.num_nodes synopsis)
+        (Sketch.Synopsis.size_bytes synopsis))
   in
   Cmd.v
     (Cmd.info "build" ~doc:"Build a TREESKETCH synopsis from an XML document.")
-    Term.(const run $ input $ budget $ out $ stable_only $ timeout)
+    Term.(
+      const run $ input $ budget $ out $ stable_only $ timeout $ checkpoint
+      $ checkpoint_every $ resume)
 
 (* -------------------------------- query ------------------------------- *)
 

@@ -83,18 +83,40 @@ let create_pool params cl =
   done;
   heap
 
+(* Limit-poll cadence of the merge loop: consulting the clock (and the
+   GC counters) costs a system call, so the control budget is polled
+   only every [poll_period] candidate pops — the per-pop cost of
+   cancellation support is one integer increment.  Tied to the pool
+   capacity so that degradation latency is always bounded by a fraction
+   of one pool drain, i.e. strictly under one pool regeneration. *)
+let poll_period params = max 1 (min 512 (params.heap_max / 64))
+
 (* TSBUILD (Figure 5) with a callback invoked after every applied
-   merge, used to snapshot checkpoints, and a deadline from [limits].
-   Returns [false] iff the deadline expired before the budget (or the
-   label-split floor) was reached — the clustering is then left at the
-   best state reached so far, which is always a valid synopsis. *)
-let compress_gen params cl ~budget ~limits ~on_merge =
-  let expired = ref (Xmldoc.Limits.expired limits) in
+   merge, used to snapshot checkpoints, and a control budget [ctl]
+   carrying the deadline and the heap-pressure ceiling.  Returns
+   [false] iff the budget stopped the build before the space budget (or
+   the label-split floor) was reached — the clustering is then left at
+   the best state reached so far, which is always a valid synopsis. *)
+let compress_gen params cl ~budget ~ctl ~on_merge =
+  (* the very first poll catches an already-tripped budget before any
+     merge is applied *)
+  let stopped = ref (not (Xmldoc.Budget.poll ctl)) in
+  let period = poll_period params in
+  let since_poll = ref 0 in
+  let keep_going () =
+    incr since_poll;
+    if !since_poll >= period then begin
+      since_poll := 0;
+      stopped := not (Xmldoc.Budget.poll ctl)
+    end;
+    not !stopped
+  in
   let exhausted = ref false in
-  while Cluster.size_bytes cl > budget && (not !exhausted) && not !expired do
+  while Cluster.size_bytes cl > budget && (not !exhausted) && not !stopped do
     let heap = create_pool params cl in
+    stopped := not (Xmldoc.Budget.poll ctl);
     if Dheap.is_empty heap then exhausted := true
-    else begin
+    else if not !stopped then begin
       (* When the whole pool fits under Lh, regenerating it would yield
          the same candidates: drain it completely instead. *)
       let low_mark = if Dheap.length heap <= params.heap_min then 0 else params.heap_min in
@@ -104,7 +126,7 @@ let compress_gen params cl ~budget ~limits ~on_merge =
         !continue_
         && Cluster.size_bytes cl > budget
         && Dheap.length heap > low_mark
-        && not (expired := Xmldoc.Limits.expired limits; !expired)
+        && keep_going ()
       do
         match Dheap.pop_min heap with
         | None -> continue_ := false
@@ -127,15 +149,18 @@ let compress_gen params cl ~budget ~limits ~on_merge =
       done;
       (* A pool that produced no merge at all cannot make progress by
          regeneration either. *)
-      if (not !progressed) && (not !expired) && Dheap.length heap <= low_mark then
+      if (not !progressed) && (not !stopped) && Dheap.length heap <= low_mark then
         exhausted := true
     end
   done;
-  not (!expired && Cluster.size_bytes cl > budget)
+  not (!stopped && Cluster.size_bytes cl > budget)
+
+let compress_ctl ?(params = default_params) cl ~budget ~ctl ~on_merge =
+  compress_gen params cl ~budget ~ctl ~on_merge
 
 let compress ?(params = default_params) cl ~budget =
   ignore
-    (compress_gen params cl ~budget ~limits:Xmldoc.Limits.unlimited
+    (compress_gen params cl ~budget ~ctl:(Xmldoc.Budget.unlimited ())
        ~on_merge:(fun () -> ()))
 
 let build ?params stable ~budget =
@@ -148,31 +173,188 @@ type outcome = {
   degraded : bool;
 }
 
-let build_res ?(params = default_params) ?(limits = Xmldoc.Limits.unlimited) stable
-    ~budget =
+let invalid_output message =
+  (* TSBUILD broke its own invariants — an internal bug, but still
+     reported as a structured error rather than an exception. *)
+  Xmldoc.Fault.Corrupt_synopsis
+    {
+      line = 0;
+      content = "";
+      message = Printf.sprintf "TSBUILD produced an invalid synopsis: %s" message;
+    }
+
+let finish cl ~completed =
+  let synopsis = Cluster.to_synopsis cl in
+  match Synopsis.validate synopsis with
+  | Error message -> Error (invalid_output message)
+  | Ok () -> Ok { synopsis; degraded = not completed }
+
+let ctl_of ?(limits = Xmldoc.Limits.unlimited) ?max_heap_words () =
+  Xmldoc.Budget.of_limits ?max_heap_words limits
+
+let build_res ?(params = default_params) ?limits ?max_heap_words stable ~budget =
   match Synopsis.validate stable with
   | Error message ->
     Error (Xmldoc.Fault.Corrupt_synopsis { line = 0; content = ""; message })
   | Ok () ->
     let cl = Cluster.of_stable stable in
-    let completed =
-      compress_gen params cl ~budget ~limits ~on_merge:(fun () -> ())
-    in
-    let synopsis = Cluster.to_synopsis cl in
-    (match Synopsis.validate synopsis with
-    | Error message ->
-      (* TSBUILD broke its own invariants — an internal bug, but still
-         reported as a structured error rather than an exception. *)
-      Error
-        (Xmldoc.Fault.Corrupt_synopsis
-           {
-             line = 0;
-             content = "";
-             message = Printf.sprintf "TSBUILD produced an invalid synopsis: %s" message;
-           })
-    | Ok () -> Ok { synopsis; degraded = not completed })
+    let ctl = ctl_of ?limits ?max_heap_words () in
+    let completed = compress_gen params cl ~budget ~ctl ~on_merge:(fun () -> ()) in
+    finish cl ~completed
 
 let build_of_tree ?params tree ~budget = build ?params (Stable.build tree) ~budget
+
+(* ------------------------------------------------------------------ *)
+(* Crash-safe checkpointing and resume                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Checkpoint = struct
+  type meta = {
+    source : string;
+    budget : int;
+    params_hash : string;
+    merges : int;
+  }
+
+  let fingerprint s = Crc32.to_hex (Crc32.string (Serialize.to_string s))
+
+  let hash_params (p : params) =
+    Crc32.to_hex
+      (Crc32.string
+         (Printf.sprintf "heap_max=%d heap_min=%d max_pairs=%d" p.heap_max
+            p.heap_min p.max_pairs_per_group))
+
+  type t = {
+    synopsis : Synopsis.t;
+    meta : meta;
+  }
+
+  let to_records m =
+    [
+      ("source", m.source);
+      ("budget", string_of_int m.budget);
+      ("params", m.params_hash);
+      ("merges", string_of_int m.merges);
+    ]
+
+  let corrupt message =
+    Xmldoc.Fault.Corrupt_synopsis { line = 0; content = ""; message }
+
+  let of_records kvs =
+    let ( let* ) = Result.bind in
+    let get key =
+      match List.assoc_opt key kvs with
+      | Some v -> Ok v
+      | None -> Error (corrupt (Printf.sprintf "checkpoint missing meta key %S" key))
+    in
+    let int_meta key =
+      let* v = get key in
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> Ok n
+      | _ ->
+        Error
+          (corrupt (Printf.sprintf "checkpoint meta %s=%S is not a count" key v))
+    in
+    let* source = get "source" in
+    let* params_hash = get "params" in
+    let* budget = int_meta "budget" in
+    let* merges = int_meta "merges" in
+    if budget = 0 then Error (corrupt "checkpoint meta budget=0")
+    else Ok { source; budget; params_hash; merges }
+
+  let save path t = Serialize.save_atomic ~meta:(to_records t.meta) path t.synopsis
+
+  let load_res ?limits path =
+    match Serialize.load_meta_res ?limits path with
+    | Error f -> Error f
+    | Ok (synopsis, kvs) -> (
+      match of_records kvs with
+      | Ok meta -> Ok { synopsis; meta }
+      | Error f -> Error (Xmldoc.Fault.with_path path f))
+end
+
+let default_checkpoint_every = 256
+
+(* Shared tail of fresh-checkpointed and resumed builds: run the merge
+   loop snapshotting the clustering into [checkpoint] every
+   [every] merges, plus once on degradation so a successor resumes from
+   exactly the best state reached.  Checkpoint writes are best-effort —
+   an unwritable journal must not kill the build it exists to
+   protect — but each write that does land is atomic and checksummed,
+   so a crash at any moment leaves the previous complete checkpoint. *)
+let compress_with_checkpoints params cl ~ctl ~checkpoint ~every ~on_checkpoint
+    ~(meta : Checkpoint.meta) =
+  let merges = ref meta.merges in
+  let save_checkpoint () =
+    let t =
+      {
+        Checkpoint.synopsis = Cluster.to_synopsis cl;
+        meta = { meta with merges = !merges };
+      }
+    in
+    match Checkpoint.save checkpoint t with
+    | Ok () -> on_checkpoint !merges
+    | Error _ -> ()
+  in
+  let on_merge () =
+    incr merges;
+    if !merges mod every = 0 then save_checkpoint ()
+  in
+  let completed = compress_gen params cl ~budget:meta.budget ~ctl ~on_merge in
+  if not completed then save_checkpoint ();
+  completed
+
+let build_checkpointed_res ?(params = default_params) ?limits ?max_heap_words
+    ?(checkpoint_every = default_checkpoint_every)
+    ?(on_checkpoint = fun (_ : int) -> ()) ~checkpoint stable ~budget =
+  if checkpoint_every < 1 then invalid_arg "Build: checkpoint_every must be >= 1";
+  match Synopsis.validate stable with
+  | Error message ->
+    Error (Xmldoc.Fault.Corrupt_synopsis { line = 0; content = ""; message })
+  | Ok () ->
+    let cl = Cluster.of_stable stable in
+    let ctl = ctl_of ?limits ?max_heap_words () in
+    let meta =
+      {
+        Checkpoint.source = Checkpoint.fingerprint stable;
+        budget;
+        params_hash = Checkpoint.hash_params params;
+        merges = 0;
+      }
+    in
+    let completed =
+      compress_with_checkpoints params cl ~ctl ~checkpoint
+        ~every:checkpoint_every ~on_checkpoint ~meta
+    in
+    finish cl ~completed
+
+let resume_res ?(params = default_params) ?limits ?max_heap_words
+    ?(checkpoint_every = default_checkpoint_every)
+    ?(on_checkpoint = fun (_ : int) -> ()) checkpoint =
+  if checkpoint_every < 1 then invalid_arg "Build: checkpoint_every must be >= 1";
+  match Checkpoint.load_res checkpoint with
+  | Error f -> Error f
+  | Ok { synopsis; meta } ->
+    if meta.params_hash <> Checkpoint.hash_params params then
+      Error
+        (Xmldoc.Fault.with_path checkpoint
+           (Checkpoint.corrupt
+              "checkpoint was written under different TSBUILD parameters; \
+               resume with the original params or rebuild from scratch"))
+    else begin
+      (* The checkpointed clustering becomes the new merge base: its
+         nodes are exactly the live clusters at checkpoint time, so
+         continuing the greedy loop from it extends the original merge
+         sequence.  [meta.source] is carried along unchanged so
+         repeated crash/resume cycles still identify their document. *)
+      let cl = Cluster.of_stable synopsis in
+      let ctl = ctl_of ?limits ?max_heap_words () in
+      let completed =
+        compress_with_checkpoints params cl ~ctl ~checkpoint
+          ~every:checkpoint_every ~on_checkpoint ~meta
+      in
+      finish cl ~completed
+    end
 
 let build_with_checkpoints ?(params = default_params) stable ~budgets =
   let sorted = List.sort_uniq (fun a b -> Stdlib.compare b a) budgets in
@@ -196,7 +378,7 @@ let build_with_checkpoints ?(params = default_params) stable ~budgets =
   | _ ->
     let final = List.fold_left min max_int sorted in
     ignore
-      (compress_gen params cl ~budget:final ~limits:Xmldoc.Limits.unlimited
+      (compress_gen params cl ~budget:final ~ctl:(Xmldoc.Budget.unlimited ())
          ~on_merge:snapshot_reached));
   (* Budgets below the label-split floor get the smallest synopsis. *)
   let floor = Cluster.to_synopsis cl in

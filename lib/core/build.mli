@@ -26,6 +26,28 @@ val compress : ?params:params -> Cluster.t -> budget:int -> unit
 (** Merge until [Cluster.size_bytes] fits [budget] (bytes) or no merge
     is possible (the label-split graph has been reached). *)
 
+val poll_period : params -> int
+(** How many candidate pops the merge loop lets pass between
+    consultations of its control budget (clock + GC counters).  Derived
+    from [heap_max] so that the number of merges applied after a limit
+    trips — the degradation latency — is always strictly smaller than
+    one candidate-pool regeneration. *)
+
+val compress_ctl :
+  ?params:params ->
+  Cluster.t ->
+  budget:int ->
+  ctl:Xmldoc.Budget.t ->
+  on_merge:(unit -> unit) ->
+  bool
+(** The raw TSBUILD loop: merge toward [budget] under the control
+    budget [ctl] (deadline + heap-pressure ceiling, polled every
+    {!poll_period} pops), invoking [on_merge] after every applied
+    merge.  Returns [false] iff [ctl] stopped the loop while still over
+    [budget]; the clustering is then left at the best state reached.
+    Exposed for tests and custom drivers — most callers want
+    {!build_res} or {!build_checkpointed_res}. *)
+
 val build : ?params:params -> Synopsis.t -> budget:int -> Synopsis.t
 (** [build stable ~budget] is the TREESKETCH of the given count-stable
     summary fitting in [budget] bytes. *)
@@ -41,19 +63,97 @@ type outcome = {
 val build_res :
   ?params:params ->
   ?limits:Xmldoc.Limits.t ->
+  ?max_heap_words:int ->
   Synopsis.t ->
   budget:int ->
   (outcome, Xmldoc.Fault.t) result
 (** Guarded [build]: the input is checked with {!Synopsis.validate}
     (rejections are [Error (Corrupt_synopsis _)]) and the [limits]
-    deadline is polled after every candidate merge.  On expiry the
-    construction degrades gracefully — the best-so-far clustering is
-    returned with [degraded = true] instead of failing — so callers
+    deadline plus the [max_heap_words] GC ceiling are polled every
+    {!poll_period} candidate pops.  When either trips the construction
+    degrades gracefully — the best-so-far clustering is returned with
+    [degraded = true] instead of failing (or OOMing) — so callers
     always get a synopsis that passes {!Synopsis.validate}.  [limits]
     defaults to {!Xmldoc.Limits.unlimited}. *)
 
 val build_of_tree : ?params:params -> Xmldoc.Tree.t -> budget:int -> Synopsis.t
 (** Convenience: [BUILD_STABLE] then [build]. *)
+
+(** The crash-safety journal of TSBUILD: a version-3 {!Serialize}
+    record holding the in-progress clustering (as a synopsis — the live
+    clusters at checkpoint time) plus the build metadata needed to
+    validate and continue it. *)
+module Checkpoint : sig
+  type meta = {
+    source : string;
+        (** CRC-32 fingerprint of the stable summary the build started
+            from ({!fingerprint}); carried unchanged across resumes *)
+    budget : int;  (** target byte budget of the interrupted build *)
+    params_hash : string;  (** {!hash_params} of the build's [params] *)
+    merges : int;  (** merges applied so far (cumulative across resumes) *)
+  }
+
+  type t = {
+    synopsis : Synopsis.t;  (** the in-progress clustering *)
+    meta : meta;
+  }
+
+  val fingerprint : Synopsis.t -> string
+  (** CRC-32 (hex) of the canonical rendering — the source-tree
+      fingerprint stored in [meta.source]. *)
+
+  val hash_params : params -> string
+
+  val save : string -> t -> (unit, Xmldoc.Fault.t) result
+  (** Atomic checksummed write ({!Serialize.save_atomic} with the meta
+      records): a crash at any byte leaves the previous complete
+      checkpoint in place. *)
+
+  val load_res : ?limits:Xmldoc.Limits.t -> string -> (t, Xmldoc.Fault.t) result
+  (** Load and validate a checkpoint: the synopsis passes
+      {!Synopsis.validate}, the CRC trailer matches, and all meta keys
+      are present and well-formed — anything less is
+      [Error (Corrupt_synopsis _)], never a partial state. *)
+end
+
+val default_checkpoint_every : int
+
+val build_checkpointed_res :
+  ?params:params ->
+  ?limits:Xmldoc.Limits.t ->
+  ?max_heap_words:int ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(int -> unit) ->
+  checkpoint:string ->
+  Synopsis.t ->
+  budget:int ->
+  (outcome, Xmldoc.Fault.t) result
+(** {!build_res} journaling its progress: every [checkpoint_every]
+    merges (default {!default_checkpoint_every}), and once more when a
+    limit degrades the build, the clustering is checkpointed to
+    [checkpoint] with {!Checkpoint.save}.  [on_checkpoint] is invoked
+    with the cumulative merge count after every successful checkpoint
+    write (tests use it to archive kill-points).  Checkpoint I/O
+    failures are deliberately swallowed — an unwritable journal never
+    kills the build it protects.  @raise Invalid_argument if
+    [checkpoint_every < 1]. *)
+
+val resume_res :
+  ?params:params ->
+  ?limits:Xmldoc.Limits.t ->
+  ?max_heap_words:int ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(int -> unit) ->
+  string ->
+  (outcome, Xmldoc.Fault.t) result
+(** [resume_res path] validates the checkpoint at [path]
+    ({!Checkpoint.load_res}, plus a params-hash match against [params])
+    and continues compression from the checkpointed clustering toward
+    the checkpoint's own budget, journaling onward into the same file.
+    The result meets the same guarantees as an uninterrupted
+    {!build_res}: a valid synopsis, within budget unless degraded or at
+    the label-split floor.  A corrupt or truncated checkpoint is
+    [Error (Corrupt_synopsis _)] — never a partial clustering. *)
 
 val build_with_checkpoints :
   ?params:params -> Synopsis.t -> budgets:int list -> (int * Synopsis.t) list

@@ -1,6 +1,12 @@
-let render ~version (s : Synopsis.t) =
+let render ~version ?(meta = []) (s : Synopsis.t) =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf (Printf.sprintf "treesketch %d\n" version);
+  List.iter
+    (fun (key, value) ->
+      if String.contains key ' ' || String.contains value '\n' then
+        invalid_arg "Serialize: metadata keys/values must be line-safe";
+      Buffer.add_string buf (Printf.sprintf "meta %s %s\n" key value))
+    meta;
   Buffer.add_string buf (Printf.sprintf "root %d\n" s.root);
   Array.iteri
     (fun i n ->
@@ -16,11 +22,16 @@ let render ~version (s : Synopsis.t) =
     s.nodes;
   Buffer.contents buf
 
-let to_string = render ~version:1
+let to_string s = render ~version:1 s
 
-let to_snapshot_string s =
-  let body = render ~version:2 s in
-  body ^ "crc " ^ Crc32.to_hex (Crc32.string body) ^ "\n"
+let with_crc body = body ^ "crc " ^ Crc32.to_hex (Crc32.string body) ^ "\n"
+
+let to_snapshot_string s = with_crc (render ~version:2 s)
+
+(* Version 3 = version 2 plus [meta] records between the header and the
+   root — the carrier of build-checkpoint metadata (source fingerprint,
+   target budget, params hash, merges applied). *)
+let to_checkpoint_string ~meta s = with_crc (render ~version:3 ~meta s)
 
 (* Structured parse failure carrier, converted to [Fault.t] at the
    entry-point boundary. *)
@@ -38,6 +49,7 @@ let of_string_exn (limits : Xmldoc.Limits.t) text =
   (* Some (declared checksum, byte offset of the crc line): set once
      the trailer is seen, after which only blank lines may follow. *)
   let crc_at = ref None in
+  let meta = ref [] in
   let nodes : (int, Xmldoc.Label.t * float) Hashtbl.t = Hashtbl.create 256 in
   let edges : (int, (int * float) list ref) Hashtbl.t = Hashtbl.create 256 in
   let parse_line lineno offset line =
@@ -58,17 +70,23 @@ let of_string_exn (limits : Xmldoc.Limits.t) text =
       (* A snapshot ends at its crc trailer; any record after it is a
          torn or concatenated write. *)
       fail "trailing garbage after the crc trailer"
-    | [ "treesketch"; ("1" | "2") ] when !version <> 0 ->
+    | [ "treesketch"; ("1" | "2" | "3") ] when !version <> 0 ->
       fail "duplicate header (concatenated snapshots?)"
     | [ "treesketch"; "1" ] -> version := 1
     | [ "treesketch"; "2" ] -> version := 2
+    | [ "treesketch"; "3" ] -> version := 3
     | "treesketch" :: v -> fail "unsupported format version %S" (String.concat " " v)
+    | "meta" :: key :: value_words ->
+      if !version <> 3 then fail "meta record outside a version-3 checkpoint";
+      if List.mem_assoc key !meta then fail "duplicate meta key %S" key;
+      meta := (key, String.concat " " value_words) :: !meta
+    | [ "meta" ] -> fail "meta record without a key"
     | [ "root"; id ] ->
       if !root_seen then fail "duplicate root record";
       root_seen := true;
       root := int_field "root id" id
     | [ "crc"; hex ] ->
-      if !version <> 2 then fail "crc trailer outside a version-2 snapshot";
+      if !version < 2 then fail "crc trailer outside a snapshot (version >= 2)";
       (match Crc32.of_hex hex with
       | None -> fail "checksum %S is not 8 hex digits" hex
       | Some declared -> crc_at := Some (declared, offset))
@@ -111,10 +129,10 @@ let of_string_exn (limits : Xmldoc.Limits.t) text =
       offset := !offset + String.length line + 1)
     lines;
   let whole fmt = corrupt ~line:0 ~content:"" fmt in
-  (* Version-2 snapshots carry a mandatory checksum trailer; a missing
+  (* Version-2/3 snapshots carry a mandatory checksum trailer; a missing
      trailer is the signature of a write cut short, a mismatch that of
      in-place corruption.  Either way: reject, never a partial load. *)
-  if !version = 2 then begin
+  if !version >= 2 then begin
     match !crc_at with
     | None -> whole "missing crc trailer (snapshot truncated mid-write?)"
     | Some (declared, at) ->
@@ -149,19 +167,22 @@ let of_string_exn (limits : Xmldoc.Limits.t) text =
   (match Synopsis.validate s with
   | Ok () -> ()
   | Error msg -> whole "%s" msg);
-  s
+  (s, List.rev !meta)
 
-let of_string_res ?(limits = Xmldoc.Limits.default) text =
+let of_string_meta_res ?(limits = Xmldoc.Limits.default) text =
   if String.length text > limits.max_bytes then
     Error
       (Xmldoc.Fault.Limit_exceeded
          { what = "bytes"; actual = String.length text; limit = limits.max_bytes })
   else
     match of_string_exn limits text with
-    | s -> Ok s
+    | s_meta -> Ok s_meta
     | exception Corrupt { line; content; message } ->
       Error (Xmldoc.Fault.Corrupt_synopsis { line; content; message })
     | exception Xmldoc.Fault.Fault f -> Error f
+
+let of_string_res ?limits text =
+  Result.map fst (of_string_meta_res ?limits text)
 
 let of_string ?limits text =
   match of_string_res ?limits text with
@@ -174,8 +195,12 @@ let save path s =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (to_string s))
 
-let save_atomic path s =
-  let text = to_snapshot_string s in
+let save_atomic ?meta path s =
+  let text =
+    match meta with
+    | None -> to_snapshot_string s
+    | Some meta -> to_checkpoint_string ~meta s
+  in
   match
     let dir = Filename.dirname path in
     let tmp = Filename.temp_file ~temp_dir:dir ".treesketch" ".tmp" in
@@ -218,24 +243,30 @@ let save_atomic path s =
     Error
       (Xmldoc.Fault.Io_error { path; message = fn ^ ": " ^ Unix.error_message e })
 
-let load_res ?(limits = Xmldoc.Limits.default) path =
+let load_gen of_string ~limits path =
   match
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
         let len = in_channel_length ic in
-        if len > limits.max_bytes then
+        if len > limits.Xmldoc.Limits.max_bytes then
           Error
             (Xmldoc.Fault.Limit_exceeded
                { what = "bytes"; actual = len; limit = limits.max_bytes })
-        else of_string_res ~limits (really_input_string ic len))
+        else of_string ~limits (really_input_string ic len))
   with
   | Ok s -> Ok s
   | Error f -> Error (Xmldoc.Fault.with_path path f)
   | exception Sys_error message -> Error (Xmldoc.Fault.Io_error { path; message })
   | exception End_of_file ->
     Error (Xmldoc.Fault.Io_error { path; message = "unexpected end of file" })
+
+let load_res ?(limits = Xmldoc.Limits.default) path =
+  load_gen (fun ~limits text -> of_string_res ~limits text) ~limits path
+
+let load_meta_res ?(limits = Xmldoc.Limits.default) path =
+  load_gen (fun ~limits text -> of_string_meta_res ~limits text) ~limits path
 
 let load ?limits path =
   match load_res ?limits path with

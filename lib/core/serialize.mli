@@ -1,17 +1,21 @@
 (** Plain-text persistence for synopses, used by the command-line
     tools and the serving runtime's snapshot store.
 
-    Two format versions share the record grammar:
+    Three format versions share the record grammar:
     {v
-    treesketch 1          treesketch 2
-    root <id>             root <id>
+    treesketch 1          treesketch 2          treesketch 3
+                                                meta <key> <value>
+    root <id>             root <id>             root <id>
     node <id> <count> <label>
     edge <from> <to> <avg>
                           crc <8-hex-digit CRC-32 of all preceding bytes>
     v}
 
     Version 1 is the legacy CLI format.  Version 2 is the {e snapshot}
-    format of the crash-safe store: the mandatory [crc] trailer is both
+    format of the crash-safe store.  Version 3 is the {e checkpoint}
+    format of resumable TSBUILD: version 2 plus [meta] records carrying
+    build metadata (duplicate keys rejected, values opaque single-line
+    strings).  In versions 2 and 3 the mandatory [crc] trailer is both
     an integrity checksum (CRC-32, as in zlib) and an end-of-snapshot
     marker, so a write cut short at any byte — missing trailer — or
     corrupted in place — checksum mismatch — is rejected as
@@ -31,13 +35,16 @@
 val save : string -> Synopsis.t -> unit
 (** Write the synopsis to a file (version 1, non-atomic). *)
 
-val save_atomic : string -> Synopsis.t -> (unit, Xmldoc.Fault.t) result
-(** Crash-safe snapshot write (version 2): the checksummed snapshot is
-    written to a unique [.tmp] file in the destination directory,
-    fsynced, and atomically renamed over [path] — a reader (or a
-    post-crash reload) sees the previous complete snapshot or the new
-    complete snapshot, never a prefix.  I/O failures are returned as
-    [Error (Io_error _)] and the temp file is removed. *)
+val save_atomic :
+  ?meta:(string * string) list -> string -> Synopsis.t -> (unit, Xmldoc.Fault.t) result
+(** Crash-safe snapshot write (version 2, or version 3 when [meta] is
+    supplied): the checksummed snapshot is written to a unique [.tmp]
+    file in the destination directory, fsynced, and atomically renamed
+    over [path] — a reader (or a post-crash reload) sees the previous
+    complete snapshot or the new complete snapshot, never a prefix.
+    I/O failures are returned as [Error (Io_error _)] and the temp
+    file is removed.  Meta keys must be space-free and values
+    newline-free ([Invalid_argument] otherwise). *)
 
 val load_res : ?limits:Xmldoc.Limits.t -> string -> (Synopsis.t, Xmldoc.Fault.t) result
 (** Read and validate a synopsis, accepting either format version.
@@ -48,6 +55,19 @@ val load_res : ?limits:Xmldoc.Limits.t -> string -> (Synopsis.t, Xmldoc.Fault.t)
 
 val of_string_res : ?limits:Xmldoc.Limits.t -> string -> (Synopsis.t, Xmldoc.Fault.t) result
 (** In-memory variant of {!load_res} (no path tagging). *)
+
+val load_meta_res :
+  ?limits:Xmldoc.Limits.t ->
+  string ->
+  (Synopsis.t * (string * string) list, Xmldoc.Fault.t) result
+(** Like {!load_res} but also returns the [meta] records of a version-3
+    checkpoint, in file order (empty for versions 1 and 2). *)
+
+val of_string_meta_res :
+  ?limits:Xmldoc.Limits.t ->
+  string ->
+  (Synopsis.t * (string * string) list, Xmldoc.Fault.t) result
+(** In-memory variant of {!load_meta_res} (no path tagging). *)
 
 val load : ?limits:Xmldoc.Limits.t -> string -> Synopsis.t
 (** Read a synopsis back.  @raise Failure on malformed input (the
@@ -60,6 +80,10 @@ val to_string : Synopsis.t -> string
 val to_snapshot_string : Synopsis.t -> string
 (** Version-2 rendering with the [crc] trailer — what {!save_atomic}
     writes. *)
+
+val to_checkpoint_string : meta:(string * string) list -> Synopsis.t -> string
+(** Version-3 rendering: [meta] records plus the [crc] trailer — what
+    {!save_atomic} writes when given [?meta]. *)
 
 val of_string : ?limits:Xmldoc.Limits.t -> string -> Synopsis.t
 (** @raise Failure on malformed input. *)

@@ -1,0 +1,270 @@
+(* Supervised background TSBUILD jobs.
+
+   One forked worker per job: the child parses the document, runs the
+   checkpointed build (journaling into a hidden [.ckpt] file next to
+   the catalog), writes the final snapshot atomically into the catalog
+   directory — hot-reload publishes it — and exits with a structured
+   code.  The parent never blocks on a build: it reaps exits with
+   [WNOHANG] during {!poll}, restarts crashed workers from their last
+   checkpoint under capped exponential backoff, and renders every
+   worker fate as a job state the protocol can report. *)
+
+type config = {
+  limits : Xmldoc.Limits.t;
+  max_jobs : int;
+  max_restarts : int;
+  backoff_base : float;
+  backoff_cap : float;
+  checkpoint_every : int;
+  max_heap_words : int;
+}
+
+let default_config =
+  {
+    limits = Xmldoc.Limits.default;
+    max_jobs = 4;
+    max_restarts = 3;
+    backoff_base = 0.25;
+    backoff_cap = 5.0;
+    checkpoint_every = 64;
+    max_heap_words = max_int;
+  }
+
+type state =
+  | Running of { pid : int; attempt : int }
+  | Backoff of { attempt : int; not_before : float; reason : string }
+  | Done of { degraded : bool }
+  | Failed of { reason : string }
+  | Cancelled
+
+type job = {
+  name : string;
+  xml : string;
+  budget : int;
+  mutable state : state;
+}
+
+type t = {
+  config : config;
+  dir : string;
+  jobs : (string, job) Hashtbl.t;
+  log : string -> unit;
+}
+
+let create ?(config = default_config) ?(log = prerr_endline) dir =
+  { config; dir; jobs = Hashtbl.create 8; log }
+
+let log_event t fmt = Printf.ksprintf t.log fmt
+
+let snapshot_path t name = Filename.concat t.dir (name ^ Catalog.snapshot_extension)
+
+(* Hidden and not [.ts]-suffixed: invisible to the catalog scan. *)
+let checkpoint_path t name = Filename.concat t.dir ("." ^ name ^ ".ckpt")
+
+let state_token = function
+  | Running _ -> "running"
+  | Backoff _ -> "backoff"
+  | Done { degraded = false } -> "done"
+  | Done { degraded = true } -> "done-degraded"
+  | Failed _ -> "failed"
+  | Cancelled -> "cancelled"
+
+let find t name = Hashtbl.find_opt t.jobs name
+
+let list t =
+  List.sort
+    (fun a b -> String.compare a.name b.name)
+    (Hashtbl.fold (fun _ j acc -> j :: acc) t.jobs [])
+
+let running_count t =
+  Hashtbl.fold
+    (fun _ j acc -> match j.state with Running _ -> acc + 1 | _ -> acc)
+    t.jobs 0
+
+(* Wall clock, not [Limits.now]: backoff schedules real elapsed time,
+   and the children burning CPU are other processes anyway. *)
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* The worker (runs in the forked child)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Exit codes: 0 built, [degraded_exit] built but degraded (budget not
+   reached before a limit tripped), 1-5 the [Fault.exit_code] taxonomy.
+   Anything else — and any signal — is a crash the supervisor may
+   retry. *)
+let degraded_exit = 10
+
+(* Returns the exit code; the caller [_exit]s with it (never [exit]:
+   at_exit handlers inherited from the parent must not run). *)
+let worker_main t job =
+  let result =
+    match Xmldoc.Parser.of_file_res ~limits:t.config.limits job.xml with
+    | Error f -> Error f
+    | Ok doc ->
+      let stable = Sketch.Stable.build doc in
+      let fingerprint = Sketch.Build.Checkpoint.fingerprint stable in
+      let ckpt = checkpoint_path t job.name in
+      let build_fresh () =
+        Sketch.Build.build_checkpointed_res ~limits:t.config.limits
+          ~max_heap_words:t.config.max_heap_words
+          ~checkpoint_every:t.config.checkpoint_every ~checkpoint:ckpt stable
+          ~budget:job.budget
+      in
+      (* A restarted worker resumes from its predecessor's journal —
+         but only a journal provably from the same build (source
+         fingerprint and budget both match).  A corrupt, torn or alien
+         checkpoint falls back to a fresh build rather than failing:
+         the checkpoint is an accelerator, never a dependency. *)
+      (match Sketch.Build.Checkpoint.load_res ckpt with
+      | Ok { meta; _ }
+        when meta.source = fingerprint && meta.budget = job.budget ->
+        (match
+           Sketch.Build.resume_res ~limits:t.config.limits
+             ~max_heap_words:t.config.max_heap_words
+             ~checkpoint_every:t.config.checkpoint_every ckpt
+         with
+        | Ok outcome -> Ok outcome
+        | Error _ -> build_fresh ())
+      | Ok _ | Error _ -> build_fresh ())
+  in
+  match result with
+  | Error f -> Xmldoc.Fault.exit_code f
+  | Ok { Sketch.Build.synopsis; degraded } -> (
+    match Sketch.Serialize.save_atomic (snapshot_path t job.name) synopsis with
+    | Error f -> Xmldoc.Fault.exit_code f
+    | Ok () ->
+      (try Sys.remove (checkpoint_path t job.name) with Sys_error _ -> ());
+      if degraded then degraded_exit else 0)
+
+let spawn t job ~attempt =
+  match Unix.fork () with
+  | 0 ->
+    (* In the child only this thread survives; never touch the parent's
+       locks or buffered channels, and leave through [Unix._exit] so no
+       inherited at_exit work (channel flushing above all) runs twice. *)
+    let code = match worker_main t job with code -> code | exception _ -> 125 in
+    Unix._exit code
+  | pid ->
+    job.state <- Running { pid; attempt };
+    log_event t "event=job-start name=%s pid=%d attempt=%d budget=%d xml=%s"
+      job.name pid attempt job.budget job.xml
+
+(* ------------------------------------------------------------------ *)
+(* Supervision                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let remove_checkpoint t name =
+  try Sys.remove (checkpoint_path t name) with Sys_error _ -> ()
+
+let backoff_delay config attempt =
+  Float.min config.backoff_cap (config.backoff_base *. (2. ** float_of_int attempt))
+
+let crash t job ~attempt ~reason =
+  if attempt >= t.config.max_restarts then begin
+    job.state <-
+      Failed
+        {
+          reason =
+            Printf.sprintf "%s (gave up after %d restarts)" reason
+              t.config.max_restarts;
+        };
+    remove_checkpoint t job.name;
+    log_event t "event=job-failed name=%s reason=%S" job.name reason
+  end
+  else begin
+    let delay = backoff_delay t.config attempt in
+    job.state <-
+      Backoff { attempt = attempt + 1; not_before = now () +. delay; reason };
+    log_event t "event=job-crash name=%s reason=%S retry_in=%.2fs" job.name
+      reason delay
+  end
+
+let reap t job =
+  match job.state with
+  | Running { pid; attempt } -> (
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ -> ()
+    | _, Unix.WEXITED 0 ->
+      job.state <- Done { degraded = false };
+      log_event t "event=job-done name=%s" job.name
+    | _, Unix.WEXITED code when code = degraded_exit ->
+      job.state <- Done { degraded = true };
+      log_event t "event=job-done name=%s degraded=yes" job.name
+    | _, Unix.WEXITED code when code >= 1 && code <= 5 ->
+      (* A structured fault is deterministic (bad XML, corrupt input,
+         budget overflow): restarting cannot help. *)
+      job.state <-
+        Failed { reason = Printf.sprintf "worker failed with fault code %d" code };
+      remove_checkpoint t job.name;
+      log_event t "event=job-failed name=%s code=%d" job.name code
+    | _, Unix.WEXITED code ->
+      crash t job ~attempt ~reason:(Printf.sprintf "worker exit code %d" code)
+    | _, Unix.WSIGNALED signal ->
+      crash t job ~attempt ~reason:(Printf.sprintf "worker killed by signal %d" signal)
+    | _, Unix.WSTOPPED signal ->
+      (* a stopped child is going nowhere; treat as a crash so the
+         build makes progress from its checkpoint in a new worker *)
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      crash t job ~attempt ~reason:(Printf.sprintf "worker stopped by signal %d" signal)
+    | exception Unix.Unix_error (ECHILD, _, _) ->
+      (* someone else reaped it (should not happen): call it a crash *)
+      crash t job ~attempt ~reason:"worker vanished"
+    | exception Unix.Unix_error (e, _, _) ->
+      crash t job ~attempt ~reason:(Unix.error_message e))
+  | Backoff { attempt; not_before; _ } ->
+    if now () >= not_before && running_count t < t.config.max_jobs then
+      spawn t job ~attempt
+  | Done _ | Failed _ | Cancelled -> ()
+
+let poll t = List.iter (fun job -> reap t job) (list t)
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type submit_error =
+  | Busy
+  | Overloaded
+
+let submit t ~name ~xml ~budget =
+  poll t;
+  let stale_ok =
+    match Hashtbl.find_opt t.jobs name with
+    | Some { state = Running _ | Backoff _; _ } -> false
+    | Some _ | None -> true
+  in
+  if not stale_ok then Error Busy
+  else if running_count t >= t.config.max_jobs then Error Overloaded
+  else begin
+    let job = { name; xml; budget; state = Cancelled (* placeholder *) } in
+    Hashtbl.replace t.jobs name job;
+    (* a fresh submission must not resume a previous generation's
+       journal for a possibly different document *)
+    remove_checkpoint t name;
+    spawn t job ~attempt:0;
+    Ok job
+  end
+
+let cancel t name =
+  poll t;
+  match Hashtbl.find_opt t.jobs name with
+  | None -> None
+  | Some job ->
+    (match job.state with
+    | Running { pid; _ } ->
+      (* SIGKILL, not SIGTERM: workers are pure computation with only
+         atomic writes, so there is nothing graceful to wait for, and
+         the reap below must not block on a shutdown handler. *)
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      job.state <- Cancelled;
+      remove_checkpoint t name;
+      log_event t "event=job-cancel name=%s pid=%d" name pid
+    | Backoff _ ->
+      job.state <- Cancelled;
+      remove_checkpoint t name;
+      log_event t "event=job-cancel name=%s" name
+    | Done _ | Failed _ | Cancelled -> ());
+    Some job

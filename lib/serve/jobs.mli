@@ -1,0 +1,98 @@
+(** Supervised background TSBUILD jobs for the serving runtime.
+
+    Each submitted job runs in a {e forked worker process}: the child
+    parses the source document, runs the checkpointed build
+    ({!Sketch.Build.build_checkpointed_res}, journaling into a hidden
+    [.{name}.ckpt] file beside the catalog), atomically publishes the
+    final snapshot as [{name}.ts] in the catalog directory — where
+    hot-reload picks it up — and exits with a structured code.
+
+    The parent never blocks on a build.  {!poll} (called from the
+    request loop) reaps finished children with [WNOHANG] and maps
+    their fate to a job state:
+
+    - exit 0 / 10 → [Done] (10 = degraded: a limit tripped and the
+      best-so-far synopsis was published);
+    - exit 1–5 (the {!Xmldoc.Fault.exit_code} taxonomy) → [Failed]
+      permanently — deterministic faults do not retry;
+    - any other exit, or death by signal (crash, OOM kill, CANCEL from
+      outside) → restarted from its last checkpoint under capped
+      exponential backoff, up to [max_restarts] attempts, then
+      [Failed].
+
+    A restarted worker resumes from the journal only when its metadata
+    proves it belongs to the same build (source fingerprint + budget);
+    otherwise — corrupt, torn, or stale journal — it silently rebuilds
+    from scratch: the checkpoint is an accelerator, never a
+    dependency. *)
+
+type config = {
+  limits : Xmldoc.Limits.t;  (** parse/build resource bounds for workers *)
+  max_jobs : int;  (** concurrently running workers; beyond it SUBMIT is refused *)
+  max_restarts : int;  (** crash restarts before a job is declared [Failed] *)
+  backoff_base : float;  (** first restart delay, seconds; doubles per attempt *)
+  backoff_cap : float;  (** restart delay ceiling, seconds *)
+  checkpoint_every : int;  (** journal the build every this many merges *)
+  max_heap_words : int;  (** worker GC heap ceiling ({!Xmldoc.Budget}) *)
+}
+
+val default_config : config
+(** 4 jobs, 3 restarts, 0.25 s backoff doubling to a 5 s cap,
+    checkpoint every 64 merges, no heap ceiling. *)
+
+type state =
+  | Running of { pid : int; attempt : int }
+  | Backoff of { attempt : int; not_before : float; reason : string }
+      (** crashed; will restart from its checkpoint at [not_before] *)
+  | Done of { degraded : bool }
+  | Failed of { reason : string }
+  | Cancelled
+
+type job = private {
+  name : string;
+  xml : string;
+  budget : int;
+  mutable state : state;
+}
+
+type t
+
+val create : ?config:config -> ?log:(string -> unit) -> string -> t
+(** [create dir] supervises builds publishing into catalog directory
+    [dir].  [log] receives one structured line per lifecycle event
+    (default [prerr_endline]). *)
+
+val state_token : state -> string
+(** Protocol rendering: ["running"], ["backoff"], ["done"],
+    ["done-degraded"], ["failed"], ["cancelled"]. *)
+
+val find : t -> string -> job option
+val list : t -> job list
+(** All known jobs, sorted by name. *)
+
+val running_count : t -> int
+
+val checkpoint_path : t -> string -> string
+(** Where a job journals its build — hidden ([.{name}.ckpt]) so the
+    catalog scan never sees it.  Exposed for tests (chaos harness
+    corrupts it). *)
+
+val poll : t -> unit
+(** Reap exited workers ([WNOHANG], never blocks) and launch jobs whose
+    backoff has elapsed.  Call from the request loop. *)
+
+type submit_error =
+  | Busy  (** a job with this name is still running or backing off *)
+  | Overloaded  (** [max_jobs] workers already running *)
+
+val submit :
+  t -> name:string -> xml:string -> budget:int -> (job, submit_error) result
+(** Fork a worker building [xml] to [budget] bytes as catalog entry
+    [name].  Resubmitting a finished/failed/cancelled name starts a
+    fresh build (any stale journal is discarded first). *)
+
+val cancel : t -> string -> job option
+(** Kill the job's worker (SIGKILL — workers are pure computation with
+    only atomic writes, so nothing graceful is lost), discard its
+    checkpoint, and mark it [Cancelled].  [None] if the name is
+    unknown; a finished job is returned unchanged. *)

@@ -12,6 +12,9 @@ type request =
   | Stat of string
   | Query of opts * string * Twig.Syntax.t
   | Answer of opts * string * Twig.Syntax.t
+  | Build of { name : string; xml : string; budget : int }
+  | Jobs
+  | Cancel of string
   | Quit
 
 (* One request per line: an upper-case verb, then [-key=value] options,
@@ -64,6 +67,28 @@ let parse_targeted verb make words =
       (fun q -> make opts name q)
       (parse_query_text (String.concat " " query_words))
 
+(* Job names become catalog file names ([<name>.ts]): keep them to a
+   filename-safe alphabet so a request can never escape the catalog
+   directory or collide with the hidden checkpoint journals. *)
+let valid_job_name name =
+  name <> ""
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true | _ -> false)
+       name
+
+let parse_build words =
+  match words with
+  | [ name; xml; budget ] ->
+    if not (valid_job_name name) then
+      Error
+        (Printf.sprintf "bad job name %S (want [A-Za-z0-9_-]+)" name)
+    else (
+      match Xmldoc.Limits.parse_bytes budget with
+      | Ok b when b > 0 -> Ok (Build { name; xml; budget = b })
+      | Ok _ -> Error (Printf.sprintf "bad budget %S (must be positive)" budget)
+      | Error msg -> Error (Printf.sprintf "bad budget %S: %s" budget msg))
+  | _ -> Error "BUILD takes a job name, an XML path and a byte budget"
+
 let parse line =
   match split_words line with
   | [] -> Error "empty request"
@@ -78,12 +103,17 @@ let parse line =
     | "STAT", _ -> Error "STAT takes exactly one synopsis name"
     | "QUERY", words -> parse_targeted "QUERY" (fun o n q -> Query (o, n, q)) words
     | "ANSWER", words -> parse_targeted "ANSWER" (fun o n q -> Answer (o, n, q)) words
-    | ("PING" | "LIST" | "QUIT" | "RELOAD"), _ ->
+    | "BUILD", words -> parse_build words
+    | "JOBS", [] -> Ok Jobs
+    | "CANCEL", [ name ] -> Ok (Cancel name)
+    | "CANCEL", _ -> Error "CANCEL takes exactly one job name"
+    | ("PING" | "LIST" | "QUIT" | "RELOAD" | "JOBS"), _ ->
       Error (Printf.sprintf "%s takes no operands" (String.uppercase_ascii verb))
     | v, _ ->
       Error
         (Printf.sprintf
-           "unknown verb %S (want PING, LIST, RELOAD, STAT, QUERY, ANSWER or QUIT)" v))
+           "unknown verb %S (want PING, LIST, RELOAD, STAT, QUERY, ANSWER, BUILD, \
+            JOBS, CANCEL or QUIT)" v))
 
 (* Responses are single lines too; anything woven into one (fault
    messages above all) is flattened first. *)

@@ -11,6 +11,9 @@
     STAT <name>
     QUERY  [-deadline=<seconds>] [-max-nodes=<n>] <name> <twig-query>
     ANSWER [-deadline=<seconds>] [-max-nodes=<n>] <name> <twig-query>
+    BUILD <name> <xml-path> <budget>
+    JOBS
+    CANCEL <name>
     QUIT
     v}
     Verbs are case-insensitive.  [<name>] is a catalog entry
@@ -19,18 +22,30 @@
     [-max-nodes] caps answer/tree nodes.  Both are clamped by the
     server's own configured caps.
 
+    [BUILD] starts a background synopsis build (a supervised worker
+    process; see {!Jobs}): [<name>] must be filename-safe
+    ([A-Za-z0-9_-]+), [<budget>] accepts byte suffixes ([10KB]).  The
+    finished snapshot appears in the catalog as [<name>.ts] via
+    hot-reload; serving is never blocked by a build.
+
     {2 Responses}
     {v
     pong
     bye
     ok catalog n=<d> names=<a,b,...> quarantined=<d>
     ok reload loaded=<d> reloaded=<d> quarantined=<d> removed=<d>
-    ok stat name=<s> classes=<d> edges=<d> bytes=<d> stable=<yes|no>
+    ok stat name=<s> classes=<d> edges=<d> bytes=<d> stable=<yes|no> quarantined=<no|yes reason=<class>>
+    ok stat name=<s> resident=no quarantined=yes reason=<class>
     ok query degraded=<no|deadline|nodes|work> est=<g> classes=<d> empty=<yes|no>
     ok answer degraded=<no|deadline|nodes|work> empty=yes
     ok answer degraded=<no|deadline|nodes|work> truncated=<yes|no> nodes=<d> tree=<xml>
+    ok build name=<s> state=running
+    ok jobs n=<d> [<name>=<state>...]
+    ok cancel name=<s> state=<s>
     error <class> <message>
     v}
+    Job states are [running], [backoff] (crashed, restarting from its
+    checkpoint), [done], [done-degraded], [failed] and [cancelled].
     [degraded] names why the request budget stopped ([no] = it did
     not): a degraded response still carries the partial answer and its
     selectivity estimate — graceful degradation, never an abort.
@@ -52,6 +67,9 @@ type request =
   | Stat of string
   | Query of opts * string * Twig.Syntax.t
   | Answer of opts * string * Twig.Syntax.t
+  | Build of { name : string; xml : string; budget : int }
+  | Jobs
+  | Cancel of string
   | Quit
 
 val parse : string -> (request, string) result
@@ -68,4 +86,4 @@ val fault_line : Xmldoc.Fault.t -> string
 (** [error <class> <message>] for a structured fault. *)
 
 val degraded_token : Xmldoc.Budget.stop option -> string
-(** [no], [deadline], [nodes] or [work]. *)
+(** [no], [deadline], [nodes], [work] or [heap]. *)

@@ -5,6 +5,7 @@ type config = {
   max_work : int;
   max_inflight : int;
   auto_reload : bool;
+  jobs : Jobs.config;
 }
 
 let default_config =
@@ -15,6 +16,7 @@ let default_config =
     max_work = 10_000_000;
     max_inflight = 8;
     auto_reload = true;
+    jobs = Jobs.default_config;
   }
 
 type stats = {
@@ -26,6 +28,7 @@ type stats = {
 type t = {
   config : config;
   catalog : Catalog.t;
+  jobs : Jobs.t;
   log : string -> unit;
   stats : stats;
   mutable req_id : int;
@@ -34,6 +37,8 @@ type t = {
 let stats t = t.stats
 
 let catalog t = t.catalog
+
+let jobs t = t.jobs
 
 let log_event t fmt = Printf.ksprintf t.log fmt
 
@@ -59,6 +64,7 @@ let create ?(log = prerr_endline) ?(config = default_config) dir =
     {
       config;
       catalog = Catalog.create ~limits:config.limits dir;
+      jobs = Jobs.create ~config:config.jobs ~log dir;
       log;
       stats = { served = 0; errors = 0; degraded = 0 };
       req_id = 0;
@@ -118,15 +124,33 @@ let handle_request t (req : Protocol.request) =
         (count (function Catalog.Removed _ -> true | _ -> false)),
       false )
   | Stat name -> (
-    match resolve t name with
-    | Error line -> (line, false)
-    | Ok entry ->
+    (* Quarantine is a reportable condition, not an error: operators
+       STAT a name precisely to learn why it is not (or no longer)
+       serving fresh data.  A name can be both resident and quarantined
+       — the previous good version keeps serving while the latest
+       on-disk file is rejected. *)
+    let quarantine =
+      match Catalog.fault_for t.catalog name with
+      | Some fault ->
+        Printf.sprintf "quarantined=yes reason=%s" (Xmldoc.Fault.class_name fault)
+      | None -> "quarantined=no"
+    in
+    match Catalog.find t.catalog name with
+    | Some entry ->
       let s = entry.synopsis in
-      ( Printf.sprintf "ok stat name=%s classes=%d edges=%d bytes=%d stable=%s" name
+      ( Printf.sprintf "ok stat name=%s classes=%d edges=%d bytes=%d stable=%s %s"
+          name
           (Sketch.Synopsis.num_nodes s)
           (Sketch.Synopsis.num_edges s)
           (Sketch.Synopsis.size_bytes s)
-          (yes_no (Sketch.Synopsis.is_count_stable s)),
+          (yes_no (Sketch.Synopsis.is_count_stable s))
+          quarantine,
+        false )
+    | None when Catalog.fault_for t.catalog name <> None ->
+      (Printf.sprintf "ok stat name=%s resident=no %s" name quarantine, false)
+    | None ->
+      ( Protocol.error_line ~cls:"not-found"
+          (Printf.sprintf "no synopsis %S in the catalog" name),
         false ))
   | Query (opts, name, q) -> (
     match resolve t name with
@@ -168,6 +192,36 @@ let handle_request t (req : Protocol.request) =
             (Protocol.one_line (Xmldoc.Printer.to_string p.tree)),
           false )
       end)
+  | Build { name; xml; budget } -> (
+    match Jobs.submit t.jobs ~name ~xml ~budget with
+    | Ok _ -> (Printf.sprintf "ok build name=%s state=running" name, false)
+    | Error Jobs.Busy ->
+      ( Protocol.error_line ~cls:"busy"
+          (Printf.sprintf "job %S is already running" name),
+        false )
+    | Error Jobs.Overloaded ->
+      ( Protocol.error_line ~cls:"overloaded"
+          (Printf.sprintf "%d builds already running" (Jobs.running_count t.jobs)),
+        false ))
+  | Jobs ->
+    Jobs.poll t.jobs;
+    let jobs = Jobs.list t.jobs in
+    let cell (j : Jobs.job) =
+      Printf.sprintf " %s=%s" j.name (Jobs.state_token j.state)
+    in
+    ( Printf.sprintf "ok jobs n=%d%s" (List.length jobs)
+        (String.concat "" (List.map cell jobs)),
+      false )
+  | Cancel name -> (
+    match Jobs.cancel t.jobs name with
+    | Some job ->
+      ( Printf.sprintf "ok cancel name=%s state=%s" name
+          (Jobs.state_token job.state),
+        false )
+    | None ->
+      ( Protocol.error_line ~cls:"not-found"
+          (Printf.sprintf "no job %S" name),
+        false ))
 
 (* The supervision boundary: whatever a request does — malformed
    syntax, a missing synopsis, an evaluator invariant violation — the
@@ -176,6 +230,10 @@ let handle_request t (req : Protocol.request) =
 let handle_line t line =
   t.req_id <- t.req_id + 1;
   t.stats.served <- t.stats.served + 1;
+  (* Advance the build supervisor on every request: reap finished
+     workers ([WNOHANG] — never blocks a response) and restart any
+     whose backoff has elapsed. *)
+  (try Jobs.poll t.jobs with _ -> ());
   match Protocol.parse line with
   | Error reason ->
     t.stats.errors <- t.stats.errors + 1;

@@ -16,7 +16,11 @@
       stderr log record; the loop keeps serving.
     - {e Crash-safe catalog}: snapshots are hot-reloaded on change and
       quarantined (previous resident version keeps serving) when
-      corrupt; see {!Catalog}. *)
+      corrupt; see {!Catalog}.
+    - {e Supervised background builds}: BUILD forks a checkpointed
+      worker per job (see {!Jobs}); the supervisor is advanced
+      non-blockingly on every request line, so serving latency is never
+      coupled to build progress. *)
 
 type config = {
   limits : Xmldoc.Limits.t;  (** bounds every snapshot load *)
@@ -27,11 +31,12 @@ type config = {
   max_inflight : int;  (** socket connections before shedding load *)
   auto_reload : bool;
       (** refresh the catalog before each catalog-touching request *)
+  jobs : Jobs.config;  (** background-build supervision knobs *)
 }
 
 val default_config : config
 (** 5 s deadline, 100_000 answer nodes, 10 M work ticks, 8 in-flight
-    connections, auto-reload on. *)
+    connections, auto-reload on, {!Jobs.default_config} builds. *)
 
 type stats = {
   mutable served : int;  (** request lines handled (including errors) *)
@@ -49,6 +54,10 @@ val create : ?log:(string -> unit) -> ?config:config -> string -> t
 val stats : t -> stats
 
 val catalog : t -> Catalog.t
+
+val jobs : t -> Jobs.t
+(** The background-build supervisor (exposed for tests: the chaos
+    harness kills worker pids and corrupts checkpoints through it). *)
 
 val handle_line : t -> string -> string * bool
 (** [handle_line t line] is one supervised request: the response line

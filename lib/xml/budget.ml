@@ -1,4 +1,4 @@
-type stop = Deadline | Node_cap | Work_cap
+type stop = Deadline | Node_cap | Work_cap | Heap_cap
 
 (* Deadline polling period: [Limits.now] costs a system call, so the
    clock is consulted only every [clock_period] ticks.  [clock_due]
@@ -10,6 +10,7 @@ type t = {
   deadline : float option;
   max_nodes : int;
   max_work : int;
+  max_heap_words : int;
   mutable nodes : int;
   mutable work : int;
   mutable clock_due : int;
@@ -17,11 +18,13 @@ type t = {
   started : float;
 }
 
-let create ?deadline ?(max_nodes = max_int) ?(max_work = max_int) () =
+let create ?deadline ?(max_nodes = max_int) ?(max_work = max_int)
+    ?(max_heap_words = max_int) () =
   {
     deadline;
     max_nodes;
     max_work;
+    max_heap_words;
     nodes = 0;
     work = 0;
     clock_due = clock_period;
@@ -31,8 +34,8 @@ let create ?deadline ?(max_nodes = max_int) ?(max_work = max_int) () =
 
 let unlimited () = create ()
 
-let of_limits ?max_nodes ?max_work (l : Limits.t) =
-  create ?deadline:l.deadline ?max_nodes ?max_work ()
+let of_limits ?max_nodes ?max_work ?max_heap_words (l : Limits.t) =
+  create ?deadline:l.deadline ?max_nodes ?max_work ?max_heap_words ()
 
 let with_timeout seconds =
   create ~deadline:(Limits.now () +. seconds) ()
@@ -41,11 +44,21 @@ let stopped b = b.stopped
 
 let alive b = b.stopped = None
 
+(* The heap ceiling is checked together with the clock (same amortized
+   cadence).  [Gc.quick_stat] reads counters without walking the heap,
+   so the combined check stays cheap; major_words approximates live +
+   garbage, which is the right signal for "about to OOM" — degradation
+   must trigger before collection pressure turns into an allocation
+   failure. *)
 let check_clock b =
   b.clock_due <- 0;
-  match b.deadline with
+  (match b.deadline with
   | Some d when Limits.now () > d -> b.stopped <- Some Deadline
-  | _ -> ()
+  | _ -> ());
+  if b.stopped = None && b.max_heap_words < max_int then begin
+    let st = Gc.quick_stat () in
+    if st.Gc.heap_words > b.max_heap_words then b.stopped <- Some Heap_cap
+  end
 
 let tick b =
   match b.stopped with
@@ -88,3 +101,4 @@ let stop_to_string = function
   | Deadline -> "deadline"
   | Node_cap -> "nodes"
   | Work_cap -> "work"
+  | Heap_cap -> "heap"

@@ -20,19 +20,31 @@ type stop =
   | Deadline  (** the absolute deadline passed *)
   | Node_cap  (** the answer/tree node cap was reached *)
   | Work_cap  (** the total work (tick) cap was reached *)
+  | Heap_cap
+      (** the GC-reported heap grew past the configured ceiling — the
+          heap-pressure governor of long constructions, which degrades
+          the operation instead of letting it OOM *)
 
 type t
 
-val create : ?deadline:float -> ?max_nodes:int -> ?max_work:int -> unit -> t
+val create :
+  ?deadline:float ->
+  ?max_nodes:int ->
+  ?max_work:int ->
+  ?max_heap_words:int ->
+  unit ->
+  t
 (** [deadline] is an absolute timestamp on the {!Limits.now} clock;
     [max_nodes] bounds {!take_node} reservations; [max_work] bounds
-    {!tick}s.  Omitted bounds are unlimited. *)
+    {!tick}s; [max_heap_words] is a ceiling on [Gc.quick_stat]'s
+    [heap_words], consulted at the same amortized cadence as the
+    deadline.  Omitted bounds are unlimited. *)
 
 val unlimited : unit -> t
 (** A budget that never stops.  A fresh value each call — budgets are
     mutable. *)
 
-val of_limits : ?max_nodes:int -> ?max_work:int -> Limits.t -> t
+val of_limits : ?max_nodes:int -> ?max_work:int -> ?max_heap_words:int -> Limits.t -> t
 (** Adopt the deadline of a {!Limits.t}. *)
 
 val with_timeout : float -> t
@@ -66,5 +78,5 @@ val elapsed : t -> float
 (** Seconds on the {!Limits.now} clock since the budget was created. *)
 
 val stop_to_string : stop -> string
-(** ["deadline"], ["nodes"] or ["work"] — the [reason] token of the
-    serving protocol's degraded responses. *)
+(** ["deadline"], ["nodes"], ["work"] or ["heap"] — the [reason] token
+    of the serving protocol's degraded responses. *)

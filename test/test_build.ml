@@ -183,6 +183,202 @@ let test_build_with_checkpoints () =
         (abs (Synopsis.size_bytes indep - Synopsis.size_bytes syn) <= b / 4))
     sweep
 
+(* ---------------- budget-sweep edge cases ---------------- *)
+
+let test_sweep_budget_lists () =
+  let stable = Stable.build bigger_doc in
+  let full = Synopsis.size_bytes stable in
+  (* unsorted with a duplicate and an over-large budget: pairs come
+     back in input order, duplicate budgets share one snapshot (each
+     distinct budget is compressed exactly once), and a budget with
+     room for the whole stable summary returns it unmerged *)
+  let budgets = [ full / 4; 2 * full; full / 4; full / 2 ] in
+  let sweep = Build.build_with_checkpoints stable ~budgets in
+  Alcotest.(check (list int)) "input order preserved" budgets (List.map fst sweep);
+  List.iter
+    (fun (b, syn) ->
+      Alcotest.(check bool) "fits its budget" true (Synopsis.size_bytes syn <= b))
+    sweep;
+  match sweep with
+  | [ (_, s1); (_, s_big); (_, s2); (_, s_half) ] ->
+    Alcotest.(check bool) "duplicates share one compression" true (s1 == s2);
+    Alcotest.(check int) "over-large budget = stable summary"
+      (Synopsis.num_nodes stable) (Synopsis.num_nodes s_big);
+    Alcotest.(check bool) "over-large still count-stable" true
+      (Synopsis.is_count_stable s_big);
+    Alcotest.(check bool) "snapshots are monotone in budget" true
+      (Synopsis.num_nodes s_half >= Synopsis.num_nodes s1)
+  | _ -> Alcotest.fail "expected four pairs back"
+
+(* ---------------- degradation latency ---------------- *)
+
+(* The merge loop consults its control budget every [poll_period]
+   candidate pops, so the number of merges applied after a limit trips
+   is strictly smaller than one pool regeneration (which takes at
+   least [heap_max - heap_min] pops from a full pool). *)
+let test_poll_period_bounds () =
+  List.iter
+    (fun (heap_max, heap_min) ->
+      let params = { Build.default_params with heap_max; heap_min } in
+      let p = Build.poll_period params in
+      Alcotest.(check bool) "positive" true (p >= 1);
+      Alcotest.(check bool)
+        (Printf.sprintf "under one regeneration (heap_max=%d)" heap_max)
+        true
+        (p <= max 1 (heap_max - heap_min)))
+    [ (10_000, 100); (200, 100); (101, 100); (2, 1); (1_000_000, 10) ]
+
+let test_degrades_before_first_merge () =
+  (* a control budget that is already expired must stop the loop before
+     any merge is applied: zero degradation latency at the boundary *)
+  let stable = Stable.build bigger_doc in
+  let cl = Cluster.of_stable stable in
+  let ctl = Xmldoc.Budget.create ~deadline:(Xmldoc.Limits.now () -. 1.) () in
+  let merges = ref 0 in
+  let fitted =
+    Build.compress_ctl cl ~budget:64 ~ctl ~on_merge:(fun () -> incr merges)
+  in
+  Alcotest.(check int) "no merges under an expired deadline" 0 !merges;
+  Alcotest.(check bool) "reported as not fitted" false fitted;
+  Alcotest.(check bool) "stop is the deadline" true
+    (Xmldoc.Budget.stopped ctl = Some Xmldoc.Budget.Deadline)
+
+let test_heap_governor_degrades () =
+  (* an absurdly low heap ceiling trips at the first poll: the build
+     degrades to best-so-far instead of OOMing *)
+  let stable = Stable.build bigger_doc in
+  match Build.build_res ~max_heap_words:1 stable ~budget:64 with
+  | Error f -> Alcotest.failf "heap-capped build failed: %s" (Xmldoc.Fault.to_string f)
+  | Ok { synopsis; degraded } ->
+    Alcotest.(check bool) "degraded" true degraded;
+    (match Synopsis.validate synopsis with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "degraded synopsis invalid: %s" msg);
+    Alcotest.(check int) "nothing merged under heap pressure"
+      (Synopsis.num_nodes stable) (Synopsis.num_nodes synopsis)
+
+(* ---------------- checkpointed construction and resume ---------------- *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "tsbuild" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun file -> try Sys.remove (Filename.concat dir file) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc text;
+  close_out oc
+
+let ok_or_fail what = function
+  | Ok v -> v
+  | Error f -> Alcotest.failf "%s: %s" what (Xmldoc.Fault.to_string f)
+
+(* The crash-resume property: resuming from ANY checkpoint of an
+   interrupted build yields a valid synopsis meeting the same budget,
+   with approximation error in the same ballpark as the uninterrupted
+   build's. *)
+let test_resume_from_every_checkpoint () =
+  with_temp_dir (fun dir ->
+      let stable = Stable.build bigger_doc in
+      let budget = Synopsis.size_bytes stable / 4 in
+      let straight =
+        (ok_or_fail "straight build" (Build.build_res stable ~budget)).synopsis
+      in
+      let esd_straight = Metric.Esd.between_synopses stable straight in
+      let ckpt = Filename.concat dir "build.ckpt" in
+      let archives = ref [] in
+      let archive n =
+        let dst = Filename.concat dir (Printf.sprintf "ckpt-%06d" n) in
+        copy_file ckpt dst;
+        archives := dst :: !archives
+      in
+      ignore
+        (ok_or_fail "checkpointed build"
+           (Build.build_checkpointed_res ~checkpoint_every:1 ~on_checkpoint:archive
+              ~checkpoint:ckpt stable ~budget));
+      let archives = List.rev !archives in
+      Alcotest.(check bool) "journal written at every merge" true
+        (List.length archives > 10);
+      (* every checkpoint is a legal kill point; sample evenly to keep
+         the quadratic resume cost in check *)
+      let n = List.length archives in
+      let sampled =
+        List.filteri (fun i _ -> i mod max 1 (n / 20) = 0 || i = n - 1) archives
+      in
+      List.iter
+        (fun path ->
+          let { Build.synopsis; _ } =
+            ok_or_fail ("resume from " ^ path) (Build.resume_res path)
+          in
+          (match Synopsis.validate synopsis with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "resumed synopsis invalid: %s" msg);
+          Alcotest.(check bool) "meets the original budget" true
+            (Synopsis.size_bytes synopsis <= budget);
+          T.check_float "elements preserved"
+            (float_of_int (Tree.size bigger_doc))
+            (Synopsis.total_elements synopsis);
+          (* ESD sanity bound: a resumed build may pick different merges
+             but its approximation error stays in the same ballpark as
+             the uninterrupted build's (both relative to the lossless
+             stable summary) *)
+          let esd_resumed = Metric.Esd.between_synopses stable synopsis in
+          Alcotest.(check bool)
+            (Printf.sprintf "ESD sane (resumed %g vs straight %g)" esd_resumed
+               esd_straight)
+            true
+            (esd_resumed <= (3. *. esd_straight) +. 1e-6))
+        sampled)
+
+let test_checkpoint_meta_roundtrip () =
+  with_temp_dir (fun dir ->
+      let stable = Stable.build small_doc in
+      let budget = Synopsis.size_bytes stable / 2 in
+      let ckpt = Filename.concat dir "meta.ckpt" in
+      ignore
+        (ok_or_fail "build"
+           (Build.build_checkpointed_res ~checkpoint_every:1 ~checkpoint:ckpt stable
+              ~budget));
+      let { Build.Checkpoint.meta; synopsis } =
+        ok_or_fail "load" (Build.Checkpoint.load_res ckpt)
+      in
+      Alcotest.(check string) "source fingerprint" (Build.Checkpoint.fingerprint stable)
+        meta.source;
+      Alcotest.(check int) "budget" budget meta.budget;
+      Alcotest.(check string) "params hash"
+        (Build.Checkpoint.hash_params Build.default_params)
+        meta.params_hash;
+      Alcotest.(check bool) "merges counted" true (meta.merges > 0);
+      match Synopsis.validate synopsis with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "checkpoint synopsis invalid: %s" msg)
+
+let test_resume_rejects_params_mismatch () =
+  with_temp_dir (fun dir ->
+      let stable = Stable.build bigger_doc in
+      let budget = Synopsis.size_bytes stable / 4 in
+      let ckpt = Filename.concat dir "params.ckpt" in
+      ignore
+        (ok_or_fail "build"
+           (Build.build_checkpointed_res ~checkpoint_every:1 ~checkpoint:ckpt stable
+              ~budget));
+      let other = { Build.default_params with heap_max = 777 } in
+      match Build.resume_res ~params:other ckpt with
+      | Error (Xmldoc.Fault.Corrupt_synopsis _) -> ()
+      | Error f -> Alcotest.failf "wrong fault: %s" (Xmldoc.Fault.to_string f)
+      | Ok _ -> Alcotest.fail "resume with mismatched params must be rejected")
+
 let prop_build_always_fits =
   T.qtest ~count:40 "TSBUILD fits budget or hits the floor" (T.arb_tree ())
     (fun t ->
@@ -262,9 +458,25 @@ let () =
           Alcotest.test_case "label-split floor" `Quick test_build_label_split_floor;
           Alcotest.test_case "no merge when room" `Quick test_build_zero_error_when_room;
           Alcotest.test_case "checkpoints" `Slow test_build_with_checkpoints;
+          Alcotest.test_case "sweep budget lists" `Quick test_sweep_budget_lists;
           prop_build_always_fits;
           prop_build_preserves_elements;
           prop_sq_error_monotone_in_budget;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "poll period bounds" `Quick test_poll_period_bounds;
+          Alcotest.test_case "expired deadline: zero merges" `Quick
+            test_degrades_before_first_merge;
+          Alcotest.test_case "heap governor" `Quick test_heap_governor_degrades;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "resume from every checkpoint" `Slow
+            test_resume_from_every_checkpoint;
+          Alcotest.test_case "meta roundtrip" `Quick test_checkpoint_meta_roundtrip;
+          Alcotest.test_case "params mismatch rejected" `Quick
+            test_resume_rejects_params_mismatch;
         ] );
       ( "topdown",
         [

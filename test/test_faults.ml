@@ -399,6 +399,58 @@ let test_save_atomic_roundtrip () =
       Array.sort String.compare files;
       Alcotest.(check (array string)) "no staging litter" [| "snap.ts" |] files)
 
+(* A build checkpoint torn at ANY byte offset must either load (and
+   resume) completely or be rejected as [Corrupt_synopsis] — a resume
+   never continues from a partial clustering. *)
+let test_checkpoint_truncation_every_offset () =
+  with_temp_dir (fun dir ->
+      let stable = Lazy.force store_synopsis in
+      let budget = Synopsis.size_bytes stable / 2 in
+      let ckpt = Filename.concat dir "build.ckpt" in
+      (match
+         Build.build_checkpointed_res ~checkpoint_every:1 ~checkpoint:ckpt stable
+           ~budget
+       with
+      | Ok _ -> ()
+      | Error f -> Alcotest.failf "checkpointed build failed: %s" (Fault.to_string f));
+      let full =
+        let ic = open_in_bin ckpt in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        text
+      in
+      let torn = Filename.concat dir "torn.ckpt" in
+      (* the budget may sit below the label-split floor; the straight
+         build's size is then the best any resume can do *)
+      let floor_bytes = Synopsis.size_bytes (Build.build stable ~budget) in
+      let complete = ref 0 in
+      for cut = 0 to String.length full - 1 do
+        write_file torn (String.sub full 0 cut);
+        (match Build.Checkpoint.load_res torn with
+        | Error (Fault.Corrupt_synopsis _) -> ()
+        | Ok loaded -> (
+          incr complete;
+          match Synopsis.validate loaded.synopsis with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "cut at %d loaded invalid: %s" cut msg)
+        | Error f ->
+          Alcotest.failf "cut at byte %d: unexpected fault %s" cut (Fault.to_string f));
+        match Build.resume_res torn with
+        | Error (Fault.Corrupt_synopsis _) -> ()
+        | Ok { synopsis; _ } -> (
+          Alcotest.(check bool)
+            (Printf.sprintf "cut at %d resumes within budget (or the floor)" cut)
+            true
+            (Synopsis.size_bytes synopsis <= max budget floor_bytes);
+          match Synopsis.validate synopsis with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "cut at %d resumed invalid: %s" cut msg)
+        | Error f ->
+          Alcotest.failf "cut at byte %d: resume fault %s" cut (Fault.to_string f)
+      done;
+      (* only losing the final newline leaves a verifiable checkpoint *)
+      Alcotest.(check bool) "at most one complete prefix" true (!complete <= 1))
+
 (* ------------------------------------------------------------------ *)
 (* Deadline degradation in TSBUILD                                     *)
 (* ------------------------------------------------------------------ *)
@@ -470,6 +522,8 @@ let () =
           Alcotest.test_case "faults name the path" `Quick test_fault_names_path;
           Alcotest.test_case "save_atomic round trip" `Quick
             test_save_atomic_roundtrip;
+          Alcotest.test_case "checkpoint truncation at every offset" `Quick
+            test_checkpoint_truncation_every_offset;
         ] );
       ( "deadline degradation",
         [

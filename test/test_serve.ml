@@ -223,6 +223,22 @@ let test_protocol_parse () =
   fails "QUERY -max-nodes=0 db //a";
   fails "QUERY -frobnicate=1 db //a";
   fails "ANSWER db //a[";
+  ok "BUILD db doc.xml 4KB"
+    (Protocol.Build { name = "db"; xml = "doc.xml"; budget = 4096 });
+  ok "build job-1 /tmp/d.xml 512"
+    (Protocol.Build { name = "job-1"; xml = "/tmp/d.xml"; budget = 512 });
+  ok "JOBS" Protocol.Jobs;
+  ok "CANCEL db" (Protocol.Cancel "db");
+  fails "BUILD";
+  fails "BUILD db";
+  fails "BUILD db doc.xml";
+  fails "BUILD db doc.xml nope";
+  fails "BUILD db doc.xml 0";
+  fails "BUILD ../evil doc.xml 4KB" (* name must not escape the catalog dir *);
+  fails "BUILD a/b doc.xml 4KB";
+  fails "JOBS extra";
+  fails "CANCEL";
+  fails "CANCEL a b";
   Alcotest.(check string) "one_line flattens" "a b c" (Protocol.one_line "a\nb\rc")
 
 (* ------------------------------------------------------------------ *)
@@ -298,6 +314,7 @@ let test_serve_end_to_end () =
         Alcotest.(check string) "pong" "pong" pong;
         check_prefix "list" "ok catalog n=1 names=db quarantined=0" list;
         check_prefix "stat" "ok stat name=db classes=" stat;
+        Alcotest.(check bool) "healthy stat" true (T.contains stat "quarantined=no");
         check_prefix "query" "ok query degraded=no est=2 " query;
         check_prefix "answer" "ok answer degraded=no truncated=no" answer;
         check_prefix "missing name" "error not-found" ghost
@@ -305,11 +322,18 @@ let test_serve_end_to_end () =
       (* corrupt the snapshot behind the server's back; the resident
          version keeps serving and the quarantine is visible *)
       write_file path "treesketch 2\nroot 0\nnode 0 1 zz\n";
-      (match session server [ "RELOAD -force"; "QUERY db //movie"; "LIST" ] with
-      | [ reload; query; list ] ->
+      (match
+         session server [ "RELOAD -force"; "QUERY db //movie"; "LIST"; "STAT db" ]
+       with
+      | [ reload; query; list; stat ] ->
         check_prefix "reload" "ok reload loaded=0 reloaded=0 quarantined=1" reload;
         check_prefix "stale still serves" "ok query degraded=no" query;
-        check_prefix "quarantine visible" "ok catalog n=1 names=db quarantined=1" list
+        check_prefix "quarantine visible" "ok catalog n=1 names=db quarantined=1" list;
+        (* STAT on a quarantined name is a report, not an error: the
+           resident stats plus why the on-disk file is rejected *)
+        check_prefix "stat answers despite quarantine" "ok stat name=db classes=" stat;
+        Alcotest.(check bool) "stat reports the quarantine" true
+          (T.contains stat "quarantined=yes reason=corrupt")
       | lines -> Alcotest.failf "session 2: %d responses" (List.length lines));
       (* repair in place: hot-reloaded, quarantine cleared, QUIT stops
          the loop before later requests *)
@@ -393,12 +417,133 @@ let test_socket_survives_rude_client () =
           check_prefix "still serving queries" "ok query" (input_line ic)))
 
 (* ------------------------------------------------------------------ *)
+(* STAT on quarantined entries                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* a name that was NEVER resident (corrupt from the first scan) is
+   still STATable: resident=no plus the quarantine reason *)
+let test_stat_never_resident_quarantined () =
+  with_temp_dir (fun dir ->
+      write_file (Filename.concat dir "broken.ts") "treesketch 2\nroot 0\nnode 0 1 zz\n";
+      let server = quiet_server dir in
+      match session server [ "STAT broken"; "STAT ghost" ] with
+      | [ broken; ghost ] ->
+        check_prefix "quarantined stat"
+          "ok stat name=broken resident=no quarantined=yes reason=corrupt" broken;
+        check_prefix "unknown name still errors" "error not-found" ghost
+      | lines -> Alcotest.failf "%d responses" (List.length lines))
+
+(* ------------------------------------------------------------------ *)
+(* Background builds                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Jobs = Serve.Jobs
+
+let build_doc_xml dir =
+  let doc = Datagen.Datasets.generate ~seed:11 ~scale:0.3 Datagen.Datasets.Xmark in
+  let path = Filename.concat dir "doc.xml" in
+  Xmldoc.Printer.to_file path doc;
+  path
+
+(* fast supervision knobs so crash/backoff cycles complete within the
+   test's patience; checkpoints stay frequent enough that a killed
+   worker resumes mid-compression rather than restarting from scratch *)
+let jobs_config =
+  {
+    Jobs.default_config with
+    max_jobs = 4;
+    max_restarts = 2;
+    backoff_base = 0.01;
+    backoff_cap = 0.05;
+    checkpoint_every = 16;
+  }
+
+let jobs_server dir =
+  quiet_server ~config:{ Server.default_config with jobs = jobs_config } dir
+
+(* drive the supervisor until every job settles (no running/backoff
+   left), bounded by a wall-clock patience *)
+let settle ?(patience = 30.) server =
+  let deadline = Unix.gettimeofday () +. patience in
+  let unsettled () =
+    List.exists
+      (fun (j : Jobs.job) ->
+        match j.state with Running _ | Backoff _ -> true | Done _ | Failed _ | Cancelled -> false)
+      (Jobs.list (Server.jobs server))
+  in
+  while unsettled () && Unix.gettimeofday () < deadline do
+    (* PING advances the supervisor (every request line polls it)
+       without triggering a catalog rescan per iteration *)
+    ignore (Server.handle_line server "PING");
+    Thread.delay 0.005
+  done;
+  if unsettled () then Alcotest.fail "jobs did not settle in time"
+
+let test_build_job_end_to_end () =
+  with_temp_dir (fun dir ->
+      let xml = build_doc_xml dir in
+      let server = jobs_server dir in
+      (match Server.handle_line server (Printf.sprintf "BUILD db %s 2KB" xml) with
+      | response, false -> check_prefix "build accepted" "ok build name=db state=running" response
+      | _, true -> Alcotest.fail "BUILD quit");
+      settle server;
+      (* the finished snapshot is published into the catalog and servable *)
+      (match session server [ "JOBS"; "STAT db"; "QUERY db //item" ] with
+      | [ jobs; stat; query ] ->
+        check_prefix "job done" "ok jobs n=1 db=done" jobs;
+        check_prefix "snapshot resident" "ok stat name=db classes=" stat;
+        check_prefix "servable" "ok query" query
+      | lines -> Alcotest.failf "%d responses" (List.length lines));
+      (* its checkpoint journal was cleaned up and never entered the catalog *)
+      Alcotest.(check bool) "journal removed" false
+        (Sys.file_exists (Jobs.checkpoint_path (Server.jobs server) "db"));
+      (* a nonexistent document fails fast with the io fault code, no retries *)
+      (match Server.handle_line server "BUILD bad /nonexistent.xml 2KB" with
+      | response, _ -> check_prefix "accepted" "ok build" response);
+      settle server;
+      (match Jobs.find (Server.jobs server) "bad" with
+      | Some { state = Jobs.Failed _; _ } -> ()
+      | Some j -> Alcotest.failf "bad job state %s" (Jobs.state_token j.state)
+      | None -> Alcotest.fail "bad job vanished");
+      (* CANCEL on an unknown name errors; on a finished job it is a no-op *)
+      (match Server.handle_line server "CANCEL ghost" with
+      | response, _ -> check_prefix "unknown job" "error not-found" response);
+      match Server.handle_line server "CANCEL db" with
+      | response, _ -> check_prefix "finished job unchanged" "ok cancel name=db state=done" response)
+
+(* a worker SIGKILLed mid-build is restarted from its last checkpoint
+   and still completes; the builds that exhaust their restarts fail
+   without taking the server down *)
+let test_build_job_survives_kills () =
+  with_temp_dir (fun dir ->
+      let xml = build_doc_xml dir in
+      let server = jobs_server dir in
+      (match Server.handle_line server (Printf.sprintf "BUILD db %s 2KB" xml) with
+      | response, _ -> check_prefix "accepted" "ok build" response);
+      (* kill the first worker as soon as we can see its pid *)
+      (match Jobs.find (Server.jobs server) "db" with
+      | Some { state = Jobs.Running { pid; _ }; _ } ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+      | Some _ | None -> () (* already finished: nothing to kill *));
+      settle server;
+      match Jobs.find (Server.jobs server) "db" with
+      | Some { state = Jobs.Done _; _ } -> (
+        match Serialize.load_res (Filename.concat dir "db.ts") with
+        | Ok _ -> ()
+        | Error f ->
+          Alcotest.failf "published snapshot unloadable: %s" (Xmldoc.Fault.to_string f))
+      | Some { state = Jobs.Failed { reason }; _ } ->
+        Alcotest.failf "job failed instead of restarting: %s" reason
+      | Some j -> Alcotest.failf "unexpected state %s" (Jobs.state_token j.state)
+      | None -> Alcotest.fail "job vanished")
+
+(* ------------------------------------------------------------------ *)
 (* Chaos                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let error_classes =
   [ "bad-request"; "not-found"; "overloaded"; "internal";
-    "parse"; "corrupt"; "limit"; "deadline"; "io" ]
+    "parse"; "corrupt"; "limit"; "deadline"; "io"; "busy" ]
 
 (* >= 500 seeded requests interleaving malformed lines, corrupt and
    vanishing snapshots, expired deadlines and over-cap answers.  The
@@ -493,6 +638,105 @@ let test_chaos () =
       Alcotest.(check bool) "saw structured errors" true (!errors > 0);
       Alcotest.(check bool) "saw degraded answers" true (!degraded > 0))
 
+(* 200 supervised build jobs under hostile conditions: workers
+   SIGKILLed mid-build, checkpoint journals corrupted behind their
+   backs, jobs cancelled at random.  The server must answer every
+   request, never exit, and every snapshot that survives in the
+   catalog directory must load completely. *)
+let test_job_chaos () =
+  with_temp_dir (fun dir ->
+      let rng = Random.State.make [| seed + 1 |] in
+      let xml = build_doc_xml dir in
+      let server = jobs_server dir in
+      let jobs = Server.jobs server in
+      let well_formed what (response, quit) =
+        if quit then Alcotest.failf "%s: unexpected quit" what;
+        if String.contains response '\n' then
+          Alcotest.failf "%s: multi-line response" what;
+        if not (starts_with "ok " response || starts_with "error " response) then
+          Alcotest.failf "%s: malformed response %S" what response;
+        (match String.split_on_char ' ' response with
+        | "error" :: cls :: _ when not (List.mem cls error_classes) ->
+          Alcotest.failf "%s: unknown error class %S" what cls
+        | _ -> ());
+        response
+      in
+      let drive line = well_formed line (Server.handle_line server line) in
+      let kill_running name =
+        match Jobs.find jobs name with
+        | Some { state = Jobs.Running { pid; _ }; _ } ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+        | Some _ | None -> ()
+      in
+      let corrupt_checkpoint name =
+        let path = Jobs.checkpoint_path jobs name in
+        if Sys.file_exists path then
+          write_file path
+            (String.init (Random.State.int rng 60) (fun _ ->
+                 Char.chr (1 + Random.State.int rng 255)))
+      in
+      let n = 200 in
+      for i = 0 to n - 1 do
+        let name = Printf.sprintf "job%d" i in
+        (* at capacity the submission is shed with [error overloaded]:
+           drain a slot and retry until accepted *)
+        let rec submit attempts =
+          if attempts > 2_000 then Alcotest.failf "%s never admitted" name;
+          let response = drive (Printf.sprintf "BUILD %s %s 2KB" name xml) in
+          if not (starts_with "ok build" response) then begin
+            Thread.delay 0.002;
+            submit (attempts + 1)
+          end
+        in
+        submit 0;
+        (* hostile interleaving against this job and a random earlier one *)
+        let victim = Printf.sprintf "job%d" (Random.State.int rng (i + 1)) in
+        (match Random.State.int rng 5 with
+        | 0 -> kill_running victim
+        | 1 -> corrupt_checkpoint victim
+        | 2 -> ignore (drive ("CANCEL " ^ victim))
+        | 3 -> ignore (drive "JOBS")
+        | _ -> ());
+        if Random.State.int rng 3 = 0 then Thread.delay 0.001
+      done;
+      settle ~patience:60. server;
+      (* zero server exits: every job reached a terminal state and the
+         supervisor answered everything above without raising *)
+      let states = Hashtbl.create 8 in
+      List.iter
+        (fun (j : Jobs.job) ->
+          let token = Jobs.state_token j.state in
+          Hashtbl.replace states token (1 + Option.value ~default:0 (Hashtbl.find_opt states token));
+          match j.state with
+          | Jobs.Running _ | Jobs.Backoff _ ->
+            Alcotest.failf "job %s still unsettled" j.name
+          | Jobs.Done _ | Jobs.Failed _ | Jobs.Cancelled -> ())
+        (Jobs.list jobs);
+      Alcotest.(check int) "all 200 jobs tracked" n (List.length (Jobs.list jobs));
+      Alcotest.(check bool) "some jobs completed" true
+        (Hashtbl.mem states "done" || Hashtbl.mem states "done-degraded");
+      (* every surviving snapshot in the catalog directory loads
+         completely — kills and corrupt journals never publish a torn
+         or partial synopsis *)
+      let survivors =
+        List.filter
+          (fun f -> Filename.check_suffix f Catalog.snapshot_extension)
+          (Array.to_list (Sys.readdir dir))
+      in
+      Alcotest.(check bool) "some snapshots survived" true (survivors <> []);
+      List.iter
+        (fun f ->
+          match Serialize.load_res (Filename.concat dir f) with
+          | Ok _ -> ()
+          | Error fault ->
+            Alcotest.failf "surviving snapshot %s unloadable: %s" f
+              (Xmldoc.Fault.to_string fault))
+        survivors;
+      (* and the server still serves *)
+      match Server.handle_line server "PING" with
+      | "pong", false -> ()
+      | response, _ -> Alcotest.failf "server unhealthy after chaos: %S" response)
+
 let () =
   Alcotest.run "serve"
     [
@@ -523,5 +767,20 @@ let () =
           Alcotest.test_case "survives a client disconnecting mid-response"
             `Quick test_socket_survives_rude_client;
         ] );
-      ( "chaos", [ Alcotest.test_case "600 mixed requests" `Quick test_chaos ] );
+      ( "stat",
+        [
+          Alcotest.test_case "quarantined names are reportable" `Quick
+            test_stat_never_resident_quarantined;
+        ] );
+      ( "jobs",
+        [
+          Alcotest.test_case "build job end to end" `Quick test_build_job_end_to_end;
+          Alcotest.test_case "survives worker kills" `Quick
+            test_build_job_survives_kills;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "600 mixed requests" `Quick test_chaos;
+          Alcotest.test_case "200 build jobs under fire" `Slow test_job_chaos;
+        ] );
     ]

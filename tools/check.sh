@@ -1,0 +1,30 @@
+#!/bin/sh
+# Tier-1 gate: everything must build and every test suite must pass.
+# Run before every PR; CI runs exactly this script.
+#
+#   tools/check.sh           # build + full test suite (incl. fault/chaos
+#                            # harnesses, which use fixed seeds)
+#   tools/check.sh --quick   # skip the slow chaos tests (ALCOTEST_QUICK_TESTS)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+QUICK=
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "usage: tools/check.sh [--quick]" >&2; exit 2 ;;
+  esac
+done
+
+echo "== dune build @all =="
+dune build @all
+
+echo "== dune runtest =="
+if [ -n "$QUICK" ]; then
+  ALCOTEST_QUICK_TESTS=1 dune runtest --force
+else
+  dune runtest --force
+fi
+
+echo "== check.sh: OK =="
