@@ -303,7 +303,17 @@ let serve_cmd =
             "Only pick up snapshot changes on an explicit RELOAD \
              request.")
   in
-  let run catalog socket deadline max_answer_nodes max_inflight no_auto_reload =
+  let drain_deadline =
+    Arg.(
+      value
+      & opt float Serve.Server.default_config.drain_deadline
+      & info [ "drain-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "On SIGTERM/SIGINT, seconds to wait for in-flight requests \
+             to finish before severing them and exiting.")
+  in
+  let run catalog socket deadline max_answer_nodes max_inflight no_auto_reload
+      drain_deadline =
     let config =
       {
         Serve.Server.default_config with
@@ -311,21 +321,133 @@ let serve_cmd =
         max_answer_nodes;
         max_inflight;
         auto_reload = not no_auto_reload;
+        drain_deadline;
       }
     in
     let server = Serve.Server.create ~config catalog in
-    match socket with
+    (* SIGTERM/SIGINT request a graceful drain: the serve loop returns
+       once in-flight requests are answered, and we exit 0 — the
+       contract a rolling restart scripts against. *)
+    Serve.Server.install_drain_signals server;
+    (match socket with
     | Some path -> Serve.Server.serve_socket server ~path
-    | None -> Serve.Server.serve_channels server stdin stdout
+    | None -> Serve.Server.serve_channels server stdin stdout);
+    exit 0
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve twig queries from a resident synopsis catalog (line \
-          protocol on stdin/stdout or a Unix socket).")
+          protocol on stdin/stdout or a Unix socket).  SIGTERM or \
+          SIGINT drains gracefully: in-flight requests are answered, \
+          build workers reaped, and the process exits 0.")
     Term.(
       const run $ catalog $ socket $ deadline $ max_answer_nodes $ max_inflight
-      $ no_auto_reload)
+      $ no_auto_reload $ drain_deadline)
+
+(* ------------------------------- client ------------------------------- *)
+
+let client_cmd =
+  let sockets =
+    Arg.(
+      non_empty
+      & opt_all string []
+      & info [ "s"; "socket" ] ~docv:"PATH"
+          ~doc:
+            "Server socket to talk to.  Repeatable: the client fails \
+             over to the next socket when one stops answering — give \
+             both halves of a rolling restart.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt float Serve.Client.default_config.request_timeout
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-attempt request deadline (send + receive).")
+  in
+  let connect_timeout =
+    Arg.(
+      value
+      & opt float Serve.Client.default_config.connect_timeout
+      & info [ "connect-timeout" ] ~docv:"SECONDS"
+          ~doc:"How long a connect may take before failing over.")
+  in
+  let attempts =
+    Arg.(
+      value
+      & opt int Serve.Client.default_config.attempts
+      & info [ "attempts" ] ~docv:"N"
+          ~doc:"Total tries per request across the sockets.")
+  in
+  let retry_unsafe =
+    Arg.(
+      value & flag
+      & info [ "retry-unsafe" ]
+          ~doc:
+            "Also retry non-idempotent verbs (BUILD, CANCEL) after a \
+             mid-flight failure.  Off by default: a retried BUILD can \
+             restart a finished build.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int Serve.Client.default_config.jitter_seed
+      & info [ "seed" ] ~docv:"N" ~doc:"Seed for retry-backoff jitter.")
+  in
+  let words =
+    Arg.(value & pos_all string [] & info [] ~docv:"REQUEST")
+  in
+  let run sockets timeout connect_timeout attempts retry_unsafe seed words =
+    let config =
+      {
+        Serve.Client.default_config with
+        request_timeout = timeout;
+        connect_timeout;
+        attempts;
+        retry_unsafe;
+        jitter_seed = seed;
+      }
+    in
+    let client = Serve.Client.create ~config sockets in
+    (* Any delivered response — including the server's own `error ...`
+       lines — exits 0: the round-trip succeeded and the caller reads
+       the verdict from stdout.  Only client-side faults (deadline,
+       dead transport) exit non-zero, through the fault taxonomy. *)
+    let one line =
+      match Serve.Client.request client line with
+      | Ok response ->
+        print_endline response;
+        true
+      | Error e ->
+        Printf.eprintf "treesketch client: %s\n%!"
+          (Serve.Client.error_to_string e);
+        exit (Xmldoc.Fault.exit_code (Serve.Client.error_to_fault e))
+    in
+    (match words with
+    | _ :: _ -> ignore (one (String.concat " " words))
+    | [] ->
+      (* REPL over stdin: one request per line until EOF *)
+      let rec loop () =
+        match input_line stdin with
+        | exception End_of_file -> ()
+        | line ->
+          let trimmed = String.trim line in
+          if trimmed = "" then loop ()
+          else if one trimmed then loop ()
+      in
+      loop ());
+    Serve.Client.close client
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send line-protocol requests to one or more $(b,treesketch \
+          serve) sockets with timeouts, retries and failover.  With a \
+          REQUEST on the command line, sends it and prints the \
+          response; without, reads requests from stdin.")
+    Term.(
+      const run $ sockets $ timeout $ connect_timeout $ attempts
+      $ retry_unsafe $ seed $ words)
 
 (* --------------------------------- esd -------------------------------- *)
 
@@ -365,17 +487,30 @@ let stats_cmd =
 
 let () =
   let doc = "Approximate XML query answering with TREESKETCH synopses." in
+  (* The exit-code documentation is *rendered from* the same table the
+     code exits through ([Xmldoc.Fault.exit_code_table]) — it cannot
+     drift from behaviour, and a test pins the table to
+     [Fault.exit_code] itself. *)
   let man =
     [
       `S Manpage.s_exit_status;
-      `P
-        "Ingestion failures use distinct exit codes: 1 XML parse error, 2 \
-         corrupt synopsis, 3 resource limit exceeded, 4 deadline expired, 5 \
-         I/O error.";
+      `P "Every failure maps to a documented exit code:";
     ]
+    @ List.concat_map
+        (fun (code, cls, what) ->
+          [ `I (Printf.sprintf "$(b,%d) (%s)" code cls, what) ])
+        Xmldoc.Fault.exit_code_table
   in
   let info = Cmd.info "treesketch" ~version:"1.0.0" ~doc ~man in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ datagen_cmd; build_cmd; query_cmd; serve_cmd; esd_cmd; stats_cmd ]))
+          [
+            datagen_cmd;
+            build_cmd;
+            query_cmd;
+            serve_cmd;
+            client_cmd;
+            esd_cmd;
+            stats_cmd;
+          ]))

@@ -203,6 +203,7 @@ let save_atomic ?meta path s =
   in
   match
     let dir = Filename.dirname path in
+    Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Open ~path;
     let tmp = Filename.temp_file ~temp_dir:dir ".treesketch" ".tmp" in
     Fun.protect
       ~finally:(fun () -> if Sys.file_exists tmp then try Sys.remove tmp with Sys_error _ -> ())
@@ -211,12 +212,21 @@ let save_atomic ?meta path s =
         Fun.protect
           ~finally:(fun () -> close_out_noerr oc)
           (fun () ->
-            output_string oc text;
+            Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Write ~path:tmp;
+            (* An injected short write is a full disk caught mid-line:
+               the prefix lands in the temp file, the error aborts the
+               save before the rename, and the [finally] above removes
+               the tear — readers never see it. *)
+            let len = String.length text in
+            let n = Xmldoc.Io_fault.cap Xmldoc.Io_fault.Write ~path:tmp len in
+            output_substring oc text 0 n;
             flush oc;
+            if n < len then raise (Unix.Unix_error (Unix.ENOSPC, "write", tmp));
             (* Data must be durable before the rename publishes it:
                otherwise a crash could leave the *renamed* file empty,
                which is exactly the torn state the format exists to
                prevent. *)
+            Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Fsync ~path:tmp;
             Unix.fsync (Unix.descr_of_out_channel oc));
         (* [Filename.temp_file] creates 0600 files; publishing one as
            the snapshot would tighten its mode relative to [save],
@@ -227,6 +237,7 @@ let save_atomic ?meta path s =
         Unix.chmod tmp (0o666 land lnot mask);
         (* Atomic publish: readers see the old snapshot or the new one,
            never a prefix. *)
+        Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Rename ~path;
         Sys.rename tmp path;
         (* Persist the directory entry too (best-effort: some systems
            refuse fsync on directories). *)
@@ -245,6 +256,7 @@ let save_atomic ?meta path s =
 
 let load_gen of_string ~limits path =
   match
+    Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Open ~path;
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
@@ -254,13 +266,23 @@ let load_gen of_string ~limits path =
           Error
             (Xmldoc.Fault.Limit_exceeded
                { what = "bytes"; actual = len; limit = limits.max_bytes })
-        else of_string ~limits (really_input_string ic len))
+        else begin
+          Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Read ~path;
+          (* an injected short read observes a prefix of the snapshot:
+             the checksum trailer must reject it as [Corrupt_synopsis],
+             never load it partially *)
+          of_string ~limits
+            (really_input_string ic (Xmldoc.Io_fault.cap Xmldoc.Io_fault.Read ~path len))
+        end)
   with
   | Ok s -> Ok s
   | Error f -> Error (Xmldoc.Fault.with_path path f)
   | exception Sys_error message -> Error (Xmldoc.Fault.Io_error { path; message })
   | exception End_of_file ->
     Error (Xmldoc.Fault.Io_error { path; message = "unexpected end of file" })
+  | exception Unix.Unix_error (e, fn, _) ->
+    Error
+      (Xmldoc.Fault.Io_error { path; message = fn ^ ": " ^ Unix.error_message e })
 
 let load_res ?(limits = Xmldoc.Limits.default) path =
   load_gen (fun ~limits text -> of_string_res ~limits text) ~limits path

@@ -4,6 +4,7 @@ type entry = {
   synopsis : Sketch.Synopsis.t;
   mtime : float;
   size : int;
+  ino : int;
 }
 
 type quarantined = {
@@ -12,6 +13,7 @@ type quarantined = {
   fault : Xmldoc.Fault.t;
   q_mtime : float;
   q_size : int;
+  q_ino : int;
 }
 
 type event =
@@ -53,18 +55,34 @@ let quarantined t =
 
 let size t = Hashtbl.length t.entries
 
-(* A snapshot file is reconsidered when its (mtime, size) fingerprint
-   moves.  [force] reconsiders everything — the RELOAD escape hatch for
-   same-second rewrites that a coarse mtime clock cannot distinguish. *)
+(* A snapshot file is reconsidered when its (mtime, size, inode)
+   fingerprint moves.  The inode closes the staleness window a plain
+   (mtime, size) pair leaves open: [save_atomic] publishes by renaming
+   a fresh temp file over the old one, so a same-second, same-size
+   rewrite — invisible to a coarse mtime clock — still lands on a new
+   inode.  [force] reconsiders everything regardless: the escape hatch
+   for a same-size in-place overwrite of the very same inode, which no
+   stat-level fingerprint can see. *)
 let changed entry st =
-  entry.mtime <> st.Unix.st_mtime || entry.size <> st.Unix.st_size
+  entry.mtime <> st.Unix.st_mtime
+  || entry.size <> st.Unix.st_size
+  || entry.ino <> st.Unix.st_ino
 
 let refresh ?(force = false) t =
   let events = ref [] in
   let note e = events := e :: !events in
-  match Sys.readdir t.dir with
+  match
+    Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Open ~path:t.dir;
+    Sys.readdir t.dir
+  with
   | exception Sys_error message ->
     note (Scan_error (Xmldoc.Fault.Io_error { path = t.dir; message }));
+    List.rev !events
+  | exception Unix.Unix_error (e, fn, _) ->
+    note
+      (Scan_error
+         (Xmldoc.Fault.Io_error
+            { path = t.dir; message = fn ^ ": " ^ Unix.error_message e }));
     List.rev !events
   | files ->
     let seen = Hashtbl.create 16 in
@@ -74,7 +92,10 @@ let refresh ?(force = false) t =
         if Filename.check_suffix file snapshot_extension then begin
           let name = Filename.chop_suffix file snapshot_extension in
           let path = Filename.concat t.dir file in
-          match Unix.stat path with
+          match
+            Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Open ~path;
+            Unix.stat path
+          with
           | exception Unix.Unix_error _ -> () (* deleted between readdir and stat *)
           | st when st.Unix.st_kind <> Unix.S_REG -> ()
           | st ->
@@ -89,8 +110,10 @@ let refresh ?(force = false) t =
                    fingerprint moves: unconditional retry would re-read
                    and re-parse a persistently corrupt file on every
                    refresh.  RELOAD -force stays the escape hatch for
-                   same-second rewrites the fingerprint cannot see. *)
-                q.q_mtime <> st.Unix.st_mtime || q.q_size <> st.Unix.st_size
+                   in-place rewrites the fingerprint cannot see. *)
+                q.q_mtime <> st.Unix.st_mtime
+                || q.q_size <> st.Unix.st_size
+                || q.q_ino <> st.Unix.st_ino
               | None -> (
                 match known with None -> true | Some e -> changed e st)
             in
@@ -104,6 +127,7 @@ let refresh ?(force = false) t =
                     synopsis;
                     mtime = st.Unix.st_mtime;
                     size = st.Unix.st_size;
+                    ino = st.Unix.st_ino;
                   };
                 Hashtbl.remove t.quarantine name;
                 note (if known = None then Loaded name else Reloaded name)
@@ -118,6 +142,7 @@ let refresh ?(force = false) t =
                     fault;
                     q_mtime = st.Unix.st_mtime;
                     q_size = st.Unix.st_size;
+                    q_ino = st.Unix.st_ino;
                   };
                 note (Quarantined (name, fault))
             end

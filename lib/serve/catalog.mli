@@ -4,8 +4,12 @@
     [.ts] snapshot files ([name.ts] serves as [name]).  {!refresh}
     reconciles the resident set with the directory:
 
-    - new or changed files (by [(mtime, size)] fingerprint) are
+    - new or changed files (by [(mtime, size, inode)] fingerprint) are
       re-loaded through the validating {!Sketch.Serialize.load_res};
+      the inode component means a same-second, same-size rewrite
+      published by {!Sketch.Serialize.save_atomic}'s rename is still
+      observed — only an in-place overwrite of the same inode needs
+      [refresh ~force:true];
     - files that fail to load are {e quarantined}, never partially
       loaded: the structured fault is recorded, and — crucially — a
       previously resident version of the same name {e keeps serving}
@@ -28,6 +32,7 @@ type entry = {
   synopsis : Sketch.Synopsis.t;
   mtime : float;  (** fingerprint at load time *)
   size : int;  (** fingerprint at load time *)
+  ino : int;  (** fingerprint at load time *)
 }
 
 type quarantined = {
@@ -36,6 +41,7 @@ type quarantined = {
   fault : Xmldoc.Fault.t;
   q_mtime : float;  (** fingerprint of the rejected file *)
   q_size : int;  (** fingerprint of the rejected file *)
+  q_ino : int;  (** fingerprint of the rejected file *)
 }
 
 type event =

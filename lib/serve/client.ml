@@ -1,0 +1,298 @@
+(* A resilient line-protocol client.
+
+   Everything here exists to keep one promise: [request] always returns
+   — a response line, or a typed client-side error — within a bounded
+   time, no matter what the transport does.  Connects are non-blocking
+   with a timeout; receives go through [select] against the request
+   deadline; failures close the connection (a timed-out request leaves
+   the stream desynchronized — the safe state is "no connection") and
+   retry on the next socket under capped, jittered backoff. *)
+
+type config = {
+  connect_timeout : float;
+  request_timeout : float;
+  attempts : int;
+  backoff_base : float;
+  backoff_cap : float;
+  jitter_seed : int;
+  retry_unsafe : bool;
+}
+
+let default_config =
+  {
+    connect_timeout = 1.0;
+    request_timeout = 5.0;
+    attempts = 4;
+    backoff_base = 0.05;
+    backoff_cap = 1.0;
+    jitter_seed = 0;
+    retry_unsafe = false;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  residue : Buffer.t;
+      (* bytes read past the last newline — the start of the next
+         response if the server ever pipelines *)
+}
+
+type t = {
+  config : config;
+  endpoints : string array;
+  mutable cursor : int;  (* endpoint the next connect tries first *)
+  mutable conn : conn option;
+  rng : Random.State.t;  (* jitter only — seeded, so tests replay *)
+}
+
+type error =
+  | Deadline of string
+  | Io of string
+  | Bad_response of string
+
+let error_to_string = function
+  | Deadline msg -> "deadline: " ^ msg
+  | Io msg -> "io: " ^ msg
+  | Bad_response msg -> "bad response: " ^ msg
+
+let error_to_fault = function
+  | Deadline msg -> Xmldoc.Fault.Deadline { stage = msg; elapsed = 0.0 }
+  | Io msg -> Xmldoc.Fault.Io_error { path = "<client>"; message = msg }
+  | Bad_response msg ->
+    Xmldoc.Fault.Io_error { path = "<client>"; message = "bad response: " ^ msg }
+
+let create ?(config = default_config) paths =
+  if paths = [] then invalid_arg "Client.create: no server sockets";
+  if config.attempts < 1 then invalid_arg "Client.create: attempts must be >= 1";
+  (* a write to a server that died mid-conversation must come back as
+     EPIPE — which the retry loop turns into a reconnect — not as
+     SIGPIPE killing the whole client process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  {
+    config;
+    endpoints = Array.of_list paths;
+    cursor = 0;
+    conn = None;
+    rng = Random.State.make [| config.jitter_seed |];
+  }
+
+(* Verbs whose effects are the same once or twice: safe to resend even
+   when the first copy may have been executed.  RELOAD rescans to the
+   same fixpoint; QUERY/ANSWER are pure reads.  BUILD is absent — a
+   resent BUILD can kill and restart a half-finished build — and QUIT
+   is absent because resending it to a *different* server after
+   failover would shut down a healthy one. *)
+let idempotent_verbs =
+  [ "PING"; "HEALTH"; "LIST"; "STAT"; "QUERY"; "ANSWER"; "JOBS"; "RELOAD" ]
+
+let verb_of line =
+  let line = String.trim line in
+  match String.index_opt line ' ' with
+  | None -> String.uppercase_ascii line
+  | Some i -> String.uppercase_ascii (String.sub line 0 i)
+
+let idempotent line = List.mem (verb_of line) idempotent_verbs
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let close t =
+  match t.conn with
+  | None -> ()
+  | Some c ->
+    close_quietly c.fd;
+    t.conn <- None
+
+(* ------------------------------------------------------------------ *)
+(* Connect with timeout + failover cursor                              *)
+(* ------------------------------------------------------------------ *)
+
+let connect_one t path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec fd;
+  match
+    Unix.set_nonblock fd;
+    Unix.connect fd (Unix.ADDR_UNIX path)
+  with
+  | () ->
+    Unix.clear_nonblock fd;
+    Ok fd
+  | exception Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN), _, _) -> (
+    (* wait for the connect to resolve, but never longer than the
+       connect timeout *)
+    match Unix.select [] [ fd ] [] t.config.connect_timeout with
+    | [], [], [] ->
+      close_quietly fd;
+      Error "connect timed out"
+    | _ -> (
+      match Unix.getsockopt_error fd with
+      | None ->
+        Unix.clear_nonblock fd;
+        Ok fd
+      | Some e ->
+        close_quietly fd;
+        Error (Unix.error_message e))
+    | exception Unix.Unix_error (e, _, _) ->
+      close_quietly fd;
+      Error (Unix.error_message e))
+  | exception Unix.Unix_error (e, _, _) ->
+    close_quietly fd;
+    Error (Unix.error_message e)
+
+(* Try every endpoint once, starting at the cursor; stick (cursor stays)
+   on success so a healthy server keeps its traffic. *)
+let connect t =
+  let n = Array.length t.endpoints in
+  let rec go tried last_err =
+    if tried >= n then Error (Io ("connect: " ^ last_err))
+    else
+      let i = (t.cursor + tried) mod n in
+      match connect_one t t.endpoints.(i) with
+      | Ok fd ->
+        t.cursor <- i;
+        let c = { fd; residue = Buffer.create 256 } in
+        t.conn <- Some c;
+        Ok c
+      | Error msg ->
+        go (tried + 1) (t.endpoints.(i) ^ ": " ^ msg)
+  in
+  match t.conn with Some c -> Ok c | None -> go 0 "no endpoints"
+
+(* ------------------------------------------------------------------ *)
+(* Deadline-bounded send / receive                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Every blocking step checks the wall-clock deadline; [`Deadline] and
+   [`Io] are distinguished because only the former maps to exit 4. *)
+
+let send_all fd data ~deadline =
+  let len = Bytes.length data in
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      let budget = deadline -. Unix.gettimeofday () in
+      if budget <= 0.0 then Error (`Deadline "send")
+      else
+        match Unix.select [] [ fd ] [] budget with
+        | _, [], _ -> Error (`Deadline "send")
+        | _ -> (
+          match Unix.write fd data off (len - off) with
+          | n -> go (off + n)
+          | exception Unix.Unix_error (EINTR, _, _) -> go off
+          | exception Unix.Unix_error (e, _, _) ->
+            Error (`Io ("write: " ^ Unix.error_message e)))
+        | exception Unix.Unix_error (EINTR, _, _) -> go off
+        | exception Unix.Unix_error (e, _, _) ->
+          Error (`Io ("select: " ^ Unix.error_message e))
+  in
+  go 0
+
+let recv_line c ~deadline =
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    let buf = Buffer.contents c.residue in
+    match String.index_opt buf '\n' with
+    | Some i ->
+      let line = String.sub buf 0 i in
+      Buffer.clear c.residue;
+      Buffer.add_substring c.residue buf (i + 1) (String.length buf - i - 1);
+      (* a bare CR before the newline is tolerated, not required *)
+      let line =
+        if line <> "" && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      Ok line
+    | None -> (
+      let budget = deadline -. Unix.gettimeofday () in
+      if budget <= 0.0 then Error (`Deadline "receive")
+      else
+        match Unix.select [ c.fd ] [] [] budget with
+        | [], _, _ -> Error (`Deadline "receive")
+        | _ -> (
+          match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+          | 0 ->
+            if Buffer.length c.residue > 0 then
+              Error (`Bad_response "connection closed mid-line")
+            else Error (`Io "connection closed")
+          | n ->
+            Buffer.add_subbytes c.residue chunk 0 n;
+            go ()
+          | exception Unix.Unix_error (EINTR, _, _) -> go ()
+          | exception Unix.Unix_error (e, _, _) ->
+            Error (`Io ("read: " ^ Unix.error_message e)))
+        | exception Unix.Unix_error (EINTR, _, _) -> go ()
+        | exception Unix.Unix_error (e, _, _) ->
+          Error (`Io ("select: " ^ Unix.error_message e)))
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* The retry loop                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let backoff t attempt =
+  (* attempt 1 failed -> base, doubling, capped; jitter in [0.5, 1.0]
+     so synchronized clients don't stampede a restarting server *)
+  let raw =
+    Float.min t.config.backoff_cap
+      (t.config.backoff_base *. (2. ** float_of_int (attempt - 1)))
+  in
+  let jitter = 0.5 +. (Random.State.float t.rng 1.0 /. 2.0) in
+  Unix.sleepf (raw *. jitter)
+
+(* The server answering [error overloaded ...] is a transient shed, not
+   an answer to the question asked: worth retrying elsewhere for
+   idempotent requests. *)
+let is_overloaded_response line =
+  String.length line >= 16 && String.sub line 0 16 = "error overloaded"
+
+let request t line =
+  let retryable = t.config.retry_unsafe || idempotent line in
+  let payload = Bytes.of_string (line ^ "\n") in
+  let rec attempt k ~may_retry_midflight =
+    let fail err =
+      (* the stream may hold a half response: reconnect from scratch *)
+      close t;
+      if k < t.config.attempts && may_retry_midflight then begin
+        backoff t k;
+        (* rotate so the retry prefers the next endpoint — the current
+           one just failed us *)
+        t.cursor <- (t.cursor + 1) mod Array.length t.endpoints;
+        attempt (k + 1) ~may_retry_midflight
+      end
+      else
+        Error
+          (match err with
+          | `Deadline msg ->
+            Deadline (Printf.sprintf "%s (attempt %d/%d)" msg k t.config.attempts)
+          | `Io msg -> Io (Printf.sprintf "%s (attempt %d/%d)" msg k t.config.attempts)
+          | `Bad_response msg ->
+            Bad_response (Printf.sprintf "%s (attempt %d/%d)" msg k t.config.attempts))
+    in
+    match connect t with
+    | Error (Io msg) when k < t.config.attempts ->
+      (* nothing was ever sent: always safe to retry, even BUILD *)
+      backoff t k;
+      t.cursor <- (t.cursor + 1) mod Array.length t.endpoints;
+      ignore msg;
+      attempt (k + 1) ~may_retry_midflight
+    | Error e -> Error e
+    | Ok c -> (
+      let deadline = Unix.gettimeofday () +. t.config.request_timeout in
+      match send_all c.fd payload ~deadline with
+      | Error err -> fail err
+      | Ok () -> (
+        match recv_line c ~deadline with
+        | Error err -> fail err
+        | Ok response ->
+          if is_overloaded_response response && retryable && k < t.config.attempts
+          then begin
+            (* don't camp on a shedding server *)
+            close t;
+            backoff t k;
+            t.cursor <- (t.cursor + 1) mod Array.length t.endpoints;
+            attempt (k + 1) ~may_retry_midflight
+          end
+          else Ok response))
+  in
+  attempt 1 ~may_retry_midflight:retryable

@@ -1,0 +1,88 @@
+(** A resilient client for the [treesketch serve] line protocol.
+
+    The client owns every failure mode a caller would otherwise have to
+    hand-roll: connect timeouts, per-request deadlines, capped
+    exponential backoff with seeded jitter, automatic reconnection, and
+    failover across a list of server sockets (the other half of a
+    rolling restart — when one server drains, requests move to its
+    replacement).
+
+    {2 Retry policy and idempotency}
+
+    A request is retried only when doing so cannot duplicate a side
+    effect:
+
+    - {e Read-only verbs} (PING, HEALTH, LIST, STAT, QUERY, ANSWER,
+      JOBS, RELOAD) are idempotent and always retried on transport
+      failure, on timeout, and on an [error overloaded ...] response.
+    - {e Mutating verbs} (BUILD, CANCEL, QUIT and anything
+      unrecognized) are retried only while the failure provably
+      happened {e before} the request was written (connect failure);
+      after the bytes may have reached a server, the error is surfaced
+      instead — unless the caller opts in with [retry_unsafe].
+
+    {2 Results}
+
+    [request] returns [Ok line] for {e any} well-formed response line
+    the server delivered — including the server's own
+    [error <class> ...] lines: the protocol round-trip succeeded, and
+    interpreting the response is the caller's business.  [Error _] is
+    reserved for client-side faults: the deadline expired, or transport
+    kept failing after every configured attempt. *)
+
+type config = {
+  connect_timeout : float;  (** seconds to wait for a connect to land *)
+  request_timeout : float;
+      (** per-attempt deadline, seconds, covering send + receive *)
+  attempts : int;  (** total tries per request (first + retries), >= 1 *)
+  backoff_base : float;  (** delay before the 2nd attempt, seconds *)
+  backoff_cap : float;  (** backoff ceiling, seconds *)
+  jitter_seed : int;
+      (** seeds the backoff jitter — same seed, same delays *)
+  retry_unsafe : bool;
+      (** retry non-idempotent verbs (BUILD/CANCEL) too; off by
+          default because a retried BUILD can restart a build *)
+}
+
+val default_config : config
+(** 1 s connect, 5 s request, 4 attempts, 50 ms backoff doubling to a
+    1 s cap, seed 0, unsafe retries off. *)
+
+type t
+
+val create : ?config:config -> string list -> t
+(** [create paths] targets the Unix-socket servers at [paths], in
+    preference order: the client sticks with a working socket and
+    fails over to the next (wrapping around) when it stops answering.
+    Sets SIGPIPE to ignored process-wide (a dead server must surface
+    as a retryable EPIPE, not kill the client).  Raises
+    [Invalid_argument] on an empty list. *)
+
+type error =
+  | Deadline of string  (** the per-request deadline expired *)
+  | Io of string  (** transport kept failing through every attempt *)
+  | Bad_response of string
+      (** the server broke the line protocol (e.g. EOF mid-line) and
+          retries were exhausted or not permitted *)
+
+val error_to_string : error -> string
+
+val error_to_fault : error -> Xmldoc.Fault.t
+(** Map a client error onto the {!Xmldoc.Fault} taxonomy so the CLI
+    exits with the documented code: [Deadline _] → exit 4,
+    [Io _]/[Bad_response _] → exit 5. *)
+
+val idempotent : string -> bool
+(** [idempotent line] — is the request's verb safe to retry after it
+    may have reached a server?  Case-insensitive; unknown verbs are
+    not. *)
+
+val request : t -> string -> (string, error) result
+(** One request line (without the newline) in, one response line out,
+    after at most [config.attempts] tries across the configured
+    sockets.  Never raises; never hangs past
+    [attempts * (connect_timeout + request_timeout + backoff)]. *)
+
+val close : t -> unit
+(** Drop the current connection (if any).  The client remains usable —
+    the next {!request} reconnects. *)

@@ -93,7 +93,7 @@ let now () = Unix.gettimeofday ()
    reached before a limit tripped), 1-5 the [Fault.exit_code] taxonomy.
    Anything else — and any signal — is a crash the supervisor may
    retry. *)
-let degraded_exit = 10
+let degraded_exit = Xmldoc.Fault.degraded_exit_code
 
 (* Returns the exit code; the caller [_exit]s with it (never [exit]:
    at_exit handlers inherited from the parent must not run). *)
@@ -155,7 +155,11 @@ let spawn t job ~attempt =
 (* ------------------------------------------------------------------ *)
 
 let remove_checkpoint t name =
-  try Sys.remove (checkpoint_path t name) with Sys_error _ -> ()
+  let path = checkpoint_path t name in
+  try
+    Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Open ~path;
+    Sys.remove path
+  with Sys_error _ | Unix.Unix_error _ -> ()
 
 let backoff_delay config attempt =
   Float.min config.backoff_cap (config.backoff_base *. (2. ** float_of_int attempt))
@@ -246,6 +250,27 @@ let submit t ~name ~xml ~budget =
     spawn t job ~attempt:0;
     Ok job
   end
+
+(* Server drain: running workers are SIGKILLed and reaped so the dying
+   process leaves no orphans — but unlike {!cancel}, their checkpoint
+   journals are KEPT.  A drain is a restart in progress: a resubmitted
+   build on the next server generation resumes from the journal
+   instead of starting over. *)
+let drain t =
+  let killed = ref 0 in
+  List.iter
+    (fun job ->
+      match job.state with
+      | Running { pid; _ } ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+        incr killed;
+        job.state <- Cancelled;
+        log_event t "event=job-drain name=%s pid=%d" job.name pid
+      | Backoff _ -> job.state <- Cancelled
+      | Done _ | Failed _ | Cancelled -> ())
+    (list t);
+  !killed
 
 let cancel t name =
   poll t;

@@ -96,3 +96,10 @@ val cancel : t -> string -> job option
     only atomic writes, so nothing graceful is lost), discard its
     checkpoint, and mark it [Cancelled].  [None] if the name is
     unknown; a finished job is returned unchanged. *)
+
+val drain : t -> int
+(** Server shutdown: SIGKILL and reap every running worker (returns how
+    many), cancel pending backoffs.  Unlike {!cancel} the checkpoint
+    journals are {e kept} — a drain is a restart in progress, and a
+    resubmitted build on the next server generation resumes from its
+    journal instead of starting over. *)

@@ -7,6 +7,7 @@ let no_opts = { deadline = None; max_nodes = None }
 
 type request =
   | Ping
+  | Health
   | List
   | Reload of { force : bool }
   | Stat of string
@@ -95,6 +96,7 @@ let parse line =
   | verb :: rest -> (
     match (String.uppercase_ascii verb, rest) with
     | "PING", [] -> Ok Ping
+    | "HEALTH", [] -> Ok Health
     | "LIST", [] -> Ok List
     | "QUIT", [] -> Ok Quit
     | "RELOAD", [] -> Ok (Reload { force = false })
@@ -107,13 +109,13 @@ let parse line =
     | "JOBS", [] -> Ok Jobs
     | "CANCEL", [ name ] -> Ok (Cancel name)
     | "CANCEL", _ -> Error "CANCEL takes exactly one job name"
-    | ("PING" | "LIST" | "QUIT" | "RELOAD" | "JOBS"), _ ->
+    | ("PING" | "HEALTH" | "LIST" | "QUIT" | "RELOAD" | "JOBS"), _ ->
       Error (Printf.sprintf "%s takes no operands" (String.uppercase_ascii verb))
     | v, _ ->
       Error
         (Printf.sprintf
-           "unknown verb %S (want PING, LIST, RELOAD, STAT, QUERY, ANSWER, BUILD, \
-            JOBS, CANCEL or QUIT)" v))
+           "unknown verb %S (want PING, HEALTH, LIST, RELOAD, STAT, QUERY, \
+            ANSWER, BUILD, JOBS, CANCEL or QUIT)" v))
 
 (* Responses are single lines too; anything woven into one (fault
    messages above all) is flattened first. *)

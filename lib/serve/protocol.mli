@@ -6,6 +6,7 @@
     {2 Requests}
     {v
     PING
+    HEALTH
     LIST
     RELOAD [-force]
     STAT <name>
@@ -28,10 +29,18 @@
     finished snapshot appears in the catalog as [<name>.ts] via
     hot-reload; serving is never blocked by a build.
 
+    [HEALTH] separates liveness from readiness: any response at all
+    means the process is live; [ready=yes] additionally means the
+    catalog directory scans cleanly, the server is not draining, the
+    connection pool has headroom and the job supervisor responds — the
+    signal a rolling restart waits for before shifting traffic (see
+    {!Server.request_drain}).
+
     {2 Responses}
     {v
     pong
     bye
+    ok health live=yes ready=<yes|no> draining=<yes|no> catalog=<d> quarantined=<d> inflight=<d>/<d> jobs=<d> [reason=<s>]
     ok catalog n=<d> names=<a,b,...> quarantined=<d>
     ok reload loaded=<d> reloaded=<d> quarantined=<d> removed=<d>
     ok stat name=<s> classes=<d> edges=<d> bytes=<d> stable=<yes|no> quarantined=<no|yes reason=<class>>
@@ -62,6 +71,7 @@ val no_opts : opts
 
 type request =
   | Ping
+  | Health
   | List
   | Reload of { force : bool }
   | Stat of string

@@ -5,6 +5,7 @@ type config = {
   max_work : int;
   max_inflight : int;
   auto_reload : bool;
+  drain_deadline : float;
   jobs : Jobs.config;
 }
 
@@ -16,6 +17,7 @@ let default_config =
     max_work = 10_000_000;
     max_inflight = 8;
     auto_reload = true;
+    drain_deadline = 5.0;
     jobs = Jobs.default_config;
   }
 
@@ -25,6 +27,35 @@ type stats = {
   mutable degraded : int;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Admission = struct
+  type t = {
+    mutex : Mutex.t;
+    capacity : int;
+    mutable in_flight : int;
+  }
+
+  let create capacity = { mutex = Mutex.create (); capacity; in_flight = 0 }
+
+  let try_acquire a =
+    Mutex.protect a.mutex (fun () ->
+        if a.in_flight >= a.capacity then false
+        else begin
+          a.in_flight <- a.in_flight + 1;
+          true
+        end)
+
+  let release a =
+    Mutex.protect a.mutex (fun () -> a.in_flight <- max 0 (a.in_flight - 1))
+
+  let in_flight a = Mutex.protect a.mutex (fun () -> a.in_flight)
+
+  let capacity a = a.capacity
+end
+
 type t = {
   config : config;
   catalog : Catalog.t;
@@ -32,6 +63,14 @@ type t = {
   log : string -> unit;
   stats : stats;
   mutable req_id : int;
+  (* Lifecycle: [draining] is flipped by {!request_drain} (usually from
+     a SIGTERM/SIGINT handler) and only ever goes false -> true; the
+     accept loop, the channel loops and HEALTH all read it.  A plain
+     mutable bool is enough — flag stores are atomic in OCaml, and
+     every reader tolerates seeing the flip one iteration late. *)
+  mutable draining : bool;
+  mutable catalog_ok : bool;
+  mutable admission : Admission.t option;
 }
 
 let stats t = t.stats
@@ -40,9 +79,32 @@ let catalog t = t.catalog
 
 let jobs t = t.jobs
 
+let draining t = t.draining
+
 let log_event t fmt = Printf.ksprintf t.log fmt
 
+let request_drain t =
+  if not t.draining then begin
+    t.draining <- true;
+    log_event t "event=drain-requested"
+  end
+
+(* Signal-handler-safe: [request_drain] only stores a flag and calls
+   the log callback; the default stderr logger allocates, which OCaml
+   handlers permit (they run between bytecode/native safepoints, not
+   in async-signal context). *)
+let install_drain_signals t =
+  let handle = Sys.Signal_handle (fun _ -> request_drain t) in
+  (try Sys.set_signal Sys.sigterm handle
+   with Invalid_argument _ | Sys_error _ -> ());
+  try Sys.set_signal Sys.sigint handle
+  with Invalid_argument _ | Sys_error _ -> ()
+
 let log_catalog_events t events =
+  (* Readiness tracking: any scan error marks the catalog unhealthy
+     until a later refresh scans cleanly. *)
+  t.catalog_ok <-
+    not (List.exists (function Catalog.Scan_error _ -> true | _ -> false) events);
   List.iter
     (fun event ->
       match event with
@@ -68,6 +130,9 @@ let create ?(log = prerr_endline) ?(config = default_config) dir =
       log;
       stats = { served = 0; errors = 0; degraded = 0 };
       req_id = 0;
+      draining = false;
+      catalog_ok = true;
+      admission = None;
     }
   in
   log_catalog_events t (Catalog.refresh t.catalog);
@@ -107,6 +172,38 @@ let handle_request t (req : Protocol.request) =
   match req with
   | Ping -> ("pong", false)
   | Quit -> ("bye", true)
+  | Health ->
+    (* Liveness vs readiness: answering at all is liveness; [ready=yes]
+       additionally promises this server can take NEW traffic — not
+       draining, catalog directory scanning cleanly, job supervisor
+       responsive, connection pool not saturated.  A rolling restart
+       SIGTERMs one server and waits for the next one's [ready=yes]
+       before shifting traffic to it. *)
+    let inflight, capacity =
+      match t.admission with
+      | Some a -> (Admission.in_flight a, Admission.capacity a)
+      | None -> (0, t.config.max_inflight)
+    in
+    let jobs_ok = match Jobs.poll t.jobs with () -> true | exception _ -> false in
+    let overloaded = inflight >= capacity in
+    let reason =
+      if t.draining then Some "draining"
+      else if not t.catalog_ok then Some "catalog-scan-failed"
+      else if not jobs_ok then Some "jobs-unresponsive"
+      else if overloaded then Some "overloaded"
+      else None
+    in
+    ( Printf.sprintf
+        "ok health live=yes ready=%s draining=%s catalog=%d quarantined=%d \
+         inflight=%d/%d jobs=%d%s"
+        (yes_no (reason = None))
+        (yes_no t.draining)
+        (Catalog.size t.catalog)
+        (List.length (Catalog.quarantined t.catalog))
+        inflight capacity
+        (Jobs.running_count t.jobs)
+        (match reason with None -> "" | Some r -> " reason=" ^ r),
+      false )
   | List ->
     let names = Catalog.names t.catalog in
     ( Printf.sprintf "ok catalog n=%d names=%s quarantined=%d"
@@ -239,9 +336,11 @@ let handle_line t line =
     t.stats.errors <- t.stats.errors + 1;
     (Protocol.error_line ~cls:"bad-request" reason, false)
   | Ok req -> (
+    (* HEALTH must stay cheap and answerable even when the catalog
+       directory is wedged, so it never triggers a rescan. *)
     if
       t.config.auto_reload
-      && (match req with Ping | Quit | Reload _ -> false | _ -> true)
+      && (match req with Ping | Health | Quit | Reload _ -> false | _ -> true)
     then log_catalog_events t (Catalog.refresh t.catalog);
     match handle_request t req with
     | response -> response
@@ -253,49 +352,22 @@ let handle_line t line =
 
 let serve_channels t ic oc =
   let rec loop () =
-    match input_line ic with
-    | exception End_of_file -> ()
-    | exception Sys_error _ -> ()
-    | line ->
-      let response, quit = handle_line t line in
-      (match
-         output_string oc response;
-         output_char oc '\n';
-         flush oc
-       with
-      | () -> if not quit then loop ()
-      | exception Sys_error _ -> ())
+    if t.draining then ()
+    else
+      match input_line ic with
+      | exception End_of_file -> ()
+      | exception Sys_error _ -> ()
+      | line ->
+        let response, quit = handle_line t line in
+        (match
+           output_string oc response;
+           output_char oc '\n';
+           flush oc
+         with
+        | () -> if not quit then loop ()
+        | exception Sys_error _ -> ())
   in
   loop ()
-
-(* ------------------------------------------------------------------ *)
-(* Admission control                                                   *)
-(* ------------------------------------------------------------------ *)
-
-module Admission = struct
-  type t = {
-    mutex : Mutex.t;
-    capacity : int;
-    mutable in_flight : int;
-  }
-
-  let create capacity = { mutex = Mutex.create (); capacity; in_flight = 0 }
-
-  let try_acquire a =
-    Mutex.protect a.mutex (fun () ->
-        if a.in_flight >= a.capacity then false
-        else begin
-          a.in_flight <- a.in_flight + 1;
-          true
-        end)
-
-  let release a =
-    Mutex.protect a.mutex (fun () -> a.in_flight <- max 0 (a.in_flight - 1))
-
-  let in_flight a = Mutex.protect a.mutex (fun () -> a.in_flight)
-
-  let capacity a = a.capacity
-end
 
 (* ------------------------------------------------------------------ *)
 (* Unix-socket front end                                               *)
@@ -316,6 +388,7 @@ let serve_socket ?(backlog = 64) t ~path =
   Unix.bind sock (Unix.ADDR_UNIX path);
   Unix.listen sock backlog;
   let admission = Admission.create t.config.max_inflight in
+  t.admission <- Some admission;
   (* Label interning, the catalog tables and the stats record are
      shared mutable state: request processing is serialized under one
      lock; the threads buy overlap of connection I/O, and admission
@@ -323,65 +396,140 @@ let serve_socket ?(backlog = 64) t ~path =
      them queue without bound. *)
   let process_lock = Mutex.create () in
   let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> () in
+  (* Registry of live connection fds: drain shuts their receive sides
+     down so threads blocked in [input_line] see EOF and exit, while
+     responses still in flight go out on the untouched send sides. *)
+  let conn_lock = Mutex.create () in
+  let conns : (Unix.file_descr, unit) Hashtbl.t = Hashtbl.create 16 in
+  let register fd = Mutex.protect conn_lock (fun () -> Hashtbl.replace conns fd ()) in
+  let unregister fd = Mutex.protect conn_lock (fun () -> Hashtbl.remove conns fd) in
+  let live_conns () =
+    Mutex.protect conn_lock (fun () ->
+        Hashtbl.fold (fun fd () acc -> fd :: acc) conns [])
+  in
   let connection fd =
     Fun.protect
       ~finally:(fun () ->
         Admission.release admission;
+        unregister fd;
         close_quietly fd)
       (fun () ->
         let ic = Unix.in_channel_of_descr fd in
         let oc = Unix.out_channel_of_descr fd in
         let rec loop () =
-          match input_line ic with
+          match
+            Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Read ~path;
+            input_line ic
+          with
           | exception End_of_file -> ()
           | exception Sys_error _ -> ()
+          | exception Unix.Unix_error _ -> () (* injected I/O fault: drop the connection *)
           | line ->
             let response, quit =
               Mutex.protect process_lock (fun () -> handle_line t line)
             in
             (match
+               Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Write ~path;
                output_string oc response;
                output_char oc '\n';
                flush oc
              with
-            | () -> if not quit then loop ()
-            | exception Sys_error _ -> ())
+            (* a received line is always answered, drain or not; only
+               AFTER responding does a draining connection close *)
+            | () -> if not quit && not t.draining then loop ()
+            | exception Sys_error _ -> ()
+            | exception Unix.Unix_error _ -> ())
         in
         loop ())
   in
   log_event t "event=listening socket=%s max_inflight=%d" path
     t.config.max_inflight;
+  (* [select] with a short timeout rather than a bare blocking [accept]:
+     the loop must notice [draining] promptly even when no connection
+     ever arrives and no signal happens to land on this thread. *)
   let rec accept_loop () =
-    match Unix.accept sock with
-    | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) ->
-      (* the connection died before we got it, or a signal landed:
-         nothing to serve, keep listening *)
-      accept_loop ()
-    | exception Unix.Unix_error (((EMFILE | ENFILE | ENOMEM) as e), _, _) ->
-      (* fd/memory exhaustion — exactly the overload admission control
-         exists for.  Back off briefly so in-flight connections can
-         drain and release descriptors, then keep listening. *)
-      log_event t "event=accept-error errno=%s" (Unix.error_message e);
-      Thread.delay 0.05;
-      accept_loop ()
-    | fd, _ ->
-      if Admission.try_acquire admission then
-        ignore (Thread.create connection fd : Thread.t)
-      else begin
-        (* shed load immediately rather than tying up a worker *)
-        let oc = Unix.out_channel_of_descr fd in
-        (try
-           output_string oc
-             (Protocol.error_line ~cls:"overloaded"
-                (Printf.sprintf "%d connections already in flight"
-                   t.config.max_inflight)
-             ^ "\n");
-           flush oc
-         with Sys_error _ -> ());
-        close_quietly fd;
-        Mutex.protect process_lock (fun () ->
-            t.stats.errors <- t.stats.errors + 1)
-      end;
-      accept_loop ()
+    if t.draining then ()
+    else
+      match
+        Xmldoc.Io_fault.tap Xmldoc.Io_fault.Accept ~path;
+        Unix.select [ sock ] [] [] 0.2
+      with
+      | exception Unix.Unix_error (EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error (e, _, _) ->
+        (* injected faults and exotic errnos: log, breathe, keep
+           listening — the accept loop must outlive any single error *)
+        log_event t "event=accept-error errno=%s" (Unix.error_message e);
+        Thread.delay 0.05;
+        accept_loop ()
+      | [], _, _ -> accept_loop ()
+      | _ :: _, _, _ ->
+        (match Unix.accept sock with
+        | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) ->
+          (* the connection died before we got it, or a signal landed:
+             nothing to serve, keep listening *)
+          ()
+        | exception Unix.Unix_error (((EMFILE | ENFILE | ENOMEM) as e), _, _) ->
+          (* fd/memory exhaustion — exactly the overload admission
+             control exists for.  Back off briefly so in-flight
+             connections can drain and release descriptors. *)
+          log_event t "event=accept-error errno=%s" (Unix.error_message e);
+          Thread.delay 0.05
+        | exception Unix.Unix_error (e, _, _) ->
+          log_event t "event=accept-error errno=%s" (Unix.error_message e);
+          Thread.delay 0.05
+        | fd, _ ->
+          if Admission.try_acquire admission then begin
+            register fd;
+            ignore (Thread.create connection fd : Thread.t)
+          end
+          else begin
+            (* shed load immediately rather than tying up a worker *)
+            let oc = Unix.out_channel_of_descr fd in
+            (try
+               output_string oc
+                 (Protocol.error_line ~cls:"overloaded"
+                    (Printf.sprintf "%d connections already in flight"
+                       t.config.max_inflight)
+                 ^ "\n");
+               flush oc
+             with Sys_error _ -> ());
+            close_quietly fd;
+            Mutex.protect process_lock (fun () ->
+                t.stats.errors <- t.stats.errors + 1)
+          end);
+        accept_loop ()
   in
-  accept_loop ()
+  accept_loop ();
+  (* ---------------- graceful drain ---------------- *)
+  (* 1. Stop accepting: close and unlink the listening socket so new
+     connects fail fast (clients fail over to the next server). *)
+  close_quietly sock;
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  log_event t "event=draining inflight=%d deadline=%.1fs"
+    (Admission.in_flight admission) t.config.drain_deadline;
+  (* 2. Let in-flight work finish: shut down the receive side of every
+     live connection — threads parked in [input_line] wake with EOF,
+     already-read requests still get their responses on the send side —
+     then wait for the pool to empty, bounded by the drain deadline. *)
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    (live_conns ());
+  let give_up = Unix.gettimeofday () +. t.config.drain_deadline in
+  while Admission.in_flight admission > 0 && Unix.gettimeofday () < give_up do
+    Thread.delay 0.02
+  done;
+  (* 3. Past the deadline, sever what remains rather than hang. *)
+  let stragglers = live_conns () in
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    stragglers;
+  if stragglers <> [] then Thread.delay 0.1;
+  (* 4. Reap build workers (checkpoints are kept: the next server
+     generation resumes them) and flush final stats. *)
+  let workers_killed = Jobs.drain t.jobs in
+  t.admission <- None;
+  log_event t
+    "event=drained served=%d errors=%d degraded=%d connections_severed=%d \
+     workers_killed=%d"
+    t.stats.served t.stats.errors t.stats.degraded (List.length stragglers)
+    workers_killed

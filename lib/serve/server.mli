@@ -31,12 +31,16 @@ type config = {
   max_inflight : int;  (** socket connections before shedding load *)
   auto_reload : bool;
       (** refresh the catalog before each catalog-touching request *)
+  drain_deadline : float;
+      (** seconds a drain waits for in-flight requests before severing
+          what remains (see {!request_drain}) *)
   jobs : Jobs.config;  (** background-build supervision knobs *)
 }
 
 val default_config : config
 (** 5 s deadline, 100_000 answer nodes, 10 M work ticks, 8 in-flight
-    connections, auto-reload on, {!Jobs.default_config} builds. *)
+    connections, auto-reload on, 5 s drain deadline,
+    {!Jobs.default_config} builds. *)
 
 type stats = {
   mutable served : int;  (** request lines handled (including errors) *)
@@ -65,8 +69,29 @@ val handle_line : t -> string -> string * bool
     Total — never raises. *)
 
 val serve_channels : t -> in_channel -> out_channel -> unit
-(** Serve requests line-by-line until EOF, QUIT or a broken channel.
-    This is the stdio front end, and what tests drive over a pipe. *)
+(** Serve requests line-by-line until EOF, QUIT, a broken channel or a
+    requested drain.  This is the stdio front end, and what tests drive
+    over a pipe. *)
+
+(** {2 Graceful shutdown}
+
+    A {e drain} is the orderly half of a rolling restart: stop taking
+    new work, finish (and answer) everything already accepted, reap
+    build workers — keeping their checkpoints so the next server
+    generation resumes them — flush final stats, and return so the
+    process can exit 0. *)
+
+val draining : t -> bool
+
+val request_drain : t -> unit
+(** Flip the server into draining mode.  Async-signal-safe (a single
+    flag store); the serving loops observe it within one poll tick.
+    Idempotent. *)
+
+val install_drain_signals : t -> unit
+(** Route SIGTERM and SIGINT to {!request_drain} so [kill <pid>] (or
+    Ctrl-C) triggers a graceful drain instead of killing the process
+    mid-request. *)
 
 (** Bounded-in-flight admission control, exposed for unit tests. *)
 module Admission : sig
@@ -88,4 +113,11 @@ val serve_socket : ?backlog:int -> t -> path:string -> unit
     connections beyond [max_inflight] are answered with a single
     [error overloaded ...] line and closed.  Request processing is
     serialized (label interning and the catalog are shared mutable
-    state); does not return. *)
+    state).
+
+    Returns only after a drain ({!request_drain} or an installed
+    signal): the listener is closed and unlinked, in-flight requests
+    get their responses (bounded by [config.drain_deadline]),
+    stragglers are severed, build workers are reaped
+    ({!Jobs.drain} — checkpoints kept), and a final [event=drained]
+    stats record is logged.  The caller then exits 0. *)

@@ -40,3 +40,21 @@ let exit_code = function
   | Limit_exceeded _ -> 3
   | Deadline _ -> 4
   | Io_error _ -> 5
+
+let degraded_exit_code = 10
+
+(* The one exit-code table: the CLI's manual page is rendered from it
+   and a regression test checks it against [exit_code]/[class_name], so
+   the documentation cannot drift from the codes again. *)
+let exit_code_table =
+  [
+    (0, "ok", "success");
+    ( degraded_exit_code,
+      "degraded",
+      "a budget or deadline tripped; the best-so-far result was emitted" );
+    (1, "parse", "XML parse error");
+    (2, "corrupt", "corrupt synopsis");
+    (3, "limit", "resource limit exceeded");
+    (4, "deadline", "deadline expired");
+    (5, "io", "I/O error");
+  ]

@@ -43,3 +43,15 @@ val exit_code : t -> int
 (** Distinct process exit code per taxonomy case, used by the CLI:
     parse error 1, corrupt synopsis 2, limit exceeded 3, deadline 4,
     I/O error 5. *)
+
+val degraded_exit_code : int
+(** [10]: the work completed but degraded — a build emitted its
+    best-so-far over-budget synopsis, distinct from both success (0)
+    and the hard fault codes (1-5). *)
+
+val exit_code_table : (int * string * string) list
+(** Every process exit code of the [treesketch] CLI as
+    [(code, class, description)]: [0 ok], [10 degraded], then the
+    {!exit_code} taxonomy keyed by {!class_name}.  The CLI manual
+    renders this table verbatim; tests assert it matches
+    {!exit_code}. *)

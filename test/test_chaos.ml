@@ -1,0 +1,571 @@
+(* Chaos harness: client vs server under deterministic I/O fault
+   injection.
+
+   Five layers, from unit to acceptance:
+   - the {!Xmldoc.Io_fault} shim itself (seeded determinism, short
+     reads through the real load path never yielding partial synopses);
+   - a 10k-line protocol fuzz (random/oversized/NUL-bearing requests,
+     in-process and over a real socket) — no crash, no fd leak, no
+     unparseable reply;
+   - client deadline shorter than the server's injected latency — a
+     typed client-side [Deadline], no dangling sockets, no fd leak
+     across 1 000 requests;
+   - graceful drain as a unit (serve_socket returns, HEALTH flips);
+   - the end-to-end run: 500 seeded client requests against forked
+     server processes under fault injection, one SIGTERMed mid-run —
+     zero hangs, every request resolves, the drained server exits 0
+     with its in-flight response delivered, traffic fails over.
+
+   Everything is seeded; override with CHAOS_SEED=<n>. *)
+
+module F = Xmldoc.Io_fault
+module Server = Serve.Server
+module Client = Serve.Client
+module Catalog = Serve.Catalog
+module Serialize = Sketch.Serialize
+module Stable = Sketch.Stable
+
+let seed =
+  match Sys.getenv_opt "CHAOS_SEED" with
+  | None -> 0xC4A05
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> failwith (Printf.sprintf "CHAOS_SEED=%S is not an integer" s))
+
+let () =
+  Printf.eprintf "chaos seed = %d (override with CHAOS_SEED=<n>)\n%!" seed
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "tschaos" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun file -> try Sys.remove (Filename.concat dir file) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let synopsis =
+  lazy
+    (Stable.build
+       (Xmldoc.Parser.of_string
+          "<db><movie><actor/><actor/><title/></movie>\
+           <movie><actor/><title/></movie><short><title/></short></db>"))
+
+let canonical s = Serialize.to_string s
+
+let save path s =
+  match Serialize.save_atomic path s with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "save %s: %s" path (Xmldoc.Fault.to_string f)
+
+let quiet_server ?config dir = Server.create ~log:(fun _ -> ()) ?config dir
+
+let count_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+(* connection-thread teardown is asynchronous: give the fd table a
+   moment to settle before declaring a leak *)
+let check_fds what baseline =
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  let rec wait () =
+    if count_fds () <= baseline then ()
+    else if Unix.gettimeofday () < deadline then begin
+      Thread.delay 0.02;
+      wait ()
+    end
+    else
+      Alcotest.failf "%s: fd leak (%d fds, baseline %d)" what (count_fds ())
+        baseline
+  in
+  wait ()
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let error_classes =
+  [ "bad-request"; "not-found"; "overloaded"; "internal";
+    "parse"; "corrupt"; "limit"; "deadline"; "io"; "busy" ]
+
+(* every reply the server is allowed to utter: a single line, one of
+   the ok shapes or an error with a documented class *)
+let well_formed response =
+  (not (String.contains response '\n'))
+  && (response = "pong" || response = "bye"
+     || starts_with "ok " response
+     ||
+     match String.split_on_char ' ' response with
+     | "error" :: cls :: _ -> List.mem cls error_classes
+     | _ -> false)
+
+let check_well_formed what response =
+  if not (well_formed response) then
+    Alcotest.failf "%s: malformed reply %S" what response
+
+(* ------------------------------------------------------------------ *)
+(* The shim: determinism and short reads                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_shim_determinism () =
+  let run () =
+    F.arm ~seed
+      [ F.rule ~prob:0.3 F.Read F.Eio; F.rule ~prob:0.2 F.Write F.Eintr ];
+    Alcotest.(check (option int)) "seed readable" (Some seed) (F.seed ());
+    let pat = Buffer.create 300 in
+    for i = 0 to 299 do
+      let site = if i mod 2 = 0 then F.Read else F.Write in
+      match F.tap site ~path:"x" with
+      | () -> Buffer.add_char pat '.'
+      | exception Unix.Unix_error (Unix.EIO, _, _) -> Buffer.add_char pat 'E'
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> Buffer.add_char pat 'I'
+      | exception Unix.Unix_error (e, _, _) ->
+        Alcotest.failf "unexpected injected errno %s" (Unix.error_message e)
+    done;
+    let injected = F.injected () in
+    F.disarm ();
+    (Buffer.contents pat, injected)
+  in
+  let p1, n1 = run () in
+  let p2, n2 = run () in
+  Alcotest.(check string) "same seed, same fault sequence" p1 p2;
+  Alcotest.(check int) "same injection count" n1 n2;
+  Alcotest.(check bool) "faults actually fired" true (n1 > 0);
+  Alcotest.(check bool) "and not on every tap" true
+    (String.exists (fun c -> c = '.') p1);
+  (* disarmed = transparent *)
+  Alcotest.(check bool) "disarmed" false (F.armed ());
+  F.tap F.Read ~path:"x";
+  Alcotest.(check int) "no counting while disarmed" 0 (F.injected ())
+
+(* a snapshot read short at any sampled offset either loads complete or
+   is rejected as corrupt — the injected tear goes through the real
+   file I/O path, not a doctored file *)
+let test_short_reads_never_partial () =
+  with_temp_dir (fun dir ->
+      let s = Lazy.force synopsis in
+      let full = canonical s in
+      let path = Filename.concat dir "a.ts" in
+      save path s;
+      let len = (Unix.stat path).Unix.st_size in
+      Fun.protect ~finally:F.disarm (fun () ->
+          let cut = ref 0 in
+          while !cut < len do
+            F.arm ~seed [ F.rule ~prob:1.0 ~path:"a.ts" F.Read (F.Short_at !cut) ];
+            (match Serialize.load_res path with
+            | Ok loaded ->
+              Alcotest.(check string)
+                (Printf.sprintf "cut at %d loaded complete" !cut)
+                full (canonical loaded)
+            | Error (Xmldoc.Fault.Corrupt_synopsis _) -> ()
+            | Error f ->
+              Alcotest.failf "cut at %d: unexpected fault %s" !cut
+                (Xmldoc.Fault.to_string f));
+            cut := !cut + 11
+          done);
+      match Serialize.load_res path with
+      | Ok loaded -> Alcotest.(check string) "intact after disarm" full (canonical loaded)
+      | Error f -> Alcotest.failf "intact load failed: %s" (Xmldoc.Fault.to_string f))
+
+(* ------------------------------------------------------------------ *)
+(* Protocol fuzz                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* bytes 1-255 except newline (a newline would split the request);
+   NULs and control characters very much included *)
+let random_garbage rng max_len =
+  String.init (Random.State.int rng max_len) (fun _ ->
+      let c = Char.chr (Random.State.int rng 256) in
+      if c = '\n' then 'x' else c)
+
+let fuzz_line rng =
+  let verbs =
+    [| "PING"; "HEALTH"; "LIST"; "RELOAD"; "STAT"; "QUERY"; "ANSWER";
+       "BUILD"; "JOBS"; "CANCEL" |]
+  in
+  match Random.State.int rng 6 with
+  | 0 -> random_garbage rng 80
+  | 1 -> verbs.(Random.State.int rng (Array.length verbs)) ^ " " ^ random_garbage rng 60
+  | 2 ->
+    (* oversized: kilobytes of one token *)
+    String.make (4096 + Random.State.int rng 8192) 'A'
+  | 3 ->
+    Printf.sprintf "QUERY -deadline=%s db //movie"
+      (random_garbage rng 12)
+  | 4 -> "STAT " ^ random_garbage rng 40
+  | _ ->
+    Printf.sprintf "%s %s %s"
+      verbs.(Random.State.int rng (Array.length verbs))
+      (random_garbage rng 20) (random_garbage rng 20)
+
+(* 10 000 hostile request lines through the total dispatcher: every
+   reply single-line and well-formed, zero exceptions, zero fd drift *)
+let test_fuzz_handle_line () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "db.ts") (Lazy.force synopsis);
+      let server = quiet_server dir in
+      let rng = Random.State.make [| seed + 1 |] in
+      let fd0 = count_fds () in
+      for i = 1 to 10_000 do
+        let line = fuzz_line rng in
+        match Server.handle_line server line with
+        | response, _quit ->
+          if not (well_formed response) then
+            Alcotest.failf "fuzz %d: %S answered %S" i (String.escaped line)
+              response
+        | exception e ->
+          Alcotest.failf "fuzz %d: %S raised %s" i (String.escaped line)
+            (Printexc.to_string e)
+      done;
+      check_fds "handle_line fuzz" fd0)
+
+let rec connect ?(attempts = 100) path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> fd
+  | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _) when attempts > 0 ->
+    Unix.close fd;
+    Thread.delay 0.02;
+    connect ~attempts:(attempts - 1) path
+
+(* the same hostility over a real socket — the full framing path both
+   directions: raw bytes in, exactly one well-formed line back per
+   request line *)
+let test_fuzz_socket () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "db.ts") (Lazy.force synopsis);
+      let sock = Filename.concat dir "fuzz.sock" in
+      let server = quiet_server dir in
+      let fd0 = count_fds () in
+      let th =
+        Thread.create (fun () -> Server.serve_socket server ~path:sock) ()
+      in
+      let rng = Random.State.make [| seed + 2 |] in
+      let fd = connect sock in
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      for i = 1 to 300 do
+        let line = fuzz_line rng in
+        output_string oc line;
+        output_char oc '\n';
+        flush oc;
+        match input_line ic with
+        | response -> check_well_formed (Printf.sprintf "socket fuzz %d" i) response
+        | exception End_of_file ->
+          Alcotest.failf "socket fuzz %d: server hung up on %S" i
+            (String.escaped line)
+      done;
+      Unix.close fd;
+      Server.request_drain server;
+      Thread.join th;
+      Alcotest.(check bool) "listener unlinked" false (Sys.file_exists sock);
+      check_fds "socket fuzz" fd0)
+
+(* ------------------------------------------------------------------ *)
+(* Client deadline vs server latency; fd hygiene                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_client_deadline_beats_server () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "db.ts") (Lazy.force synopsis);
+      let sock = Filename.concat dir "slow.sock" in
+      let server = quiet_server dir in
+      let th =
+        Thread.create (fun () -> Server.serve_socket server ~path:sock) ()
+      in
+      ignore (connect sock |> fun fd -> Unix.close fd);
+      let fd0 = count_fds () in
+      (* the server's request deadline is 5 s; the client gives up after
+         5 ms.  Latency is injected server-side only: a Delay rule
+         filtered to the server's reads on this socket path. *)
+      Fun.protect ~finally:F.disarm (fun () ->
+          F.arm ~seed [ F.rule ~prob:1.0 ~path:"slow.sock" F.Read (F.Delay 0.05) ];
+          let client =
+            Client.create
+              ~config:
+                {
+                  Client.default_config with
+                  request_timeout = 0.005;
+                  attempts = 1;
+                  jitter_seed = seed;
+                }
+              [ sock ]
+          in
+          for i = 1 to 20 do
+            (match Client.request client "PING" with
+            | Error (Client.Deadline _) -> ()
+            | Error e ->
+              Alcotest.failf "request %d: wrong error %s" i
+                (Client.error_to_string e)
+            | Ok r -> Alcotest.failf "request %d: unexpectedly answered %S" i r);
+            (* a timed-out request abandons its connection — let the
+               delayed server thread notice and release the slot *)
+            Thread.delay 0.06
+          done;
+          Client.close client);
+      check_fds "deadline phase" fd0;
+      (* fault gone: 1 000 requests over one persistent connection, fd
+         table flat from the first request to the last *)
+      let client =
+        Client.create
+          ~config:{ Client.default_config with jitter_seed = seed }
+          [ sock ]
+      in
+      (match Client.request client "PING" with
+      | Ok "pong" -> ()
+      | Ok r -> Alcotest.failf "expected pong, got %S" r
+      | Error e -> Alcotest.failf "warmup failed: %s" (Client.error_to_string e));
+      let fd1 = count_fds () in
+      for i = 2 to 1_000 do
+        match Client.request client "PING" with
+        | Ok "pong" -> ()
+        | Ok r -> Alcotest.failf "request %d: expected pong, got %S" i r
+        | Error e ->
+          Alcotest.failf "request %d failed: %s" i (Client.error_to_string e)
+      done;
+      Alcotest.(check int) "no fd growth across 1k requests" fd1 (count_fds ());
+      Client.close client;
+      Server.request_drain server;
+      Thread.join th;
+      check_fds "after drain" fd0)
+
+(* the client maps its errors onto the fault taxonomy the CLI exits
+   through: deadline -> 4, transport -> 5 *)
+let test_client_error_exit_codes () =
+  Alcotest.(check int) "deadline is exit 4" 4
+    (Xmldoc.Fault.exit_code (Client.error_to_fault (Client.Deadline "x")));
+  Alcotest.(check int) "io is exit 5" 5
+    (Xmldoc.Fault.exit_code (Client.error_to_fault (Client.Io "x")));
+  Alcotest.(check int) "bad response is exit 5" 5
+    (Xmldoc.Fault.exit_code (Client.error_to_fault (Client.Bad_response "x")));
+  Alcotest.(check bool) "PING idempotent" true (Client.idempotent "PING");
+  Alcotest.(check bool) "query idempotent" true
+    (Client.idempotent "query db //a");
+  Alcotest.(check bool) "BUILD not idempotent" false
+    (Client.idempotent "BUILD db doc.xml 4KB");
+  Alcotest.(check bool) "CANCEL not idempotent" false
+    (Client.idempotent "CANCEL db");
+  Alcotest.(check bool) "QUIT not idempotent" false (Client.idempotent "QUIT")
+
+(* ------------------------------------------------------------------ *)
+(* Drain as a unit                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_drain_unit () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "db.ts") (Lazy.force synopsis);
+      let sock = Filename.concat dir "drain.sock" in
+      let config = { Server.default_config with drain_deadline = 1.0 } in
+      let server = quiet_server ~config dir in
+      let th =
+        Thread.create (fun () -> Server.serve_socket server ~path:sock) ()
+      in
+      let client =
+        Client.create
+          ~config:{ Client.default_config with jitter_seed = seed }
+          [ sock ]
+      in
+      (match Client.request client "HEALTH" with
+      | Ok h ->
+        check_well_formed "health" h;
+        Alcotest.(check bool) "ready before drain" true
+          (starts_with "ok health live=yes ready=yes" h)
+      | Error e -> Alcotest.failf "health failed: %s" (Client.error_to_string e));
+      Server.request_drain server;
+      (* serve_socket returns: the drain is the loop's exit path *)
+      Thread.join th;
+      Alcotest.(check bool) "draining flag" true (Server.draining server);
+      Alcotest.(check bool) "socket unlinked" false (Sys.file_exists sock);
+      (* the dead listener now refuses connects fast — the client
+         surfaces a typed transport error, not a hang *)
+      (match
+         Client.request
+           (Client.create
+              ~config:
+                { Client.default_config with attempts = 2; jitter_seed = seed }
+              [ sock ])
+           "PING"
+       with
+      | Error (Client.Io _) -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Client.error_to_string e)
+      | Ok r -> Alcotest.failf "drained server answered %S" r);
+      Client.close client)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end acceptance: forked servers, faults, SIGTERM, failover    *)
+(* ------------------------------------------------------------------ *)
+
+(* fault plan for a forked server: EINTR storms on reads (absorbed by
+   the retrying taps), rare EIO on snapshot loads (quarantine, typed io
+   errors), EINTR at accept (the loop's own retry), and a little
+   latency everywhere *)
+let server_faults =
+  [
+    F.rule ~prob:0.05 F.Read F.Eintr;
+    F.rule ~prob:0.01 ~path:".ts" F.Read F.Eio;
+    F.rule ~prob:0.1 F.Accept F.Eintr;
+    F.rule ~prob:0.1 F.Read (F.Delay 0.002);
+  ]
+
+let spawn_server ~faults ~dir ~sock =
+  match Unix.fork () with
+  | 0 ->
+    (* the child must never touch the parent's alcotest state or
+       buffered channels, and must leave through [_exit] *)
+    (try
+       if faults <> [] then F.arm ~seed faults;
+       let config = { Server.default_config with drain_deadline = 2.0 } in
+       let server = quiet_server ~config dir in
+       Server.install_drain_signals server;
+       Server.serve_socket server ~path:sock;
+       Unix._exit 0
+     with _ -> Unix._exit 99)
+  | pid -> pid
+
+let expect_clean_exit what pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> Alcotest.failf "%s exited %d, want 0" what n
+  | _, Unix.WSIGNALED s -> Alcotest.failf "%s killed by signal %d" what s
+  | _, Unix.WSTOPPED s -> Alcotest.failf "%s stopped by signal %d" what s
+
+let e2e_request rng =
+  match Random.State.int rng 12 with
+  | 0 -> "PING"
+  | 1 -> "HEALTH"
+  | 2 -> "LIST"
+  | 3 -> "STAT db"
+  | 4 -> "STAT ghost"
+  | 5 -> "QUERY db //movie[//actor]"
+  | 6 -> "ANSWER -max-nodes=3 db //movie"
+  | 7 -> "QUERY -deadline=-1 db //short"
+  | 8 -> "QUERY ghost //a"
+  | 9 -> "RELOAD -force"
+  | 10 -> random_garbage rng 40
+  | _ -> "QUERY db //short"
+
+let test_e2e_chaos () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "db.ts") (Lazy.force synopsis);
+      let sock_a = Filename.concat dir "a.sock" in
+      let sock_b = Filename.concat dir "b.sock" in
+      let pid_a = spawn_server ~faults:server_faults ~dir ~sock:sock_a in
+      (* wait for A to listen *)
+      ignore (connect sock_a |> fun fd -> Unix.close fd);
+      let client =
+        Client.create
+          ~config:
+            {
+              Client.default_config with
+              attempts = 4;
+              backoff_base = 0.02;
+              backoff_cap = 0.2;
+              jitter_seed = seed;
+            }
+          [ sock_a; sock_b ]
+      in
+      let rng = Random.State.make [| seed + 3 |] in
+      let oks = ref 0 and server_errors = ref 0 and client_errors = ref 0 in
+      let drive i =
+        let line = e2e_request rng in
+        match Client.request client line with
+        | Ok response ->
+          check_well_formed (Printf.sprintf "request %d (%S)" i (String.escaped line))
+            response;
+          if starts_with "error " response then incr server_errors else incr oks
+        | Error (Client.Bad_response msg) ->
+          Alcotest.failf "request %d: protocol broken: %s" i msg
+        | Error _ -> incr client_errors
+      in
+      for i = 1 to 250 do
+        drive i
+      done;
+      (* the replacement comes up; a rolling restart would now wait for
+         its readiness before retiring A *)
+      let pid_b = spawn_server ~faults:server_faults ~dir ~sock:sock_b in
+      ignore (connect sock_b |> fun fd -> Unix.close fd);
+      (match
+         Client.request
+           (Client.create
+              ~config:{ Client.default_config with jitter_seed = seed }
+              [ sock_b ])
+           "HEALTH"
+       with
+      | Ok h ->
+        Alcotest.(check bool) "B ready" true
+          (starts_with "ok health live=yes ready=yes" h)
+      | Error e -> Alcotest.failf "B health: %s" (Client.error_to_string e));
+      (* retire A mid-run with a request in flight on a raw connection:
+         the drain must still deliver that response before the EOF *)
+      let raw = connect sock_a in
+      let raw_ic = Unix.in_channel_of_descr raw in
+      let raw_oc = Unix.out_channel_of_descr raw in
+      output_string raw_oc "QUERY db //movie\n";
+      flush raw_oc;
+      Thread.delay 0.05;
+      Unix.kill pid_a Sys.sigterm;
+      (match input_line raw_ic with
+      | response -> check_well_formed "in-flight response during drain" response
+      | exception End_of_file ->
+        Alcotest.fail "drain dropped the in-flight response");
+      (match input_line raw_ic with
+      | line -> Alcotest.failf "unexpected extra line after drain: %S" line
+      | exception End_of_file -> () (* clean EOF after the response *));
+      Unix.close raw;
+      expect_clean_exit "server A" pid_a;
+      Alcotest.(check bool) "A's socket unlinked" false (Sys.file_exists sock_a);
+      (* the client rides over A's death: the remaining load fails over
+         to B without a single unresolved request *)
+      for i = 251 to 500 do
+        drive i
+      done;
+      Unix.kill pid_b Sys.sigterm;
+      expect_clean_exit "server B" pid_b;
+      Client.close client;
+      Alcotest.(check int) "every request resolved" 500
+        (!oks + !server_errors + !client_errors);
+      Alcotest.(check bool) "successes dominate" true (!oks > 250);
+      Alcotest.(check bool)
+        (Printf.sprintf "client-side failures stay rare (%d)" !client_errors)
+        true
+        (!client_errors <= 20);
+      Printf.eprintf
+        "e2e: 500 requests -> %d ok, %d server errors, %d client errors\n%!"
+        !oks !server_errors !client_errors)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "shim",
+        [
+          Alcotest.test_case "seeded determinism" `Quick test_shim_determinism;
+          Alcotest.test_case "short reads never partial" `Quick
+            test_short_reads_never_partial;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "10k lines through handle_line" `Quick
+            test_fuzz_handle_line;
+          Alcotest.test_case "raw bytes over the socket" `Quick test_fuzz_socket;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "client deadline beats server latency" `Quick
+            test_client_deadline_beats_server;
+          Alcotest.test_case "error taxonomy and idempotency" `Quick
+            test_client_error_exit_codes;
+        ] );
+      ( "drain",
+        [ Alcotest.test_case "serve_socket returns" `Quick test_drain_unit ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "500 requests, faults, SIGTERM, failover" `Quick
+            test_e2e_chaos;
+        ] );
+    ]

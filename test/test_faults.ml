@@ -401,9 +401,12 @@ let test_save_atomic_roundtrip () =
 
 (* A build checkpoint torn at ANY byte offset must either load (and
    resume) completely or be rejected as [Corrupt_synopsis] — a resume
-   never continues from a partial clustering. *)
+   never continues from a partial clustering.  The tear is an injected
+   short read ({!Xmldoc.Io_fault.Short_at}) of the intact journal: the
+   same truncation coverage, through the real I/O path. *)
 let test_checkpoint_truncation_every_offset () =
   with_temp_dir (fun dir ->
+      let module F = Xmldoc.Io_fault in
       let stable = Lazy.force store_synopsis in
       let budget = Synopsis.size_bytes stable / 2 in
       let ckpt = Filename.concat dir "build.ckpt" in
@@ -424,8 +427,12 @@ let test_checkpoint_truncation_every_offset () =
          build's size is then the best any resume can do *)
       let floor_bytes = Synopsis.size_bytes (Build.build stable ~budget) in
       let complete = ref 0 in
+      Fun.protect ~finally:F.disarm @@ fun () ->
       for cut = 0 to String.length full - 1 do
-        write_file torn (String.sub full 0 cut);
+        (* a successful resume rewrites its journal: restore the intact
+           copy, then tear every *read* of it at [cut] *)
+        write_file torn full;
+        F.arm [ F.rule ~prob:1.0 ~path:"torn.ckpt" F.Read (F.Short_at cut) ];
         (match Build.Checkpoint.load_res torn with
         | Error (Fault.Corrupt_synopsis _) -> ()
         | Ok loaded -> (
@@ -479,6 +486,50 @@ let test_build_degrades () =
     | Error msg -> Alcotest.failf "built synopsis invalid: %s" msg)
   | Error f -> Alcotest.failf "expected Ok, got %s" (Fault.to_string f)
 
+(* The documented exit-code table ([Fault.exit_code_table] — what the
+   CLI man page renders) must agree with what the code actually exits
+   with: one representative fault per class maps through [exit_code]
+   to the table's row for that class. *)
+let test_exit_code_table_consistent () =
+  let representatives =
+    [
+      Fault.Parse_error { line = 1; column = 1; message = "x" };
+      Fault.Corrupt_synopsis { line = 1; content = ""; message = "x" };
+      Fault.Limit_exceeded { what = "depth"; actual = 1; limit = 0 };
+      Fault.Deadline { stage = "parse"; elapsed = 1. };
+      Fault.Io_error { path = "p"; message = "x" };
+    ]
+  in
+  List.iter
+    (fun f ->
+      let cls = Fault.class_name f in
+      match
+        List.find_opt (fun (_, c, _) -> c = cls) Fault.exit_code_table
+      with
+      | Some (code, _, _) ->
+        Alcotest.(check int)
+          (Printf.sprintf "table code for %s" cls)
+          (Fault.exit_code f) code
+      | None -> Alcotest.failf "class %s missing from exit_code_table" cls)
+    representatives;
+  (match
+     List.find_opt (fun (code, _, _) -> code = 0) Fault.exit_code_table
+   with
+  | Some (_, "ok", _) -> ()
+  | _ -> Alcotest.fail "exit code 0 missing or misclassed");
+  (match
+     List.find_opt
+       (fun (code, _, _) -> code = Fault.degraded_exit_code)
+       Fault.exit_code_table
+   with
+  | Some (_, "degraded", _) -> ()
+  | _ -> Alcotest.fail "degraded exit code missing from the table");
+  (* every documented code is distinct — no two rows can collide *)
+  let codes = List.map (fun (code, _, _) -> code) Fault.exit_code_table in
+  Alcotest.(check int) "codes distinct"
+    (List.length codes)
+    (List.length (List.sort_uniq compare codes))
+
 let test_build_rejects_invalid () =
   let bad =
     {
@@ -530,5 +581,10 @@ let () =
           Alcotest.test_case "build degrades" `Quick test_build_degrades;
           Alcotest.test_case "build rejects invalid input" `Quick
             test_build_rejects_invalid;
+        ] );
+      ( "exit codes",
+        [
+          Alcotest.test_case "documented table matches the code" `Quick
+            test_exit_code_table_consistent;
         ] );
     ]

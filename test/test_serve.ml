@@ -137,11 +137,15 @@ let test_catalog_quarantine_retry_gated_by_fingerprint () =
       | events -> Alcotest.failf "repair not picked up (%d events)" (List.length events));
       Alcotest.(check bool) "quarantine cleared" true (Catalog.fault_for c "a" = None))
 
-(* catalog-level crash-safety: a snapshot torn at any sampled offset
-   either leaves the previous version serving (quarantine) or — if the
-   tear kept the file complete — reloads it identically; never partial *)
+(* catalog-level crash-safety: a snapshot read torn at any sampled
+   offset either leaves the previous version serving (quarantine) or —
+   if the tear kept the text complete — reloads it identically; never
+   partial.  The tear comes from the {!Xmldoc.Io_fault} shim (an
+   injected short read of the intact on-disk file), not from rewriting
+   the file — the same substrate the chaos suite uses. *)
 let test_catalog_torn_writes_never_partial () =
   with_temp_dir (fun dir ->
+      let module F = Xmldoc.Io_fault in
       let s = Lazy.force synopsis_a in
       let full = canonical s in
       let snap = Serialize.to_snapshot_string s in
@@ -149,25 +153,69 @@ let test_catalog_torn_writes_never_partial () =
       save path s;
       let c = Catalog.create dir in
       ignore (Catalog.refresh c);
-      let cut = ref 0 in
-      while !cut < String.length snap do
-        write_file path (String.sub snap 0 !cut);
-        ignore (refresh_force c);
-        (match Catalog.find c "a" with
-        | Some e ->
-          Alcotest.(check string)
-            (Printf.sprintf "cut at %d serves a complete synopsis" !cut)
-            full (canonical e.synopsis)
-        | None -> Alcotest.failf "cut at %d: synopsis vanished" !cut);
-        cut := !cut + 7
-      done;
+      Fun.protect ~finally:F.disarm (fun () ->
+          let cut = ref 0 in
+          while !cut < String.length snap do
+            F.arm ~seed [ F.rule ~prob:1.0 ~path:"a.ts" F.Read (F.Short_at !cut) ];
+            ignore (refresh_force c);
+            F.disarm ();
+            (match Catalog.find c "a" with
+            | Some e ->
+              Alcotest.(check string)
+                (Printf.sprintf "cut at %d serves a complete synopsis" !cut)
+                full (canonical e.synopsis)
+            | None -> Alcotest.failf "cut at %d: synopsis vanished" !cut);
+            cut := !cut + 7
+          done);
+      (* with the shim disarmed the intact file loads cleanly again *)
+      ignore (refresh_force c);
+      Alcotest.(check int) "no quarantine after disarm" 0
+        (List.length (Catalog.quarantined c));
       (* a torn staging file must be invisible to the scan *)
       write_file (Filename.concat dir ".treesketch_torn.tmp")
         (String.sub snap 0 (String.length snap / 2));
-      write_file path snap;
       ignore (refresh_force c);
       Alcotest.(check (list string)) "staging file invisible" [ "a" ] (Catalog.names c);
       Alcotest.(check int) "no quarantine" 0 (List.length (Catalog.quarantined c)))
+
+(* satellite regression: a same-second, same-size rewrite must still be
+   observed by a plain refresh — the inode (atomic publishes rename a
+   fresh temp file into place, so the inode always moves) is folded
+   into the staleness fingerprint precisely for this window *)
+let test_catalog_same_second_same_size_rewrite () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "x.ts" in
+      (* two distinct synopses whose snapshots are byte-for-byte the
+         same length: same structure, different labels *)
+      let s1 = Stable.build (Xmldoc.Parser.of_string "<db><aa/></db>") in
+      let s2 = Stable.build (Xmldoc.Parser.of_string "<db><bb/></db>") in
+      let snap1 = Serialize.to_snapshot_string s1
+      and snap2 = Serialize.to_snapshot_string s2 in
+      Alcotest.(check int) "same size" (String.length snap1) (String.length snap2);
+      (* pin both publishes to the same whole-second timestamp
+         (utimes cannot express sub-second precision portably): the
+         fingerprint then matches in (mtime, size) and only the inode
+         differs — exactly the same-second same-size window *)
+      let t = Float.of_int (int_of_float (Unix.time ()) - 10) in
+      save path s1;
+      Unix.utimes path t t;
+      let c = Catalog.create dir in
+      ignore (Catalog.refresh c);
+      let st1 = Unix.stat path in
+      save path s2;
+      Unix.utimes path t t;
+      let st2 = Unix.stat path in
+      Alcotest.(check bool) "same mtime" true (st1.Unix.st_mtime = st2.Unix.st_mtime);
+      Alcotest.(check bool) "same size" true (st1.Unix.st_size = st2.Unix.st_size);
+      (match Catalog.refresh c with
+      | [ Catalog.Reloaded "x" ] -> ()
+      | events ->
+        Alcotest.failf "same-second same-size rewrite missed (%d events)"
+          (List.length events));
+      match Catalog.find c "x" with
+      | Some e -> Alcotest.(check string) "new content served" (canonical s2)
+                    (canonical e.synopsis)
+      | None -> Alcotest.fail "x not resident")
 
 let test_catalog_removal () =
   with_temp_dir (fun dir ->
@@ -194,6 +242,8 @@ let test_protocol_parse () =
   in
   ok "PING" Protocol.Ping;
   ok "ping" Protocol.Ping;
+  ok "HEALTH" Protocol.Health;
+  ok "health" Protocol.Health;
   ok "  LIST  " Protocol.List;
   ok "QUIT" Protocol.Quit;
   ok "RELOAD" (Protocol.Reload { force = false });
@@ -218,6 +268,7 @@ let test_protocol_parse () =
   fails "STAT";
   fails "STAT a b";
   fails "PING extra";
+  fails "HEALTH extra";
   fails "QUERY db";
   fails "QUERY -deadline=soon db //a";
   fails "QUERY -max-nodes=0 db //a";
@@ -347,6 +398,33 @@ let test_serve_end_to_end () =
         check_prefix "healthy again" "ok query degraded=no" query;
         Alcotest.(check string) "bye" "bye" bye
       | lines -> Alcotest.failf "session 3: %d responses" (List.length lines)))
+
+(* HEALTH separates liveness from readiness: a healthy server reports
+   ready=yes; once a drain is requested it keeps answering (live) but
+   flips ready=no draining=yes — the signal a rolling restart watches *)
+let test_health_readiness () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "db.ts") (Lazy.force synopsis_a);
+      let server = quiet_server dir in
+      (match session server [ "HEALTH" ] with
+      | [ health ] ->
+        check_prefix "healthy" "ok health live=yes ready=yes draining=no" health;
+        Alcotest.(check bool) "catalog counted" true (T.contains health "catalog=1")
+      | lines -> Alcotest.failf "%d responses" (List.length lines));
+      Alcotest.(check bool) "not draining" false (Server.draining server);
+      Server.request_drain server;
+      Alcotest.(check bool) "draining" true (Server.draining server);
+      (* still live — handle_line answers — but no longer ready *)
+      (match Server.handle_line server "HEALTH" with
+      | health, false ->
+        check_prefix "draining health"
+          "ok health live=yes ready=no draining=yes" health;
+        Alcotest.(check bool) "reason named" true (T.contains health "reason=draining")
+      | _, true -> Alcotest.fail "HEALTH quit");
+      (* serve_channels refuses new lines once draining *)
+      match session server [ "PING" ] with
+      | [] -> ()
+      | lines -> Alcotest.failf "draining loop served %d lines" (List.length lines))
 
 let test_serve_degradation_over_channel () =
   with_temp_dir (fun dir ->
@@ -749,6 +827,8 @@ let () =
             test_catalog_quarantine_retry_gated_by_fingerprint;
           Alcotest.test_case "torn writes never load partially" `Quick
             test_catalog_torn_writes_never_partial;
+          Alcotest.test_case "same-second same-size rewrite observed" `Quick
+            test_catalog_same_second_same_size_rewrite;
           Alcotest.test_case "removal" `Quick test_catalog_removal;
         ] );
       ( "protocol",
@@ -759,6 +839,8 @@ let () =
         [
           Alcotest.test_case "catalog, corruption, hot reload" `Quick
             test_serve_end_to_end;
+          Alcotest.test_case "health readiness and drain" `Quick
+            test_health_readiness;
           Alcotest.test_case "degradation over the wire" `Quick
             test_serve_degradation_over_channel;
         ] );

@@ -5,6 +5,10 @@
 #   tools/check.sh           # build + full test suite (incl. fault/chaos
 #                            # harnesses, which use fixed seeds)
 #   tools/check.sh --quick   # skip the slow chaos tests (ALCOTEST_QUICK_TESTS)
+#
+# The chaos stage (test_chaos: fault injection, protocol fuzz, the
+# client-vs-server drain run) is seeded; set CHAOS_SEED=<n> to replay a
+# failure with a specific seed.  The seed in use is printed.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -26,5 +30,11 @@ if [ -n "$QUICK" ]; then
 else
   dune runtest --force
 fi
+
+echo "== chaos stage (CHAOS_SEED=${CHAOS_SEED:-default}) =="
+# Runs the chaos harness on its own so its seed line and e2e tally are
+# visible in the CI log even though dune runtest already exercised it.
+# (No pipe here: a pipe would mask the exit status under set -e.)
+dune exec test/test_chaos.exe -- -c
 
 echo "== check.sh: OK =="
