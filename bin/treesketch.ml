@@ -312,8 +312,37 @@ let serve_cmd =
             "On SIGTERM/SIGINT, seconds to wait for in-flight requests \
              to finish before severing them and exiting.")
   in
+  let workers =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Evaluate QUERY/ANSWER in $(docv) prefork worker processes: \
+             a crashing or runaway query costs one request ($(b,error \
+             worker-crash), exit code 6 at the client) instead of the \
+             server.  0 (the default) evaluates in-process.")
+  in
+  let watchdog_grace =
+    Arg.(
+      value
+      & opt float Serve.Pool.default_config.watchdog_grace
+      & info [ "watchdog-grace" ] ~docv:"SECONDS"
+          ~doc:
+            "With $(b,--workers): how far past its cooperative deadline \
+             a query worker may run before being killed outright.")
+  in
+  let poison_threshold =
+    Arg.(
+      value
+      & opt int Serve.Pool.default_config.poison_threshold
+      & info [ "poison-threshold" ] ~docv:"K"
+          ~doc:
+            "With $(b,--workers): after killing $(docv) workers, a \
+             (synopsis, query) pair is quarantined and answered \
+             $(b,error poisoned) without evaluation.")
+  in
   let run catalog socket deadline max_answer_nodes max_inflight no_auto_reload
-      drain_deadline =
+      drain_deadline workers watchdog_grace poison_threshold =
     let config =
       {
         Serve.Server.default_config with
@@ -322,6 +351,13 @@ let serve_cmd =
         max_inflight;
         auto_reload = not no_auto_reload;
         drain_deadline;
+        pool =
+          {
+            Serve.Pool.default_config with
+            workers = max 0 workers;
+            watchdog_grace;
+            poison_threshold = max 1 poison_threshold;
+          };
       }
     in
     let server = Serve.Server.create ~config catalog in
@@ -343,7 +379,8 @@ let serve_cmd =
           build workers reaped, and the process exits 0.")
     Term.(
       const run $ catalog $ socket $ deadline $ max_answer_nodes $ max_inflight
-      $ no_auto_reload $ drain_deadline)
+      $ no_auto_reload $ drain_deadline $ workers $ watchdog_grace
+      $ poison_threshold)
 
 (* ------------------------------- client ------------------------------- *)
 
@@ -394,10 +431,30 @@ let client_cmd =
       & opt int Serve.Client.default_config.jitter_seed
       & info [ "seed" ] ~docv:"N" ~doc:"Seed for retry-backoff jitter.")
   in
+  let breaker_threshold =
+    Arg.(
+      value
+      & opt int Serve.Client.default_config.breaker_threshold
+      & info [ "breaker-threshold" ] ~docv:"M"
+          ~doc:
+            "Consecutive worker-crash/deadline failures on one synopsis \
+             before its circuit breaker opens and requests for it fail \
+             fast locally.  0 disables the breaker.")
+  in
+  let breaker_cooldown =
+    Arg.(
+      value
+      & opt float Serve.Client.default_config.breaker_cooldown
+      & info [ "breaker-cooldown" ] ~docv:"SECONDS"
+          ~doc:
+            "How long an open breaker fails fast before letting one \
+             half-open probe through.")
+  in
   let words =
     Arg.(value & pos_all string [] & info [] ~docv:"REQUEST")
   in
-  let run sockets timeout connect_timeout attempts retry_unsafe seed words =
+  let run sockets timeout connect_timeout attempts retry_unsafe seed
+      breaker_threshold breaker_cooldown words =
     let config =
       {
         Serve.Client.default_config with
@@ -406,6 +463,8 @@ let client_cmd =
         attempts;
         retry_unsafe;
         jitter_seed = seed;
+        breaker_threshold;
+        breaker_cooldown;
       }
     in
     let client = Serve.Client.create ~config sockets in
@@ -447,7 +506,7 @@ let client_cmd =
           response; without, reads requests from stdin.")
     Term.(
       const run $ sockets $ timeout $ connect_timeout $ attempts
-      $ retry_unsafe $ seed $ words)
+      $ retry_unsafe $ seed $ breaker_threshold $ breaker_cooldown $ words)
 
 (* --------------------------------- esd -------------------------------- *)
 

@@ -28,32 +28,49 @@ type t = {
   limits : Xmldoc.Limits.t;
   entries : (string, entry) Hashtbl.t;
   quarantine : (string, quarantined) Hashtbl.t;
+  (* Every public operation takes this lock: the serving runtime reads
+     the catalog from many connection threads while auto-reload
+     refreshes it, and the pool-era server no longer serializes request
+     handling under one global lock.  A refresh holds the lock for the
+     duration of any snapshot loads it performs — readers of a name
+     being reloaded briefly queue, readers of a stable catalog do
+     not block behind query evaluation (which happens outside). *)
+  lock : Mutex.t;
 }
 
 let snapshot_extension = ".ts"
 
 let create ?(limits = Xmldoc.Limits.default) dir =
-  { dir; limits; entries = Hashtbl.create 16; quarantine = Hashtbl.create 4 }
+  {
+    dir;
+    limits;
+    entries = Hashtbl.create 16;
+    quarantine = Hashtbl.create 4;
+    lock = Mutex.create ();
+  }
 
 let dir t = t.dir
 
-let find t name = Hashtbl.find_opt t.entries name
+let find t name = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.entries name)
 
 let fault_for t name =
-  match Hashtbl.find_opt t.quarantine name with
-  | Some q -> Some q.fault
-  | None -> None
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.quarantine name with
+      | Some q -> Some q.fault
+      | None -> None)
 
 let names t =
-  List.sort String.compare
-    (Hashtbl.fold (fun name _ acc -> name :: acc) t.entries [])
+  Mutex.protect t.lock (fun () ->
+      List.sort String.compare
+        (Hashtbl.fold (fun name _ acc -> name :: acc) t.entries []))
 
 let quarantined t =
-  List.sort
-    (fun a b -> String.compare a.q_name b.q_name)
-    (Hashtbl.fold (fun _ q acc -> q :: acc) t.quarantine [])
+  Mutex.protect t.lock (fun () ->
+      List.sort
+        (fun a b -> String.compare a.q_name b.q_name)
+        (Hashtbl.fold (fun _ q acc -> q :: acc) t.quarantine []))
 
-let size t = Hashtbl.length t.entries
+let size t = Mutex.protect t.lock (fun () -> Hashtbl.length t.entries)
 
 (* A snapshot file is reconsidered when its (mtime, size, inode)
    fingerprint moves.  The inode closes the staleness window a plain
@@ -69,6 +86,7 @@ let changed entry st =
   || entry.ino <> st.Unix.st_ino
 
 let refresh ?(force = false) t =
+  Mutex.protect t.lock @@ fun () ->
   let events = ref [] in
   let note e = events := e :: !events in
   match

@@ -24,7 +24,11 @@
     write-temp-then-rename discipline, a crash at any byte of a
     snapshot write leaves the catalog serving the previous complete
     version; a torn in-place write is caught by the version-2 checksum
-    and quarantined. *)
+    and quarantined.
+
+    Every operation is thread-safe (one internal lock): connection
+    threads read concurrently with auto-reload refreshes, without the
+    server-wide serialization the pre-pool runtime relied on. *)
 
 type entry = {
   name : string;

@@ -16,6 +16,8 @@ type config = {
   backoff_cap : float;
   jitter_seed : int;
   retry_unsafe : bool;
+  breaker_threshold : int;
+  breaker_cooldown : float;
 }
 
 let default_config =
@@ -27,6 +29,8 @@ let default_config =
     backoff_cap = 1.0;
     jitter_seed = 0;
     retry_unsafe = false;
+    breaker_threshold = 5;
+    breaker_cooldown = 2.0;
   }
 
 type conn = {
@@ -36,29 +40,52 @@ type conn = {
          response if the server ever pipelines *)
 }
 
+(* Per-synopsis circuit breaker.  A synopsis whose queries keep killing
+   pool workers (or timing out client-side) is a hazard: every probe
+   costs the server a worker fork and this client a full request
+   timeout.  After [breaker_threshold] consecutive such failures the
+   breaker opens and requests for that synopsis fail fast locally;
+   after a jittered cooldown one half-open probe is let through — its
+   success closes the breaker, its failure re-opens it for another
+   cooldown. *)
+type breaker_state =
+  | Closed
+  | Open of { until : float }
+  | Half_open
+
+type breaker = {
+  mutable state : breaker_state;
+  mutable consecutive : int;  (* worker-crash / deadline failures in a row *)
+}
+
 type t = {
   config : config;
   endpoints : string array;
   mutable cursor : int;  (* endpoint the next connect tries first *)
   mutable conn : conn option;
   rng : Random.State.t;  (* jitter only — seeded, so tests replay *)
+  breakers : (string, breaker) Hashtbl.t;  (* synopsis name -> breaker *)
 }
 
 type error =
   | Deadline of string
   | Io of string
   | Bad_response of string
+  | Breaker_open of string
 
 let error_to_string = function
   | Deadline msg -> "deadline: " ^ msg
   | Io msg -> "io: " ^ msg
   | Bad_response msg -> "bad response: " ^ msg
+  | Breaker_open msg -> "breaker open: " ^ msg
 
 let error_to_fault = function
   | Deadline msg -> Xmldoc.Fault.Deadline { stage = msg; elapsed = 0.0 }
   | Io msg -> Xmldoc.Fault.Io_error { path = "<client>"; message = msg }
   | Bad_response msg ->
     Xmldoc.Fault.Io_error { path = "<client>"; message = "bad response: " ^ msg }
+  | Breaker_open msg ->
+    Xmldoc.Fault.Io_error { path = "<client>"; message = "breaker open: " ^ msg }
 
 let create ?(config = default_config) paths =
   if paths = [] then invalid_arg "Client.create: no server sockets";
@@ -74,6 +101,7 @@ let create ?(config = default_config) paths =
     cursor = 0;
     conn = None;
     rng = Random.State.make [| config.jitter_seed |];
+    breakers = Hashtbl.create 8;
   }
 
 (* Verbs whose effects are the same once or twice: safe to resend even
@@ -246,7 +274,92 @@ let backoff t attempt =
 let is_overloaded_response line =
   String.length line >= 16 && String.sub line 0 16 = "error overloaded"
 
-let request t line =
+(* ------------------------------------------------------------------ *)
+(* Per-synopsis circuit breaker                                        *)
+(* ------------------------------------------------------------------ *)
+
+let breaker_enabled t = t.config.breaker_threshold > 0
+
+let response_class line =
+  match String.split_on_char ' ' line with
+  | "error" :: cls :: _ -> Some cls
+  | _ -> None
+
+(* What counts against the breaker: the server reporting a worker
+   crash for this synopsis, or the request timing out client-side (a
+   wedged worker looks exactly like this from here).  Server-side
+   errors like [not-found] or [poisoned] are cheap, definitive answers
+   — no point failing fast on those — and transport errors are the
+   failover loop's business, not the breaker's. *)
+let breaker_failure = function
+  | Error (Deadline _) -> true
+  | Error (Io _ | Bad_response _ | Breaker_open _) -> false
+  | Ok line -> response_class line = Some "worker-crash"
+
+let breaker_state t name =
+  Option.map
+    (fun b ->
+      match b.state with
+      | Closed -> `Closed
+      | Open _ -> `Open
+      | Half_open -> `Half_open)
+    (Hashtbl.find_opt t.breakers name)
+
+(* Admit the request, or fail fast?  An elapsed cooldown admits exactly
+   one half-open probe (the client is single-threaded per [t], so "the
+   next request" is the probe). *)
+let breaker_gate t name =
+  match Hashtbl.find_opt t.breakers name with
+  | None -> Ok ()
+  | Some b -> (
+    match b.state with
+    | Closed | Half_open -> Ok ()
+    | Open { until } ->
+      let now = Unix.gettimeofday () in
+      if now >= until then begin
+        b.state <- Half_open;
+        Ok ()
+      end
+      else
+        Error
+          (Breaker_open
+             (Printf.sprintf
+                "synopsis %S: failing fast for another %.2fs after %d \
+                 consecutive worker-crash/deadline failures"
+                name (until -. now) b.consecutive)))
+
+let breaker_note t name result =
+  let b =
+    match Hashtbl.find_opt t.breakers name with
+    | Some b -> b
+    | None ->
+      let b = { state = Closed; consecutive = 0 } in
+      Hashtbl.add t.breakers name b;
+      b
+  in
+  if breaker_failure result then begin
+    b.consecutive <- b.consecutive + 1;
+    let trip () =
+      (* jittered cooldown in [1.0, 1.5) x the configured value, from
+         the seeded rng: synchronized clients don't re-probe a
+         recovering server in lockstep, and tests replay exactly *)
+      let jitter = 1.0 +. (Random.State.float t.rng 1.0 /. 2.0) in
+      b.state <-
+        Open { until = Unix.gettimeofday () +. (t.config.breaker_cooldown *. jitter) }
+    in
+    match b.state with
+    | Half_open -> trip () (* the probe failed: straight back to open *)
+    | Closed when b.consecutive >= t.config.breaker_threshold -> trip ()
+    | Closed | Open _ -> ()
+  end
+  else begin
+    (* any definitive response — including server-side errors — proves
+       the path works again *)
+    b.consecutive <- 0;
+    b.state <- Closed
+  end
+
+let request_unchecked t line =
   let retryable = t.config.retry_unsafe || idempotent line in
   let payload = Bytes.of_string (line ^ "\n") in
   let rec attempt k ~may_retry_midflight =
@@ -296,3 +409,14 @@ let request t line =
           else Ok response))
   in
   attempt 1 ~may_retry_midflight:retryable
+
+let request t line =
+  match if breaker_enabled t then Protocol.query_target line else None with
+  | None -> request_unchecked t line
+  | Some name -> (
+    match breaker_gate t name with
+    | Error e -> Error e
+    | Ok () ->
+      let result = request_unchecked t line in
+      breaker_note t name result;
+      result)

@@ -42,11 +42,18 @@ type config = {
   retry_unsafe : bool;
       (** retry non-idempotent verbs (BUILD/CANCEL) too; off by
           default because a retried BUILD can restart a build *)
+  breaker_threshold : int;
+      (** consecutive worker-crash/deadline failures on one synopsis
+          before its circuit breaker opens; [0] disables breakers *)
+  breaker_cooldown : float;
+      (** seconds an open breaker fails fast before admitting one
+          half-open probe (jittered up to 1.5x from [jitter_seed]) *)
 }
 
 val default_config : config
 (** 1 s connect, 5 s request, 4 attempts, 50 ms backoff doubling to a
-    1 s cap, seed 0, unsafe retries off. *)
+    1 s cap, seed 0, unsafe retries off, breaker opening after 5
+    failures for a 2 s cooldown. *)
 
 type t
 
@@ -64,13 +71,35 @@ type error =
   | Bad_response of string
       (** the server broke the line protocol (e.g. EOF mid-line) and
           retries were exhausted or not permitted *)
+  | Breaker_open of string
+      (** failed fast without contacting the server: this synopsis's
+          circuit breaker is open (see {!section-breaker}) *)
 
 val error_to_string : error -> string
 
 val error_to_fault : error -> Xmldoc.Fault.t
 (** Map a client error onto the {!Xmldoc.Fault} taxonomy so the CLI
     exits with the documented code: [Deadline _] → exit 4,
-    [Io _]/[Bad_response _] → exit 5. *)
+    [Io _]/[Bad_response _]/[Breaker_open _] → exit 5. *)
+
+(** {2:breaker Per-synopsis circuit breaker}
+
+    A synopsis whose queries keep crashing pool workers ([error
+    worker-crash ...] responses) or timing out client-side is expensive
+    to keep probing: each attempt costs the server a worker and this
+    client a full request timeout.  After [breaker_threshold]
+    consecutive such failures on one synopsis, its breaker {e opens}:
+    QUERY/ANSWER requests targeting it return [Error (Breaker_open _)]
+    immediately, without touching the network.  After a jittered
+    [breaker_cooldown] one {e half-open} probe is admitted — success
+    closes the breaker, failure re-opens it.  Any definitive response
+    (including server-side errors like [not-found]) resets the count;
+    transport failures are the failover loop's concern and never trip
+    a breaker.  Other verbs are never gated. *)
+
+val breaker_state : t -> string -> [ `Closed | `Open | `Half_open ] option
+(** The breaker for [name], if any failure or success has ever been
+    recorded for it — exposed for tests and diagnostics. *)
 
 val idempotent : string -> bool
 (** [idempotent line] — is the request's verb safe to retry after it

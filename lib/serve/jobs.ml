@@ -49,10 +49,16 @@ type t = {
   dir : string;
   jobs : (string, job) Hashtbl.t;
   log : string -> unit;
+  (* All public operations serialize on this lock: the pool-era server
+     polls the supervisor from every connection thread concurrently
+     (HEALTH and PING included), no longer under one process-wide
+     request lock.  Children never touch it — they are forked from
+     inside the critical section and run [worker_main] only. *)
+  lock : Mutex.t;
 }
 
 let create ?(config = default_config) ?(log = prerr_endline) dir =
-  { config; dir; jobs = Hashtbl.create 8; log }
+  { config; dir; jobs = Hashtbl.create 8; log; lock = Mutex.create () }
 
 let log_event t fmt = Printf.ksprintf t.log fmt
 
@@ -69,17 +75,21 @@ let state_token = function
   | Failed _ -> "failed"
   | Cancelled -> "cancelled"
 
-let find t name = Hashtbl.find_opt t.jobs name
-
-let list t =
+let list_u t =
   List.sort
     (fun a b -> String.compare a.name b.name)
     (Hashtbl.fold (fun _ j acc -> j :: acc) t.jobs [])
 
-let running_count t =
+let running_count_u t =
   Hashtbl.fold
     (fun _ j acc -> match j.state with Running _ -> acc + 1 | _ -> acc)
     t.jobs 0
+
+let find t name = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.jobs name)
+
+let list t = Mutex.protect t.lock (fun () -> list_u t)
+
+let running_count t = Mutex.protect t.lock (fun () -> running_count_u t)
 
 (* Wall clock, not [Limits.now]: backoff schedules real elapsed time,
    and the children burning CPU are other processes anyway. *)
@@ -137,8 +147,21 @@ let worker_main t job =
       (try Sys.remove (checkpoint_path t job.name) with Sys_error _ -> ());
       if degraded then degraded_exit else 0)
 
+(* Forking can itself fail — a full process table (EAGAIN) or no memory
+   for the child (ENOMEM) is exactly the overload a supervisor exists
+   to survive.  The failure is returned to the caller (which sheds or
+   backs off) instead of escaping as an exception that would tear down
+   the request loop.  The {!Xmldoc.Io_fault.Fork} tap lets tests inject
+   the failure deterministically. *)
 let spawn t job ~attempt =
-  match Unix.fork () with
+  match
+    Xmldoc.Io_fault.tap Xmldoc.Io_fault.Fork ~path:job.name;
+    Unix.fork ()
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    log_event t "event=job-fork-failed name=%s errno=%s" job.name
+      (Unix.error_message e);
+    Error e
   | 0 ->
     (* In the child only this thread survives; never touch the parent's
        locks or buffered channels, and leave through [Unix._exit] so no
@@ -148,7 +171,8 @@ let spawn t job ~attempt =
   | pid ->
     job.state <- Running { pid; attempt };
     log_event t "event=job-start name=%s pid=%d attempt=%d budget=%d xml=%s"
-      job.name pid attempt job.budget job.xml
+      job.name pid attempt job.budget job.xml;
+    Ok ()
 
 (* ------------------------------------------------------------------ *)
 (* Supervision                                                         *)
@@ -218,11 +242,19 @@ let reap t job =
     | exception Unix.Unix_error (e, _, _) ->
       crash t job ~attempt ~reason:(Unix.error_message e))
   | Backoff { attempt; not_before; _ } ->
-    if now () >= not_before && running_count t < t.config.max_jobs then
-      spawn t job ~attempt
+    if now () >= not_before && running_count_u t < t.config.max_jobs then (
+      match spawn t job ~attempt with
+      | Ok () -> ()
+      | Error e ->
+        (* fork failed under pressure: consume a restart attempt so a
+           persistently un-forkable job eventually settles as [Failed]
+           instead of backing off forever *)
+        crash t job ~attempt ~reason:("fork: " ^ Unix.error_message e))
   | Done _ | Failed _ | Cancelled -> ()
 
-let poll t = List.iter (fun job -> reap t job) (list t)
+let poll_u t = List.iter (fun job -> reap t job) (list_u t)
+
+let poll t = Mutex.protect t.lock (fun () -> poll_u t)
 
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
@@ -233,22 +265,28 @@ type submit_error =
   | Overloaded
 
 let submit t ~name ~xml ~budget =
-  poll t;
+  Mutex.protect t.lock @@ fun () ->
+  poll_u t;
   let stale_ok =
     match Hashtbl.find_opt t.jobs name with
     | Some { state = Running _ | Backoff _; _ } -> false
     | Some _ | None -> true
   in
   if not stale_ok then Error Busy
-  else if running_count t >= t.config.max_jobs then Error Overloaded
+  else if running_count_u t >= t.config.max_jobs then Error Overloaded
   else begin
     let job = { name; xml; budget; state = Cancelled (* placeholder *) } in
     Hashtbl.replace t.jobs name job;
     (* a fresh submission must not resume a previous generation's
        journal for a possibly different document *)
     remove_checkpoint t name;
-    spawn t job ~attempt:0;
-    Ok job
+    match spawn t job ~attempt:0 with
+    | Ok () -> Ok job
+    | Error _ ->
+      (* could not fork: shed the submission as overload — the client
+         retries later — and forget the job so a resubmit is fresh *)
+      Hashtbl.remove t.jobs name;
+      Error Overloaded
   end
 
 (* Server drain: running workers are SIGKILLed and reaped so the dying
@@ -257,6 +295,7 @@ let submit t ~name ~xml ~budget =
    build on the next server generation resumes from the journal
    instead of starting over. *)
 let drain t =
+  Mutex.protect t.lock @@ fun () ->
   let killed = ref 0 in
   List.iter
     (fun job ->
@@ -269,11 +308,12 @@ let drain t =
         log_event t "event=job-drain name=%s pid=%d" job.name pid
       | Backoff _ -> job.state <- Cancelled
       | Done _ | Failed _ | Cancelled -> ())
-    (list t);
+    (list_u t);
   !killed
 
 let cancel t name =
-  poll t;
+  Mutex.protect t.lock @@ fun () ->
+  poll_u t;
   match Hashtbl.find_opt t.jobs name with
   | None -> None
   | Some job ->

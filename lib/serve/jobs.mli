@@ -24,7 +24,17 @@
     proves it belongs to the same build (source fingerprint + budget);
     otherwise — corrupt, torn, or stale journal — it silently rebuilds
     from scratch: the checkpoint is an accelerator, never a
-    dependency. *)
+    dependency.
+
+    [Unix.fork] itself failing (EAGAIN/ENOMEM — process table or
+    memory exhausted) never crashes the supervisor: a {!submit} whose
+    fork fails is shed as [Overloaded] (the client backs off and
+    retries), and a restart whose fork fails consumes one attempt and
+    re-enters backoff.  The {!Xmldoc.Io_fault.Fork} site injects this
+    deterministically in tests.
+
+    All operations are thread-safe (one internal lock); the pool-era
+    server polls from every connection thread. *)
 
 type config = {
   limits : Xmldoc.Limits.t;  (** parse/build resource bounds for workers *)

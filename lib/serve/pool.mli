@@ -1,0 +1,115 @@
+(** Process-isolated query execution: a prefork worker pool.
+
+    The cooperative {!Xmldoc.Budget} degrades well-behaved queries, and
+    {!Query_exec.run_guarded} contains [Stack_overflow] and
+    [Out_of_memory] — but an evaluator bug that segfaults, a native
+    stack overflow the runtime cannot recover, or the kernel's OOM
+    killer still take the whole process down.  The pool turns that
+    worst case into the loss of {e one request}:
+
+    - [workers] children are forked at startup.  Each loads its own
+      read-only view of the catalog (same directory, own [Catalog.t])
+      and serves QUERY/ANSWER lines over a pipe pair, evaluating under
+      the full budget including the [max_heap_words] ceiling that is
+      only safe to enforce in a sacrificial process.
+    - The parent enforces a {e hard} wall-clock watchdog per request:
+      the cooperative deadline plus [watchdog_grace].  A worker that
+      blows it — stuck in a non-ticking loop, swapping, wedged — is
+      SIGKILLed and the request answered with a structured
+      [error worker-crash] line ({!Xmldoc.Fault.Worker_crash},
+      exit code 6).
+    - Dead workers are respawned under capped exponential backoff.
+      [Unix.fork] failing (EAGAIN/ENOMEM) never crashes the pool: the
+      slot waits out a backoff and the request is shed as
+      [error overloaded].  The {!Xmldoc.Io_fault.Fork} site injects
+      this in tests.
+    - {e Poison-pill quarantine}: a (synopsis × query fingerprint) pair
+      that kills or crashes workers [poison_threshold] times is
+      answered [error poisoned] immediately, without forking — repeat
+      offenders cannot grind the pool through its backoff budget.
+
+    The pool serves only the read path.  Everything else (catalog
+    management, builds, health) stays in the parent, so PING/HEALTH
+    latency is bounded even while every worker is wedged.
+
+    All operations are thread-safe; {!exec} is called concurrently from
+    connection threads and never raises. *)
+
+type config = {
+  workers : int;  (** pool size; [0] disables the pool entirely *)
+  limits : Xmldoc.Limits.t;  (** snapshot-load bounds for worker catalogs *)
+  deadline : float option;  (** default cooperative per-request deadline, seconds *)
+  max_answer_nodes : int;
+  max_work : int;
+  max_heap_words : int;  (** worker GC heap ceiling; [max_int] = uncapped *)
+  auto_reload : bool;  (** workers re-stat the catalog before each request *)
+  watchdog_grace : float;
+      (** seconds past the cooperative deadline before the parent
+          SIGKILLs the worker *)
+  watchdog_floor : float;
+      (** hard watchdog when a request has no deadline at all — the
+          pool never waits unboundedly *)
+  poison_threshold : int;
+      (** worker kills/crashes before a (synopsis, query) pair is
+          quarantined *)
+  backoff_base : float;  (** first respawn delay after a crash, seconds *)
+  backoff_cap : float;  (** respawn delay ceiling, seconds *)
+  chaos_marker : string option;
+      (** test hook: when [Some m], a query whose text contains
+          [m ^ ":exit"] makes the worker die ([Unix._exit]),
+          [m ^ ":hang"] makes it block past any watchdog, and
+          [m ^ ":stackoverflow"] provokes genuine unbounded recursion.
+          [None] (production) disables all of it. *)
+}
+
+val default_config : config
+(** Pool disabled ([workers = 0]); 4 workers when enabled via the CLI;
+    2 s grace, 30 s floor, quarantine after 3 kills, 0.05 s backoff
+    doubling to a 2 s cap; no chaos. *)
+
+type stats = {
+  total : int;  (** configured pool size *)
+  live : int;  (** workers currently forked and serving *)
+  busy : int;  (** workers evaluating a request right now *)
+  forks : int;  (** forks since the pool started (includes respawns) *)
+  kills : int;  (** workers lost mid-request (crash, watchdog, OOM) *)
+  poisoned : int;  (** requests answered from quarantine without forking *)
+  quarantined : int;  (** distinct quarantined (synopsis, query) pairs *)
+}
+
+type t
+
+val create : ?log:(string -> unit) -> config -> string -> t
+(** [create config dir] preforks [config.workers] children serving the
+    catalog directory [dir].  [log] receives one structured line per
+    lifecycle event (default [prerr_endline]).  Fork failures at
+    startup leave slots empty; they respawn lazily under backoff. *)
+
+val enabled : t -> bool
+(** [workers > 0]. *)
+
+val exec :
+  t ->
+  name:string ->
+  query_key:string ->
+  opts:Protocol.opts ->
+  line:string ->
+  string
+(** Execute the raw request [line] (a QUERY or ANSWER) on a pool
+    worker and return the response line.  [name] is the target synopsis
+    and [query_key] a canonical fingerprint of the query — together the
+    poison-quarantine key.  [opts] are the request's parsed options,
+    used to derive the hard watchdog.  Total: every failure mode
+    (worker crash, watchdog kill, no worker available, quarantine)
+    returns a structured [error ...] line. *)
+
+val stats : t -> stats
+
+val poisoned_pairs : t -> (string * string * int) list
+(** Quarantined [(synopsis, query_key, kills)] triples, sorted —
+    surfaced for HEALTH and tests. *)
+
+val shutdown : t -> int
+(** SIGKILL and reap every worker (workers are pure readers — nothing
+    graceful to lose); returns how many were killed.  The pool is
+    unusable afterwards: {!exec} answers [error overloaded]. *)

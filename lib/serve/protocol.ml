@@ -117,6 +117,17 @@ let parse line =
            "unknown verb %S (want PING, HEALTH, LIST, RELOAD, STAT, QUERY, \
             ANSWER, BUILD, JOBS, CANCEL or QUIT)" v))
 
+let query_target line =
+  match split_words line with
+  | verb :: rest
+    when (match String.uppercase_ascii verb with
+         | "QUERY" | "ANSWER" -> true
+         | _ -> false) -> (
+    match parse_opts no_opts rest with
+    | Ok (_, name :: _) -> Some name
+    | _ -> None)
+  | _ -> None
+
 (* Responses are single lines too; anything woven into one (fault
    messages above all) is flattened first. *)
 let one_line s =

@@ -59,8 +59,13 @@
     not): a degraded response still carries the partial answer and its
     selectivity estimate — graceful degradation, never an abort.
     Error classes are {!Xmldoc.Fault.class_name} tags ([parse],
-    [corrupt], [limit], [deadline], [io]) plus the protocol-level
-    [bad-request], [not-found], [overloaded] and [internal]. *)
+    [corrupt], [limit], [deadline], [io], [worker-crash]) plus the
+    protocol-level [bad-request], [not-found], [overloaded], [busy],
+    [internal] and [poisoned].  [worker-crash] means an isolated query
+    worker died (or contained a crash) evaluating this request — the
+    request is lost, the server is not; [poisoned] means the
+    (synopsis, query) pair has crashed workers so often it is
+    quarantined and answered without evaluation (see {!Pool}). *)
 
 type opts = {
   deadline : float option;  (** relative seconds *)
@@ -85,6 +90,12 @@ type request =
 val parse : string -> (request, string) result
 (** Total: every malformed request line is [Error reason] (rendered by
     the server as [error bad-request <reason>]). *)
+
+val query_target : string -> string option
+(** The synopsis name a QUERY/ANSWER request line targets, skipping
+    options — [None] for every other verb or a malformed line.  This is
+    what lets the client keep a per-synopsis circuit breaker without
+    fully parsing (or even being able to parse) the query. *)
 
 val one_line : string -> string
 (** Newlines flattened to spaces — applied to anything woven into a

@@ -1,0 +1,107 @@
+type caps = {
+  deadline : float option;
+  max_answer_nodes : int;
+  max_work : int;
+  max_heap_words : int;
+}
+
+(* Per-request budget: the request's own [-deadline]/[-max-nodes] can
+   tighten the caps, never widen them. *)
+let budget_for caps (opts : Protocol.opts) =
+  let relative =
+    match (caps.deadline, opts.deadline) with
+    | None, req -> req
+    | (Some _ as cfg), None -> cfg
+    | Some cfg, Some req -> Some (Float.min cfg req)
+  in
+  let deadline = Option.map (fun s -> Xmldoc.Limits.now () +. s) relative in
+  let max_nodes =
+    match opts.max_nodes with
+    | Some n -> min n caps.max_answer_nodes
+    | None -> caps.max_answer_nodes
+  in
+  let max_heap_words =
+    if caps.max_heap_words = max_int then None else Some caps.max_heap_words
+  in
+  Xmldoc.Budget.create ?deadline ~max_nodes ~max_work:caps.max_work
+    ?max_heap_words ()
+
+type kind =
+  | Query
+  | Answer
+
+type outcome = {
+  response : string;
+  degraded : bool;
+}
+
+let yes_no b = if b then "yes" else "no"
+
+let run ~budget kind synopsis q =
+  match kind with
+  | Query ->
+    let ans = Sketch.Eval.eval ~budget synopsis q in
+    let est = Sketch.Selectivity.of_answer q ans in
+    {
+      response =
+        Printf.sprintf "ok query degraded=%s est=%g classes=%d empty=%s"
+          (Protocol.degraded_token (Xmldoc.Budget.stopped budget))
+          est
+          (Sketch.Synopsis.num_nodes ans.synopsis)
+          (yes_no ans.empty);
+      degraded = ans.degraded;
+    }
+  | Answer ->
+    (* One budget spans evaluation and expansion: the request's caps
+       are end-to-end, whichever stage exhausts them. *)
+    let ans = Sketch.Eval.eval ~budget synopsis q in
+    if ans.empty then
+      {
+        response =
+          Printf.sprintf "ok answer degraded=%s empty=yes"
+            (Protocol.degraded_token (Xmldoc.Budget.stopped budget));
+        degraded = ans.degraded;
+      }
+    else begin
+      let p = Sketch.Expand.partial ~budget ans.synopsis in
+      {
+        response =
+          Printf.sprintf "ok answer degraded=%s truncated=%s nodes=%d tree=%s"
+            (Protocol.degraded_token (Xmldoc.Budget.stopped budget))
+            (yes_no p.truncated) p.nodes
+            (Protocol.one_line (Xmldoc.Printer.to_string p.tree));
+        degraded = Xmldoc.Budget.stopped budget <> None || p.truncated;
+      }
+    end
+
+(* The last line of defense on the read path.  [Stack_overflow] and
+   [Out_of_memory] are the two asynchronous-ish failures a hostile or
+   pathological query can provoke that the cooperative budget cannot
+   always intercept (a single allocation or recursion step overshoots
+   before the next tick).  In a pool worker this turns a would-be
+   worker death into a structured response; with the pool disabled it
+   keeps the connection loop alive.  On OOM a compaction runs first so
+   the error path itself has room to allocate the response. *)
+let guard f =
+  match f () with
+  | outcome -> outcome
+  | exception Stack_overflow ->
+    {
+      response =
+        Protocol.fault_line
+          (Xmldoc.Fault.Worker_crash
+             { reason = "stack overflow during evaluation (contained)" });
+      degraded = false;
+    }
+  | exception Out_of_memory ->
+    Gc.compact ();
+    {
+      response =
+        Protocol.fault_line
+          (Xmldoc.Fault.Worker_crash
+             { reason = "out of memory during evaluation (contained)" });
+      degraded = false;
+    }
+
+let run_guarded ~budget kind synopsis q =
+  guard (fun () -> run ~budget kind synopsis q)

@@ -1,0 +1,56 @@
+(** One QUERY/ANSWER evaluation, from parsed request to response line.
+
+    This is the single implementation behind both read paths: the
+    in-process evaluator the server uses with the worker pool disabled,
+    and the {!Pool} workers' request loop.  Keeping them one function
+    means the response grammar, the budget clamping and the
+    last-line-of-defense exception containment cannot drift apart.
+
+    {!run_guarded} is the defense-in-depth boundary: [Stack_overflow]
+    and [Out_of_memory] escaping the evaluator are caught and rendered
+    as a structured [error worker-crash ...] line instead of tearing
+    down the connection loop (in-process) or masking the real fault
+    behind a raw worker death (in a pool worker). *)
+
+type caps = {
+  deadline : float option;
+      (** server-side default per-request deadline, relative seconds *)
+  max_answer_nodes : int;
+  max_work : int;
+  max_heap_words : int;
+      (** GC heap ceiling for the evaluating process; [max_int] when
+          evaluation shares the server's heap (the cap is only
+          meaningful inside an isolated worker) *)
+}
+
+val budget_for : caps -> Protocol.opts -> Xmldoc.Budget.t
+(** Combine the server's caps with the request's own options: a request
+    may tighten the deadline and the node cap, never widen them. *)
+
+type kind =
+  | Query
+  | Answer
+
+type outcome = {
+  response : string;  (** the single response line *)
+  degraded : bool;
+      (** the budget stopped (or the expansion truncated): the response
+          carries a partial answer — counted in server stats *)
+}
+
+val run :
+  budget:Xmldoc.Budget.t -> kind -> Sketch.Synopsis.t -> Twig.Syntax.t -> outcome
+(** Evaluate and render.  May raise whatever the evaluator raises —
+    callers outside a sacrificial worker want {!run_guarded}. *)
+
+val guard : (unit -> outcome) -> outcome
+(** The containment combinator behind {!run_guarded}: [Stack_overflow]
+    and [Out_of_memory] escaping [f] become an [error worker-crash ...]
+    response ({!Xmldoc.Fault.Worker_crash}).  Other exceptions still
+    escape — the server's total dispatcher maps them to
+    [error internal].  Exposed so tests can drive the containment with
+    a synthetic crash. *)
+
+val run_guarded :
+  budget:Xmldoc.Budget.t -> kind -> Sketch.Synopsis.t -> Twig.Syntax.t -> outcome
+(** [guard] applied to {!run}. *)

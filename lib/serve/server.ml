@@ -7,6 +7,7 @@ type config = {
   auto_reload : bool;
   drain_deadline : float;
   jobs : Jobs.config;
+  pool : Pool.config;
 }
 
 let default_config =
@@ -19,6 +20,7 @@ let default_config =
     auto_reload = true;
     drain_deadline = 5.0;
     jobs = Jobs.default_config;
+    pool = Pool.default_config;
   }
 
 type stats = {
@@ -60,8 +62,18 @@ type t = {
   config : config;
   catalog : Catalog.t;
   jobs : Jobs.t;
+  pool : Pool.t;
   log : string -> unit;
   stats : stats;
+  (* The stats record and [req_id] are bumped from every connection
+     thread; nothing else shares this lock. *)
+  stats_lock : Mutex.t;
+  (* With the pool disabled, QUERY/ANSWER evaluate in-process and are
+     serialized under this lock — evaluation is the only work whose
+     thread-safety we don't vouch for per-subsystem.  Pool workers need
+     no lock at all (separate processes), and no other verb takes it:
+     PING/HEALTH/STAT never queue behind a slow query. *)
+  eval_lock : Mutex.t;
   mutable req_id : int;
   (* Lifecycle: [draining] is flipped by {!request_drain} (usually from
      a SIGTERM/SIGINT handler) and only ever goes false -> true; the
@@ -78,6 +90,10 @@ let stats t = t.stats
 let catalog t = t.catalog
 
 let jobs t = t.jobs
+
+let pool t = t.pool
+
+let bump f t = Mutex.protect t.stats_lock (fun () -> f t.stats)
 
 let draining t = t.draining
 
@@ -122,13 +138,29 @@ let log_catalog_events t events =
     events
 
 let create ?(log = prerr_endline) ?(config = default_config) dir =
+  (* The pool always follows the server's own caps; only the
+     pool-specific knobs (size, watchdog, quarantine, chaos) come from
+     [config.pool]. *)
+  let pool_config =
+    {
+      config.pool with
+      Pool.limits = config.limits;
+      deadline = config.deadline;
+      max_answer_nodes = config.max_answer_nodes;
+      max_work = config.max_work;
+      auto_reload = config.auto_reload;
+    }
+  in
   let t =
     {
       config;
       catalog = Catalog.create ~limits:config.limits dir;
       jobs = Jobs.create ~config:config.jobs ~log dir;
+      pool = Pool.create ~log pool_config dir;
       log;
       stats = { served = 0; errors = 0; degraded = 0 };
+      stats_lock = Mutex.create ();
+      eval_lock = Mutex.create ();
       req_id = 0;
       draining = false;
       catalog_ok = true;
@@ -138,22 +170,16 @@ let create ?(log = prerr_endline) ?(config = default_config) dir =
   log_catalog_events t (Catalog.refresh t.catalog);
   t
 
-(* Per-request budget: the request's own [-deadline]/[-max-nodes] can
-   tighten the server's caps, never widen them. *)
-let budget_for t (opts : Protocol.opts) =
-  let relative =
-    match (t.config.deadline, opts.deadline) with
-    | None, req -> req
-    | (Some _ as cfg), None -> cfg
-    | Some cfg, Some req -> Some (Float.min cfg req)
-  in
-  let deadline = Option.map (fun s -> Xmldoc.Limits.now () +. s) relative in
-  let max_nodes =
-    match opts.max_nodes with
-    | Some n -> min n t.config.max_answer_nodes
-    | None -> t.config.max_answer_nodes
-  in
-  Xmldoc.Budget.create ?deadline ~max_nodes ~max_work:t.config.max_work ()
+(* In-process evaluation caps ({!Query_exec.budget_for} merges in the
+   request's own options).  No heap ceiling here: a heap cap is only
+   meaningful in a sacrificial pool worker whose heap is its own. *)
+let caps t =
+  {
+    Query_exec.deadline = t.config.deadline;
+    max_answer_nodes = t.config.max_answer_nodes;
+    max_work = t.config.max_work;
+    max_heap_words = max_int;
+  }
 
 let resolve t name =
   match Catalog.find t.catalog name with
@@ -168,7 +194,50 @@ let resolve t name =
 
 let yes_no b = if b then "yes" else "no"
 
-let handle_request t (req : Protocol.request) =
+(* Did a pool worker's response carry a partial answer?  The parent
+   only sees the rendered line, so it recovers the fact from the
+   protocol fields it would have rendered itself. *)
+let response_degraded resp =
+  let contains needle =
+    let nl = String.length needle and hl = String.length resp in
+    let rec go i = i + nl <= hl && (String.sub resp i nl = needle || go (i + 1)) in
+    go 0
+  in
+  String.length resp >= 3
+  && String.sub resp 0 3 = "ok "
+  && ((not (contains " degraded=no")) || contains " truncated=yes")
+
+(* The read path.  [line] is the raw request line — with the pool
+   enabled it is forwarded verbatim to a worker (which re-parses it),
+   so the two paths cannot disagree about the request's meaning.  The
+   parent still resolves the name first: not-found and quarantine
+   answers come straight from the resident catalog without consuming a
+   worker. *)
+let exec_read t ~line kind (opts : Protocol.opts) name q =
+  match resolve t name with
+  | Error l -> l
+  | Ok entry ->
+    if Pool.enabled t.pool then begin
+      let response =
+        Pool.exec t.pool ~name
+          ~query_key:(Twig.Syntax.to_string q)
+          ~opts ~line
+      in
+      if response_degraded response then
+        bump (fun s -> s.degraded <- s.degraded + 1) t;
+      response
+    end
+    else begin
+      let budget = Query_exec.budget_for (caps t) opts in
+      let outcome =
+        Mutex.protect t.eval_lock (fun () ->
+            Query_exec.run_guarded ~budget kind entry.synopsis q)
+      in
+      if outcome.degraded then bump (fun s -> s.degraded <- s.degraded + 1) t;
+      outcome.response
+    end
+
+let handle_request t ~line (req : Protocol.request) =
   match req with
   | Ping -> ("pong", false)
   | Quit -> ("bye", true)
@@ -193,15 +262,24 @@ let handle_request t (req : Protocol.request) =
       else if overloaded then Some "overloaded"
       else None
     in
+    let pool_field =
+      if Pool.enabled t.pool then begin
+        let p = Pool.stats t.pool in
+        Printf.sprintf " pool=%d/%d busy=%d kills=%d quarantined_queries=%d"
+          p.Pool.live p.Pool.total p.Pool.busy p.Pool.kills p.Pool.quarantined
+      end
+      else ""
+    in
     ( Printf.sprintf
         "ok health live=yes ready=%s draining=%s catalog=%d quarantined=%d \
-         inflight=%d/%d jobs=%d%s"
+         inflight=%d/%d jobs=%d%s%s"
         (yes_no (reason = None))
         (yes_no t.draining)
         (Catalog.size t.catalog)
         (List.length (Catalog.quarantined t.catalog))
         inflight capacity
         (Jobs.running_count t.jobs)
+        pool_field
         (match reason with None -> "" | Some r -> " reason=" ^ r),
       false )
   | List ->
@@ -249,46 +327,9 @@ let handle_request t (req : Protocol.request) =
       ( Protocol.error_line ~cls:"not-found"
           (Printf.sprintf "no synopsis %S in the catalog" name),
         false ))
-  | Query (opts, name, q) -> (
-    match resolve t name with
-    | Error line -> (line, false)
-    | Ok entry ->
-      let budget = budget_for t opts in
-      let ans = Sketch.Eval.eval ~budget entry.synopsis q in
-      let est = Sketch.Selectivity.of_answer q ans in
-      if ans.degraded then t.stats.degraded <- t.stats.degraded + 1;
-      ( Printf.sprintf "ok query degraded=%s est=%g classes=%d empty=%s"
-          (Protocol.degraded_token (Xmldoc.Budget.stopped budget))
-          est
-          (Sketch.Synopsis.num_nodes ans.synopsis)
-          (yes_no ans.empty),
-        false ))
-  | Answer (opts, name, q) -> (
-    match resolve t name with
-    | Error line -> (line, false)
-    | Ok entry ->
-      (* One budget spans evaluation and expansion: the request's caps
-         are end-to-end, whichever stage exhausts them. *)
-      let budget = budget_for t opts in
-      let ans = Sketch.Eval.eval ~budget entry.synopsis q in
-      if ans.empty then begin
-        if ans.degraded then t.stats.degraded <- t.stats.degraded + 1;
-        ( Printf.sprintf "ok answer degraded=%s empty=yes"
-            (Protocol.degraded_token (Xmldoc.Budget.stopped budget)),
-          false )
-      end
-      else begin
-        let p = Sketch.Expand.partial ~budget ans.synopsis in
-        let degraded_or_truncated =
-          Xmldoc.Budget.stopped budget <> None || p.truncated
-        in
-        if degraded_or_truncated then t.stats.degraded <- t.stats.degraded + 1;
-        ( Printf.sprintf "ok answer degraded=%s truncated=%s nodes=%d tree=%s"
-            (Protocol.degraded_token (Xmldoc.Budget.stopped budget))
-            (yes_no p.truncated) p.nodes
-            (Protocol.one_line (Xmldoc.Printer.to_string p.tree)),
-          false )
-      end)
+  | Query (opts, name, q) -> (exec_read t ~line Query_exec.Query opts name q, false)
+  | Answer (opts, name, q) ->
+    (exec_read t ~line Query_exec.Answer opts name q, false)
   | Build { name; xml; budget } -> (
     match Jobs.submit t.jobs ~name ~xml ~budget with
     | Ok _ -> (Printf.sprintf "ok build name=%s state=running" name, false)
@@ -325,15 +366,19 @@ let handle_request t (req : Protocol.request) =
    server answers with a single structured line and keeps serving.
    Only the channel itself failing ends the loop. *)
 let handle_line t line =
-  t.req_id <- t.req_id + 1;
-  t.stats.served <- t.stats.served + 1;
+  let req_id =
+    Mutex.protect t.stats_lock (fun () ->
+        t.req_id <- t.req_id + 1;
+        t.stats.served <- t.stats.served + 1;
+        t.req_id)
+  in
   (* Advance the build supervisor on every request: reap finished
      workers ([WNOHANG] — never blocks a response) and restart any
      whose backoff has elapsed. *)
   (try Jobs.poll t.jobs with _ -> ());
   match Protocol.parse line with
   | Error reason ->
-    t.stats.errors <- t.stats.errors + 1;
+    bump (fun s -> s.errors <- s.errors + 1) t;
     (Protocol.error_line ~cls:"bad-request" reason, false)
   | Ok req -> (
     (* HEALTH must stay cheap and answerable even when the catalog
@@ -342,12 +387,12 @@ let handle_line t line =
       t.config.auto_reload
       && (match req with Ping | Health | Quit | Reload _ -> false | _ -> true)
     then log_catalog_events t (Catalog.refresh t.catalog);
-    match handle_request t req with
+    match handle_request t ~line req with
     | response -> response
     | exception e ->
-      t.stats.errors <- t.stats.errors + 1;
+      bump (fun s -> s.errors <- s.errors + 1) t;
       let msg = Printexc.to_string e in
-      log_event t "event=request-error id=%d class=internal msg=%S" t.req_id msg;
+      log_event t "event=request-error id=%d class=internal msg=%S" req_id msg;
       (Protocol.error_line ~cls:"internal" msg, false))
 
 let serve_channels t ic oc =
@@ -389,12 +434,13 @@ let serve_socket ?(backlog = 64) t ~path =
   Unix.listen sock backlog;
   let admission = Admission.create t.config.max_inflight in
   t.admission <- Some admission;
-  (* Label interning, the catalog tables and the stats record are
-     shared mutable state: request processing is serialized under one
-     lock; the threads buy overlap of connection I/O, and admission
-     control sheds connections beyond [max_inflight] instead of letting
-     them queue without bound. *)
-  let process_lock = Mutex.create () in
+  (* No server-wide request lock: every shared subsystem (label
+     interning, the catalog, the job supervisor, the stats record, the
+     pool) carries its own internal lock, and in-process evaluation —
+     the one slow operation — is serialized under [t.eval_lock] alone.
+     PING/HEALTH/STAT on one connection therefore never queue behind a
+     long QUERY on another; admission control still sheds connections
+     beyond [max_inflight] instead of letting them pile up. *)
   let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> () in
   (* Registry of live connection fds: drain shuts their receive sides
      down so threads blocked in [input_line] see EOF and exit, while
@@ -425,9 +471,7 @@ let serve_socket ?(backlog = 64) t ~path =
           | exception Sys_error _ -> ()
           | exception Unix.Unix_error _ -> () (* injected I/O fault: drop the connection *)
           | line ->
-            let response, quit =
-              Mutex.protect process_lock (fun () -> handle_line t line)
-            in
+            let response, quit = handle_line t line in
             (match
                Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Write ~path;
                output_string oc response;
@@ -494,8 +538,7 @@ let serve_socket ?(backlog = 64) t ~path =
                flush oc
              with Sys_error _ -> ());
             close_quietly fd;
-            Mutex.protect process_lock (fun () ->
-                t.stats.errors <- t.stats.errors + 1)
+            bump (fun s -> s.errors <- s.errors + 1) t
           end);
         accept_loop ()
   in
@@ -525,11 +568,13 @@ let serve_socket ?(backlog = 64) t ~path =
     stragglers;
   if stragglers <> [] then Thread.delay 0.1;
   (* 4. Reap build workers (checkpoints are kept: the next server
-     generation resumes them) and flush final stats. *)
+     generation resumes them) and the query pool (pure readers —
+     SIGKILL, nothing to keep), then flush final stats. *)
   let workers_killed = Jobs.drain t.jobs in
+  let pool_killed = Pool.shutdown t.pool in
   t.admission <- None;
   log_event t
     "event=drained served=%d errors=%d degraded=%d connections_severed=%d \
-     workers_killed=%d"
+     workers_killed=%d pool_killed=%d"
     t.stats.served t.stats.errors t.stats.degraded (List.length stragglers)
-    workers_killed
+    workers_killed pool_killed

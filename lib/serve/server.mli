@@ -20,7 +20,14 @@
     - {e Supervised background builds}: BUILD forks a checkpointed
       worker per job (see {!Jobs}); the supervisor is advanced
       non-blockingly on every request line, so serving latency is never
-      coupled to build progress. *)
+      coupled to build progress.
+    - {e Process isolation} (optional): with [pool.workers > 0],
+      QUERY/ANSWER evaluate in prefork worker processes (see {!Pool});
+      a crash — stack overflow, OOM kill, segfault — costs one request,
+      answered [error worker-crash], never the server.  With the pool
+      disabled, {!Query_exec.run_guarded} still contains
+      [Stack_overflow]/[Out_of_memory] in-process as defense in
+      depth. *)
 
 type config = {
   limits : Xmldoc.Limits.t;  (** bounds every snapshot load *)
@@ -35,6 +42,12 @@ type config = {
       (** seconds a drain waits for in-flight requests before severing
           what remains (see {!request_drain}) *)
   jobs : Jobs.config;  (** background-build supervision knobs *)
+  pool : Pool.config;
+      (** query worker pool ({!Pool}); only the pool-specific knobs are
+          read — its caps ([limits], [deadline], [max_answer_nodes],
+          [max_work], [auto_reload]) are overridden with the server's
+          own at {!create}, so the two read paths cannot diverge.
+          [pool.workers = 0] (the default) evaluates in-process. *)
 }
 
 val default_config : config
@@ -62,6 +75,10 @@ val catalog : t -> Catalog.t
 val jobs : t -> Jobs.t
 (** The background-build supervisor (exposed for tests: the chaos
     harness kills worker pids and corrupts checkpoints through it). *)
+
+val pool : t -> Pool.t
+(** The query worker pool (exposed for tests and HEALTH: kill counts,
+    quarantine contents, fork totals). *)
 
 val handle_line : t -> string -> string * bool
 (** [handle_line t line] is one supervised request: the response line
@@ -111,9 +128,11 @@ val serve_socket : ?backlog:int -> t -> path:string -> unit
 (** Accept loop on a Unix domain socket at [path] (an existing socket
     file is replaced).  Each connection is served by a thread;
     connections beyond [max_inflight] are answered with a single
-    [error overloaded ...] line and closed.  Request processing is
-    serialized (label interning and the catalog are shared mutable
-    state).
+    [error overloaded ...] line and closed.  There is no server-wide
+    request lock: every shared subsystem locks internally, and only
+    in-process evaluation (pool disabled) is serialized — read-only
+    verbs (PING, HEALTH, STAT, LIST, JOBS) never queue behind a slow
+    query.
 
     Returns only after a drain ({!request_drain} or an installed
     signal): the listener is closed and unlinked, in-flight requests

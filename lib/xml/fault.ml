@@ -4,6 +4,7 @@ type t =
   | Corrupt_synopsis of { line : int; content : string; message : string }
   | Deadline of { stage : string; elapsed : float }
   | Io_error of { path : string; message : string }
+  | Worker_crash of { reason : string }
 
 exception Fault of t
 
@@ -18,6 +19,8 @@ let to_string = function
   | Deadline { stage; elapsed } ->
     Printf.sprintf "deadline expired during %s after %.3fs" stage elapsed
   | Io_error { path; message } -> Printf.sprintf "cannot read %s: %s" path message
+  | Worker_crash { reason } ->
+    Printf.sprintf "query worker crashed: %s" reason
 
 let with_path path = function
   | Parse_error r -> Parse_error { r with message = path ^ ": " ^ r.message }
@@ -26,6 +29,7 @@ let with_path path = function
   | Limit_exceeded r -> Limit_exceeded { r with what = path ^ ": " ^ r.what }
   | Deadline r -> Deadline { r with stage = r.stage ^ " of " ^ path }
   | Io_error r -> Io_error { r with path }
+  | Worker_crash r -> Worker_crash { reason = path ^ ": " ^ r.reason }
 
 let class_name = function
   | Parse_error _ -> "parse"
@@ -33,6 +37,7 @@ let class_name = function
   | Limit_exceeded _ -> "limit"
   | Deadline _ -> "deadline"
   | Io_error _ -> "io"
+  | Worker_crash _ -> "worker-crash"
 
 let exit_code = function
   | Parse_error _ -> 1
@@ -40,6 +45,7 @@ let exit_code = function
   | Limit_exceeded _ -> 3
   | Deadline _ -> 4
   | Io_error _ -> 5
+  | Worker_crash _ -> 6
 
 let degraded_exit_code = 10
 
@@ -57,4 +63,8 @@ let exit_code_table =
     (3, "limit", "resource limit exceeded");
     (4, "deadline", "deadline expired");
     (5, "io", "I/O error");
+    ( 6,
+      "worker-crash",
+      "an isolated query worker died mid-evaluation (stack overflow, OOM, \
+       kill); only that request was lost" );
   ]

@@ -20,6 +20,11 @@ type t =
       (** the {!Limits.t} deadline expired during [stage] *)
   | Io_error of { path : string; message : string }
       (** the underlying file could not be read *)
+  | Worker_crash of { reason : string }
+      (** an isolated query worker died mid-evaluation (stack overflow,
+          OOM-kill, segfault-class bug) or the evaluation was contained
+          at the last line of defense; the request is lost but the
+          server — and every other request — survives *)
 
 exception Fault of t
 (** Raising carrier used by the legacy non-[result] entry points for
@@ -36,13 +41,13 @@ val with_path : string -> t -> t
 
 val class_name : t -> string
 (** Stable one-word taxonomy tag per case ([parse], [corrupt], [limit],
-    [deadline], [io]) — the error class of the serving protocol and of
-    structured log records. *)
+    [deadline], [io], [worker-crash]) — the error class of the serving
+    protocol and of structured log records. *)
 
 val exit_code : t -> int
 (** Distinct process exit code per taxonomy case, used by the CLI:
     parse error 1, corrupt synopsis 2, limit exceeded 3, deadline 4,
-    I/O error 5. *)
+    I/O error 5, worker crash 6. *)
 
 val degraded_exit_code : int
 (** [10]: the work completed but degraded — a build emitted its

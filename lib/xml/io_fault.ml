@@ -1,4 +1,4 @@
-type site = Read | Write | Open | Accept | Fsync | Rename
+type site = Read | Write | Open | Accept | Fsync | Rename | Fork
 
 let site_name = function
   | Read -> "read"
@@ -7,11 +7,13 @@ let site_name = function
   | Accept -> "accept"
   | Fsync -> "fsync"
   | Rename -> "rename"
+  | Fork -> "fork"
 
 type fault =
   | Eintr
   | Eio
   | Enospc
+  | Eagain
   | Short
   | Short_at of int
   | Delay of float
@@ -96,6 +98,7 @@ let draw plan site path ~want_cut ~len =
           | Eintr -> Some (Raise Unix.EINTR)
           | Eio -> Some (Raise Unix.EIO)
           | Enospc -> Some (Raise Unix.ENOSPC)
+          | Eagain -> Some (Raise Unix.EAGAIN)
           | Delay s -> Some (Sleep s)
           | Short ->
             if want_cut && len > 0 then Some (Cut (Random.State.int plan.rng len))

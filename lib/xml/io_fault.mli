@@ -24,6 +24,7 @@ type site =
   | Accept  (** accepting a socket connection *)
   | Fsync  (** flushing written data to disk *)
   | Rename  (** atomically publishing a temp file *)
+  | Fork  (** forking a worker process (build jobs, the query pool) *)
 
 val site_name : site -> string
 
@@ -32,6 +33,9 @@ type fault =
   | Eio  (** hard I/O error *)
   | Enospc  (** disk full; on {!cap}-using write sites the write is
                also cut short first *)
+  | Eagain  (** resource exhaustion — what [fork] raises when the
+               process table (or memory) is full; supervisors must
+               shed load and back off, not crash *)
   | Short  (** short read/write: {!cap} returns a random prefix
               length *)
   | Short_at of int  (** short read/write cut at a fixed byte offset —
@@ -69,9 +73,10 @@ val injected : unit -> int
 (** Total faults injected since {!arm} (0 when disarmed). *)
 
 val tap : site -> path:string -> unit
-(** The injection point: may raise [Unix.Unix_error] ([EINTR], [EIO]
-    or [ENOSPC] with the site name as the function field), sleep, or
-    return unit.  Thread-safe; never raises when disarmed. *)
+(** The injection point: may raise [Unix.Unix_error] ([EINTR], [EIO],
+    [ENOSPC] or [EAGAIN] with the site name as the function field),
+    sleep, or return unit.  Thread-safe; never raises when
+    disarmed. *)
 
 val tap_retrying : site -> path:string -> unit
 (** {!tap}, absorbing injected [EINTR] with a bounded retry loop — the

@@ -6,20 +6,30 @@ let names : string array ref = ref (Array.make 256 "")
 
 let next = ref 0
 
+(* The intern table is process-global mutable state and the serving
+   runtime parses queries and loads snapshots from several threads at
+   once, so interning is serialized.  [to_string] stays lock-free: an
+   id a thread can legitimately hold was fully published (cell written,
+   then the table entry added) before [of_string] returned it, and a
+   stale [!names] array still contains every id published before the
+   resize. *)
+let intern_lock = Mutex.create ()
+
 let of_string s =
-  match Hashtbl.find_opt table s with
-  | Some id -> id
-  | None ->
-    let id = !next in
-    incr next;
-    if id >= Array.length !names then begin
-      let bigger = Array.make (2 * Array.length !names) "" in
-      Array.blit !names 0 bigger 0 (Array.length !names);
-      names := bigger
-    end;
-    !names.(id) <- s;
-    Hashtbl.add table s id;
-    id
+  Mutex.protect intern_lock (fun () ->
+      match Hashtbl.find_opt table s with
+      | Some id -> id
+      | None ->
+        let id = !next in
+        incr next;
+        if id >= Array.length !names then begin
+          let bigger = Array.make (2 * Array.length !names) "" in
+          Array.blit !names 0 bigger 0 (Array.length !names);
+          names := bigger
+        end;
+        !names.(id) <- s;
+        Hashtbl.add table s id;
+        id)
 
 let to_string id = !names.(id)
 

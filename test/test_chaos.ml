@@ -92,7 +92,8 @@ let starts_with prefix s =
 
 let error_classes =
   [ "bad-request"; "not-found"; "overloaded"; "internal";
-    "parse"; "corrupt"; "limit"; "deadline"; "io"; "busy" ]
+    "parse"; "corrupt"; "limit"; "deadline"; "io"; "busy";
+    "worker-crash"; "poisoned" ]
 
 (* every reply the server is allowed to utter: a single line, one of
    the ok shapes or an error with a documented class *)

@@ -498,6 +498,7 @@ let test_exit_code_table_consistent () =
       Fault.Limit_exceeded { what = "depth"; actual = 1; limit = 0 };
       Fault.Deadline { stage = "parse"; elapsed = 1. };
       Fault.Io_error { path = "p"; message = "x" };
+      Fault.Worker_crash { reason = "x" };
     ]
   in
   List.iter

@@ -1,0 +1,532 @@
+(* Tests for process-isolated query execution: the prefork worker
+   pool (crash isolation, hard watchdog, respawn backoff), poison-pill
+   quarantine, in-process crash containment with the pool disabled,
+   fork-failure shedding under injected EAGAIN, the client's
+   per-synopsis circuit breaker, and a seeded end-to-end chaos run
+   mixing healthy, hostile and malformed requests.
+
+   Everything is seeded; override with CHAOS_SEED=<n>. *)
+
+module Server = Serve.Server
+module Pool = Serve.Pool
+module Client = Serve.Client
+module Jobs = Serve.Jobs
+module Query_exec = Serve.Query_exec
+module Serialize = Sketch.Serialize
+module Stable = Sketch.Stable
+module F = Xmldoc.Io_fault
+
+let seed =
+  match Sys.getenv_opt "CHAOS_SEED" with
+  | None -> 0xB0071
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> failwith (Printf.sprintf "CHAOS_SEED=%S is not an integer" s))
+
+let () =
+  Printf.eprintf "pool chaos seed = %d (override with CHAOS_SEED=<n>)\n%!" seed
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "tspool" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun file -> try Sys.remove (Filename.concat dir file) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let synopsis_db =
+  lazy
+    (Stable.build
+       (Xmldoc.Parser.of_string
+          "<db><movie><actor/><actor/><title/></movie>\
+           <movie><actor/><title/></movie><short><title/></short></db>"))
+
+let save path s =
+  match Serialize.save_atomic path s with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "save %s: %s" path (Xmldoc.Fault.to_string f)
+
+let setup dir = save (Filename.concat dir "db.ts") (Lazy.force synopsis_db)
+
+let marker = "CHAOS"
+
+let pool_config ~workers ~threshold =
+  {
+    Pool.default_config with
+    workers;
+    watchdog_grace = 0.4;
+    poison_threshold = threshold;
+    backoff_base = 0.02;
+    backoff_cap = 0.2;
+    chaos_marker = Some marker;
+  }
+
+let server_config ?(workers = 2) ?(threshold = 3) ?(deadline = 2.0) () =
+  {
+    Server.default_config with
+    deadline = Some deadline;
+    pool = pool_config ~workers ~threshold;
+  }
+
+(* Every server gets its pool shut down even when the test fails:
+   leaked workers would outlive the test runner. *)
+let with_server ?config dir f =
+  let server = Server.create ~log:(fun _ -> ()) ?config dir in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Pool.shutdown (Server.pool server) : int);
+      ignore (Jobs.drain (Server.jobs server) : int))
+    (fun () -> f server)
+
+let drive server line = fst (Server.handle_line server line)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let check_prefix what prefix response =
+  if not (starts_with prefix response) then
+    Alcotest.failf "%s: expected %S..., got %S" what prefix response
+
+(* The requests the chaos suite throws at the pool. *)
+let healthy = "QUERY db //movie[//actor]"
+let healthy_answer = "ANSWER db //short"
+let kill_q = "QUERY db //" ^ marker ^ ":exit"
+let hang_q d = Printf.sprintf "QUERY -deadline=%g db //%s:hang" d marker
+let so_q = "QUERY db //" ^ marker ^ ":stackoverflow"
+
+(* ------------------------------------------------------------------ *)
+(* Pool basics: same answers as in-process, health reporting           *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_answers_match_in_process () =
+  with_temp_dir (fun dir ->
+      setup dir;
+      with_server dir ~config:{ (server_config ()) with pool = Pool.default_config }
+        (fun inproc ->
+          with_server dir ~config:(server_config ~workers:2 ()) (fun pooled ->
+              Alcotest.(check bool) "pool enabled" true
+                (Pool.enabled (Server.pool pooled));
+              Alcotest.(check bool) "in-process has no pool" false
+                (Pool.enabled (Server.pool inproc));
+              List.iter
+                (fun req ->
+                  let a = drive inproc req and b = drive pooled req in
+                  check_prefix req "ok " a;
+                  Alcotest.(check string) ("same answer: " ^ req) a b)
+                [ healthy; healthy_answer; "QUERY -deadline=-1 db //movie" ];
+              (* not-found is answered by the parent without a worker *)
+              check_prefix "ghost" "error not-found" (drive pooled "QUERY ghost //a");
+              let h = drive pooled "HEALTH" in
+              if not (contains h " pool=2/2") then
+                Alcotest.failf "health without pool field: %S" h;
+              let st = Pool.stats (Server.pool pooled) in
+              Alcotest.(check int) "two workers forked" 2 st.Pool.forks;
+              Alcotest.(check int) "two live" 2 st.Pool.live)))
+
+(* ------------------------------------------------------------------ *)
+(* Crash isolation: a dying worker costs one request                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_worker_crash_is_contained () =
+  with_temp_dir (fun dir ->
+      setup dir;
+      (* threshold high: quarantine is a separate test *)
+      with_server dir ~config:(server_config ~workers:2 ~threshold:99 ())
+        (fun server ->
+          for round = 1 to 5 do
+            check_prefix
+              (Printf.sprintf "kill round %d" round)
+              "error worker-crash" (drive server kill_q);
+            check_prefix
+              (Printf.sprintf "healthy after kill %d" round)
+              "ok query" (drive server healthy)
+          done;
+          let st = Pool.stats (Server.pool server) in
+          Alcotest.(check int) "five workers killed" 5 st.Pool.kills;
+          (* 2 initial forks, 5 kills, and a live worker served the
+             last healthy query: at least 6 forks must have happened
+             (how many more depends on respawn-backoff timing) *)
+          Alcotest.(check bool) "respawned" true (st.Pool.forks >= 6)))
+
+let test_watchdog_kills_hung_worker () =
+  with_temp_dir (fun dir ->
+      setup dir;
+      with_server dir ~config:(server_config ~workers:1 ~threshold:99 ())
+        (fun server ->
+          let t0 = Unix.gettimeofday () in
+          let r = drive server (hang_q 0.3) in
+          let elapsed = Unix.gettimeofday () -. t0 in
+          check_prefix "hung worker" "error worker-crash" r;
+          if not (contains r "watchdog") then
+            Alcotest.failf "expected a watchdog kill, got %S" r;
+          (* cooperative deadline 0.3 + grace 0.4 + slack *)
+          Alcotest.(check bool)
+            (Printf.sprintf "bounded by the watchdog (%.2fs)" elapsed)
+            true (elapsed < 2.0);
+          Alcotest.(check int) "killed" 1 (Pool.stats (Server.pool server)).Pool.kills;
+          check_prefix "healthy after watchdog kill" "ok query"
+            (drive server healthy)))
+
+let test_contained_stack_overflow () =
+  with_temp_dir (fun dir ->
+      setup dir;
+      with_server dir ~config:(server_config ~workers:1 ~threshold:99 ())
+        (fun server ->
+          let r = drive server so_q in
+          check_prefix "stack overflow" "error worker-crash" r;
+          if not (contains r "contained") then
+            Alcotest.failf "expected a contained crash, got %S" r;
+          (* the worker caught it itself: no kill, no refork *)
+          let st = Pool.stats (Server.pool server) in
+          Alcotest.(check int) "no worker killed" 0 st.Pool.kills;
+          Alcotest.(check int) "no respawn" 1 st.Pool.forks;
+          check_prefix "same worker still serves" "ok query" (drive server healthy)))
+
+(* ------------------------------------------------------------------ *)
+(* Poison-pill quarantine                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_poison_quarantine () =
+  with_temp_dir (fun dir ->
+      setup dir;
+      with_server dir ~config:(server_config ~workers:2 ~threshold:2 ())
+        (fun server ->
+          let pool = Server.pool server in
+          check_prefix "kill 1" "error worker-crash" (drive server kill_q);
+          check_prefix "kill 2" "error worker-crash" (drive server kill_q);
+          (* the pair is quarantined: answered instantly, no forking *)
+          let forks_before = (Pool.stats pool).Pool.forks in
+          for i = 1 to 5 do
+            check_prefix
+              (Printf.sprintf "poisoned %d" i)
+              "error poisoned" (drive server kill_q)
+          done;
+          let st = Pool.stats pool in
+          Alcotest.(check int) "answered from quarantine without forking"
+            forks_before st.Pool.forks;
+          Alcotest.(check int) "poisoned responses counted" 5 st.Pool.poisoned;
+          Alcotest.(check int) "one pair quarantined" 1 st.Pool.quarantined;
+          (match Pool.poisoned_pairs pool with
+          | [ (name, _, kills) ] ->
+            Alcotest.(check string) "quarantined synopsis" "db" name;
+            Alcotest.(check int) "kill count recorded" 2 kills
+          | pairs -> Alcotest.failf "expected one pair, got %d" (List.length pairs));
+          (* other queries on the same synopsis are unaffected *)
+          check_prefix "healthy unaffected" "ok query" (drive server healthy);
+          (* contained crashes count toward quarantine too *)
+          check_prefix "so 1" "error worker-crash" (drive server so_q);
+          check_prefix "so 2" "error worker-crash" (drive server so_q);
+          check_prefix "so quarantined" "error poisoned" (drive server so_q);
+          Alcotest.(check int) "two pairs now" 2
+            (Pool.stats pool).Pool.quarantined))
+
+(* ------------------------------------------------------------------ *)
+(* Defense in depth: pool disabled                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_in_process_guard () =
+  (* the containment combinator the in-process read path runs under *)
+  let o = Query_exec.guard (fun () -> raise Stack_overflow) in
+  check_prefix "stack overflow contained" "error worker-crash" o.Query_exec.response;
+  Alcotest.(check bool) "names the crash" true (contains o.Query_exec.response "stack overflow");
+  let o = Query_exec.guard (fun () -> raise Out_of_memory) in
+  check_prefix "oom contained" "error worker-crash" o.Query_exec.response;
+  (* other exceptions still escape to the server's internal-error path *)
+  (match Query_exec.guard (fun () -> failwith "boom") with
+  | _ -> Alcotest.fail "Failure must escape the guard"
+  | exception Failure _ -> ());
+  (* and the worker-crash class round-trips the fault taxonomy *)
+  Alcotest.(check int) "exit code 6" 6
+    (Xmldoc.Fault.exit_code (Xmldoc.Fault.Worker_crash { reason = "x" }))
+
+(* ------------------------------------------------------------------ *)
+(* Fork failure: shed as overloaded, never a crash                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_build_fork_failure_sheds () =
+  with_temp_dir (fun dir ->
+      setup dir;
+      let xml = Filename.concat dir "doc.xml" in
+      let oc = open_out xml in
+      output_string oc "<a><b/><b/></a>";
+      close_out oc;
+      with_server dir (fun server ->
+          let build = Printf.sprintf "BUILD j1 %s 4KB" xml in
+          F.arm ~seed [ F.rule F.Fork F.Eagain ];
+          Fun.protect ~finally:F.disarm (fun () ->
+              check_prefix "fork EAGAIN shed" "error overloaded" (drive server build));
+          (* the supervisor survived; a resubmit after the pressure
+             clears starts the build *)
+          check_prefix "resubmit succeeds" "ok build" (drive server build)))
+
+let test_pool_fork_failure_sheds () =
+  with_temp_dir (fun dir ->
+      setup dir;
+      (* one worker, short deadline so the overloaded answer is quick *)
+      with_server dir
+        ~config:(server_config ~workers:1 ~threshold:99 ~deadline:0.4 ())
+        (fun server ->
+          check_prefix "kill the only worker" "error worker-crash"
+            (drive server kill_q);
+          F.arm ~seed [ F.rule F.Fork F.Eagain ];
+          Fun.protect ~finally:F.disarm (fun () ->
+              (* respawn attempts fail under injected EAGAIN: the
+                 request is shed, the supervisor stays up *)
+              check_prefix "no worker, fork failing" "error overloaded"
+                (drive server healthy));
+          (* pressure gone: the slot respawns under its backoff and
+             serving resumes *)
+          check_prefix "recovers after disarm" "ok query" (drive server healthy);
+          Alcotest.(check bool) "respawned" true
+            ((Pool.stats (Server.pool server)).Pool.live >= 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Client circuit breaker                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A scripted fake server: answers every request line with whatever
+   [mode] dictates, and counts the lines it saw — which is how the
+   tests prove an open breaker fails fast *without* reaching the
+   network. *)
+let with_fake_server f =
+  let path = Filename.temp_file "tsbrk" ".sock" in
+  Sys.remove path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  let stop = ref false in
+  let hits = ref 0 in
+  let mode = ref `Crash in
+  let serve_conn fd =
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    (try
+       while true do
+         let _line = input_line ic in
+         incr hits;
+         let resp =
+           match !mode with
+           | `Crash -> "error worker-crash planted crash"
+           | `Ok -> "ok query degraded=no est=1 classes=1 empty=no"
+         in
+         output_string oc (resp ^ "\n");
+         flush oc
+       done
+     with End_of_file | Sys_error _ -> ());
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let thread =
+    Thread.create
+      (fun () ->
+        while not !stop do
+          match Unix.select [ sock ] [] [] 0.05 with
+          | [], _, _ -> ()
+          | _ -> (
+            match Unix.accept sock with
+            | exception Unix.Unix_error _ -> ()
+            | fd, _ -> serve_conn fd)
+          | exception Unix.Unix_error _ -> ()
+        done)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      stop := true;
+      Thread.join thread;
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path hits mode)
+
+let test_breaker_opens_and_recovers () =
+  with_fake_server (fun path hits mode ->
+      let client =
+        Client.create
+          ~config:
+            {
+              Client.default_config with
+              attempts = 1;
+              request_timeout = 2.0;
+              breaker_threshold = 3;
+              breaker_cooldown = 0.3;
+              jitter_seed = seed;
+            }
+          [ path ]
+      in
+      let expect what prefix =
+        match Client.request client what with
+        | Ok r -> check_prefix what prefix r
+        | Error e -> Alcotest.failf "%s: %s" what (Client.error_to_string e)
+      in
+      (* three worker-crash responses in a row trip the breaker *)
+      for _ = 1 to 3 do
+        expect "QUERY db //movie" "error worker-crash"
+      done;
+      Alcotest.(check bool) "open after threshold" true
+        (Client.breaker_state client "db" = Some `Open);
+      (* open = fail fast, locally: the server never sees the request *)
+      let hits_before = !hits in
+      (match Client.request client "QUERY db //movie" with
+      | Error (Client.Breaker_open _) -> ()
+      | Ok r -> Alcotest.failf "expected Breaker_open, got response %S" r
+      | Error e -> Alcotest.failf "expected Breaker_open, got %s" (Client.error_to_string e));
+      Alcotest.(check int) "no request reached the server" hits_before !hits;
+      (* other synopses and non-query verbs are never gated *)
+      expect "QUERY other //movie" "error worker-crash";
+      expect "PING" "error worker-crash" (* the fake answers everything *);
+      Alcotest.(check bool) "db still open" true
+        (Client.breaker_state client "db" = Some `Open);
+      (* cooldown passes, the server heals: the half-open probe closes it *)
+      mode := `Ok;
+      Thread.delay 0.5 (* > cooldown x max jitter (0.3 x 1.5) *);
+      expect "QUERY db //movie" "ok query";
+      Alcotest.(check bool) "closed after probe" true
+        (Client.breaker_state client "db" = Some `Closed);
+      expect "QUERY db //movie" "ok query";
+      (* relapse: re-trip, then a FAILED probe goes straight back open *)
+      mode := `Crash;
+      for _ = 1 to 3 do
+        expect "QUERY db //movie" "error worker-crash"
+      done;
+      Thread.delay 0.5;
+      expect "QUERY db //movie" "error worker-crash" (* the admitted probe *);
+      Alcotest.(check bool) "failed probe reopens" true
+        (Client.breaker_state client "db" = Some `Open);
+      (match Client.request client "QUERY db //movie" with
+      | Error (Client.Breaker_open _) -> ()
+      | _ -> Alcotest.fail "expected Breaker_open after failed probe");
+      Client.close client)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end chaos: >= 200 mixed requests against a hostile pool      *)
+(* ------------------------------------------------------------------ *)
+
+let error_classes =
+  [ "bad-request"; "not-found"; "overloaded"; "internal";
+    "parse"; "corrupt"; "limit"; "deadline"; "io"; "busy";
+    "worker-crash"; "poisoned" ]
+
+let check_well_formed what response =
+  let ok =
+    (not (String.contains response '\n'))
+    && (response = "pong" || response = "bye"
+       || starts_with "ok " response
+       ||
+       match String.split_on_char ' ' response with
+       | "error" :: cls :: _ -> List.mem cls error_classes
+       | _ -> false)
+  in
+  if not ok then Alcotest.failf "%s: malformed reply %S" what response;
+  if starts_with "error internal" response then
+    Alcotest.failf "%s: internal error leaked: %S" what response
+
+let test_pool_chaos () =
+  with_temp_dir (fun dir ->
+      setup dir;
+      with_server dir ~config:(server_config ~workers:3 ~threshold:3 ())
+        (fun server ->
+          let rng = Random.State.make [| seed |] in
+          let n = 220 in
+          let poisoned = ref 0 and crashes = ref 0 and oks = ref 0 in
+          for i = 1 to n do
+            let req =
+              match Random.State.int rng 10 with
+              | 0 -> "PING"
+              | 1 -> "HEALTH"
+              | 2 -> "STAT db"
+              | 3 -> kill_q
+              | 4 -> so_q
+              | 5 -> "QUERY db ]][[not-a-query"
+              | 6 -> "QUERY ghost //a"
+              | 7 -> healthy_answer
+              | _ -> healthy
+            in
+            let response = drive server req in
+            check_well_formed (Printf.sprintf "request %d (%s)" i req) response;
+            if starts_with "error poisoned" response then incr poisoned
+            else if starts_with "error worker-crash" response then incr crashes
+            else if starts_with "ok " response || response = "pong" then incr oks
+          done;
+          (* the server survived 220 hostile requests, still answers,
+             and the repeat offenders ended up quarantined *)
+          check_prefix "alive and serving" "ok query" (drive server healthy);
+          Alcotest.(check bool) "saw worker crashes" true (!crashes > 0);
+          Alcotest.(check bool) "saw quarantined answers" true (!poisoned > 0);
+          Alcotest.(check bool) "healthy traffic kept flowing" true (!oks > n / 3);
+          let st = Pool.stats (Server.pool server) in
+          Alcotest.(check bool) "kill-path crashes quarantined" true
+            (st.Pool.quarantined >= 1);
+          (* read-only verbs stay fast while a slow query is in flight:
+             the acceptance criterion for dropping the server-wide
+             request lock *)
+          let hang_done = ref false in
+          let hanger =
+            Thread.create
+              (fun () ->
+                let r = drive server (hang_q 1.2) in
+                check_prefix "hung query watchdog-killed" "error worker-crash" r;
+                hang_done := true)
+              ()
+          in
+          Thread.delay 0.1;
+          let worst = ref 0.0 in
+          for _ = 1 to 20 do
+            let t0 = Unix.gettimeofday () in
+            let r = drive server "PING" in
+            let dt = Unix.gettimeofday () -. t0 in
+            if dt > !worst then worst := dt;
+            Alcotest.(check string) "ping during hang" "pong" r
+          done;
+          Alcotest.(check bool)
+            (Printf.sprintf "PING latency bounded (worst %.3fs)" !worst)
+            true
+            (!worst < 0.5);
+          Alcotest.(check bool) "hang still in flight during pings" true
+            (not !hang_done);
+          Thread.join hanger))
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "answers match in-process" `Quick
+            test_pool_answers_match_in_process;
+          Alcotest.test_case "worker crash contained" `Quick
+            test_worker_crash_is_contained;
+          Alcotest.test_case "watchdog kills hung worker" `Quick
+            test_watchdog_kills_hung_worker;
+          Alcotest.test_case "contained stack overflow" `Quick
+            test_contained_stack_overflow;
+          Alcotest.test_case "poison quarantine" `Quick test_poison_quarantine;
+        ] );
+      ( "fallbacks",
+        [
+          Alcotest.test_case "in-process guard" `Quick test_in_process_guard;
+          Alcotest.test_case "build fork failure sheds" `Quick
+            test_build_fork_failure_sheds;
+          Alcotest.test_case "pool fork failure sheds" `Quick
+            test_pool_fork_failure_sheds;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "opens, fails fast, recovers" `Quick
+            test_breaker_opens_and_recovers;
+        ] );
+      ( "chaos",
+        [ Alcotest.test_case "220 mixed hostile requests" `Quick test_pool_chaos ] );
+    ]

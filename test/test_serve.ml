@@ -621,7 +621,8 @@ let test_build_job_survives_kills () =
 
 let error_classes =
   [ "bad-request"; "not-found"; "overloaded"; "internal";
-    "parse"; "corrupt"; "limit"; "deadline"; "io"; "busy" ]
+    "parse"; "corrupt"; "limit"; "deadline"; "io"; "busy";
+    "worker-crash"; "poisoned" ]
 
 (* >= 500 seeded requests interleaving malformed lines, corrupt and
    vanishing snapshots, expired deadlines and over-cap answers.  The
