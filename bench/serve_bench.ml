@@ -1,0 +1,248 @@
+(* Serve-path latency bench: single replica vs hedged replica group.
+
+   Spins up three in-process replica servers on Unix sockets, arms a
+   seeded Io_fault read-delay rule against ONE of them (a "brownout":
+   the replica answers, but slowly, [prob] of the time), then measures
+   per-request latency two ways over the same request stream:
+
+   - single:  a plain Serve.Client pinned to the slow replica — what
+     one-server deployments eat today;
+   - hedged:  the Coordinator over all three replicas with a tight
+     hedge —  stalled requests are raced against the next-healthiest
+     member and the first well-formed answer wins.
+
+   Results go to BENCH_serve.json (p50/p95/p99 ms, req/s, hedge rate)
+   so the tail-latency claim has a machine-readable trajectory;
+   --assert additionally fails the run unless hedged p99 beats the
+   single-replica p99, which is the whole point of the subsystem.
+
+   Usage: serve_bench [--out PATH] [--requests N] [--assert]
+   Seeded via CHAOS_SEED (default pinned). *)
+
+module F = Xmldoc.Io_fault
+module Server = Serve.Server
+module Client = Serve.Client
+module Coordinator = Serve.Coordinator
+module Replica = Serve.Replica
+
+let seed =
+  match Sys.getenv_opt "CHAOS_SEED" with
+  | None -> 0x5EBE
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> failwith (Printf.sprintf "CHAOS_SEED=%S is not an integer" s))
+
+let delay_s = 0.12
+let delay_prob = 0.25
+let hedge_after = 0.03
+let query = "QUERY db //movie[//actor]"
+
+let usage () =
+  prerr_endline "usage: serve_bench [--out PATH] [--requests N] [--assert]";
+  exit 2
+
+let out_path = ref "BENCH_serve.json"
+let requests = ref 150
+let assert_mode = ref false
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: path :: rest ->
+      out_path := path;
+      parse rest
+    | "--requests" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 ->
+        requests := n;
+        parse rest
+      | _ -> usage ())
+    | "--assert" :: rest ->
+      assert_mode := true;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "tsbench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun file ->
+          try Sys.remove (Filename.concat dir file) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let rec await_socket ?(attempts = 200) path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Unix.close fd
+  | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _)
+    when attempts > 0 ->
+    Unix.close fd;
+    Thread.delay 0.02;
+    await_socket ~attempts:(attempts - 1) path
+
+(* latencies in seconds -> percentile in ms *)
+let percentile_ms samples q =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  let idx = min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1) in
+  a.(max 0 idx) *. 1000.0
+
+type side = {
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  req_per_s : float;
+}
+
+let measure f n =
+  let lat = ref [] in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to n do
+    let r0 = Unix.gettimeofday () in
+    f i;
+    lat := (Unix.gettimeofday () -. r0) :: !lat
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  {
+    p50 = percentile_ms !lat 0.50;
+    p95 = percentile_ms !lat 0.95;
+    p99 = percentile_ms !lat 0.99;
+    req_per_s = float_of_int n /. wall;
+  }
+
+let ok_answer what response =
+  if
+    not
+      (String.length response >= 3
+      && String.sub response 0 3 = "ok "
+      || String.length response >= 6
+         && String.sub response 0 6 = "error ")
+  then failwith (Printf.sprintf "%s: malformed reply %S" what response)
+
+let () =
+  with_temp_dir @@ fun dir ->
+  let doc =
+    "<db><movie><actor/><actor/><title/></movie>\
+     <movie><actor/><title/></movie><short><title/></short></db>"
+  in
+  (match
+     Sketch.Serialize.save_atomic
+       (Filename.concat dir "db.ts")
+       (Sketch.Stable.build (Xmldoc.Parser.of_string doc))
+   with
+  | Ok () -> ()
+  | Error f -> failwith (Xmldoc.Fault.to_string f));
+  let socks =
+    List.init 3 (fun i -> Filename.concat dir (Printf.sprintf "r%d.sock" i))
+  in
+  let servers =
+    List.map (fun _ -> Server.create ~log:(fun _ -> ()) dir) socks
+  in
+  let threads =
+    List.map2
+      (fun server sock ->
+        Thread.create (fun () -> Server.serve_socket server ~path:sock) ())
+      servers socks
+  in
+  List.iter await_socket socks;
+  let slow = List.hd socks in
+  Fun.protect
+    ~finally:(fun () ->
+      F.disarm ();
+      List.iter Server.request_drain servers;
+      List.iter Thread.join threads)
+  @@ fun () ->
+  F.arm ~seed
+    [ F.rule ~prob:delay_prob ~path:(Filename.basename slow) F.Read
+        (F.Delay delay_s) ];
+  let n = !requests in
+  (* single replica, pinned to the slow one *)
+  let client =
+    Client.create
+      ~config:{ Client.default_config with request_timeout = 5.0 }
+      [ slow ]
+  in
+  let single =
+    measure
+      (fun i ->
+        match Client.request client query with
+        | Ok response -> ok_answer (Printf.sprintf "single %d" i) response
+        | Error e -> failwith (Client.error_to_string e))
+      n
+  in
+  Client.close client;
+  (* hedged group: same stream through the coordinator *)
+  let coord =
+    Coordinator.create
+      ~log:(fun _ -> ())
+      ~config:
+        {
+          Coordinator.default_config with
+          hedge_after;
+          request_timeout = 5.0;
+          retry_ratio = 0.5;
+          retry_burst = 20.0;
+          probe_interval = 0.25;
+        }
+      socks
+  in
+  let hedged =
+    measure
+      (fun i ->
+        let response, _ = Coordinator.handle_line coord query in
+        ok_answer (Printf.sprintf "hedged %d" i) response)
+      n
+  in
+  let stats = Coordinator.stats coord in
+  let hedge_rate =
+    if stats.Coordinator.forwarded = 0 then 0.0
+    else
+      float_of_int stats.Coordinator.hedges
+      /. float_of_int stats.Coordinator.forwarded
+  in
+  let beats = hedged.p99 < single.p99 in
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "serve",
+  "seed": %d,
+  "requests": %d,
+  "query": %S,
+  "slow_replica_fault": { "path": %S, "prob": %g, "delay_s": %g },
+  "hedge_after_s": %g,
+  "single": { "p50_ms": %.3f, "p95_ms": %.3f, "p99_ms": %.3f, "req_per_s": %.1f },
+  "hedged": { "p50_ms": %.3f, "p95_ms": %.3f, "p99_ms": %.3f, "req_per_s": %.1f,
+              "hedge_rate": %.4f, "hedges": %d, "hedges_won": %d,
+              "budget_spent": %d, "budget_denied": %d },
+  "hedged_p99_beats_single_p99": %b
+}
+|}
+      seed n query (Filename.basename slow) delay_prob delay_s hedge_after
+      single.p50 single.p95 single.p99 single.req_per_s hedged.p50 hedged.p95
+      hedged.p99 hedged.req_per_s hedge_rate stats.Coordinator.hedges
+      stats.Coordinator.hedges_won
+      (Replica.Budget.spent (Coordinator.budget coord))
+      (Replica.Budget.denied (Coordinator.budget coord))
+      beats
+  in
+  let oc = open_out !out_path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf
+    "serve bench: single p99=%.1fms hedged p99=%.1fms (hedge rate %.1f%%) -> %s\n"
+    single.p99 hedged.p99 (hedge_rate *. 100.0) !out_path;
+  if !assert_mode && not beats then begin
+    Printf.eprintf
+      "FAIL: hedged p99 (%.1fms) did not beat single-replica p99 (%.1fms)\n"
+      hedged.p99 single.p99;
+    exit 1
+  end

@@ -382,18 +382,216 @@ let serve_cmd =
       $ no_auto_reload $ drain_deadline $ workers $ watchdog_grace
       $ poison_threshold)
 
+(* ----------------------------- coordinate ----------------------------- *)
+
+let coordinate_cmd =
+  let replicas =
+    Arg.(
+      non_empty
+      & opt_all string []
+      & info [ "r"; "replica" ] ~docv:"PATH"
+          ~doc:
+            "Socket of one replica serving the same catalog.  \
+             Repeatable; give every member of the group.")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix domain socket instead of serving \
+             stdin/stdout.")
+  in
+  let hedge_after =
+    Arg.(
+      value
+      & opt float Serve.Coordinator.default_config.hedge_after
+      & info [ "hedge-after" ] ~docv:"SECONDS"
+          ~doc:
+            "How long a QUERY/ANSWER may sit unanswered before the same \
+             request races a second replica.  First well-formed \
+             response wins; the loser is cancelled.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt float Serve.Coordinator.default_config.request_timeout
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Overall per-request ceiling.  A request's own \
+             $(b,-deadline) may tighten it, never widen it.")
+  in
+  let connect_timeout =
+    Arg.(
+      value
+      & opt float Serve.Coordinator.default_config.connect_timeout
+      & info [ "connect-timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-replica connect + send budget.")
+  in
+  let attempts =
+    Arg.(
+      value
+      & opt int Serve.Coordinator.default_config.max_attempts
+      & info [ "attempts" ] ~docv:"N"
+          ~doc:
+            "Replicas tried per request, counting the primary, hedges \
+             and retries.")
+  in
+  let retry_ratio =
+    Arg.(
+      value
+      & opt float Serve.Coordinator.default_config.retry_ratio
+      & info [ "retry-ratio" ] ~docv:"R"
+          ~doc:
+            "Retry-budget refill: hedges + retries are capped at \
+             $(docv) per primary request over the long run, so a sick \
+             group degrades instead of amplifying into a connect \
+             storm.")
+  in
+  let retry_burst =
+    Arg.(
+      value
+      & opt float Serve.Coordinator.default_config.retry_burst
+      & info [ "retry-burst" ] ~docv:"N"
+          ~doc:
+            "Retry-budget bucket cap (and starting level, so cold-start \
+             failover is never refused).")
+  in
+  let probe_interval =
+    Arg.(
+      value
+      & opt float Serve.Coordinator.default_config.probe_interval
+      & info [ "probe-interval" ] ~docv:"SECONDS"
+          ~doc:
+            "How often the background prober HEALTHs every replica to \
+             feed ejection and re-admission.")
+  in
+  let max_inflight =
+    Arg.(
+      value
+      & opt int Serve.Coordinator.default_config.max_inflight
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Socket connections served concurrently before shedding \
+             load with $(b,error overloaded).")
+  in
+  let drain_deadline =
+    Arg.(
+      value
+      & opt float Serve.Coordinator.default_config.drain_deadline
+      & info [ "drain-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "On SIGTERM/SIGINT, seconds to wait for in-flight scatters \
+             before severing them and exiting.")
+  in
+  let eject_threshold =
+    Arg.(
+      value
+      & opt int Serve.Replica.default_config.eject_threshold
+      & info [ "eject-threshold" ] ~docv:"K"
+          ~doc:
+            "Consecutive failures before a replica is ejected from \
+             routing for a jittered cooldown.")
+  in
+  let eject_cooldown =
+    Arg.(
+      value
+      & opt float Serve.Replica.default_config.eject_cooldown
+      & info [ "eject-cooldown" ] ~docv:"SECONDS"
+          ~doc:
+            "How long an ejected replica sits out before a probational \
+             re-admission (one more failure re-ejects).")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int Serve.Replica.default_config.seed
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Seed for re-admission jitter.")
+  in
+  let run replicas socket hedge_after timeout connect_timeout attempts
+      retry_ratio retry_burst probe_interval max_inflight drain_deadline
+      eject_threshold eject_cooldown seed =
+    let config =
+      {
+        Serve.Coordinator.default_config with
+        hedge_after;
+        request_timeout = timeout;
+        connect_timeout;
+        max_attempts = max 1 attempts;
+        retry_ratio;
+        retry_burst;
+        probe_interval;
+        max_inflight;
+        drain_deadline;
+        replica =
+          {
+            Serve.Replica.default_config with
+            eject_threshold = max 1 eject_threshold;
+            eject_cooldown;
+            seed;
+          };
+      }
+    in
+    let coord = Serve.Coordinator.create ~config replicas in
+    Serve.Coordinator.install_drain_signals coord;
+    (match socket with
+    | Some path -> Serve.Coordinator.serve_socket coord ~path
+    | None -> Serve.Coordinator.serve_channels coord stdin stdout);
+    exit 0
+  in
+  Cmd.v
+    (Cmd.info "coordinate"
+       ~doc:
+         "Front a group of identical $(b,treesketch serve) replicas \
+          with a hedged scatter-gather coordinator: QUERY/ANSWER go to \
+          the healthiest replica and race a second one after \
+          $(b,--hedge-after); hedges and retries are capped by a \
+          per-group retry budget; unhealthy replicas are ejected and \
+          re-admitted on probation.  Single-target verbs (BUILD, \
+          RELOAD, CANCEL, JOBS) are refused — address one replica \
+          directly with $(b,treesketch client --target).  SIGTERM or \
+          SIGINT drains gracefully and exits 0.")
+    Term.(
+      const run $ replicas $ socket $ hedge_after $ timeout
+      $ connect_timeout $ attempts $ retry_ratio $ retry_burst
+      $ probe_interval $ max_inflight $ drain_deadline $ eject_threshold
+      $ eject_cooldown $ seed)
+
 (* ------------------------------- client ------------------------------- *)
 
 let client_cmd =
   let sockets =
     Arg.(
-      non_empty
+      value
       & opt_all string []
       & info [ "s"; "socket" ] ~docv:"PATH"
           ~doc:
             "Server socket to talk to.  Repeatable: the client fails \
              over to the next socket when one stops answering — give \
              both halves of a rolling restart.")
+  in
+  let replicas =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "r"; "replica" ] ~docv:"PATH"
+          ~doc:
+            "Member of a replica group all serving the same catalog \
+             (repeatable; mutually exclusive with $(b,--socket)).  \
+             Reads fail over across the group, but single-target verbs \
+             (BUILD, RELOAD, CANCEL, JOBS, QUIT) are refused unless \
+             $(b,--target) names the replica they are for.")
+  in
+  let target =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "target" ] ~docv:"PATH"
+          ~doc:
+            "With $(b,--replica): the one socket single-target verbs \
+             (BUILD, RELOAD, CANCEL, JOBS, QUIT) are sent to.")
   in
   let timeout =
     Arg.(
@@ -453,8 +651,20 @@ let client_cmd =
   let words =
     Arg.(value & pos_all string [] & info [] ~docv:"REQUEST")
   in
-  let run sockets timeout connect_timeout attempts retry_unsafe seed
-      breaker_threshold breaker_cooldown words =
+  let run sockets replicas target timeout connect_timeout attempts
+      retry_unsafe seed breaker_threshold breaker_cooldown words =
+    (match (sockets, replicas) with
+    | [], [] ->
+      Printf.eprintf
+        "treesketch client: give --socket PATH or --replica PATH\n%!";
+      exit Cmdliner.Cmd.Exit.cli_error
+    | _ :: _, _ :: _ ->
+      Printf.eprintf
+        "treesketch client: --socket and --replica are mutually \
+         exclusive\n\
+         %!";
+      exit Cmdliner.Cmd.Exit.cli_error
+    | _ -> ());
     let config =
       {
         Serve.Client.default_config with
@@ -467,13 +677,21 @@ let client_cmd =
         breaker_cooldown;
       }
     in
-    let client = Serve.Client.create ~config sockets in
+    let replica_mode = replicas <> [] in
+    let client =
+      Serve.Client.create ~config (if replica_mode then replicas else sockets)
+    in
+    let target_client =
+      match target with
+      | Some path -> Some (Serve.Client.create ~config [ path ])
+      | None -> None
+    in
     (* Any delivered response — including the server's own `error ...`
        lines — exits 0: the round-trip succeeded and the caller reads
        the verdict from stdout.  Only client-side faults (deadline,
        dead transport) exit non-zero, through the fault taxonomy. *)
-    let one line =
-      match Serve.Client.request client line with
+    let send c line =
+      match Serve.Client.request c line with
       | Ok response ->
         print_endline response;
         true
@@ -481,6 +699,27 @@ let client_cmd =
         Printf.eprintf "treesketch client: %s\n%!"
           (Serve.Client.error_to_string e);
         exit (Xmldoc.Fault.exit_code (Serve.Client.error_to_fault e))
+    in
+    let one line =
+      (* In replica mode a side-effecting verb must name its target
+         explicitly — a group cannot pick one implicitly (the same rule
+         the coordinator enforces). *)
+      if replica_mode && Serve.Protocol.single_target line then
+        match target_client with
+        | Some c -> send c line
+        | None ->
+          let verb =
+            match String.index_opt (String.trim line) ' ' with
+            | None -> String.uppercase_ascii (String.trim line)
+            | Some i -> String.uppercase_ascii (String.sub (String.trim line) 0 i)
+          in
+          print_endline
+            (Serve.Protocol.error_line ~cls:"bad-request"
+               (verb
+              ^ " is single-target: give --target PATH to address one \
+                 replica"));
+          true
+      else send client line
     in
     (match words with
     | _ :: _ -> ignore (one (String.concat " " words))
@@ -495,18 +734,24 @@ let client_cmd =
           else if one trimmed then loop ()
       in
       loop ());
-    Serve.Client.close client
+    Serve.Client.close client;
+    match target_client with
+    | Some c -> Serve.Client.close c
+    | None -> ()
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:
          "Send line-protocol requests to one or more $(b,treesketch \
-          serve) sockets with timeouts, retries and failover.  With a \
+          serve) sockets with timeouts, retries and failover — or, \
+          with $(b,--replica), to a whole replica group (reads fail \
+          over; single-target verbs need $(b,--target)).  With a \
           REQUEST on the command line, sends it and prints the \
           response; without, reads requests from stdin.")
     Term.(
-      const run $ sockets $ timeout $ connect_timeout $ attempts
-      $ retry_unsafe $ seed $ breaker_threshold $ breaker_cooldown $ words)
+      const run $ sockets $ replicas $ target $ timeout $ connect_timeout
+      $ attempts $ retry_unsafe $ seed $ breaker_threshold
+      $ breaker_cooldown $ words)
 
 (* --------------------------------- esd -------------------------------- *)
 
@@ -569,6 +814,7 @@ let () =
             build_cmd;
             query_cmd;
             serve_cmd;
+            coordinate_cmd;
             client_cmd;
             esd_cmd;
             stats_cmd;

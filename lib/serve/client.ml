@@ -135,6 +135,12 @@ let close t =
 (* ------------------------------------------------------------------ *)
 
 let connect_one t path =
+  (* the one network edge that is neither a read nor a write: dialing
+     the server.  Injectable so chaos runs can exercise the failover
+     loop (and the coordinator's scatter path) without a dead socket. *)
+  match Xmldoc.Io_fault.tap Xmldoc.Io_fault.Connect ~path with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | () ->
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.set_close_on_exec fd;
   match
@@ -361,7 +367,17 @@ let breaker_note t name result =
 
 let request_unchecked t line =
   let retryable = t.config.retry_unsafe || idempotent line in
-  let payload = Bytes.of_string (line ^ "\n") in
+  let t0 = Unix.gettimeofday () in
+  (* Deadline propagation: time burned here — connect timeouts, backoff
+     sleeps, earlier failed attempts — comes out of the caller's
+     [-deadline] before the line is forwarded.  Sending it verbatim
+     would let a retry grant the server more budget than the caller has
+     left, so a request that already spent 4 of its 5 seconds failing
+     over could still occupy a server for 5 more. *)
+  let payload () =
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Bytes.of_string (Protocol.with_remaining_deadline line ~elapsed ^ "\n")
+  in
   let rec attempt k ~may_retry_midflight =
     let fail err =
       (* the stream may hold a half response: reconnect from scratch *)
@@ -392,7 +408,7 @@ let request_unchecked t line =
     | Error e -> Error e
     | Ok c -> (
       let deadline = Unix.gettimeofday () +. t.config.request_timeout in
-      match send_all c.fd payload ~deadline with
+      match send_all c.fd (payload ()) ~deadline with
       | Error err -> fail err
       | Ok () -> (
         match recv_line c ~deadline with

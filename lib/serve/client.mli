@@ -110,7 +110,14 @@ val request : t -> string -> (string, error) result
 (** One request line (without the newline) in, one response line out,
     after at most [config.attempts] tries across the configured
     sockets.  Never raises; never hangs past
-    [attempts * (connect_timeout + request_timeout + backoff)]. *)
+    [attempts * (connect_timeout + request_timeout + backoff)].
+
+    A [-deadline=D] option on the line is {e propagated, not copied}:
+    each attempt forwards [D] minus the wall-clock time this client has
+    already burned on the request (connect timeouts, backoff sleeps,
+    failed attempts), so a downstream server is never granted more
+    budget than the caller has left
+    ({!Protocol.with_remaining_deadline}). *)
 
 val close : t -> unit
 (** Drop the current connection (if any).  The client remains usable —

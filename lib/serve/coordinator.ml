@@ -1,0 +1,671 @@
+(* Hedged scatter-gather over a replica group.
+
+   The coordinator is a thin server: it speaks the same line protocol
+   on its own socket, but owns no catalog — every QUERY/ANSWER is
+   forwarded to a {!Replica} group.  Tail latency is cut by hedging
+   (if the primary has not answered within [hedge_after], the same
+   request is raced against the next-healthiest member; the first
+   well-formed response wins and the losers are cancelled by closing
+   their connections), and fault tolerance falls out of the same
+   machinery (a dead primary is just a very slow one).  Three guard
+   rails keep the fan-out from becoming the outage:
+
+   - the {!Replica.Budget} token bucket caps hedges + retries as a
+     fraction of primary traffic, so a sick GROUP degrades to ~1x
+     amplification instead of a connect storm;
+   - deadline propagation: the forwarded line carries the caller's
+     [-deadline] minus the time already burned queueing and
+     connecting, never more;
+   - single-target verbs (BUILD, RELOAD, CANCEL, JOBS, QUIT) are
+     refused outright — a group must never pick the target of a
+     side effect implicitly. *)
+
+type config = {
+  hedge_after : float;
+  request_timeout : float;
+  connect_timeout : float;
+  max_attempts : int;
+  retry_ratio : float;
+  retry_burst : float;
+  probe_interval : float;
+  probe_timeout : float;
+  replica : Replica.config;
+  max_inflight : int;
+  drain_deadline : float;
+}
+
+let default_config =
+  {
+    hedge_after = 0.05;
+    request_timeout = 5.0;
+    connect_timeout = 1.0;
+    max_attempts = 3;
+    retry_ratio = 0.2;
+    retry_burst = 10.0;
+    probe_interval = 0.5;
+    probe_timeout = 1.0;
+    replica = Replica.default_config;
+    max_inflight = 64;
+    drain_deadline = 5.0;
+  }
+
+type stats = {
+  mutable requests : int;
+  mutable forwarded : int;
+  mutable hedges : int;
+  mutable hedges_won : int;
+  mutable retries : int;
+  mutable refused : int;
+  mutable failures : int;
+}
+
+type t = {
+  config : config;
+  group : Replica.t;
+  budget : Replica.Budget.t;
+  log : string -> unit;
+  stats : stats;
+  stats_lock : Mutex.t;
+  mutable draining : bool;
+}
+
+let create ?(log = prerr_endline) ?(config = default_config) paths =
+  if config.max_attempts < 1 then
+    invalid_arg "Coordinator.create: max_attempts must be >= 1";
+  if config.hedge_after <= 0.0 then
+    invalid_arg "Coordinator.create: hedge_after must be > 0";
+  {
+    config;
+    group = Replica.create ~config:config.replica paths;
+    budget =
+      Replica.Budget.create ~ratio:config.retry_ratio ~burst:config.retry_burst;
+    log;
+    stats =
+      {
+        requests = 0;
+        forwarded = 0;
+        hedges = 0;
+        hedges_won = 0;
+        retries = 0;
+        refused = 0;
+        failures = 0;
+      };
+    stats_lock = Mutex.create ();
+    draining = false;
+  }
+
+let stats t = t.stats
+
+let group t = t.group
+
+let budget t = t.budget
+
+let draining t = t.draining
+
+let bump f t = Mutex.protect t.stats_lock (fun () -> f t.stats)
+
+let log_event t fmt = Printf.ksprintf t.log fmt
+
+let request_drain t =
+  if not t.draining then begin
+    t.draining <- true;
+    log_event t "event=drain-requested"
+  end
+
+let install_drain_signals t =
+  let handle = Sys.Signal_handle (fun _ -> request_drain t) in
+  (try Sys.set_signal Sys.sigterm handle
+   with Invalid_argument _ | Sys_error _ -> ());
+  try Sys.set_signal Sys.sigint handle
+  with Invalid_argument _ | Sys_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Transport plumbing (deadline-bounded, fault-injectable)             *)
+(* ------------------------------------------------------------------ *)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let connect_to t path =
+  match Xmldoc.Io_fault.tap Xmldoc.Io_fault.Connect ~path with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | () -> (
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.set_close_on_exec fd;
+    match
+      Unix.set_nonblock fd;
+      Unix.connect fd (Unix.ADDR_UNIX path)
+    with
+    | () ->
+      Unix.clear_nonblock fd;
+      Ok fd
+    | exception Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN), _, _) -> (
+      match Unix.select [] [ fd ] [] t.config.connect_timeout with
+      | [], [], [] ->
+        close_quietly fd;
+        Error "connect timed out"
+      | _ -> (
+        match Unix.getsockopt_error fd with
+        | None ->
+          Unix.clear_nonblock fd;
+          Ok fd
+        | Some e ->
+          close_quietly fd;
+          Error (Unix.error_message e))
+      | exception Unix.Unix_error (e, _, _) ->
+        close_quietly fd;
+        Error (Unix.error_message e))
+    | exception Unix.Unix_error (e, _, _) ->
+      close_quietly fd;
+      Error (Unix.error_message e))
+
+let send_all fd data ~deadline =
+  let len = Bytes.length data in
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      let budget = deadline -. Unix.gettimeofday () in
+      if budget <= 0.0 then Error "send deadline"
+      else
+        match Unix.select [] [ fd ] [] budget with
+        | _, [], _ -> Error "send deadline"
+        | _ -> (
+          match Unix.write fd data off (len - off) with
+          | n -> go (off + n)
+          | exception Unix.Unix_error (EINTR, _, _) -> go off
+          | exception Unix.Unix_error (e, _, _) ->
+            Error ("write: " ^ Unix.error_message e))
+        | exception Unix.Unix_error (EINTR, _, _) -> go off
+        | exception Unix.Unix_error (e, _, _) ->
+          Error ("select: " ^ Unix.error_message e)
+  in
+  go 0
+
+let recv_line fd ~deadline =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    let s = Buffer.contents buf in
+    match String.index_opt s '\n' with
+    | Some i ->
+      let line = String.sub s 0 i in
+      let line =
+        if line <> "" && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      Ok line
+    | None -> (
+      let budget = deadline -. Unix.gettimeofday () in
+      if budget <= 0.0 then Error "receive deadline"
+      else
+        match Unix.select [ fd ] [] [] budget with
+        | [], _, _ -> Error "receive deadline"
+        | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> Error "connection closed"
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+          | exception Unix.Unix_error (EINTR, _, _) -> go ()
+          | exception Unix.Unix_error (e, _, _) ->
+            Error ("read: " ^ Unix.error_message e))
+        | exception Unix.Unix_error (EINTR, _, _) -> go ()
+        | exception Unix.Unix_error (e, _, _) ->
+          Error ("select: " ^ Unix.error_message e))
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* The scatter                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* a response any server in this repository can legally utter *)
+let well_formed_response line =
+  line = "pong" || line = "bye"
+  || starts_with "ok " line
+  || starts_with "error " line
+
+(* Server errors worth racing a DIFFERENT replica for: a crashed
+   worker or a shedding server says nothing about the query, only
+   about that member.  Definitive answers (ok, not-found, poisoned,
+   bad-request, deadline...) win immediately — a second opinion would
+   return the same verdict, or worse, a different one. *)
+let retryable_response line =
+  match String.split_on_char ' ' line with
+  | "error" :: cls :: _ -> cls = "worker-crash" || cls = "overloaded"
+  | _ -> false
+
+type flight = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  r : Replica.replica;
+  hedge : bool;  (* charged against the retry budget *)
+}
+
+let scatter t ~hedged ~line =
+  let t0 = Unix.gettimeofday () in
+  Replica.Budget.note_request t.budget;
+  bump (fun s -> s.forwarded <- s.forwarded + 1) t;
+  let overall =
+    t0
+    +.
+    match Protocol.request_deadline line with
+    | Some d when d > 0.0 -> Float.min d t.config.request_timeout
+    | _ -> t.config.request_timeout
+  in
+  let order = ref (Replica.rank t.group) in
+  let attempts_left = ref (max 1 t.config.max_attempts) in
+  let flights = ref [] in
+  let fallback = ref None in
+  let last_err = ref "no replica reachable" in
+  (* One launch = one replica accepting the (deadline-rewritten) line;
+     members that refuse the connect are burned through within the
+     same launch.  [charge = true] (hedges, retries) costs one budget
+     token for the whole launch. *)
+  let launch ~charge =
+    if !order = [] || !attempts_left <= 0 then false
+    else if charge && not (Replica.Budget.try_take t.budget) then false
+    else begin
+      let rec go () =
+        match !order with
+        | [] -> false
+        | r :: rest ->
+          order := rest;
+          decr attempts_left;
+          let elapsed = Unix.gettimeofday () -. t0 in
+          let line' = Protocol.with_remaining_deadline line ~elapsed in
+          (match connect_to t (Replica.path r) with
+          | Error msg ->
+            last_err := Replica.path r ^ ": " ^ msg;
+            Replica.note_failure t.group r;
+            if !attempts_left > 0 then go () else false
+          | Ok fd -> (
+            match
+              send_all fd
+                (Bytes.of_string (line' ^ "\n"))
+                ~deadline:(Unix.gettimeofday () +. t.config.connect_timeout)
+            with
+            | Error msg ->
+              close_quietly fd;
+              last_err := Replica.path r ^ ": " ^ msg;
+              Replica.note_failure t.group r;
+              if !attempts_left > 0 then go () else false
+            | Ok () ->
+              flights := { fd; buf = Buffer.create 256; r; hedge = charge } :: !flights;
+              true))
+      in
+      go ()
+    end
+  in
+  let close_flight f =
+    close_quietly f.fd;
+    flights := List.filter (fun g -> g.fd != f.fd) !flights
+  in
+  let close_all () = List.iter (fun f -> close_quietly f.fd) !flights in
+  let give_up now =
+    log_event t "event=scatter-give-up elapsed=%.3fs fallback=%s last=%s"
+      (now -. t0)
+      (if !fallback = None then "no" else "yes")
+      !last_err;
+    bump (fun s -> s.failures <- s.failures + 1) t;
+    match !fallback with
+    | Some resp -> resp
+    | None ->
+      if now >= overall then
+        Protocol.error_line ~cls:"deadline"
+          (Printf.sprintf "no replica answered within %.3gs" (overall -. t0))
+      else Protocol.error_line ~cls:"io" ("all replicas failed: " ^ !last_err)
+  in
+  ignore (launch ~charge:false : bool);
+  let hedge_at = ref (if hedged then t0 +. t.config.hedge_after else infinity) in
+  let winner = ref None in
+  let read_flight f =
+    let chunk = Bytes.create 4096 in
+    match Unix.read f.fd chunk 0 (Bytes.length chunk) with
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+      last_err := Replica.path f.r ^ ": read: " ^ Unix.error_message e;
+      Replica.note_failure t.group f.r;
+      close_flight f
+    | 0 ->
+      last_err := Replica.path f.r ^ ": connection closed";
+      Replica.note_failure t.group f.r;
+      close_flight f
+    | n -> (
+      Buffer.add_subbytes f.buf chunk 0 n;
+      let s = Buffer.contents f.buf in
+      match String.index_opt s '\n' with
+      | None -> ()
+      | Some i ->
+        let line =
+          let l = String.sub s 0 i in
+          if l <> "" && l.[String.length l - 1] = '\r' then
+            String.sub l 0 (String.length l - 1)
+          else l
+        in
+        if not (well_formed_response line) then begin
+          last_err := Replica.path f.r ^ ": malformed response";
+          Replica.note_failure t.group f.r;
+          close_flight f
+        end
+        else if
+          retryable_response line
+          && (List.length !flights > 1 || (!order <> [] && !attempts_left > 0))
+        then begin
+          (* that member is sick; keep its verdict as a fallback and
+             let someone else answer *)
+          fallback := Some line;
+          last_err := Replica.path f.r ^ ": " ^ line;
+          Replica.note_failure t.group f.r;
+          close_flight f
+        end
+        else begin
+          Replica.note_success t.group f.r;
+          if f.hedge then bump (fun s -> s.hedges_won <- s.hedges_won + 1) t;
+          winner := Some line
+        end)
+  in
+  let rec loop () =
+    match !winner with
+    | Some line ->
+      close_all ();
+      line
+    | None ->
+      let now = Unix.gettimeofday () in
+      if !flights = [] then begin
+        if now < overall && !order <> [] && !attempts_left > 0 then begin
+          if launch ~charge:true then begin
+            bump (fun s -> s.retries <- s.retries + 1) t;
+            loop ()
+          end
+          else give_up now (* budget dry or nobody reachable *)
+        end
+        else give_up now
+      end
+      else if now >= overall then begin
+        (* members still holding a flight burned the caller's whole
+           deadline without a word: that is outlier evidence, and it is
+           the only strike a frozen (vs dead) replica ever earns from
+           live traffic — connects to it keep landing in its backlog. *)
+        List.iter (fun f -> Replica.note_failure t.group f.r) !flights;
+        close_all ();
+        give_up now
+      end
+      else begin
+        (* hedge: one extra flight at a time, budget permitting *)
+        if
+          now >= !hedge_at
+          && List.length !flights < 2
+          && !order <> []
+          && !attempts_left > 0
+        then begin
+          if launch ~charge:true then bump (fun s -> s.hedges <- s.hedges + 1) t;
+          (* admitted or denied, re-arm: tokens may accrue from
+             concurrent traffic *)
+          hedge_at := Unix.gettimeofday () +. t.config.hedge_after
+        end;
+        let wake = Float.min overall !hedge_at in
+        let timeout = Float.max 0.0 (Float.min (wake -. now) 0.25) in
+        (match Unix.select (List.map (fun f -> f.fd) !flights) [] [] timeout with
+        | exception Unix.Unix_error (EINTR, _, _) -> ()
+        | readable, _, _ ->
+          List.iter
+            (fun fd ->
+              if !winner = None then
+                match List.find_opt (fun f -> f.fd == fd) !flights with
+                | Some f -> read_flight f
+                | None -> ())
+            readable);
+        loop ()
+      end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let yes_no b = if b then "yes" else "no"
+
+let health_line t =
+  let n = Replica.size t.group in
+  let ready = Replica.ready_count t.group in
+  let ejected = Replica.ejected_count t.group in
+  let reason =
+    if t.draining then Some "draining"
+    else if ready = 0 then Some "no-ready-replica"
+    else None
+  in
+  let s = t.stats in
+  Printf.sprintf
+    "ok health live=yes ready=%s draining=%s coordinator=yes replicas=%d/%d \
+     ejected=%d requests=%d forwarded=%d hedges=%d hedges_won=%d retries=%d \
+     budget_spent=%d budget_denied=%d budget_tokens=%.2f%s"
+    (yes_no (reason = None))
+    (yes_no t.draining) ready n ejected s.requests s.forwarded s.hedges
+    s.hedges_won s.retries
+    (Replica.Budget.spent t.budget)
+    (Replica.Budget.denied t.budget)
+    (Replica.Budget.tokens t.budget)
+    (match reason with None -> "" | Some r -> " reason=" ^ r)
+
+let verb_of line =
+  let line = String.trim line in
+  match String.index_opt line ' ' with
+  | None -> String.uppercase_ascii line
+  | Some i -> String.uppercase_ascii (String.sub line 0 i)
+
+let handle_request t ~line (req : Protocol.request) =
+  match req with
+  | Ping -> ("pong", false)
+  | Quit -> ("bye", true)
+  | Health -> (health_line t, false)
+  (* every read is idempotent across an identical group, so every read
+     gets the tail-latency hedge — an unhedged read against a frozen
+     primary would burn the whole request timeout with no rescue *)
+  | Query _ | Answer _ | List | Stat _ -> (scatter t ~hedged:true ~line, false)
+  | Reload _ | Build _ | Jobs | Cancel _ ->
+    bump (fun s -> s.refused <- s.refused + 1) t;
+    ( Protocol.error_line ~cls:"bad-request"
+        (Printf.sprintf
+           "%s is single-target: a replica group cannot pick its target — \
+            address one replica directly (treesketch client --target)"
+           (verb_of line)),
+      false )
+
+let handle_line t line =
+  bump (fun s -> s.requests <- s.requests + 1) t;
+  match Protocol.parse line with
+  | Error reason -> (Protocol.error_line ~cls:"bad-request" reason, false)
+  | Ok req -> (
+    match handle_request t ~line req with
+    | response -> response
+    | exception e ->
+      bump (fun s -> s.failures <- s.failures + 1) t;
+      (Protocol.error_line ~cls:"internal" (Printexc.to_string e), false))
+
+(* ------------------------------------------------------------------ *)
+(* Background health probing                                           *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+  nn = 0 || scan 0
+
+let probe_replica t r =
+  let path = Replica.path r in
+  match connect_to t path with
+  | Error _ -> Replica.note_probe t.group r `Failed
+  | Ok fd ->
+    Fun.protect
+      ~finally:(fun () -> close_quietly fd)
+      (fun () ->
+        let deadline = Unix.gettimeofday () +. t.config.probe_timeout in
+        match send_all fd (Bytes.of_string "HEALTH\n") ~deadline with
+        | Error _ -> Replica.note_probe t.group r `Failed
+        | Ok () -> (
+          match recv_line fd ~deadline with
+          | Ok line when contains line " ready=yes" ->
+            Replica.note_probe t.group r `Ready
+          | Ok line when starts_with "ok health" line ->
+            Replica.note_probe t.group r `Not_ready
+          | Ok _ | Error _ -> Replica.note_probe t.group r `Failed))
+
+let probe_loop t =
+  while not t.draining do
+    List.iter
+      (fun r -> if not t.draining then probe_replica t r)
+      (Replica.members t.group);
+    let until = Unix.gettimeofday () +. t.config.probe_interval in
+    while (not t.draining) && Unix.gettimeofday () < until do
+      Thread.delay 0.05
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Front end                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let serve_channels t ic oc =
+  let rec loop () =
+    if t.draining then ()
+    else
+      match input_line ic with
+      | exception End_of_file -> ()
+      | exception Sys_error _ -> ()
+      | line ->
+        let response, quit = handle_line t line in
+        (match
+           output_string oc response;
+           output_char oc '\n';
+           flush oc
+         with
+        | () -> if not quit then loop ()
+        | exception Sys_error _ -> ())
+  in
+  loop ()
+
+let serve_socket ?(backlog = 64) t ~path =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec sock;
+  (match Unix.unlink path with
+  | () -> ()
+  | exception Unix.Unix_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock backlog;
+  let admission = Server.Admission.create t.config.max_inflight in
+  let conn_lock = Mutex.create () in
+  let conns : (Unix.file_descr, unit) Hashtbl.t = Hashtbl.create 16 in
+  let register fd = Mutex.protect conn_lock (fun () -> Hashtbl.replace conns fd ()) in
+  let unregister fd = Mutex.protect conn_lock (fun () -> Hashtbl.remove conns fd) in
+  let live_conns () =
+    Mutex.protect conn_lock (fun () ->
+        Hashtbl.fold (fun fd () acc -> fd :: acc) conns [])
+  in
+  let prober = Thread.create probe_loop t in
+  let connection fd =
+    Fun.protect
+      ~finally:(fun () ->
+        Server.Admission.release admission;
+        unregister fd;
+        close_quietly fd)
+      (fun () ->
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        let rec loop () =
+          match input_line ic with
+          | exception End_of_file -> ()
+          | exception Sys_error _ -> ()
+          | exception Unix.Unix_error _ -> ()
+          | line ->
+            let response, quit = handle_line t line in
+            (match
+               output_string oc response;
+               output_char oc '\n';
+               flush oc
+             with
+            | () -> if not quit && not t.draining then loop ()
+            | exception Sys_error _ -> ()
+            | exception Unix.Unix_error _ -> ())
+        in
+        loop ())
+  in
+  log_event t "event=listening socket=%s replicas=%d hedge_after=%.3fs" path
+    (Replica.size t.group) t.config.hedge_after;
+  let rec accept_loop () =
+    if t.draining then ()
+    else
+      match
+        Xmldoc.Io_fault.tap Xmldoc.Io_fault.Accept ~path;
+        Unix.select [ sock ] [] [] 0.2
+      with
+      | exception Unix.Unix_error (EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error (e, _, _) ->
+        log_event t "event=accept-error errno=%s" (Unix.error_message e);
+        Thread.delay 0.05;
+        accept_loop ()
+      | [], _, _ -> accept_loop ()
+      | _ :: _, _, _ ->
+        (match Unix.accept sock with
+        | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) -> ()
+        | exception Unix.Unix_error (e, _, _) ->
+          log_event t "event=accept-error errno=%s" (Unix.error_message e);
+          Thread.delay 0.05
+        | fd, _ ->
+          if Server.Admission.try_acquire admission then begin
+            register fd;
+            ignore (Thread.create connection fd : Thread.t)
+          end
+          else begin
+            let oc = Unix.out_channel_of_descr fd in
+            (try
+               output_string oc
+                 (Protocol.error_line ~cls:"overloaded"
+                    (Printf.sprintf "%d connections already in flight"
+                       t.config.max_inflight)
+                 ^ "\n");
+               flush oc
+             with Sys_error _ -> ());
+            close_quietly fd
+          end);
+        accept_loop ()
+  in
+  accept_loop ();
+  (* graceful drain: stop accepting, let in-flight scatters finish,
+     sever stragglers, stop the prober, flush final counters *)
+  close_quietly sock;
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  log_event t "event=draining inflight=%d deadline=%.1fs"
+    (Server.Admission.in_flight admission)
+    t.config.drain_deadline;
+  List.iter
+    (fun fd ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    (live_conns ());
+  let give_up = Unix.gettimeofday () +. t.config.drain_deadline in
+  while
+    Server.Admission.in_flight admission > 0 && Unix.gettimeofday () < give_up
+  do
+    Thread.delay 0.02
+  done;
+  let stragglers = live_conns () in
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    stragglers;
+  if stragglers <> [] then Thread.delay 0.1;
+  Thread.join prober;
+  let s = t.stats in
+  log_event t
+    "event=drained requests=%d forwarded=%d hedges=%d hedges_won=%d retries=%d \
+     refused=%d failures=%d budget_spent=%d budget_denied=%d members=%s"
+    s.requests s.forwarded s.hedges s.hedges_won s.retries s.refused s.failures
+    (Replica.Budget.spent t.budget)
+    (Replica.Budget.denied t.budget)
+    (String.concat "," (Replica.describe t.group))

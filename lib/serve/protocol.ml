@@ -117,6 +117,83 @@ let parse line =
            "unknown verb %S (want PING, HEALTH, LIST, RELOAD, STAT, QUERY, \
             ANSWER, BUILD, JOBS, CANCEL or QUIT)" v))
 
+(* Deadline propagation.  A relay (the retrying client, the replica
+   coordinator) that burned wall-clock connecting, backing off or
+   queueing must forward the caller's [-deadline] MINUS that elapsed
+   time — forwarding it verbatim would grant a downstream server more
+   budget than the caller has left.  Rewriting only touches tokens in
+   the option zone (between the verb and the first operand), so a
+   query that happens to contain the substring is never mangled. *)
+
+let deadline_prefix = "-deadline="
+
+let is_deadline_opt tok =
+  String.length tok > String.length deadline_prefix
+  && String.sub tok 0 (String.length deadline_prefix) = deadline_prefix
+
+let request_deadline line =
+  match split_words line with
+  | [] -> None
+  | _verb :: rest ->
+    let rec scan = function
+      | tok :: rest when String.length tok > 1 && tok.[0] = '-' ->
+        if is_deadline_opt tok then (
+          let v =
+            String.sub tok (String.length deadline_prefix)
+              (String.length tok - String.length deadline_prefix)
+          in
+          match float_of_string_opt v with
+          | Some d when Float.is_finite d -> Some d
+          | _ -> None)
+        else scan rest
+      | _ -> None
+    in
+    scan rest
+
+let with_remaining_deadline line ~elapsed =
+  if elapsed <= 0.0 then line
+  else
+    match split_words line with
+    | [] -> line
+    | verb :: rest ->
+      let changed = ref false in
+      (* rewrite only inside the leading option zone *)
+      let rec go in_opts = function
+        | [] -> []
+        | tok :: rest when in_opts && String.length tok > 1 && tok.[0] = '-' ->
+          let tok' =
+            if is_deadline_opt tok then
+              let v =
+                String.sub tok (String.length deadline_prefix)
+                  (String.length tok - String.length deadline_prefix)
+              in
+              match float_of_string_opt v with
+              | Some d when Float.is_finite d ->
+                changed := true;
+                Printf.sprintf "%s%g" deadline_prefix (d -. elapsed)
+              | _ -> tok
+            else tok
+          in
+          tok' :: go true rest
+        | tok :: rest -> tok :: go false rest
+      in
+      let rewritten = go true rest in
+      if !changed then String.concat " " (verb :: rewritten) else line
+
+(* Verbs whose effect is bound to ONE server: a build runs on the
+   machine that accepted it, RELOAD rescans one catalog directory,
+   CANCEL kills one server's job, JOBS lists them, QUIT hangs up one
+   connection.  A replica group must not spray these across members —
+   the coordinator refuses them, and a replica-mode client requires an
+   explicit target. *)
+let single_target line =
+  match split_words line with
+  | [] -> false
+  | verb :: _ -> (
+    match String.uppercase_ascii verb with
+    | "BUILD" | "RELOAD" | "CANCEL" | "JOBS" | "QUIT" -> true
+    | _ -> false)
+
 let query_target line =
   match split_words line with
   | verb :: rest

@@ -91,6 +91,26 @@ val parse : string -> (request, string) result
 (** Total: every malformed request line is [Error reason] (rendered by
     the server as [error bad-request <reason>]). *)
 
+val request_deadline : string -> float option
+(** The [-deadline] value carried in a request line's option zone
+    (between the verb and the first operand) — [None] when absent or
+    malformed.  Relays use it to size their own wait. *)
+
+val with_remaining_deadline : string -> elapsed:float -> string
+(** [with_remaining_deadline line ~elapsed] rewrites the line's
+    [-deadline=D] option to [D - elapsed]: the budget a relay may grant
+    downstream after burning [elapsed] seconds itself — never more than
+    the caller has left.  Lines without a deadline option (and
+    [elapsed <= 0]) pass through unchanged; only tokens in the leading
+    option zone are touched, so operand text is never mangled. *)
+
+val single_target : string -> bool
+(** Is this request's verb bound to ONE server (BUILD, RELOAD, CANCEL,
+    JOBS, QUIT)?  A replica-group relay must refuse to pick a target
+    implicitly: the coordinator answers [error bad-request], and the
+    replica-mode client requires an explicit [--target].
+    Case-insensitive. *)
+
 val query_target : string -> string option
 (** The synopsis name a QUERY/ANSWER request line targets, skipping
     options — [None] for every other verb or a malformed line.  This is

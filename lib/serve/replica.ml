@@ -1,0 +1,251 @@
+(* A registry of identical replicas of one synopsis catalog.
+
+   The group's job is ranking: given every observation made about the
+   members — live-traffic successes and failures, background HEALTH
+   probes — produce the order a request should try them in.  The state
+   machine per replica:
+
+     Ready --failures >= eject_threshold--> Ejected(until)
+     Ejected --cooldown elapses--> Probation (one strike re-ejects)
+     Probation --success--> Ready
+     any --probe says ready=no--> Draining (deprioritized, not ejected)
+
+   Ejection cooldowns are jittered from the group's seeded rng so a
+   flapping replica is not re-probed by every coordinator in lockstep,
+   and tests replay exactly.  Ranking never returns an empty list while
+   the group has members: when everything is ejected the group fails
+   OPEN — the least-recently-ejected replicas are still offered,
+   because trying a probably-dead server beats refusing the request. *)
+
+type config = {
+  eject_threshold : int;
+  eject_cooldown : float;
+  readmit_jitter : float;
+  seed : int;
+}
+
+let default_config =
+  { eject_threshold = 3; eject_cooldown = 2.0; readmit_jitter = 0.5; seed = 0 }
+
+type state = Ready | Draining | Suspect | Probation | Ejected
+
+let state_name = function
+  | Ready -> "ready"
+  | Draining -> "draining"
+  | Suspect -> "suspect"
+  | Probation -> "probation"
+  | Ejected -> "ejected"
+
+type replica = {
+  path : string;
+  mutable fails : int;  (* consecutive failures since the last success *)
+  mutable draining : bool;  (* last probe answered [ready=no] *)
+  mutable ejected_until : float;
+      (* 0 = never ejected; a past timestamp = on probation *)
+  mutable served : int;
+  mutable failed : int;
+  mutable probes : int;
+}
+
+type t = {
+  config : config;
+  lock : Mutex.t;
+  rng : Random.State.t;
+  members : replica array;
+  mutable cursor : int;  (* rotates the Ready tier so load spreads *)
+}
+
+let create ?(config = default_config) paths =
+  if paths = [] then invalid_arg "Replica.create: no replica sockets";
+  if config.eject_threshold < 1 then
+    invalid_arg "Replica.create: eject_threshold must be >= 1";
+  {
+    config;
+    lock = Mutex.create ();
+    rng = Random.State.make [| config.seed |];
+    members =
+      Array.of_list
+        (List.map
+           (fun path ->
+             {
+               path;
+               fails = 0;
+               draining = false;
+               ejected_until = 0.0;
+               served = 0;
+               failed = 0;
+               probes = 0;
+             })
+           paths);
+    cursor = 0;
+  }
+
+let size t = Array.length t.members
+
+let members t = Array.to_list t.members
+
+let path r = r.path
+
+let state_at now r =
+  if r.ejected_until > now then Ejected
+  else if r.ejected_until > 0.0 then Probation
+  else if r.draining then Draining
+  else if r.fails > 0 then Suspect
+  else Ready
+
+let state t r =
+  Mutex.protect t.lock (fun () -> state_at (Unix.gettimeofday ()) r)
+
+let eject_locked t r now =
+  let jitter = 1.0 +. Random.State.float t.rng t.config.readmit_jitter in
+  r.ejected_until <- now +. (t.config.eject_cooldown *. jitter)
+
+let note_success t r =
+  Mutex.protect t.lock (fun () ->
+      r.served <- r.served + 1;
+      r.fails <- 0;
+      r.ejected_until <- 0.0)
+
+let note_failure t r =
+  Mutex.protect t.lock (fun () ->
+      let now = Unix.gettimeofday () in
+      r.failed <- r.failed + 1;
+      r.fails <- r.fails + 1;
+      (* one strike on probation, or the threshold from health *)
+      if r.ejected_until > 0.0 || r.fails >= t.config.eject_threshold then
+        eject_locked t r now)
+
+let note_probe t r outcome =
+  Mutex.protect t.lock (fun () -> r.probes <- r.probes + 1);
+  match outcome with
+  | `Ready ->
+    Mutex.protect t.lock (fun () ->
+        r.draining <- false;
+        r.fails <- 0;
+        r.ejected_until <- 0.0)
+  | `Not_ready ->
+    (* the replica answered — it is alive, just not taking new traffic
+       (draining, catalog wedged).  Deprioritize, don't eject: ejection
+       is for members that cost a timeout to discover. *)
+    Mutex.protect t.lock (fun () ->
+        r.draining <- true;
+        r.fails <- 0)
+  | `Failed -> note_failure t r
+
+(* Healthiest first.  Within the Ready tier a rotating cursor spreads
+   primaries across the group; every other tier keeps a deterministic
+   order (fewest consecutive failures, then soonest re-admission). *)
+let rank t =
+  Mutex.protect t.lock (fun () ->
+      let now = Unix.gettimeofday () in
+      let n = Array.length t.members in
+      t.cursor <- (t.cursor + 1) mod n;
+      let tier r =
+        match state_at now r with
+        | Ready -> 0
+        | Probation -> 1
+        | Draining -> 2
+        | Suspect -> 3
+        | Ejected -> 4
+      in
+      let rotated = Array.init n (fun i -> t.members.((t.cursor + i) mod n)) in
+      let order = Array.mapi (fun i r -> (tier r, r.fails, r.ejected_until, i, r)) rotated in
+      Array.sort
+        (fun (ta, fa, ua, ia, _) (tb, fb, ub, ib, _) ->
+          match compare ta tb with
+          | 0 -> (
+            match compare fa fb with
+            | 0 -> ( match compare ua ub with 0 -> compare ia ib | c -> c)
+            | c -> c)
+          | c -> c)
+        order;
+      Array.to_list (Array.map (fun (_, _, _, _, r) -> r) order))
+
+let ready_count t =
+  Mutex.protect t.lock (fun () ->
+      let now = Unix.gettimeofday () in
+      Array.fold_left
+        (fun acc r -> match state_at now r with Ready | Probation -> acc + 1 | _ -> acc)
+        0 t.members)
+
+let ejected_count t =
+  Mutex.protect t.lock (fun () ->
+      let now = Unix.gettimeofday () in
+      Array.fold_left
+        (fun acc r -> if state_at now r = Ejected then acc + 1 else acc)
+        0 t.members)
+
+let describe t =
+  Mutex.protect t.lock (fun () ->
+      let now = Unix.gettimeofday () in
+      Array.to_list
+        (Array.map
+           (fun r ->
+             Printf.sprintf "%s=%s served=%d failed=%d" r.path
+               (state_name (state_at now r))
+               r.served r.failed)
+           t.members))
+
+(* ------------------------------------------------------------------ *)
+(* Per-group retry budget                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A token bucket that caps hedges + retries as a fraction of recent
+   primary traffic.  Every primary request deposits [ratio] tokens
+   (capped at [burst]); every hedge or retry withdraws one.  Under a
+   healthy group the bucket sits full and every hedge is admitted;
+   when the WHOLE group is sick, every request wants retries, demand
+   exceeds ratio x traffic, and the bucket runs dry — amplification is
+   bounded at [ratio] instead of multiplying a brownout into a storm.
+   The bucket starts full so failover works from the first request. *)
+module Budget = struct
+  type t = {
+    lock : Mutex.t;
+    ratio : float;
+    burst : float;
+    mutable tokens : float;
+    mutable deposits : int;
+    mutable spent : int;
+    mutable denied : int;
+  }
+
+  let create ~ratio ~burst =
+    if ratio < 0.0 then invalid_arg "Budget.create: ratio must be >= 0";
+    if burst < 1.0 then invalid_arg "Budget.create: burst must be >= 1";
+    {
+      lock = Mutex.create ();
+      ratio;
+      burst;
+      tokens = burst;
+      deposits = 0;
+      spent = 0;
+      denied = 0;
+    }
+
+  let note_request b =
+    Mutex.protect b.lock (fun () ->
+        b.deposits <- b.deposits + 1;
+        b.tokens <- Float.min b.burst (b.tokens +. b.ratio))
+
+  let try_take b =
+    Mutex.protect b.lock (fun () ->
+        if b.tokens >= 1.0 then begin
+          b.tokens <- b.tokens -. 1.0;
+          b.spent <- b.spent + 1;
+          true
+        end
+        else begin
+          b.denied <- b.denied + 1;
+          false
+        end)
+
+  let tokens b = Mutex.protect b.lock (fun () -> b.tokens)
+
+  let spent b = Mutex.protect b.lock (fun () -> b.spent)
+
+  let denied b = Mutex.protect b.lock (fun () -> b.denied)
+
+  let ratio b = b.ratio
+
+  let burst b = b.burst
+end

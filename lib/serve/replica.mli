@@ -1,0 +1,128 @@
+(** A registry of identical replicas of one synopsis catalog, with the
+    health bookkeeping a scatter-gather coordinator routes by.
+
+    {2 Health-gated routing}
+
+    Each member carries a small state machine fed by two observation
+    streams — live-traffic outcomes ({!note_success}/{!note_failure})
+    and background [HEALTH] probes ({!note_probe}):
+
+    - {e Ready}: answering and [ready=yes] — the primary tier.
+    - {e Suspect}: recent consecutive failures, below the ejection
+      threshold; still routable, deprioritized.
+    - {e Draining}: alive but answering [ready=no] (a rolling restart
+      in progress) — routed only when nothing healthier exists.
+    - {e Ejected}: [eject_threshold] consecutive failures; not routed
+      until a jittered cooldown elapses ({e outlier ejection}).
+    - {e Probation}: cooldown elapsed — re-admitted, but one more
+      failure re-ejects immediately (jittered again), so a flapping
+      replica costs one probe per cooldown, not a storm.
+
+    {!rank} orders the whole group healthiest-first and {e fails open}:
+    with every member ejected it still returns them all (soonest
+    re-admission first) — trying a probably-dead server beats refusing
+    the request outright.  The Ready tier rotates under a cursor so
+    primaries spread across the group.
+
+    All operations are thread-safe (connection threads and the prober
+    feed the same registry); jitter comes from one seeded rng, so tests
+    replay exactly. *)
+
+type config = {
+  eject_threshold : int;
+      (** consecutive failures before a member is ejected, >= 1 *)
+  eject_cooldown : float;  (** seconds ejected, before jitter *)
+  readmit_jitter : float;
+      (** cooldowns are scaled by [1 + uniform(0, readmit_jitter)] *)
+  seed : int;  (** seeds the jitter rng *)
+}
+
+val default_config : config
+(** 3 strikes, 2 s cooldown, up to +50% jitter, seed 0. *)
+
+type state = Ready | Draining | Suspect | Probation | Ejected
+
+val state_name : state -> string
+
+type replica
+
+type t
+
+val create : ?config:config -> string list -> t
+(** [create paths] registers one member per socket path, all Ready.
+    Raises [Invalid_argument] on an empty list. *)
+
+val size : t -> int
+
+val members : t -> replica list
+(** Registration order, regardless of health. *)
+
+val path : replica -> string
+
+val state : t -> replica -> state
+
+val note_success : t -> replica -> unit
+(** A live request got a definitive answer: reset strikes, clear any
+    ejection or probation. *)
+
+val note_failure : t -> replica -> unit
+(** A live request failed at the transport (connect refused, EOF,
+    timeout) or with a retryable server error: one strike.  At
+    [eject_threshold] strikes — or a single strike on probation — the
+    member is ejected for a jittered cooldown. *)
+
+val note_probe : t -> replica -> [ `Ready | `Not_ready | `Failed ] -> unit
+(** Feed a background HEALTH probe result: [`Ready] fully heals the
+    member, [`Not_ready] marks it Draining (deprioritized, {e not}
+    ejected — it answered), [`Failed] counts like {!note_failure}. *)
+
+val rank : t -> replica list
+(** Every member, healthiest first: Ready (rotating), Probation,
+    Draining, Suspect (fewest strikes first), Ejected (soonest
+    re-admission first).  Never empty. *)
+
+val ready_count : t -> int
+(** Members currently in the Ready or Probation tiers — what a
+    coordinator's own readiness gates on. *)
+
+val ejected_count : t -> int
+
+val describe : t -> string list
+(** One [path=state served=n failed=n] token per member, for logs. *)
+
+(** {2 Per-group retry budget}
+
+    A token bucket capping hedges + retries as a fraction of primary
+    traffic: each primary request deposits [ratio] tokens (bucket
+    capped at [burst], and {e starting} at [burst] so cold-start
+    failover is never refused); each hedge or retry withdraws one.
+    When the whole group is sick every request wants retries — the
+    bucket runs dry and amplification is bounded at [ratio] instead of
+    multiplying a brownout into a connect storm.  Thread-safe. *)
+module Budget : sig
+  type t
+
+  val create : ratio:float -> burst:float -> t
+  (** [ratio >= 0], [burst >= 1] (checked). *)
+
+  val note_request : t -> unit
+  (** A primary request happened: deposit [ratio] tokens. *)
+
+  val try_take : t -> bool
+  (** Withdraw one token for a hedge/retry; [false] (and counted in
+      {!denied}) when the bucket is dry — the caller must skip the
+      hedge, not queue for it. *)
+
+  val tokens : t -> float
+
+  val spent : t -> int
+  (** Hedges + retries admitted so far. *)
+
+  val denied : t -> int
+  (** Hedges + retries refused so far — the anti-storm counter chaos
+      tests assert on. *)
+
+  val ratio : t -> float
+
+  val burst : t -> float
+end

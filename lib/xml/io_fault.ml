@@ -1,10 +1,11 @@
-type site = Read | Write | Open | Accept | Fsync | Rename | Fork
+type site = Read | Write | Open | Accept | Connect | Fsync | Rename | Fork
 
 let site_name = function
   | Read -> "read"
   | Write -> "write"
   | Open -> "open"
   | Accept -> "accept"
+  | Connect -> "connect"
   | Fsync -> "fsync"
   | Rename -> "rename"
   | Fork -> "fork"

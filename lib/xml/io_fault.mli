@@ -22,6 +22,8 @@ type site =
   | Write  (** writing file or socket bytes *)
   | Open  (** opening or stat-ing a path *)
   | Accept  (** accepting a socket connection *)
+  | Connect  (** initiating a socket connection (the client and the
+                replica coordinator dialing a server) *)
   | Fsync  (** flushing written data to disk *)
   | Rename  (** atomically publishing a temp file *)
   | Fork  (** forking a worker process (build jobs, the query pool) *)

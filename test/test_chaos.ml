@@ -354,6 +354,130 @@ let test_client_error_exit_codes () =
     (Client.idempotent "CANCEL db");
   Alcotest.(check bool) "QUIT not idempotent" false (Client.idempotent "QUIT")
 
+(* the Connect fault site gates the client's dial: armed, every connect
+   to the filtered path fails with the injected errno (a typed Io error
+   after the attempts run out, never a hang); disarmed, the same client
+   connects fine.  This is the rule-plan the coordinator chaos stage
+   leans on to simulate unreachable replicas. *)
+let test_connect_fault_site () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "db.ts") (Lazy.force synopsis);
+      let sock = Filename.concat dir "conn.sock" in
+      let server = quiet_server dir in
+      let th =
+        Thread.create (fun () -> Server.serve_socket server ~path:sock) ()
+      in
+      ignore (connect sock |> fun fd -> Unix.close fd);
+      let config =
+        {
+          Client.default_config with
+          attempts = 2;
+          backoff_base = 0.005;
+          backoff_cap = 0.02;
+          jitter_seed = seed;
+        }
+      in
+      Fun.protect ~finally:F.disarm (fun () ->
+          F.arm ~seed
+            [ F.rule ~prob:1.0 ~path:"conn.sock" F.Connect F.Eio ];
+          let before = F.injected () in
+          let client = Client.create ~config [ sock ] in
+          (match Client.request client "PING" with
+          | Error (Client.Io _) -> ()
+          | Error e ->
+            Alcotest.failf "wrong error under Connect faults: %s"
+              (Client.error_to_string e)
+          | Ok r -> Alcotest.failf "connected through a Connect fault: %S" r);
+          Alcotest.(check bool) "Connect taps fired" true (F.injected () > before);
+          Client.close client);
+      (* disarmed: the same target answers *)
+      let client = Client.create ~config [ sock ] in
+      (match Client.request client "PING" with
+      | Ok "pong" -> ()
+      | Ok r -> Alcotest.failf "expected pong, got %S" r
+      | Error e ->
+        Alcotest.failf "disarmed connect failed: %s" (Client.error_to_string e));
+      Client.close client;
+      Server.request_drain server;
+      Thread.join th)
+
+(* regression: the client must forward [-deadline] MINUS the time it
+   already burned (stalled attempts, backoff), never the caller's
+   original budget verbatim.  Endpoint A listens but never accepts —
+   the first attempt eats the full per-attempt timeout — so the line
+   that reaches B must carry a visibly smaller deadline. *)
+let test_deadline_forwarded_minus_elapsed () =
+  with_temp_dir (fun dir ->
+      let sock_a = Filename.concat dir "stall.sock" in
+      let sock_b = Filename.concat dir "echo.sock" in
+      (* A: a bound, listening, never-accepting socket.  Connects land
+         in the backlog; the request is sent and nothing ever answers. *)
+      let stall = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind stall (Unix.ADDR_UNIX sock_a);
+      Unix.listen stall 8;
+      (* B: a scripted replica recording the line it receives *)
+      let received = ref None in
+      let bsock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind bsock (Unix.ADDR_UNIX sock_b);
+      Unix.listen bsock 8;
+      let bth =
+        Thread.create
+          (fun () ->
+            match Unix.accept bsock with
+            | exception Unix.Unix_error _ -> ()
+            | fd, _ ->
+              let ic = Unix.in_channel_of_descr fd in
+              let oc = Unix.out_channel_of_descr fd in
+              (match input_line ic with
+              | line ->
+                received := Some line;
+                output_string oc
+                  "ok query degraded=no est=1 classes=1 empty=no\n";
+                flush oc
+              | exception End_of_file -> ());
+              Unix.close fd)
+          ()
+      in
+      let stall_for = 0.2 in
+      let client =
+        Client.create
+          ~config:
+            {
+              Client.default_config with
+              request_timeout = stall_for;
+              attempts = 2;
+              backoff_base = 0.01;
+              backoff_cap = 0.02;
+              jitter_seed = seed;
+            }
+          [ sock_a; sock_b ]
+      in
+      let asked = 5.0 in
+      (match
+         Client.request client
+           (Printf.sprintf "QUERY -deadline=%g db //movie" asked)
+       with
+      | Ok r -> check_well_formed "forwarded query" r
+      | Error e ->
+        Alcotest.failf "request failed: %s" (Client.error_to_string e));
+      Thread.join bth;
+      (match !received with
+      | None -> Alcotest.fail "endpoint B never saw the request"
+      | Some line -> (
+        match Serve.Protocol.request_deadline line with
+        | None ->
+          Alcotest.failf "forwarded line lost its deadline: %S" line
+        | Some d ->
+          Alcotest.(check bool)
+            (Printf.sprintf
+               "forwarded deadline %g reflects the %.2gs stalled on A" d
+               stall_for)
+            true
+            (d > 0.0 && d <= asked -. (stall_for /. 2.))));
+      Client.close client;
+      Unix.close stall;
+      Unix.close bsock)
+
 (* ------------------------------------------------------------------ *)
 (* Drain as a unit                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -561,6 +685,10 @@ let () =
             test_client_deadline_beats_server;
           Alcotest.test_case "error taxonomy and idempotency" `Quick
             test_client_error_exit_codes;
+          Alcotest.test_case "Connect fault site gates the dial" `Quick
+            test_connect_fault_site;
+          Alcotest.test_case "deadline forwarded minus elapsed" `Quick
+            test_deadline_forwarded_minus_elapsed;
         ] );
       ( "drain",
         [ Alcotest.test_case "serve_socket returns" `Quick test_drain_unit ] );

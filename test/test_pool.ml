@@ -411,6 +411,62 @@ let test_breaker_opens_and_recovers () =
       | _ -> Alcotest.fail "expected Breaker_open after failed probe");
       Client.close client)
 
+(* a half-open probe that hits worker-crash must RE-OPEN the breaker —
+   with a fresh cooldown — never wedge it half-open.  The wedge would
+   show as either (a) traffic flowing while the synopsis still crashes,
+   or (b) no second probe ever being admitted; this drives a full
+   open -> crashed probe -> open -> healed probe -> closed cycle to
+   rule out both. *)
+let test_breaker_halfopen_probe_crash_reopens () =
+  with_fake_server (fun path hits mode ->
+      let cooldown = 0.2 in
+      let client =
+        Client.create
+          ~config:
+            {
+              Client.default_config with
+              attempts = 1;
+              request_timeout = 2.0;
+              breaker_threshold = 2;
+              breaker_cooldown = cooldown;
+              jitter_seed = seed;
+            }
+          [ path ]
+      in
+      let expect what prefix =
+        match Client.request client what with
+        | Ok r -> check_prefix what prefix r
+        | Error e -> Alcotest.failf "%s: %s" what (Client.error_to_string e)
+      in
+      let past_cooldown () = Thread.delay (cooldown *. 1.5 *. 1.2) in
+      for _ = 1 to 2 do
+        expect "QUERY db //movie" "error worker-crash"
+      done;
+      Alcotest.(check bool) "tripped" true
+        (Client.breaker_state client "db" = Some `Open);
+      (* first half-open probe: admitted, crashes *)
+      past_cooldown ();
+      expect "QUERY db //movie" "error worker-crash";
+      Alcotest.(check bool) "crashed probe re-opens (no half-open wedge)" true
+        (Client.breaker_state client "db" = Some `Open);
+      (* re-opened means fail-fast again, with zero network traffic *)
+      let hits_before = !hits in
+      (match Client.request client "QUERY db //movie" with
+      | Error (Client.Breaker_open _) -> ()
+      | Ok r -> Alcotest.failf "expected Breaker_open, got %S" r
+      | Error e ->
+        Alcotest.failf "expected Breaker_open, got %s"
+          (Client.error_to_string e));
+      Alcotest.(check int) "re-opened breaker sheds locally" hits_before !hits;
+      (* and the re-open armed a FRESH cooldown: a second probe is
+         admitted after it, so a healed server closes the breaker *)
+      past_cooldown ();
+      mode := `Ok;
+      expect "QUERY db //movie" "ok query";
+      Alcotest.(check bool) "second probe closed it" true
+        (Client.breaker_state client "db" = Some `Closed);
+      Client.close client)
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end chaos: >= 200 mixed requests against a hostile pool      *)
 (* ------------------------------------------------------------------ *)
@@ -526,6 +582,8 @@ let () =
         [
           Alcotest.test_case "opens, fails fast, recovers" `Quick
             test_breaker_opens_and_recovers;
+          Alcotest.test_case "crashed half-open probe re-opens" `Quick
+            test_breaker_halfopen_probe_crash_reopens;
         ] );
       ( "chaos",
         [ Alcotest.test_case "220 mixed hostile requests" `Quick test_pool_chaos ] );

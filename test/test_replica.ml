@@ -1,0 +1,683 @@
+(* Replica-group serving: the registry's ejection state machine, the
+   retry-budget token bucket, the protocol's deadline-propagation
+   helpers, the coordinator's hedged scatter-gather as a unit, and a
+   500-request end-to-end chaos run — three forked replicas behind a
+   forked coordinator, one SIGKILLed and one SIGSTOPped mid-run —
+   asserting zero lost requests, a bounded retry budget (no retry
+   storm), and a clean exit-0 SIGTERM drain.
+
+   Everything is seeded; override with CHAOS_SEED=<n>. *)
+
+module F = Xmldoc.Io_fault
+module Server = Serve.Server
+module Client = Serve.Client
+module Protocol = Serve.Protocol
+module Replica = Serve.Replica
+module Coordinator = Serve.Coordinator
+module Serialize = Sketch.Serialize
+module Stable = Sketch.Stable
+
+let seed =
+  match Sys.getenv_opt "CHAOS_SEED" with
+  | None -> 0x4E9C0
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> failwith (Printf.sprintf "CHAOS_SEED=%S is not an integer" s))
+
+let () =
+  Printf.eprintf "replica seed = %d (override with CHAOS_SEED=<n>)\n%!" seed
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "tsrepl" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun file ->
+          try Sys.remove (Filename.concat dir file) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let synopsis =
+  lazy
+    (Stable.build
+       (Xmldoc.Parser.of_string
+          "<db><movie><actor/><actor/><title/></movie>\
+           <movie><actor/><title/></movie><short><title/></short></db>"))
+
+let save path s =
+  match Serialize.save_atomic path s with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "save %s: %s" path (Xmldoc.Fault.to_string f)
+
+let quiet_server ?config dir = Server.create ~log:(fun _ -> ()) ?config dir
+
+let rec connect ?(attempts = 100) path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> fd
+  | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _) when attempts > 0
+    ->
+    Unix.close fd;
+    Thread.delay 0.02;
+    connect ~attempts:(attempts - 1) path
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let error_classes =
+  [ "bad-request"; "not-found"; "overloaded"; "internal";
+    "parse"; "corrupt"; "limit"; "deadline"; "io"; "busy";
+    "worker-crash"; "poisoned" ]
+
+let well_formed response =
+  (not (String.contains response '\n'))
+  && (response = "pong" || response = "bye"
+     || starts_with "ok " response
+     ||
+     match String.split_on_char ' ' response with
+     | "error" :: cls :: _ -> List.mem cls error_classes
+     | _ -> false)
+
+let check_well_formed what response =
+  if not (well_formed response) then
+    Alcotest.failf "%s: malformed reply %S" what response
+
+(* pull [key=<int>] out of a health/stats line *)
+let int_field line key =
+  let prefix = key ^ "=" in
+  let tok =
+    List.find_opt
+      (fun t -> starts_with prefix t)
+      (String.split_on_char ' ' line)
+  in
+  match tok with
+  | None -> Alcotest.failf "no %s= field in %S" key line
+  | Some t -> (
+    let v = String.sub t (String.length prefix)
+              (String.length t - String.length prefix) in
+    match int_of_string_opt v with
+    | Some n -> n
+    | None -> Alcotest.failf "%s= field is not an integer in %S" key line)
+
+(* ------------------------------------------------------------------ *)
+(* Registry: ranking, ejection, probation                              *)
+(* ------------------------------------------------------------------ *)
+
+let reg_config =
+  {
+    Replica.eject_threshold = 2;
+    eject_cooldown = 0.1;
+    readmit_jitter = 0.0 (* deterministic timing for the unit tests *);
+    seed;
+  }
+
+let nth_member g i = List.nth (Replica.members g) i
+
+let rank_paths g = List.map Replica.path (Replica.rank g)
+
+let test_rank_rotates_and_fails_open () =
+  let g = Replica.create ~config:reg_config [ "a"; "b"; "c" ] in
+  Alcotest.(check int) "size" 3 (Replica.size g);
+  Alcotest.(check int) "all ready" 3 (Replica.ready_count g);
+  (* the Ready tier rotates: over a few ranks every member leads *)
+  let heads =
+    List.init 6 (fun _ -> List.hd (rank_paths g))
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string)) "every member takes the lead"
+    [ "a"; "b"; "c" ] heads;
+  (* strikes deprioritize, ejection sinks to the bottom — but the list
+     never shrinks *)
+  let b = nth_member g 1 in
+  Replica.note_failure g b;
+  Alcotest.(check bool) "one strike = suspect" true
+    (Replica.state g b = Replica.Suspect);
+  let r = rank_paths g in
+  Alcotest.(check int) "rank keeps everyone" 3 (List.length r);
+  Alcotest.(check string) "suspect ranks last" "b" (List.nth r 2);
+  Replica.note_failure g b;
+  Alcotest.(check bool) "threshold ejects" true
+    (Replica.state g b = Replica.Ejected);
+  Alcotest.(check int) "ejected not ready" 2 (Replica.ready_count g);
+  Alcotest.(check int) "ejected counted" 1 (Replica.ejected_count g);
+  (* eject the whole group: rank must FAIL OPEN, never empty *)
+  List.iter
+    (fun m ->
+      Replica.note_failure g m;
+      Replica.note_failure g m)
+    (Replica.members g);
+  Alcotest.(check int) "all ejected" 3 (Replica.ejected_count g);
+  Alcotest.(check int) "rank fails open" 3 (List.length (rank_paths g))
+
+let test_probation_one_strike () =
+  let g = Replica.create ~config:reg_config [ "a"; "b" ] in
+  let a = nth_member g 0 in
+  Replica.note_failure g a;
+  Replica.note_failure g a;
+  Alcotest.(check bool) "ejected" true (Replica.state g a = Replica.Ejected);
+  (* cooldown (0.1 s, zero jitter) elapses: probation, routable again *)
+  Thread.delay 0.15;
+  Alcotest.(check bool) "probation after cooldown" true
+    (Replica.state g a = Replica.Probation);
+  Alcotest.(check int) "probation counts as ready" 2 (Replica.ready_count g);
+  (* one strike on probation re-ejects immediately — no second chance
+     at full price *)
+  Replica.note_failure g a;
+  Alcotest.(check bool) "probation strike re-ejects" true
+    (Replica.state g a = Replica.Ejected);
+  Thread.delay 0.15;
+  Replica.note_success g a;
+  Alcotest.(check bool) "success fully heals" true
+    (Replica.state g a = Replica.Ready)
+
+let test_probe_outcomes () =
+  let g = Replica.create ~config:reg_config [ "a"; "b" ] in
+  let a = nth_member g 0 in
+  (* ready=no is DRAINING: alive, deprioritized, never ejected — it
+     answered the probe *)
+  Replica.note_probe g a `Not_ready;
+  Alcotest.(check bool) "not_ready = draining" true
+    (Replica.state g a = Replica.Draining);
+  Alcotest.(check int) "draining not ready" 1 (Replica.ready_count g);
+  Alcotest.(check string) "draining ranks after ready" "a"
+    (List.nth (rank_paths g) 1);
+  (* a failed probe is a strike like live traffic *)
+  Replica.note_probe g a `Failed;
+  Replica.note_probe g a `Failed;
+  Alcotest.(check bool) "failed probes eject" true
+    (Replica.state g a = Replica.Ejected);
+  (* ready=yes heals everything, including the draining flag *)
+  Replica.note_probe g a `Ready;
+  Alcotest.(check bool) "ready probe heals" true
+    (Replica.state g a = Replica.Ready)
+
+let test_budget_bucket () =
+  let b = Replica.Budget.create ~ratio:0.2 ~burst:3.0 in
+  (* starts full: cold-start failover is never refused *)
+  Alcotest.(check bool) "take 1" true (Replica.Budget.try_take b);
+  Alcotest.(check bool) "take 2" true (Replica.Budget.try_take b);
+  Alcotest.(check bool) "take 3" true (Replica.Budget.try_take b);
+  Alcotest.(check bool) "dry" false (Replica.Budget.try_take b);
+  Alcotest.(check int) "spent" 3 (Replica.Budget.spent b);
+  Alcotest.(check int) "denied" 1 (Replica.Budget.denied b);
+  (* five primary requests deposit 5 x 0.2 = one token *)
+  for _ = 1 to 5 do
+    Replica.Budget.note_request b
+  done;
+  Alcotest.(check bool) "refilled by traffic" true (Replica.Budget.try_take b);
+  Alcotest.(check bool) "and only by ratio" false (Replica.Budget.try_take b);
+  (* deposits cap at burst *)
+  for _ = 1 to 100 do
+    Replica.Budget.note_request b
+  done;
+  Alcotest.(check bool) "bucket capped" true
+    (Replica.Budget.tokens b <= Replica.Budget.burst b +. 1e-9);
+  Alcotest.(check (float 1e-9)) "at exactly burst" 3.0 (Replica.Budget.tokens b)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: deadline propagation and single-target verbs              *)
+(* ------------------------------------------------------------------ *)
+
+let test_deadline_helpers () =
+  Alcotest.(check (option (float 1e-9))) "read back" (Some 2.5)
+    (Protocol.request_deadline "QUERY -deadline=2.5 db //movie");
+  Alcotest.(check (option (float 1e-9))) "absent" None
+    (Protocol.request_deadline "QUERY db //movie");
+  (* the rewrite subtracts elapsed, only in the option zone *)
+  let line = "QUERY -deadline=2 -max-nodes=5 db //movie" in
+  let fwd = Protocol.with_remaining_deadline line ~elapsed:0.5 in
+  Alcotest.(check (option (float 1e-6))) "minus elapsed" (Some 1.5)
+    (Protocol.request_deadline fwd);
+  Alcotest.(check bool) "other options survive" true
+    (List.mem "-max-nodes=5" (String.split_on_char ' ' fwd));
+  (* zero elapsed or no deadline: byte-identical passthrough *)
+  Alcotest.(check string) "elapsed=0 untouched" line
+    (Protocol.with_remaining_deadline line ~elapsed:0.0);
+  Alcotest.(check string) "no deadline untouched" "QUERY db //movie"
+    (Protocol.with_remaining_deadline "QUERY db //movie" ~elapsed:9.0);
+  (* operand text that LOOKS like the option is never rewritten *)
+  let tricky = "QUERY -deadline=4 db //a[-deadline=4]" in
+  let fwd = Protocol.with_remaining_deadline tricky ~elapsed:1.0 in
+  Alcotest.(check (option (float 1e-6))) "option rewritten" (Some 3.0)
+    (Protocol.request_deadline fwd);
+  Alcotest.(check bool) "operand untouched" true
+    (List.mem "//a[-deadline=4]" (String.split_on_char ' ' fwd));
+  (* an already-overdrawn budget keeps shrinking, not resetting *)
+  (match
+     Protocol.request_deadline
+       (Protocol.with_remaining_deadline "QUERY -deadline=0.1 db //a"
+          ~elapsed:0.4)
+   with
+  | Some d -> Alcotest.(check bool) "negative = already expired" true (d < 0.0)
+  | None -> Alcotest.fail "deadline dropped");
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) (l ^ " is single-target") true
+        (Protocol.single_target l))
+    [ "BUILD db doc.xml 4KB"; "reload -force"; "CANCEL db"; "JOBS"; "QUIT" ];
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) (l ^ " is group-safe") false
+        (Protocol.single_target l))
+    [ "PING"; "HEALTH"; "LIST"; "STAT db"; "QUERY db //a"; "ANSWER db //a" ]
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator as a unit (in-process replicas)                         *)
+(* ------------------------------------------------------------------ *)
+
+let coord_config =
+  {
+    Coordinator.default_config with
+    hedge_after = 0.02;
+    request_timeout = 2.0;
+    connect_timeout = 0.5;
+    probe_interval = 0.1;
+    probe_timeout = 0.3;
+    replica =
+      { Replica.default_config with eject_cooldown = 0.3; seed };
+  }
+
+let quiet_coordinator ?(config = coord_config) paths =
+  Coordinator.create ~log:(fun _ -> ()) ~config paths
+
+let with_replica_servers dir n f =
+  let socks =
+    List.init n (fun i -> Filename.concat dir (Printf.sprintf "r%d.sock" i))
+  in
+  let servers = List.map (fun _ -> quiet_server dir) socks in
+  let threads =
+    List.map2
+      (fun server sock ->
+        Thread.create (fun () -> Server.serve_socket server ~path:sock) ())
+      servers socks
+  in
+  List.iter (fun sock -> ignore (connect sock |> fun fd -> Unix.close fd)) socks;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Server.request_drain servers;
+      List.iter Thread.join threads)
+    (fun () -> f socks)
+
+let test_coordinator_routes_and_refuses () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "db.ts") (Lazy.force synopsis);
+      with_replica_servers dir 2 (fun socks ->
+          let coord = quiet_coordinator socks in
+          let ask line =
+            let response, quit = Coordinator.handle_line coord line in
+            check_well_formed line response;
+            Alcotest.(check bool) (line ^ " does not quit") false quit;
+            response
+          in
+          Alcotest.(check string) "ping is local" "pong" (ask "PING");
+          Alcotest.(check bool) "query forwarded" true
+            (starts_with "ok query" (ask "QUERY db //movie"));
+          Alcotest.(check bool) "answer forwarded" true
+            (starts_with "ok answer" (ask "ANSWER -max-nodes=3 db //movie"));
+          Alcotest.(check bool) "list forwarded" true
+            (starts_with "ok catalog" (ask "LIST"));
+          Alcotest.(check bool) "stat forwarded" true
+            (starts_with "ok stat" (ask "STAT db"));
+          Alcotest.(check bool) "replica errors pass through" true
+            (starts_with "error not-found" (ask "QUERY ghost //a"));
+          Alcotest.(check bool) "malformed refused locally" true
+            (starts_with "error bad-request" (ask "NONSENSE !!"));
+          (* single-target verbs never pick a replica implicitly *)
+          List.iter
+            (fun l ->
+              Alcotest.(check bool) (l ^ " refused") true
+                (starts_with "error bad-request" (ask l)))
+            [ "BUILD db doc.xml 4KB"; "RELOAD"; "CANCEL db"; "JOBS" ];
+          let health = ask "HEALTH" in
+          Alcotest.(check bool) "aggregate health" true
+            (starts_with "ok health live=yes ready=yes" health);
+          Alcotest.(check bool) "both replicas counted" true
+            (List.mem "replicas=2/2" (String.split_on_char ' ' health));
+          Alcotest.(check bool) "forwards counted" true
+            (int_field health "forwarded" >= 5);
+          Alcotest.(check int) "refusals counted" 4
+            ((Coordinator.stats coord).Coordinator.refused);
+          let quit_resp, quit = Coordinator.handle_line coord "QUIT" in
+          Alcotest.(check string) "quit is local" "bye" quit_resp;
+          Alcotest.(check bool) "quit closes" true quit))
+
+let test_coordinator_hedges_past_slow_replica () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "db.ts") (Lazy.force synopsis);
+      with_replica_servers dir 2 (fun socks ->
+          (* replica 0 answers ~80 ms late (server-side read delay);
+             replica 1 is fast.  With a 20 ms hedge, every request that
+             picks r0 as primary is rescued by a hedge to r1. *)
+          Fun.protect ~finally:F.disarm (fun () ->
+              F.arm ~seed
+                [ F.rule ~prob:1.0 ~path:"r0.sock" F.Read (F.Delay 0.08) ];
+              let coord = quiet_coordinator socks in
+              let t0 = Unix.gettimeofday () in
+              for i = 1 to 10 do
+                let response, _ =
+                  Coordinator.handle_line coord "QUERY db //movie"
+                in
+                check_well_formed (Printf.sprintf "hedged query %d" i) response;
+                if not (starts_with "ok query" response) then
+                  Alcotest.failf "hedged query %d answered %S" i response
+              done;
+              let elapsed = Unix.gettimeofday () -. t0 in
+              let s = Coordinator.stats coord in
+              Alcotest.(check bool)
+                (Printf.sprintf "hedges fired (%d)" s.Coordinator.hedges)
+                true
+                (s.Coordinator.hedges > 0);
+              Alcotest.(check bool)
+                (Printf.sprintf "hedges won (%d)" s.Coordinator.hedges_won)
+                true
+                (s.Coordinator.hedges_won > 0);
+              (* 10 requests, half with an 80 ms primary: unhedged would
+                 cost >= 400 ms; hedged must come in well under that *)
+              Alcotest.(check bool)
+                (Printf.sprintf "hedging beat the slow replica (%.0f ms)"
+                   (elapsed *. 1000.))
+                true (elapsed < 0.4))))
+
+let test_coordinator_budget_bounds_retries () =
+  with_temp_dir (fun dir ->
+      (* A dead group (connect refused) is FREE to fail over: the
+         primary launch burns through the order without touching the
+         budget, and answers fast from the local error path. *)
+      let dead =
+        [ Filename.concat dir "dead0.sock"; Filename.concat dir "dead1.sock" ]
+      in
+      let config =
+        {
+          coord_config with
+          connect_timeout = 0.2;
+          request_timeout = 0.5;
+          retry_ratio = 0.0;
+          retry_burst = 2.0;
+        }
+      in
+      let coord = quiet_coordinator ~config dead in
+      let t0 = Unix.gettimeofday () in
+      for i = 1 to 10 do
+        let response, _ = Coordinator.handle_line coord "QUERY db //movie" in
+        check_well_formed (Printf.sprintf "dead-group query %d" i) response;
+        if not (starts_with "error " response) then
+          Alcotest.failf "dead group answered %S" response
+      done;
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check int) "refused connects are free failover" 0
+        (Replica.Budget.spent (Coordinator.budget coord));
+      Alcotest.(check bool)
+        (Printf.sprintf "dead group fails fast (%.0f ms)" (elapsed *. 1000.))
+        true (elapsed < 2.0);
+      (* A STALLED group — connects land in the backlog, nothing ever
+         answers — is the expensive case: every extra flight is a hedge
+         and must be paid for.  With ratio 0 and burst 2 the bucket
+         admits exactly two hedges EVER; after that every hedge attempt
+         is denied and counted, and requests still resolve (as deadline
+         errors) instead of storming. *)
+      let stalled =
+        List.map
+          (fun name ->
+            let path = Filename.concat dir name in
+            let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.bind sock (Unix.ADDR_UNIX path);
+            Unix.listen sock 64;
+            (path, sock))
+          [ "stall0.sock"; "stall1.sock" ]
+      in
+      Fun.protect
+        ~finally:(fun () -> List.iter (fun (_, s) -> Unix.close s) stalled)
+        (fun () ->
+          let config = { config with request_timeout = 0.15 } in
+          let coord = quiet_coordinator ~config (List.map fst stalled) in
+          for i = 1 to 6 do
+            let response, _ =
+              Coordinator.handle_line coord "QUERY db //movie"
+            in
+            check_well_formed (Printf.sprintf "stalled query %d" i) response;
+            if not (starts_with "error deadline" response) then
+              Alcotest.failf "stalled group answered %S" response
+          done;
+          let b = Coordinator.budget coord in
+          Alcotest.(check int) "hedge spend capped at burst" 2
+            (Replica.Budget.spent b);
+          Alcotest.(check bool)
+            (Printf.sprintf "denials counted (%d)" (Replica.Budget.denied b))
+            true
+            (Replica.Budget.denied b > 0)))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end chaos: forked replicas, SIGKILL + SIGSTOP, drain         *)
+(* ------------------------------------------------------------------ *)
+
+let spawn_replica ~dir ~sock =
+  match Unix.fork () with
+  | 0 ->
+    (try
+       let config = { Server.default_config with drain_deadline = 2.0 } in
+       let server = quiet_server ~config dir in
+       Server.install_drain_signals server;
+       Server.serve_socket server ~path:sock;
+       Unix._exit 0
+     with _ -> Unix._exit 99)
+  | pid -> pid
+
+let spawn_coordinator ~socks ~sock =
+  match Unix.fork () with
+  | 0 ->
+    (try
+       let config =
+         {
+           Coordinator.default_config with
+           hedge_after = 0.02;
+           request_timeout = 2.0;
+           connect_timeout = 0.3;
+           retry_ratio = 0.2;
+           retry_burst = 10.0;
+           probe_interval = 0.1;
+           probe_timeout = 0.3;
+           drain_deadline = 2.0;
+           replica =
+             { Replica.default_config with eject_cooldown = 0.3; seed };
+         }
+       in
+       let coord = Coordinator.create ~log:(fun _ -> ()) ~config socks in
+       Coordinator.install_drain_signals coord;
+       Coordinator.serve_socket coord ~path:sock;
+       Unix._exit 0
+     with _ -> Unix._exit 99)
+  | pid -> pid
+
+let expect_clean_exit what pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> Alcotest.failf "%s exited %d, want 0" what n
+  | _, Unix.WSIGNALED s -> Alcotest.failf "%s killed by signal %d" what s
+  | _, Unix.WSTOPPED s -> Alcotest.failf "%s stopped by signal %d" what s
+
+let e2e_request rng =
+  match Random.State.int rng 10 with
+  | 0 -> "PING"
+  | 1 -> "HEALTH"
+  | 2 -> "LIST"
+  | 3 -> "STAT db"
+  | 4 -> "QUERY db //movie[//actor]"
+  | 5 -> "ANSWER -max-nodes=3 db //movie"
+  | 6 -> "QUERY -deadline=1.5 db //movie"
+  | 7 -> "QUERY ghost //a"
+  | 8 -> "RELOAD" (* refused by the coordinator: still a resolution *)
+  | _ -> "QUERY db //short"
+
+let test_e2e_coordinator_chaos () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "db.ts") (Lazy.force synopsis);
+      let socks =
+        List.init 3 (fun i -> Filename.concat dir (Printf.sprintf "e%d.sock" i))
+      in
+      let pids = List.map (fun sock -> spawn_replica ~dir ~sock) socks in
+      List.iter
+        (fun sock -> ignore (connect sock |> fun fd -> Unix.close fd))
+        socks;
+      let coord_sock = Filename.concat dir "coord.sock" in
+      let coord_pid = spawn_coordinator ~socks ~sock:coord_sock in
+      ignore (connect coord_sock |> fun fd -> Unix.close fd);
+      (* On any failure below, reap every fork: a leaked child would
+         outlive the test run holding its inherited stdout/stderr pipe
+         open, wedging whatever CI command is reading it. *)
+      let reap_leftovers () =
+        List.iter
+          (fun pid ->
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+          (coord_pid :: pids)
+      in
+      let finished = ref false in
+      Fun.protect
+        ~finally:(fun () -> if not !finished then reap_leftovers ())
+      @@ fun () ->
+      let client =
+        Client.create
+          ~config:
+            {
+              Client.default_config with
+              attempts = 4;
+              request_timeout = 4.0;
+              backoff_base = 0.02;
+              backoff_cap = 0.2;
+              jitter_seed = seed;
+            }
+          [ coord_sock ]
+      in
+      let rng = Random.State.make [| seed + 7 |] in
+      let oks = ref 0 and server_errors = ref 0 and client_errors = ref 0 in
+      let drive i =
+        let line = e2e_request rng in
+        match Client.request client line with
+        | Ok response ->
+          check_well_formed
+            (Printf.sprintf "request %d (%S)" i (String.escaped line))
+            response;
+          if starts_with "error " response then incr server_errors
+          else incr oks
+        | Error (Client.Bad_response msg) ->
+          Alcotest.failf "request %d: protocol broken: %s" i msg
+        | Error _ -> incr client_errors
+      in
+      let pid_of i = List.nth pids i in
+      (* phase 1: healthy group *)
+      for i = 1 to 150 do
+        drive i
+      done;
+      (* phase 2: replica 0 dies without a goodbye.  Connects start
+         failing; the coordinator must fail over and eject it — every
+         in-flight and subsequent request still resolves. *)
+      Unix.kill (pid_of 0) Sys.sigkill;
+      for i = 151 to 275 do
+        drive i
+      done;
+      (* phase 3: replica 1 freezes — the nastier failure: connects
+         still land in its backlog and requests go unanswered.  The
+         hedge is what keeps these requests out of timeout territory. *)
+      Unix.kill (pid_of 1) Sys.sigstop;
+      for i = 276 to 425 do
+        drive i
+      done;
+      Unix.kill (pid_of 1) Sys.sigcont;
+      (* phase 4: thawed group (replica 1 recovers, 0 stays dead) *)
+      for i = 426 to 500 do
+        drive i
+      done;
+      (* the acceptance criteria: every request resolved, and the
+         hedge/retry traffic stayed inside the token-bucket cap *)
+      Alcotest.(check int) "every request resolved" 500
+        (!oks + !server_errors + !client_errors);
+      Alcotest.(check bool)
+        (Printf.sprintf "client-side failures stay rare (%d)" !client_errors)
+        true
+        (!client_errors <= 20);
+      Alcotest.(check bool) "successes dominate" true (!oks > 250);
+      (match Client.request client "HEALTH" with
+      | Ok health ->
+        check_well_formed "final health" health;
+        let forwarded = int_field health "forwarded" in
+        let spent = int_field health "budget_spent" in
+        let denied = int_field health "budget_denied" in
+        let hedges = int_field health "hedges" in
+        Printf.eprintf
+          "coordinator chaos: forwarded=%d hedges=%d budget_spent=%d \
+           budget_denied=%d\n\
+           %!"
+          forwarded hedges spent denied;
+        (* the retry-storm bound: spend <= ratio x forwarded + burst *)
+        let cap =
+          int_of_float (0.2 *. float_of_int forwarded) + 10 + 2 (* slack *)
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "budget bounded (%d <= %d)" spent cap)
+          true (spent <= cap);
+        Alcotest.(check bool) "hedging actually happened" true (hedges > 0)
+      | Error e ->
+        Alcotest.failf "final health: %s" (Client.error_to_string e));
+      Client.close client;
+      (* SIGTERM drains the coordinator: exit 0, socket unlinked *)
+      Unix.kill coord_pid Sys.sigterm;
+      expect_clean_exit "coordinator" coord_pid;
+      Alcotest.(check bool) "coordinator socket unlinked" false
+        (Sys.file_exists coord_sock);
+      (* surviving replicas drain clean; the SIGKILLed one died by 9 *)
+      Unix.kill (pid_of 1) Sys.sigterm;
+      Unix.kill (pid_of 2) Sys.sigterm;
+      expect_clean_exit "replica 1" (pid_of 1);
+      expect_clean_exit "replica 2" (pid_of 2);
+      (match Unix.waitpid [] (pid_of 0) with
+      | _, Unix.WSIGNALED s when s = Sys.sigkill -> ()
+      | _, status ->
+        Alcotest.failf "replica 0: unexpected status %s"
+          (match status with
+          | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+          | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+          | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s));
+      finished := true)
+
+let () =
+  Alcotest.run "replica"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "rank rotates and fails open" `Quick
+            test_rank_rotates_and_fails_open;
+          Alcotest.test_case "probation is one-strike" `Quick
+            test_probation_one_strike;
+          Alcotest.test_case "probe outcomes" `Quick test_probe_outcomes;
+          Alcotest.test_case "retry budget bucket" `Quick test_budget_bucket;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "deadline propagation helpers" `Quick
+            test_deadline_helpers;
+        ] );
+      ( "coordinator",
+        [
+          Alcotest.test_case "routes, aggregates, refuses" `Quick
+            test_coordinator_routes_and_refuses;
+          Alcotest.test_case "hedges past a slow replica" `Quick
+            test_coordinator_hedges_past_slow_replica;
+          Alcotest.test_case "budget bounds a dead group" `Quick
+            test_coordinator_budget_bounds_retries;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case
+            "500 requests, SIGKILL + SIGSTOP replicas, drained coordinator"
+            `Quick test_e2e_coordinator_chaos;
+        ] );
+    ]

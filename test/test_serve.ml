@@ -494,6 +494,53 @@ let test_socket_survives_rude_client () =
           flush oc;
           check_prefix "still serving queries" "ok query" (input_line ic)))
 
+(* HEALTH must keep answering while a socket drain is ACTIVELY in
+   progress — live=yes ready=no draining=yes — not just after the
+   flag flips.  This is the window a rolling restart (and the replica
+   coordinator's prober) watches: a draining member must read as
+   alive-but-not-ready, so it is deprioritized rather than ejected,
+   and the restart script knows the process is still unwinding. *)
+let test_health_during_active_drain () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "db.ts") (Lazy.force synopsis_a);
+      let sock_path = Filename.concat dir "drainh.sock" in
+      let config = { Server.default_config with drain_deadline = 1.0 } in
+      let server = quiet_server ~config dir in
+      let th =
+        Thread.create (fun () -> Server.serve_socket server ~path:sock_path) ()
+      in
+      let fd = connect sock_path in
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      output_string oc "HEALTH\n";
+      flush oc;
+      check_prefix "ready over the socket"
+        "ok health live=yes ready=yes draining=no" (input_line ic);
+      (* the drain starts; the accept loop and connection teardown are
+         now actively unwinding on the serve thread *)
+      Server.request_drain server;
+      (match Server.handle_line server "HEALTH" with
+      | health, false ->
+        check_prefix "live but not ready mid-drain"
+          "ok health live=yes ready=no draining=yes" health;
+        Alcotest.(check bool) "reason named" true
+          (T.contains health "reason=draining")
+      | _, true -> Alcotest.fail "HEALTH quit mid-drain");
+      (* the connected client is severed cleanly — EOF, not a torn line *)
+      (match input_line ic with
+      | line -> Alcotest.failf "unexpected line after drain: %S" line
+      | exception End_of_file -> ());
+      Unix.close fd;
+      Thread.join th;
+      Alcotest.(check bool) "listener unlinked" false (Sys.file_exists sock_path);
+      (* the process is still live after the front end is gone: HEALTH
+         answers (a late readiness probe must see live, not a crash) *)
+      match Server.handle_line server "HEALTH" with
+      | health, false ->
+        check_prefix "still live after serve_socket returned"
+          "ok health live=yes ready=no draining=yes" health
+      | _, true -> Alcotest.fail "HEALTH quit after drain")
+
 (* ------------------------------------------------------------------ *)
 (* STAT on quarantined entries                                         *)
 (* ------------------------------------------------------------------ *)
@@ -849,6 +896,8 @@ let () =
         [
           Alcotest.test_case "survives a client disconnecting mid-response"
             `Quick test_socket_survives_rude_client;
+          Alcotest.test_case "HEALTH answers during an active drain" `Quick
+            test_health_during_active_drain;
         ] );
       ( "stat",
         [

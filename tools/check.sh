@@ -44,4 +44,20 @@ echo "== pool chaos stage (seed pinned) =="
 # failure with the same CHAOS_SEED.
 CHAOS_SEED="${CHAOS_SEED:-721009}" dune exec test/test_pool.exe -- -c
 
+echo "== coordinator chaos stage (seed pinned) =="
+# Replica-group acceptance under a pinned seed: 3 forked replicas behind
+# the hedged coordinator, one SIGKILLed and one SIGSTOPped mid-run, 500
+# client requests — every request must resolve, the retry-budget counter
+# must prove hedge/retry traffic stayed inside the token-bucket cap (no
+# retry storm), and SIGTERM must drain the coordinator to exit 0.
+CHAOS_SEED="${CHAOS_SEED:-321984}" dune exec test/test_replica.exe -- -c
+
+echo "== serve bench stage (BENCH_serve.json) =="
+# Tail-latency acceptance: one replica browns out (seeded Io_fault read
+# delay); the hedged group's p99 must beat the single-replica p99.  The
+# percentiles, req/s and hedge rate land in BENCH_serve.json so later
+# perf PRs have a trajectory to compare against.
+CHAOS_SEED="${CHAOS_SEED:-24254}" dune exec bench/serve_bench.exe -- \
+  --out BENCH_serve.json --assert
+
 echo "== check.sh: OK =="
