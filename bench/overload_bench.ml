@@ -1,0 +1,365 @@
+(* Brownout bench: p99 latency and answer accuracy vs offered load,
+   with and without adaptive degradation.
+
+   One in-process server fronts a 4-tier ladder snapshot (64KB halving
+   to 8KB) of a scale-4 XMark document.  Closed-loop client threads
+   offer load at two concurrency levels; each cell is run twice — once
+   against a plain server (every answer from the finest tier) and once
+   with --brownout semantics (the Overload controller steps the served
+   tier with pressure).  Latency comes from QUERY requests (pure
+   synopsis eval under the server's eval lock — the queueing that IS
+   the overload); every 8th request is an ANSWER whose nesting tree is
+   compared (ESD) against the finest tier's answer, pricing the
+   accuracy the brownout spent to buy its latency back.
+
+   Results go to BENCH_overload.json; --assert fails the run unless
+   the browned-out p99 at the highest offered load is strictly below
+   the no-brownout p99 at the same load — the tentpole claim.
+
+   Usage: overload_bench [--out PATH] [--requests N] [--assert]
+   Seeded via CHAOS_SEED (default pinned; seeds the datagen doc). *)
+
+module Server = Serve.Server
+module Client = Serve.Client
+module Overload = Serve.Overload
+
+let seed =
+  match Sys.getenv_opt "CHAOS_SEED" with
+  | None -> 0xB10F
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> failwith (Printf.sprintf "CHAOS_SEED=%S is not an integer" s))
+
+let budget = 128 * 1024
+let tiers = 4
+let query_text = "//item[//mail]{//incategory?}"
+let query_line = "QUERY db " ^ query_text
+(* Tight node cap: ANSWER requests are the accuracy probe, not the
+   latency signal — capping the expansion keeps their eval-lock hold
+   time (which no tier can shrink) from dominating every percentile. *)
+let answer_line = "ANSWER -max-nodes=1000 db " ^ query_text
+let loads = [ 2; 8 ]
+
+(* Engage on either signal: a latency EWMA past 5ms (tier-0 eval alone
+   costs ~1ms on this ladder, so a queue of a few requests trips it) or
+   a connection backlog past 6 (the high-load cell below runs 8).  The
+   short dwell lets the controller reach the coarsest rung within a few
+   dozen requests of a load step. *)
+let brownout_config =
+  {
+    Overload.default_config with
+    target_latency = 0.005;
+    depth_high = 6;
+    dwell = 0.05;
+  }
+
+let usage () =
+  prerr_endline "usage: overload_bench [--out PATH] [--requests N] [--assert]";
+  exit 2
+
+let out_path = ref "BENCH_overload.json"
+let requests = ref 300
+let assert_mode = ref false
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: path :: rest ->
+      out_path := path;
+      parse rest
+    | "--requests" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 ->
+        requests := n;
+        parse rest
+      | _ -> usage ())
+    | "--assert" :: rest ->
+      assert_mode := true;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "tsoverload" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun file ->
+          try Sys.remove (Filename.concat dir file) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let rec await_socket ?(attempts = 200) path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Unix.close fd
+  | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _)
+    when attempts > 0 ->
+    Unix.close fd;
+    Thread.delay 0.02;
+    await_socket ~attempts:(attempts - 1) path
+
+let percentile_ms samples q =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  let idx = min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1) in
+  a.(max 0 idx) *. 1000.0
+
+(* [tier=<k>/<n>] from a response line; absent (plain snapshot, plain
+   server never tags) reads as tier 0. *)
+let tier_of_response line =
+  List.fold_left
+    (fun acc word ->
+      if String.length word > 5 && String.sub word 0 5 = "tier=" then
+        match String.index_opt word '/' with
+        | Some slash -> (
+          match int_of_string_opt (String.sub word 5 (slash - 5)) with
+          | Some k -> k
+          | None -> acc)
+        | None -> acc
+      else acc)
+    0
+    (String.split_on_char ' ' line)
+
+(* Answer-tree labels are synopsis classes ([q0#site]); '#' is not an
+   XML name character, so both the served tree and the local reference
+   go through the same sanitizer before re-parsing — ESD only needs
+   label equality, not the original spelling. *)
+let sanitize = String.map (fun c -> if c = '#' then '-' else c)
+
+let tree_of_response line =
+  let marker = " tree=" in
+  let rec find i =
+    if i + String.length marker > String.length line then None
+    else if String.sub line i (String.length marker) = marker then
+      Some (String.sub line
+              (i + String.length marker)
+              (String.length line - i - String.length marker))
+    else find (i + 1)
+  in
+  Option.map (fun xml -> Xmldoc.Parser.of_string (sanitize xml)) (find 0)
+
+type cell = {
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  req_per_s : float;
+  mean_esd : float;
+  esd_samples : int;
+  tier_hist : int array;  (* requests answered per tier *)
+}
+
+(* Unmeasured requests per thread before the clock starts: the
+   controller takes [dwell] x max_level of sustained pressure to walk
+   down the ladder, and the requests it serves while still ramping see
+   fine-tier latencies at full queue depth — a steady-state bench must
+   not let the warm-up transient own the tail. *)
+let warmup_per_thread = 24
+
+(* One load cell: [load] closed-loop client threads splitting [n]
+   requests, every 16th an ANSWER scored against [reference]. *)
+let run_cell ~sock ~load ~n ~reference =
+  let lock = Mutex.create () in
+  let lats = ref [] in
+  let esds = ref [] in
+  let hist = Array.make tiers 0 in
+  let per_thread = max 1 (n / load) in
+  let failure = ref None in
+  let worker_body _ =
+    let client =
+      Client.create
+        ~config:{ Client.default_config with request_timeout = 30.0 }
+        [ sock ]
+    in
+    Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+    for _ = 1 to warmup_per_thread do
+      match Client.request client query_line with
+      | Ok _ -> ()
+      | Error e -> failwith (Client.error_to_string e)
+    done;
+    for i = 1 to per_thread do
+      let want_answer = i mod 16 = 0 in
+      let line = if want_answer then answer_line else query_line in
+      let t0 = Unix.gettimeofday () in
+      match Client.request client line with
+      | Error e -> failwith (Client.error_to_string e)
+      | Ok response ->
+        let dt = Unix.gettimeofday () -. t0 in
+        let tier = tier_of_response response in
+        let esd =
+          if want_answer then
+            Option.map
+              (fun tree -> Metric.Esd.between_trees reference tree)
+              (tree_of_response response)
+          else None
+        in
+        Mutex.protect lock (fun () ->
+            (* percentiles over QUERY only: ANSWER latency is dominated
+               by tree expansion + transport, which does not shrink
+               with the tier — mixing it in would mask the very signal
+               the brownout claims to move *)
+            if not want_answer then lats := dt :: !lats;
+            if tier >= 0 && tier < tiers then hist.(tier) <- hist.(tier) + 1;
+            match esd with
+            | Some d -> esds := d :: !esds
+            | None -> ())
+    done
+  in
+  let worker i =
+    try worker_body i
+    with e ->
+      Mutex.protect lock (fun () ->
+          if !failure = None then failure := Some (Printexc.to_string e))
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init load (fun i -> Thread.create worker i) in
+  List.iter Thread.join threads;
+  (match !failure with
+  | Some msg -> failwith ("overload bench worker: " ^ msg)
+  | None -> ());
+  let wall = Unix.gettimeofday () -. t0 in
+  let count = List.length !lats in
+  {
+    p50 = percentile_ms !lats 0.50;
+    p95 = percentile_ms !lats 0.95;
+    p99 = percentile_ms !lats 0.99;
+    req_per_s = float_of_int count /. wall;
+    mean_esd =
+      (match !esds with
+      | [] -> 0.0
+      | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l));
+    esd_samples = List.length !esds;
+    tier_hist = hist;
+  }
+
+let cell_json label c =
+  Printf.sprintf
+    {|      "%s": { "p50_ms": %.3f, "p95_ms": %.3f, "p99_ms": %.3f, "req_per_s": %.1f,
+              "mean_answer_esd": %.4f, "esd_samples": %d, "tier_hist": [%s] }|}
+    label c.p50 c.p95 c.p99 c.req_per_s c.mean_esd c.esd_samples
+    (String.concat ", "
+       (Array.to_list (Array.map string_of_int c.tier_hist)))
+
+let () =
+  with_temp_dir @@ fun dir ->
+  let xmark =
+    match Datagen.Datasets.of_name "xmark" with
+    | Some ds -> ds
+    | None -> failwith "xmark dataset missing"
+  in
+  let doc = Datagen.Datasets.generate ~seed ~scale:8.0 xmark in
+  let stable = Sketch.Stable.build doc in
+  let ladder =
+    match Sketch.Build.build_ladder_res stable ~budget ~tiers with
+    | Ok { Sketch.Build.ladder; _ } -> ladder
+    | Error f -> failwith (Xmldoc.Fault.to_string f)
+  in
+  (match
+     Sketch.Serialize.save_ladder_atomic (Filename.concat dir "db.ts") ladder
+   with
+  | Ok () -> ()
+  | Error f -> failwith (Xmldoc.Fault.to_string f));
+  let with_server ~brownout ~max_inflight f =
+    let sock = Filename.concat dir "ts.sock" in
+    let config =
+      {
+        Server.default_config with
+        max_inflight;
+        brownout = (if brownout then Some brownout_config else None);
+      }
+    in
+    let server = Server.create ~log:(fun _ -> ()) ~config dir in
+    let thread =
+      Thread.create (fun () -> Server.serve_socket server ~path:sock) ()
+    in
+    await_socket sock;
+    Fun.protect
+      ~finally:(fun () ->
+        Server.request_drain server;
+        Thread.join thread;
+        try Sys.remove sock with Sys_error _ -> ())
+      (fun () -> f sock)
+  in
+  (* the accuracy yardstick: the finest tier's answer, fetched from an
+     unloaded plain server so truncation and rendering match the
+     measured responses byte for byte *)
+  let reference =
+    with_server ~brownout:false ~max_inflight:4 @@ fun sock ->
+    let client = Client.create [ sock ] in
+    Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+    match Client.request client answer_line with
+    | Error e -> failwith (Client.error_to_string e)
+    | Ok response -> (
+      match tree_of_response response with
+      | Some tree -> tree
+      | None -> failwith (Printf.sprintf "reference answer %S" response))
+  in
+  let cells =
+    List.map
+      (fun load ->
+        let run brownout =
+          with_server ~brownout ~max_inflight:(load + 4) @@ fun sock ->
+          run_cell ~sock ~load ~n:!requests ~reference
+        in
+        let off = run false in
+        let on = run true in
+        (load, off, on))
+      loads
+  in
+  let load_json =
+    String.concat ",\n"
+      (List.map
+         (fun (load, off, on) ->
+           Printf.sprintf "    { \"load\": %d,\n%s,\n%s\n    }" load
+             (cell_json "no_brownout" off)
+             (cell_json "brownout" on))
+         cells)
+  in
+  let _, peak_off, peak_on =
+    List.nth cells (List.length cells - 1)
+  in
+  let beats = peak_on.p99 < peak_off.p99 in
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "overload",
+  "seed": %d,
+  "requests_per_cell": %d,
+  "query": %S,
+  "ladder": { "budget": %d, "tiers": %d },
+  "controller": { "target_latency_s": %g, "depth_high": %d, "dwell_s": %g },
+  "cells": [
+%s
+  ],
+  "brownout_p99_beats_no_brownout_p99_at_peak_load": %b
+}
+|}
+      seed !requests query_text budget tiers brownout_config.target_latency
+      brownout_config.depth_high brownout_config.dwell load_json beats
+  in
+  let oc = open_out !out_path in
+  output_string oc json;
+  close_out oc;
+  List.iter
+    (fun (load, off, on) ->
+      Printf.printf
+        "overload bench: load=%d off p99=%.1fms on p99=%.1fms esd=%.3f \
+         tiers=[%s]\n"
+        load off.p99 on.p99 on.mean_esd
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int on.tier_hist))))
+    cells;
+  Printf.printf "-> %s\n" !out_path;
+  if !assert_mode && not beats then begin
+    Printf.eprintf
+      "FAIL: browned-out p99 (%.1fms) did not beat no-brownout p99 (%.1fms) \
+       at peak load\n"
+      peak_on.p99 peak_off.p99;
+    exit 1
+  end

@@ -16,7 +16,14 @@
    --assert additionally fails the run unless hedged p99 beats the
    single-replica p99, which is the whole point of the subsystem.
 
+   --baseline FILE compares the fresh run against a committed
+   BENCH_serve.json: the hedged/single p99 ratio — machine-independent,
+   unlike raw milliseconds — must not regress past --tolerance
+   (default 0.5, i.e. +50%), and the baseline's beats-flag must still
+   hold.
+
    Usage: serve_bench [--out PATH] [--requests N] [--assert]
+                      [--baseline FILE [--tolerance R]]
    Seeded via CHAOS_SEED (default pinned). *)
 
 module F = Xmldoc.Io_fault
@@ -39,12 +46,16 @@ let hedge_after = 0.03
 let query = "QUERY db //movie[//actor]"
 
 let usage () =
-  prerr_endline "usage: serve_bench [--out PATH] [--requests N] [--assert]";
+  prerr_endline
+    "usage: serve_bench [--out PATH] [--requests N] [--assert]\n\
+    \                   [--baseline FILE [--tolerance R]]";
   exit 2
 
 let out_path = ref "BENCH_serve.json"
 let requests = ref 150
 let assert_mode = ref false
+let baseline_path = ref None
+let tolerance = ref 0.5
 
 let () =
   let rec parse = function
@@ -61,9 +72,73 @@ let () =
     | "--assert" :: rest ->
       assert_mode := true;
       parse rest
+    | "--baseline" :: path :: rest ->
+      baseline_path := Some path;
+      parse rest
+    | "--tolerance" :: r :: rest -> (
+      match float_of_string_opt r with
+      | Some r when r >= 0.0 ->
+        tolerance := r;
+        parse rest
+      | _ -> usage ())
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv))
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Just enough JSON scraping for our own output format: the [n]th
+   ["key": <num>] occurrence in the file.  Raw latencies are machine-
+   bound, so the regression gate compares the hedged/single p99 RATIO
+   — what the subsystem actually promises — not milliseconds. *)
+let scrape_floats text key =
+  let needle = Printf.sprintf "\"%s\": " key in
+  let out = ref [] in
+  let len = String.length text and nlen = String.length needle in
+  for i = 0 to len - nlen - 1 do
+    if String.sub text i nlen = needle then begin
+      let j = ref (i + nlen) in
+      while
+        !j < len
+        && (match text.[!j] with
+           | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true
+           | _ -> false)
+      do
+        incr j
+      done;
+      match float_of_string_opt (String.sub text (i + nlen) (!j - i - nlen)) with
+      | Some f -> out := f :: !out
+      | None -> ()
+    end
+  done;
+  List.rev !out
+
+let p99_ratio text what =
+  match scrape_floats text "p99_ms" with
+  | single :: hedged :: _ when single > 0.0 -> hedged /. single
+  | _ -> failwith (Printf.sprintf "%s: cannot scrape p99_ms pair" what)
+
+let check_baseline ~current path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let baseline = really_input_string ic n in
+  close_in ic;
+  let base_ratio = p99_ratio baseline ("baseline " ^ path) in
+  let cur_ratio = p99_ratio current "current run" in
+  let ceiling = base_ratio *. (1.0 +. !tolerance) in
+  Printf.printf
+    "serve bench baseline: p99 ratio %.3f vs baseline %.3f (ceiling %.3f, \
+     tolerance %.0f%%)\n"
+    cur_ratio base_ratio ceiling (!tolerance *. 100.0);
+  if cur_ratio > ceiling then begin
+    Printf.eprintf
+      "FAIL: hedged/single p99 ratio %.3f regressed past baseline %.3f \
+       + %.0f%% tolerance (%s)\n"
+      cur_ratio base_ratio (!tolerance *. 100.0) path;
+    exit 1
+  end
 
 let with_temp_dir f =
   let dir = Filename.temp_file "tsbench" "" in
@@ -245,4 +320,7 @@ let () =
       "FAIL: hedged p99 (%.1fms) did not beat single-replica p99 (%.1fms)\n"
       hedged.p99 single.p99;
     exit 1
-  end
+  end;
+  match !baseline_path with
+  | Some path -> check_baseline ~current:json path
+  | None -> ()

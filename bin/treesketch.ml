@@ -123,7 +123,21 @@ let build_cmd =
              $(i,DOC.xml), $(b,--budget) and $(b,--stable) are ignored \
              (the checkpoint carries the budget).")
   in
-  let run input budget out stable_only timeout checkpoint checkpoint_every resume =
+  let ladder =
+    Arg.(
+      value & opt int 0
+      & info [ "ladder" ] ~docv:"N"
+          ~doc:
+            "Materialize an $(docv)-tier degradation ladder in one \
+             compression pass: the full $(b,--budget) synopsis plus \
+             halved-budget rungs (budget/2, budget/4, ...), saved as a \
+             single version-4 snapshot a brownout server \
+             ($(b,treesketch serve --brownout)) degrades across under \
+             overload.  0 (the default) builds a plain single-tier \
+             snapshot.")
+  in
+  let run input budget out stable_only timeout checkpoint checkpoint_every resume
+      ladder =
     let limits =
       match timeout with
       | None -> Xmldoc.Limits.unlimited
@@ -132,6 +146,49 @@ let build_cmd =
     if checkpoint_every < 1 then begin
       prerr_endline "treesketch: --checkpoint-every must be >= 1";
       exit Cmd.Exit.cli_error
+    end;
+    if ladder < 0 then begin
+      prerr_endline "treesketch: --ladder must be >= 0";
+      exit Cmd.Exit.cli_error
+    end;
+    if ladder > 0 && (stable_only || resume <> None || checkpoint <> None) then begin
+      prerr_endline
+        "treesketch: --ladder is incompatible with --stable, --resume and \
+         --checkpoint";
+      exit Cmd.Exit.cli_error
+    end;
+    if ladder > 0 then begin
+      (* ladder build: one compression pass, several snapshots out *)
+      let doc =
+        match input with
+        | Some path -> read_doc path
+        | None ->
+          prerr_endline "treesketch: build needs DOC.xml";
+          exit Cmd.Exit.cli_error
+      in
+      let stable = Sketch.Stable.build doc in
+      (match Sketch.Build.build_ladder_res ~limits stable ~budget ~tiers:ladder with
+      | Error f -> die f
+      | Ok { ladder = tiers; ladder_degraded } ->
+        (match out with
+        | Some path -> (
+          match Sketch.Serialize.save_ladder_atomic path tiers with
+          | Ok () -> ()
+          | Error f -> die f)
+        | None -> print_string (Sketch.Serialize.to_ladder_string tiers));
+        if ladder_degraded then
+          prerr_endline
+            "warning: a limit tripped mid-construction; some ladder tiers \
+             hold the best-so-far (over-budget) synopsis";
+        let n = List.length tiers in
+        List.iteri
+          (fun i (b, s) ->
+            Printf.eprintf "tier %d/%d: budget=%d -> %d classes, %d bytes\n" i n
+              b
+              (Sketch.Synopsis.num_nodes s)
+              (Sketch.Synopsis.size_bytes s))
+          tiers);
+      exit 0
     end;
     let synopsis, degraded, stable =
       match resume with
@@ -190,7 +247,7 @@ let build_cmd =
     (Cmd.info "build" ~doc:"Build a TREESKETCH synopsis from an XML document.")
     Term.(
       const run $ input $ budget $ out $ stable_only $ timeout $ checkpoint
-      $ checkpoint_every $ resume)
+      $ checkpoint_every $ resume $ ladder)
 
 (* -------------------------------- query ------------------------------- *)
 
@@ -341,8 +398,42 @@ let serve_cmd =
              (synopsis, query) pair is quarantined and answered \
              $(b,error poisoned) without evaluation.")
   in
+  let brownout =
+    Arg.(
+      value & flag
+      & info [ "brownout" ]
+          ~doc:
+            "Degrade under overload instead of queueing: when latency or \
+             queue depth crosses the target, answer QUERY/ANSWER from a \
+             coarser tier of any ladder snapshot ($(b,treesketch build \
+             --ladder)) in the catalog, tagging responses \
+             $(b,tier=<k>/<n> budget=<bytes>).  Admission becomes \
+             deadline-aware: only requests that cannot be met even at \
+             the coarsest tier are refused.")
+  in
+  let target_latency =
+    Arg.(
+      value
+      & opt float Serve.Overload.default_config.target_latency
+      & info [ "target-latency" ] ~docv:"SECONDS"
+          ~doc:
+            "With $(b,--brownout): per-request latency a healthy server \
+             should deliver; the degradation controller steps up when \
+             the latency EWMA crosses it.")
+  in
+  let brownout_levels =
+    Arg.(
+      value
+      & opt int Serve.Overload.default_config.max_level
+      & info [ "brownout-levels" ] ~docv:"N"
+          ~doc:
+            "With $(b,--brownout): coarsest degradation level the \
+             controller may reach (clamped to each snapshot's ladder \
+             depth at serving time).")
+  in
   let run catalog socket deadline max_answer_nodes max_inflight no_auto_reload
-      drain_deadline workers watchdog_grace poison_threshold =
+      drain_deadline workers watchdog_grace poison_threshold brownout
+      target_latency brownout_levels =
     let config =
       {
         Serve.Server.default_config with
@@ -351,6 +442,15 @@ let serve_cmd =
         max_inflight;
         auto_reload = not no_auto_reload;
         drain_deadline;
+        brownout =
+          (if not brownout then None
+           else
+             Some
+               {
+                 Serve.Overload.default_config with
+                 target_latency;
+                 max_level = max 0 brownout_levels;
+               });
         pool =
           {
             Serve.Pool.default_config with
@@ -380,7 +480,7 @@ let serve_cmd =
     Term.(
       const run $ catalog $ socket $ deadline $ max_answer_nodes $ max_inflight
       $ no_auto_reload $ drain_deadline $ workers $ watchdog_grace
-      $ poison_threshold)
+      $ poison_threshold $ brownout $ target_latency $ brownout_levels)
 
 (* ----------------------------- coordinate ----------------------------- *)
 

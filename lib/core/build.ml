@@ -388,3 +388,77 @@ let build_with_checkpoints ?(params = default_params) stable ~budgets =
       | Some s -> (b, s)
       | None -> (b, floor))
     budgets
+
+(* ------------------------------------------------------------------ *)
+(* Degradation ladders                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let ladder_milestones ~budget ~tiers =
+  if tiers < 1 then invalid_arg "Build: ladder tiers must be >= 1";
+  if budget < 1 then invalid_arg "Build: ladder budget must be >= 1";
+  (* budget, budget/2, budget/4, ...: strictly decreasing, stopping
+     early once halving bottoms out at 1 byte. *)
+  let rec go acc b k =
+    if k = 0 || b < 1 then List.rev acc
+    else
+      match acc with
+      | prev :: _ when b >= prev -> List.rev acc
+      | _ -> go (b :: acc) (b / 2) (k - 1)
+  in
+  go [] budget tiers
+
+type ladder_outcome = {
+  ladder : (int * Synopsis.t) list;
+  ladder_degraded : bool;
+}
+
+let build_ladder_res ?(params = default_params) ?limits ?max_heap_words stable
+    ~budget ~tiers =
+  let milestones = ladder_milestones ~budget ~tiers in
+  match Synopsis.validate stable with
+  | Error message ->
+    Error (Xmldoc.Fault.Corrupt_synopsis { line = 0; content = ""; message })
+  | Ok () ->
+    let cl = Cluster.of_stable stable in
+    let ctl = ctl_of ?limits ?max_heap_words () in
+    let results = Hashtbl.create 8 in
+    let remaining = ref milestones in
+    let snapshot_reached () =
+      let rec loop () =
+        match !remaining with
+        | b :: rest when Cluster.size_bytes cl <= b ->
+          Hashtbl.replace results b (Cluster.to_synopsis cl);
+          remaining := rest;
+          loop ()
+        | _ -> ()
+      in
+      loop ()
+    in
+    snapshot_reached ();
+    let completed =
+      match !remaining with
+      | [] -> true
+      | _ ->
+        let final = List.fold_left min max_int milestones in
+        compress_gen params cl ~budget:final ~ctl ~on_merge:snapshot_reached
+    in
+    (* Milestones never reached — label-split floor, or a control budget
+       that stopped the loop — get the best (smallest) state reached, so
+       a degraded build still publishes a complete, coherent ladder. *)
+    let floor = Cluster.to_synopsis cl in
+    let ladder =
+      List.map
+        (fun b ->
+          match Hashtbl.find_opt results b with
+          | Some s -> (b, s)
+          | None -> (b, floor))
+        milestones
+    in
+    let rec validate_all = function
+      | [] -> Ok { ladder; ladder_degraded = not completed }
+      | (_, s) :: rest -> (
+        match Synopsis.validate s with
+        | Ok () -> validate_all rest
+        | Error message -> Error (invalid_output message))
+    in
+    validate_all ladder

@@ -160,3 +160,34 @@ val build_with_checkpoints :
 (** One construction run snapshotting the synopsis at every budget
     (descending), so a budget sweep costs a single compression pass.
     Returns [(budget, synopsis)] pairs in the order given. *)
+
+val ladder_milestones : budget:int -> tiers:int -> int list
+(** The budget milestones of a [tiers]-rung degradation ladder:
+    [budget], [budget/2], [budget/4], ... — strictly decreasing,
+    cut short if halving bottoms out before [tiers] rungs.
+    @raise Invalid_argument if [tiers < 1] or [budget < 1]. *)
+
+type ladder_outcome = {
+  ladder : (int * Synopsis.t) list;
+      (** [(budget, synopsis)] per milestone, finest first — the
+          argument {!Serialize.save_ladder_atomic} expects *)
+  ladder_degraded : bool;
+      (** [true] when a limit stopped the compression before the
+          coarsest milestone: unreached rungs hold the best (smallest)
+          state reached, possibly over their budget *)
+}
+
+val build_ladder_res :
+  ?params:params ->
+  ?limits:Xmldoc.Limits.t ->
+  ?max_heap_words:int ->
+  Synopsis.t ->
+  budget:int ->
+  tiers:int ->
+  (ladder_outcome, Xmldoc.Fault.t) result
+(** Materialize a degradation ladder in one compression pass: the
+    coarser tiers are snapshots the merge loop passes through anyway on
+    its way down to [budget/2^(tiers-1)] (the
+    {!build_with_checkpoints} pattern), now guarded like {!build_res}
+    (input validated, deadline + heap ceiling polled, graceful
+    degradation).  Every returned tier passes {!Synopsis.validate}. *)

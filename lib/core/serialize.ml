@@ -195,12 +195,7 @@ let save path s =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (to_string s))
 
-let save_atomic ?meta path s =
-  let text =
-    match meta with
-    | None -> to_snapshot_string s
-    | Some meta -> to_checkpoint_string ~meta s
-  in
+let write_atomic path text =
   match
     let dir = Filename.dirname path in
     Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Open ~path;
@@ -254,6 +249,198 @@ let save_atomic ?meta path s =
     Error
       (Xmldoc.Fault.Io_error { path; message = fn ^ ": " ^ Unix.error_message e })
 
+let save_atomic ?meta path s =
+  let text =
+    match meta with
+    | None -> to_snapshot_string s
+    | Some meta -> to_checkpoint_string ~meta s
+  in
+  write_atomic path text
+
+(* ------------------------------------------------------------------ *)
+(* Version 4: ladder snapshots                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A ladder snapshot holds several budget tiers of the same synopsis in
+   one file: a checksummed manifest (header + one [tier] record per
+   member + [crc] trailer) followed by the concatenated version-2
+   snapshot payloads, each a complete snapshot with its own trailer and
+   additionally pinned by the [crc=] declared in the manifest.  The
+   framing parser never touches versions 1-3: those go through
+   [of_string_exn] unchanged. *)
+
+let ladder_header = "treesketch 4"
+
+let is_ladder_text text =
+  String.length text >= String.length ladder_header
+  && String.sub text 0 (String.length ladder_header) = ladder_header
+  && (String.length text = String.length ladder_header
+     || text.[String.length ladder_header] = '\n')
+
+let to_ladder_string tiers =
+  (match tiers with
+  | [] -> invalid_arg "Serialize.to_ladder_string: empty ladder"
+  | _ -> ());
+  let prev = ref max_int in
+  List.iter
+    (fun (budget, _) ->
+      if budget <= 0 then
+        invalid_arg "Serialize.to_ladder_string: tier budgets must be positive";
+      if budget >= !prev then
+        invalid_arg
+          "Serialize.to_ladder_string: tier budgets must strictly decrease \
+           (finest first)";
+      prev := budget)
+    tiers;
+  let payloads = List.map (fun (_, s) -> to_snapshot_string s) tiers in
+  let manifest = Buffer.create 256 in
+  Buffer.add_string manifest (ladder_header ^ "\n");
+  List.iteri
+    (fun i ((budget, _), payload) ->
+      Buffer.add_string manifest
+        (Printf.sprintf "tier %d budget=%d bytes=%d crc=%s\n" i budget
+           (String.length payload)
+           (Crc32.to_hex (Crc32.string payload))))
+    (List.combine tiers payloads);
+  with_crc (Buffer.contents manifest) ^ String.concat "" payloads
+
+let save_ladder_atomic path tiers = write_atomic path (to_ladder_string tiers)
+
+(* Manifest grammar: [tier <i> budget=<b> bytes=<n> crc=<hex>] records
+   with dense indexes, strictly decreasing budgets, then a [crc] line
+   over the manifest prefix; payload bytes follow immediately after. *)
+let of_ladder_string_exn (limits : Xmldoc.Limits.t) text =
+  let len = String.length text in
+  let pos = ref 0 in
+  let lineno = ref 0 in
+  let line_start = ref 0 in
+  let next_line () =
+    if !pos >= len then None
+    else begin
+      incr lineno;
+      line_start := !pos;
+      let nl =
+        match String.index_from_opt text !pos '\n' with
+        | Some nl -> nl
+        | None -> len
+      in
+      let line = String.sub text !pos (nl - !pos) in
+      pos := if nl = len then len else nl + 1;
+      Some line
+    end
+  in
+  (match next_line () with
+  | Some l when l = ladder_header -> ()
+  | Some l -> corrupt ~line:1 ~content:l "ladder header expected, got %S" l
+  | None -> corrupt ~line:0 ~content:"" "empty ladder snapshot");
+  (* (budget, bytes, crc) per tier, reverse order while scanning *)
+  let tiers = ref [] in
+  let ntiers = ref 0 in
+  let rec manifest () =
+    match next_line () with
+    | None ->
+      corrupt ~line:0 ~content:""
+        "missing crc trailer in ladder manifest (snapshot truncated \
+         mid-write?)"
+    | Some line -> (
+      let fail fmt = corrupt ~line:!lineno ~content:line fmt in
+      let kv what prefix s =
+        if
+          String.length s > String.length prefix
+          && String.sub s 0 (String.length prefix) = prefix
+        then String.sub s (String.length prefix)
+               (String.length s - String.length prefix)
+        else fail "%s field expected, got %S" what s
+      in
+      let int_kv what prefix s =
+        match int_of_string_opt (kv what prefix s) with
+        | Some v -> v
+        | None -> fail "%s %S is not an integer" what s
+      in
+      match String.split_on_char ' ' (String.trim line) with
+      | [ "" ] | [] -> manifest ()
+      | [ "crc"; hex ] -> (
+        match Crc32.of_hex hex with
+        | None -> fail "checksum %S is not 8 hex digits" hex
+        | Some declared ->
+          let actual = Crc32.update 0l text 0 !line_start in
+          if not (Int32.equal declared actual) then
+            fail "ladder manifest checksum mismatch: trailer says %s, \
+                  content hashes to %s"
+              (Crc32.to_hex declared) (Crc32.to_hex actual))
+      | [ "tier"; idx; budget; bytes; crc ] ->
+        let idx = match int_of_string_opt idx with
+          | Some v -> v
+          | None -> fail "tier index %S is not an integer" idx
+        in
+        if idx <> !ntiers then
+          fail "tier index %d out of order (expected %d)" idx !ntiers;
+        let budget = int_kv "tier budget" "budget=" budget in
+        if budget <= 0 then fail "tier %d: non-positive budget %d" idx budget;
+        (match !tiers with
+        | (prev, _, _) :: _ when budget >= prev ->
+          fail "tier %d: budget %d does not decrease (previous %d)" idx budget
+            prev
+        | _ -> ());
+        let bytes = int_kv "tier bytes" "bytes=" bytes in
+        if bytes <= 0 then fail "tier %d: non-positive length %d" idx bytes;
+        let crc =
+          match Crc32.of_hex (kv "tier crc" "crc=" crc) with
+          | Some v -> v
+          | None -> fail "tier %d: checksum is not 8 hex digits" idx
+        in
+        incr ntiers;
+        tiers := (budget, bytes, crc) :: !tiers;
+        manifest ()
+      | word :: _ -> fail "unknown ladder manifest record %S" word)
+  in
+  manifest ();
+  let whole fmt = corrupt ~line:0 ~content:"" fmt in
+  let tiers = Array.of_list (List.rev !tiers) in
+  if Array.length tiers = 0 then whole "ladder manifest declares no tiers";
+  let declared_total =
+    Array.fold_left (fun acc (_, bytes, _) -> acc + bytes) 0 tiers
+  in
+  if !pos + declared_total > len then
+    whole "ladder payloads truncated: manifest declares %d bytes, %d present"
+      declared_total (len - !pos);
+  if !pos + declared_total < len then
+    whole "trailing garbage after the ladder payloads";
+  let off = ref !pos in
+  Array.map
+    (fun (budget, bytes, declared) ->
+      let payload = String.sub text !off bytes in
+      off := !off + bytes;
+      let actual = Crc32.string payload in
+      if not (Int32.equal declared actual) then
+        whole "tier (budget %d) checksum mismatch: manifest says %s, payload \
+               hashes to %s"
+          budget (Crc32.to_hex declared) (Crc32.to_hex actual);
+      let s, _meta = of_string_exn limits payload in
+      (budget, s))
+    tiers
+
+let of_ladder_string_res ?(limits = Xmldoc.Limits.default) text =
+  if String.length text > limits.max_bytes then
+    Error
+      (Xmldoc.Fault.Limit_exceeded
+         { what = "bytes"; actual = String.length text; limit = limits.max_bytes })
+  else
+    match of_ladder_string_exn limits text with
+    | tiers -> Ok tiers
+    | exception Corrupt { line; content; message } ->
+      Error (Xmldoc.Fault.Corrupt_synopsis { line; content; message })
+    | exception Xmldoc.Fault.Fault f -> Error f
+
+type loaded =
+  | Single of Synopsis.t
+  | Ladder of (int * Synopsis.t) array
+
+let of_any_string_res ?limits text =
+  if is_ladder_text text then
+    Result.map (fun tiers -> Ladder tiers) (of_ladder_string_res ?limits text)
+  else Result.map (fun s -> Single s) (of_string_res ?limits text)
+
 let load_gen of_string ~limits path =
   match
     Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Open ~path;
@@ -289,6 +476,12 @@ let load_res ?(limits = Xmldoc.Limits.default) path =
 
 let load_meta_res ?(limits = Xmldoc.Limits.default) path =
   load_gen (fun ~limits text -> of_string_meta_res ~limits text) ~limits path
+
+let load_ladder_res ?(limits = Xmldoc.Limits.default) path =
+  load_gen (fun ~limits text -> of_ladder_string_res ~limits text) ~limits path
+
+let load_any_res ?(limits = Xmldoc.Limits.default) path =
+  load_gen (fun ~limits text -> of_any_string_res ~limits text) ~limits path
 
 let load ?limits path =
   match load_res ?limits path with

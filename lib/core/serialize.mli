@@ -1,7 +1,7 @@
 (** Plain-text persistence for synopses, used by the command-line
     tools and the serving runtime's snapshot store.
 
-    Three format versions share the record grammar:
+    Versions 1-3 share the record grammar:
     {v
     treesketch 1          treesketch 2          treesketch 3
                                                 meta <key> <value>
@@ -22,6 +22,22 @@
     [Corrupt_synopsis], and anything {e after} the trailer (a
     concatenated or torn rewrite) is trailing garbage.  Both versions
     reject duplicate headers and duplicate [root] records.
+
+    Version 4 is the {e ladder} format: several budget tiers of the same
+    synopsis in one file, for brownout serving.  A checksummed manifest
+    frames complete version-2 payloads:
+    {v
+    treesketch 4
+    tier <i> budget=<bytes> bytes=<payload length> crc=<8-hex CRC-32>
+    ...                      (dense indexes, budgets strictly decreasing)
+    crc <8-hex-digit CRC-32 of the manifest above>
+    <tier-0 version-2 snapshot><tier-1 version-2 snapshot>...
+    v}
+    Tier 0 is the finest (largest budget).  Each payload carries its own
+    version-2 trailer {e and} is pinned by the [crc=] in the manifest,
+    so a torn write is caught whether it cuts the manifest or any
+    payload.  Versions 1-3 parse exactly as before; they reject a
+    version-4 header as unsupported, and vice versa.
 
     Loading is total and validating: the [*_res] entry points never
     raise — every malformed line is reported as
@@ -87,3 +103,44 @@ val to_checkpoint_string : meta:(string * string) list -> Synopsis.t -> string
 
 val of_string : ?limits:Xmldoc.Limits.t -> string -> Synopsis.t
 (** @raise Failure on malformed input. *)
+
+(** {2 Ladder snapshots (version 4)} *)
+
+val to_ladder_string : (int * Synopsis.t) list -> string
+(** Version-4 rendering of [(budget, synopsis)] tiers, finest first.
+    @raise Invalid_argument on an empty list or budgets that are not
+    strictly decreasing and positive. *)
+
+val save_ladder_atomic :
+  string -> (int * Synopsis.t) list -> (unit, Xmldoc.Fault.t) result
+(** {!save_atomic}'s crash-safe write (temp file, fsync, rename) of a
+    version-4 ladder.  Same argument validation as
+    {!to_ladder_string}. *)
+
+val load_ladder_res :
+  ?limits:Xmldoc.Limits.t ->
+  string ->
+  ((int * Synopsis.t) array, Xmldoc.Fault.t) result
+(** Read a version-4 ladder back: manifest checksum verified, every
+    payload sliced at its declared length, checked against its
+    manifest [crc=], parsed and {!Synopsis.validate}d independently.
+    Any tear or mismatch anywhere is [Error (Corrupt_synopsis _)] —
+    never a partial ladder.  Tiers come back finest first. *)
+
+val of_ladder_string_res :
+  ?limits:Xmldoc.Limits.t ->
+  string ->
+  ((int * Synopsis.t) array, Xmldoc.Fault.t) result
+(** In-memory variant of {!load_ladder_res} (no path tagging). *)
+
+(** What {!load_any_res} found in the file. *)
+type loaded =
+  | Single of Synopsis.t  (** a version-1/2/3 snapshot *)
+  | Ladder of (int * Synopsis.t) array
+      (** a version-4 ladder, [(budget, synopsis)] finest first *)
+
+val load_any_res :
+  ?limits:Xmldoc.Limits.t -> string -> (loaded, Xmldoc.Fault.t) result
+(** Sniff the header and dispatch to {!load_res} or
+    {!load_ladder_res} — the serving catalog's entry point, so one
+    store can mix plain snapshots and ladders. *)

@@ -1,11 +1,23 @@
+type tier = {
+  t_budget : int;
+  t_synopsis : Sketch.Synopsis.t;
+}
+
 type entry = {
   name : string;
   path : string;
   synopsis : Sketch.Synopsis.t;
+  tiers : tier array;
+      (* finest first, never empty; [tiers.(0).t_synopsis == synopsis].
+         A plain (non-ladder) snapshot has exactly one tier. *)
   mtime : float;
   size : int;
   ino : int;
 }
+
+let tier_for entry level =
+  let n = Array.length entry.tiers in
+  entry.tiers.(min level (n - 1))
 
 type quarantined = {
   q_name : string;
@@ -136,13 +148,23 @@ let refresh ?(force = false) t =
                 match known with None -> true | Some e -> changed e st)
             in
             if needs_load then begin
-              match Sketch.Serialize.load_res ~limits:t.limits path with
-              | Ok synopsis ->
+              match Sketch.Serialize.load_any_res ~limits:t.limits path with
+              | Ok loaded ->
+                let tiers =
+                  match loaded with
+                  | Sketch.Serialize.Single s ->
+                    [| { t_budget = Sketch.Synopsis.size_bytes s; t_synopsis = s } |]
+                  | Sketch.Serialize.Ladder tiers ->
+                    Array.map
+                      (fun (t_budget, t_synopsis) -> { t_budget; t_synopsis })
+                      tiers
+                in
                 Hashtbl.replace t.entries name
                   {
                     name;
                     path;
-                    synopsis;
+                    synopsis = tiers.(0).t_synopsis;
+                    tiers;
                     mtime = st.Unix.st_mtime;
                     size = st.Unix.st_size;
                     ino = st.Unix.st_ino;

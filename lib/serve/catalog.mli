@@ -30,14 +30,30 @@
     threads read concurrently with auto-reload refreshes, without the
     server-wide serialization the pre-pool runtime relied on. *)
 
+(** One rung of a degradation ladder: a synopsis built under
+    [t_budget] bytes. *)
+type tier = {
+  t_budget : int;
+  t_synopsis : Sketch.Synopsis.t;
+}
+
 type entry = {
   name : string;
   path : string;
-  synopsis : Sketch.Synopsis.t;
+  synopsis : Sketch.Synopsis.t;  (** the finest tier, [tiers.(0)] *)
+  tiers : tier array;
+      (** finest first, never empty: a version-4 ladder snapshot loads
+          all its rungs; a plain snapshot has exactly one tier whose
+          budget is its own size *)
   mtime : float;  (** fingerprint at load time *)
   size : int;  (** fingerprint at load time *)
   ino : int;  (** fingerprint at load time *)
 }
+
+val tier_for : entry -> int -> tier
+(** [tier_for entry level] is the rung serving degradation level
+    [level], clamped to the coarsest rung present — [tiers.(0)] for
+    every plain snapshot regardless of level. *)
 
 type quarantined = {
   q_name : string;

@@ -40,14 +40,18 @@ type conn = {
          response if the server ever pipelines *)
 }
 
-(* Per-synopsis circuit breaker.  A synopsis whose queries keep killing
-   pool workers (or timing out client-side) is a hazard: every probe
-   costs the server a worker fork and this client a full request
-   timeout.  After [breaker_threshold] consecutive such failures the
-   breaker opens and requests for that synopsis fail fast locally;
-   after a jittered cooldown one half-open probe is let through — its
-   success closes the breaker, its failure re-opens it for another
-   cooldown. *)
+(* Per-(endpoint, synopsis) circuit breaker.  A synopsis whose queries
+   keep killing pool workers (or timing out client-side) is a hazard:
+   every probe costs the server a worker fork and this client a full
+   request timeout.  After [breaker_threshold] consecutive such
+   failures the breaker opens and requests for that synopsis AT THAT
+   ENDPOINT fail fast locally; after a jittered cooldown one half-open
+   probe is let through — its success closes the breaker, its failure
+   re-opens it for another cooldown.  Keying by endpoint too matters
+   for failover clients: a synopsis crashing workers on one member
+   says nothing about its replica on another, and a synopsis-only key
+   would let one sick member fail-fast requests the healthy members
+   could answer. *)
 type breaker_state =
   | Closed
   | Open of { until : float }
@@ -63,8 +67,12 @@ type t = {
   endpoints : string array;
   mutable cursor : int;  (* endpoint the next connect tries first *)
   mutable conn : conn option;
+  mutable last_endpoint : string option;
+      (* endpoint of the most recent successful connect within the
+         current request — who a breaker outcome is attributed to *)
   rng : Random.State.t;  (* jitter only — seeded, so tests replay *)
-  breakers : (string, breaker) Hashtbl.t;  (* synopsis name -> breaker *)
+  breakers : (string * string, breaker) Hashtbl.t;
+      (* (endpoint, synopsis name) -> breaker *)
 }
 
 type error =
@@ -100,6 +108,7 @@ let create ?(config = default_config) paths =
     endpoints = Array.of_list paths;
     cursor = 0;
     conn = None;
+    last_endpoint = None;
     rng = Random.State.make [| config.jitter_seed |];
     breakers = Hashtbl.create 8;
   }
@@ -183,13 +192,18 @@ let connect t =
       match connect_one t t.endpoints.(i) with
       | Ok fd ->
         t.cursor <- i;
+        t.last_endpoint <- Some t.endpoints.(i);
         let c = { fd; residue = Buffer.create 256 } in
         t.conn <- Some c;
         Ok c
       | Error msg ->
         go (tried + 1) (t.endpoints.(i) ^ ": " ^ msg)
   in
-  match t.conn with Some c -> Ok c | None -> go 0 "no endpoints"
+  match t.conn with
+  | Some c ->
+    t.last_endpoint <- Some t.endpoints.(t.cursor);
+    Ok c
+  | None -> go 0 "no endpoints"
 
 (* ------------------------------------------------------------------ *)
 (* Deadline-bounded send / receive                                     *)
@@ -302,20 +316,28 @@ let breaker_failure = function
   | Error (Io _ | Bad_response _ | Breaker_open _) -> false
   | Ok line -> response_class line = Some "worker-crash"
 
-let breaker_state t name =
+(* The endpoint the next connect will try first: the live connection's
+   target when one exists, otherwise wherever the failover cursor
+   points.  This is who a breaker gate must consult — the whole point
+   of per-endpoint keys is that an open breaker on one member must not
+   shed requests headed for another. *)
+let next_endpoint t = t.endpoints.(t.cursor)
+
+let breaker_state ?endpoint t name =
+  let endpoint = match endpoint with Some e -> e | None -> next_endpoint t in
   Option.map
     (fun b ->
       match b.state with
       | Closed -> `Closed
       | Open _ -> `Open
       | Half_open -> `Half_open)
-    (Hashtbl.find_opt t.breakers name)
+    (Hashtbl.find_opt t.breakers (endpoint, name))
 
 (* Admit the request, or fail fast?  An elapsed cooldown admits exactly
    one half-open probe (the client is single-threaded per [t], so "the
    next request" is the probe). *)
-let breaker_gate t name =
-  match Hashtbl.find_opt t.breakers name with
+let breaker_gate t ~endpoint name =
+  match Hashtbl.find_opt t.breakers (endpoint, name) with
   | None -> Ok ()
   | Some b -> (
     match b.state with
@@ -330,17 +352,17 @@ let breaker_gate t name =
         Error
           (Breaker_open
              (Printf.sprintf
-                "synopsis %S: failing fast for another %.2fs after %d \
+                "synopsis %S at %s: failing fast for another %.2fs after %d \
                  consecutive worker-crash/deadline failures"
-                name (until -. now) b.consecutive)))
+                name endpoint (until -. now) b.consecutive)))
 
-let breaker_note t name result =
+let breaker_note t ~endpoint name result =
   let b =
-    match Hashtbl.find_opt t.breakers name with
+    match Hashtbl.find_opt t.breakers (endpoint, name) with
     | Some b -> b
     | None ->
       let b = { state = Closed; consecutive = 0 } in
-      Hashtbl.add t.breakers name b;
+      Hashtbl.add t.breakers (endpoint, name) b;
       b
   in
   if breaker_failure result then begin
@@ -367,6 +389,9 @@ let breaker_note t name result =
 
 let request_unchecked t line =
   let retryable = t.config.retry_unsafe || idempotent line in
+  (* re-established below by the first successful connect: a request
+     that never reached any endpoint must not be attributed to one *)
+  t.last_endpoint <- None;
   let t0 = Unix.gettimeofday () in
   (* Deadline propagation: time burned here — connect timeouts, backoff
      sleeps, earlier failed attempts — comes out of the caller's
@@ -430,9 +455,14 @@ let request t line =
   match if breaker_enabled t then Protocol.query_target line else None with
   | None -> request_unchecked t line
   | Some name -> (
-    match breaker_gate t name with
+    (* gate against the endpoint this request will actually dial first;
+       failover mid-request may still land elsewhere, and the outcome
+       is then attributed to the endpoint of the final attempt *)
+    match breaker_gate t ~endpoint:(next_endpoint t) name with
     | Error e -> Error e
     | Ok () ->
       let result = request_unchecked t line in
-      breaker_note t name result;
+      (match t.last_endpoint with
+      | Some endpoint -> breaker_note t ~endpoint name result
+      | None -> () (* no connect ever landed: no endpoint to blame *));
       result)

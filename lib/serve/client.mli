@@ -82,24 +82,36 @@ val error_to_fault : error -> Xmldoc.Fault.t
     exits with the documented code: [Deadline _] → exit 4,
     [Io _]/[Bad_response _]/[Breaker_open _] → exit 5. *)
 
-(** {2:breaker Per-synopsis circuit breaker}
+(** {2:breaker Per-(endpoint, synopsis) circuit breaker}
 
     A synopsis whose queries keep crashing pool workers ([error
     worker-crash ...] responses) or timing out client-side is expensive
     to keep probing: each attempt costs the server a worker and this
     client a full request timeout.  After [breaker_threshold]
-    consecutive such failures on one synopsis, its breaker {e opens}:
-    QUERY/ANSWER requests targeting it return [Error (Breaker_open _)]
+    consecutive such failures on one synopsis {e at one endpoint}, that
+    breaker {e opens}: QUERY/ANSWER requests for the synopsis that
+    would dial that endpoint return [Error (Breaker_open _)]
     immediately, without touching the network.  After a jittered
     [breaker_cooldown] one {e half-open} probe is admitted — success
     closes the breaker, failure re-opens it.  Any definitive response
     (including server-side errors like [not-found]) resets the count;
     transport failures are the failover loop's concern and never trip
-    a breaker.  Other verbs are never gated. *)
+    a breaker.  Other verbs are never gated.
 
-val breaker_state : t -> string -> [ `Closed | `Open | `Half_open ] option
-(** The breaker for [name], if any failure or success has ever been
-    recorded for it — exposed for tests and diagnostics. *)
+    Breakers are keyed by [(endpoint, synopsis)], not synopsis alone:
+    in a failover client, one member's crashing workers say nothing
+    about the identical synopsis on its healthy replicas, so an open
+    breaker there must not fail-fast requests the rest of the group
+    can answer.  The gate consults the endpoint the request will dial
+    first (the live connection, else the failover cursor); the outcome
+    is attributed to the endpoint of the final attempt. *)
+
+val breaker_state :
+  ?endpoint:string -> t -> string -> [ `Closed | `Open | `Half_open ] option
+(** The breaker for synopsis [name] at [endpoint] (default: the
+    endpoint the next request would dial first), if any failure or
+    success has ever been recorded for it — exposed for tests and
+    diagnostics. *)
 
 val idempotent : string -> bool
 (** [idempotent line] — is the request's verb safe to retry after it

@@ -54,6 +54,9 @@ type stats = {
   mutable forwarded : int;
   mutable hedges : int;
   mutable hedges_won : int;
+  mutable hedges_suppressed : int;
+      (* hedge opportunities skipped because the whole group reported
+         browned-out HEALTH — racing a saturated group is a retry storm *)
   mutable retries : int;
   mutable refused : int;
   mutable failures : int;
@@ -86,6 +89,7 @@ let create ?(log = prerr_endline) ?(config = default_config) paths =
         forwarded = 0;
         hedges = 0;
         hedges_won = 0;
+        hedges_suppressed = 0;
         retries = 0;
         refused = 0;
         failures = 0;
@@ -403,9 +407,15 @@ let scatter t ~hedged ~line =
           && !order <> []
           && !attempts_left > 0
         then begin
-          if launch ~charge:true then bump (fun s -> s.hedges <- s.hedges + 1) t;
-          (* admitted or denied, re-arm: tokens may accrue from
-             concurrent traffic *)
+          if Replica.all_browned_out t.group then
+            (* the whole group reports browned-out HEALTH: a hedge can
+               only add load where every member already has too much —
+               the primary's (coarser, faster) answer is the rescue *)
+            bump (fun s -> s.hedges_suppressed <- s.hedges_suppressed + 1) t
+          else if launch ~charge:true then
+            bump (fun s -> s.hedges <- s.hedges + 1) t;
+          (* admitted, denied or suppressed, re-arm: tokens may accrue
+             from concurrent traffic, and a cooled group hedges again *)
           hedge_at := Unix.gettimeofday () +. t.config.hedge_after
         end;
         let wake = Float.min overall !hedge_at in
@@ -443,11 +453,13 @@ let health_line t =
   let s = t.stats in
   Printf.sprintf
     "ok health live=yes ready=%s draining=%s coordinator=yes replicas=%d/%d \
-     ejected=%d requests=%d forwarded=%d hedges=%d hedges_won=%d retries=%d \
-     budget_spent=%d budget_denied=%d budget_tokens=%.2f%s"
+     ejected=%d browned_out=%s requests=%d forwarded=%d hedges=%d \
+     hedges_won=%d hedges_suppressed=%d retries=%d budget_spent=%d \
+     budget_denied=%d budget_tokens=%.2f%s"
     (yes_no (reason = None))
-    (yes_no t.draining) ready n ejected s.requests s.forwarded s.hedges
-    s.hedges_won s.retries
+    (yes_no t.draining) ready n ejected
+    (yes_no (Replica.all_browned_out t.group))
+    s.requests s.forwarded s.hedges s.hedges_won s.hedges_suppressed s.retries
     (Replica.Budget.spent t.budget)
     (Replica.Budget.denied t.budget)
     (Replica.Budget.tokens t.budget)
@@ -497,6 +509,20 @@ let contains hay needle =
   let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
   nn = 0 || scan 0
 
+(* The [load=<n>] token of a HEALTH line — a brownout server's
+   degradation level.  Absent (pre-brownout servers, coordinators) or
+   malformed reads as 0: cool. *)
+let probed_load line =
+  List.fold_left
+    (fun acc word ->
+      if String.length word > 5 && String.sub word 0 5 = "load=" then
+        match int_of_string_opt (String.sub word 5 (String.length word - 5)) with
+        | Some n when n >= 0 -> n
+        | _ -> acc
+      else acc)
+    0
+    (String.split_on_char ' ' line)
+
 let probe_replica t r =
   let path = Replica.path r in
   match connect_to t path with
@@ -511,9 +537,9 @@ let probe_replica t r =
         | Ok () -> (
           match recv_line fd ~deadline with
           | Ok line when contains line " ready=yes" ->
-            Replica.note_probe t.group r `Ready
+            Replica.note_probe ~load:(probed_load line) t.group r `Ready
           | Ok line when starts_with "ok health" line ->
-            Replica.note_probe t.group r `Not_ready
+            Replica.note_probe ~load:(probed_load line) t.group r `Not_ready
           | Ok _ | Error _ -> Replica.note_probe t.group r `Failed))
 
 let probe_loop t =

@@ -67,6 +67,10 @@ type stats = {
   mutable forwarded : int;  (** lines scattered to the group *)
   mutable hedges : int;  (** hedge flights launched (budget-admitted) *)
   mutable hedges_won : int;  (** requests a hedge answered first *)
+  mutable hedges_suppressed : int;
+      (** hedge opportunities skipped because every member's last
+          probed HEALTH reported [load>0] — racing a second copy
+          against a uniformly browned-out group only adds load *)
   mutable retries : int;  (** relaunches after every flight died *)
   mutable refused : int;  (** single-target verbs refused *)
   mutable failures : int;  (** requests answered with a local error *)

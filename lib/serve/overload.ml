@@ -1,0 +1,120 @@
+(* The brownout controller: turns observed serving pressure into a
+   server-wide degradation level.
+
+   Pressure has two components, and either alone can saturate a server:
+   per-request latency creeping toward the deadline budget (slow
+   queries, slow disks), and queue depth (a burst of cheap queries all
+   parked on the eval lock or the admission semaphore).  Both are
+   folded into one dimensionless number
+
+     pressure = max (ewma_latency / target_latency)
+                    (queue_depth / depth_high)
+
+   and the level steps by one — never jumps — when the pressure crosses
+   the high watermark, steps back down below the low watermark, and
+   holds for at least [dwell] seconds between changes (hysteresis: a
+   single slow request must not flap the whole server between tiers).
+
+   A second, separate EWMA tracks the latency of requests served at the
+   COARSEST tier; it is the basis of deadline-aware admission: a
+   request is refused only when its remaining deadline cannot be met
+   even by the cheapest answer the server knows how to give. *)
+
+type config = {
+  max_level : int;
+  target_latency : float;
+  depth_high : int;
+  high : float;
+  low : float;
+  alpha : float;
+  dwell : float;
+}
+
+let default_config =
+  {
+    max_level = 3;
+    target_latency = 0.050;
+    depth_high = 8;
+    high = 1.0;
+    low = 0.5;
+    alpha = 0.3;
+    dwell = 0.25;
+  }
+
+type t = {
+  config : config;
+  lock : Mutex.t;
+  mutable ewma : float;  (* smoothed per-request latency, seconds *)
+  mutable coarse_ewma : float;  (* smoothed coarsest-tier latency *)
+  mutable coarse_samples : int;
+  mutable samples : int;
+  mutable level : int;
+  mutable pressure : float;
+  mutable changed_at : float;  (* last level step, for dwell *)
+}
+
+let create ?(config = default_config) () =
+  if config.max_level < 0 then invalid_arg "Overload: max_level must be >= 0";
+  if config.target_latency <= 0.0 then
+    invalid_arg "Overload: target_latency must be positive";
+  if config.depth_high < 1 then invalid_arg "Overload: depth_high must be >= 1";
+  if not (config.low < config.high) then
+    invalid_arg "Overload: low watermark must be below high";
+  if config.alpha <= 0.0 || config.alpha > 1.0 then
+    invalid_arg "Overload: alpha must be in (0, 1]";
+  {
+    config;
+    lock = Mutex.create ();
+    ewma = 0.0;
+    coarse_ewma = 0.0;
+    coarse_samples = 0;
+    samples = 0;
+    level = 0;
+    pressure = 0.0;
+    changed_at = neg_infinity;
+  }
+
+let blend alpha old sample n =
+  if n = 0 then sample else (alpha *. sample) +. ((1.0 -. alpha) *. old)
+
+let observe ?(coarsest = false) t ~queue_depth ~latency =
+  let c = t.config in
+  Mutex.protect t.lock @@ fun () ->
+  t.ewma <- blend c.alpha t.ewma latency t.samples;
+  t.samples <- t.samples + 1;
+  if coarsest then begin
+    t.coarse_ewma <- blend c.alpha t.coarse_ewma latency t.coarse_samples;
+    t.coarse_samples <- t.coarse_samples + 1
+  end;
+  t.pressure <-
+    Float.max
+      (t.ewma /. c.target_latency)
+      (float_of_int queue_depth /. float_of_int c.depth_high);
+  let now = Xmldoc.Limits.now () in
+  if now -. t.changed_at >= c.dwell then
+    if t.pressure >= c.high && t.level < c.max_level then begin
+      t.level <- t.level + 1;
+      t.changed_at <- now
+    end
+    else if t.pressure <= c.low && t.level > 0 then begin
+      t.level <- t.level - 1;
+      t.changed_at <- now
+    end
+
+let level t = Mutex.protect t.lock (fun () -> t.level)
+
+let pressure t = Mutex.protect t.lock (fun () -> t.pressure)
+
+(* Refuse only what cannot be served even at the coarsest tier.  With
+   no coarse samples yet there is nothing to compare against — admit
+   and let the measurement happen (optimism is safe: the request will
+   degrade, not block the server). *)
+let admit t ~deadline =
+  Mutex.protect t.lock @@ fun () ->
+  t.coarse_samples = 0 || deadline >= t.coarse_ewma
+
+let describe t =
+  Mutex.protect t.lock @@ fun () ->
+  Printf.sprintf "level=%d pressure=%.2f ewma=%.1fms coarse=%.1fms" t.level
+    t.pressure (t.ewma *. 1000.0)
+    (t.coarse_ewma *. 1000.0)

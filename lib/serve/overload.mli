@@ -1,0 +1,66 @@
+(** The brownout controller: adaptive overload degradation for
+    [treesketch serve].
+
+    Observes per-request latency and instantaneous queue depth, folds
+    them into a pressure number, and steps a server-wide {e degradation
+    level} — the minimum ladder rung ({!Catalog.tier_for}) answers are
+    served from.  Under overload the server gets {e coarser}, not
+    slower: a smaller synopsis evaluates faster, which drains the queue
+    that created the pressure in the first place (the paper's
+    budget/accuracy dial used as a runtime control loop).
+
+    Pressure is
+    [max (ewma_latency / target_latency) (queue_depth / depth_high)];
+    the level steps up by one when pressure crosses [high], back down
+    below [low], holding [dwell] seconds between steps (hysteresis).
+
+    A separate EWMA over {e coarsest-tier} request latencies feeds
+    {!admit}: deadline-aware admission refuses only requests whose
+    remaining deadline cannot be met even by the cheapest answer the
+    server can give.
+
+    Thread-safe; one instance per server. *)
+
+type config = {
+  max_level : int;  (** coarsest level the controller may reach *)
+  target_latency : float;
+      (** seconds a healthy request should take; the latency EWMA is
+          measured against it *)
+  depth_high : int;  (** queue depth that alone means pressure 1.0 *)
+  high : float;  (** step up at/above this pressure *)
+  low : float;  (** step down at/below this pressure *)
+  alpha : float;  (** EWMA smoothing factor, in (0, 1] *)
+  dwell : float;  (** minimum seconds between level changes *)
+}
+
+val default_config : config
+(** 4 levels (0-3), 50ms target, depth 8, watermarks 1.0/0.5,
+    alpha 0.3, 250ms dwell. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** @raise Invalid_argument on nonsensical config (negative levels,
+    non-positive target, [low >= high], alpha outside (0, 1]). *)
+
+val observe : ?coarsest:bool -> t -> queue_depth:int -> latency:float -> unit
+(** Feed one completed request: its service latency (seconds) and the
+    queue depth behind it.  [coarsest] marks a request served at the
+    coarsest available tier — those latencies train the admission
+    estimate separately. *)
+
+val level : t -> int
+(** The current degradation level; 0 = undegraded. *)
+
+val pressure : t -> float
+(** The last computed pressure (diagnostics). *)
+
+val admit : t -> deadline:float -> bool
+(** [admit t ~deadline] is [false] only when [deadline] (remaining
+    seconds) is below the coarsest-tier latency estimate — the request
+    would blow its deadline even fully degraded.  Always [true] until
+    coarsest-tier samples exist. *)
+
+val describe : t -> string
+(** One-line state for logs and HEALTH:
+    [level=<d> pressure=<f> ewma=<f>ms coarse=<f>ms]. *)

@@ -122,7 +122,11 @@ let worker_handle config caps catalog line =
     match Catalog.find catalog name with
     | Some (entry : Catalog.entry) ->
       let budget = Query_exec.budget_for caps opts in
-      (Query_exec.run_guarded ~budget kind entry.synopsis q).response
+      (* The parent's degradation level arrives in-band as [-tier=]
+         (see {!Protocol.with_tier}); level 0 here means only the
+         request's own ask applies. *)
+      let synopsis, tier = Query_exec.select_tier entry opts ~level:0 in
+      (Query_exec.run_guarded ?tier ~budget kind synopsis q).response
     | None -> (
       match Catalog.fault_for catalog name with
       | Some fault -> Protocol.fault_line fault

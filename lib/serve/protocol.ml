@@ -1,9 +1,10 @@
 type opts = {
   deadline : float option;
   max_nodes : int option;
+  tier : int option;
 }
 
-let no_opts = { deadline = None; max_nodes = None }
+let no_opts = { deadline = None; max_nodes = None; tier = None }
 
 type request =
   | Ping
@@ -41,6 +42,12 @@ let parse_opt opts tok =
       | Some n when n >= 1 -> Ok { opts with max_nodes = Some n }
       | _ -> Error (Printf.sprintf "bad max-nodes %S (want a positive integer)" value)
       )
+    | "tier" -> (
+      (* minimum degradation tier: 0 = finest; a server clamps it to
+         the coarsest rung the target actually has *)
+      match int_of_string_opt value with
+      | Some n when n >= 0 -> Ok { opts with tier = Some n }
+      | _ -> Error (Printf.sprintf "bad tier %S (want a non-negative integer)" value))
     | _ -> Error (Printf.sprintf "unknown option -%s" key))
 
 let rec parse_opts opts = function
@@ -179,6 +186,56 @@ let with_remaining_deadline line ~elapsed =
       in
       let rewritten = go true rest in
       if !changed then String.concat " " (verb :: rewritten) else line
+
+(* Degradation-level propagation.  A browned-out server answers from a
+   coarser ladder tier; pool workers re-parse the raw forwarded line
+   against their own catalog copy, so the parent's current level must
+   travel in-band: [-tier=<n>] is raised to (never lowered below) the
+   server level, inserted into the option zone when absent.  Same
+   option-zone-only discipline as the deadline rewrite. *)
+
+let tier_prefix = "-tier="
+
+let is_tier_opt tok =
+  String.length tok > String.length tier_prefix
+  && String.sub tok 0 (String.length tier_prefix) = tier_prefix
+
+let with_tier line ~level =
+  if level <= 0 then line
+  else
+    match split_words line with
+    | [] -> line
+    | verb :: rest when
+        (match String.uppercase_ascii verb with
+        | "QUERY" | "ANSWER" -> true
+        | _ -> false) ->
+      let seen = ref false in
+      let rec go in_opts = function
+        | [] -> []
+        | tok :: rest when in_opts && String.length tok > 1 && tok.[0] = '-' ->
+          let tok' =
+            if is_tier_opt tok then (
+              seen := true;
+              let v =
+                String.sub tok (String.length tier_prefix)
+                  (String.length tok - String.length tier_prefix)
+              in
+              match int_of_string_opt v with
+              | Some t when t >= level -> tok
+              | Some _ -> Printf.sprintf "%s%d" tier_prefix level
+              | None -> tok)
+            else tok
+          in
+          tok' :: go true rest
+        | tok :: rest -> tok :: go false rest
+      in
+      let rewritten = go true rest in
+      let rewritten =
+        if !seen then rewritten
+        else Printf.sprintf "%s%d" tier_prefix level :: rewritten
+      in
+      String.concat " " (verb :: rewritten)
+    | _ -> line
 
 (* Verbs whose effect is bound to ONE server: a build runs on the
    machine that accepted it, RELOAD rescans one catalog directory,

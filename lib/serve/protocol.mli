@@ -10,8 +10,8 @@
     LIST
     RELOAD [-force]
     STAT <name>
-    QUERY  [-deadline=<seconds>] [-max-nodes=<n>] <name> <twig-query>
-    ANSWER [-deadline=<seconds>] [-max-nodes=<n>] <name> <twig-query>
+    QUERY  [-deadline=<seconds>] [-max-nodes=<n>] [-tier=<k>] <name> <twig-query>
+    ANSWER [-deadline=<seconds>] [-max-nodes=<n>] [-tier=<k>] <name> <twig-query>
     BUILD <name> <xml-path> <budget>
     JOBS
     CANCEL <name>
@@ -29,6 +29,13 @@
     finished snapshot appears in the catalog as [<name>.ts] via
     hot-reload; serving is never blocked by a build.
 
+    [-tier=<k>] asks for degradation rung [k] or coarser (0 = finest):
+    against a ladder snapshot the server answers from tier
+    [max k (server level)], clamped to the coarsest rung present;
+    against a plain snapshot it is a no-op.  A brownout server inserts
+    or raises this option itself when forwarding to pool workers (see
+    {!with_tier}).
+
     [HEALTH] separates liveness from readiness: any response at all
     means the process is live; [ready=yes] additionally means the
     catalog directory scans cleanly, the server is not draining, the
@@ -45,9 +52,9 @@
     ok reload loaded=<d> reloaded=<d> quarantined=<d> removed=<d>
     ok stat name=<s> classes=<d> edges=<d> bytes=<d> stable=<yes|no> quarantined=<no|yes reason=<class>>
     ok stat name=<s> resident=no quarantined=yes reason=<class>
-    ok query degraded=<no|deadline|nodes|work> est=<g> classes=<d> empty=<yes|no>
-    ok answer degraded=<no|deadline|nodes|work> empty=yes
-    ok answer degraded=<no|deadline|nodes|work> truncated=<yes|no> nodes=<d> tree=<xml>
+    ok query degraded=<no|deadline|nodes|work> [tier=<k>/<n> budget=<bytes>] est=<g> classes=<d> empty=<yes|no>
+    ok answer degraded=<no|deadline|nodes|work> [tier=<k>/<n> budget=<bytes>] empty=yes
+    ok answer degraded=<no|deadline|nodes|work> [tier=<k>/<n> budget=<bytes>] truncated=<yes|no> nodes=<d> tree=<xml>
     ok build name=<s> state=running
     ok jobs n=<d> [<name>=<state>...]
     ok cancel name=<s> state=<s>
@@ -65,11 +72,18 @@
     worker died (or contained a crash) evaluating this request — the
     request is lost, the server is not; [poisoned] means the
     (synopsis, query) pair has crashed workers so often it is
-    quarantined and answered without evaluation (see {!Pool}). *)
+    quarantined and answered without evaluation (see {!Pool}).
+    [tier=<k>/<n> budget=<bytes>] appears on every answer served from a
+    ladder snapshot with more than one rung: the 0-based tier the
+    answer came from, the rung count, and that tier's byte budget —
+    the declared accuracy of a browned-out answer.  Plain snapshots
+    never carry it, so single-resolution responses are byte-identical
+    to earlier versions. *)
 
 type opts = {
   deadline : float option;  (** relative seconds *)
   max_nodes : int option;
+  tier : int option;  (** minimum degradation rung, 0 = finest *)
 }
 
 val no_opts : opts
@@ -103,6 +117,15 @@ val with_remaining_deadline : string -> elapsed:float -> string
     the caller has left.  Lines without a deadline option (and
     [elapsed <= 0]) pass through unchanged; only tokens in the leading
     option zone are touched, so operand text is never mangled. *)
+
+val with_tier : string -> level:int -> string
+(** [with_tier line ~level] raises the [-tier] option of a
+    QUERY/ANSWER line to at least [level], inserting it when absent —
+    how a browned-out server propagates its degradation level to pool
+    workers, which re-parse the raw line against their own catalog
+    copy.  A request already asking for a coarser tier is kept; every
+    other line (and [level <= 0]) passes through unchanged.  Same
+    option-zone-only discipline as {!with_remaining_deadline}. *)
 
 val single_target : string -> bool
 (** Is this request's verb bound to ONE server (BUILD, RELOAD, CANCEL,

@@ -37,16 +37,33 @@ type outcome = {
 
 let yes_no b = if b then "yes" else "no"
 
-let run ~budget kind synopsis q =
+(* Which ladder rung serves this request: the coarser of the request's
+   own [-tier] ask and the server's degradation level, clamped to the
+   rungs the entry actually has.  Plain single-tier entries never get a
+   tag, keeping their responses byte-identical to earlier versions. *)
+let select_tier (entry : Catalog.entry) (opts : Protocol.opts) ~level =
+  let n = Array.length entry.Catalog.tiers in
+  let requested = match opts.Protocol.tier with Some k -> k | None -> 0 in
+  let k = min (max requested (max level 0)) (n - 1) in
+  let t = Catalog.tier_for entry k in
+  let tag = if n > 1 then Some (k, n, t.Catalog.t_budget) else None in
+  (t.Catalog.t_synopsis, tag)
+
+let run ?tier ~budget kind synopsis q =
+  let tier_tag =
+    match tier with
+    | None -> ""
+    | Some (k, n, bytes) -> Printf.sprintf " tier=%d/%d budget=%d" k n bytes
+  in
   match kind with
   | Query ->
     let ans = Sketch.Eval.eval ~budget synopsis q in
     let est = Sketch.Selectivity.of_answer q ans in
     {
       response =
-        Printf.sprintf "ok query degraded=%s est=%g classes=%d empty=%s"
+        Printf.sprintf "ok query degraded=%s%s est=%g classes=%d empty=%s"
           (Protocol.degraded_token (Xmldoc.Budget.stopped budget))
-          est
+          tier_tag est
           (Sketch.Synopsis.num_nodes ans.synopsis)
           (yes_no ans.empty);
       degraded = ans.degraded;
@@ -58,17 +75,18 @@ let run ~budget kind synopsis q =
     if ans.empty then
       {
         response =
-          Printf.sprintf "ok answer degraded=%s empty=yes"
-            (Protocol.degraded_token (Xmldoc.Budget.stopped budget));
+          Printf.sprintf "ok answer degraded=%s%s empty=yes"
+            (Protocol.degraded_token (Xmldoc.Budget.stopped budget))
+            tier_tag;
         degraded = ans.degraded;
       }
     else begin
       let p = Sketch.Expand.partial ~budget ans.synopsis in
       {
         response =
-          Printf.sprintf "ok answer degraded=%s truncated=%s nodes=%d tree=%s"
+          Printf.sprintf "ok answer degraded=%s%s truncated=%s nodes=%d tree=%s"
             (Protocol.degraded_token (Xmldoc.Budget.stopped budget))
-            (yes_no p.truncated) p.nodes
+            tier_tag (yes_no p.truncated) p.nodes
             (Protocol.one_line (Xmldoc.Printer.to_string p.tree));
         degraded = Xmldoc.Budget.stopped budget <> None || p.truncated;
       }
@@ -103,5 +121,5 @@ let guard f =
       degraded = false;
     }
 
-let run_guarded ~budget kind synopsis q =
-  guard (fun () -> run ~budget kind synopsis q)
+let run_guarded ?tier ~budget kind synopsis q =
+  guard (fun () -> run ?tier ~budget kind synopsis q)

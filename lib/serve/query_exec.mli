@@ -38,10 +38,29 @@ type outcome = {
           carries a partial answer — counted in server stats *)
 }
 
+val select_tier :
+  Catalog.entry ->
+  Protocol.opts ->
+  level:int ->
+  Sketch.Synopsis.t * (int * int * int) option
+(** Which ladder rung serves this request: the coarser of the
+    request's own [-tier] and the server's degradation [level], clamped
+    to the entry's rung count.  Returns the synopsis plus the
+    [(tier, rungs, budget_bytes)] tag to stamp on the response — [None]
+    for plain single-tier entries, whose responses must stay
+    byte-identical to pre-ladder servers. *)
+
 val run :
-  budget:Xmldoc.Budget.t -> kind -> Sketch.Synopsis.t -> Twig.Syntax.t -> outcome
-(** Evaluate and render.  May raise whatever the evaluator raises —
-    callers outside a sacrificial worker want {!run_guarded}. *)
+  ?tier:int * int * int ->
+  budget:Xmldoc.Budget.t ->
+  kind ->
+  Sketch.Synopsis.t ->
+  Twig.Syntax.t ->
+  outcome
+(** Evaluate and render; [tier] (from {!select_tier}) appends
+    [tier=<k>/<n> budget=<bytes>] after the [degraded] field.  May
+    raise whatever the evaluator raises — callers outside a sacrificial
+    worker want {!run_guarded}. *)
 
 val guard : (unit -> outcome) -> outcome
 (** The containment combinator behind {!run_guarded}: [Stack_overflow]
@@ -52,5 +71,10 @@ val guard : (unit -> outcome) -> outcome
     a synthetic crash. *)
 
 val run_guarded :
-  budget:Xmldoc.Budget.t -> kind -> Sketch.Synopsis.t -> Twig.Syntax.t -> outcome
+  ?tier:int * int * int ->
+  budget:Xmldoc.Budget.t ->
+  kind ->
+  Sketch.Synopsis.t ->
+  Twig.Syntax.t ->
+  outcome
 (** [guard] applied to {!run}. *)

@@ -40,6 +40,10 @@ type replica = {
   path : string;
   mutable fails : int;  (* consecutive failures since the last success *)
   mutable draining : bool;  (* last probe answered [ready=no] *)
+  mutable load : int;
+      (* last probed brownout level ([load=<n>] in HEALTH); 0 = cool.
+         A browned-out member still serves — coarser, not slower — so
+         it ranks below Ready-and-cool members without changing state. *)
   mutable ejected_until : float;
       (* 0 = never ejected; a past timestamp = on probation *)
   mutable served : int;
@@ -71,6 +75,7 @@ let create ?(config = default_config) paths =
                path;
                fails = 0;
                draining = false;
+               load = 0;
                ejected_until = 0.0;
                served = 0;
                failed = 0;
@@ -115,12 +120,13 @@ let note_failure t r =
       if r.ejected_until > 0.0 || r.fails >= t.config.eject_threshold then
         eject_locked t r now)
 
-let note_probe t r outcome =
+let note_probe ?(load = 0) t r outcome =
   Mutex.protect t.lock (fun () -> r.probes <- r.probes + 1);
   match outcome with
   | `Ready ->
     Mutex.protect t.lock (fun () ->
         r.draining <- false;
+        r.load <- load;
         r.fails <- 0;
         r.ejected_until <- 0.0)
   | `Not_ready ->
@@ -129,8 +135,18 @@ let note_probe t r outcome =
        is for members that cost a timeout to discover. *)
     Mutex.protect t.lock (fun () ->
         r.draining <- true;
+        r.load <- load;
         r.fails <- 0)
   | `Failed -> note_failure t r
+
+let load r = r.load
+
+let all_browned_out t =
+  (* Every member's last-known brownout level is above 0: the whole
+     group is saturated, and a hedge can only add load somewhere that
+     already has too much. *)
+  Mutex.protect t.lock (fun () ->
+      Array.for_all (fun r -> r.load > 0) t.members)
 
 (* Healthiest first.  Within the Ready tier a rotating cursor spreads
    primaries across the group; every other tier keeps a deterministic
@@ -149,17 +165,27 @@ let rank t =
         | Ejected -> 4
       in
       let rotated = Array.init n (fun i -> t.members.((t.cursor + i) mod n)) in
-      let order = Array.mapi (fun i r -> (tier r, r.fails, r.ejected_until, i, r)) rotated in
+      (* [load] sorts right after the state tier: a browned-out Ready
+         member still beats a Draining/Suspect one, but Ready-and-cool
+         members take the traffic first. *)
+      let order =
+        Array.mapi
+          (fun i r -> (tier r, r.load, r.fails, r.ejected_until, i, r))
+          rotated
+      in
       Array.sort
-        (fun (ta, fa, ua, ia, _) (tb, fb, ub, ib, _) ->
+        (fun (ta, la, fa, ua, ia, _) (tb, lb, fb, ub, ib, _) ->
           match compare ta tb with
           | 0 -> (
-            match compare fa fb with
-            | 0 -> ( match compare ua ub with 0 -> compare ia ib | c -> c)
+            match compare la lb with
+            | 0 -> (
+              match compare fa fb with
+              | 0 -> ( match compare ua ub with 0 -> compare ia ib | c -> c)
+              | c -> c)
             | c -> c)
           | c -> c)
         order;
-      Array.to_list (Array.map (fun (_, _, _, _, r) -> r) order))
+      Array.to_list (Array.map (fun (_, _, _, _, _, r) -> r) order))
 
 let ready_count t =
   Mutex.protect t.lock (fun () ->
@@ -181,9 +207,10 @@ let describe t =
       Array.to_list
         (Array.map
            (fun r ->
-             Printf.sprintf "%s=%s served=%d failed=%d" r.path
+             Printf.sprintf "%s=%s served=%d failed=%d%s" r.path
                (state_name (state_at now r))
-               r.served r.failed)
+               r.served r.failed
+               (if r.load > 0 then Printf.sprintf " load=%d" r.load else ""))
            t.members))
 
 (* ------------------------------------------------------------------ *)

@@ -71,15 +71,29 @@ val note_failure : t -> replica -> unit
     [eject_threshold] strikes — or a single strike on probation — the
     member is ejected for a jittered cooldown. *)
 
-val note_probe : t -> replica -> [ `Ready | `Not_ready | `Failed ] -> unit
+val note_probe :
+  ?load:int -> t -> replica -> [ `Ready | `Not_ready | `Failed ] -> unit
 (** Feed a background HEALTH probe result: [`Ready] fully heals the
     member, [`Not_ready] marks it Draining (deprioritized, {e not}
-    ejected — it answered), [`Failed] counts like {!note_failure}. *)
+    ejected — it answered), [`Failed] counts like {!note_failure}.
+    [load] is the probed brownout level ([load=<n>] in the HEALTH
+    line, default 0): recorded on [`Ready]/[`Not_ready] so {!rank} can
+    prefer cool members and {!all_browned_out} can gate hedging. *)
+
+val load : replica -> int
+(** The member's last-probed brownout level; 0 = cool. *)
+
+val all_browned_out : t -> bool
+(** Every member's last-known brownout level is above 0 — the whole
+    group is saturated.  A coordinator suppresses hedges then: racing
+    a second copy of a request against a uniformly overloaded group
+    is a retry storm, not a tail-latency fix. *)
 
 val rank : t -> replica list
 (** Every member, healthiest first: Ready (rotating), Probation,
     Draining, Suspect (fewest strikes first), Ejected (soonest
-    re-admission first).  Never empty. *)
+    re-admission first).  Within a state tier, cooler (lower
+    {!load}) members come first.  Never empty. *)
 
 val ready_count : t -> int
 (** Members currently in the Ready or Probation tiers — what a

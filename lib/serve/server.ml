@@ -8,6 +8,7 @@ type config = {
   drain_deadline : float;
   jobs : Jobs.config;
   pool : Pool.config;
+  brownout : Overload.config option;
 }
 
 let default_config =
@@ -21,12 +22,16 @@ let default_config =
     drain_deadline = 5.0;
     jobs = Jobs.default_config;
     pool = Pool.default_config;
+    brownout = None;
   }
 
 type stats = {
   mutable served : int;
   mutable errors : int;
   mutable degraded : int;
+  mutable refused_deadline : int;
+      (* requests refused by deadline-aware admission: their remaining
+         deadline was below the coarsest-tier latency estimate *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -83,6 +88,9 @@ type t = {
   mutable draining : bool;
   mutable catalog_ok : bool;
   mutable admission : Admission.t option;
+  (* The brownout controller, present iff [config.brownout] is set: the
+     read path feeds it latencies and consults its level. *)
+  overload : Overload.t option;
 }
 
 let stats t = t.stats
@@ -92,6 +100,8 @@ let catalog t = t.catalog
 let jobs t = t.jobs
 
 let pool t = t.pool
+
+let overload t = t.overload
 
 let bump f t = Mutex.protect t.stats_lock (fun () -> f t.stats)
 
@@ -158,13 +168,15 @@ let create ?(log = prerr_endline) ?(config = default_config) dir =
       jobs = Jobs.create ~config:config.jobs ~log dir;
       pool = Pool.create ~log pool_config dir;
       log;
-      stats = { served = 0; errors = 0; degraded = 0 };
+      stats = { served = 0; errors = 0; degraded = 0; refused_deadline = 0 };
       stats_lock = Mutex.create ();
       eval_lock = Mutex.create ();
       req_id = 0;
       draining = false;
       catalog_ok = true;
       admission = None;
+      overload =
+        Option.map (fun config -> Overload.create ~config ()) config.brownout;
     }
   in
   log_catalog_events t (Catalog.refresh t.catalog);
@@ -217,24 +229,68 @@ let exec_read t ~line kind (opts : Protocol.opts) name q =
   match resolve t name with
   | Error l -> l
   | Ok entry ->
-    if Pool.enabled t.pool then begin
-      let response =
-        Pool.exec t.pool ~name
-          ~query_key:(Twig.Syntax.to_string q)
-          ~opts ~line
-      in
-      if response_degraded response then
-        bump (fun s -> s.degraded <- s.degraded + 1) t;
-      response
+    let level =
+      match t.overload with Some o -> Overload.level o | None -> 0
+    in
+    let refused =
+      (* Deadline-aware admission: refuse only a request whose own
+         remaining deadline is below the coarsest-tier latency estimate
+         — it would burn a slot and still miss.  Requests without a
+         deadline are always admitted. *)
+      match (t.overload, opts.deadline) with
+      | Some o, Some d -> not (Overload.admit o ~deadline:d)
+      | _ -> false
+    in
+    if refused then begin
+      bump (fun s -> s.refused_deadline <- s.refused_deadline + 1) t;
+      Protocol.error_line ~cls:"overloaded"
+        (Printf.sprintf
+           "deadline %gs cannot be met even at the coarsest tier"
+           (Option.value opts.deadline ~default:0.0))
     end
     else begin
-      let budget = Query_exec.budget_for (caps t) opts in
-      let outcome =
-        Mutex.protect t.eval_lock (fun () ->
-            Query_exec.run_guarded ~budget kind entry.synopsis q)
+      let queue_depth =
+        match t.admission with Some a -> Admission.in_flight a | None -> 0
       in
-      if outcome.degraded then bump (fun s -> s.degraded <- s.degraded + 1) t;
-      outcome.response
+      let _, tag = Query_exec.select_tier entry opts ~level in
+      (* A single-tier entry's only rung IS its coarsest answer, so its
+         latencies train the admission estimate too. *)
+      let coarsest =
+        match tag with None -> true | Some (k, n, _) -> k = n - 1
+      in
+      let started = Xmldoc.Limits.now () in
+      let response =
+        if Pool.enabled t.pool then begin
+          (* Workers re-parse the raw line against their own catalog:
+             the parent's degradation level travels in-band. *)
+          let line = Protocol.with_tier line ~level in
+          let response =
+            Pool.exec t.pool ~name
+              ~query_key:(Twig.Syntax.to_string q)
+              ~opts ~line
+          in
+          if response_degraded response then
+            bump (fun s -> s.degraded <- s.degraded + 1) t;
+          response
+        end
+        else begin
+          let budget = Query_exec.budget_for (caps t) opts in
+          let synopsis, tier = Query_exec.select_tier entry opts ~level in
+          let outcome =
+            Mutex.protect t.eval_lock (fun () ->
+                Query_exec.run_guarded ?tier ~budget kind synopsis q)
+          in
+          if outcome.degraded then
+            bump (fun s -> s.degraded <- s.degraded + 1) t;
+          outcome.response
+        end
+      in
+      (match t.overload with
+      | Some o ->
+        Overload.observe ~coarsest o ~queue_depth
+          ~latency:(Xmldoc.Limits.now () -. started)
+      | None -> ());
+      response
     end
 
 let handle_request t ~line (req : Protocol.request) =
@@ -270,16 +326,24 @@ let handle_request t ~line (req : Protocol.request) =
       end
       else ""
     in
+    let load_field =
+      (* [load=<level>] is the brownout level a coordinator's probe
+         reads to rank browned-out members below Ready-and-cool ones;
+         absent when brownout is off (probes treat missing as cool). *)
+      match t.overload with
+      | Some o -> Printf.sprintf " load=%d" (Overload.level o)
+      | None -> ""
+    in
     ( Printf.sprintf
         "ok health live=yes ready=%s draining=%s catalog=%d quarantined=%d \
-         inflight=%d/%d jobs=%d%s%s"
+         inflight=%d/%d jobs=%d%s%s%s"
         (yes_no (reason = None))
         (yes_no t.draining)
         (Catalog.size t.catalog)
         (List.length (Catalog.quarantined t.catalog))
         inflight capacity
         (Jobs.running_count t.jobs)
-        pool_field
+        load_field pool_field
         (match reason with None -> "" | Some r -> " reason=" ^ r),
       false )
   | List ->

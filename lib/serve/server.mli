@@ -48,6 +48,15 @@ type config = {
           [max_work], [auto_reload]) are overridden with the server's
           own at {!create}, so the two read paths cannot diverge.
           [pool.workers = 0] (the default) evaluates in-process. *)
+  brownout : Overload.config option;
+      (** adaptive overload degradation ({!Overload}): when set, the
+          read path steps a server-wide degradation level under
+          pressure, answers from coarser ladder tiers (tagged
+          [tier=<k>/<n> budget=<bytes>]), reports [load=<level>] in
+          HEALTH, and refuses only requests whose deadline cannot be
+          met even at the coarsest tier.  [None] (the default) serves
+          every request from the finest tier — although an explicit
+          [-tier=] request option is still honored. *)
 }
 
 val default_config : config
@@ -59,6 +68,9 @@ type stats = {
   mutable served : int;  (** request lines handled (including errors) *)
   mutable errors : int;  (** [error ...] responses and shed connections *)
   mutable degraded : int;  (** degraded or truncated answers *)
+  mutable refused_deadline : int;
+      (** requests refused by deadline-aware admission: their remaining
+          deadline was below the coarsest-tier latency estimate *)
 }
 
 type t
@@ -79,6 +91,10 @@ val jobs : t -> Jobs.t
 val pool : t -> Pool.t
 (** The query worker pool (exposed for tests and HEALTH: kill counts,
     quarantine contents, fork totals). *)
+
+val overload : t -> Overload.t option
+(** The brownout controller, present iff [config.brownout] was set
+    (exposed for tests and benches: level and pressure inspection). *)
 
 val handle_line : t -> string -> string * bool
 (** [handle_line t line] is one supervised request: the response line

@@ -414,6 +414,193 @@ let prop_sq_error_monotone_in_budget =
       Build.compress cl2 ~budget:(full / 4);
       Cluster.sq_error cl2 >= Cluster.sq_error cl1 -. 1e-9)
 
+(* ---------------- budget ladders (brownout tiers) ---------------- *)
+
+let build_ladder ?(tiers = 4) doc =
+  let stable = Stable.build doc in
+  let budget = Synopsis.size_bytes stable / 2 in
+  let outcome =
+    match Build.build_ladder_res stable ~budget ~tiers with
+    | Ok o -> o
+    | Error f -> Alcotest.failf "ladder build: %s" (Xmldoc.Fault.to_string f)
+  in
+  (stable, budget, outcome.Build.ladder)
+
+let test_ladder_milestones () =
+  let ms = Build.ladder_milestones ~budget:4096 ~tiers:4 in
+  Alcotest.(check (list int)) "halving milestones, finest first"
+    [ 4096; 2048; 1024; 512 ] ms;
+  Alcotest.(check (list int)) "one tier = the budget itself" [ 4096 ]
+    (Build.ladder_milestones ~budget:4096 ~tiers:1)
+
+let test_ladder_tiers_fit_and_validate () =
+  let _, budget, ladder = build_ladder bigger_doc in
+  Alcotest.(check int) "asked tiers delivered" 4 (List.length ladder);
+  Alcotest.(check int) "finest tier carries the full budget" budget
+    (fst (List.hd ladder));
+  let rec strictly_decreasing = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      a > b && strictly_decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "budgets strictly decreasing" true
+    (strictly_decreasing ladder);
+  List.iter
+    (fun (b, syn) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "tier %d fits" b)
+        true
+        (Synopsis.size_bytes syn <= b);
+      match Synopsis.validate syn with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "tier %d invalid: %s" b msg)
+    ladder
+
+(* The ladder's whole value proposition: walking down the tiers trades
+   accuracy for size monotonically — a coarser tier is never a better
+   summary of the reference document than a finer one. *)
+let test_ladder_esd_monotone () =
+  let stable, _, ladder = build_ladder bigger_doc in
+  let esds =
+    List.map (fun (b, syn) -> (b, Metric.Esd.between_synopses stable syn)) ladder
+  in
+  let rec non_decreasing = function
+    | (bf, ef) :: (((bc, ec) :: _) as rest) ->
+      if ef > ec +. 1e-9 then
+        Alcotest.failf
+          "coarser tier beat a finer one: budget %d has ESD %g, budget %d \
+           has ESD %g"
+          bf ef bc ec;
+      non_decreasing rest
+    | _ -> ()
+  in
+  non_decreasing esds
+
+let test_ladder_tiers_roundtrip_independently () =
+  with_temp_dir (fun dir ->
+      let _, _, ladder = build_ladder bigger_doc in
+      let path = Filename.concat dir "ladder.ts" in
+      (match Serialize.save_ladder_atomic path ladder with
+      | Ok () -> ()
+      | Error f -> Alcotest.failf "save: %s" (Xmldoc.Fault.to_string f));
+      let reloaded =
+        match Serialize.load_ladder_res path with
+        | Ok tiers -> tiers
+        | Error f -> Alcotest.failf "load: %s" (Xmldoc.Fault.to_string f)
+      in
+      Alcotest.(check int) "tier count survives" (List.length ladder)
+        (Array.length reloaded);
+      List.iteri
+        (fun i (b, syn) ->
+          let b', syn' = reloaded.(i) in
+          Alcotest.(check int) "budget survives" b b';
+          Alcotest.(check int) "size survives" (Synopsis.size_bytes syn)
+            (Synopsis.size_bytes syn');
+          (* each tier is a complete snapshot in its own right: zero
+             drift against its pre-serialization self *)
+          T.check_float "tier identical after reload" 0.
+            (Metric.Esd.between_synopses syn syn');
+          match Synopsis.validate syn' with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "reloaded tier %d invalid: %s" b msg)
+        ladder)
+
+let test_ladder_rejects_bad_tier_lists () =
+  let _, _, ladder = build_ladder small_doc in
+  (match Serialize.to_ladder_string [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty ladder accepted");
+  let tier = List.hd ladder in
+  match Serialize.to_ladder_string [ tier; tier ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-decreasing budgets accepted"
+
+let expect_corrupt what = function
+  | Error (Xmldoc.Fault.Corrupt_synopsis _) -> ()
+  | Error f ->
+    Alcotest.failf "%s: wrong fault %s" what (Xmldoc.Fault.to_string f)
+  | Ok _ -> Alcotest.failf "%s: corruption went unnoticed" what
+
+let test_ladder_corruption_detected () =
+  let _, _, ladder = build_ladder bigger_doc in
+  let text = Serialize.to_ladder_string ladder in
+  let flip s i =
+    let b = Bytes.of_string s in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+    Bytes.to_string b
+  in
+  (* manifest: flip a byte inside a tier line's crc=... hex *)
+  let manifest_crc =
+    match String.index_opt text 'c' with
+    | Some _ ->
+      let rec find from =
+        let i = String.index_from text from 'c' in
+        if String.length text - i > 4 && String.sub text i 4 = "crc=" then
+          i + 4
+        else find (i + 1)
+      in
+      find 0
+    | None -> Alcotest.fail "no crc in ladder text"
+  in
+  expect_corrupt "manifest flip"
+    (Serialize.of_ladder_string_res (flip text manifest_crc));
+  (* payload: flip a byte well past the manifest *)
+  expect_corrupt "payload flip"
+    (Serialize.of_ladder_string_res (flip text (String.length text - 40)));
+  (* tear: drop the tail of the last payload *)
+  expect_corrupt "truncated payloads"
+    (Serialize.of_ladder_string_res
+       (String.sub text 0 (String.length text - 64)));
+  (* trailing garbage after the declared payloads *)
+  expect_corrupt "trailing garbage"
+    (Serialize.of_ladder_string_res (text ^ "spurious bytes\n"));
+  (* the single-snapshot loader must not half-read a ladder *)
+  match Serialize.of_string_res text with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "v2 loader swallowed a v4 ladder"
+
+let test_load_any_discriminates () =
+  with_temp_dir (fun dir ->
+      let stable, _, ladder = build_ladder bigger_doc in
+      let single_path = Filename.concat dir "single.ts" in
+      let ladder_path = Filename.concat dir "ladder.ts" in
+      (match Serialize.save_atomic single_path stable with
+      | Ok () -> ()
+      | Error f -> Alcotest.failf "save single: %s" (Xmldoc.Fault.to_string f));
+      (match Serialize.save_ladder_atomic ladder_path ladder with
+      | Ok () -> ()
+      | Error f -> Alcotest.failf "save ladder: %s" (Xmldoc.Fault.to_string f));
+      (match Serialize.load_any_res single_path with
+      | Ok (Serialize.Single _) -> ()
+      | Ok (Serialize.Ladder _) -> Alcotest.fail "snapshot read as ladder"
+      | Error f -> Alcotest.failf "load single: %s" (Xmldoc.Fault.to_string f));
+      match Serialize.load_any_res ladder_path with
+      | Ok (Serialize.Ladder tiers) ->
+        Alcotest.(check int) "all tiers via load_any" (List.length ladder)
+          (Array.length tiers)
+      | Ok (Serialize.Single _) -> Alcotest.fail "ladder read as snapshot"
+      | Error f -> Alcotest.failf "load ladder: %s" (Xmldoc.Fault.to_string f))
+
+let prop_ladder_tiers_fit_and_roundtrip =
+  T.qtest ~count:20 "every ladder tier fits, validates, and round-trips"
+    (T.arb_tree ()) (fun t ->
+      let stable = Stable.build t in
+      let budget = max 256 (Synopsis.size_bytes stable / 2) in
+      match Build.build_ladder_res stable ~budget ~tiers:3 with
+      | Error _ -> false
+      | Ok { Build.ladder; _ } -> (
+        match Serialize.of_ladder_string_res (Serialize.to_ladder_string ladder)
+        with
+        | Error _ -> false
+        | Ok tiers ->
+          Array.for_all
+            (fun (b, syn) ->
+              Synopsis.validate syn = Ok ()
+              && (Synopsis.size_bytes syn <= b
+                 || Synopsis.num_nodes syn
+                    = List.length (Tree.distinct_labels t)))
+            tiers))
+
 (* ---------------- top-down construction ---------------- *)
 
 let test_topdown_basics () =
@@ -477,6 +664,23 @@ let () =
           Alcotest.test_case "meta roundtrip" `Quick test_checkpoint_meta_roundtrip;
           Alcotest.test_case "params mismatch rejected" `Quick
             test_resume_rejects_params_mismatch;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "milestones" `Quick test_ladder_milestones;
+          Alcotest.test_case "tiers fit and validate" `Quick
+            test_ladder_tiers_fit_and_validate;
+          Alcotest.test_case "ESD monotone down the ladder" `Quick
+            test_ladder_esd_monotone;
+          Alcotest.test_case "tiers round-trip independently" `Quick
+            test_ladder_tiers_roundtrip_independently;
+          Alcotest.test_case "bad tier lists rejected" `Quick
+            test_ladder_rejects_bad_tier_lists;
+          Alcotest.test_case "corruption detected" `Quick
+            test_ladder_corruption_detected;
+          Alcotest.test_case "load_any discriminates" `Quick
+            test_load_any_discriminates;
+          prop_ladder_tiers_fit_and_roundtrip;
         ] );
       ( "topdown",
         [

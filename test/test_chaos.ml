@@ -575,6 +575,75 @@ let e2e_request rng =
   | 10 -> random_garbage rng 40
   | _ -> "QUERY db //short"
 
+(* SIGTERM landing while a BUILD worker is mid-checkpoint: the drain
+   must exit 0, keep the journal on disk for the next server's resume,
+   and leave no orphan worker — observable as the journal going quiet
+   and the snapshot never being published posthumously. *)
+let spawn_jobs_server ~dir ~sock =
+  match Unix.fork () with
+  | 0 ->
+    (try
+       let config =
+         {
+           Server.default_config with
+           drain_deadline = 2.0;
+           jobs = { Serve.Jobs.default_config with checkpoint_every = 2 };
+         }
+       in
+       let server = quiet_server ~config dir in
+       Server.install_drain_signals server;
+       Server.serve_socket server ~path:sock;
+       Unix._exit 0
+     with _ -> Unix._exit 99)
+  | pid -> pid
+
+let test_drain_during_build_checkpoint () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "db.ts") (Lazy.force synopsis);
+      (* big enough that TSBUILD is still merging when the SIGTERM
+         lands; the tiny budget maximizes the merge count and the tiny
+         checkpoint_every puts a journal on disk almost immediately *)
+      let xml = Filename.concat dir "big.xml" in
+      (match Datagen.Datasets.of_name "xmark" with
+      | Some ds ->
+        Xmldoc.Printer.to_file xml (Datagen.Datasets.generate ~seed ~scale:2.0 ds)
+      | None -> Alcotest.fail "xmark dataset missing");
+      let sock = Filename.concat dir "jobs.sock" in
+      let pid = spawn_jobs_server ~dir ~sock in
+      ignore (connect sock |> fun fd -> Unix.close fd);
+      let client =
+        Client.create
+          ~config:{ Client.default_config with jitter_seed = seed }
+          [ sock ]
+      in
+      (match Client.request client (Printf.sprintf "BUILD big %s 1KB" xml) with
+      | Ok r ->
+        if not (starts_with "ok build" r) then
+          Alcotest.failf "BUILD refused: %S" r
+      | Error e -> Alcotest.failf "BUILD: %s" (Client.error_to_string e));
+      let ckpt = Filename.concat dir ".big.ckpt" in
+      let deadline = Unix.gettimeofday () +. 15.0 in
+      while (not (Sys.file_exists ckpt)) && Unix.gettimeofday () < deadline do
+        Thread.delay 0.01
+      done;
+      Alcotest.(check bool) "checkpoint journal appeared" true
+        (Sys.file_exists ckpt);
+      Unix.kill pid Sys.sigterm;
+      expect_clean_exit "jobs server" pid;
+      Alcotest.(check bool) "checkpoint kept across drain" true
+        (Sys.file_exists ckpt);
+      (* no orphan worker: nobody journals or publishes after the exit *)
+      let mtime path =
+        try (Unix.stat path).Unix.st_mtime with Unix.Unix_error _ -> 0.0
+      in
+      let m0 = mtime ckpt in
+      Thread.delay 0.6;
+      Alcotest.(check bool) "journal went quiet after drain" true
+        (mtime ckpt = m0);
+      Alcotest.(check bool) "snapshot not published posthumously" false
+        (Sys.file_exists (Filename.concat dir "big.ts"));
+      Client.close client)
+
 let test_e2e_chaos () =
   with_temp_dir (fun dir ->
       save (Filename.concat dir "db.ts") (Lazy.force synopsis);
@@ -691,7 +760,11 @@ let () =
             test_deadline_forwarded_minus_elapsed;
         ] );
       ( "drain",
-        [ Alcotest.test_case "serve_socket returns" `Quick test_drain_unit ] );
+        [
+          Alcotest.test_case "serve_socket returns" `Quick test_drain_unit;
+          Alcotest.test_case "SIGTERM mid-build keeps the checkpoint" `Quick
+            test_drain_during_build_checkpoint;
+        ] );
       ( "end-to-end",
         [
           Alcotest.test_case "500 requests, faults, SIGTERM, failover" `Quick

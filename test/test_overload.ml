@@ -1,0 +1,506 @@
+(* Brownout serving: the Overload controller as a unit, the -tier
+   protocol plumbing, per-entry tier selection, and the acceptance
+   chaos run check.sh pins a seed for — a ladder server flooded past
+   its latency target must degrade (never refuse) everything a
+   deadline can still fit at the coarsest tier, tag what it serves,
+   and a coordinator must stop hedging against a group whose every
+   member reports browned-out HEALTH.
+
+   Everything is seeded; override with CHAOS_SEED=<n>. *)
+
+module Server = Serve.Server
+module Client = Serve.Client
+module Protocol = Serve.Protocol
+module Overload = Serve.Overload
+module Catalog = Serve.Catalog
+module Query_exec = Serve.Query_exec
+module Replica = Serve.Replica
+module Coordinator = Serve.Coordinator
+module Serialize = Sketch.Serialize
+
+let seed =
+  match Sys.getenv_opt "CHAOS_SEED" with
+  | None -> 0xCEC93
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> failwith (Printf.sprintf "CHAOS_SEED=%S is not an integer" s))
+
+let () =
+  Printf.eprintf "overload seed = %d (override with CHAOS_SEED=<n>)\n%!" seed
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "tsovl" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun file ->
+          try Sys.remove (Filename.concat dir file) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let contains hay needle =
+  let h = String.length hay and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* A 3-tier ladder over a seeded XMark doc, saved as [db.ts] in [dir]. *)
+let save_ladder ?(tiers = 3) ?(budget = 16 * 1024) dir =
+  let xmark =
+    match Datagen.Datasets.of_name "xmark" with
+    | Some ds -> ds
+    | None -> Alcotest.fail "xmark dataset missing"
+  in
+  let doc = Datagen.Datasets.generate ~seed ~scale:1.0 xmark in
+  let stable = Sketch.Stable.build doc in
+  match Sketch.Build.build_ladder_res stable ~budget ~tiers with
+  | Error f -> Alcotest.failf "ladder build: %s" (Xmldoc.Fault.to_string f)
+  | Ok { Sketch.Build.ladder; _ } -> (
+    match Serialize.save_ladder_atomic (Filename.concat dir "db.ts") ladder with
+    | Ok () -> ladder
+    | Error f -> Alcotest.failf "ladder save: %s" (Xmldoc.Fault.to_string f))
+
+let quiet_server ?config dir = Server.create ~log:(fun _ -> ()) ?config dir
+
+let rec await_socket ?(attempts = 200) path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Unix.close fd
+  | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _)
+    when attempts > 0 ->
+    Unix.close fd;
+    Thread.delay 0.02;
+    await_socket ~attempts:(attempts - 1) path
+
+(* ------------------------------------------------------------------ *)
+(* Controller                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_controller_config_validation () =
+  let bad config =
+    match Overload.create ~config () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "nonsensical config accepted"
+  in
+  bad { Overload.default_config with max_level = -1 };
+  bad { Overload.default_config with target_latency = 0.0 };
+  bad { Overload.default_config with low = 1.0; high = 1.0 };
+  bad { Overload.default_config with alpha = 0.0 };
+  bad { Overload.default_config with alpha = 1.5 };
+  ignore (Overload.create ~config:Overload.default_config ())
+
+let test_controller_steps_with_pressure () =
+  let config =
+    {
+      Overload.default_config with
+      max_level = 2;
+      target_latency = 0.010;
+      depth_high = 100;
+      dwell = 0.0;
+    }
+  in
+  let o = Overload.create ~config () in
+  Alcotest.(check int) "starts cool" 0 (Overload.level o);
+  (* sustained latency at 5x target walks to the ceiling, one step per
+     observation (dwell 0), and no further *)
+  for _ = 1 to 5 do
+    Overload.observe o ~queue_depth:0 ~latency:0.050
+  done;
+  Alcotest.(check int) "clamped at max_level" 2 (Overload.level o);
+  Alcotest.(check bool) "pressure is high" true (Overload.pressure o >= 1.0);
+  (* fast requests bring it back down *)
+  for _ = 1 to 40 do
+    Overload.observe o ~queue_depth:0 ~latency:0.0001
+  done;
+  Alcotest.(check int) "cools back to 0" 0 (Overload.level o);
+  (* queue depth alone is also pressure *)
+  let o = Overload.create ~config () in
+  for _ = 1 to 5 do
+    Overload.observe o ~queue_depth:200 ~latency:0.0001
+  done;
+  Alcotest.(check int) "depth alone degrades" 2 (Overload.level o)
+
+let test_controller_dwell_hysteresis () =
+  let config =
+    {
+      Overload.default_config with
+      max_level = 3;
+      target_latency = 0.010;
+      dwell = 30.0 (* effectively: at most one step during this test *);
+    }
+  in
+  let o = Overload.create ~config () in
+  for _ = 1 to 10 do
+    Overload.observe o ~queue_depth:0 ~latency:0.100
+  done;
+  Alcotest.(check int) "dwell caps step rate" 1 (Overload.level o)
+
+let test_controller_admission () =
+  let o = Overload.create () in
+  Alcotest.(check bool) "admits everything before samples" true
+    (Overload.admit o ~deadline:0.000001);
+  (* train the coarsest-tier estimate at ~50ms *)
+  for _ = 1 to 20 do
+    Overload.observe ~coarsest:true o ~queue_depth:0 ~latency:0.050
+  done;
+  Alcotest.(check bool) "refuses a deadline below the coarsest estimate"
+    false
+    (Overload.admit o ~deadline:0.001);
+  Alcotest.(check bool) "admits a deadline above it" true
+    (Overload.admit o ~deadline:0.5);
+  Alcotest.(check bool) "describe carries the level" true
+    (starts_with "level=" (Overload.describe o))
+
+(* ------------------------------------------------------------------ *)
+(* Protocol plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_tier_option_parses () =
+  (match Protocol.parse "QUERY -tier=2 db //a" with
+  | Ok (Protocol.Query (opts, "db", _)) ->
+    Alcotest.(check (option int)) "tier parsed" (Some 2) opts.Protocol.tier
+  | _ -> Alcotest.fail "QUERY -tier=2 did not parse");
+  (match Protocol.parse "QUERY db //a" with
+  | Ok (Protocol.Query (opts, "db", _)) ->
+    Alcotest.(check (option int)) "tier defaults to none" None
+      opts.Protocol.tier
+  | _ -> Alcotest.fail "plain QUERY did not parse");
+  match Protocol.parse "QUERY -tier=-1 db //a" with
+  | Error msg ->
+    Alcotest.(check bool) "negative tier named" true (contains msg "tier")
+  | Ok _ -> Alcotest.fail "negative tier accepted"
+
+let test_with_tier_rewriting () =
+  let check what expected got = Alcotest.(check string) what expected got in
+  check "inserts the level" "QUERY -tier=2 db //a"
+    (Protocol.with_tier "QUERY db //a" ~level:2);
+  check "raises a finer ask" "QUERY -tier=3 db //a"
+    (Protocol.with_tier "QUERY -tier=1 db //a" ~level:3);
+  check "keeps a coarser ask" "QUERY -tier=3 db //a"
+    (Protocol.with_tier "QUERY -tier=3 db //a" ~level:1);
+  check "level 0 is identity" "QUERY db //a"
+    (Protocol.with_tier "QUERY db //a" ~level:0);
+  check "non-reads untouched" "BUILD db doc.xml 1KB"
+    (Protocol.with_tier "BUILD db doc.xml 1KB" ~level:2);
+  check "other options survive" "ANSWER -tier=1 -deadline=5 db //a"
+    (Protocol.with_tier "ANSWER -deadline=5 db //a" ~level:1)
+
+(* ------------------------------------------------------------------ *)
+(* Tier selection over a real catalog                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_select_tier_clamps () =
+  with_temp_dir @@ fun dir ->
+  let ladder = save_ladder dir in
+  let n = List.length ladder in
+  let catalog = Catalog.create dir in
+  ignore (Catalog.refresh catalog);
+  let entry =
+    match Catalog.find catalog "db" with
+    | Some e -> e
+    | None -> Alcotest.fail "ladder entry missing"
+  in
+  Alcotest.(check int) "all tiers loaded" n (Array.length entry.Catalog.tiers);
+  let opts tier = { Protocol.no_opts with Protocol.tier } in
+  let tier_of level request =
+    match Query_exec.select_tier entry (opts request) ~level with
+    | _, Some (k, total, _) ->
+      Alcotest.(check int) "tag total" n total;
+      k
+    | _, None -> Alcotest.fail "ladder entry produced no tier tag"
+  in
+  Alcotest.(check int) "level 0, no ask -> finest" 0 (tier_of 0 None);
+  Alcotest.(check int) "server level wins over finer ask" 2
+    (tier_of 2 (Some 0));
+  Alcotest.(check int) "coarser ask wins over cool server" 1
+    (tier_of 0 (Some 1));
+  Alcotest.(check int) "absurd ask clamps to coarsest" (n - 1)
+    (tier_of 0 (Some 99));
+  Alcotest.(check int) "absurd level clamps to coarsest" (n - 1)
+    (tier_of 99 None);
+  (* a plain single-tier snapshot never tags *)
+  (match
+     Serialize.save_atomic
+       (Filename.concat dir "plain.ts")
+       (snd (List.hd ladder))
+   with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "save plain: %s" (Xmldoc.Fault.to_string f));
+  ignore (Catalog.refresh catalog);
+  let plain =
+    match Catalog.find catalog "plain" with
+    | Some e -> e
+    | None -> Alcotest.fail "plain entry missing"
+  in
+  match Query_exec.select_tier plain (opts (Some 2)) ~level:3 with
+  | _, None -> ()
+  | _, Some _ -> Alcotest.fail "plain snapshot grew a tier tag"
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance: brownout under flood                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Aggressive controller for tests: any latency dwarfs the target, so
+   pressure is always high and the level ratchets to the ceiling and
+   stays (no flaky cool-downs mid-assertion). *)
+let hair_trigger =
+  {
+    Overload.default_config with
+    max_level = 2;
+    target_latency = 0.000001;
+    depth_high = 1000;
+    dwell = 0.01;
+  }
+
+let test_brownout_flood () =
+  with_temp_dir @@ fun dir ->
+  ignore (save_ladder dir);
+  let sock = Filename.concat dir "ts.sock" in
+  let config =
+    { Server.default_config with max_inflight = 16; brownout = Some hair_trigger }
+  in
+  let server = quiet_server ~config dir in
+  let thread =
+    Thread.create (fun () -> Server.serve_socket server ~path:sock) ()
+  in
+  await_socket sock;
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_drain server;
+      Thread.join thread)
+  @@ fun () ->
+  let lock = Mutex.create () in
+  let responses = ref [] in
+  let lats = ref [] in
+  let failure = ref None in
+  let worker () =
+    try
+      let client = Client.create [ sock ] in
+      Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+      for _ = 1 to 40 do
+        let t0 = Unix.gettimeofday () in
+        match
+          Client.request client "QUERY -deadline=5 db //item[//mail]"
+        with
+        | Error e -> failwith (Client.error_to_string e)
+        | Ok response ->
+          let dt = Unix.gettimeofday () -. t0 in
+          Mutex.protect lock (fun () ->
+              responses := response :: !responses;
+              lats := dt :: !lats)
+      done
+    with e ->
+      Mutex.protect lock (fun () ->
+          if !failure = None then failure := Some (Printexc.to_string e))
+  in
+  let threads = List.init 4 (fun _ -> Thread.create worker ()) in
+  List.iter Thread.join threads;
+  (match !failure with
+  | Some msg -> Alcotest.failf "flood worker: %s" msg
+  | None -> ());
+  (* 1. nothing with a generous deadline was refused or failed *)
+  List.iter
+    (fun r ->
+      if not (starts_with "ok query" r) then
+        Alcotest.failf "flood response not ok: %S" r)
+    !responses;
+  Alcotest.(check int) "no deadline refusals" 0
+    (Server.stats server).Server.refused_deadline;
+  (* 2. the controller engaged, and every ladder answer declares its
+     tier — including the degraded ones *)
+  let o =
+    match Server.overload server with
+    | Some o -> o
+    | None -> Alcotest.fail "brownout server has no controller"
+  in
+  Alcotest.(check int) "controller rode to the ceiling"
+    hair_trigger.Overload.max_level (Overload.level o);
+  List.iter
+    (fun r ->
+      if not (contains r " tier=") then
+        Alcotest.failf "ladder answer without tier tag: %S" r)
+    !responses;
+  Alcotest.(check bool) "degraded tiers actually served" true
+    (List.exists (fun r -> contains r " tier=2/") !responses);
+  (* 3. p99 stayed bounded: every request finished well inside its 5s
+     deadline (the bench asserts the sharper brownout-vs-not claim) *)
+  let sorted = List.sort compare !lats in
+  let p99 = List.nth sorted (List.length sorted * 99 / 100) in
+  Alcotest.(check bool) "p99 bounded" true (p99 < 2.0);
+  (* 4. HEALTH reports the brownout level *)
+  let client = Client.create [ sock ] in
+  Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+  (match Client.request client "HEALTH" with
+  | Ok health ->
+    Alcotest.(check bool)
+      (Printf.sprintf "HEALTH carries load (%s)" health)
+      true
+      (contains health
+         (Printf.sprintf " load=%d" hair_trigger.Overload.max_level))
+  | Error e -> Alcotest.failf "HEALTH: %s" (Client.error_to_string e));
+  (* 5. with the coarse estimate trained, an impossible deadline is
+     refused up front — it could not be met even fully degraded *)
+  match Client.request client "QUERY -deadline=0.0000001 db //item[//mail]" with
+  | Ok response ->
+    Alcotest.(check bool)
+      (Printf.sprintf "impossible deadline refused (%s)" response)
+      true
+      (starts_with "error overloaded" response
+      && contains response "coarsest");
+    Alcotest.(check bool) "refusal counted" true
+      ((Server.stats server).Server.refused_deadline >= 1)
+  | Error e -> Alcotest.failf "refusal probe: %s" (Client.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance: hedge suppression against a browned-out group           *)
+(* ------------------------------------------------------------------ *)
+
+let test_hedges_suppressed_when_group_browned_out () =
+  with_temp_dir @@ fun dir ->
+  ignore (save_ladder dir);
+  let socks =
+    List.init 2 (fun i -> Filename.concat dir (Printf.sprintf "r%d.sock" i))
+  in
+  let config =
+    { Server.default_config with max_inflight = 16; brownout = Some hair_trigger }
+  in
+  let servers = List.map (fun _ -> quiet_server ~config dir) socks in
+  let threads =
+    List.map2
+      (fun server sock ->
+        Thread.create (fun () -> Server.serve_socket server ~path:sock) ())
+      servers socks
+  in
+  List.iter await_socket socks;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Server.request_drain servers;
+      List.iter Thread.join threads)
+  @@ fun () ->
+  (* brown both members out: the hair-trigger controller ratchets to
+     max after a few requests and never cools *)
+  List.iter
+    (fun sock ->
+      let client = Client.create [ sock ] in
+      Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+      for _ = 1 to 10 do
+        match Client.request client "QUERY db //item" with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "warm-up: %s" (Client.error_to_string e)
+      done)
+    socks;
+  let coord =
+    Coordinator.create
+      ~log:(fun _ -> ())
+      ~config:
+        {
+          Coordinator.default_config with
+          hedge_after = 0.0001 (* every request wants a hedge *);
+          probe_interval = 0.05;
+          retry_burst = 100.0;
+          retry_ratio = 1.0;
+        }
+      socks
+  in
+  (* the background prober only runs under serve_socket — front the
+     coordinator like a real deployment *)
+  let coord_sock = Filename.concat dir "coord.sock" in
+  let coord_thread =
+    Thread.create
+      (fun () -> Coordinator.serve_socket coord ~path:coord_sock)
+      ()
+  in
+  await_socket coord_sock;
+  (Fun.protect
+     ~finally:(fun () ->
+       Coordinator.request_drain coord;
+       Thread.join coord_thread)
+  @@ fun () ->
+  (* wait for a probe sweep to see load>0 on every member *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while
+    (not (Replica.all_browned_out (Coordinator.group coord)))
+    && Unix.gettimeofday () < deadline
+  do
+    Thread.delay 0.02
+  done;
+  Alcotest.(check bool) "probes saw the brownout" true
+    (Replica.all_browned_out (Coordinator.group coord));
+  let before = (Coordinator.stats coord).Coordinator.hedges in
+  let front = Client.create [ coord_sock ] in
+  Fun.protect ~finally:(fun () -> Client.close front) @@ fun () ->
+  for _ = 1 to 30 do
+    match Client.request front "QUERY db //item" with
+    | Ok response ->
+      if not (starts_with "ok query" response) then
+        Alcotest.failf "coordinator response: %S" response
+    | Error e -> Alcotest.failf "front request: %s" (Client.error_to_string e)
+  done;
+  let stats = Coordinator.stats coord in
+  Alcotest.(check int) "no hedges once browned-out" before
+    stats.Coordinator.hedges;
+  Alcotest.(check bool) "suppressions counted" true
+    (stats.Coordinator.hedges_suppressed > 0);
+  match Client.request front "HEALTH" with
+  | Ok health ->
+    Alcotest.(check bool)
+      (Printf.sprintf "coordinator HEALTH says browned_out=yes (%s)" health)
+      true
+      (contains health " browned_out=yes")
+  | Error e -> Alcotest.failf "front HEALTH: %s" (Client.error_to_string e));
+  (* ranking prefers the cooler member once one cools: cool r1 by hand
+     (prober is drained by now, so the load we set sticks) *)
+  let members = Replica.members (Coordinator.group coord) in
+  let r1 = List.nth members 1 in
+  Replica.note_probe ~load:0 (Coordinator.group coord) r1 `Ready;
+  Alcotest.(check bool) "group no longer uniformly browned-out" false
+    (Replica.all_browned_out (Coordinator.group coord));
+  let first = List.hd (Replica.rank (Coordinator.group coord)) in
+  Alcotest.(check string) "cool member ranks first" (Replica.path r1)
+    (Replica.path first)
+
+let () =
+  Alcotest.run "overload"
+    [
+      ( "controller",
+        [
+          Alcotest.test_case "config validation" `Quick
+            test_controller_config_validation;
+          Alcotest.test_case "steps with pressure, clamps, cools" `Quick
+            test_controller_steps_with_pressure;
+          Alcotest.test_case "dwell bounds the step rate" `Quick
+            test_controller_dwell_hysteresis;
+          Alcotest.test_case "deadline-aware admission" `Quick
+            test_controller_admission;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "-tier parses and rejects" `Quick
+            test_tier_option_parses;
+          Alcotest.test_case "with_tier rewrites the option zone" `Quick
+            test_with_tier_rewriting;
+        ] );
+      ( "selection",
+        [
+          Alcotest.test_case "select_tier clamps level and asks" `Quick
+            test_select_tier_clamps;
+        ] );
+      ( "acceptance",
+        [
+          Alcotest.test_case "flooded ladder server degrades, never drops"
+            `Slow test_brownout_flood;
+          Alcotest.test_case "browned-out group suppresses hedges" `Slow
+            test_hedges_suppressed_when_group_browned_out;
+        ] );
+    ]

@@ -467,6 +467,139 @@ let test_breaker_halfopen_probe_crash_reopens () =
         (Client.breaker_state client "db" = Some `Closed);
       Client.close client)
 
+(* the old synopsis-only breaker key would let a sick member fail-fast
+   requests a healthy member could answer: trip the breaker against
+   endpoint A, kill A, and the very next "db" query must flow to B —
+   while A's open breaker is remembered for its eventual return *)
+let test_breaker_keyed_per_endpoint () =
+  with_fake_server (fun path_a hits_a mode_a ->
+      with_fake_server (fun path_b hits_b mode_b ->
+          ignore mode_a;
+          mode_b := `Ok;
+          let client =
+            Client.create
+              ~config:
+                {
+                  Client.default_config with
+                  attempts = 1;
+                  request_timeout = 2.0;
+                  breaker_threshold = 2;
+                  breaker_cooldown = 60.0 (* never elapses in this test *);
+                  jitter_seed = seed;
+                }
+              [ path_a; path_b ]
+          in
+          (* a failed check must still close the client, or the fake
+             servers' join blocks on the abandoned connection *)
+          Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+          (* trip (A, db): two worker-crash answers in a row *)
+          for _ = 1 to 2 do
+            match Client.request client "QUERY db //movie" with
+            | Ok r -> check_prefix "crash from A" "error worker-crash" r
+            | Error e -> Alcotest.failf "warm-up: %s" (Client.error_to_string e)
+          done;
+          Alcotest.(check bool) "open for (A, db)" true
+            (Client.breaker_state ~endpoint:path_a client "db" = Some `Open);
+          Alcotest.(check bool) "no breaker for (B, db)" true
+            (Client.breaker_state ~endpoint:path_b client "db" = None);
+          (* cursor still points at A: its requests fail fast *)
+          (match Client.request client "QUERY db //movie" with
+          | Error (Client.Breaker_open _) -> ()
+          | Ok r -> Alcotest.failf "expected Breaker_open at A, got %S" r
+          | Error e ->
+            Alcotest.failf "expected Breaker_open at A, got %s"
+              (Client.error_to_string e));
+          (* A dies; an ungated request fails over, moving the cursor *)
+          Sys.remove path_a;
+          Client.close client;
+          (match Client.request client "PING" with
+          | Ok _ -> ()
+          | Error e ->
+            Alcotest.failf "failover ping: %s" (Client.error_to_string e));
+          (* the regression: "db" at the healthy member must NOT be
+             gated by A's open breaker *)
+          let b_hits = !hits_b in
+          (match Client.request client "QUERY db //movie" with
+          | Ok r -> check_prefix "db flows to B" "ok query" r
+          | Error e ->
+            Alcotest.failf "db at B should flow, got %s"
+              (Client.error_to_string e));
+          Alcotest.(check bool) "B actually served it" true (!hits_b > b_hits);
+          Alcotest.(check int) "A saw only the two tripping requests" 2 !hits_a;
+          (* and A's sickness is not forgotten *)
+          Alcotest.(check bool) "(A, db) still open" true
+            (Client.breaker_state ~endpoint:path_a client "db" = Some `Open)))
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle overlap: drain racing the respawn backoff                 *)
+(* ------------------------------------------------------------------ *)
+
+(* SIGTERM while the pool's only slot is waiting out a respawn backoff
+   far longer than the drain deadline: the drain must not sit out the
+   timer, the process must exit 0, and the socket must be unlinked. *)
+let spawn_backoff_server ~dir ~sock =
+  match Unix.fork () with
+  | 0 ->
+    (try
+       let config =
+         {
+           Server.default_config with
+           deadline = Some 2.0;
+           drain_deadline = 2.0;
+           pool =
+             {
+               (pool_config ~workers:1 ~threshold:99) with
+               backoff_base = 30.0;
+               backoff_cap = 60.0;
+             };
+         }
+       in
+       let server = Server.create ~log:(fun _ -> ()) ~config dir in
+       Server.install_drain_signals server;
+       Server.serve_socket server ~path:sock;
+       Unix._exit 0
+     with _ -> Unix._exit 99)
+  | pid -> pid
+
+let test_drain_during_respawn_backoff () =
+  with_temp_dir (fun dir ->
+      setup dir;
+      let sock = Filename.concat dir "pool.sock" in
+      let pid = spawn_backoff_server ~dir ~sock in
+      let client =
+        Client.create
+          ~config:
+            {
+              Client.default_config with
+              attempts = 8;
+              backoff_base = 0.02;
+              backoff_cap = 0.2;
+              jitter_seed = seed;
+            }
+          [ sock ]
+      in
+      (match Client.request client "PING" with
+      | Ok "pong" -> ()
+      | Ok r -> Alcotest.failf "ping: %S" r
+      | Error e -> Alcotest.failf "server never came up: %s" (Client.error_to_string e));
+      (* kill the only worker: the slot is now in a 30 s backoff *)
+      (match Client.request client kill_q with
+      | Ok r -> check_prefix "worker killed" "error worker-crash" r
+      | Error e -> Alcotest.failf "kill: %s" (Client.error_to_string e));
+      Client.close client;
+      let t0 = Unix.gettimeofday () in
+      Unix.kill pid Sys.sigterm;
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, Unix.WEXITED n -> Alcotest.failf "server exited %d, want 0" n
+      | _, Unix.WSIGNALED s -> Alcotest.failf "server killed by signal %d" s
+      | _, Unix.WSTOPPED s -> Alcotest.failf "server stopped by signal %d" s);
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "drain did not wait out the backoff (%.2fs)" elapsed)
+        true (elapsed < 5.0);
+      Alcotest.(check bool) "socket unlinked" false (Sys.file_exists sock))
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end chaos: >= 200 mixed requests against a hostile pool      *)
 (* ------------------------------------------------------------------ *)
@@ -584,6 +717,13 @@ let () =
             test_breaker_opens_and_recovers;
           Alcotest.test_case "crashed half-open probe re-opens" `Quick
             test_breaker_halfopen_probe_crash_reopens;
+          Alcotest.test_case "keyed per endpoint: failover not gated" `Quick
+            test_breaker_keyed_per_endpoint;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "SIGTERM mid-respawn-backoff drains clean" `Quick
+            test_drain_during_respawn_backoff;
         ] );
       ( "chaos",
         [ Alcotest.test_case "220 mixed hostile requests" `Quick test_pool_chaos ] );

@@ -2,62 +2,134 @@
 # Tier-1 gate: everything must build and every test suite must pass.
 # Run before every PR; CI runs exactly this script.
 #
-#   tools/check.sh           # build + full test suite (incl. fault/chaos
-#                            # harnesses, which use fixed seeds)
-#   tools/check.sh --quick   # skip the slow chaos tests (ALCOTEST_QUICK_TESTS)
+#   tools/check.sh                 # every stage, with per-stage timing
+#   tools/check.sh --quick         # skip the slow chaos tests
+#                                  # (ALCOTEST_QUICK_TESTS)
+#   tools/check.sh --stage NAME    # run one stage only (repeatable);
+#                                  # names: build, test, chaos,
+#                                  # pool-chaos, coordinator-chaos,
+#                                  # overload-chaos, serve-bench,
+#                                  # overload-bench
 #
-# The chaos stage (test_chaos: fault injection, protocol fuzz, the
-# client-vs-server drain run) is seeded; set CHAOS_SEED=<n> to replay a
-# failure with a specific seed.  The seed in use is printed.
+# The chaos stages are seeded; set CHAOS_SEED=<n> to replay a failure
+# with a specific seed.  The seed in use is printed.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 QUICK=
-for arg in "$@"; do
-  case "$arg" in
+STAGES=
+while [ $# -gt 0 ]; do
+  case "$1" in
     --quick) QUICK=1 ;;
-    *) echo "usage: tools/check.sh [--quick]" >&2; exit 2 ;;
+    --stage)
+      [ $# -ge 2 ] || { echo "--stage needs a name" >&2; exit 2; }
+      shift
+      STAGES="$STAGES $1"
+      ;;
+    *)
+      echo "usage: tools/check.sh [--quick] [--stage NAME]..." >&2
+      exit 2
+      ;;
   esac
+  shift
 done
 
-echo "== dune build @all =="
-dune build @all
+# stage <name> <fn>: run <fn> under a wall-clock timer, unless --stage
+# filters it out.  Timing every stage keeps "which stage got slow" a
+# one-glance question in CI logs.
+RAN_ANY=
+stage() {
+  _name=$1
+  _fn=$2
+  if [ -n "$STAGES" ]; then
+    case " $STAGES " in
+      *" $_name "*) ;;
+      *) return 0 ;;
+    esac
+  fi
+  RAN_ANY=1
+  echo "== $_name =="
+  _t0=$(date +%s)
+  "$_fn"
+  _t1=$(date +%s)
+  echo "-- $_name: $((_t1 - _t0))s"
+}
 
-echo "== dune runtest =="
-if [ -n "$QUICK" ]; then
-  ALCOTEST_QUICK_TESTS=1 dune runtest --force
-else
-  dune runtest --force
-fi
+stage_build() {
+  dune build @all
+}
 
-echo "== chaos stage (CHAOS_SEED=${CHAOS_SEED:-default}) =="
-# Runs the chaos harness on its own so its seed line and e2e tally are
+stage_test() {
+  if [ -n "$QUICK" ]; then
+    ALCOTEST_QUICK_TESTS=1 dune runtest --force
+  else
+    dune runtest --force
+  fi
+}
+
+# The chaos harness on its own so its seed line and e2e tally are
 # visible in the CI log even though dune runtest already exercised it.
-# (No pipe here: a pipe would mask the exit status under set -e.)
-dune exec test/test_chaos.exe -- -c
+# (No pipe: a pipe would mask the exit status under set -e.)
+stage_chaos() {
+  echo "CHAOS_SEED=${CHAOS_SEED:-default}"
+  dune exec test/test_chaos.exe -- -c
+}
 
-echo "== pool chaos stage (seed pinned) =="
-# The worker-pool acceptance run (crash isolation, watchdog, poison
-# quarantine, client breaker, 220 hostile requests) under a pinned seed
-# so CI is reproducible regardless of the suite's default; replay any
-# failure with the same CHAOS_SEED.
-CHAOS_SEED="${CHAOS_SEED:-721009}" dune exec test/test_pool.exe -- -c
+# Worker-pool acceptance (crash isolation, watchdog, poison quarantine,
+# client breaker, 220 hostile requests) under a pinned seed so CI is
+# reproducible regardless of the suite's default.
+stage_pool_chaos() {
+  CHAOS_SEED="${CHAOS_SEED:-721009}" dune exec test/test_pool.exe -- -c
+}
 
-echo "== coordinator chaos stage (seed pinned) =="
 # Replica-group acceptance under a pinned seed: 3 forked replicas behind
 # the hedged coordinator, one SIGKILLed and one SIGSTOPped mid-run, 500
-# client requests — every request must resolve, the retry-budget counter
-# must prove hedge/retry traffic stayed inside the token-bucket cap (no
-# retry storm), and SIGTERM must drain the coordinator to exit 0.
-CHAOS_SEED="${CHAOS_SEED:-321984}" dune exec test/test_replica.exe -- -c
+# client requests — every request must resolve, and the retry-budget
+# counter must prove hedge/retry traffic stayed inside the token-bucket
+# cap (no retry storm).
+stage_coordinator_chaos() {
+  CHAOS_SEED="${CHAOS_SEED:-321984}" dune exec test/test_replica.exe -- -c
+}
 
-echo "== serve bench stage (BENCH_serve.json) =="
-# Tail-latency acceptance: one replica browns out (seeded Io_fault read
-# delay); the hedged group's p99 must beat the single-replica p99.  The
-# percentiles, req/s and hedge rate land in BENCH_serve.json so later
-# perf PRs have a trajectory to compare against.
-CHAOS_SEED="${CHAOS_SEED:-24254}" dune exec bench/serve_bench.exe -- \
-  --out BENCH_serve.json --assert
+# Brownout acceptance under a pinned seed: an overloaded ladder server
+# with --brownout must keep p99 bounded, refuse nothing the coarsest
+# tier could still answer, tag every degraded response with tier=, and
+# a uniformly browned-out group must suppress coordinator hedges.
+stage_overload_chaos() {
+  CHAOS_SEED="${CHAOS_SEED:-847211}" dune exec test/test_overload.exe -- -c
+}
+
+# Tail-latency acceptance + regression gate: one replica browns out
+# (seeded Io_fault read delay); the hedged group's p99 must beat the
+# single-replica p99, and the hedged/single p99 ratio must stay within
+# tolerance of the committed BENCH_serve.json baseline.
+stage_serve_bench() {
+  CHAOS_SEED="${CHAOS_SEED:-24254}" dune exec bench/serve_bench.exe -- \
+    --out BENCH_serve.latest.json --assert \
+    --baseline BENCH_serve.json --tolerance 0.5
+}
+
+# Brownout bench: p99 + answer-ESD vs offered load, with and without
+# degradation.  The browned-out p99 at peak load must be strictly
+# below the no-brownout p99 at the same load.
+stage_overload_bench() {
+  CHAOS_SEED="${CHAOS_SEED:-45327}" dune exec bench/overload_bench.exe -- \
+    --out BENCH_overload.latest.json --assert
+}
+
+stage build              stage_build
+stage test               stage_test
+stage chaos              stage_chaos
+stage pool-chaos         stage_pool_chaos
+stage coordinator-chaos  stage_coordinator_chaos
+stage overload-chaos     stage_overload_chaos
+stage serve-bench        stage_serve_bench
+stage overload-bench     stage_overload_bench
+
+if [ -z "$RAN_ANY" ]; then
+  echo "no such stage:$STAGES" >&2
+  exit 2
+fi
 
 echo "== check.sh: OK =="
