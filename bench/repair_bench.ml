@@ -1,0 +1,379 @@
+(* Anti-entropy repair bench: time-to-detect and time-to-converge.
+
+   Spins up a 3-replica group on Unix sockets, all serving the same
+   snapshot byte for byte.  One member runs the background scrubber
+   (scrub_interval = 0.25 s) with the other two configured as repair
+   peers.  Each round corrupts that member's snapshot IN PLACE —
+   size, inode and mtime preserved, so only a scrub re-read can see
+   the rot — and measures, from the moment of corruption:
+
+   - detect_s:   until the scrubber quarantines the snapshot
+                 (the [event=scrub-quarantine] log line);
+   - converge_s: until the on-disk bytes are restored exactly and the
+                 quarantine is cleared (STAT answers [quarantined=no])
+                 — i.e. the member pulled the clean copy from a peer
+                 over FETCH and re-admitted it.
+
+   Results go to BENCH_repair.json; --assert fails the run unless
+   every round converged.  Raw seconds are machine-bound, so the
+   regression gate compares mean detect/converge as MULTIPLES of the
+   scrub interval — what the anti-entropy loop actually promises
+   (detection within ~one period, convergence shortly after).
+
+   --baseline FILE compares the fresh run against a committed
+   BENCH_repair.json: the mean_converge_over_interval ratio must not
+   regress past --tolerance (default 1.0, i.e. +100% — wall-clock
+   ratios on a loaded CI box are noisy), and the baseline must itself
+   have converged every round.
+
+   Usage: repair_bench [--out PATH] [--rounds N] [--assert]
+                       [--baseline FILE [--tolerance R]]
+   Seeded via CHAOS_SEED (default pinned). *)
+
+module Server = Serve.Server
+
+let seed =
+  match Sys.getenv_opt "CHAOS_SEED" with
+  | None -> 0x9E4A
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> failwith (Printf.sprintf "CHAOS_SEED=%S is not an integer" s))
+
+let scrub_interval = 0.25
+let round_deadline = 20.0
+
+let usage () =
+  prerr_endline
+    "usage: repair_bench [--out PATH] [--rounds N] [--assert]\n\
+    \                    [--baseline FILE [--tolerance R]]";
+  exit 2
+
+let out_path = ref "BENCH_repair.json"
+let rounds = ref 5
+let assert_mode = ref false
+let baseline_path = ref None
+let tolerance = ref 1.0
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: path :: rest ->
+      out_path := path;
+      parse rest
+    | "--rounds" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 ->
+        rounds := n;
+        parse rest
+      | _ -> usage ())
+    | "--assert" :: rest ->
+      assert_mode := true;
+      parse rest
+    | "--baseline" :: path :: rest ->
+      baseline_path := Some path;
+      parse rest
+    | "--tolerance" :: r :: rest -> (
+      match float_of_string_opt r with
+      | Some r when r >= 0.0 ->
+        tolerance := r;
+        parse rest
+      | _ -> usage ())
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison (same scraping idiom as serve_bench)            *)
+(* ------------------------------------------------------------------ *)
+
+let scrape_floats text key =
+  let needle = Printf.sprintf "\"%s\": " key in
+  let out = ref [] in
+  let len = String.length text and nlen = String.length needle in
+  for i = 0 to len - nlen - 1 do
+    if String.sub text i nlen = needle then begin
+      let j = ref (i + nlen) in
+      while
+        !j < len
+        && (match text.[!j] with
+           | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true
+           | _ -> false)
+      do
+        incr j
+      done;
+      match
+        float_of_string_opt (String.sub text (i + nlen) (!j - i - nlen))
+      with
+      | Some f -> out := f :: !out
+      | None -> ()
+    end
+  done;
+  List.rev !out
+
+let converge_ratio text what =
+  match scrape_floats text "mean_converge_over_interval" with
+  | r :: _ -> r
+  | [] ->
+    failwith (Printf.sprintf "%s: cannot scrape mean_converge_over_interval" what)
+
+let check_baseline ~current path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let baseline = really_input_string ic n in
+  close_in ic;
+  let base_ratio = converge_ratio baseline ("baseline " ^ path) in
+  let cur_ratio = converge_ratio current "current run" in
+  let ceiling = base_ratio *. (1.0 +. !tolerance) in
+  Printf.printf
+    "repair bench baseline: converge/interval %.3f vs baseline %.3f \
+     (ceiling %.3f, tolerance %.0f%%)\n"
+    cur_ratio base_ratio ceiling (!tolerance *. 100.0);
+  if cur_ratio > ceiling then begin
+    Printf.eprintf
+      "FAIL: converge/interval ratio %.3f regressed past baseline %.3f \
+       + %.0f%% tolerance (%s)\n"
+      cur_ratio base_ratio (!tolerance *. 100.0) path;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Harness                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "tsrepair" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun file ->
+          try Sys.remove (Filename.concat dir file) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let rec await_socket ?(attempts = 200) path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Unix.close fd
+  | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _)
+    when attempts > 0 ->
+    Unix.close fd;
+    Thread.delay 0.02;
+    await_socket ~attempts:(attempts - 1) path
+
+let ask sock line =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      output_string oc (line ^ "\n");
+      flush oc;
+      input_line ic)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i =
+    i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1))
+  in
+  nn = 0 || scan 0
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* A fixed, microsecond-exact mtime so an in-place corruption that
+   restores it leaves the catalog fingerprint unchanged — invisible to
+   auto-reload, visible only to the scrub's re-read. *)
+let t0 = 1_700_000_000.0
+
+let corrupt_in_place path ~at =
+  let text = read_file path in
+  let n = String.length text in
+  let at = min at (n - 1) in
+  let b = Bytes.of_string text in
+  Bytes.set b at (Char.chr (Char.code (Bytes.get b at) lxor 0xFF));
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  let rec w off = if off < n then w (off + Unix.write fd b off (n - off)) in
+  w 0;
+  Unix.close fd;
+  Unix.utimes path t0 t0
+
+type round = { detect_s : float; converge_s : float; converged : bool }
+
+let () =
+  with_temp_dir @@ fun d0 ->
+  with_temp_dir @@ fun d1 ->
+  with_temp_dir @@ fun d2 ->
+  let doc =
+    "<db><movie><actor/><actor/><title/></movie>\
+     <movie><actor/><title/></movie><short><title/></short></db>"
+  in
+  (match
+     Sketch.Serialize.save_atomic
+       (Filename.concat d0 "db.ts")
+       (Sketch.Stable.build (Xmldoc.Parser.of_string doc))
+   with
+  | Ok () -> ()
+  | Error f -> failwith (Xmldoc.Fault.to_string f));
+  let clean = read_file (Filename.concat d0 "db.ts") in
+  List.iter
+    (fun d ->
+      match Sketch.Serialize.write_atomic (Filename.concat d "db.ts") clean with
+      | Ok () -> ()
+      | Error f -> failwith (Xmldoc.Fault.to_string f))
+    [ d1; d2 ];
+  let path0 = Filename.concat d0 "db.ts" in
+  Unix.utimes path0 t0 t0;
+  let s0 = Filename.concat d0 "r0.sock" in
+  let s1 = Filename.concat d1 "r1.sock" in
+  let s2 = Filename.concat d2 "r2.sock" in
+  (* timestamped log capture: detection is measured at the instant the
+     scrubber's quarantine line is emitted, not at our next poll *)
+  let log_lock = Mutex.create () in
+  let quarantines = ref [] in
+  let log line =
+    if contains line "event=scrub-quarantine name=db" then
+      Mutex.protect log_lock (fun () ->
+          quarantines := Unix.gettimeofday () :: !quarantines)
+  in
+  let quarantine_count () =
+    Mutex.protect log_lock (fun () -> List.length !quarantines)
+  in
+  let latest_quarantine () =
+    Mutex.protect log_lock (fun () -> List.hd !quarantines)
+  in
+  let config0 =
+    {
+      Server.default_config with
+      scrub_interval;
+      peers = [ s1; s2 ];
+      repair_timeout = 2.0;
+      drain_deadline = 2.0;
+    }
+  in
+  let server0 = Server.create ~log ~config:config0 d0 in
+  let peers =
+    [ Server.create ~log:(fun _ -> ()) d1; Server.create ~log:(fun _ -> ()) d2 ]
+  in
+  let all = server0 :: peers in
+  let threads =
+    List.map2
+      (fun server sock ->
+        Thread.create (fun () -> Server.serve_socket server ~path:sock) ())
+      all [ s0; s1; s2 ]
+  in
+  List.iter await_socket [ s0; s1; s2 ];
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Server.request_drain all;
+      List.iter Thread.join threads)
+  @@ fun () ->
+  ignore seed;
+  let run_round i =
+    (* re-pin the fingerprint: the previous repair installed a fresh
+       inode with a real mtime, so normalize and reload BEFORE
+       corrupting — otherwise the mtime change itself would tip off
+       auto-reload and the round would measure the wrong detector *)
+    Unix.utimes path0 t0 t0;
+    if not (contains (ask s0 "RELOAD") "ok reload") then
+      failwith "reload refused";
+    let before = quarantine_count () in
+    let t_corrupt = Unix.gettimeofday () in
+    corrupt_in_place path0 ~at:(String.length clean / 2);
+    let deadline = t_corrupt +. round_deadline in
+    let rec await_detect () =
+      if quarantine_count () > before then latest_quarantine () -. t_corrupt
+      else if Unix.gettimeofday () > deadline then -1.0
+      else begin
+        Thread.delay 0.01;
+        await_detect ()
+      end
+    in
+    let detect_s = await_detect () in
+    let converged_now () =
+      read_file path0 = clean && contains (ask s0 "STAT db") "quarantined=no"
+    in
+    let rec await_converge () =
+      if converged_now () then Unix.gettimeofday () -. t_corrupt
+      else if Unix.gettimeofday () > deadline then -1.0
+      else begin
+        Thread.delay 0.01;
+        await_converge ()
+      end
+    in
+    let converge_s = if detect_s < 0.0 then -1.0 else await_converge () in
+    let converged = detect_s >= 0.0 && converge_s >= 0.0 in
+    Printf.printf "repair bench: round %d detect=%.3fs converge=%.3fs%s\n%!" i
+      detect_s converge_s
+      (if converged then "" else " TIMED OUT");
+    { detect_s; converge_s; converged }
+  in
+  let results = List.init !rounds (fun i -> run_round (i + 1)) in
+  let ok_rounds = List.filter (fun r -> r.converged) results in
+  let all_converged = List.length ok_rounds = List.length results in
+  let mean f =
+    match ok_rounds with
+    | [] -> -1.0
+    | l -> List.fold_left (fun a r -> a +. f r) 0.0 l /. float_of_int (List.length l)
+  in
+  let maxi f =
+    List.fold_left (fun a r -> Float.max a (f r)) 0.0 ok_rounds
+  in
+  let mean_detect = mean (fun r -> r.detect_s) in
+  let mean_converge = mean (fun r -> r.converge_s) in
+  let round_json =
+    String.concat ",\n"
+      (List.map
+         (fun r ->
+           Printf.sprintf
+             "    { \"detect_s\": %.4f, \"converge_s\": %.4f, \
+              \"converged\": %b }"
+             r.detect_s r.converge_s r.converged)
+         results)
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "repair",
+  "seed": %d,
+  "replicas": 3,
+  "scrub_interval_s": %g,
+  "rounds": [
+%s
+  ],
+  "mean_detect_s": %.4f,
+  "max_detect_s": %.4f,
+  "mean_converge_s": %.4f,
+  "max_converge_s": %.4f,
+  "mean_detect_over_interval": %.3f,
+  "mean_converge_over_interval": %.3f,
+  "all_rounds_converged": %b
+}
+|}
+      seed scrub_interval round_json mean_detect
+      (maxi (fun r -> r.detect_s))
+      mean_converge
+      (maxi (fun r -> r.converge_s))
+      (mean_detect /. scrub_interval)
+      (mean_converge /. scrub_interval)
+      all_converged
+  in
+  let oc = open_out !out_path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf
+    "repair bench: mean detect=%.3fs converge=%.3fs (interval %.2fs) -> %s\n"
+    mean_detect mean_converge scrub_interval !out_path;
+  if !assert_mode && not all_converged then begin
+    Printf.eprintf "FAIL: %d of %d rounds did not converge\n"
+      (List.length results - List.length ok_rounds)
+      (List.length results);
+    exit 1
+  end;
+  match !baseline_path with
+  | Some path -> check_baseline ~current:json path
+  | None -> ()

@@ -5,6 +5,7 @@
      treesketch query    doc.ts "//item[//mail]{//incategory?}"
      treesketch query    doc.ts QUERY --exact doc.xml
      treesketch serve    --catalog synopses/ [--socket /tmp/ts.sock]
+     treesketch verify   synopses/*.ts
      treesketch esd      a.xml b.xml
      treesketch stats    doc.xml *)
 
@@ -431,9 +432,55 @@ let serve_cmd =
              controller may reach (clamped to each snapshot's ladder \
              depth at serving time).")
   in
+  let scrub_interval =
+    Arg.(
+      value
+      & opt float Serve.Server.default_config.scrub_interval
+      & info [ "scrub-interval" ] ~docv:"SECONDS"
+          ~doc:
+            "Background integrity scrubbing: every $(docv) seconds a \
+             supervised worker re-reads and re-verifies every snapshot \
+             on disk; in-place corruption is quarantined \
+             ($(b,reason=scrub-corrupt)) while the resident copy keeps \
+             serving, orphaned temp files are swept, and — with \
+             $(b,--peer) — a repair pull follows.  0 (the default) \
+             disables the scrubber; the SCRUB verb stays available on \
+             demand.")
+  in
+  let peers =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "peer" ] ~docv:"PATH"
+          ~doc:
+            "Socket of a replica peer serving the same catalog, used as \
+             a repair source: a quarantined snapshot is re-fetched from \
+             the healthiest peer holding a clean copy (verified \
+             end-to-end, installed atomically).  Repeatable.  Without \
+             peers, REPAIR answers $(b,error bad-request).")
+  in
+  let tmp_sweep_age =
+    Arg.(
+      value
+      & opt float Serve.Server.default_config.tmp_sweep_age
+      & info [ "tmp-sweep-age" ] ~docv:"SECONDS"
+          ~doc:
+            "Minimum age before an orphaned staging ($(b,.tmp)) file in \
+             the catalog is swept — must exceed the longest plausible \
+             atomic-write window, since live build workers stage under \
+             the same naming.")
+  in
+  let repair_timeout =
+    Arg.(
+      value
+      & opt float Serve.Server.default_config.repair_timeout
+      & info [ "repair-timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-peer-connection budget of a repair pull.")
+  in
   let run catalog socket deadline max_answer_nodes max_inflight no_auto_reload
       drain_deadline workers watchdog_grace poison_threshold brownout
-      target_latency brownout_levels =
+      target_latency brownout_levels scrub_interval peers tmp_sweep_age
+      repair_timeout =
     let config =
       {
         Serve.Server.default_config with
@@ -442,6 +489,10 @@ let serve_cmd =
         max_inflight;
         auto_reload = not no_auto_reload;
         drain_deadline;
+        scrub_interval = Float.max 0.0 scrub_interval;
+        peers;
+        tmp_sweep_age = Float.max 0.0 tmp_sweep_age;
+        repair_timeout;
         brownout =
           (if not brownout then None
            else
@@ -480,7 +531,8 @@ let serve_cmd =
     Term.(
       const run $ catalog $ socket $ deadline $ max_answer_nodes $ max_inflight
       $ no_auto_reload $ drain_deadline $ workers $ watchdog_grace
-      $ poison_threshold $ brownout $ target_latency $ brownout_levels)
+      $ poison_threshold $ brownout $ target_latency $ brownout_levels
+      $ scrub_interval $ peers $ tmp_sweep_age $ repair_timeout)
 
 (* ----------------------------- coordinate ----------------------------- *)
 
@@ -853,6 +905,61 @@ let client_cmd =
       $ attempts $ retry_unsafe $ seed $ breaker_threshold
       $ breaker_cooldown $ words)
 
+(* -------------------------------- verify ------------------------------ *)
+
+let verify_cmd =
+  let paths =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"SNAPSHOT.ts")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ] ~doc:"Report only corrupt files on stderr.")
+  in
+  let run paths quiet =
+    (* the same verification core the serving scrubber runs — CRC
+       trailer(s), full parse, Synopsis.validate, every ladder tier —
+       so an offline `verify` and an online SCRUB can never disagree
+       about what counts as corrupt *)
+    let bad = ref 0 in
+    List.iter
+      (fun path ->
+        match Serve.Scrub.verify_file path with
+        | Ok (info : Serve.Scrub.info) ->
+          if not quiet then
+            Printf.printf "ok %s bytes=%d crc=%s fp=%s tiers=%d\n" path
+              info.v_bytes info.v_crc info.v_fp info.v_tiers
+        | Error fault ->
+          incr bad;
+          Printf.eprintf "corrupt %s: %s\n" path (Xmldoc.Fault.to_string fault))
+      paths;
+    if !bad > 0 then begin
+      Printf.eprintf "verify: %d of %d snapshot(s) corrupt\n" !bad
+        (List.length paths);
+      (* fsck convention: corruption found is exit 3, distinct from the
+         cli-error and fault-taxonomy codes of the other subcommands *)
+      exit 3
+    end
+  in
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P
+        "$(b,0) every snapshot verified clean; $(b,3) at least one \
+         snapshot failed verification (fsck convention — note this \
+         differs from the fault-taxonomy codes of the other \
+         subcommands); $(b,124) usage error.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "verify" ~man
+       ~doc:
+         "Offline integrity check (fsck) of snapshot files: re-read each \
+          one and verify checksum trailers, structural parse, synopsis \
+          invariants and — for ladder snapshots — every tier.  The same \
+          verification the serving scrubber applies, without a server.")
+    Term.(const run $ paths $ quiet)
+
 (* --------------------------------- esd -------------------------------- *)
 
 let esd_cmd =
@@ -914,6 +1021,7 @@ let () =
             build_cmd;
             query_cmd;
             serve_cmd;
+            verify_cmd;
             coordinate_cmd;
             client_cmd;
             esd_cmd;

@@ -222,7 +222,12 @@ let write_atomic path text =
                which is exactly the torn state the format exists to
                prevent. *)
             Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Fsync ~path:tmp;
-            Unix.fsync (Unix.descr_of_out_channel oc));
+            Unix.fsync (Unix.descr_of_out_channel oc);
+            (* Closing a written file is the last syscall that can still
+               lose the data (NFS, quota accounting): fail here and the
+               [finally] above removes the temp before anything was
+               published. *)
+            Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Close ~path:tmp);
         (* [Filename.temp_file] creates 0600 files; publishing one as
            the snapshot would tighten its mode relative to [save],
            whose files get the usual umask-derived 0666.  Re-apply the
@@ -460,6 +465,38 @@ let load_gen of_string ~limits path =
              never load it partially *)
           of_string ~limits
             (really_input_string ic (Xmldoc.Io_fault.cap Xmldoc.Io_fault.Read ~path len))
+        end)
+  with
+  | Ok s -> Ok s
+  | Error f -> Error (Xmldoc.Fault.with_path path f)
+  | exception Sys_error message -> Error (Xmldoc.Fault.Io_error { path; message })
+  | exception End_of_file ->
+    Error (Xmldoc.Fault.Io_error { path; message = "unexpected end of file" })
+  | exception Unix.Unix_error (e, fn, _) ->
+    Error
+      (Xmldoc.Fault.Io_error { path; message = fn ^ ": " ^ Unix.error_message e })
+
+(* The raw bytes of a snapshot file, through the same fault taps and
+   byte bound as [load_gen] — what the scrubber and the peer-repair
+   FETCH path hash and stream.  A short (torn) read returns a prefix;
+   the caller's checksum verification rejects it. *)
+let load_raw_res ?(limits = Xmldoc.Limits.default) path =
+  match
+    Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Open ~path;
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        if len > limits.Xmldoc.Limits.max_bytes then
+          Error
+            (Xmldoc.Fault.Limit_exceeded
+               { what = "bytes"; actual = len; limit = limits.max_bytes })
+        else begin
+          Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Read ~path;
+          Ok
+            (really_input_string ic
+               (Xmldoc.Io_fault.cap Xmldoc.Io_fault.Read ~path len))
         end)
   with
   | Ok s -> Ok s

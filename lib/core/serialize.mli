@@ -62,6 +62,21 @@ val save_atomic :
     file is removed.  Meta keys must be space-free and values
     newline-free ([Invalid_argument] otherwise). *)
 
+val write_atomic : string -> string -> (unit, Xmldoc.Fault.t) result
+(** The raw crash-safe write under {!save_atomic}: publish [text] —
+    verbatim, byte for byte — at [path] via the same temp-file + fsync
+    + rename discipline.  Exposed for peer snapshot repair, which must
+    install a fetched (already-rendered, already-verified) snapshot
+    {e byte-identically}, so content hashes converge across a replica
+    group. *)
+
+val load_raw_res :
+  ?limits:Xmldoc.Limits.t -> string -> (string, Xmldoc.Fault.t) result
+(** The file's raw bytes, through the same fault-injection taps and
+    [max_bytes] bound as {!load_res} but with {e no} parsing — what
+    integrity scrubbing and peer repair hash and stream.  A torn read
+    surfaces as a content prefix; callers verify checksums. *)
+
 val load_res : ?limits:Xmldoc.Limits.t -> string -> (Synopsis.t, Xmldoc.Fault.t) result
 (** Read and validate a synopsis, accepting either format version.
     Never raises: corrupt input is [Error (Corrupt_synopsis _)], an
@@ -144,3 +159,9 @@ val load_any_res :
 (** Sniff the header and dispatch to {!load_res} or
     {!load_ladder_res} — the serving catalog's entry point, so one
     store can mix plain snapshots and ladders. *)
+
+val of_any_string_res :
+  ?limits:Xmldoc.Limits.t -> string -> (loaded, Xmldoc.Fault.t) result
+(** In-memory variant of {!load_any_res} (no path tagging) — lets the
+    integrity scrubber hash the raw bytes once via {!load_raw_res} and
+    then verify the same bytes it hashed. *)

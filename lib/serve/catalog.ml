@@ -10,6 +10,8 @@ type entry = {
   tiers : tier array;
       (* finest first, never empty; [tiers.(0).t_synopsis == synopsis].
          A plain (non-ladder) snapshot has exactly one tier. *)
+  content_crc : string;
+  params_fp : string;
   mtime : float;
   size : int;
   ino : int;
@@ -23,10 +25,18 @@ type quarantined = {
   q_name : string;
   q_path : string;
   fault : Xmldoc.Fault.t;
+  q_scrub : bool;
   q_mtime : float;
   q_size : int;
   q_ino : int;
 }
+
+(* Protocol rendering of why a name is quarantined.  A scrub-detected
+   fault is prefixed so operators can tell load-time rejection (a bad
+   publish) from bit-rot found later in place. *)
+let quarantine_reason q =
+  if q.q_scrub then "scrub-" ^ Xmldoc.Fault.class_name q.fault
+  else Xmldoc.Fault.class_name q.fault
 
 type event =
   | Loaded of string
@@ -50,7 +60,9 @@ type t = {
   lock : Mutex.t;
 }
 
-let snapshot_extension = ".ts"
+(* Single-sourced from the scrubber so the catalog scan and the fsck
+   walk can never consider different file sets. *)
+let snapshot_extension = Scrub.snapshot_extension
 
 let create ?(limits = Xmldoc.Limits.default) dir =
   {
@@ -123,7 +135,7 @@ let refresh ?(force = false) t =
           let name = Filename.chop_suffix file snapshot_extension in
           let path = Filename.concat t.dir file in
           match
-            Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Open ~path;
+            Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Stat ~path;
             Unix.stat path
           with
           | exception Unix.Unix_error _ -> () (* deleted between readdir and stat *)
@@ -148,8 +160,19 @@ let refresh ?(force = false) t =
                 match known with None -> true | Some e -> changed e st)
             in
             if needs_load then begin
-              match Sketch.Serialize.load_any_res ~limits:t.limits path with
-              | Ok loaded ->
+              (* Raw bytes first, then parse the same bytes: the content
+                 hash must cover exactly what was validated, so a replica
+                 group can compare hashes to detect divergence. *)
+              let load_result =
+                match Sketch.Serialize.load_raw_res ~limits:t.limits path with
+                | Error fault -> Error fault
+                | Ok raw -> (
+                  match Sketch.Serialize.of_any_string_res ~limits:t.limits raw with
+                  | Error fault -> Error (Xmldoc.Fault.with_path path fault)
+                  | Ok loaded -> Ok (raw, loaded))
+              in
+              match load_result with
+              | Ok (raw, loaded) ->
                 let tiers =
                   match loaded with
                   | Sketch.Serialize.Single s ->
@@ -165,6 +188,8 @@ let refresh ?(force = false) t =
                     path;
                     synopsis = tiers.(0).t_synopsis;
                     tiers;
+                    content_crc = Sketch.Crc32.to_hex (Sketch.Crc32.string raw);
+                    params_fp = Scrub.fingerprint loaded;
                     mtime = st.Unix.st_mtime;
                     size = st.Unix.st_size;
                     ino = st.Unix.st_ino;
@@ -180,6 +205,7 @@ let refresh ?(force = false) t =
                     q_name = name;
                     q_path = path;
                     fault;
+                    q_scrub = false;
                     q_mtime = st.Unix.st_mtime;
                     q_size = st.Unix.st_size;
                     q_ino = st.Unix.st_ino;
@@ -203,3 +229,40 @@ let refresh ?(force = false) t =
         if not (Sys.file_exists q.q_path) then Hashtbl.remove t.quarantine name)
       (Hashtbl.copy t.quarantine);
     List.rev !events
+
+let quarantine_for t name =
+  Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.quarantine name)
+
+(* Scrub verdict application.  The resident (in-memory) version keeps
+   serving — it was loaded from bytes that verified clean; what rotted
+   is the file.  The quarantine fingerprint is the rotten file's
+   current stat, so the repair path's atomic install (new inode) is
+   retried by the very next refresh, while the rotten file itself is
+   not re-parsed every period. *)
+let quarantine_scrub t name fault =
+  Mutex.protect t.lock @@ fun () ->
+  let path = Filename.concat t.dir (name ^ snapshot_extension) in
+  let q_mtime, q_size, q_ino =
+    match Unix.stat path with
+    | st -> (st.Unix.st_mtime, st.Unix.st_size, st.Unix.st_ino)
+    | exception Unix.Unix_error _ -> (0., 0, 0)
+  in
+  Hashtbl.replace t.quarantine name
+    { q_name = name; q_path = path; fault; q_scrub = true; q_mtime; q_size; q_ino }
+
+let hashes t =
+  Mutex.protect t.lock (fun () ->
+      List.sort
+        (fun (a, _, _) (b, _, _) -> String.compare a b)
+        (Hashtbl.fold
+           (fun name e acc -> (name, e.content_crc, e.params_fp) :: acc)
+           t.entries []))
+
+(* One hash for the whole resident set: equal iff two members hold
+   byte-identical snapshots built with identical parameters under
+   identical names.  What HEALTH advertises and the coordinator's
+   divergence detector compares. *)
+let combined_hash t =
+  let line (name, crc, fp) = name ^ ":" ^ crc ^ ":" ^ fp in
+  Sketch.Crc32.to_hex
+    (Sketch.Crc32.string (String.concat ";" (List.map line (hashes t))))

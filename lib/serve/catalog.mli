@@ -45,6 +45,13 @@ type entry = {
       (** finest first, never empty: a version-4 ladder snapshot loads
           all its rungs; a plain snapshot has exactly one tier whose
           budget is its own size *)
+  content_crc : string;
+      (** 8-hex CRC-32 of the raw file bytes at load time — the
+          content identity replicas compare for divergence, restored
+          exactly by a byte-identical peer repair *)
+  params_fp : string;
+      (** {!Scrub.fingerprint} of the build shape (plain vs ladder,
+          tier budgets), 8-hex *)
   mtime : float;  (** fingerprint at load time *)
   size : int;  (** fingerprint at load time *)
   ino : int;  (** fingerprint at load time *)
@@ -59,10 +66,19 @@ type quarantined = {
   q_name : string;
   q_path : string;
   fault : Xmldoc.Fault.t;
+  q_scrub : bool;
+      (** [true] when the background scrubber found the file rotten in
+          place ({!quarantine_scrub}); [false] for load-time rejection *)
   q_mtime : float;  (** fingerprint of the rejected file *)
   q_size : int;  (** fingerprint of the rejected file *)
   q_ino : int;  (** fingerprint of the rejected file *)
 }
+
+val quarantine_reason : quarantined -> string
+(** Protocol token for why the name is quarantined:
+    {!Xmldoc.Fault.class_name} of the fault, prefixed with ["scrub-"]
+    (e.g. ["scrub-corrupt"]) when the scrubber found it — operators can
+    tell a bad publish from bit-rot discovered later. *)
 
 type event =
   | Loaded of string
@@ -100,6 +116,28 @@ val names : t -> string list
 
 val quarantined : t -> quarantined list
 (** Quarantine records, sorted by name. *)
+
+val quarantine_for : t -> string -> quarantined option
+(** The full quarantine record for [name] (see {!fault_for} for just
+    the fault). *)
+
+val quarantine_scrub : t -> string -> Xmldoc.Fault.t -> unit
+(** Apply a scrub verdict: record [name] as quarantined with
+    [q_scrub = true].  The resident in-memory version {e keeps
+    serving} — it was loaded from bytes that verified clean; what
+    rotted is the file.  The recorded fingerprint is the rotten file's
+    current stat, so a repair installed by atomic rename (new inode)
+    is picked up by the next {!refresh} without [force]. *)
+
+val hashes : t -> (string * string * string) list
+(** [(name, content_crc, params_fp)] per resident entry, name-sorted —
+    what LIST advertises for per-synopsis divergence checks. *)
+
+val combined_hash : t -> string
+(** One 8-hex hash over {!hashes}: equal between two members iff they
+    hold byte-identical snapshots with identical build parameters under
+    identical names.  Advertised by HEALTH; the coordinator compares
+    members' values to flag divergent replicas. *)
 
 val size : t -> int
 

@@ -455,7 +455,7 @@ let health_line t =
     "ok health live=yes ready=%s draining=%s coordinator=yes replicas=%d/%d \
      ejected=%d browned_out=%s requests=%d forwarded=%d hedges=%d \
      hedges_won=%d hedges_suppressed=%d retries=%d budget_spent=%d \
-     budget_denied=%d budget_tokens=%.2f%s"
+     budget_denied=%d budget_tokens=%.2f stale=%d%s"
     (yes_no (reason = None))
     (yes_no t.draining) ready n ejected
     (yes_no (Replica.all_browned_out t.group))
@@ -463,6 +463,7 @@ let health_line t =
     (Replica.Budget.spent t.budget)
     (Replica.Budget.denied t.budget)
     (Replica.Budget.tokens t.budget)
+    (Replica.stale_count t.group)
     (match reason with None -> "" | Some r -> " reason=" ^ r)
 
 let verb_of line =
@@ -480,7 +481,7 @@ let handle_request t ~line (req : Protocol.request) =
      gets the tail-latency hedge — an unhedged read against a frozen
      primary would burn the whole request timeout with no rescue *)
   | Query _ | Answer _ | List | Stat _ -> (scatter t ~hedged:true ~line, false)
-  | Reload _ | Build _ | Jobs | Cancel _ ->
+  | Reload _ | Build _ | Jobs | Cancel _ | Scrub | Fetch _ | Repair ->
     bump (fun s -> s.refused <- s.refused + 1) t;
     ( Protocol.error_line ~cls:"bad-request"
         (Printf.sprintf
@@ -523,6 +524,18 @@ let probed_load line =
     0
     (String.split_on_char ' ' line)
 
+(* The [catalog_hash=<hex>] token of a HEALTH line — the member's
+   catalog content identity.  [None] on pre-anti-entropy servers, so
+   divergence detection degrades to off against an old fleet. *)
+let probed_hash line =
+  List.fold_left
+    (fun acc word ->
+      if String.length word > 13 && String.sub word 0 13 = "catalog_hash=" then
+        Some (String.sub word 13 (String.length word - 13))
+      else acc)
+    None
+    (String.split_on_char ' ' line)
+
 let probe_replica t r =
   let path = Replica.path r in
   match connect_to t path with
@@ -537,9 +550,11 @@ let probe_replica t r =
         | Ok () -> (
           match recv_line fd ~deadline with
           | Ok line when contains line " ready=yes" ->
-            Replica.note_probe ~load:(probed_load line) t.group r `Ready
+            Replica.note_probe ~load:(probed_load line)
+              ?catalog_hash:(probed_hash line) t.group r `Ready
           | Ok line when starts_with "ok health" line ->
-            Replica.note_probe ~load:(probed_load line) t.group r `Not_ready
+            Replica.note_probe ~load:(probed_load line)
+              ?catalog_hash:(probed_hash line) t.group r `Not_ready
           | Ok _ | Error _ -> Replica.note_probe t.group r `Failed))
 
 let probe_loop t =
@@ -547,6 +562,8 @@ let probe_loop t =
     List.iter
       (fun r -> if not t.draining then probe_replica t r)
       (Replica.members t.group);
+    (* one sweep's worth of fresh hashes: recompute who diverged *)
+    Replica.mark_divergent t.group;
     let until = Unix.gettimeofday () +. t.config.probe_interval in
     while (not t.draining) && Unix.gettimeofday () < until do
       Thread.delay 0.05

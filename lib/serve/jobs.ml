@@ -37,7 +37,14 @@ type state =
   | Failed of { reason : string }
   | Cancelled
 
+(* What the forked worker does: build a synopsis, or scrub the catalog
+   directory (re-verify every snapshot, publish a report file). *)
+type kind =
+  | Build
+  | Scrub
+
 type job = {
+  kind : kind;
   name : string;
   xml : string;
   budget : int;
@@ -105,9 +112,24 @@ let now () = Unix.gettimeofday ()
    retry. *)
 let degraded_exit = Xmldoc.Fault.degraded_exit_code
 
+(* The scrub worker: re-walk the catalog directory, re-verify every
+   snapshot end to end, publish the findings atomically as the hidden
+   report file.  The parent (which owns the resident catalog) replays
+   the report as quarantine decisions on its next poll.  Exit 0 even
+   when corruption was found — corruption is the report's payload, not
+   a worker failure; only an unscannable directory or an unwritable
+   report is a fault. *)
+let scrub_worker_main t =
+  match Scrub.scan ~limits:t.config.limits t.dir with
+  | Error f -> Xmldoc.Fault.exit_code f
+  | Ok reports -> (
+    match Scrub.write_report t.dir reports with
+    | Error f -> Xmldoc.Fault.exit_code f
+    | Ok () -> 0)
+
 (* Returns the exit code; the caller [_exit]s with it (never [exit]:
    at_exit handlers inherited from the parent must not run). *)
-let worker_main t job =
+let build_worker_main t job =
   let result =
     match Xmldoc.Parser.of_file_res ~limits:t.config.limits job.xml with
     | Error f -> Error f
@@ -146,6 +168,9 @@ let worker_main t job =
     | Ok () ->
       (try Sys.remove (checkpoint_path t job.name) with Sys_error _ -> ());
       if degraded then degraded_exit else 0)
+
+let worker_main t job =
+  match job.kind with Build -> build_worker_main t job | Scrub -> scrub_worker_main t
 
 (* Forking can itself fail — a full process table (EAGAIN) or no memory
    for the child (ENOMEM) is exactly the overload a supervisor exists
@@ -275,7 +300,7 @@ let submit t ~name ~xml ~budget =
   if not stale_ok then Error Busy
   else if running_count_u t >= t.config.max_jobs then Error Overloaded
   else begin
-    let job = { name; xml; budget; state = Cancelled (* placeholder *) } in
+    let job = { kind = Build; name; xml; budget; state = Cancelled (* placeholder *) } in
     Hashtbl.replace t.jobs name job;
     (* a fresh submission must not resume a previous generation's
        journal for a possibly different document *)
@@ -286,6 +311,35 @@ let submit t ~name ~xml ~budget =
       (* could not fork: shed the submission as overload — the client
          retries later — and forget the job so a resubmit is fresh *)
       Hashtbl.remove t.jobs name;
+      Error Overloaded
+  end
+
+(* The reserved scrub-job name.  Dot-prefixed, which
+   [Protocol.valid_job_name] rejects, so no client SUBMIT/CANCEL can
+   collide with (or kill) the maintenance job. *)
+let scrub_name = ".scrub"
+
+let submit_scrub t =
+  Mutex.protect t.lock @@ fun () ->
+  poll_u t;
+  let stale_ok =
+    match Hashtbl.find_opt t.jobs scrub_name with
+    | Some { state = Running _ | Backoff _; _ } -> false
+    | Some _ | None -> true
+  in
+  if not stale_ok then Error Busy
+  else begin
+    (* No [max_jobs] gate: the scrubber is supervisor-internal
+       maintenance, not client load — a store saturated with builds
+       must still detect rot. *)
+    let job =
+      { kind = Scrub; name = scrub_name; xml = ""; budget = 0; state = Cancelled }
+    in
+    Hashtbl.replace t.jobs scrub_name job;
+    match spawn t job ~attempt:0 with
+    | Ok () -> Ok job
+    | Error _ ->
+      Hashtbl.remove t.jobs scrub_name;
       Error Overloaded
   end
 

@@ -58,10 +58,19 @@ type state =
   | Failed of { reason : string }
   | Cancelled
 
+(** What the forked worker does. *)
+type kind =
+  | Build  (** checkpointed TSBUILD publishing a snapshot *)
+  | Scrub
+      (** catalog integrity scrub: re-verify every snapshot, publish a
+          {!Scrub.report_path} report the parent replays as quarantine
+          decisions *)
+
 type job = private {
+  kind : kind;
   name : string;
-  xml : string;
-  budget : int;
+  xml : string;  (** unused (empty) for [Scrub] *)
+  budget : int;  (** unused (0) for [Scrub] *)
   mutable state : state;
 }
 
@@ -100,6 +109,19 @@ val submit :
 (** Fork a worker building [xml] to [budget] bytes as catalog entry
     [name].  Resubmitting a finished/failed/cancelled name starts a
     fresh build (any stale journal is discarded first). *)
+
+val scrub_name : string
+(** [".scrub"] — the reserved name of the maintenance scrub job.
+    Dot-prefixed, which {!Protocol.valid_job_name} rejects, so no
+    client SUBMIT/CANCEL can collide with or kill it; the server's
+    JOBS listing likewise hides dot-prefixed jobs. *)
+
+val submit_scrub : t -> (job, submit_error) result
+(** Fork a scrub worker over the catalog directory under the reserved
+    {!scrub_name}.  [Busy] while a previous scrub still runs or backs
+    off.  Unlike {!submit} this ignores [max_jobs] — scrubbing is
+    supervisor-internal maintenance, and a store saturated with builds
+    must still detect rot. *)
 
 val cancel : t -> string -> job option
 (** Kill the job's worker (SIGKILL — workers are pure computation with

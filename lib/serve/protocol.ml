@@ -17,6 +17,9 @@ type request =
   | Build of { name : string; xml : string; budget : int }
   | Jobs
   | Cancel of string
+  | Scrub
+  | Fetch of string
+  | Repair
   | Quit
 
 (* One request per line: an upper-case verb, then [-key=value] options,
@@ -116,13 +119,22 @@ let parse line =
     | "JOBS", [] -> Ok Jobs
     | "CANCEL", [ name ] -> Ok (Cancel name)
     | "CANCEL", _ -> Error "CANCEL takes exactly one job name"
-    | ("PING" | "HEALTH" | "LIST" | "QUIT" | "RELOAD" | "JOBS"), _ ->
+    | "SCRUB", [] -> Ok Scrub
+    | "REPAIR", [] -> Ok Repair
+    | "FETCH", [ name ] ->
+      (* same filename-safe alphabet as BUILD: a fetch must never be
+         able to name a path outside the catalog directory *)
+      if valid_job_name name then Ok (Fetch name)
+      else Error (Printf.sprintf "bad snapshot name %S (want [A-Za-z0-9_-]+)" name)
+    | "FETCH", _ -> Error "FETCH takes exactly one synopsis name"
+    | ("PING" | "HEALTH" | "LIST" | "QUIT" | "RELOAD" | "JOBS" | "SCRUB" | "REPAIR"), _
+      ->
       Error (Printf.sprintf "%s takes no operands" (String.uppercase_ascii verb))
     | v, _ ->
       Error
         (Printf.sprintf
            "unknown verb %S (want PING, HEALTH, LIST, RELOAD, STAT, QUERY, \
-            ANSWER, BUILD, JOBS, CANCEL or QUIT)" v))
+            ANSWER, BUILD, JOBS, CANCEL, SCRUB, FETCH, REPAIR or QUIT)" v))
 
 (* Deadline propagation.  A relay (the retrying client, the replica
    coordinator) that burned wall-clock connecting, backing off or
@@ -240,15 +252,19 @@ let with_tier line ~level =
 (* Verbs whose effect is bound to ONE server: a build runs on the
    machine that accepted it, RELOAD rescans one catalog directory,
    CANCEL kills one server's job, JOBS lists them, QUIT hangs up one
-   connection.  A replica group must not spray these across members —
-   the coordinator refuses them, and a replica-mode client requires an
-   explicit target. *)
+   connection.  The anti-entropy verbs are equally single-target:
+   SCRUB fscks one catalog directory, REPAIR pulls into one member,
+   and FETCH streams one member's snapshot file (and is multi-line —
+   the scatter-gather machinery assumes one response line).  A replica
+   group must not spray these across members — the coordinator refuses
+   them, and a replica-mode client requires an explicit target. *)
 let single_target line =
   match split_words line with
   | [] -> false
   | verb :: _ -> (
     match String.uppercase_ascii verb with
-    | "BUILD" | "RELOAD" | "CANCEL" | "JOBS" | "QUIT" -> true
+    | "BUILD" | "RELOAD" | "CANCEL" | "JOBS" | "QUIT" | "SCRUB" | "FETCH" | "REPAIR"
+      -> true
     | _ -> false)
 
 let query_target line =

@@ -15,6 +15,9 @@
     BUILD <name> <xml-path> <budget>
     JOBS
     CANCEL <name>
+    SCRUB
+    FETCH <name>
+    REPAIR
     QUIT
     v}
     Verbs are case-insensitive.  [<name>] is a catalog entry
@@ -35,6 +38,16 @@
     against a plain snapshot it is a no-op.  A brownout server inserts
     or raises this option itself when forwarding to pool workers (see
     {!with_tier}).
+
+    The anti-entropy verbs (see {!Scrub} and {!Repair}): [SCRUB] runs
+    a synchronous integrity pass over the catalog directory — every
+    snapshot re-read and re-verified, rot quarantined as
+    [scrub-<class>], orphaned temp files swept.  [FETCH <name>]
+    streams the named snapshot's raw file bytes in length-prefixed
+    CRC'd chunks — the {e only} multi-line response in the protocol,
+    used by peer repair, never relayed by the coordinator.  [REPAIR]
+    asks the server to pull repairs for its quarantined or divergent
+    snapshots from its configured peers now.
 
     [HEALTH] separates liveness from readiness: any response at all
     means the process is live; [ready=yes] additionally means the
@@ -58,6 +71,9 @@
     ok build name=<s> state=running
     ok jobs n=<d> [<name>=<state>...]
     ok cancel name=<s> state=<s>
+    ok scrub checked=<d> corrupt=<d> swept=<d>
+    ok fetch name=<s> bytes=<d> chunks=<d> crc=<8-hex>   (then chunk lines; see {!Repair})
+    ok repair attempted=<d> repaired=<d> deferred=<d> failed=<d>
     error <class> <message>
     v}
     Job states are [running], [backoff] (crashed, restarting from its
@@ -99,6 +115,9 @@ type request =
   | Build of { name : string; xml : string; budget : int }
   | Jobs
   | Cancel of string
+  | Scrub  (** synchronous catalog integrity pass *)
+  | Fetch of string  (** stream a snapshot's raw bytes for peer repair *)
+  | Repair  (** pull repairs from configured peers now *)
   | Quit
 
 val parse : string -> (request, string) result
@@ -129,10 +148,10 @@ val with_tier : string -> level:int -> string
 
 val single_target : string -> bool
 (** Is this request's verb bound to ONE server (BUILD, RELOAD, CANCEL,
-    JOBS, QUIT)?  A replica-group relay must refuse to pick a target
-    implicitly: the coordinator answers [error bad-request], and the
-    replica-mode client requires an explicit [--target].
-    Case-insensitive. *)
+    JOBS, QUIT, SCRUB, FETCH, REPAIR)?  A replica-group relay must
+    refuse to pick a target implicitly: the coordinator answers
+    [error bad-request], and the replica-mode client requires an
+    explicit [--target].  Case-insensitive. *)
 
 val query_target : string -> string option
 (** The synopsis name a QUERY/ANSWER request line targets, skipping

@@ -1,0 +1,108 @@
+(** Peer snapshot repair — the pull side of anti-entropy.
+
+    A member whose snapshot rotted in place (scrub quarantine) or
+    diverged from the group (content-hash disagreement, see
+    {!Catalog.hashes}) pulls a clean copy from a peer with the [FETCH]
+    verb and installs it byte-identically through the atomic-rename
+    writer, so content hashes converge exactly.
+
+    The [FETCH] response is the protocol's only multi-line response:
+    {v
+    ok fetch name=<n> bytes=<N> chunks=<k> crc=<8-hex>
+    chunk <i> <rawlen> <8-hex crc of raw> <hex data>     (k lines)
+    end fetch
+    v}
+    Chunks are hex-armoured (the stream stays line-oriented) and
+    individually checksummed.  The puller verifies chunk lengths and
+    CRCs, the chunk count, the total length, the whole-file CRC, and
+    finally a full parse-and-validate of the assembled bytes — a tear,
+    a lying peer, or an injected I/O fault at {e any} point aborts the
+    repair with the local store untouched; a partial file can never be
+    installed.
+
+    Disk exhaustion degrades instead of wedging: before installing,
+    the repair preflights the catalog directory by preallocating a
+    staging file of the snapshot's size; [ENOSPC] turns the attempt
+    into [Deferred] (the clean copy is still on the peers — nothing is
+    lost by waiting for space). *)
+
+val chunk_bytes : int
+(** Raw bytes per chunk line (32 KiB; hex armour doubles it on the
+    wire). *)
+
+val render_fetch : path:string -> name:string -> string -> string
+(** The serving side: frame a snapshot's raw bytes as the complete
+    multi-line FETCH response (no trailing newline — the server's
+    response writer adds it).  [path] labels the per-chunk
+    {!Xmldoc.Io_fault.Write} taps, so tests can tear the stream
+    mid-chunk deterministically. *)
+
+val fetch :
+  ?limits:Xmldoc.Limits.t ->
+  timeout:float ->
+  string ->
+  string ->
+  (string, string) result
+(** [fetch ~timeout peer name] pulls [name]'s raw snapshot bytes from
+    the server at socket path [peer], verifying everything (see
+    above).  [Ok bytes] is safe to install verbatim. *)
+
+val preflight : string -> bytes:int -> (unit, [ `No_space | `Io of string ]) result
+(** Can the catalog directory hold [bytes] more?  Probed empirically —
+    preallocate-and-remove a staging file of that size — so the answer
+    reflects the real filesystem (and fault-injection) the install
+    will face. *)
+
+val install : dir:string -> name:string -> string -> (unit, Xmldoc.Fault.t) result
+(** Atomically publish verified bytes as [dir/name.ts]
+    ({!Sketch.Serialize.write_atomic}). *)
+
+val peer_hashes :
+  timeout:float -> string -> ((string * (string * string)) list, string) result
+(** One peer's census: [LIST] it and parse the
+    [hashes=name:crc:fp,...] token into [(name, (crc, fp))]. *)
+
+type outcome =
+  | Repaired of { name : string; peer : string; crc : string }
+  | Deferred of { name : string; reason : string }
+      (** disk-full preflight — retry when space frees up *)
+  | Failed of { name : string; reason : string }
+
+val outcome_name : outcome -> string
+
+val plan :
+  local_hashes:(string * string * string) list ->
+  quarantined:string list ->
+  peer_census:(string * (string * (string * string)) list) list ->
+  (string * string list) list
+(** What to pull: every quarantined name any peer still lists (our
+    copy is known-bad; fetch-side verification is the guard), plus
+    every name at least two peers agree on and the local catalog lacks
+    or contradicts (one peer's word cannot overrule a locally-clean
+    copy).  Deletions are never propagated.  Returns
+    [(name, candidate peers)], majority-identity peers first,
+    name-sorted. *)
+
+val repair_one :
+  ?limits:Xmldoc.Limits.t ->
+  timeout:float ->
+  dir:string ->
+  string ->
+  string list ->
+  outcome
+(** Pull one name from the first candidate that yields fully-verified
+    bytes, preflight, install. *)
+
+val sync :
+  ?limits:Xmldoc.Limits.t ->
+  timeout:float ->
+  dir:string ->
+  peers:string list ->
+  local_hashes:(string * string * string) list ->
+  quarantined:string list ->
+  unit ->
+  outcome list
+(** One full anti-entropy pull: census every peer, {!plan}, repair
+    each target.  Unreachable peers drop out of the census; an empty
+    census yields an empty plan — repair is opportunistic, never an
+    error. *)

@@ -46,6 +46,14 @@ type replica = {
          it ranks below Ready-and-cool members without changing state. *)
   mutable ejected_until : float;
       (* 0 = never ejected; a past timestamp = on probation *)
+  mutable catalog_hash : string;
+      (* last probed [catalog_hash=<hex>] from HEALTH; "" = unknown *)
+  mutable stale : bool;
+      (* this member's catalog hash disagrees with the group's modal
+         hash (see [mark_divergent]): it answers, but from different
+         content, so it reads as Suspect until anti-entropy repair
+         converges it.  Deprioritized, never ejected — a stale answer
+         is an approximate answer, which still beats no answer. *)
   mutable served : int;
   mutable failed : int;
   mutable probes : int;
@@ -77,6 +85,8 @@ let create ?(config = default_config) paths =
                draining = false;
                load = 0;
                ejected_until = 0.0;
+               catalog_hash = "";
+               stale = false;
                served = 0;
                failed = 0;
                probes = 0;
@@ -95,7 +105,7 @@ let state_at now r =
   if r.ejected_until > now then Ejected
   else if r.ejected_until > 0.0 then Probation
   else if r.draining then Draining
-  else if r.fails > 0 then Suspect
+  else if r.fails > 0 || r.stale then Suspect
   else Ready
 
 let state t r =
@@ -120,13 +130,17 @@ let note_failure t r =
       if r.ejected_until > 0.0 || r.fails >= t.config.eject_threshold then
         eject_locked t r now)
 
-let note_probe ?(load = 0) t r outcome =
+let note_probe ?(load = 0) ?catalog_hash t r outcome =
   Mutex.protect t.lock (fun () -> r.probes <- r.probes + 1);
+  let record_hash () =
+    match catalog_hash with None -> () | Some h -> r.catalog_hash <- h
+  in
   match outcome with
   | `Ready ->
     Mutex.protect t.lock (fun () ->
         r.draining <- false;
         r.load <- load;
+        record_hash ();
         r.fails <- 0;
         r.ejected_until <- 0.0)
   | `Not_ready ->
@@ -136,10 +150,54 @@ let note_probe ?(load = 0) t r outcome =
     Mutex.protect t.lock (fun () ->
         r.draining <- true;
         r.load <- load;
+        record_hash ();
         r.fails <- 0)
   | `Failed -> note_failure t r
 
 let load r = r.load
+
+let catalog_hash r = r.catalog_hash
+
+let stale r = r.stale
+
+(* Compare every member's last-probed catalog hash against the group's
+   modal hash.  Divergence needs corroboration: the modal hash must be
+   held by at least two members, so in a two-member split nobody is
+   marked (there is no majority to trust) and a lone unprobed member
+   never condemns the rest.  Members whose hash is unknown ("") are
+   left alone — absence of evidence is not divergence. *)
+let mark_divergent t =
+  Mutex.protect t.lock (fun () ->
+      let counts = Hashtbl.create 8 in
+      Array.iter
+        (fun r ->
+          if r.catalog_hash <> "" then
+            Hashtbl.replace counts r.catalog_hash
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts r.catalog_hash)))
+        t.members;
+      let modal =
+        Hashtbl.fold
+          (fun h n best ->
+            match best with
+            | Some (_, bn) when bn > n -> best
+            | Some (bh, bn) when bn = n && bh <= h -> best
+            | _ -> Some (h, n))
+          counts None
+      in
+      match modal with
+      | Some (h, n) when n >= 2 ->
+        Array.iter
+          (fun r ->
+            if r.catalog_hash <> "" then r.stale <- r.catalog_hash <> h)
+          t.members
+      | _ ->
+        (* no quorum on any hash: clear rather than latch, so a group
+           that shrank to one member does not stay Suspect forever *)
+        Array.iter (fun r -> r.stale <- false) t.members)
+
+let stale_count t =
+  Mutex.protect t.lock (fun () ->
+      Array.fold_left (fun acc r -> if r.stale then acc + 1 else acc) 0 t.members)
 
 let all_browned_out t =
   (* Every member's last-known brownout level is above 0: the whole
@@ -207,10 +265,11 @@ let describe t =
       Array.to_list
         (Array.map
            (fun r ->
-             Printf.sprintf "%s=%s served=%d failed=%d%s" r.path
+             Printf.sprintf "%s=%s served=%d failed=%d%s%s" r.path
                (state_name (state_at now r))
                r.served r.failed
-               (if r.load > 0 then Printf.sprintf " load=%d" r.load else ""))
+               (if r.load > 0 then Printf.sprintf " load=%d" r.load else "")
+               (if r.stale then " stale=yes" else ""))
            t.members))
 
 (* ------------------------------------------------------------------ *)

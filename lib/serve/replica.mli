@@ -72,16 +72,47 @@ val note_failure : t -> replica -> unit
     member is ejected for a jittered cooldown. *)
 
 val note_probe :
-  ?load:int -> t -> replica -> [ `Ready | `Not_ready | `Failed ] -> unit
+  ?load:int ->
+  ?catalog_hash:string ->
+  t ->
+  replica ->
+  [ `Ready | `Not_ready | `Failed ] ->
+  unit
 (** Feed a background HEALTH probe result: [`Ready] fully heals the
     member, [`Not_ready] marks it Draining (deprioritized, {e not}
     ejected — it answered), [`Failed] counts like {!note_failure}.
     [load] is the probed brownout level ([load=<n>] in the HEALTH
     line, default 0): recorded on [`Ready]/[`Not_ready] so {!rank} can
-    prefer cool members and {!all_browned_out} can gate hedging. *)
+    prefer cool members and {!all_browned_out} can gate hedging.
+    [catalog_hash] is the probed content-identity hash
+    ([catalog_hash=<hex>] in the HEALTH line): recorded on
+    [`Ready]/[`Not_ready] and fed to {!mark_divergent}. *)
 
 val load : replica -> int
 (** The member's last-probed brownout level; 0 = cool. *)
+
+val catalog_hash : replica -> string
+(** The member's last-probed catalog content hash; [""] = never
+    probed (or probed by an older server that does not report one). *)
+
+val stale : replica -> bool
+(** The member's catalog diverged from the group's modal hash — it is
+    serving {e different} content than its peers.  A stale member
+    reads as Suspect in {!rank}: routable when nothing healthier
+    exists (a stale approximate answer beats no answer), deprioritized
+    otherwise, and expected to heal itself via anti-entropy repair. *)
+
+val mark_divergent : t -> unit
+(** Recompute staleness from the latest probed hashes: the modal hash
+    with support from at least {e two} members is the group truth;
+    members holding a different (known) hash are marked stale, members
+    matching it are cleared.  With no two members agreeing — a 1-member
+    group, a 1:1 split, nothing probed yet — {e everyone} is cleared:
+    divergence is only declared on corroborated evidence, never
+    latched.  The coordinator's prober calls this after each sweep. *)
+
+val stale_count : t -> int
+(** Members currently marked stale, for HEALTH reporting. *)
 
 val all_browned_out : t -> bool
 (** Every member's last-known brownout level is above 0 — the whole

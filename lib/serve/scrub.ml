@@ -1,0 +1,247 @@
+(* Snapshot integrity scrubbing: the shared fsck core.
+
+   One verification routine — read the raw bytes through the fault
+   taps, re-check every CRC (version-2/3 trailers, version-4 ladder
+   manifest and per-tier checksums), re-run [Synopsis.validate] on
+   every decoded tier — reused by four callers:
+
+   - the catalog's load path (which computes the same content hash and
+     params fingerprint at load time);
+   - the background scrub job forked by the {!Jobs} supervisor, which
+     walks the directory and writes a report the serving parent applies
+     as quarantines;
+   - the synchronous SCRUB protocol verb;
+   - the [treesketch verify] offline fsck subcommand.
+
+   The content hash is the CRC-32 of the file's raw bytes: two replicas
+   hold the same snapshot iff their hashes match, and a byte-identical
+   peer repair restores the hash exactly.  The params fingerprint hashes
+   only the build {e shape} (plain vs ladder, tier budgets) — two
+   members that built the same name with different budgets diverge in
+   fingerprint even when bit-rot is absent. *)
+
+let snapshot_extension = ".ts"
+
+(* Staging files left by a crash mid-[save_atomic]: the
+   [Filename.temp_file ~temp_dir:dir ".treesketch" ".tmp"] naming every
+   atomic writer in this repository uses. *)
+let is_tmp_orphan file =
+  let prefix = ".treesketch" and suffix = ".tmp" in
+  String.length file > String.length prefix + String.length suffix
+  && String.sub file 0 (String.length prefix) = prefix
+  && String.sub file
+       (String.length file - String.length suffix)
+       (String.length suffix)
+     = suffix
+
+type info = {
+  v_bytes : int;
+  v_crc : string;  (* 8-hex CRC-32 of the raw file bytes *)
+  v_fp : string;  (* 8-hex build-params fingerprint *)
+  v_tiers : int;  (* ladder rungs; 1 for a plain snapshot *)
+}
+
+let hex_of_string s = Sketch.Crc32.to_hex (Sketch.Crc32.string s)
+
+let fingerprint (loaded : Sketch.Serialize.loaded) =
+  let shape =
+    match loaded with
+    | Sketch.Serialize.Single _ -> "single"
+    | Sketch.Serialize.Ladder tiers ->
+      "ladder:"
+      ^ String.concat ","
+          (List.map (fun (b, _) -> string_of_int b) (Array.to_list tiers))
+  in
+  hex_of_string shape
+
+let tier_count = function
+  | Sketch.Serialize.Single _ -> 1
+  | Sketch.Serialize.Ladder tiers -> Array.length tiers
+
+(* Verify already-read bytes: the parse IS the integrity check — every
+   CRC is re-computed and every tier re-validated by
+   [of_any_string_res]. *)
+let verify_string ?limits text =
+  match Sketch.Serialize.of_any_string_res ?limits text with
+  | Error f -> Error f
+  | Ok loaded ->
+    Ok
+      {
+        v_bytes = String.length text;
+        v_crc = hex_of_string text;
+        v_fp = fingerprint loaded;
+        v_tiers = tier_count loaded;
+      }
+
+let verify_file ?limits path =
+  match Sketch.Serialize.load_raw_res ?limits path with
+  | Error f -> Error f
+  | Ok text -> (
+    match verify_string ?limits text with
+    | Ok info -> Ok info
+    | Error f -> Error (Xmldoc.Fault.with_path path f))
+
+type file_report = {
+  f_name : string;
+  f_path : string;
+  f_result : (info, Xmldoc.Fault.t) result;
+}
+
+(* Walk [dir] and verify every snapshot, in name order.  [Error] only
+   when the directory itself cannot be scanned — per-file corruption is
+   data, not failure. *)
+let scan ?limits dir =
+  match
+    Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Open ~path:dir;
+    Sys.readdir dir
+  with
+  | exception Sys_error message ->
+    Error (Xmldoc.Fault.Io_error { path = dir; message })
+  | exception Unix.Unix_error (e, fn, _) ->
+    Error
+      (Xmldoc.Fault.Io_error
+         { path = dir; message = fn ^ ": " ^ Unix.error_message e })
+  | files ->
+    Array.sort String.compare files;
+    Ok
+      (Array.to_list files
+      |> List.filter_map (fun file ->
+             if not (Filename.check_suffix file snapshot_extension) then None
+             else
+               let name = Filename.chop_suffix file snapshot_extension in
+               let path = Filename.concat dir file in
+               match
+                 Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Stat ~path;
+                 Unix.stat path
+               with
+               | exception Unix.Unix_error _ -> None (* unlinked mid-scan *)
+               | st when st.Unix.st_kind <> Unix.S_REG -> None
+               | _ ->
+                 Some { f_name = name; f_path = path; f_result = verify_file ?limits path }))
+
+(* ------------------------------------------------------------------ *)
+(* Orphaned temp-file sweep                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Remove [.treesketch*.tmp] staging files abandoned by a crash
+   mid-atomic-write.  Age-gated: a LIVE writer (a build worker
+   publishing, a repair installing) also stages under this pattern, so
+   only temps older than [max_age] seconds are orphans — a crashed
+   writer's temp only gets older, while a live writer's is seconds old.
+   Returns the swept file names (not paths), sorted. *)
+let sweep_tmp ?(max_age = 60.0) dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | files ->
+    Array.sort String.compare files;
+    let now = Unix.gettimeofday () in
+    Array.to_list files
+    |> List.filter_map (fun file ->
+           if not (is_tmp_orphan file) then None
+           else
+             let path = Filename.concat dir file in
+             match
+               Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Stat ~path;
+               Unix.stat path
+             with
+             | exception Unix.Unix_error _ -> None
+             | st when st.Unix.st_kind <> Unix.S_REG -> None
+             | st when now -. st.Unix.st_mtime < max_age -> None
+             | _ -> (
+               match
+                 (* temp-file cleanup is itself an injectable fault
+                    point: a sweep that cannot unlink leaves the orphan
+                    for the next sweep instead of failing the caller *)
+                 Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Close ~path;
+                 Sys.remove path
+               with
+               | () -> Some file
+               | exception (Sys_error _ | Unix.Unix_error _) -> None))
+
+(* ------------------------------------------------------------------ *)
+(* Scrub-job report file                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The forked scrub worker cannot touch the parent's resident catalog;
+   it writes its findings to a hidden report file (atomic rename, so
+   the parent never reads a torn report) which the parent replays as
+   quarantine decisions.  One line per snapshot:
+
+     ok <name> bytes=<n> crc=<hex> fp=<hex> tiers=<k>
+     corrupt <name> class=<class> msg=<flattened message>
+*)
+
+let report_path dir = Filename.concat dir ".scrub.report"
+
+let one_line s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let render_report reports =
+  String.concat ""
+    (List.map
+       (fun r ->
+         match r.f_result with
+         | Ok i ->
+           Printf.sprintf "ok %s bytes=%d crc=%s fp=%s tiers=%d\n" r.f_name
+             i.v_bytes i.v_crc i.v_fp i.v_tiers
+         | Error f ->
+           Printf.sprintf "corrupt %s class=%s msg=%s\n" r.f_name
+             (Xmldoc.Fault.class_name f)
+             (one_line (Xmldoc.Fault.to_string f)))
+       reports)
+
+let write_report dir reports =
+  Sketch.Serialize.write_atomic (report_path dir) (render_report reports)
+
+type reported =
+  | Report_ok of info
+  | Report_corrupt of { r_class : string; r_msg : string }
+
+(* Tolerant reader: unparseable lines are dropped (a torn or stale
+   report quarantines nothing — scrubbing is advisory, the next period
+   rescans), a missing report reads as [None]. *)
+let read_report dir =
+  let path = report_path dir in
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception (Sys_error _ | End_of_file) -> None
+  | text ->
+    let kv prefix tok =
+      if
+        String.length tok > String.length prefix
+        && String.sub tok 0 (String.length prefix) = prefix
+      then Some (String.sub tok (String.length prefix)
+                   (String.length tok - String.length prefix))
+      else None
+    in
+    Some
+      (List.filter_map
+         (fun line ->
+           match String.split_on_char ' ' (String.trim line) with
+           | "ok" :: name :: bytes :: crc :: fp :: tiers :: [] -> (
+             match
+               ( Option.bind (kv "bytes=" bytes) int_of_string_opt,
+                 kv "crc=" crc,
+                 kv "fp=" fp,
+                 Option.bind (kv "tiers=" tiers) int_of_string_opt )
+             with
+             | Some v_bytes, Some v_crc, Some v_fp, Some v_tiers ->
+               Some (name, Report_ok { v_bytes; v_crc; v_fp; v_tiers })
+             | _ -> None)
+           | "corrupt" :: name :: cls :: msg_words -> (
+             match kv "class=" cls with
+             | Some r_class ->
+               let msg = String.concat " " msg_words in
+               let r_msg =
+                 match kv "msg=" msg with Some m -> m | None -> msg
+               in
+               Some (name, Report_corrupt { r_class; r_msg })
+             | None -> None)
+           | _ -> None)
+         (String.split_on_char '\n' text))
+
+let remove_report dir =
+  try Sys.remove (report_path dir) with Sys_error _ -> ()

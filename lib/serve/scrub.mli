@@ -1,0 +1,99 @@
+(** Snapshot integrity scrubbing — the shared fsck core of the
+    anti-entropy layer.
+
+    One verification routine (raw read through the {!Xmldoc.Io_fault}
+    taps, every CRC re-checked, every tier re-validated) reused by the
+    catalog's load path, the background scrub job, the synchronous
+    SCRUB protocol verb, and the [treesketch verify] offline fsck.
+
+    Two identities fall out of a verification:
+    - the {e content hash} — CRC-32 of the file's raw bytes.  Replicas
+      hold the same snapshot iff their hashes match; a byte-identical
+      peer repair restores the hash exactly.
+    - the {e params fingerprint} — a hash of the build shape only
+      (plain vs ladder, tier budgets), so two members that built the
+      same name with different parameters read as divergent even when
+      nothing has rotted. *)
+
+val snapshot_extension : string
+(** [".ts"] — the catalog's snapshot naming convention, single-sourced
+    here so the scrubber and the catalog can never walk different file
+    sets. *)
+
+val is_tmp_orphan : string -> bool
+(** Does this basename match the [.treesketch*.tmp] staging pattern of
+    {!Sketch.Serialize.save_atomic}? *)
+
+type info = {
+  v_bytes : int;  (** file size in bytes *)
+  v_crc : string;  (** content hash: 8-hex CRC-32 of the raw bytes *)
+  v_fp : string;  (** build-params fingerprint, 8-hex *)
+  v_tiers : int;  (** ladder rungs; 1 for a plain snapshot *)
+}
+
+val fingerprint : Sketch.Serialize.loaded -> string
+(** The params fingerprint of a decoded snapshot. *)
+
+val verify_string :
+  ?limits:Xmldoc.Limits.t -> string -> (info, Xmldoc.Fault.t) result
+(** Verify already-read bytes: full parse (all CRCs re-computed, all
+    tiers [Synopsis.validate]d) plus hashing.  What the catalog load
+    path and the FETCH receiver use, so bytes are read once. *)
+
+val verify_file :
+  ?limits:Xmldoc.Limits.t -> string -> (info, Xmldoc.Fault.t) result
+(** {!verify_string} over {!Sketch.Serialize.load_raw_res}: re-read the
+    file from disk and verify it end to end.  This is the scrub: a
+    snapshot that loaded cleanly an hour ago and has rotted since fails
+    {e here}, where the catalog's fingerprint cache would never look. *)
+
+type file_report = {
+  f_name : string;  (** snapshot name (extension stripped) *)
+  f_path : string;
+  f_result : (info, Xmldoc.Fault.t) result;
+}
+
+val scan :
+  ?limits:Xmldoc.Limits.t ->
+  string ->
+  (file_report list, Xmldoc.Fault.t) result
+(** Verify every [*.ts] snapshot under a directory, in name order.
+    [Error] only when the directory itself cannot be scanned;
+    individual corruption is data ([f_result = Error _]), not
+    failure. *)
+
+val sweep_tmp : ?max_age:float -> string -> string list
+(** Remove orphaned [.treesketch*.tmp] staging files older than
+    [max_age] seconds (default 60) and return their names, sorted.
+    The age gate protects live writers — a build worker or a repair
+    installing through {!Sketch.Serialize.save_atomic} stages under
+    the same pattern, but only for moments; a crash orphan only gets
+    older.  Unremovable or vanished candidates are skipped, never
+    fatal. *)
+
+(** {2 Scrub-job report file}
+
+    The scrub job runs as a forked child under the {!Jobs} supervisor
+    and cannot touch the parent's resident catalog; it communicates
+    through a hidden report file written atomically into the catalog
+    directory, which the parent replays as quarantine decisions. *)
+
+val report_path : string -> string
+(** [dir/.scrub.report] — dot-prefixed, so the catalog scan never
+    mistakes it for a snapshot. *)
+
+val write_report : string -> file_report list -> (unit, Xmldoc.Fault.t) result
+(** Render and atomically publish the report. *)
+
+(** One parsed report line. *)
+type reported =
+  | Report_ok of info
+  | Report_corrupt of { r_class : string; r_msg : string }
+
+val read_report : string -> (string * reported) list option
+(** Parse the report back, [None] if absent or unreadable.  Tolerant:
+    unparseable lines are dropped — a torn or stale report quarantines
+    nothing; the next scrub period rescans. *)
+
+val remove_report : string -> unit
+(** Best-effort deletion (consumed reports should not linger). *)

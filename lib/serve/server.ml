@@ -9,6 +9,16 @@ type config = {
   jobs : Jobs.config;
   pool : Pool.config;
   brownout : Overload.config option;
+  scrub_interval : float;
+      (* seconds between background integrity scrubs; 0 disables the
+         scrubber thread (SCRUB stays available on demand) *)
+  peers : string list;
+      (* socket paths of replica peers to pull repairs from *)
+  tmp_sweep_age : float;
+      (* minimum age before an orphaned [.tmp] staging file is swept —
+         must exceed the longest plausible atomic-write window, since
+         live build workers stage under the same naming *)
+  repair_timeout : float;  (* per-peer-connection budget of a repair pull *)
 }
 
 let default_config =
@@ -23,6 +33,10 @@ let default_config =
     jobs = Jobs.default_config;
     pool = Pool.default_config;
     brownout = None;
+    scrub_interval = 0.0;
+    peers = [];
+    tmp_sweep_age = 60.0;
+    repair_timeout = 5.0;
   }
 
 type stats = {
@@ -179,7 +193,15 @@ let create ?(log = prerr_endline) ?(config = default_config) dir =
         Option.map (fun config -> Overload.create ~config ()) config.brownout;
     }
   in
+  (* Startup fsck: the initial refresh above already re-validated every
+     snapshot end to end (quarantining failures); the sweep clears
+     [.tmp] staging files orphaned by a previous generation's crash
+     mid-atomic-write.  Age-gated even at startup — another server may
+     share the directory and be mid-publish right now. *)
   log_catalog_events t (Catalog.refresh t.catalog);
+  List.iter
+    (fun file -> log_event t "event=tmp-swept file=%s" file)
+    (Scrub.sweep_tmp ~max_age:config.tmp_sweep_age dir);
   t
 
 (* In-process evaluation caps ({!Query_exec.budget_for} merges in the
@@ -293,6 +315,105 @@ let exec_read t ~line kind (opts : Protocol.opts) name q =
       response
     end
 
+(* ------------------------------------------------------------------ *)
+(* Anti-entropy: scrub, sweep, repair                                  *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_tmp t =
+  let swept =
+    Scrub.sweep_tmp ~max_age:t.config.tmp_sweep_age (Catalog.dir t.catalog)
+  in
+  List.iter (fun file -> log_event t "event=tmp-swept file=%s" file) swept;
+  swept
+
+(* The synchronous scrub (the SCRUB verb): scan, quarantine, sweep, all
+   inline.  The background scrubber gets the same verdicts from a
+   forked worker's report instead, so the serving threads never pay the
+   re-read. *)
+let scrub_now t =
+  match Scrub.scan ~limits:t.config.limits (Catalog.dir t.catalog) with
+  | Error f -> Error f
+  | Ok reports ->
+    let corrupt =
+      List.filter_map
+        (fun r ->
+          match r.Scrub.f_result with
+          | Ok _ -> None
+          | Error fault -> Some (r.Scrub.f_name, fault))
+        reports
+    in
+    List.iter
+      (fun (name, fault) ->
+        Catalog.quarantine_scrub t.catalog name fault;
+        log_event t "event=scrub-quarantine name=%s class=%s msg=%S" name
+          (Xmldoc.Fault.class_name fault)
+          (Xmldoc.Fault.to_string fault))
+      corrupt;
+    let swept = sweep_tmp t in
+    Ok (List.length reports, List.length corrupt, List.length swept)
+
+(* Rehydrate a structured fault from a scrub report's (class, message)
+   pair — only the class must round-trip exactly (STAT renders it as
+   [reason=scrub-<class>]); positions are gone, the message is kept. *)
+let fault_of_reported r_class r_msg =
+  match r_class with
+  | "parse" -> Xmldoc.Fault.Parse_error { line = 0; column = 0; message = r_msg }
+  | "limit" -> Xmldoc.Fault.Limit_exceeded { what = r_msg; actual = 0; limit = 0 }
+  | "deadline" -> Xmldoc.Fault.Deadline { stage = r_msg; elapsed = 0.0 }
+  | "io" -> Xmldoc.Fault.Io_error { path = ""; message = r_msg }
+  | "worker-crash" -> Xmldoc.Fault.Worker_crash { reason = r_msg }
+  | _ -> Xmldoc.Fault.Corrupt_synopsis { line = 0; content = ""; message = r_msg }
+
+(* Replay a finished scrub worker's report as quarantine decisions,
+   then consume it.  Returns how many names were quarantined. *)
+let apply_scrub_report t =
+  let dir = Catalog.dir t.catalog in
+  match Scrub.read_report dir with
+  | None -> 0
+  | Some lines ->
+    let corrupt =
+      List.filter_map
+        (function
+          | name, Scrub.Report_corrupt { r_class; r_msg } ->
+            Some (name, fault_of_reported r_class r_msg)
+          | _, Scrub.Report_ok _ -> None)
+        lines
+    in
+    List.iter
+      (fun (name, fault) ->
+        Catalog.quarantine_scrub t.catalog name fault;
+        log_event t "event=scrub-quarantine name=%s class=%s msg=%S" name
+          (Xmldoc.Fault.class_name fault)
+          (Xmldoc.Fault.to_string fault))
+      corrupt;
+    Scrub.remove_report dir;
+    List.length corrupt
+
+(* One repair pass against the configured peers, then a refresh so a
+   freshly installed file (new inode) re-enters the catalog — clearing
+   its quarantine — without waiting for the next client request. *)
+let repair_now t =
+  let outcomes =
+    Repair.sync ~limits:t.config.limits ~timeout:t.config.repair_timeout
+      ~dir:(Catalog.dir t.catalog) ~peers:t.config.peers
+      ~local_hashes:(Catalog.hashes t.catalog)
+      ~quarantined:
+        (List.map (fun q -> q.Catalog.q_name) (Catalog.quarantined t.catalog))
+      ()
+  in
+  List.iter
+    (fun outcome ->
+      match outcome with
+      | Repair.Repaired { name; peer; crc } ->
+        log_event t "event=repair name=%s peer=%s crc=%s" name peer crc
+      | Repair.Deferred { name; reason } ->
+        log_event t "event=repair-deferred name=%s reason=%S" name reason
+      | Repair.Failed { name; reason } ->
+        log_event t "event=repair-failed name=%s reason=%S" name reason)
+    outcomes;
+  if outcomes <> [] then log_catalog_events t (Catalog.refresh t.catalog);
+  outcomes
+
 let handle_request t ~line (req : Protocol.request) =
   match req with
   | Ping -> ("pong", false)
@@ -334,33 +455,48 @@ let handle_request t ~line (req : Protocol.request) =
       | Some o -> Printf.sprintf " load=%d" (Overload.level o)
       | None -> ""
     in
+    let hash_field =
+      (* the group-divergence signal: the coordinator's prober compares
+         members' values and marks the odd one out stale *)
+      Printf.sprintf " catalog_hash=%s" (Catalog.combined_hash t.catalog)
+    in
     ( Printf.sprintf
         "ok health live=yes ready=%s draining=%s catalog=%d quarantined=%d \
-         inflight=%d/%d jobs=%d%s%s%s"
+         inflight=%d/%d jobs=%d%s%s%s%s"
         (yes_no (reason = None))
         (yes_no t.draining)
         (Catalog.size t.catalog)
         (List.length (Catalog.quarantined t.catalog))
         inflight capacity
         (Jobs.running_count t.jobs)
-        load_field pool_field
+        load_field pool_field hash_field
         (match reason with None -> "" | Some r -> " reason=" ^ r),
       false )
   | List ->
     let names = Catalog.names t.catalog in
-    ( Printf.sprintf "ok catalog n=%d names=%s quarantined=%d"
+    let hashes =
+      String.concat ","
+        (List.map
+           (fun (n, crc, fp) -> Printf.sprintf "%s:%s:%s" n crc fp)
+           (Catalog.hashes t.catalog))
+    in
+    ( Printf.sprintf "ok catalog n=%d names=%s quarantined=%d hashes=%s"
         (List.length names) (String.concat "," names)
-        (List.length (Catalog.quarantined t.catalog)),
+        (List.length (Catalog.quarantined t.catalog))
+        hashes,
       false )
   | Reload { force } ->
+    let swept = sweep_tmp t in
     let events = Catalog.refresh ~force t.catalog in
     log_catalog_events t events;
     let count p = List.length (List.filter p events) in
-    ( Printf.sprintf "ok reload loaded=%d reloaded=%d quarantined=%d removed=%d"
+    ( Printf.sprintf
+        "ok reload loaded=%d reloaded=%d quarantined=%d removed=%d swept=%d"
         (count (function Catalog.Loaded _ -> true | _ -> false))
         (count (function Catalog.Reloaded _ -> true | _ -> false))
         (count (function Catalog.Quarantined _ -> true | _ -> false))
-        (count (function Catalog.Removed _ -> true | _ -> false)),
+        (count (function Catalog.Removed _ -> true | _ -> false))
+        (List.length swept),
       false )
   | Stat name -> (
     (* Quarantine is a reportable condition, not an error: operators
@@ -369,9 +505,9 @@ let handle_request t ~line (req : Protocol.request) =
        — the previous good version keeps serving while the latest
        on-disk file is rejected. *)
     let quarantine =
-      match Catalog.fault_for t.catalog name with
-      | Some fault ->
-        Printf.sprintf "quarantined=yes reason=%s" (Xmldoc.Fault.class_name fault)
+      match Catalog.quarantine_for t.catalog name with
+      | Some q ->
+        Printf.sprintf "quarantined=yes reason=%s" (Catalog.quarantine_reason q)
       | None -> "quarantined=no"
     in
     match Catalog.find t.catalog name with
@@ -407,7 +543,14 @@ let handle_request t ~line (req : Protocol.request) =
         false ))
   | Jobs ->
     Jobs.poll t.jobs;
-    let jobs = Jobs.list t.jobs in
+    (* dot-prefixed jobs (the reserved scrub job) are supervisor
+       housekeeping, not client builds: hidden from the listing, just
+       as dot-prefixed files are hidden from the catalog *)
+    let jobs =
+      List.filter
+        (fun (j : Jobs.job) -> j.name = "" || j.name.[0] <> '.')
+        (Jobs.list t.jobs)
+    in
     let cell (j : Jobs.job) =
       Printf.sprintf " %s=%s" j.name (Jobs.state_token j.state)
     in
@@ -424,6 +567,51 @@ let handle_request t ~line (req : Protocol.request) =
       ( Protocol.error_line ~cls:"not-found"
           (Printf.sprintf "no job %S" name),
         false ))
+  | Scrub -> (
+    match scrub_now t with
+    | Error f -> (Protocol.fault_line f, false)
+    | Ok (checked, corrupt, swept) ->
+      ( Printf.sprintf "ok scrub checked=%d corrupt=%d swept=%d" checked corrupt
+          swept,
+        false ))
+  | Fetch name -> (
+    let path =
+      Filename.concat (Catalog.dir t.catalog) (name ^ Catalog.snapshot_extension)
+    in
+    if not (Sys.file_exists path) then
+      ( Protocol.error_line ~cls:"not-found"
+          (Printf.sprintf "no snapshot %S in the catalog" name),
+        false )
+    else
+      match Sketch.Serialize.load_raw_res ~limits:t.config.limits path with
+      | Error f -> (Protocol.fault_line f, false)
+      | Ok text -> (
+        (* verify before streaming: a repair source must never hand a
+           peer the very rot it is trying to recover from *)
+        match Scrub.verify_string ~limits:t.config.limits text with
+        | Error f -> (Protocol.fault_line (Xmldoc.Fault.with_path path f), false)
+        | Ok _ -> (Repair.render_fetch ~path ~name text, false)))
+  | Repair ->
+    if t.config.peers = [] then
+      ( Protocol.error_line ~cls:"bad-request"
+          "no repair peers configured (serve --peer)",
+        false )
+    else begin
+      let outcomes = repair_now t in
+      let count p = List.length (List.filter p outcomes) in
+      let repaired = count (function Repair.Repaired _ -> true | _ -> false) in
+      let deferred = count (function Repair.Deferred _ -> true | _ -> false) in
+      let failed = count (function Repair.Failed _ -> true | _ -> false) in
+      let counts =
+        Printf.sprintf "attempted=%d repaired=%d deferred=%d failed=%d"
+          (List.length outcomes) repaired deferred failed
+      in
+      if deferred > 0 then
+        (* disk full: degrade, don't wedge — the clean copies are still
+           on the peers, so the repair resumes when space frees up *)
+        (Protocol.error_line ~cls:"repair-deferred" counts, false)
+      else (Printf.sprintf "ok repair %s" counts, false)
+    end
 
 (* The supervision boundary: whatever a request does — malformed
    syntax, a missing synopsis, an evaluator invariant violation — the
@@ -477,6 +665,52 @@ let serve_channels t ic oc =
         | exception Sys_error _ -> ())
   in
   loop ()
+
+(* ------------------------------------------------------------------ *)
+(* The background scrubber                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* One anti-entropy period: fork a scrub worker through the job
+   supervisor (the re-read happens off the serving threads, in a
+   process whose crash cannot take the server down), wait for it,
+   replay its report as quarantines, sweep orphaned temp files, and —
+   when peers are configured — pull repairs and converge.  Runs until
+   drain when [scrub_interval > 0]. *)
+let scrub_loop t =
+  let interval = t.config.scrub_interval in
+  let sleep_until wake =
+    while (not t.draining) && Unix.gettimeofday () < wake do
+      Thread.delay 0.02
+    done
+  in
+  while not t.draining do
+    sleep_until (Unix.gettimeofday () +. interval);
+    if not t.draining then begin
+      (match Jobs.submit_scrub t.jobs with
+      | Error _ -> () (* a previous scrub still runs: skip this period *)
+      | Ok job ->
+        (* bound the wait so a wedged worker can never wedge the loop —
+           an unfinished scrub's report simply isn't there to apply *)
+        let give_up = Unix.gettimeofday () +. Float.max 5.0 interval in
+        let rec await () =
+          Jobs.poll t.jobs;
+          match job.Jobs.state with
+          | Jobs.Running _ | Jobs.Backoff _ ->
+            if (not t.draining) && Unix.gettimeofday () < give_up then begin
+              Thread.delay 0.02;
+              await ()
+            end
+          | Jobs.Done _ | Jobs.Failed _ | Jobs.Cancelled -> ()
+        in
+        await ());
+      let corrupt = apply_scrub_report t in
+      let swept = sweep_tmp t in
+      if corrupt > 0 || swept <> [] then
+        log_event t "event=scrub corrupt=%d swept=%d" corrupt (List.length swept);
+      if (not t.draining) && t.config.peers <> [] then
+        ignore (repair_now t : Repair.outcome list)
+    end
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Unix-socket front end                                               *)
@@ -550,8 +784,12 @@ let serve_socket ?(backlog = 64) t ~path =
         in
         loop ())
   in
-  log_event t "event=listening socket=%s max_inflight=%d" path
-    t.config.max_inflight;
+  let scrubber =
+    if t.config.scrub_interval > 0.0 then Some (Thread.create scrub_loop t)
+    else None
+  in
+  log_event t "event=listening socket=%s max_inflight=%d scrub_interval=%gs" path
+    t.config.max_inflight t.config.scrub_interval;
   (* [select] with a short timeout rather than a bare blocking [accept]:
      the loop must notice [draining] promptly even when no connection
      ever arrives and no signal happens to land on this thread. *)
@@ -634,6 +872,7 @@ let serve_socket ?(backlog = 64) t ~path =
   (* 4. Reap build workers (checkpoints are kept: the next server
      generation resumes them) and the query pool (pure readers —
      SIGKILL, nothing to keep), then flush final stats. *)
+  (match scrubber with Some thread -> Thread.join thread | None -> ());
   let workers_killed = Jobs.drain t.jobs in
   let pool_killed = Pool.shutdown t.pool in
   t.admission <- None;

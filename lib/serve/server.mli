@@ -57,12 +57,31 @@ type config = {
           met even at the coarsest tier.  [None] (the default) serves
           every request from the finest tier — although an explicit
           [-tier=] request option is still honored. *)
+  scrub_interval : float;
+      (** seconds between background integrity scrubs ({!Scrub}): each
+          period forks a scrub worker through the job supervisor,
+          replays its report as [scrub-*] quarantines, sweeps orphaned
+          temp files, and — with [peers] configured — pulls repairs.
+          [0] (the default) disables the scrubber thread; the SCRUB
+          verb stays available on demand. *)
+  peers : string list;
+      (** socket paths of replica peers to pull snapshot repairs from
+          ({!Repair}); empty = repair off (REPAIR answers
+          [error bad-request]) *)
+  tmp_sweep_age : float;
+      (** minimum age (seconds) before an orphaned [.tmp] staging file
+          is swept — must exceed the longest plausible atomic-write
+          window, because live build workers stage under the same
+          naming *)
+  repair_timeout : float;
+      (** per-peer-connection budget (seconds) of a repair pull *)
 }
 
 val default_config : config
 (** 5 s deadline, 100_000 answer nodes, 10 M work ticks, 8 in-flight
     connections, auto-reload on, 5 s drain deadline,
-    {!Jobs.default_config} builds. *)
+    {!Jobs.default_config} builds, scrubber off, no peers, 60 s tmp
+    sweep age, 5 s repair timeout. *)
 
 type stats = {
   mutable served : int;  (** request lines handled (including errors) *)

@@ -1,9 +1,21 @@
-type site = Read | Write | Open | Accept | Connect | Fsync | Rename | Fork
+type site =
+  | Read
+  | Write
+  | Open
+  | Close
+  | Stat
+  | Accept
+  | Connect
+  | Fsync
+  | Rename
+  | Fork
 
 let site_name = function
   | Read -> "read"
   | Write -> "write"
   | Open -> "open"
+  | Close -> "close"
+  | Stat -> "stat"
   | Accept -> "accept"
   | Connect -> "connect"
   | Fsync -> "fsync"

@@ -20,7 +20,11 @@
 type site =
   | Read  (** reading file or socket bytes *)
   | Write  (** writing file or socket bytes *)
-  | Open  (** opening or stat-ing a path *)
+  | Open  (** opening a file or scanning a directory *)
+  | Close  (** closing a written file — the last moment a buffered
+              write (or a temp-file cleanup) can fail *)
+  | Stat  (** fingerprinting a path ([stat]) — what the catalog scan
+             and the scrubber walk the directory with *)
   | Accept  (** accepting a socket connection *)
   | Connect  (** initiating a socket connection (the client and the
                 replica coordinator dialing a server) *)

@@ -8,8 +8,9 @@
 #   tools/check.sh --stage NAME    # run one stage only (repeatable);
 #                                  # names: build, test, chaos,
 #                                  # pool-chaos, coordinator-chaos,
-#                                  # overload-chaos, serve-bench,
-#                                  # overload-bench
+#                                  # overload-chaos, scrub-chaos,
+#                                  # serve-bench, overload-bench,
+#                                  # repair-bench
 #
 # The chaos stages are seeded; set CHAOS_SEED=<n> to replay a failure
 # with a specific seed.  The seed in use is printed.
@@ -100,6 +101,16 @@ stage_overload_chaos() {
   CHAOS_SEED="${CHAOS_SEED:-847211}" dune exec test/test_overload.exe -- -c
 }
 
+# Anti-entropy acceptance under a pinned seed: in-place bit-rot on a
+# live replica (fingerprint preserved, invisible to reload) must be
+# detected by the background scrubber, quarantined without dropping
+# the resident copy, and repaired byte-identically from a peer over
+# FETCH — including a torn FETCH that must never install a partial
+# file and an ENOSPC preflight that defers instead of wedging.
+stage_scrub_chaos() {
+  CHAOS_SEED="${CHAOS_SEED:-530217}" dune exec test/test_scrub.exe -- -c
+}
+
 # Tail-latency acceptance + regression gate: one replica browns out
 # (seeded Io_fault read delay); the hedged group's p99 must beat the
 # single-replica p99, and the hedged/single p99 ratio must stay within
@@ -118,14 +129,27 @@ stage_overload_bench() {
     --out BENCH_overload.latest.json --assert
 }
 
+# Repair-convergence bench + regression gate: a 3-replica group with a
+# 0.25 s scrub period; every round's in-place corruption must be
+# detected and repaired, and mean time-to-converge as a multiple of
+# the scrub interval must stay within tolerance of the committed
+# BENCH_repair.json baseline.
+stage_repair_bench() {
+  CHAOS_SEED="${CHAOS_SEED:-40522}" dune exec bench/repair_bench.exe -- \
+    --out BENCH_repair.latest.json --assert \
+    --baseline BENCH_repair.json --tolerance 1.0
+}
+
 stage build              stage_build
 stage test               stage_test
 stage chaos              stage_chaos
 stage pool-chaos         stage_pool_chaos
 stage coordinator-chaos  stage_coordinator_chaos
 stage overload-chaos     stage_overload_chaos
+stage scrub-chaos        stage_scrub_chaos
 stage serve-bench        stage_serve_bench
 stage overload-bench     stage_overload_bench
+stage repair-bench       stage_repair_bench
 
 if [ -z "$RAN_ANY" ]; then
   echo "no such stage:$STAGES" >&2
