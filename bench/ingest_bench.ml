@@ -1,0 +1,239 @@
+(* Durable ingestion bench: acknowledgement latency, flush cost and
+   WAL replay speed.
+
+   Drives the {!Serve.Ingest} engine directly — the same durable path
+   the INGEST verb takes (validate, WAL append, fsync, ack) without the
+   socket in the way, so the numbers isolate what durability costs:
+
+   - ack:    per-record acknowledgement latency over N ingests into an
+             unbounded memtable (mean_ack_ms / max_ack_ms /
+             acks_per_sec) — each ack is a validated parse plus a
+             CRC-framed fsync'd append;
+   - flush:  one flush of the full N-record memtable into an L0 delta
+             level (flush_s), manifest swap and WAL trim included;
+   - replay: N more acknowledged-but-unflushed records, engine closed,
+             then a cold reopen (replay_s / replays_per_sec) — the
+             restart cost a crash-recovering server pays before it can
+             serve the acked tail.
+
+   Results go to BENCH_ingest.json; --assert additionally fails the
+   run unless every ack landed and the replay restored exactly the
+   unflushed tail.  Absolute latencies are machine-bound, so the
+   regression gate compares mean_ack_ms against a committed baseline
+   as a ceiling: fresh mean must not exceed
+   [baseline * (1 + tolerance)] (default tolerance 1.0, i.e. +100% —
+   fsync latency on a loaded CI box is noisy).
+
+   Usage: ingest_bench [--out PATH] [--records N] [--assert]
+                       [--baseline FILE [--tolerance R]]
+   Seeded via CHAOS_SEED (default pinned). *)
+
+module Ingest = Serve.Ingest
+
+let seed =
+  match Sys.getenv_opt "CHAOS_SEED" with
+  | None -> 0x1A6E
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> failwith (Printf.sprintf "CHAOS_SEED=%S is not an integer" s))
+
+let usage () =
+  prerr_endline
+    "usage: ingest_bench [--out PATH] [--records N] [--assert]\n\
+    \                    [--baseline FILE [--tolerance R]]";
+  exit 2
+
+let out_path = ref "BENCH_ingest.json"
+let records = ref 300
+let assert_mode = ref false
+let baseline_path = ref None
+let tolerance = ref 1.0
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: path :: rest ->
+      out_path := path;
+      parse rest
+    | "--records" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 ->
+        records := n;
+        parse rest
+      | _ -> usage ())
+    | "--assert" :: rest ->
+      assert_mode := true;
+      parse rest
+    | "--baseline" :: path :: rest ->
+      baseline_path := Some path;
+      parse rest
+    | "--tolerance" :: r :: rest -> (
+      match float_of_string_opt r with
+      | Some r when r >= 0.0 ->
+        tolerance := r;
+        parse rest
+      | _ -> usage ())
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison (same scraping idiom as repair_bench)           *)
+(* ------------------------------------------------------------------ *)
+
+let scrape_floats text key =
+  let needle = Printf.sprintf "\"%s\": " key in
+  let out = ref [] in
+  let len = String.length text and nlen = String.length needle in
+  for i = 0 to len - nlen - 1 do
+    if String.sub text i nlen = needle then begin
+      let j = ref (i + nlen) in
+      while
+        !j < len
+        && (match text.[!j] with
+           | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true
+           | _ -> false)
+      do
+        incr j
+      done;
+      match
+        float_of_string_opt (String.sub text (i + nlen) (!j - i - nlen))
+      with
+      | Some f -> out := f :: !out
+      | None -> ()
+    end
+  done;
+  List.rev !out
+
+let mean_ack text what =
+  match scrape_floats text "mean_ack_ms" with
+  | r :: _ -> r
+  | [] -> failwith (Printf.sprintf "%s: cannot scrape mean_ack_ms" what)
+
+let check_baseline ~current path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let baseline = really_input_string ic n in
+  close_in ic;
+  let base = mean_ack baseline ("baseline " ^ path) in
+  let cur = mean_ack current "current run" in
+  let ceiling = base *. (1.0 +. !tolerance) in
+  Printf.printf
+    "ingest bench baseline: mean_ack_ms %.4f vs baseline %.4f (ceiling \
+     %.4f, tolerance %.0f%%)\n"
+    cur base ceiling (!tolerance *. 100.0);
+  if cur > ceiling then begin
+    Printf.eprintf
+      "FAIL: mean ack latency %.4f ms regressed past baseline %.4f ms + \
+       %.0f%% tolerance (%s)\n"
+      cur base (!tolerance *. 100.0) path;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Harness                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "tsingestb" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun file ->
+          try Sys.remove (Filename.concat dir file) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let unwrap what = function
+  | Ok v -> v
+  | Error f -> failwith (what ^ ": " ^ Xmldoc.Fault.to_string f)
+
+(* The fragment every record carries: small and fixed, so the bench
+   measures the durability machinery, not the parser. *)
+let fragment i = Printf.sprintf "<event><kind/><payload n=\"%d\"/></event>" i
+
+let () =
+  with_temp_dir @@ fun dir ->
+  let n = !records in
+  let open_engine () =
+    unwrap "engine open"
+      (Ingest.open_ ~dir ~name:"bench" ~level_budget:4096
+         ~flush_records:(2 * (2 * n)) ())
+  in
+  let eng = open_engine () in
+  (* phase 1: acknowledgement latency *)
+  let acks = Array.make n 0.0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    let t = Unix.gettimeofday () in
+    (match Ingest.ingest eng ~xml:(fragment i) with
+    | Ok _ -> ()
+    | Error `No_space -> failwith "ENOSPC during bench"
+    | Error (`Fault f) -> failwith ("ingest: " ^ Xmldoc.Fault.to_string f));
+    acks.(i) <- Unix.gettimeofday () -. t
+  done;
+  let ack_total = Unix.gettimeofday () -. t0 in
+  let mean_ack_ms =
+    Array.fold_left ( +. ) 0.0 acks *. 1000.0 /. float_of_int n
+  in
+  let max_ack_ms = Array.fold_left Float.max 0.0 acks *. 1000.0 in
+  let acks_per_sec = float_of_int n /. ack_total in
+  (* phase 2: one flush of the full memtable *)
+  let t = Unix.gettimeofday () in
+  let flushed = unwrap "flush" (Ingest.flush eng) in
+  let flush_s = Unix.gettimeofday () -. t in
+  if not flushed then failwith "flush published nothing";
+  (* phase 3: cold replay of an acked-but-unflushed tail *)
+  for i = 0 to n - 1 do
+    match Ingest.ingest eng ~xml:(fragment (n + i)) with
+    | Ok _ -> ()
+    | Error _ -> failwith "tail ingest failed"
+  done;
+  Ingest.close eng;
+  let t = Unix.gettimeofday () in
+  let eng2 = open_engine () in
+  let replay_s = Unix.gettimeofday () -. t in
+  let replayed = Ingest.depth eng2 in
+  Ingest.close eng2;
+  let replays_per_sec =
+    if replay_s > 0.0 then float_of_int replayed /. replay_s else 0.0
+  in
+  let exact_replay = replayed = n in
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "ingest",
+  "seed": %d,
+  "records": %d,
+  "mean_ack_ms": %.4f,
+  "max_ack_ms": %.4f,
+  "acks_per_sec": %.1f,
+  "flush_s": %.4f,
+  "replayed_records": %d,
+  "replay_s": %.4f,
+  "replays_per_sec": %.1f,
+  "exact_replay": %b
+}
+|}
+      seed n mean_ack_ms max_ack_ms acks_per_sec flush_s replayed replay_s
+      replays_per_sec exact_replay
+  in
+  let oc = open_out !out_path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf
+    "ingest bench: %d records, ack mean=%.3fms max=%.3fms (%.0f/s), \
+     flush=%.3fs, replay %d in %.3fs -> %s\n"
+    n mean_ack_ms max_ack_ms acks_per_sec flush_s replayed replay_s !out_path;
+  if !assert_mode && not exact_replay then begin
+    Printf.eprintf "FAIL: replay restored %d of %d unflushed records\n"
+      replayed n;
+    exit 1
+  end;
+  match !baseline_path with
+  | Some path -> check_baseline ~current:json path
+  | None -> ()

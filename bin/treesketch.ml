@@ -463,12 +463,16 @@ let serve_cmd =
     Arg.(
       value
       & opt float Serve.Server.default_config.tmp_sweep_age
-      & info [ "tmp-sweep-age" ] ~docv:"SECONDS"
+      & info
+          [ "tmp-sweep-age"; "sweep-age" ]
+          ~docv:"SECONDS"
           ~doc:
-            "Minimum age before an orphaned staging ($(b,.tmp)) file in \
-             the catalog is swept — must exceed the longest plausible \
-             atomic-write window, since live build workers stage under \
-             the same naming.")
+            "Minimum age before an orphaned staging ($(b,.tmp)) file or \
+             unreferenced ingestion level in the catalog is swept — must \
+             exceed the longest plausible atomic-write window, since \
+             live build workers and flushes stage under the same \
+             naming.  The active value is echoed in the reload log line \
+             ($(b,sweep_age=)).")
   in
   let repair_timeout =
     Arg.(
@@ -477,10 +481,42 @@ let serve_cmd =
       & info [ "repair-timeout" ] ~docv:"SECONDS"
           ~doc:"Per-peer-connection budget of a repair pull.")
   in
+  let flush_every =
+    Arg.(
+      value
+      & opt int Serve.Server.default_config.flush_records
+      & info [ "flush-every" ] ~docv:"N"
+          ~doc:
+            "Live ingestion: acknowledged INGEST records are summarized \
+             into a delta-TreeSketch level once $(docv) accumulate in \
+             the write-ahead log (a flush also runs opportunistically \
+             at startup replay and drain).  Smaller values bound \
+             staleness tighter; larger ones amortize summarization.")
+  in
+  let level_budget =
+    Arg.(
+      value
+      & opt int Serve.Server.default_config.level_budget
+      & info [ "level-budget" ] ~docv:"NODES"
+          ~doc:
+            "Live ingestion: node budget each delta level (and each \
+             compacted level) is compressed to.")
+  in
+  let compact_levels =
+    Arg.(
+      value
+      & opt int Serve.Server.default_config.compact_levels
+      & info [ "compact-levels" ] ~docv:"K"
+          ~doc:
+            "Live ingestion: once a synopsis accumulates $(docv) delta \
+             levels, a supervised background job compacts them into \
+             one (crash-safe: resumable from checkpoints, installed by \
+             atomic manifest swap).  0 disables compaction.")
+  in
   let run catalog socket deadline max_answer_nodes max_inflight no_auto_reload
       drain_deadline workers watchdog_grace poison_threshold brownout
       target_latency brownout_levels scrub_interval peers tmp_sweep_age
-      repair_timeout =
+      repair_timeout flush_every level_budget compact_levels =
     let config =
       {
         Serve.Server.default_config with
@@ -493,6 +529,9 @@ let serve_cmd =
         peers;
         tmp_sweep_age = Float.max 0.0 tmp_sweep_age;
         repair_timeout;
+        flush_records = max 1 flush_every;
+        level_budget = max 1 level_budget;
+        compact_levels = max 0 compact_levels;
         brownout =
           (if not brownout then None
            else
@@ -525,14 +564,19 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Serve twig queries from a resident synopsis catalog (line \
-          protocol on stdin/stdout or a Unix socket).  SIGTERM or \
-          SIGINT drains gracefully: in-flight requests are answered, \
-          build workers reaped, and the process exits 0.")
+          protocol on stdin/stdout or a Unix socket).  The INGEST verb \
+          appends XML fragments durably (write-ahead logged, fsync'd, \
+          acknowledged with a sequence number) and folds them into \
+          queryable delta levels; a crash replays the log, so every \
+          acknowledged record survives.  SIGTERM or SIGINT drains \
+          gracefully: in-flight requests are answered, build workers \
+          reaped, and the process exits 0.")
     Term.(
       const run $ catalog $ socket $ deadline $ max_answer_nodes $ max_inflight
       $ no_auto_reload $ drain_deadline $ workers $ watchdog_grace
       $ poison_threshold $ brownout $ target_latency $ brownout_levels
-      $ scrub_interval $ peers $ tmp_sweep_age $ repair_timeout)
+      $ scrub_interval $ peers $ tmp_sweep_age $ repair_timeout $ flush_every
+      $ level_budget $ compact_levels)
 
 (* ----------------------------- coordinate ----------------------------- *)
 

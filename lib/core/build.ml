@@ -204,6 +204,64 @@ let build_res ?(params = default_params) ?limits ?max_heap_words stable ~budget 
 
 let build_of_tree ?params tree ~budget = build ?params (Stable.build tree) ~budget
 
+(* Disjoint union of synopses that summarize fragments under one shared
+   document root: a single fresh root (count 1) adopts every input
+   root's out-edges; all other nodes are copied with their ids offset.
+   This is the pre-compression step of delta compaction — the union is
+   exact (each input's extents are disjoint sub-forests of the same
+   document), and a normal [build_res] pass afterwards compresses it
+   back under budget. *)
+let merge_disjoint synopses =
+  match synopses with
+  | [] -> Error "merge of zero synopses"
+  | first :: rest ->
+    let root_label = Synopsis.label first first.Synopsis.root in
+    let mismatched =
+      List.exists
+        (fun s -> not (Xmldoc.Label.equal (Synopsis.label s s.Synopsis.root) root_label))
+        rest
+    in
+    if mismatched then Error "merge of synopses with different root labels"
+    else if
+      List.exists
+        (fun s ->
+          Array.exists
+            (fun node ->
+              Array.exists (fun (v, _) -> v = s.Synopsis.root) node.Synopsis.edges)
+            s.Synopsis.nodes)
+        synopses
+    then
+      (* never produced by a tree summary — the root has no parents *)
+      Error "merge of synopses with in-edges on the root"
+    else begin
+      let total =
+        List.fold_left (fun acc s -> acc + Synopsis.num_nodes s - 1) 1 synopses
+      in
+      let nodes = Array.make total { Synopsis.label = root_label; count = 1.0; edges = [||] } in
+      let root_edges = ref [] in
+      let offset = ref 1 in
+      List.iter
+        (fun s ->
+          let base = !offset in
+          let remap u = base + if u < s.Synopsis.root then u else u - 1 in
+          Array.iteri
+            (fun u node ->
+              let edges =
+                Array.map (fun (v, avg) -> (remap v, avg)) node.Synopsis.edges
+              in
+              if u = s.Synopsis.root then root_edges := edges :: !root_edges
+              else nodes.(remap u) <- { node with Synopsis.edges })
+            s.Synopsis.nodes;
+          offset := base + Synopsis.num_nodes s - 1)
+        synopses;
+      let edges = Array.concat (List.rev !root_edges) in
+      nodes.(0) <- { Synopsis.label = root_label; count = 1.0; edges };
+      let merged = Synopsis.make ~root:0 nodes in
+      match Synopsis.validate merged with
+      | Error message -> Error message
+      | Ok () -> Ok merged
+    end
+
 (* ------------------------------------------------------------------ *)
 (* Crash-safe checkpointing and resume                                  *)
 (* ------------------------------------------------------------------ *)

@@ -79,6 +79,15 @@ val build_res :
 val build_of_tree : ?params:params -> Xmldoc.Tree.t -> budget:int -> Synopsis.t
 (** Convenience: [BUILD_STABLE] then [build]. *)
 
+val merge_disjoint : Synopsis.t list -> (Synopsis.t, string) result
+(** Exact disjoint union of synopses summarizing fragments under one
+    shared document root: a fresh root (count 1, the common root label)
+    adopts every input root's out-edges; all other nodes are copied
+    with offset ids.  The pre-compression step of delta compaction —
+    follow with {!build_res} to squeeze the union back under budget.
+    Errors on an empty list, mismatched root labels, or (impossible for
+    tree summaries) an in-edge on a root. *)
+
 (** The crash-safety journal of TSBUILD: a version-3 {!Serialize}
     record holding the in-progress clustering (as a synopsis — the live
     clusters at checkpoint time) plus the build metadata needed to

@@ -15,6 +15,20 @@ type entry = {
   mtime : float;
   size : int;
   ino : int;
+  (* The live-update level stack ([.name.levels] + its delta files):
+     queries evaluate base + every level and combine.  Deliberately
+     excluded from {!hashes}/{!combined_hash} — levels are per-member
+     ingestion state, and hashing them would make every replica look
+     permanently divergent to the repair machinery. *)
+  levels : Sketch.Synopsis.t array;  (* ascending generation *)
+  level_records : int;  (* ingested records across the stack *)
+  flushed_seq : int;  (* highest WAL seq covered by the stack *)
+  synthetic : bool;
+      (* no base snapshot: the entry exists only because levels do, and
+         [synopsis] is a root-only placeholder for them to extend *)
+  l_mtime : float;  (* manifest fingerprint; zeros when absent *)
+  l_size : int;
+  l_ino : int;
 }
 
 let tier_for entry level =
@@ -182,6 +196,14 @@ let refresh ?(force = false) t =
                       (fun (t_budget, t_synopsis) -> { t_budget; t_synopsis })
                       tiers
                 in
+                (* base reload preserves the attached level stack; the
+                   manifest pass below re-syncs it if it moved too *)
+                let levels, level_records, flushed_seq, l_mtime, l_size, l_ino =
+                  match known with
+                  | Some e ->
+                    (e.levels, e.level_records, e.flushed_seq, e.l_mtime, e.l_size, e.l_ino)
+                  | None -> ([||], 0, 0, 0., 0, 0)
+                in
                 Hashtbl.replace t.entries name
                   {
                     name;
@@ -193,6 +215,13 @@ let refresh ?(force = false) t =
                     mtime = st.Unix.st_mtime;
                     size = st.Unix.st_size;
                     ino = st.Unix.st_ino;
+                    levels;
+                    level_records;
+                    flushed_seq;
+                    synthetic = false;
+                    l_mtime;
+                    l_size;
+                    l_ino;
                   };
                 Hashtbl.remove t.quarantine name;
                 note (if known = None then Loaded name else Reloaded name)
@@ -214,9 +243,163 @@ let refresh ?(force = false) t =
             end
         end)
       files;
+    (* Second pass: level manifests.  Runs after the snapshot pass so a
+       base reload and a manifest swap landing in the same refresh
+       compose.  A manifest is re-read when its own (mtime, size, ino)
+       fingerprint moves — a flush or compaction swap renames a fresh
+       temp file over it, so the inode always changes. *)
+    let have_manifest = Hashtbl.create 4 in
+    Array.iter
+      (fun file ->
+        match Ingest.manifest_name file with
+        | None -> ()
+        | Some name -> (
+          let path = Filename.concat t.dir file in
+          match
+            Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Stat ~path;
+            Unix.stat path
+          with
+          | exception Unix.Unix_error _ -> ()
+          | st when st.Unix.st_kind <> Unix.S_REG -> ()
+          | st -> (
+            Hashtbl.replace have_manifest name ();
+            let known = Hashtbl.find_opt t.entries name in
+            let needs_load =
+              force
+              ||
+              match known with
+              | Some e ->
+                e.l_mtime <> st.Unix.st_mtime
+                || e.l_size <> st.Unix.st_size
+                || e.l_ino <> st.Unix.st_ino
+              | None -> true
+            in
+            if needs_load then begin
+              let load_result =
+                match Ingest.read_manifest ~limits:t.limits ~dir:t.dir ~name () with
+                | Error fault -> Error fault
+                | Ok m -> (
+                  let rec load acc = function
+                    | [] -> Ok (List.rev acc)
+                    | info :: rest -> (
+                      match Ingest.load_level ~limits:t.limits ~dir:t.dir info with
+                      | Error fault -> Error fault
+                      | Ok s -> load (s :: acc) rest)
+                  in
+                  match load [] m.Ingest.entries with
+                  | Error fault -> Error fault
+                  | Ok levels -> Ok (m, Array.of_list levels))
+              in
+              match load_result with
+              | Ok (m, levels) -> (
+                let level_records =
+                  List.fold_left
+                    (fun acc e -> acc + e.Ingest.records)
+                    0 m.Ingest.entries
+                in
+                let fingerprint e =
+                  {
+                    e with
+                    levels;
+                    level_records;
+                    flushed_seq = m.Ingest.flushed;
+                    l_mtime = st.Unix.st_mtime;
+                    l_size = st.Unix.st_size;
+                    l_ino = st.Unix.st_ino;
+                  }
+                in
+                match known with
+                | Some e ->
+                  Hashtbl.replace t.entries name (fingerprint e);
+                  note (Reloaded name)
+                | None when Array.length levels = 0 ->
+                  (* an empty manifest with no base names nothing yet *)
+                  ()
+                | None ->
+                  (* ingest-only name: serve the level stack over a
+                     root-only placeholder base until a BUILD or a
+                     snapshot publish gives it a real one *)
+                  let root_label =
+                    Sketch.Synopsis.label levels.(0) levels.(0).Sketch.Synopsis.root
+                  in
+                  let base =
+                    Sketch.Synopsis.make ~root:0
+                      [| { Sketch.Synopsis.label = root_label; count = 1.0; edges = [||] } |]
+                  in
+                  Hashtbl.replace t.entries name
+                    (fingerprint
+                       {
+                         name;
+                         path;
+                         synopsis = base;
+                         tiers =
+                           [|
+                             {
+                               t_budget = Sketch.Synopsis.size_bytes base;
+                               t_synopsis = base;
+                             };
+                           |];
+                         content_crc = "-";
+                         params_fp = "-";
+                         mtime = 0.;
+                         size = 0;
+                         ino = 0;
+                         levels = [||];
+                         level_records = 0;
+                         flushed_seq = 0;
+                         synthetic = true;
+                         l_mtime = 0.;
+                         l_size = 0;
+                         l_ino = 0;
+                       });
+                  note (Loaded name))
+              | Error fault ->
+                (* same keep-resident discipline as a corrupt base: the
+                   previously loaded stack keeps serving, the rotten
+                   manifest is quarantined until its fingerprint moves *)
+                Hashtbl.replace t.quarantine name
+                  {
+                    q_name = name;
+                    q_path = path;
+                    fault;
+                    q_scrub = false;
+                    q_mtime = st.Unix.st_mtime;
+                    q_size = st.Unix.st_size;
+                    q_ino = st.Unix.st_ino;
+                  };
+                note (Quarantined (name, fault))
+            end)))
+      files;
+    (* a manifest that vanished takes its level stack with it *)
+    Hashtbl.iter
+      (fun name e ->
+        if
+          (not (Hashtbl.mem have_manifest name))
+          && (Array.length e.levels > 0 || e.l_ino <> 0)
+          && not e.synthetic
+        then
+          Hashtbl.replace t.entries name
+            {
+              e with
+              levels = [||];
+              level_records = 0;
+              flushed_seq = 0;
+              l_mtime = 0.;
+              l_size = 0;
+              l_ino = 0;
+            })
+      (Hashtbl.copy t.entries);
+    let keep name =
+      Hashtbl.mem seen name
+      || (Hashtbl.mem have_manifest name
+         &&
+         match Hashtbl.find_opt t.entries name with
+         | Some e -> e.synthetic
+         | None -> false)
+    in
     let gone =
       Hashtbl.fold
-        (fun name _ acc -> if Hashtbl.mem seen name then acc else name :: acc)
+        (fun name _ acc -> if keep name then acc else name :: acc)
         t.entries []
     in
     List.iter
@@ -255,7 +438,14 @@ let hashes t =
       List.sort
         (fun (a, _, _) (b, _, _) -> String.compare a b)
         (Hashtbl.fold
-           (fun name e acc -> (name, e.content_crc, e.params_fp) :: acc)
+           (fun name e acc ->
+             (* synthetic (ingest-only) entries have no base snapshot to
+                compare or repair, and levels are per-member state: both
+                stay out of the group's content identity, or the
+                divergence detector would flag — and REPAIR would chase
+                — every replica forever *)
+             if e.synthetic then acc
+             else (name, e.content_crc, e.params_fp) :: acc)
            t.entries []))
 
 (* One hash for the whole resident set: equal iff two members hold

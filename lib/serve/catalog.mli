@@ -18,7 +18,14 @@
       moves — so an in-place repair is picked up without a restart,
       while a persistently corrupt file is not re-parsed on every
       refresh ([refresh ~force:true] retries unconditionally);
-    - files that disappeared are dropped.
+    - files that disappeared are dropped;
+    - level manifests ([.name.levels], see {!Ingest}) are reconciled
+      the same way in a second pass: a manifest whose own fingerprint
+      moved (every flush/compaction swap renames a new inode over it)
+      has its delta stack re-loaded and attached to the entry; a
+      corrupt manifest quarantines the name while the previously
+      loaded stack keeps serving; a manifest without a base snapshot
+      synthesizes an ingest-only entry over a root-only placeholder.
 
     Combined with {!Sketch.Serialize.save_atomic}'s
     write-temp-then-rename discipline, a crash at any byte of a
@@ -55,6 +62,22 @@ type entry = {
   mtime : float;  (** fingerprint at load time *)
   size : int;  (** fingerprint at load time *)
   ino : int;  (** fingerprint at load time *)
+  levels : Sketch.Synopsis.t array;
+      (** the live-update delta stack ([.name.levels] manifest + its
+          [.name.l<gen>.delta] files), ascending generation; [[||]]
+          when the name has no ingestion state.  Queries evaluate base
+          plus every level and combine (see {!Query_exec}).  Levels are
+          deliberately {e not} part of {!hashes}/{!combined_hash}:
+          they are per-member ingestion state, and hashing them would
+          make every replica look permanently divergent. *)
+  level_records : int;  (** ingested records summarized across levels *)
+  flushed_seq : int;  (** highest WAL sequence covered by the levels *)
+  synthetic : bool;
+      (** [true] for an ingest-only name: no base snapshot exists, and
+          [synopsis] is a root-only placeholder the levels extend *)
+  l_mtime : float;  (** manifest fingerprint; zeros when absent *)
+  l_size : int;
+  l_ino : int;
 }
 
 val tier_for : entry -> int -> tier

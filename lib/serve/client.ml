@@ -118,7 +118,10 @@ let create ?(config = default_config) paths =
    same fixpoint; QUERY/ANSWER are pure reads.  BUILD is absent — a
    resent BUILD can kill and restart a half-finished build — and QUIT
    is absent because resending it to a *different* server after
-   failover would shut down a healthy one. *)
+   failover would shut down a healthy one.  INGEST is absent too:
+   durable is not idempotent — the first copy may have been logged and
+   acknowledged into a dead socket, and a blind resend would append the
+   record twice. *)
 let idempotent_verbs =
   [ "PING"; "HEALTH"; "LIST"; "STAT"; "QUERY"; "ANSWER"; "JOBS"; "RELOAD" ]
 

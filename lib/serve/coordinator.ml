@@ -481,7 +481,7 @@ let handle_request t ~line (req : Protocol.request) =
      gets the tail-latency hedge — an unhedged read against a frozen
      primary would burn the whole request timeout with no rescue *)
   | Query _ | Answer _ | List | Stat _ -> (scatter t ~hedged:true ~line, false)
-  | Reload _ | Build _ | Jobs | Cancel _ | Scrub | Fetch _ | Repair ->
+  | Reload _ | Build _ | Ingest _ | Jobs | Cancel _ | Scrub | Fetch _ | Repair ->
     bump (fun s -> s.refused <- s.refused + 1) t;
     ( Protocol.error_line ~cls:"bad-request"
         (Printf.sprintf
@@ -524,6 +524,21 @@ let probed_load line =
     0
     (String.split_on_char ' ' line)
 
+(* The [staleness=<s>] token of a HEALTH line — the member's ingestion
+   staleness bound (age of its oldest acknowledged-but-unflushed WAL
+   record).  Absent (no live ingestion, or a fully flushed member) or
+   malformed reads as 0: fresh. *)
+let probed_staleness line =
+  List.fold_left
+    (fun acc word ->
+      if String.length word > 10 && String.sub word 0 10 = "staleness=" then
+        match float_of_string_opt (String.sub word 10 (String.length word - 10)) with
+        | Some s when s >= 0.0 && Float.is_finite s -> s
+        | _ -> acc
+      else acc)
+    0.0
+    (String.split_on_char ' ' line)
+
 (* The [catalog_hash=<hex>] token of a HEALTH line — the member's
    catalog content identity.  [None] on pre-anti-entropy servers, so
    divergence detection degrades to off against an old fleet. *)
@@ -551,9 +566,11 @@ let probe_replica t r =
           match recv_line fd ~deadline with
           | Ok line when contains line " ready=yes" ->
             Replica.note_probe ~load:(probed_load line)
+              ~staleness:(probed_staleness line)
               ?catalog_hash:(probed_hash line) t.group r `Ready
           | Ok line when starts_with "ok health" line ->
             Replica.note_probe ~load:(probed_load line)
+              ~staleness:(probed_staleness line)
               ?catalog_hash:(probed_hash line) t.group r `Not_ready
           | Ok _ | Error _ -> Replica.note_probe t.group r `Failed))
 

@@ -1,0 +1,165 @@
+(** The live update path of the INGEST verb: a WAL-backed memtable plus
+    an LSM stack of delta TreeSketches, every stage of which survives a
+    kill.
+
+    Per synopsis [name], next to the base snapshot [name.ts]:
+
+    - [.name.wal] — the write-ahead log ({!Wal}); acknowledged ingests
+    - [.name.levels] — the level manifest, the single commit point
+    - [.name.l<gen>.delta] — one delta TreeSketch snapshot per level
+    - [.name.lock] — [lockf] file guarding manifest read-modify-writes
+
+    Durability ordering: ingest = WAL append + fsync, then ack; flush =
+    write delta file, atomically swap the manifest (which advances
+    [flushed], the highest WAL sequence covered by levels), then trim
+    the WAL; compaction = write merged delta, swap manifest, delete the
+    consumed inputs.  Replay skips WAL records at or below [flushed],
+    so the trailing cleanup steps are pure garbage collection — a crash
+    before them loses nothing and duplicates nothing. *)
+
+(** {2 File layout} *)
+
+val manifest_path : dir:string -> name:string -> string
+(** [dir/.<name>.levels]. *)
+
+val manifest_name : string -> string option
+(** [Some name] iff the base name is a level manifest. *)
+
+val level_file : name:string -> gen:int -> string
+(** [.<name>.l<gen>.delta]. *)
+
+val level_name : string -> (string * int) option
+(** [Some (name, gen)] iff the base name is a level delta file — how
+    the scrubber's orphan sweep recognizes unreferenced levels. *)
+
+val discover : dir:string -> string list
+(** Names with live ingestion state (a WAL or a manifest) in [dir],
+    sorted — how the server finds engines to reopen on restart. *)
+
+(** {2 Manifest} *)
+
+type level_info = {
+  gen : int;  (** monotone generation; embedded in the file name *)
+  file : string;  (** base name of the delta snapshot *)
+  bytes : int;
+  crc : int32;  (** CRC-32 of the delta file's raw bytes *)
+  records : int;  (** ingested records summarized by this level *)
+  since : float;  (** arrival time of the level's oldest record *)
+}
+
+type manifest = {
+  flushed : int;  (** highest WAL seq covered by the levels; 0 = none *)
+  entries : level_info list;  (** ascending [gen] *)
+}
+
+val empty_manifest : manifest
+
+val read_manifest :
+  ?limits:Xmldoc.Limits.t ->
+  dir:string ->
+  name:string ->
+  unit ->
+  (manifest, Xmldoc.Fault.t) result
+(** Load and verify (CRC trailer, line grammar, unique ascending
+    generations).  A missing manifest reads as {!empty_manifest}. *)
+
+val parse_manifest : path:string -> string -> (manifest, Xmldoc.Fault.t) result
+(** In-memory variant (for the scrubber, which already holds the raw
+    bytes); [path] only tags faults. *)
+
+val render_manifest : manifest -> string
+
+val load_level :
+  ?limits:Xmldoc.Limits.t ->
+  dir:string ->
+  level_info ->
+  (Sketch.Synopsis.t, Xmldoc.Fault.t) result
+(** Load one delta snapshot, verifying its bytes against the
+    manifest's [crc] before parsing. *)
+
+(** {2 Engine} *)
+
+type t
+(** One synopsis's live ingestion state: open WAL, memtable of
+    acknowledged-but-unflushed records, loaded level stack. *)
+
+val open_ :
+  ?limits:Xmldoc.Limits.t ->
+  ?root_label:Xmldoc.Label.t ->
+  dir:string ->
+  name:string ->
+  level_budget:int ->
+  flush_records:int ->
+  unit ->
+  (t, Xmldoc.Fault.t) result
+(** Open (creating state files lazily) and recover: manifest read,
+    levels loaded, WAL replayed with its torn tail truncated, records
+    at or below the manifest's [flushed] dropped (exactly-once), the
+    rest restored to the memtable.  [root_label] seeds the delta root
+    when no level exists yet (existing levels win; defaults to
+    [name]). *)
+
+val close : t -> unit
+
+val name : t -> string
+val root_label : t -> Xmldoc.Label.t
+
+val replayed_torn : t -> bool
+(** Whether {!open_} truncated a torn WAL tail. *)
+
+val ingest :
+  ?now:float -> t -> xml:string -> (int * int, [ `No_space | `Fault of Xmldoc.Fault.t ]) result
+(** Validate the fragment (parser limits apply), durably append it to
+    the WAL, and admit it to the memtable.  Returns [(seq, depth)] —
+    the record's sequence number and the post-append memtable depth.
+    [`No_space] means the log could not grow: nothing was retained and
+    the caller answers [error ingest-deferred]. *)
+
+val flush : ?now:float -> t -> (bool, Xmldoc.Fault.t) result
+(** Summarize the memtable into one delta TreeSketch (compressed under
+    the level budget when needed), publish it as a new level via the
+    locked manifest swap, and trim the WAL.  [Ok false] when there is
+    nothing to flush or a compaction is in flight (flushes pause while
+    compacting; the memtable simply grows and staleness rises). *)
+
+val should_flush : t -> bool
+(** Memtable at or past [flush_records] and no compaction in flight. *)
+
+val refresh : t -> (unit, Xmldoc.Fault.t) result
+(** Re-read the manifest and reload the level stack — the parent's
+    reap path after a compaction child swapped the manifest. *)
+
+val set_compacting : t -> bool -> unit
+val compacting : t -> bool
+
+val depth : t -> int
+(** Memtable depth: acknowledged records not yet covered by a level. *)
+
+val staleness : ?now:float -> t -> float
+(** Age of the oldest acknowledged-but-unflushed record; [0.] when the
+    memtable is empty.  The bound on how stale an answer over the
+    level stack can be, exposed through STAT/HEALTH. *)
+
+val flushed_seq : t -> int
+val level_count : t -> int
+val level_records : t -> int
+val level_synopses : t -> Sketch.Synopsis.t array
+
+(** {2 Compaction (Jobs child body)} *)
+
+val compact :
+  ?limits:Xmldoc.Limits.t ->
+  ?params:Sketch.Build.params ->
+  dir:string ->
+  name:string ->
+  level_budget:int ->
+  checkpoint:string ->
+  unit ->
+  (bool, Xmldoc.Fault.t) result
+(** Merge every listed level ({!Sketch.Build.merge_disjoint}) and
+    compress the union under the level budget, journaling through
+    Build checkpoints at [checkpoint] so a killed job resumes
+    mid-clustering.  The swap re-validates, under the file lock, that
+    every consumed level is still listed — otherwise the result is
+    stale and discarded as a no-op.  Returns whether the compression
+    degraded (maps to the degraded exit code in the Jobs child). *)

@@ -37,11 +37,13 @@ type state =
   | Failed of { reason : string }
   | Cancelled
 
-(* What the forked worker does: build a synopsis, or scrub the catalog
-   directory (re-verify every snapshot, publish a report file). *)
+(* What the forked worker does: build a synopsis, scrub the catalog
+   directory (re-verify every snapshot, publish a report file), or
+   compact a synopsis's delta levels into one ({!Ingest.compact}). *)
 type kind =
   | Build
   | Scrub
+  | Compact
 
 type job = {
   kind : kind;
@@ -127,6 +129,22 @@ let scrub_worker_main t =
     | Error f -> Xmldoc.Fault.exit_code f
     | Ok () -> 0)
 
+(* The compaction worker: merge the synopsis's delta levels into one
+   compressed level and swap the manifest atomically ({!Ingest.compact}).
+   [job.xml] carries the synopsis name, [job.budget] the per-level byte
+   budget.  A crashed worker restarts from the compression checkpoint;
+   a concurrent flush having consumed the levels makes the whole run a
+   clean no-op (exit 0), never a fault. *)
+let compact_worker_main t job =
+  match
+    Ingest.compact ~limits:t.config.limits ~dir:t.dir ~name:job.xml
+      ~level_budget:job.budget
+      ~checkpoint:(checkpoint_path t job.name)
+      ()
+  with
+  | Error f -> Xmldoc.Fault.exit_code f
+  | Ok degraded -> if degraded then degraded_exit else 0
+
 (* Returns the exit code; the caller [_exit]s with it (never [exit]:
    at_exit handlers inherited from the parent must not run). *)
 let build_worker_main t job =
@@ -170,7 +188,10 @@ let build_worker_main t job =
       if degraded then degraded_exit else 0)
 
 let worker_main t job =
-  match job.kind with Build -> build_worker_main t job | Scrub -> scrub_worker_main t
+  match job.kind with
+  | Build -> build_worker_main t job
+  | Scrub -> scrub_worker_main t
+  | Compact -> compact_worker_main t job
 
 (* Forking can itself fail — a full process table (EAGAIN) or no memory
    for the child (ENOMEM) is exactly the overload a supervisor exists
@@ -340,6 +361,39 @@ let submit_scrub t =
     | Ok () -> Ok job
     | Error _ ->
       Hashtbl.remove t.jobs scrub_name;
+      Error Overloaded
+  end
+
+(* Reserved compaction-job names, one per synopsis.  Dot-prefixed like
+   {!scrub_name} for the same reasons: clients cannot submit, cancel,
+   or even see them. *)
+let compact_name name = ".compact-" ^ name
+
+let submit_compact t ~name ~level_budget =
+  Mutex.protect t.lock @@ fun () ->
+  poll_u t;
+  let jname = compact_name name in
+  let stale_ok =
+    match Hashtbl.find_opt t.jobs jname with
+    | Some { state = Running _ | Backoff _; _ } -> false
+    | Some _ | None -> true
+  in
+  if not stale_ok then Error Busy
+  else begin
+    (* No [max_jobs] gate (like scrub): compaction is maintenance the
+       store needs to bound its level stack, not client load.  And
+       unlike {!submit}, a stale checkpoint is deliberately KEPT — the
+       compression step resumes a journal from a previous server
+       generation when its fingerprint still matches the level set. *)
+    let job =
+      { kind = Compact; name = jname; xml = name; budget = level_budget;
+        state = Cancelled }
+    in
+    Hashtbl.replace t.jobs jname job;
+    match spawn t job ~attempt:0 with
+    | Ok () -> Ok job
+    | Error _ ->
+      Hashtbl.remove t.jobs jname;
       Error Overloaded
   end
 

@@ -65,12 +65,18 @@ type kind =
       (** catalog integrity scrub: re-verify every snapshot, publish a
           {!Scrub.report_path} report the parent replays as quarantine
           decisions *)
+  | Compact
+      (** merge a synopsis's delta levels into one and swap the level
+          manifest atomically ({!Ingest.compact}) *)
 
 type job = private {
   kind : kind;
   name : string;
-  xml : string;  (** unused (empty) for [Scrub] *)
-  budget : int;  (** unused (0) for [Scrub] *)
+  xml : string;
+      (** the synopsis name for [Compact]; unused (empty) for [Scrub] *)
+  budget : int;
+      (** the per-level byte budget for [Compact]; unused (0) for
+          [Scrub] *)
   mutable state : state;
 }
 
@@ -122,6 +128,20 @@ val submit_scrub : t -> (job, submit_error) result
     off.  Unlike {!submit} this ignores [max_jobs] — scrubbing is
     supervisor-internal maintenance, and a store saturated with builds
     must still detect rot. *)
+
+val compact_name : string -> string
+(** [compact_name name] is the reserved job name ([".compact-" ^ name])
+    under which [name]'s compactions run.  Dot-prefixed like
+    {!scrub_name} and hidden for the same reasons. *)
+
+val submit_compact : t -> name:string -> level_budget:int -> (job, submit_error) result
+(** Fork a compaction worker merging [name]'s delta levels into one
+    level of at most [level_budget] bytes ({!Ingest.compact}).  [Busy]
+    while a previous compaction of the same name still runs or backs
+    off.  Like {!submit_scrub} this ignores [max_jobs]; unlike
+    {!submit}, a stale checkpoint is {e kept} — compaction is designed
+    to resume its compression journal across server generations when
+    the level set has not changed. *)
 
 val cancel : t -> string -> job option
 (** Kill the job's worker (SIGKILL — workers are pure computation with

@@ -15,6 +15,7 @@ type request =
   | Query of opts * string * Twig.Syntax.t
   | Answer of opts * string * Twig.Syntax.t
   | Build of { name : string; xml : string; budget : int }
+  | Ingest of { name : string; xml : string }
   | Jobs
   | Cancel of string
   | Scrub
@@ -116,6 +117,13 @@ let parse line =
     | "QUERY", words -> parse_targeted "QUERY" (fun o n q -> Query (o, n, q)) words
     | "ANSWER", words -> parse_targeted "ANSWER" (fun o n q -> Answer (o, n, q)) words
     | "BUILD", words -> parse_build words
+    | "INGEST", name :: (_ :: _ as xml_words) ->
+      (* same filename-safe alphabet as BUILD: the name becomes hidden
+         WAL/level/manifest file names next to the catalog *)
+      if not (valid_job_name name) then
+        Error (Printf.sprintf "bad job name %S (want [A-Za-z0-9_-]+)" name)
+      else Ok (Ingest { name; xml = String.concat " " xml_words })
+    | "INGEST", _ -> Error "INGEST takes a synopsis name and an XML fragment"
     | "JOBS", [] -> Ok Jobs
     | "CANCEL", [ name ] -> Ok (Cancel name)
     | "CANCEL", _ -> Error "CANCEL takes exactly one job name"
@@ -134,7 +142,7 @@ let parse line =
       Error
         (Printf.sprintf
            "unknown verb %S (want PING, HEALTH, LIST, RELOAD, STAT, QUERY, \
-            ANSWER, BUILD, JOBS, CANCEL, SCRUB, FETCH, REPAIR or QUIT)" v))
+            ANSWER, BUILD, INGEST, JOBS, CANCEL, SCRUB, FETCH, REPAIR or QUIT)" v))
 
 (* Deadline propagation.  A relay (the retrying client, the replica
    coordinator) that burned wall-clock connecting, backing off or
@@ -189,7 +197,12 @@ let with_remaining_deadline line ~elapsed =
               match float_of_string_opt v with
               | Some d when Float.is_finite d ->
                 changed := true;
-                Printf.sprintf "%s%g" deadline_prefix (d -. elapsed)
+                (* clamp at zero: a relay that already burned the whole
+                   budget forwards "no time left", never a negative
+                   deadline (whose meaning is the receiver's to define)
+                   — and the flag itself is always preserved *)
+                Printf.sprintf "%s%g" deadline_prefix
+                  (Float.max 0. (d -. elapsed))
               | _ -> tok
             else tok
           in
@@ -263,8 +276,9 @@ let single_target line =
   | [] -> false
   | verb :: _ -> (
     match String.uppercase_ascii verb with
-    | "BUILD" | "RELOAD" | "CANCEL" | "JOBS" | "QUIT" | "SCRUB" | "FETCH" | "REPAIR"
-      -> true
+    | "BUILD" | "INGEST" | "RELOAD" | "CANCEL" | "JOBS" | "QUIT" | "SCRUB"
+    | "FETCH" | "REPAIR" ->
+      true
     | _ -> false)
 
 let query_target line =

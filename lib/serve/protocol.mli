@@ -13,6 +13,7 @@
     QUERY  [-deadline=<seconds>] [-max-nodes=<n>] [-tier=<k>] <name> <twig-query>
     ANSWER [-deadline=<seconds>] [-max-nodes=<n>] [-tier=<k>] <name> <twig-query>
     BUILD <name> <xml-path> <budget>
+    INGEST <name> <xml-fragment>
     JOBS
     CANCEL <name>
     SCRUB
@@ -31,6 +32,17 @@
     ([A-Za-z0-9_-]+), [<budget>] accepts byte suffixes ([10KB]).  The
     finished snapshot appears in the catalog as [<name>.ts] via
     hot-reload; serving is never blocked by a build.
+
+    [INGEST] appends one single-line XML fragment to the named
+    synopsis's live update path (see {!Ingest}): the fragment is
+    validated, durably logged (WAL append + fsync) and acknowledged
+    with its sequence number; a background flush summarizes batches
+    into delta TreeSketch levels that queries combine with the base
+    snapshot.  Everything after the name is the fragment.  INGEST is
+    {e not} idempotent — a retried ingest is a second ingest — so the
+    retrying client never replays it.  When the log cannot grow
+    (ENOSPC) the server answers [error ingest-deferred ...]: nothing
+    was retained, retry later.
 
     [-tier=<k>] asks for degradation rung [k] or coarser (0 = finest):
     against a ladder snapshot the server answers from tier
@@ -60,15 +72,16 @@
     {v
     pong
     bye
-    ok health live=yes ready=<yes|no> draining=<yes|no> catalog=<d> quarantined=<d> inflight=<d>/<d> jobs=<d> [reason=<s>]
+    ok health live=yes ready=<yes|no> draining=<yes|no> catalog=<d> quarantined=<d> inflight=<d>/<d> jobs=<d> [wal=<d> staleness=<g>] [reason=<s>]
     ok catalog n=<d> names=<a,b,...> quarantined=<d>
-    ok reload loaded=<d> reloaded=<d> quarantined=<d> removed=<d>
-    ok stat name=<s> classes=<d> edges=<d> bytes=<d> stable=<yes|no> quarantined=<no|yes reason=<class>>
+    ok reload loaded=<d> reloaded=<d> quarantined=<d> removed=<d> swept=<d> sweep_age=<g>
+    ok stat name=<s> classes=<d> edges=<d> bytes=<d> stable=<yes|no> quarantined=<no|yes reason=<class>> [levels=<d> level_records=<d> flushed=<d> wal=<d> staleness=<g>]
     ok stat name=<s> resident=no quarantined=yes reason=<class>
-    ok query degraded=<no|deadline|nodes|work> [tier=<k>/<n> budget=<bytes>] est=<g> classes=<d> empty=<yes|no>
-    ok answer degraded=<no|deadline|nodes|work> [tier=<k>/<n> budget=<bytes>] empty=yes
-    ok answer degraded=<no|deadline|nodes|work> [tier=<k>/<n> budget=<bytes>] truncated=<yes|no> nodes=<d> tree=<xml>
+    ok query degraded=<no|deadline|nodes|work> [tier=<k>/<n> budget=<bytes>] [levels=<k> staleness=<g>] est=<g> classes=<d> empty=<yes|no>
+    ok answer degraded=<no|deadline|nodes|work> [tier=<k>/<n> budget=<bytes>] [levels=<k> staleness=<g>] empty=yes
+    ok answer degraded=<no|deadline|nodes|work> [tier=<k>/<n> budget=<bytes>] [levels=<k> staleness=<g>] truncated=<yes|no> nodes=<d> tree=<xml>
     ok build name=<s> state=running
+    ok ingest name=<s> seq=<d> wal=<d>
     ok jobs n=<d> [<name>=<state>...]
     ok cancel name=<s> state=<s>
     ok scrub checked=<d> corrupt=<d> swept=<d>
@@ -94,6 +107,11 @@
     answer came from, the rung count, and that tier's byte budget —
     the declared accuracy of a browned-out answer.  Plain snapshots
     never carry it, so single-resolution responses are byte-identical
+    to earlier versions.  [levels=<k> staleness=<g>] appears on every
+    answer for a name carrying live-ingested delta levels: the answer
+    merges the base snapshot with [k] deltas, and [staleness] bounds
+    the age in seconds of acknowledged-but-unflushed records the answer
+    may still be missing.  Names without levels respond byte-identically
     to earlier versions. *)
 
 type opts = {
@@ -113,6 +131,8 @@ type request =
   | Query of opts * string * Twig.Syntax.t
   | Answer of opts * string * Twig.Syntax.t
   | Build of { name : string; xml : string; budget : int }
+  | Ingest of { name : string; xml : string }
+      (** one single-line XML fragment for the live update path *)
   | Jobs
   | Cancel of string
   | Scrub  (** synchronous catalog integrity pass *)
@@ -131,11 +151,15 @@ val request_deadline : string -> float option
 
 val with_remaining_deadline : string -> elapsed:float -> string
 (** [with_remaining_deadline line ~elapsed] rewrites the line's
-    [-deadline=D] option to [D - elapsed]: the budget a relay may grant
-    downstream after burning [elapsed] seconds itself — never more than
-    the caller has left.  Lines without a deadline option (and
-    [elapsed <= 0]) pass through unchanged; only tokens in the leading
-    option zone are touched, so operand text is never mangled. *)
+    [-deadline=D] option to [max 0 (D - elapsed)]: the budget a relay
+    may grant downstream after burning [elapsed] seconds itself — never
+    more than the caller has left, and clamped at zero when the relay
+    already spent it all (a caller-supplied negative deadline passes
+    through untouched, but a relay never {e manufactures} one).  The
+    option is always preserved, never dropped.  Lines without a
+    deadline option (and [elapsed <= 0]) pass through unchanged; only
+    tokens in the leading option zone are touched, so operand text is
+    never mangled. *)
 
 val with_tier : string -> level:int -> string
 (** [with_tier line ~level] raises the [-tier] option of a
@@ -147,8 +171,8 @@ val with_tier : string -> level:int -> string
     option-zone-only discipline as {!with_remaining_deadline}. *)
 
 val single_target : string -> bool
-(** Is this request's verb bound to ONE server (BUILD, RELOAD, CANCEL,
-    JOBS, QUIT, SCRUB, FETCH, REPAIR)?  A replica-group relay must
+(** Is this request's verb bound to ONE server (BUILD, INGEST, RELOAD,
+    CANCEL, JOBS, QUIT, SCRUB, FETCH, REPAIR)?  A replica-group relay must
     refuse to pick a target implicitly: the coordinator answers
     [error bad-request], and the replica-mode client requires an
     explicit [--target].  Case-insensitive. *)

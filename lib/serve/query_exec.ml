@@ -49,46 +49,93 @@ let select_tier (entry : Catalog.entry) (opts : Protocol.opts) ~level =
   let tag = if n > 1 then Some (k, n, t.Catalog.t_budget) else None in
   (t.Catalog.t_synopsis, tag)
 
-let run ?tier ~budget kind synopsis q =
+let run ?tier ?levels ~budget kind synopsis q =
   let tier_tag =
     match tier with
     | None -> ""
     | Some (k, n, bytes) -> Printf.sprintf " tier=%d/%d budget=%d" k n bytes
   in
+  (* The live-update level stack: base plus every delta TreeSketch,
+     each evaluated independently under the ONE request budget and
+     combined (extents across levels are disjoint sub-forests of the
+     same document, so selectivities add and result forests
+     concatenate).  Entries without levels take the exact single-
+     synopsis path — their responses stay byte-identical. *)
+  let stack, level_tag =
+    match levels with
+    | None -> ([ synopsis ], "")
+    | Some (ls, _) when Array.length ls = 0 -> ([ synopsis ], "")
+    | Some (ls, staleness) ->
+      ( synopsis :: Array.to_list ls,
+        Printf.sprintf " levels=%d staleness=%.3f" (Array.length ls) staleness )
+  in
+  let tier_tag = tier_tag ^ level_tag in
   match kind with
   | Query ->
-    let ans = Sketch.Eval.eval ~budget synopsis q in
-    let est = Sketch.Selectivity.of_answer q ans in
+    let answers = List.map (fun s -> Sketch.Eval.eval ~budget s q) stack in
+    let est =
+      List.fold_left
+        (fun acc (ans : Sketch.Eval.answer) ->
+          acc +. Sketch.Selectivity.of_answer q ans)
+        0. answers
+    in
     {
       response =
         Printf.sprintf "ok query degraded=%s%s est=%g classes=%d empty=%s"
           (Protocol.degraded_token (Xmldoc.Budget.stopped budget))
           tier_tag est
-          (Sketch.Synopsis.num_nodes ans.synopsis)
-          (yes_no ans.empty);
-      degraded = ans.degraded;
+          (List.fold_left
+             (fun acc (ans : Sketch.Eval.answer) ->
+               acc + Sketch.Synopsis.num_nodes ans.synopsis)
+             0 answers)
+          (yes_no (List.for_all (fun (a : Sketch.Eval.answer) -> a.empty) answers));
+      degraded = List.exists (fun (a : Sketch.Eval.answer) -> a.degraded) answers;
     }
   | Answer ->
     (* One budget spans evaluation and expansion: the request's caps
        are end-to-end, whichever stage exhausts them. *)
-    let ans = Sketch.Eval.eval ~budget synopsis q in
-    if ans.empty then
+    let answers = List.map (fun s -> Sketch.Eval.eval ~budget s q) stack in
+    if List.for_all (fun (a : Sketch.Eval.answer) -> a.empty) answers then
       {
         response =
           Printf.sprintf "ok answer degraded=%s%s empty=yes"
             (Protocol.degraded_token (Xmldoc.Budget.stopped budget))
             tier_tag;
-        degraded = ans.degraded;
+        degraded = List.exists (fun (a : Sketch.Eval.answer) -> a.degraded) answers;
       }
     else begin
-      let p = Sketch.Expand.partial ~budget ans.synopsis in
+      let parts =
+        List.filter_map
+          (fun (ans : Sketch.Eval.answer) ->
+            if ans.empty then None
+            else Some (Sketch.Expand.partial ~budget ans.synopsis))
+          answers
+      in
+      let tree, nodes, truncated =
+        match parts with
+        | [ p ] -> (p.Sketch.Expand.tree, p.nodes, p.truncated)
+        | ps ->
+          (* per-level forests share the document root: concatenate
+             their children under one root node *)
+          let root = (List.hd ps).Sketch.Expand.tree.Xmldoc.Tree.label in
+          let merged =
+            Xmldoc.Tree.make root
+              (List.concat_map
+                 (fun p ->
+                   Array.to_list p.Sketch.Expand.tree.Xmldoc.Tree.children)
+                 ps)
+          in
+          ( merged,
+            Xmldoc.Tree.size merged,
+            List.exists (fun p -> p.Sketch.Expand.truncated) ps )
+      in
       {
         response =
           Printf.sprintf "ok answer degraded=%s%s truncated=%s nodes=%d tree=%s"
             (Protocol.degraded_token (Xmldoc.Budget.stopped budget))
-            tier_tag (yes_no p.truncated) p.nodes
-            (Protocol.one_line (Xmldoc.Printer.to_string p.tree));
-        degraded = Xmldoc.Budget.stopped budget <> None || p.truncated;
+            tier_tag (yes_no truncated) nodes
+            (Protocol.one_line (Xmldoc.Printer.to_string tree));
+        degraded = Xmldoc.Budget.stopped budget <> None || truncated;
       }
     end
 
@@ -121,5 +168,5 @@ let guard f =
       degraded = false;
     }
 
-let run_guarded ?tier ~budget kind synopsis q =
-  guard (fun () -> run ?tier ~budget kind synopsis q)
+let run_guarded ?tier ?levels ~budget kind synopsis q =
+  guard (fun () -> run ?tier ?levels ~budget kind synopsis q)

@@ -52,15 +52,28 @@ val select_tier :
 
 val run :
   ?tier:int * int * int ->
+  ?levels:Sketch.Synopsis.t array * float ->
   budget:Xmldoc.Budget.t ->
   kind ->
   Sketch.Synopsis.t ->
   Twig.Syntax.t ->
   outcome
 (** Evaluate and render; [tier] (from {!select_tier}) appends
-    [tier=<k>/<n> budget=<bytes>] after the [degraded] field.  May
-    raise whatever the evaluator raises — callers outside a sacrificial
-    worker want {!run_guarded}. *)
+    [tier=<k>/<n> budget=<bytes>] after the [degraded] field.
+
+    [levels] is the live-update delta stack with its staleness bound
+    (see {!Ingest}): the base and every level are evaluated
+    independently under the ONE request budget, selectivity estimates
+    add, result forests concatenate under the shared document root, and
+    the response is tagged [levels=<k> staleness=<s>].  The combination
+    is exact for paths below the root because level extents are
+    disjoint sub-forests of one document; a query on the root label
+    itself over-counts (each level carries its own root placeholder).
+    An absent or empty stack takes the single-synopsis path unchanged —
+    responses stay byte-identical.
+
+    May raise whatever the evaluator raises — callers outside a
+    sacrificial worker want {!run_guarded}. *)
 
 val guard : (unit -> outcome) -> outcome
 (** The containment combinator behind {!run_guarded}: [Stack_overflow]
@@ -72,6 +85,7 @@ val guard : (unit -> outcome) -> outcome
 
 val run_guarded :
   ?tier:int * int * int ->
+  ?levels:Sketch.Synopsis.t array * float ->
   budget:Xmldoc.Budget.t ->
   kind ->
   Sketch.Synopsis.t ->

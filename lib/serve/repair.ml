@@ -67,29 +67,62 @@ let crc_hex s = Sketch.Crc32.to_hex (Sketch.Crc32.string s)
    the final newline).  The per-chunk Write taps make a torn stream
    injectable exactly where a real one would tear — mid-chunk — and the
    cap cuts a chunk's armour short, which the puller's per-chunk CRC
-   rejects. *)
+   rejects.
+
+   The source file must stay in place for the whole stream: a snapshot
+   deleted or replaced (new inode, via the atomic-rename publishers)
+   while the chunks render means the bytes in hand no longer match what
+   the catalog advertises — a puller installing them would immediately
+   diverge again on the next hash census.  Re-stat before each chunk
+   and abort with one clean [error fetch-gone] line instead of framing
+   a stale stream. *)
 let render_fetch ~path ~name text =
-  let total = String.length text in
-  let chunks = max 1 ((total + chunk_bytes - 1) / chunk_bytes) in
-  let lines = Buffer.create (total * 2 + 256) in
-  Buffer.add_string lines
-    (Printf.sprintf "ok fetch name=%s bytes=%d chunks=%d crc=%s" name total
-       chunks (crc_hex text));
-  for i = 0 to chunks - 1 do
-    let off = i * chunk_bytes in
-    let len = min chunk_bytes (total - off) in
-    let raw = String.sub text off len in
-    Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Write ~path;
-    let armour = hex_encode raw in
-    let armour =
-      let keep = Xmldoc.Io_fault.cap Xmldoc.Io_fault.Write ~path (String.length armour) in
-      if keep >= String.length armour then armour else String.sub armour 0 keep
-    in
+  let identity () =
+    match
+      Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Stat ~path;
+      Unix.stat path
+    with
+    | st -> Some (st.Unix.st_ino, st.Unix.st_size)
+    | exception (Unix.Unix_error _ | Sys_error _) -> None
+  in
+  let gone () =
+    Protocol.error_line ~cls:"fetch-gone"
+      (Printf.sprintf "snapshot %S was removed or replaced mid-stream" name)
+  in
+  match identity () with
+  | None -> gone ()
+  | Some initial ->
+    let total = String.length text in
+    let chunks = max 1 ((total + chunk_bytes - 1) / chunk_bytes) in
+    let lines = Buffer.create (total * 2 + 256) in
     Buffer.add_string lines
-      (Printf.sprintf "\nchunk %d %d %s %s" i len (crc_hex raw) armour)
-  done;
-  Buffer.add_string lines "\nend fetch";
-  Buffer.contents lines
+      (Printf.sprintf "ok fetch name=%s bytes=%d chunks=%d crc=%s" name total
+         chunks (crc_hex text));
+    let rec chunk i =
+      if i >= chunks then begin
+        Buffer.add_string lines "\nend fetch";
+        Buffer.contents lines
+      end
+      else if identity () <> Some initial then gone ()
+      else begin
+        let off = i * chunk_bytes in
+        let len = min chunk_bytes (total - off) in
+        let raw = String.sub text off len in
+        Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Write ~path;
+        let armour = hex_encode raw in
+        let armour =
+          let keep =
+            Xmldoc.Io_fault.cap Xmldoc.Io_fault.Write ~path (String.length armour)
+          in
+          if keep >= String.length armour then armour
+          else String.sub armour 0 keep
+        in
+        Buffer.add_string lines
+          (Printf.sprintf "\nchunk %d %d %s %s" i len (crc_hex raw) armour);
+        chunk (i + 1)
+      end
+    in
+    chunk 0
 
 (* ------------------------------------------------------------------ *)
 (* Transport (pull side)                                               *)

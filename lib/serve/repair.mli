@@ -35,7 +35,13 @@ val render_fetch : path:string -> name:string -> string -> string
     multi-line FETCH response (no trailing newline — the server's
     response writer adds it).  [path] labels the per-chunk
     {!Xmldoc.Io_fault.Write} taps, so tests can tear the stream
-    mid-chunk deterministically. *)
+    mid-chunk deterministically.
+
+    [path] is re-stat'ed before each chunk: a snapshot deleted or
+    replaced (new inode) mid-stream aborts the frame and returns one
+    [error fetch-gone] line instead — the bytes in hand no longer
+    match what the catalog advertises, and a puller installing them
+    would immediately diverge again. *)
 
 val fetch :
   ?limits:Xmldoc.Limits.t ->

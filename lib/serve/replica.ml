@@ -44,6 +44,11 @@ type replica = {
       (* last probed brownout level ([load=<n>] in HEALTH); 0 = cool.
          A browned-out member still serves — coarser, not slower — so
          it ranks below Ready-and-cool members without changing state. *)
+  mutable staleness : float;
+      (* last probed ingestion staleness bound ([staleness=<s>] in
+         HEALTH); 0 = fully flushed (or no live ingestion).  A lagging
+         member still serves correct-but-older answers, so like [load]
+         it reorders within a state tier without changing state. *)
   mutable ejected_until : float;
       (* 0 = never ejected; a past timestamp = on probation *)
   mutable catalog_hash : string;
@@ -84,6 +89,7 @@ let create ?(config = default_config) paths =
                fails = 0;
                draining = false;
                load = 0;
+               staleness = 0.0;
                ejected_until = 0.0;
                catalog_hash = "";
                stale = false;
@@ -130,7 +136,7 @@ let note_failure t r =
       if r.ejected_until > 0.0 || r.fails >= t.config.eject_threshold then
         eject_locked t r now)
 
-let note_probe ?(load = 0) ?catalog_hash t r outcome =
+let note_probe ?(load = 0) ?(staleness = 0.0) ?catalog_hash t r outcome =
   Mutex.protect t.lock (fun () -> r.probes <- r.probes + 1);
   let record_hash () =
     match catalog_hash with None -> () | Some h -> r.catalog_hash <- h
@@ -140,6 +146,7 @@ let note_probe ?(load = 0) ?catalog_hash t r outcome =
     Mutex.protect t.lock (fun () ->
         r.draining <- false;
         r.load <- load;
+        r.staleness <- staleness;
         record_hash ();
         r.fails <- 0;
         r.ejected_until <- 0.0)
@@ -150,11 +157,14 @@ let note_probe ?(load = 0) ?catalog_hash t r outcome =
     Mutex.protect t.lock (fun () ->
         r.draining <- true;
         r.load <- load;
+        r.staleness <- staleness;
         record_hash ();
         r.fails <- 0)
   | `Failed -> note_failure t r
 
 let load r = r.load
+
+let staleness r = r.staleness
 
 let catalog_hash r = r.catalog_hash
 
@@ -225,25 +235,32 @@ let rank t =
       let rotated = Array.init n (fun i -> t.members.((t.cursor + i) mod n)) in
       (* [load] sorts right after the state tier: a browned-out Ready
          member still beats a Draining/Suspect one, but Ready-and-cool
-         members take the traffic first. *)
+         members take the traffic first.  [staleness] sorts next — a
+         member lagging behind its ingestion WAL serves older answers,
+         so fresh members take the traffic when states and loads
+         tie. *)
       let order =
         Array.mapi
-          (fun i r -> (tier r, r.load, r.fails, r.ejected_until, i, r))
+          (fun i r ->
+            (tier r, r.load, r.staleness, r.fails, r.ejected_until, i, r))
           rotated
       in
       Array.sort
-        (fun (ta, la, fa, ua, ia, _) (tb, lb, fb, ub, ib, _) ->
+        (fun (ta, la, sa, fa, ua, ia, _) (tb, lb, sb, fb, ub, ib, _) ->
           match compare ta tb with
           | 0 -> (
             match compare la lb with
             | 0 -> (
-              match compare fa fb with
-              | 0 -> ( match compare ua ub with 0 -> compare ia ib | c -> c)
+              match compare sa sb with
+              | 0 -> (
+                match compare fa fb with
+                | 0 -> ( match compare ua ub with 0 -> compare ia ib | c -> c)
+                | c -> c)
               | c -> c)
             | c -> c)
           | c -> c)
         order;
-      Array.to_list (Array.map (fun (_, _, _, _, _, r) -> r) order))
+      Array.to_list (Array.map (fun (_, _, _, _, _, _, r) -> r) order))
 
 let ready_count t =
   Mutex.protect t.lock (fun () ->

@@ -73,6 +73,7 @@ val note_failure : t -> replica -> unit
 
 val note_probe :
   ?load:int ->
+  ?staleness:float ->
   ?catalog_hash:string ->
   t ->
   replica ->
@@ -84,12 +85,19 @@ val note_probe :
     [load] is the probed brownout level ([load=<n>] in the HEALTH
     line, default 0): recorded on [`Ready]/[`Not_ready] so {!rank} can
     prefer cool members and {!all_browned_out} can gate hedging.
-    [catalog_hash] is the probed content-identity hash
+    [staleness] is the probed ingestion staleness bound
+    ([staleness=<s>] in the HEALTH line, default 0): recorded the same
+    way so {!rank} prefers members whose live-ingested data is
+    freshest.  [catalog_hash] is the probed content-identity hash
     ([catalog_hash=<hex>] in the HEALTH line): recorded on
     [`Ready]/[`Not_ready] and fed to {!mark_divergent}. *)
 
 val load : replica -> int
 (** The member's last-probed brownout level; 0 = cool. *)
+
+val staleness : replica -> float
+(** The member's last-probed ingestion staleness bound, seconds;
+    0 = fully flushed (or no live ingestion). *)
 
 val catalog_hash : replica -> string
 (** The member's last-probed catalog content hash; [""] = never
@@ -123,8 +131,9 @@ val all_browned_out : t -> bool
 val rank : t -> replica list
 (** Every member, healthiest first: Ready (rotating), Probation,
     Draining, Suspect (fewest strikes first), Ejected (soonest
-    re-admission first).  Within a state tier, cooler (lower
-    {!load}) members come first.  Never empty. *)
+    re-admission first).  Within a state tier, cooler (lower {!load})
+    members come first, then fresher (lower {!staleness}) ones.
+    Never empty. *)
 
 val ready_count : t -> int
 (** Members currently in the Ready or Probation tiers — what a

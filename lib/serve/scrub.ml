@@ -103,8 +103,8 @@ let scan ?limits dir =
          { path = dir; message = fn ^ ": " ^ Unix.error_message e })
   | files ->
     Array.sort String.compare files;
-    Ok
-      (Array.to_list files
+    let ts_reports =
+      Array.to_list files
       |> List.filter_map (fun file ->
              if not (Filename.check_suffix file snapshot_extension) then None
              else
@@ -117,7 +117,48 @@ let scan ?limits dir =
                | exception Unix.Unix_error _ -> None (* unlinked mid-scan *)
                | st when st.Unix.st_kind <> Unix.S_REG -> None
                | _ ->
-                 Some { f_name = name; f_path = path; f_result = verify_file ?limits path }))
+                 Some { f_name = name; f_path = path; f_result = verify_file ?limits path })
+    in
+    (* Live-ingestion state rots too.  Verify each level manifest (CRC
+       trailer + grammar) and every delta file it lists against the
+       manifest's per-level crc, plus each WAL's frame CRCs — a torn
+       WAL tail is a normal crash artifact that replay truncates, NOT
+       rot, so it passes.  Only failures are reported; the serving
+       parent replays them as quarantines exactly like snapshot rot
+       (the resident level stack keeps serving). *)
+    let ingest_reports =
+      Array.to_list files
+      |> List.filter_map (fun file ->
+             let path = Filename.concat dir file in
+             match Ingest.manifest_name file with
+             | Some name -> (
+               let result =
+                 match Ingest.read_manifest ?limits ~dir ~name () with
+                 | Error f -> Error f
+                 | Ok m ->
+                   let rec check = function
+                     | [] -> Ok ()
+                     | e :: rest -> (
+                       match Ingest.load_level ?limits ~dir e with
+                       | Error f -> Error f
+                       | Ok _ -> check rest)
+                   in
+                   check m.Ingest.entries
+               in
+               match result with
+               | Ok () -> None
+               | Error f ->
+                 Some { f_name = name; f_path = path; f_result = Error f })
+             | None -> (
+               match Wal.wal_name file with
+               | Some name -> (
+                 match Wal.scan ?limits path with
+                 | Ok _ -> None
+                 | Error f ->
+                   Some { f_name = name; f_path = path; f_result = Error f })
+               | None -> None))
+    in
+    Ok (ts_reports @ ingest_reports)
 
 (* ------------------------------------------------------------------ *)
 (* Orphaned temp-file sweep                                            *)
@@ -157,6 +198,61 @@ let sweep_tmp ?(max_age = 60.0) dir =
                with
                | () -> Some file
                | exception (Sys_error _ | Unix.Unix_error _) -> None))
+
+(* Unreferenced level delta files: a crash after a compaction's
+   manifest swap but before its input deletion — or between a level
+   write and the swap that would have listed it — leaves
+   [.name.l<gen>.delta] files no manifest references.  Replay ignores
+   them; this sweep removes them.  Age-gated like the tmp sweep: a live
+   flush/compaction writes its level file moments before the swap that
+   references it, so only old unreferenced files are orphans.  An
+   unreadable manifest pins every level of its name — never sweep what
+   a repaired manifest may still list. *)
+let sweep_levels ?(max_age = 60.0) dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | files ->
+    Array.sort String.compare files;
+    let referenced = Hashtbl.create 8 in
+    let pinned = Hashtbl.create 4 in
+    Array.iter
+      (fun file ->
+        match Ingest.manifest_name file with
+        | None -> ()
+        | Some name -> (
+          match Ingest.read_manifest ~dir ~name () with
+          | Error _ -> Hashtbl.replace pinned name ()
+          | Ok m ->
+            List.iter
+              (fun (e : Ingest.level_info) ->
+                Hashtbl.replace referenced (name, e.Ingest.gen) ())
+              m.Ingest.entries))
+      files;
+    let now = Unix.gettimeofday () in
+    Array.to_list files
+    |> List.filter_map (fun file ->
+           match Ingest.level_name file with
+           | None -> None
+           | Some (name, gen)
+             when Hashtbl.mem referenced (name, gen) || Hashtbl.mem pinned name
+             ->
+             None
+           | Some _ -> (
+             let path = Filename.concat dir file in
+             match
+               Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Stat ~path;
+               Unix.stat path
+             with
+             | exception Unix.Unix_error _ -> None
+             | st when st.Unix.st_kind <> Unix.S_REG -> None
+             | st when now -. st.Unix.st_mtime < max_age -> None
+             | _ -> (
+               match
+                 Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Close ~path;
+                 Sys.remove path
+               with
+               | () -> Some file
+               | exception (Sys_error _ | Unix.Unix_error _) -> None)))
 
 (* ------------------------------------------------------------------ *)
 (* Scrub-job report file                                               *)

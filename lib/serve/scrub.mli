@@ -60,7 +60,15 @@ val scan :
 (** Verify every [*.ts] snapshot under a directory, in name order.
     [Error] only when the directory itself cannot be scanned;
     individual corruption is data ([f_result = Error _]), not
-    failure. *)
+    failure.
+
+    Live-ingestion state ({!Ingest}) is verified too: each level
+    manifest's CRC trailer and grammar, every delta file it lists
+    against the manifest's per-level crc, and each WAL's frame CRCs.
+    A torn WAL tail is a normal crash artifact that replay truncates —
+    it passes.  Only {e failures} appear in the report (as corrupt
+    entries under the synopsis name), so directories without ingestion
+    state scan exactly as before. *)
 
 val sweep_tmp : ?max_age:float -> string -> string list
 (** Remove orphaned [.treesketch*.tmp] staging files older than
@@ -70,6 +78,16 @@ val sweep_tmp : ?max_age:float -> string -> string list
     the same pattern, but only for moments; a crash orphan only gets
     older.  Unremovable or vanished candidates are skipped, never
     fatal. *)
+
+val sweep_levels : ?max_age:float -> string -> string list
+(** Remove [.name.l<gen>.delta] level files no manifest references —
+    left by a crash between a compaction's manifest swap and its input
+    deletion, or between a level write and the swap that would have
+    listed it.  Replay ignores them, so this is pure garbage
+    collection.  Age-gated like {!sweep_tmp} (a live flush writes its
+    level moments before referencing it); an unreadable manifest pins
+    every level of its name, so nothing a repaired manifest may still
+    list is lost.  Returns the swept names, sorted. *)
 
 (** {2 Scrub-job report file}
 

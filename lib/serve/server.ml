@@ -19,6 +19,15 @@ type config = {
          must exceed the longest plausible atomic-write window, since
          live build workers stage under the same naming *)
   repair_timeout : float;  (* per-peer-connection budget of a repair pull *)
+  flush_records : int;
+      (* memtable records per flushed delta level: an INGEST that fills
+         the memtable triggers an inline flush *)
+  level_budget : int;
+      (* byte budget a delta level (and a compacted level) is
+         compressed under *)
+  compact_levels : int;
+      (* level count that triggers a background compaction job; 0
+         disables auto-compaction (flushes still accumulate levels) *)
 }
 
 let default_config =
@@ -37,6 +46,9 @@ let default_config =
     peers = [];
     tmp_sweep_age = 60.0;
     repair_timeout = 5.0;
+    flush_records = 64;
+    level_budget = 4096;
+    compact_levels = 4;
   }
 
 type stats = {
@@ -105,6 +117,12 @@ type t = {
   (* The brownout controller, present iff [config.brownout] is set: the
      read path feeds it latencies and consults its level. *)
   overload : Overload.t option;
+  (* Live ingestion engines ({!Ingest}), one per name with INGEST
+     state: reopened from on-disk WAL/level state at startup, created
+     lazily on first INGEST otherwise.  The lock guards the table only
+     — each engine serializes its own operations internally. *)
+  engines : (string, Ingest.t) Hashtbl.t;
+  engines_lock : Mutex.t;
 }
 
 let stats t = t.stats
@@ -191,6 +209,8 @@ let create ?(log = prerr_endline) ?(config = default_config) dir =
       admission = None;
       overload =
         Option.map (fun config -> Overload.create ~config ()) config.brownout;
+      engines = Hashtbl.create 8;
+      engines_lock = Mutex.create ();
     }
   in
   (* Startup fsck: the initial refresh above already re-validated every
@@ -202,6 +222,49 @@ let create ?(log = prerr_endline) ?(config = default_config) dir =
   List.iter
     (fun file -> log_event t "event=tmp-swept file=%s" file)
     (Scrub.sweep_tmp ~max_age:config.tmp_sweep_age dir);
+  (* Ingestion recovery: reopen every name with live WAL/level state
+     and immediately flush whatever the WAL replayed — acknowledged
+     records must be serveable the moment the restart completes, not
+     after [flush_records] more arrivals.  An engine that fails to
+     open is logged and skipped; its WAL is untouched on disk, so
+     nothing acknowledged is lost — the next restart retries. *)
+  List.iter
+    (fun name ->
+      let root_label =
+        Option.map
+          (fun (e : Catalog.entry) ->
+            Sketch.Synopsis.label e.synopsis e.synopsis.Sketch.Synopsis.root)
+          (Catalog.find t.catalog name)
+      in
+      match
+        Ingest.open_ ~limits:config.limits ?root_label ~dir ~name
+          ~level_budget:config.level_budget ~flush_records:config.flush_records
+          ()
+      with
+      | Error f ->
+        log_event t "event=ingest-open-failed name=%s class=%s msg=%S" name
+          (Xmldoc.Fault.class_name f)
+          (Xmldoc.Fault.to_string f)
+      | Ok eng ->
+        if Ingest.replayed_torn eng then
+          log_event t "event=wal-torn-tail name=%s" name;
+        Hashtbl.replace t.engines name eng;
+        if Ingest.depth eng > 0 then (
+          match Ingest.flush eng with
+          | Ok true ->
+            log_event t "event=ingest-replay-flush name=%s flushed=%d" name
+              (Ingest.flushed_seq eng)
+          | Ok false -> ()
+          | Error f ->
+            (* records stay in the WAL and memtable; the next flush
+               retries *)
+            log_event t "event=ingest-flush-failed name=%s class=%s msg=%S"
+              name
+              (Xmldoc.Fault.class_name f)
+              (Xmldoc.Fault.to_string f)))
+    (Ingest.discover ~dir);
+  if Hashtbl.length t.engines > 0 then
+    log_catalog_events t (Catalog.refresh t.catalog);
   t
 
 (* In-process evaluation caps ({!Query_exec.budget_for} merges in the
@@ -227,6 +290,39 @@ let resolve t name =
            (Printf.sprintf "no synopsis %S in the catalog" name)))
 
 let yes_no b = if b then "yes" else "no"
+
+let find_engine t name =
+  Mutex.protect t.engines_lock (fun () -> Hashtbl.find_opt t.engines name)
+
+(* The INGEST path creates engines lazily: the first ingest for a name
+   opens (and creates) its WAL.  The delta root label comes from the
+   base snapshot when one is resident, so level forests graft under the
+   right document root. *)
+let engine_for t name =
+  Mutex.protect t.engines_lock @@ fun () ->
+  match Hashtbl.find_opt t.engines name with
+  | Some eng -> Ok eng
+  | None -> (
+    let root_label =
+      Option.map
+        (fun (e : Catalog.entry) ->
+          Sketch.Synopsis.label e.synopsis e.synopsis.Sketch.Synopsis.root)
+        (Catalog.find t.catalog name)
+    in
+    match
+      Ingest.open_ ~limits:t.config.limits ?root_label
+        ~dir:(Catalog.dir t.catalog) ~name
+        ~level_budget:t.config.level_budget
+        ~flush_records:t.config.flush_records ()
+    with
+    | Error f -> Error f
+    | Ok eng ->
+      Hashtbl.replace t.engines name eng;
+      Ok eng)
+
+let all_engines t =
+  Mutex.protect t.engines_lock (fun () ->
+      Hashtbl.fold (fun _ e acc -> e :: acc) t.engines [])
 
 (* Did a pool worker's response carry a partial answer?  The parent
    only sees the rendered line, so it recovers the fact from the
@@ -280,9 +376,25 @@ let exec_read t ~line kind (opts : Protocol.opts) name q =
       let coarsest =
         match tag with None -> true | Some (k, n, _) -> k = n - 1
       in
+      (* A name with live-ingested delta levels evaluates IN-PROCESS
+         even with the pool enabled: the staleness bound tagged on the
+         response is engine state (age of the oldest unflushed WAL
+         record) that only the parent holds — a pool worker re-parsing
+         the line against its own catalog could serve the levels but
+         would have to invent the staleness. *)
+      let levels =
+        if Array.length entry.Catalog.levels = 0 then None
+        else
+          let staleness =
+            match find_engine t name with
+            | Some eng -> Ingest.staleness eng
+            | None -> 0.
+          in
+          Some (entry.Catalog.levels, staleness)
+      in
       let started = Xmldoc.Limits.now () in
       let response =
-        if Pool.enabled t.pool then begin
+        if Pool.enabled t.pool && Option.is_none levels then begin
           (* Workers re-parse the raw line against their own catalog:
              the parent's degradation level travels in-band. *)
           let line = Protocol.with_tier line ~level in
@@ -300,7 +412,7 @@ let exec_read t ~line kind (opts : Protocol.opts) name q =
           let synopsis, tier = Query_exec.select_tier entry opts ~level in
           let outcome =
             Mutex.protect t.eval_lock (fun () ->
-                Query_exec.run_guarded ?tier ~budget kind synopsis q)
+                Query_exec.run_guarded ?tier ?levels ~budget kind synopsis q)
           in
           if outcome.degraded then
             bump (fun s -> s.degraded <- s.degraded + 1) t;
@@ -320,8 +432,12 @@ let exec_read t ~line kind (opts : Protocol.opts) name q =
 (* ------------------------------------------------------------------ *)
 
 let sweep_tmp t =
+  let dir = Catalog.dir t.catalog in
+  (* one age knob governs both: [.tmp] staging orphans and level delta
+     files no manifest references *)
   let swept =
-    Scrub.sweep_tmp ~max_age:t.config.tmp_sweep_age (Catalog.dir t.catalog)
+    Scrub.sweep_tmp ~max_age:t.config.tmp_sweep_age dir
+    @ Scrub.sweep_levels ~max_age:t.config.tmp_sweep_age dir
   in
   List.iter (fun file -> log_event t "event=tmp-swept file=%s" file) swept;
   swept
@@ -460,16 +576,30 @@ let handle_request t ~line (req : Protocol.request) =
          members' values and marks the odd one out stale *)
       Printf.sprintf " catalog_hash=%s" (Catalog.combined_hash t.catalog)
     in
+    let ingest_field =
+      (* WAL depth and staleness bound across all engines — what the
+         coordinator's prober reads to rank a lagging member below
+         fresh ones.  Appended only when nonzero: servers without live
+         ingestion keep the exact pre-ingest line. *)
+      let depth, staleness =
+        List.fold_left
+          (fun (d, s) eng ->
+            (d + Ingest.depth eng, Float.max s (Ingest.staleness eng)))
+          (0, 0.) (all_engines t)
+      in
+      if depth = 0 then ""
+      else Printf.sprintf " wal=%d staleness=%.3f" depth staleness
+    in
     ( Printf.sprintf
         "ok health live=yes ready=%s draining=%s catalog=%d quarantined=%d \
-         inflight=%d/%d jobs=%d%s%s%s%s"
+         inflight=%d/%d jobs=%d%s%s%s%s%s"
         (yes_no (reason = None))
         (yes_no t.draining)
         (Catalog.size t.catalog)
         (List.length (Catalog.quarantined t.catalog))
         inflight capacity
         (Jobs.running_count t.jobs)
-        load_field pool_field hash_field
+        load_field pool_field hash_field ingest_field
         (match reason with None -> "" | Some r -> " reason=" ^ r),
       false )
   | List ->
@@ -491,12 +621,13 @@ let handle_request t ~line (req : Protocol.request) =
     log_catalog_events t events;
     let count p = List.length (List.filter p events) in
     ( Printf.sprintf
-        "ok reload loaded=%d reloaded=%d quarantined=%d removed=%d swept=%d"
+        "ok reload loaded=%d reloaded=%d quarantined=%d removed=%d swept=%d \
+         sweep_age=%g"
         (count (function Catalog.Loaded _ -> true | _ -> false))
         (count (function Catalog.Reloaded _ -> true | _ -> false))
         (count (function Catalog.Quarantined _ -> true | _ -> false))
         (count (function Catalog.Removed _ -> true | _ -> false))
-        (List.length swept),
+        (List.length swept) t.config.tmp_sweep_age,
       false )
   | Stat name -> (
     (* Quarantine is a reportable condition, not an error: operators
@@ -510,19 +641,41 @@ let handle_request t ~line (req : Protocol.request) =
         Printf.sprintf "quarantined=yes reason=%s" (Catalog.quarantine_reason q)
       | None -> "quarantined=no"
     in
+    (* Live-ingestion visibility: level stack, WAL depth, staleness
+       bound.  Engine state wins when an engine is open (the catalog's
+       view of [flushed] can lag one refresh behind); empty for names
+       without ingestion state, keeping the pre-ingest line exact. *)
+    let ingest =
+      match find_engine t name with
+      | Some eng when Ingest.level_count eng > 0 || Ingest.depth eng > 0 ->
+        Printf.sprintf
+          " levels=%d level_records=%d flushed=%d wal=%d staleness=%.3f"
+          (Ingest.level_count eng) (Ingest.level_records eng)
+          (Ingest.flushed_seq eng) (Ingest.depth eng) (Ingest.staleness eng)
+      | Some _ -> ""
+      | None -> (
+        match Catalog.find t.catalog name with
+        | Some e when Array.length e.Catalog.levels > 0 ->
+          Printf.sprintf
+            " levels=%d level_records=%d flushed=%d wal=0 staleness=0.000"
+            (Array.length e.Catalog.levels)
+            e.Catalog.level_records e.Catalog.flushed_seq
+        | _ -> "")
+    in
     match Catalog.find t.catalog name with
     | Some entry ->
       let s = entry.synopsis in
-      ( Printf.sprintf "ok stat name=%s classes=%d edges=%d bytes=%d stable=%s %s"
-          name
+      ( Printf.sprintf
+          "ok stat name=%s classes=%d edges=%d bytes=%d stable=%s %s%s" name
           (Sketch.Synopsis.num_nodes s)
           (Sketch.Synopsis.num_edges s)
           (Sketch.Synopsis.size_bytes s)
           (yes_no (Sketch.Synopsis.is_count_stable s))
-          quarantine,
+          quarantine ingest,
         false )
     | None when Catalog.fault_for t.catalog name <> None ->
-      (Printf.sprintf "ok stat name=%s resident=no %s" name quarantine, false)
+      ( Printf.sprintf "ok stat name=%s resident=no %s%s" name quarantine ingest,
+        false )
     | None ->
       ( Protocol.error_line ~cls:"not-found"
           (Printf.sprintf "no synopsis %S in the catalog" name),
@@ -541,6 +694,59 @@ let handle_request t ~line (req : Protocol.request) =
       ( Protocol.error_line ~cls:"overloaded"
           (Printf.sprintf "%d builds already running" (Jobs.running_count t.jobs)),
         false ))
+  | Ingest { name; xml } -> (
+    match engine_for t name with
+    | Error f -> (Protocol.fault_line f, false)
+    | Ok eng -> (
+      match Ingest.ingest eng ~xml with
+      | Error `No_space ->
+        (* nothing was retained — the WAL could not grow.  The client
+           must retry explicitly once space frees up; INGEST is not
+           idempotent, so the client library never resends on its
+           own. *)
+        ( Protocol.error_line ~cls:"ingest-deferred"
+            (Printf.sprintf "WAL for %S cannot grow (no space)" name),
+          false )
+      | Error (`Fault f) -> (Protocol.fault_line f, false)
+      | Ok (seq, depth) ->
+        (* The ack below is already durable (WAL appended and fsynced
+           before [ingest] returned); flush and compaction scheduling
+           are throughput work that must not delay or fail it. *)
+        let response =
+          Printf.sprintf "ok ingest name=%s seq=%d wal=%d" name seq depth
+        in
+        if Ingest.should_flush eng then begin
+          (match Ingest.flush eng with
+          | Ok true ->
+            log_event t "event=ingest-flush name=%s flushed=%d levels=%d" name
+              (Ingest.flushed_seq eng) (Ingest.level_count eng)
+          | Ok false -> ()
+          | Error f ->
+            (* records stay in the WAL and memtable; the next flush
+               attempt retries *)
+            log_event t "event=ingest-flush-failed name=%s class=%s msg=%S"
+              name
+              (Xmldoc.Fault.class_name f)
+              (Xmldoc.Fault.to_string f));
+          if
+            t.config.compact_levels > 0
+            && Ingest.level_count eng >= t.config.compact_levels
+            && not (Ingest.compacting eng)
+          then
+            match
+              Jobs.submit_compact t.jobs ~name
+                ~level_budget:t.config.level_budget
+            with
+            | Ok _ ->
+              (* flushes pause until the job is reaped: the memtable
+                 grows and staleness rises, but the level set the
+                 child is merging stays stable *)
+              Ingest.set_compacting eng true;
+              log_event t "event=compact-start name=%s levels=%d" name
+                (Ingest.level_count eng)
+            | Error _ -> ()
+        end;
+        (response, false)))
   | Jobs ->
     Jobs.poll t.jobs;
     (* dot-prefixed jobs (the reserved scrub job) are supervisor
@@ -613,6 +819,34 @@ let handle_request t ~line (req : Protocol.request) =
       else (Printf.sprintf "ok repair %s" counts, false)
     end
 
+(* After {!Jobs.poll}: every engine whose compaction job reached a
+   terminal state re-reads the manifest (the child swapped it — or
+   died, or discarded a stale result as a no-op; the manifest is the
+   only truth) and resumes flushing. *)
+let reap_compactions t =
+  List.iter
+    (fun eng ->
+      if Ingest.compacting eng then begin
+        let terminal =
+          match Jobs.find t.jobs (Jobs.compact_name (Ingest.name eng)) with
+          | Some { Jobs.state = Jobs.Running _ | Jobs.Backoff _; _ } -> false
+          | Some _ | None -> true
+        in
+        if terminal then begin
+          (match Ingest.refresh eng with
+          | Ok () -> ()
+          | Error f ->
+            log_event t "event=compact-refresh-failed name=%s class=%s msg=%S"
+              (Ingest.name eng)
+              (Xmldoc.Fault.class_name f)
+              (Xmldoc.Fault.to_string f));
+          Ingest.set_compacting eng false;
+          log_event t "event=compact-done name=%s levels=%d" (Ingest.name eng)
+            (Ingest.level_count eng)
+        end
+      end)
+    (all_engines t)
+
 (* The supervision boundary: whatever a request does — malformed
    syntax, a missing synopsis, an evaluator invariant violation — the
    server answers with a single structured line and keeps serving.
@@ -626,8 +860,12 @@ let handle_line t line =
   in
   (* Advance the build supervisor on every request: reap finished
      workers ([WNOHANG] — never blocks a response) and restart any
-     whose backoff has elapsed. *)
-  (try Jobs.poll t.jobs with _ -> ());
+     whose backoff has elapsed; finished compactions re-enter their
+     engines here too. *)
+  (try
+     Jobs.poll t.jobs;
+     reap_compactions t
+   with _ -> ());
   match Protocol.parse line with
   | Error reason ->
     bump (fun s -> s.errors <- s.errors + 1) t;
@@ -874,6 +1112,16 @@ let serve_socket ?(backlog = 64) t ~path =
      SIGKILL, nothing to keep), then flush final stats. *)
   (match scrubber with Some thread -> Thread.join thread | None -> ());
   let workers_killed = Jobs.drain t.jobs in
+  (* Ingestion engines: best-effort final flush (acknowledged records
+     are already durable in their WALs — a failed or skipped flush
+     merely leaves them for the next generation's replay), then close
+     the fds. *)
+  List.iter
+    (fun eng ->
+      (try ignore (Ingest.flush eng : (bool, Xmldoc.Fault.t) result)
+       with _ -> ());
+      try Ingest.close eng with _ -> ())
+    (all_engines t);
   let pool_killed = Pool.shutdown t.pool in
   t.admission <- None;
   log_event t

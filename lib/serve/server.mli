@@ -27,7 +27,15 @@
       answered [error worker-crash], never the server.  With the pool
       disabled, {!Query_exec.run_guarded} still contains
       [Stack_overflow]/[Out_of_memory] in-process as defense in
-      depth. *)
+      depth.
+    - {e Durable live ingestion}: INGEST appends to a per-synopsis
+      write-ahead log and acks only after fsync ({!Ingest}); memtables
+      flush into delta TreeSketch levels, a background job compacts
+      them, and queries over a name with levels evaluate the whole
+      stack — in-process even with the pool enabled, because the
+      staleness bound tagged on the response is engine state only the
+      parent holds.  On restart the WAL replays and re-flushes, so
+      every acknowledged ingest survives a kill at any point. *)
 
 type config = {
   limits : Xmldoc.Limits.t;  (** bounds every snapshot load *)
@@ -75,13 +83,24 @@ type config = {
           naming *)
   repair_timeout : float;
       (** per-peer-connection budget (seconds) of a repair pull *)
+  flush_records : int;
+      (** memtable records per flushed delta level ({!Ingest}): an
+          INGEST that fills the memtable triggers an inline flush *)
+  level_budget : int;
+      (** byte budget a delta level (and a compacted level) is
+          compressed under *)
+  compact_levels : int;
+      (** level count that triggers a background compaction job
+          ({!Jobs.submit_compact}); 0 disables auto-compaction —
+          flushes still accumulate levels *)
 }
 
 val default_config : config
 (** 5 s deadline, 100_000 answer nodes, 10 M work ticks, 8 in-flight
     connections, auto-reload on, 5 s drain deadline,
     {!Jobs.default_config} builds, scrubber off, no peers, 60 s tmp
-    sweep age, 5 s repair timeout. *)
+    sweep age, 5 s repair timeout, 64-record flushes into 4096-byte
+    levels, compaction at 4 levels. *)
 
 type stats = {
   mutable served : int;  (** request lines handled (including errors) *)

@@ -1,0 +1,813 @@
+(* Durable live ingestion: WAL-backed INGEST with crash-safe LSM
+   compaction of delta TreeSketches.
+
+   - the WAL: append/replay round-trip, torn-tail truncation, sequence
+     regression treated as a tear, ENOSPC rollback (nothing partial
+     ever acked);
+   - the exact disjoint union ([Build.merge_disjoint]) that compaction
+     is built on;
+   - the engine: ack/replay, flush-publish-trim, exactly-once across a
+     crash between manifest swap and WAL trim, flushes pausing while a
+     compaction is in flight, multi-level compaction;
+   - the INGEST verb end to end: ack format, inline flush, query
+     answers tagged [levels=/staleness=], byte-identical responses for
+     names without levels, ENOSPC answered [error ingest-deferred],
+     STAT/HEALTH visibility;
+   - satellite regressions: [with_remaining_deadline] clamping at and
+     past exhaustion, a FETCH source deleted mid-stream answering
+     [error fetch-gone] (Io_fault Delay opens the window), replica
+     ranking preferring fresher (lower staleness) members;
+   - the kill-point acceptance: seeded SIGKILLs sprayed across
+     ingest/flush/compaction on a forked server — every restart must
+     replay the WAL and serve 100% of acknowledged ingests, zero lost,
+     zero duplicated.
+
+   Everything is seeded; override with CHAOS_SEED=<n>. *)
+
+module F = Xmldoc.Io_fault
+module Server = Serve.Server
+module Protocol = Serve.Protocol
+module Replica = Serve.Replica
+module Repair = Serve.Repair
+module Ingest = Serve.Ingest
+module Wal = Serve.Wal
+module Stable = Sketch.Stable
+module Serialize = Sketch.Serialize
+
+let seed =
+  match Sys.getenv_opt "CHAOS_SEED" with
+  | None -> 0x1A6E
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> failwith (Printf.sprintf "CHAOS_SEED=%S is not an integer" s))
+
+let () =
+  Printf.eprintf "ingest seed = %d (override with CHAOS_SEED=<n>)\n%!" seed
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "tsingest" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun file ->
+          try Sys.remove (Filename.concat dir file) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let synopsis =
+  lazy
+    (Stable.build
+       (Xmldoc.Parser.of_string
+          "<db><movie><actor/><actor/><title/></movie>\
+           <movie><actor/><title/></movie><short><title/></short></db>"))
+
+let save path s =
+  match Serialize.save_atomic path s with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "save %s: %s" path (Xmldoc.Fault.to_string f)
+
+let quiet_server ?config dir = Server.create ~log:(fun _ -> ()) ?config dir
+
+let starts_with prefix s = String.starts_with ~prefix s
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i =
+    i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1))
+  in
+  nn = 0 || scan 0
+
+let token_with prefix line =
+  List.find_opt (starts_with prefix) (String.split_on_char ' ' line)
+
+let float_token prefix line =
+  match token_with prefix line with
+  | Some tok ->
+    float_of_string_opt
+      (String.sub tok (String.length prefix)
+         (String.length tok - String.length prefix))
+  | None -> None
+
+let rec connect ?(attempts = 100) path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> fd
+  | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _) when attempts > 0
+    ->
+    Unix.close fd;
+    Thread.delay 0.02;
+    connect ~attempts:(attempts - 1) path
+
+let ask sock line =
+  let fd = connect sock in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      output_string oc (line ^ "\n");
+      flush oc;
+      input_line ic)
+
+let unwrap what = function
+  | Ok v -> v
+  | Error f -> Alcotest.failf "%s: %s" what (Xmldoc.Fault.to_string f)
+
+(* ------------------------------------------------------------------ *)
+(* WAL                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let record seq payload = { Wal.seq; ts = 1000.0 +. float_of_int seq; payload }
+
+let test_wal_roundtrip () =
+  with_temp_dir (fun dir ->
+      let wal, replayed, torn =
+        unwrap "open" (Wal.open_ ~dir ~name:"db" ())
+      in
+      Alcotest.(check int) "fresh log is empty" 0 (List.length replayed);
+      Alcotest.(check bool) "fresh log is not torn" false torn;
+      List.iter
+        (fun r ->
+          match Wal.append wal r with
+          | Ok () -> ()
+          | Error `No_space -> Alcotest.fail "spurious ENOSPC"
+          | Error (`Fault f) ->
+            Alcotest.failf "append: %s" (Xmldoc.Fault.to_string f))
+        [ record 1 "<a/>"; record 2 "<b><c/></b>"; record 3 "<d/>" ];
+      Wal.close wal;
+      let wal2, replayed, torn =
+        unwrap "reopen" (Wal.open_ ~dir ~name:"db" ())
+      in
+      Wal.close wal2;
+      Alcotest.(check bool) "clean reopen" false torn;
+      Alcotest.(check (list int)) "sequences replay in order" [ 1; 2; 3 ]
+        (List.map (fun r -> r.Wal.seq) replayed);
+      Alcotest.(check (list string)) "payloads replay intact"
+        [ "<a/>"; "<b><c/></b>"; "<d/>" ]
+        (List.map (fun r -> r.Wal.payload) replayed);
+      (* naming: how the server discovers engines at restart *)
+      Alcotest.(check (option string)) "wal_name round-trips" (Some "db")
+        (Wal.wal_name ".db.wal");
+      Alcotest.(check (option string)) "snapshots are not WALs" None
+        (Wal.wal_name "db.ts"))
+
+let test_wal_torn_tail_truncated () =
+  with_temp_dir (fun dir ->
+      let wal, _, _ = unwrap "open" (Wal.open_ ~dir ~name:"db" ()) in
+      (match Wal.append wal (record 1 "<a/>") with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "append");
+      Wal.close wal;
+      let path = Wal.path ~dir ~name:"db" in
+      (* a crash mid-append: header promises more payload than exists *)
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_string oc "rec 2 1002.000000 400 deadbeef\n<torn";
+      close_out oc;
+      let torn_len = (Unix.stat path).Unix.st_size in
+      let wal2, replayed, torn =
+        unwrap "reopen torn" (Wal.open_ ~dir ~name:"db" ())
+      in
+      Wal.close wal2;
+      Alcotest.(check bool) "tear detected" true torn;
+      Alcotest.(check (list int)) "intact prefix survives" [ 1 ]
+        (List.map (fun r -> r.Wal.seq) replayed);
+      Alcotest.(check bool) "tail physically truncated" true
+        ((Unix.stat path).Unix.st_size < torn_len);
+      (* the truncation repaired the file: a third open is clean *)
+      let wal3, replayed, torn =
+        unwrap "reopen repaired" (Wal.open_ ~dir ~name:"db" ())
+      in
+      Wal.close wal3;
+      Alcotest.(check bool) "repaired log is clean" false torn;
+      Alcotest.(check int) "record count stable" 1 (List.length replayed))
+
+let test_wal_seq_regression_is_a_tear () =
+  with_temp_dir (fun dir ->
+      let wal, _, _ = unwrap "open" (Wal.open_ ~dir ~name:"db" ()) in
+      (match Wal.append wal (record 5 "<a/>") with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "append");
+      Wal.close wal;
+      (* a structurally valid frame whose sequence regresses: corruption
+         must never replay stale records past the intact prefix *)
+      let payload = "<stale/>" in
+      let frame =
+        Printf.sprintf "rec 3 1003.000000 %d %s\n%s\n" (String.length payload)
+          (Sketch.Crc32.to_hex (Sketch.Crc32.string payload))
+          payload
+      in
+      let path = Wal.path ~dir ~name:"db" in
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_string oc frame;
+      close_out oc;
+      let wal2, replayed, torn =
+        unwrap "reopen" (Wal.open_ ~dir ~name:"db" ())
+      in
+      Wal.close wal2;
+      Alcotest.(check bool) "regression reads as a tear" true torn;
+      Alcotest.(check (list int)) "only the monotone prefix replays" [ 5 ]
+        (List.map (fun r -> r.Wal.seq) replayed))
+
+let test_wal_enospc_rolls_back () =
+  with_temp_dir (fun dir ->
+      let wal, _, _ = unwrap "open" (Wal.open_ ~dir ~name:"db" ()) in
+      (match Wal.append wal (record 1 "<a/>") with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "first append");
+      let len_before = (Unix.stat (Wal.wal_path wal)).Unix.st_size in
+      Fun.protect ~finally:F.disarm (fun () ->
+          F.arm ~seed [ F.rule ~prob:1.0 ~path:".db.wal" F.Write F.Enospc ];
+          match Wal.append wal (record 2 "<b/>") with
+          | Error `No_space -> ()
+          | Ok () -> Alcotest.fail "append succeeded on a full disk"
+          | Error (`Fault f) ->
+            Alcotest.failf "wrong error: %s" (Xmldoc.Fault.to_string f));
+      Alcotest.(check int) "file rolled back to pre-append length" len_before
+        (Unix.stat (Wal.wal_path wal)).Unix.st_size;
+      (* space freed: the same record appends cleanly, nothing partial
+         was left behind to confuse the framing *)
+      (match Wal.append wal (record 2 "<b/>") with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "retry after ENOSPC");
+      Wal.close wal;
+      let wal2, replayed, torn =
+        unwrap "reopen" (Wal.open_ ~dir ~name:"db" ())
+      in
+      Wal.close wal2;
+      Alcotest.(check bool) "no tear" false torn;
+      Alcotest.(check (list int)) "both records durable" [ 1; 2 ]
+        (List.map (fun r -> r.Wal.seq) replayed))
+
+(* ------------------------------------------------------------------ *)
+(* merge_disjoint                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_merge_disjoint () =
+  let a = Stable.build (Xmldoc.Parser.of_string "<db><movie><actor/></movie></db>") in
+  let b = Stable.build (Xmldoc.Parser.of_string "<db><book><title/></book></db>") in
+  (match Sketch.Build.merge_disjoint [ a; b ] with
+  | Error e -> Alcotest.failf "merge: %s" e
+  | Ok m ->
+    (match Sketch.Synopsis.validate m with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "merged synopsis invalid: %s" e);
+    (* one fresh shared root replaces the two input roots *)
+    Alcotest.(check int) "node count is the disjoint union"
+      (Sketch.Synopsis.num_nodes a + Sketch.Synopsis.num_nodes b - 1)
+      (Sketch.Synopsis.num_nodes m));
+  (match Sketch.Build.merge_disjoint [] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty merge should refuse");
+  let c = Stable.build (Xmldoc.Parser.of_string "<other><x/></other>") in
+  match Sketch.Build.merge_disjoint [ a; c ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mismatched root labels should refuse"
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let open_engine ?(flush_records = 100) ?(level_budget = 4096) dir =
+  unwrap "engine open"
+    (Ingest.open_ ~dir ~name:"db" ~level_budget ~flush_records ())
+
+let do_ingest eng xml =
+  match Ingest.ingest eng ~xml with
+  | Ok r -> r
+  | Error `No_space -> Alcotest.fail "spurious ENOSPC"
+  | Error (`Fault f) -> Alcotest.failf "ingest: %s" (Xmldoc.Fault.to_string f)
+
+let do_flush eng =
+  match Ingest.flush eng with
+  | Ok b -> b
+  | Error f -> Alcotest.failf "flush: %s" (Xmldoc.Fault.to_string f)
+
+let test_engine_ack_and_replay () =
+  with_temp_dir (fun dir ->
+      let eng = open_engine dir in
+      Alcotest.(check (pair int int)) "first ack" (1, 1) (do_ingest eng "<a/>");
+      Alcotest.(check (pair int int)) "second ack" (2, 2) (do_ingest eng "<b/>");
+      Alcotest.(check bool) "staleness counts from the oldest record" true
+        (Ingest.staleness ~now:(Unix.gettimeofday () +. 3.0) eng >= 3.0);
+      (* validation happens BEFORE the append: a malformed fragment
+         costs nothing durable *)
+      (match Ingest.ingest eng ~xml:"<unclosed" with
+      | Error (`Fault _) -> ()
+      | Ok _ -> Alcotest.fail "malformed fragment acked"
+      | Error `No_space -> Alcotest.fail "wrong error class");
+      Alcotest.(check int) "depth unchanged by the rejection" 2
+        (Ingest.depth eng);
+      Ingest.close eng;
+      (* a restart replays the WAL: both acks are still pending, and
+         sequence numbering continues where it stopped *)
+      let eng2 = open_engine dir in
+      Alcotest.(check int) "memtable replayed" 2 (Ingest.depth eng2);
+      Alcotest.(check bool) "no torn tail on a clean close" false
+        (Ingest.replayed_torn eng2);
+      Alcotest.(check (pair int int)) "sequences continue" (3, 3)
+        (do_ingest eng2 "<c/>");
+      Ingest.close eng2)
+
+let test_engine_flush_publishes_and_trims () =
+  with_temp_dir (fun dir ->
+      let eng = open_engine dir in
+      ignore (do_ingest eng "<a/>");
+      ignore (do_ingest eng "<b/>");
+      ignore (do_ingest eng "<c/>");
+      Alcotest.(check bool) "flush publishes" true (do_flush eng);
+      Alcotest.(check int) "memtable drained" 0 (Ingest.depth eng);
+      Alcotest.(check int) "one level" 1 (Ingest.level_count eng);
+      Alcotest.(check int) "level covers all records" 3
+        (Ingest.level_records eng);
+      Alcotest.(check int) "flushed watermark" 3 (Ingest.flushed_seq eng);
+      Alcotest.(check (float 0.001)) "empty memtable = fresh" 0.0
+        (Ingest.staleness eng);
+      (* the trim is real: the WAL on disk is empty *)
+      let records, torn =
+        unwrap "scan" (Wal.scan (Wal.path ~dir ~name:"db"))
+      in
+      Alcotest.(check int) "WAL trimmed after flush" 0 (List.length records);
+      Alcotest.(check bool) "no tear" false torn;
+      (* the manifest is the commit point and round-trips *)
+      let m = unwrap "manifest" (Ingest.read_manifest ~dir ~name:"db" ()) in
+      Alcotest.(check int) "manifest flushed" 3 m.Ingest.flushed;
+      (match m.Ingest.entries with
+      | [ e ] ->
+        Alcotest.(check int) "records in the entry" 3 e.Ingest.records;
+        Alcotest.(check bool) "level file exists" true
+          (Sys.file_exists (Filename.concat dir e.Ingest.file))
+      | es -> Alcotest.failf "expected one level, got %d" (List.length es));
+      Alcotest.(check bool) "nothing to flush twice" false (do_flush eng);
+      Ingest.close eng;
+      (* restart: the level stack reloads, nothing replays twice *)
+      let eng2 = open_engine dir in
+      Alcotest.(check int) "no replayed memtable" 0 (Ingest.depth eng2);
+      Alcotest.(check int) "level survives restart" 1 (Ingest.level_count eng2);
+      Ingest.close eng2)
+
+let test_exactly_once_when_trim_is_lost () =
+  with_temp_dir (fun dir ->
+      let eng = open_engine dir in
+      ignore (do_ingest eng "<a/>");
+      ignore (do_ingest eng "<b/>");
+      Alcotest.(check bool) "flushed" true (do_flush eng);
+      Ingest.close eng;
+      (* simulate a kill between the manifest swap and the WAL trim:
+         put the already-covered records back into the log *)
+      let wal, _, _ = unwrap "wal" (Wal.open_ ~dir ~name:"db" ()) in
+      List.iter
+        (fun r ->
+          match Wal.append wal r with
+          | Ok () -> ()
+          | Error _ -> Alcotest.fail "re-append")
+        [ record 1 "<a/>"; record 2 "<b/>"; record 3 "<fresh/>" ];
+      Wal.close wal;
+      let eng2 = open_engine dir in
+      (* seqs 1-2 are at or below the manifest's flushed watermark:
+         dropped on replay.  seq 3 is genuinely new: restored. *)
+      Alcotest.(check int) "covered records not replayed" 1 (Ingest.depth eng2);
+      Alcotest.(check int) "level still holds them once" 2
+        (Ingest.level_records eng2);
+      Alcotest.(check (pair int int)) "numbering resumes past the log" (4, 2)
+        (do_ingest eng2 "<c/>");
+      Ingest.close eng2)
+
+let test_flush_pauses_while_compacting () =
+  with_temp_dir (fun dir ->
+      let eng = open_engine ~flush_records:2 dir in
+      ignore (do_ingest eng "<a/>");
+      ignore (do_ingest eng "<b/>");
+      Alcotest.(check bool) "at threshold" true (Ingest.should_flush eng);
+      Ingest.set_compacting eng true;
+      Alcotest.(check bool) "threshold gated by compaction" false
+        (Ingest.should_flush eng);
+      Alcotest.(check bool) "flush refuses while compacting" false
+        (do_flush eng);
+      Alcotest.(check int) "memtable kept growing" 2 (Ingest.depth eng);
+      Ingest.set_compacting eng false;
+      Alcotest.(check bool) "resumes after the reap" true (do_flush eng);
+      Ingest.close eng)
+
+let test_compaction_merges_levels () =
+  with_temp_dir (fun dir ->
+      let eng = open_engine dir in
+      List.iter
+        (fun xml ->
+          ignore (do_ingest eng xml);
+          Alcotest.(check bool) "flushed" true (do_flush eng))
+        [ "<a/>"; "<b/>"; "<c/>" ];
+      Alcotest.(check int) "three levels" 3 (Ingest.level_count eng);
+      let ckpt = Filename.concat dir ".compact-db.ckpt" in
+      (match
+         Ingest.compact ~dir ~name:"db" ~level_budget:4096 ~checkpoint:ckpt ()
+       with
+      | Ok degraded ->
+        Alcotest.(check bool) "tiny merge not degraded" false degraded
+      | Error f -> Alcotest.failf "compact: %s" (Xmldoc.Fault.to_string f));
+      unwrap "refresh" (Ingest.refresh eng);
+      Alcotest.(check int) "levels collapsed to one" 1 (Ingest.level_count eng);
+      Alcotest.(check int) "no record lost or duplicated" 3
+        (Ingest.level_records eng);
+      (* consumed inputs are deleted; only the merged generation remains *)
+      let level_files =
+        Array.to_list (Sys.readdir dir)
+        |> List.filter (fun f -> Ingest.level_name f <> None)
+      in
+      Alcotest.(check int) "consumed level files deleted" 1
+        (List.length level_files);
+      Alcotest.(check bool) "checkpoint consumed" false (Sys.file_exists ckpt);
+      (* a single remaining level is a no-op, not an error *)
+      (match
+         Ingest.compact ~dir ~name:"db" ~level_budget:4096 ~checkpoint:ckpt ()
+       with
+      | Ok degraded -> Alcotest.(check bool) "no-op" false degraded
+      | Error f -> Alcotest.failf "no-op compact: %s" (Xmldoc.Fault.to_string f));
+      Ingest.close eng)
+
+(* ------------------------------------------------------------------ *)
+(* The INGEST verb end to end                                          *)
+(* ------------------------------------------------------------------ *)
+
+let ingest_config =
+  {
+    Server.default_config with
+    flush_records = 2;
+    compact_levels = 0;
+    drain_deadline = 2.0;
+  }
+
+let test_ingest_verb_end_to_end () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "db.ts") (Lazy.force synopsis);
+      let server = quiet_server ~config:ingest_config dir in
+      let askl line = fst (Server.handle_line server line) in
+      (* no ingestion state yet: responses are byte-identical to the
+         pre-ingest protocol *)
+      let q0 = askl "QUERY db //movie" in
+      Alcotest.(check bool) "no levels tag before ingestion" false
+        (contains q0 "levels=");
+      Alcotest.(check bool) "no wal suffix before ingestion" false
+        (contains (askl "STAT db") "wal=");
+      Alcotest.(check bool) "no health ingest field before ingestion" false
+        (contains (askl "HEALTH") "wal=");
+      (* ack carries the durable sequence number and WAL depth *)
+      Alcotest.(check string) "first ack" "ok ingest name=db seq=1 wal=1"
+        (askl "INGEST db <concert><title/></concert>");
+      Alcotest.(check bool) "health exposes the pending record" true
+        (contains (askl "HEALTH") "wal=1 staleness=");
+      Alcotest.(check bool) "stat exposes the pending record" true
+        (contains (askl "STAT db") "wal=1");
+      (* the second ingest crosses flush_records: inline flush *)
+      Alcotest.(check string) "second ack" "ok ingest name=db seq=2 wal=2"
+        (askl "INGEST db <concert><venue/></concert>");
+      let stat = askl "STAT db" in
+      Alcotest.(check bool)
+        (Printf.sprintf "flush published a level (%s)" stat)
+        true
+        (contains stat "levels=1 level_records=2 flushed=2 wal=0");
+      (* queries now evaluate over base + levels and say so *)
+      let q = askl "QUERY db //concert" in
+      Alcotest.(check bool)
+        (Printf.sprintf "answer tagged with the stack (%s)" q)
+        true
+        (contains q "levels=1 staleness=");
+      Alcotest.(check (option (float 0.01))) "both fragments counted"
+        (Some 2.0) (float_token "est=" q);
+      (* the base content still answers identically under the stack *)
+      Alcotest.(check (option (float 0.01))) "base content preserved"
+        (Some 2.0)
+        (float_token "est=" (askl "QUERY db //movie"));
+      (* malformed requests are refused before anything durable *)
+      Alcotest.(check bool) "INGEST needs a fragment" true
+        (starts_with "error bad-request" (askl "INGEST db"));
+      Alcotest.(check bool) "INGEST validates the name" true
+        (starts_with "error bad-request" (askl "INGEST ../evil <a/>"));
+      Alcotest.(check bool) "malformed fragment refused" true
+        (starts_with "error parse" (askl "INGEST db <unclosed"));
+      Alcotest.(check bool) "INGEST is single-target" true
+        (Protocol.single_target "INGEST db <a/>"))
+
+let test_ingest_enospc_defers () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "db.ts") (Lazy.force synopsis);
+      let server = quiet_server ~config:ingest_config dir in
+      let askl line = fst (Server.handle_line server line) in
+      Fun.protect ~finally:F.disarm (fun () ->
+          F.arm ~seed [ F.rule ~prob:1.0 ~path:".db.wal" F.Write F.Enospc ];
+          Alcotest.(check bool) "full disk defers, never acks" true
+            (starts_with "error ingest-deferred" (askl "INGEST db <a/>")));
+      (* space freed: the explicit retry is the FIRST durable copy *)
+      Alcotest.(check string) "retry lands with seq 1"
+        "ok ingest name=db seq=1 wal=1" (askl "INGEST db <a/>"))
+
+let test_ingest_replay_serves_acked_records () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "db.ts") (Lazy.force synopsis);
+      let config = { ingest_config with flush_records = 100 } in
+      let server = quiet_server ~config dir in
+      let askl line = fst (Server.handle_line server line) in
+      Alcotest.(check string) "acked" "ok ingest name=db seq=1 wal=1"
+        (askl "INGEST db <gala/>");
+      (* the record is acked but unflushed: a cold restart must make it
+         serveable immediately (startup replay + flush), not after
+         flush_records more arrivals *)
+      let server2 = quiet_server ~config dir in
+      let askl2 line = fst (Server.handle_line server2 line) in
+      let q = askl2 "QUERY db //gala" in
+      Alcotest.(check (option (float 0.01)))
+        (Printf.sprintf "replayed record serves (%s)" q)
+        (Some 1.0) (float_token "est=" q);
+      Alcotest.(check bool) "exactly once: level holds it, WAL empty" true
+        (contains (askl2 "STAT db") "levels=1 level_records=1 flushed=1 wal=0");
+      ignore askl)
+
+(* ------------------------------------------------------------------ *)
+(* Satellites: deadline clamping, fetch-gone, replica freshness        *)
+(* ------------------------------------------------------------------ *)
+
+let test_deadline_clamps_nonnegative () =
+  (* elapsed past the deadline: the forwarded budget clamps to zero —
+     never negative (whose meaning is the receiver's) — and the flag
+     itself is always preserved *)
+  Alcotest.(check string) "exhausted budget clamps to zero"
+    "QUERY -deadline=0 db //a"
+    (Protocol.with_remaining_deadline "QUERY -deadline=1.5 db //a"
+       ~elapsed:2.0);
+  Alcotest.(check string) "exactly spent clamps to zero"
+    "QUERY -deadline=0 db //a"
+    (Protocol.with_remaining_deadline "QUERY -deadline=1.5 db //a"
+       ~elapsed:1.5);
+  Alcotest.(check string) "remaining budget is the difference"
+    "QUERY -deadline=1.5 db //a"
+    (Protocol.with_remaining_deadline "QUERY -deadline=2 db //a" ~elapsed:0.5);
+  Alcotest.(check string) "other options untouched"
+    "ANSWER -max-nodes=9 -deadline=0 db //a"
+    (Protocol.with_remaining_deadline "ANSWER -max-nodes=9 -deadline=4 db //a"
+       ~elapsed:99.0);
+  Alcotest.(check string) "nothing elapsed, nothing rewritten"
+    "QUERY -deadline=2 db //a"
+    (Protocol.with_remaining_deadline "QUERY -deadline=2 db //a" ~elapsed:0.0);
+  (* only the leading option zone is rewritten: a deadline-shaped
+     operand is payload, not budget *)
+  Alcotest.(check string) "operand zone never mangled"
+    "QUERY db -deadline=5"
+    (Protocol.with_remaining_deadline "QUERY db -deadline=5" ~elapsed:2.0)
+
+let test_fetch_gone_mid_stream () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "db.ts" in
+      (* two chunks' worth of payload so there is a re-stat between
+         them; render_fetch takes the bytes it already verified *)
+      let text = String.init 70_000 (fun i -> Char.chr (33 + (i mod 90))) in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc text);
+      (* a source that vanished before the stream starts *)
+      let missing =
+        Repair.render_fetch ~path:(Filename.concat dir "ghost.ts")
+          ~name:"ghost" text
+      in
+      Alcotest.(check bool) "missing source refused up front" true
+        (starts_with "error fetch-gone" missing);
+      (* deleted mid-stream: the per-chunk Delay opens a window between
+         the initial stat and the next chunk's re-stat *)
+      Fun.protect ~finally:F.disarm (fun () ->
+          F.arm ~seed [ F.rule ~prob:1.0 ~path:"db.ts" F.Write (F.Delay 0.25) ];
+          let deleter =
+            Thread.create
+              (fun () ->
+                Thread.delay 0.1;
+                Sys.remove path)
+              ()
+          in
+          let response = Repair.render_fetch ~path ~name:"db" text in
+          Thread.join deleter;
+          Alcotest.(check bool)
+            (Printf.sprintf "mid-stream deletion aborts cleanly (%s)"
+               (String.sub response 0 (min 60 (String.length response))))
+            true
+            (starts_with "error fetch-gone" response);
+          Alcotest.(check bool) "no stale frames leak" false
+            (contains response "end fetch"));
+      (* restored source: the same render streams end to end *)
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc text);
+      let clean = Repair.render_fetch ~path ~name:"db" text in
+      Alcotest.(check bool) "intact source streams to the end" true
+        (contains clean "end fetch"))
+
+let test_replica_rank_prefers_fresh () =
+  let g = Replica.create [ "lagging"; "fresh" ] in
+  let m i = List.nth (Replica.members g) i in
+  Replica.note_probe ~staleness:7.5 g (m 0) `Ready;
+  Replica.note_probe ~staleness:0.0 g (m 1) `Ready;
+  Alcotest.(check (float 0.001)) "staleness recorded" 7.5
+    (Replica.staleness (m 0));
+  (* same tier, same load: freshness decides, regardless of rotation *)
+  for _ = 1 to 4 do
+    Alcotest.(check string) "fresh member ranks first" "fresh"
+      (Replica.path (List.hd (Replica.rank g)))
+  done;
+  (* state still dominates freshness: a draining-but-fresh member never
+     outranks a ready-but-lagging one *)
+  Replica.note_probe ~staleness:0.0 g (m 1) `Not_ready;
+  Alcotest.(check string) "tier beats freshness" "lagging"
+    (Replica.path (List.hd (Replica.rank g)));
+  (* a flush catching up clears the penalty *)
+  Replica.note_probe ~staleness:0.0 g (m 0) `Ready;
+  Replica.note_probe ~staleness:0.0 g (m 1) `Ready;
+  Alcotest.(check (float 0.001)) "caught up" 0.0 (Replica.staleness (m 0))
+
+(* ------------------------------------------------------------------ *)
+(* Kill-point acceptance                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Widen the crash windows inside the child so seeded kills land inside
+   flush writes, manifest swaps and WAL fsyncs, not only between
+   requests. *)
+let crash_window_faults =
+  [
+    F.rule ~prob:0.4 ~path:".wal" F.Fsync (F.Delay 0.004);
+    F.rule ~prob:0.4 ~path:".delta" F.Write (F.Delay 0.004);
+    F.rule ~prob:0.4 ~path:".levels" F.Rename (F.Delay 0.004);
+  ]
+
+let spawn_ingest_server ?(faults = []) ~round ~dir ~sock () =
+  match Unix.fork () with
+  | 0 ->
+    (try
+       if faults <> [] then F.arm ~seed:(seed + round) faults;
+       let config =
+         {
+           Server.default_config with
+           flush_records = 2;
+           compact_levels = 2;
+           drain_deadline = 2.0;
+         }
+       in
+       let server = quiet_server ~config dir in
+       Server.install_drain_signals server;
+       Server.serve_socket server ~path:sock;
+       Unix._exit 0
+     with _ -> Unix._exit 99)
+  | pid -> pid
+
+let test_kill_points_lose_nothing () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "db.ts") (Lazy.force synopsis);
+      let rng = Random.State.make [| seed |] in
+      let rounds = 8 in
+      let acked = ref [] and attempted = ref [] in
+      let verify round =
+        (* a clean restart replays the WAL and flushes: every
+           acknowledged ingest must be serveable, exactly once *)
+        let sock = Filename.concat dir (Printf.sprintf "v%d.sock" round) in
+        let pid = spawn_ingest_server ~round ~dir ~sock () in
+        Unix.close (connect sock);
+        Fun.protect
+          ~finally:(fun () ->
+            Unix.kill pid Sys.sigterm;
+            match Unix.waitpid [] pid with
+            | _, Unix.WEXITED 0 -> ()
+            | _, status ->
+              Alcotest.failf "verify server round %d did not drain clean (%s)"
+                round
+                (match status with
+                | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+                | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+                | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s))
+          (fun () ->
+            List.iter
+              (fun label ->
+                let q = ask sock (Printf.sprintf "QUERY db //%s" label) in
+                let est = float_token "est=" q in
+                let want = if List.mem label !acked then Some 1.0 else None in
+                match (want, est) with
+                | Some w, Some e when Float.abs (e -. w) < 0.01 -> ()
+                | Some _, _ ->
+                  Alcotest.failf
+                    "round %d: acked ingest %s lost or duplicated (%s)" round
+                    label q
+                | None, Some e when e > 1.01 ->
+                  Alcotest.failf "round %d: unacked ingest %s duplicated (%s)"
+                    round label q
+                | None, _ -> ())
+              !attempted)
+      in
+      for round = 1 to rounds do
+        let sock = Filename.concat dir (Printf.sprintf "c%d.sock" round) in
+        let pid =
+          spawn_ingest_server ~faults:crash_window_faults ~round ~dir ~sock ()
+        in
+        Unix.close (connect sock);
+        (* the killer sprays SIGKILL across a seeded offset while the
+           driver below is mid-ingest: early offsets crash the WAL
+           append/fsync, later ones crash flush publishes and the
+           compaction machinery the driver's volume triggers *)
+        let kill_after = 0.002 +. Random.State.float rng 0.12 in
+        let killer =
+          Thread.create
+            (fun () ->
+              Thread.delay kill_after;
+              try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+            ()
+        in
+        let budget = 3 + Random.State.int rng 4 in
+        (try
+           for i = 1 to budget do
+             let label = Printf.sprintf "k%dx%d" round i in
+             attempted := label :: !attempted;
+             let response = ask sock (Printf.sprintf "INGEST db <%s/>" label) in
+             if starts_with "ok ingest" response then acked := label :: !acked
+           done
+         with
+        | End_of_file | Sys_error _
+        | Unix.Unix_error _ ->
+          (* the kill landed mid-request: the in-flight record may or
+             may not be durable — it is simply not counted as acked *)
+          ());
+        Thread.join killer;
+        (match Unix.waitpid [] pid with
+        | _, Unix.WSIGNALED s when s = Sys.sigkill -> ()
+        | _, Unix.WEXITED 0 ->
+          (* the kill raced the round's last request and landed after a
+             clean exit path was already underway; still a valid crash
+             point for replay *)
+          ()
+        | _, status ->
+          Alcotest.failf "round %d: unexpected child status (%s)" round
+            (match status with
+            | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+            | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+            | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s));
+        verify round
+      done;
+      Printf.eprintf
+        "ingest kill-points: %d rounds, %d attempted, %d acked — all \
+         served, none duplicated\n%!"
+        rounds
+        (List.length !attempted)
+        (List.length !acked);
+      Alcotest.(check bool) "the run actually acknowledged ingests" true
+        (List.length !acked > 0))
+
+let () =
+  Alcotest.run "ingest"
+    [
+      ( "wal",
+        [
+          Alcotest.test_case "append/replay round-trip" `Quick
+            test_wal_roundtrip;
+          Alcotest.test_case "torn tail truncated to the intact prefix" `Quick
+            test_wal_torn_tail_truncated;
+          Alcotest.test_case "sequence regression reads as a tear" `Quick
+            test_wal_seq_regression_is_a_tear;
+          Alcotest.test_case "ENOSPC rolls back, nothing partial" `Quick
+            test_wal_enospc_rolls_back;
+        ] );
+      ( "merge",
+        [ Alcotest.test_case "disjoint union is exact" `Quick test_merge_disjoint ] );
+      ( "engine",
+        [
+          Alcotest.test_case "ack, validate-first, replay" `Quick
+            test_engine_ack_and_replay;
+          Alcotest.test_case "flush publishes a level and trims the WAL"
+            `Quick test_engine_flush_publishes_and_trims;
+          Alcotest.test_case "exactly-once when the trim is lost" `Quick
+            test_exactly_once_when_trim_is_lost;
+          Alcotest.test_case "flushes pause while compacting" `Quick
+            test_flush_pauses_while_compacting;
+          Alcotest.test_case "compaction merges the level stack" `Quick
+            test_compaction_merges_levels;
+        ] );
+      ( "verb",
+        [
+          Alcotest.test_case "INGEST end to end" `Quick
+            test_ingest_verb_end_to_end;
+          Alcotest.test_case "ENOSPC answers ingest-deferred" `Quick
+            test_ingest_enospc_defers;
+          Alcotest.test_case "restart replay serves acked records" `Quick
+            test_ingest_replay_serves_acked_records;
+        ] );
+      ( "satellites",
+        [
+          Alcotest.test_case "relay deadline clamps non-negative" `Quick
+            test_deadline_clamps_nonnegative;
+          Alcotest.test_case "FETCH source deleted mid-stream" `Quick
+            test_fetch_gone_mid_stream;
+          Alcotest.test_case "rank prefers fresher members" `Quick
+            test_replica_rank_prefers_fresh;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "seeded kill points lose nothing" `Quick
+            test_kill_points_lose_nothing;
+        ] );
+    ]

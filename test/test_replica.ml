@@ -251,13 +251,15 @@ let test_deadline_helpers () =
     (Protocol.request_deadline fwd);
   Alcotest.(check bool) "operand untouched" true
     (List.mem "//a[-deadline=4]" (String.split_on_char ' ' fwd));
-  (* an already-overdrawn budget keeps shrinking, not resetting *)
+  (* an already-overdrawn budget clamps at zero: the relay grants the
+     downstream nothing, but never {e manufactures} a negative deadline
+     (whose meaning belongs to the original caller) *)
   (match
      Protocol.request_deadline
        (Protocol.with_remaining_deadline "QUERY -deadline=0.1 db //a"
           ~elapsed:0.4)
    with
-  | Some d -> Alcotest.(check bool) "negative = already expired" true (d < 0.0)
+  | Some d -> Alcotest.(check (float 1e-9)) "overdrawn clamps to zero" 0.0 d
   | None -> Alcotest.fail "deadline dropped");
   List.iter
     (fun l ->

@@ -9,8 +9,9 @@
 #                                  # names: build, test, chaos,
 #                                  # pool-chaos, coordinator-chaos,
 #                                  # overload-chaos, scrub-chaos,
-#                                  # serve-bench, overload-bench,
-#                                  # repair-bench
+#                                  # ingest-chaos, serve-bench,
+#                                  # overload-bench, repair-bench,
+#                                  # ingest-bench, build-bench
 #
 # The chaos stages are seeded; set CHAOS_SEED=<n> to replay a failure
 # with a specific seed.  The seed in use is printed.
@@ -111,6 +112,15 @@ stage_scrub_chaos() {
   CHAOS_SEED="${CHAOS_SEED:-530217}" dune exec test/test_scrub.exe -- -c
 }
 
+# Durable-ingestion acceptance under a pinned seed: WAL round-trip,
+# torn-tail truncation, exactly-once replay, and the kill-point sweep —
+# seeded SIGKILLs across INGEST/flush/compaction on a forked server;
+# every restart must replay the WAL and serve 100% of acknowledged
+# ingests, zero lost, zero duplicated.
+stage_ingest_chaos() {
+  CHAOS_SEED="${CHAOS_SEED:-618342}" dune exec test/test_ingest.exe -- -c
+}
+
 # Tail-latency acceptance + regression gate: one replica browns out
 # (seeded Io_fault read delay); the hedged group's p99 must beat the
 # single-replica p99, and the hedged/single p99 ratio must stay within
@@ -140,6 +150,26 @@ stage_repair_bench() {
     --baseline BENCH_repair.json --tolerance 1.0
 }
 
+# Ingest-latency bench + regression gate: per-record durable
+# acknowledgement cost (validate + WAL append + fsync), flush cost and
+# cold replay speed; mean ack latency must stay within tolerance of
+# the committed BENCH_ingest.json baseline.
+stage_ingest_bench() {
+  CHAOS_SEED="${CHAOS_SEED:-77413}" dune exec bench/ingest_bench.exe -- \
+    --out BENCH_ingest.latest.json --assert \
+    --baseline BENCH_ingest.json --tolerance 1.0
+}
+
+# Build-throughput bench + regression gate: stable-summary build
+# nodes/sec over a generated XMark document, compression-to-budget and
+# snapshot save/load; throughput must not fall below the committed
+# BENCH_build.json baseline's floor.
+stage_build_bench() {
+  CHAOS_SEED="${CHAOS_SEED:-90125}" dune exec bench/build_bench.exe -- \
+    --out BENCH_build.latest.json --assert \
+    --baseline BENCH_build.json --tolerance 1.0
+}
+
 stage build              stage_build
 stage test               stage_test
 stage chaos              stage_chaos
@@ -147,9 +177,12 @@ stage pool-chaos         stage_pool_chaos
 stage coordinator-chaos  stage_coordinator_chaos
 stage overload-chaos     stage_overload_chaos
 stage scrub-chaos        stage_scrub_chaos
+stage ingest-chaos       stage_ingest_chaos
 stage serve-bench        stage_serve_bench
 stage overload-bench     stage_overload_bench
 stage repair-bench       stage_repair_bench
+stage ingest-bench       stage_ingest_bench
+stage build-bench        stage_build_bench
 
 if [ -z "$RAN_ANY" ]; then
   echo "no such stage:$STAGES" >&2
