@@ -14,15 +14,27 @@
    - replay: N more acknowledged-but-unflushed records, engine closed,
              then a cold reopen (replay_s / replays_per_sec) — the
              restart cost a crash-recovering server pays before it can
-             serve the acked tail.
+             serve the acked tail;
+   - mutate: N/4 DELETE tombstones and N/4 UPDATE records
+             (mean_delete_ack_ms / mean_update_ack_ms) — the v2 WAL
+             frames ride the same append+fsync path as inserts, so
+             their acks should cost the same;
+   - shed:   a 2N-insert flood through {!Serve.Write_pressure}
+             admission with [depth_high = N] and no flush: the first N
+             admit, the rest shed (shed_rate) — the admission control
+             itself, measured without a socket.
 
    Results go to BENCH_ingest.json; --assert additionally fails the
-   run unless every ack landed and the replay restored exactly the
-   unflushed tail.  Absolute latencies are machine-bound, so the
-   regression gate compares mean_ack_ms against a committed baseline
-   as a ceiling: fresh mean must not exceed
+   run unless every ack landed, the replay restored exactly the
+   unflushed tail, and the flood actually shed.  Absolute latencies
+   are machine-bound, so the regression gate compares mean_ack_ms,
+   mean_delete_ack_ms and mean_update_ack_ms against a committed
+   baseline as ceilings: fresh means must not exceed
    [baseline * (1 + tolerance)] (default tolerance 1.0, i.e. +100% —
-   fsync latency on a loaded CI box is noisy).
+   fsync latency on a loaded CI box is noisy).  shed_rate is gated as
+   a ratio in both directions — admission control drifting to shed
+   much more or much less than the baseline under the same flood is a
+   behavior change, not noise.
 
    Usage: ingest_bench [--out PATH] [--records N] [--assert]
                        [--baseline FILE [--tolerance R]]
@@ -106,28 +118,48 @@ let scrape_floats text key =
   done;
   List.rev !out
 
-let mean_ack text what =
-  match scrape_floats text "mean_ack_ms" with
+let scrape_one text key what =
+  match scrape_floats text key with
   | r :: _ -> r
-  | [] -> failwith (Printf.sprintf "%s: cannot scrape mean_ack_ms" what)
+  | [] -> failwith (Printf.sprintf "%s: cannot scrape %s" what key)
 
 let check_baseline ~current path =
   let ic = open_in path in
   let n = in_channel_length ic in
   let baseline = really_input_string ic n in
   close_in ic;
-  let base = mean_ack baseline ("baseline " ^ path) in
-  let cur = mean_ack current "current run" in
-  let ceiling = base *. (1.0 +. !tolerance) in
+  (* Latency keys gate as ceilings: only a regression (slower) fails. *)
+  List.iter
+    (fun key ->
+      let base = scrape_one baseline key ("baseline " ^ path) in
+      let cur = scrape_one current key "current run" in
+      let ceiling = base *. (1.0 +. !tolerance) in
+      Printf.printf
+        "ingest bench baseline: %s %.4f vs baseline %.4f (ceiling %.4f, \
+         tolerance %.0f%%)\n"
+        key cur base ceiling (!tolerance *. 100.0);
+      if cur > ceiling then begin
+        Printf.eprintf
+          "FAIL: %s %.4f regressed past baseline %.4f + %.0f%% tolerance \
+           (%s)\n"
+          key cur base (!tolerance *. 100.0) path;
+        exit 1
+      end)
+    [ "mean_ack_ms"; "mean_delete_ack_ms"; "mean_update_ack_ms" ];
+  (* The shed rate gates as a two-sided ratio: the same seeded flood
+     shedding much more is lost writes, much less is lost protection. *)
+  let base = scrape_one baseline "shed_rate" ("baseline " ^ path) in
+  let cur = scrape_one current "shed_rate" "current run" in
+  let hi = base *. (1.0 +. !tolerance) in
+  let lo = base /. (1.0 +. !tolerance) in
   Printf.printf
-    "ingest bench baseline: mean_ack_ms %.4f vs baseline %.4f (ceiling \
-     %.4f, tolerance %.0f%%)\n"
-    cur base ceiling (!tolerance *. 100.0);
-  if cur > ceiling then begin
+    "ingest bench baseline: shed_rate %.4f vs baseline %.4f (band \
+     [%.4f, %.4f])\n"
+    cur base lo hi;
+  if base > 0.0 && (cur > hi || cur < lo) then begin
     Printf.eprintf
-      "FAIL: mean ack latency %.4f ms regressed past baseline %.4f ms + \
-       %.0f%% tolerance (%s)\n"
-      cur base (!tolerance *. 100.0) path;
+      "FAIL: shed_rate %.4f left the baseline band [%.4f, %.4f] (%s)\n" cur
+      lo hi path;
     exit 1
   end
 
@@ -187,6 +219,34 @@ let () =
   let flushed = unwrap "flush" (Ingest.flush eng) in
   let flush_s = Unix.gettimeofday () -. t in
   if not flushed then failwith "flush published nothing";
+  (* phase 2b: delete / update acknowledgement latency — v2 WAL frames
+     through the same append+fsync path.  The predicate is constant
+     ("event"); after the first delete the rest match nothing, which is
+     exactly the point: the ack cost is the durability machinery, not
+     the match. *)
+  let n_mut = max 1 (n / 4) in
+  let time_mutations what op =
+    let samples = Array.make n_mut 0.0 in
+    for i = 0 to n_mut - 1 do
+      let t = Unix.gettimeofday () in
+      (match op i with
+      | Ok _ -> ()
+      | Error `No_space -> failwith ("ENOSPC during " ^ what)
+      | Error (`Fault f) -> failwith (what ^ ": " ^ Xmldoc.Fault.to_string f));
+      samples.(i) <- Unix.gettimeofday () -. t
+    done;
+    Array.fold_left ( +. ) 0.0 samples *. 1000.0 /. float_of_int n_mut
+  in
+  let mean_delete_ack_ms =
+    time_mutations "delete" (fun _ -> Ingest.delete eng ~path:"event")
+  in
+  let mean_update_ack_ms =
+    time_mutations "update" (fun i ->
+        Ingest.update eng ~path:"event" ~xml:(fragment i))
+  in
+  (* drain the mutation batch so the replay phase still measures a
+     pure n-insert tail *)
+  ignore (unwrap "mutation flush" (Ingest.flush eng) : bool);
   (* phase 3: cold replay of an acked-but-unflushed tail *)
   for i = 0 to n - 1 do
     match Ingest.ingest eng ~xml:(fragment (n + i)) with
@@ -203,6 +263,43 @@ let () =
     if replay_s > 0.0 then float_of_int replayed /. replay_s else 0.0
   in
   let exact_replay = replayed = n in
+  (* phase 4: admission-control shed rate.  A 2N flood against a
+     pressure controller with depth_high = N and no flushing: the
+     first N admit (half of them paced), then pressure pins at 1.0
+     and every further insert sheds.  Deterministic by construction —
+     the gate is a behavior check on admission, not a latency. *)
+  let flood =
+    unwrap "flood open"
+      (Ingest.open_ ~dir ~name:"flood" ~level_budget:4096
+         ~flush_records:(4 * n) ())
+  in
+  let wp =
+    Serve.Write_pressure.create
+      ~config:
+        {
+          Serve.Write_pressure.default_config with
+          depth_high = n;
+          probe_interval = 0.0;
+        }
+      ~disk_free:(fun () -> None)
+      ~dir ()
+  in
+  let shed_attempts = 2 * n in
+  let shed_count = ref 0 in
+  let paced_count = ref 0 in
+  for i = 0 to shed_attempts - 1 do
+    Serve.Write_pressure.observe wp ~wal_bytes:(Ingest.wal_bytes flood)
+      ~depth:(Ingest.depth flood) ~lag:0.0;
+    match Serve.Write_pressure.admit wp with
+    | `Admit hint -> (
+      if hint <> None then incr paced_count;
+      match Ingest.ingest flood ~xml:(fragment i) with
+      | Ok _ -> ()
+      | Error _ -> failwith "flood ingest failed")
+    | `Defer _ | `Readonly -> incr shed_count
+  done;
+  Ingest.close flood;
+  let shed_rate = float_of_int !shed_count /. float_of_int shed_attempts in
   let json =
     Printf.sprintf
       {|{
@@ -216,22 +313,40 @@ let () =
   "replayed_records": %d,
   "replay_s": %.4f,
   "replays_per_sec": %.1f,
-  "exact_replay": %b
+  "exact_replay": %b,
+  "mutation_records": %d,
+  "mean_delete_ack_ms": %.4f,
+  "mean_update_ack_ms": %.4f,
+  "shed_attempts": %d,
+  "shed_count": %d,
+  "paced_count": %d,
+  "shed_rate": %.4f
 }
 |}
       seed n mean_ack_ms max_ack_ms acks_per_sec flush_s replayed replay_s
-      replays_per_sec exact_replay
+      replays_per_sec exact_replay n_mut mean_delete_ack_ms mean_update_ack_ms
+      shed_attempts !shed_count !paced_count shed_rate
   in
   let oc = open_out !out_path in
   output_string oc json;
   close_out oc;
   Printf.printf
     "ingest bench: %d records, ack mean=%.3fms max=%.3fms (%.0f/s), \
-     flush=%.3fs, replay %d in %.3fs -> %s\n"
-    n mean_ack_ms max_ack_ms acks_per_sec flush_s replayed replay_s !out_path;
+     flush=%.3fs, replay %d in %.3fs, delete=%.3fms update=%.3fms, shed \
+     %d/%d (%.2f) -> %s\n"
+    n mean_ack_ms max_ack_ms acks_per_sec flush_s replayed replay_s
+    mean_delete_ack_ms mean_update_ack_ms !shed_count shed_attempts shed_rate
+    !out_path;
   if !assert_mode && not exact_replay then begin
     Printf.eprintf "FAIL: replay restored %d of %d unflushed records\n"
       replayed n;
+    exit 1
+  end;
+  if !assert_mode && (!shed_count = 0 || !shed_count = shed_attempts) then begin
+    Printf.eprintf
+      "FAIL: admission flood shed %d of %d — the controller never engaged \
+       (or never admitted)\n"
+      !shed_count shed_attempts;
     exit 1
   end;
   match !baseline_path with

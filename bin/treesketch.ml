@@ -513,10 +513,24 @@ let serve_cmd =
              one (crash-safe: resumable from checkpoints, installed by \
              atomic manifest swap).  0 disables compaction.")
   in
+  let disk_watermark =
+    Arg.(
+      value & opt int 0
+      & info [ "disk-watermark" ] ~docv:"BYTES"
+          ~doc:
+            "Refuse all mutations (INGEST/DELETE/UPDATE answer \
+             $(b,error readonly)) once the catalog filesystem's free \
+             space falls under $(docv) bytes; reads, scrub and repair \
+             keep serving, and repair's preflight learns the same \
+             floor.  Write-pressure pacing and shedding engage earlier, \
+             from twice the watermark down.  0 (the default) disables \
+             the disk guardrail; WAL/memtable backpressure stays \
+             active regardless.")
+  in
   let run catalog socket deadline max_answer_nodes max_inflight no_auto_reload
       drain_deadline workers watchdog_grace poison_threshold brownout
       target_latency brownout_levels scrub_interval peers tmp_sweep_age
-      repair_timeout flush_every level_budget compact_levels =
+      repair_timeout flush_every level_budget compact_levels disk_watermark =
     let config =
       {
         Serve.Server.default_config with
@@ -532,6 +546,13 @@ let serve_cmd =
         flush_records = max 1 flush_every;
         level_budget = max 1 level_budget;
         compact_levels = max 0 compact_levels;
+        write_pressure =
+          (let w = max 0 disk_watermark in
+           {
+             Serve.Write_pressure.default_config with
+             disk_hard = w;
+             disk_soft = 2 * w;
+           });
         brownout =
           (if not brownout then None
            else
@@ -576,7 +597,7 @@ let serve_cmd =
       $ no_auto_reload $ drain_deadline $ workers $ watchdog_grace
       $ poison_threshold $ brownout $ target_latency $ brownout_levels
       $ scrub_interval $ peers $ tmp_sweep_age $ repair_timeout $ flush_every
-      $ level_budget $ compact_levels)
+      $ level_budget $ compact_levels $ disk_watermark)
 
 (* ----------------------------- coordinate ----------------------------- *)
 
@@ -961,24 +982,95 @@ let verify_cmd =
       & info [ "q"; "quiet" ] ~doc:"Report only corrupt files on stderr.")
   in
   let run paths quiet =
-    (* the same verification core the serving scrubber runs — CRC
-       trailer(s), full parse, Synopsis.validate, every ladder tier —
-       so an offline `verify` and an online SCRUB can never disagree
-       about what counts as corrupt *)
+    (* the same verification cores the serving side runs — snapshot
+       scrub (CRC trailer(s), full parse, Synopsis.validate, every
+       ladder tier), WAL replay scanning, and the manifest/delta load
+       path — so an offline `verify` and an online SCRUB or a restart's
+       recovery can never disagree about what counts as corrupt *)
     let bad = ref 0 in
-    List.iter
-      (fun path ->
-        match Serve.Scrub.verify_file path with
-        | Ok (info : Serve.Scrub.info) ->
+    let corrupt path fault =
+      incr bad;
+      Printf.eprintf "corrupt %s: %s\n" path (Xmldoc.Fault.to_string fault)
+    in
+    let verify_one path =
+      let dir = Filename.dirname path in
+      let base = Filename.basename path in
+      match Serve.Wal.wal_name base with
+      | Some _ -> (
+        (* exactly what startup recovery sees: the intact prefix must
+           scan frame-by-frame; a torn tail is a normal crash artifact
+           replay truncates, so it is reported but passes *)
+        match Serve.Wal.scan path with
+        | Ok (records, torn) ->
           if not quiet then
-            Printf.printf "ok %s bytes=%d crc=%s fp=%s tiers=%d\n" path
-              info.v_bytes info.v_crc info.v_fp info.v_tiers
-        | Error fault ->
-          incr bad;
-          Printf.eprintf "corrupt %s: %s\n" path (Xmldoc.Fault.to_string fault))
-      paths;
+            Printf.printf "ok %s records=%d torn=%b\n" path
+              (List.length records) torn
+        | Error fault -> corrupt path fault)
+      | None -> (
+        match Serve.Ingest.manifest_name base with
+        | Some name -> (
+          (* manifest CRC trailer and grammar, then every delta it
+             lists against its per-level crc — the files a restart
+             would load *)
+          match Serve.Ingest.read_manifest ~dir ~name () with
+          | Error fault -> corrupt path fault
+          | Ok m ->
+            let rotten = ref false in
+            List.iter
+              (fun (e : Serve.Ingest.level_info) ->
+                match Serve.Ingest.load_level ~dir e with
+                | Ok _ -> ()
+                | Error fault ->
+                  rotten := true;
+                  corrupt (Filename.concat dir e.file) fault)
+              m.entries;
+            if not !rotten && not quiet then
+              Printf.printf "ok %s flushed=%d levels=%d tombs=%d\n" path
+                m.flushed (List.length m.entries)
+                (List.fold_left
+                   (fun n (e : Serve.Ingest.level_info) ->
+                     n + List.length e.tombs)
+                   0 m.entries))
+        | None -> (
+          match Serve.Ingest.level_name base with
+          | Some (name, gen) -> (
+            match Serve.Ingest.read_manifest ~dir ~name () with
+            | Error fault -> corrupt path fault
+            | Ok m -> (
+              match
+                List.find_opt
+                  (fun (e : Serve.Ingest.level_info) -> e.gen = gen)
+                  m.entries
+              with
+              | Some e -> (
+                (* referenced: bytes must match the manifest's crc *)
+                match Serve.Ingest.load_level ~dir e with
+                | Ok _ ->
+                  if not quiet then
+                    Printf.printf "ok %s gen=%d records=%d bytes=%d\n" path
+                      gen e.records e.bytes
+                | Error fault -> corrupt path fault)
+              | None -> (
+                (* unreferenced: a crash orphan the sweeper will
+                   collect — replay ignores it, but it must still be a
+                   well-formed snapshot to pass an fsck *)
+                match Serve.Scrub.verify_file path with
+                | Ok (info : Serve.Scrub.info) ->
+                  if not quiet then
+                    Printf.printf "ok %s orphan=true bytes=%d crc=%s\n" path
+                      info.v_bytes info.v_crc
+                | Error fault -> corrupt path fault)))
+          | None -> (
+            match Serve.Scrub.verify_file path with
+            | Ok (info : Serve.Scrub.info) ->
+              if not quiet then
+                Printf.printf "ok %s bytes=%d crc=%s fp=%s tiers=%d\n" path
+                  info.v_bytes info.v_crc info.v_fp info.v_tiers
+            | Error fault -> corrupt path fault)))
+    in
+    List.iter verify_one paths;
     if !bad > 0 then begin
-      Printf.eprintf "verify: %d of %d snapshot(s) corrupt\n" !bad
+      Printf.eprintf "verify: %d of %d file(s) corrupt\n" !bad
         (List.length paths);
       (* fsck convention: corruption found is exit 3, distinct from the
          cli-error and fault-taxonomy codes of the other subcommands *)
@@ -998,10 +1090,16 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify" ~man
        ~doc:
-         "Offline integrity check (fsck) of snapshot files: re-read each \
-          one and verify checksum trailers, structural parse, synopsis \
-          invariants and — for ladder snapshots — every tier.  The same \
-          verification the serving scrubber applies, without a server.")
+         "Offline integrity check (fsck) of snapshot files and live \
+          ingestion state: re-read each one and verify checksum \
+          trailers, structural parse, synopsis invariants and — for \
+          ladder snapshots — every tier.  Level manifests \
+          ($(b,.name.levels)) are checked together with every delta \
+          they list, delta files ($(b,.name.l<gen>.delta)) against \
+          their manifest's crc, and WALs ($(b,.name.wal)) frame by \
+          frame exactly as startup recovery replays them (a torn tail \
+          passes — replay truncates it).  The same verification the \
+          serving scrubber applies, without a server.")
     Term.(const run $ paths $ quiet)
 
 (* --------------------------------- esd -------------------------------- *)

@@ -262,6 +262,117 @@ let merge_disjoint synopses =
       | Ok () -> Ok merged
     end
 
+(* Subtract the subtrees matched by slash-style label paths from a
+   synopsis rooted at the shared document root.  A path [l1; ...; lk]
+   is walked as a frontier from the root — step i keeps exactly the
+   edge targets labeled [li] — and the edges reaching the final
+   frontier are cut.  Nodes left unreachable from the root are dropped
+   (ids remapped); a cut target still reachable through other paths
+   keeps its node but loses the cut parents' contribution to its count
+   (clamped at 0).  On the exact tree-shaped summaries delta levels are
+   built from this removes the deleted subtrees precisely; on a
+   compressed synopsis — where one class can stand for elements on
+   several paths — the subtraction is approximate, like every other
+   answer derived from it. *)
+let prune_paths synopsis paths =
+  let paths = List.filter (fun p -> p <> []) paths in
+  if paths = [] then synopsis
+  else begin
+    let nodes = synopsis.Synopsis.nodes in
+    let cut : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+    let removed = Array.make (Array.length nodes) 0.0 in
+    List.iter
+      (fun path ->
+        let rec walk frontier = function
+          | [] -> ()
+          | [ last ] ->
+            List.iter
+              (fun u ->
+                Array.iter
+                  (fun (v, avg) ->
+                    if Xmldoc.Label.equal (Synopsis.label synopsis v) last then begin
+                      if not (Hashtbl.mem cut (u, v)) then begin
+                        Hashtbl.add cut (u, v) ();
+                        removed.(v) <-
+                          removed.(v) +. (Synopsis.count synopsis u *. avg)
+                      end
+                    end)
+                  nodes.(u).Synopsis.edges)
+              frontier
+          | l :: rest ->
+            let next = ref [] in
+            List.iter
+              (fun u ->
+                Array.iter
+                  (fun (v, _) ->
+                    if
+                      Xmldoc.Label.equal (Synopsis.label synopsis v) l
+                      && not (List.mem v !next)
+                    then next := v :: !next)
+                  nodes.(u).Synopsis.edges)
+              frontier;
+            walk !next rest
+        in
+        walk [ synopsis.Synopsis.root ] path)
+      paths;
+    if Hashtbl.length cut = 0 then synopsis
+    else begin
+      let kept_edges u =
+        Array.of_seq
+          (Seq.filter
+             (fun (v, _) -> not (Hashtbl.mem cut (u, v)))
+             (Array.to_seq nodes.(u).Synopsis.edges))
+      in
+      (* reachability from the root over the surviving edges *)
+      let reachable = Array.make (Array.length nodes) false in
+      let rec visit u =
+        if not reachable.(u) then begin
+          reachable.(u) <- true;
+          Array.iter (fun (v, _) -> visit v) (kept_edges u)
+        end
+      in
+      visit synopsis.Synopsis.root;
+      let remap = Array.make (Array.length nodes) (-1) in
+      let kept = ref 0 in
+      Array.iteri
+        (fun u alive ->
+          if alive then begin
+            remap.(u) <- !kept;
+            incr kept
+          end)
+        reachable;
+      let out = Array.make !kept nodes.(synopsis.Synopsis.root) in
+      Array.iteri
+        (fun u alive ->
+          if alive then begin
+            let node = nodes.(u) in
+            let count = Float.max 0.0 (node.Synopsis.count -. removed.(u)) in
+            let edges =
+              Array.map (fun (v, avg) -> (remap.(v), avg)) (kept_edges u)
+            in
+            out.(remap.(u)) <- { node with Synopsis.count; edges }
+          end)
+        reachable;
+      Synopsis.make ~root:remap.(synopsis.Synopsis.root) out
+    end
+  end
+
+(* Tombstone-cancelling merge: fold delta levels oldest-first, applying
+   each level's tombstones to the accumulated (strictly older) union
+   before its own content joins — the merge-time counterpart of the
+   query path's per-level subtraction.  The first level's tombstones
+   address data older than anything given here and cancel to nothing,
+   so a full-stack compaction emits a level that owes no tombstones at
+   all: deletion becomes physical reclamation. *)
+let merge_tombstoned levels =
+  match levels with
+  | [] -> Error "merge of zero synopses"
+  | (first, _) :: rest ->
+    List.fold_left
+      (fun acc (s, tombs) ->
+        Result.bind acc (fun a -> merge_disjoint [ prune_paths a tombs; s ]))
+      (Ok first) rest
+
 (* ------------------------------------------------------------------ *)
 (* Crash-safe checkpointing and resume                                  *)
 (* ------------------------------------------------------------------ *)

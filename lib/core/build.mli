@@ -88,6 +88,25 @@ val merge_disjoint : Synopsis.t list -> (Synopsis.t, string) result
     Errors on an empty list, mismatched root labels, or (impossible for
     tree summaries) an in-edge on a root. *)
 
+val prune_paths : Synopsis.t -> Xmldoc.Label.t list list -> Synopsis.t
+(** [prune_paths s paths] subtracts the subtrees matched by each label
+    path (walked from the root: step [i] follows edges to targets
+    labeled [li]) — the edges into the final frontier are cut, nodes
+    left unreachable are dropped with ids remapped, and a cut target
+    still reachable through other paths keeps its node with the cut
+    parents' contribution removed from its count (clamped at 0).  Exact
+    on the tree-shaped summaries delta levels are built from;
+    approximate on compressed synopses.  Non-matching and empty paths
+    are no-ops; the result always passes {!Synopsis.validate}. *)
+
+val merge_tombstoned :
+  (Synopsis.t * Xmldoc.Label.t list list) list -> (Synopsis.t, string) result
+(** Tombstone-cancelling {!merge_disjoint}: fold levels oldest-first,
+    applying each level's tombstone paths to the accumulated strictly
+    older union ({!prune_paths}) before its own content joins.  A
+    full-stack merge therefore emits a level owing no tombstones —
+    deletion becomes physical reclamation at compaction. *)
+
 (** The crash-safety journal of TSBUILD: a version-3 {!Serialize}
     record holding the in-progress clustering (as a synopsis — the live
     clusters at checkpoint time) plus the build metadata needed to

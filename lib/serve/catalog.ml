@@ -20,7 +20,10 @@ type entry = {
      excluded from {!hashes}/{!combined_hash} — levels are per-member
      ingestion state, and hashing them would make every replica look
      permanently divergent to the repair machinery. *)
-  levels : Sketch.Synopsis.t array;  (* ascending generation *)
+  levels : (Sketch.Synopsis.t * Xmldoc.Label.t list list) array;
+      (* ascending generation, each level paired with its manifest
+         tombstone paths — newer levels' tombs mask older levels at
+         query time *)
   level_records : int;  (* ingested records across the stack *)
   flushed_seq : int;  (* highest WAL seq covered by the stack *)
   synthetic : bool;
@@ -284,7 +287,7 @@ let refresh ?(force = false) t =
                     | info :: rest -> (
                       match Ingest.load_level ~limits:t.limits ~dir:t.dir info with
                       | Error fault -> Error fault
-                      | Ok s -> load (s :: acc) rest)
+                      | Ok s -> load ((s, Ingest.tomb_paths info) :: acc) rest)
                   in
                   match load [] m.Ingest.entries with
                   | Error fault -> Error fault
@@ -320,7 +323,8 @@ let refresh ?(force = false) t =
                      root-only placeholder base until a BUILD or a
                      snapshot publish gives it a real one *)
                   let root_label =
-                    Sketch.Synopsis.label levels.(0) levels.(0).Sketch.Synopsis.root
+                    let s, _ = levels.(0) in
+                    Sketch.Synopsis.label s s.Sketch.Synopsis.root
                   in
                   let base =
                     Sketch.Synopsis.make ~root:0

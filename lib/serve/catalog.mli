@@ -62,14 +62,17 @@ type entry = {
   mtime : float;  (** fingerprint at load time *)
   size : int;  (** fingerprint at load time *)
   ino : int;  (** fingerprint at load time *)
-  levels : Sketch.Synopsis.t array;
+  levels : (Sketch.Synopsis.t * Xmldoc.Label.t list list) array;
       (** the live-update delta stack ([.name.levels] manifest + its
-          [.name.l<gen>.delta] files), ascending generation; [[||]]
-          when the name has no ingestion state.  Queries evaluate base
-          plus every level and combine (see {!Query_exec}).  Levels are
-          deliberately {e not} part of {!hashes}/{!combined_hash}:
-          they are per-member ingestion state, and hashing them would
-          make every replica look permanently divergent. *)
+          [.name.l<gen>.delta] files), ascending generation, each level
+          paired with its tombstone path predicates ([tombs=] in the
+          manifest, parsed); [[||]] when the name has no ingestion
+          state.  Queries evaluate base plus every level and combine,
+          with each level masked by every {e newer} level's tombstones
+          first (see {!Query_exec}).  Levels are deliberately {e not}
+          part of {!hashes}/{!combined_hash}: they are per-member
+          ingestion state, and hashing them would make every replica
+          look permanently divergent. *)
   level_records : int;  (** ingested records summarized across levels *)
   flushed_seq : int;  (** highest WAL sequence covered by the levels *)
   synthetic : bool;

@@ -297,6 +297,31 @@ let backoff t attempt =
 let is_overloaded_response line =
   String.length line >= 16 && String.sub line 0 16 = "error overloaded"
 
+(* The server answering [error ingest-deferred ...] shed a MUTATION —
+   and, by the protocol's contract, retained nothing of it.  That is
+   what makes the resend safe even though mutations are not idempotent:
+   there is no first copy to duplicate.  The verbs this applies to. *)
+let mutation_verbs = [ "INGEST"; "DELETE"; "UPDATE" ]
+
+let is_deferred_response line =
+  String.length line >= 21 && String.sub line 0 21 = "error ingest-deferred"
+
+(* The [retry-after=<ms>] token of an [error ingest-deferred] line —
+   how long the server asks this client to back off before resending.
+   [None] when absent or malformed (older servers). *)
+let retry_after_ms line =
+  List.fold_left
+    (fun acc word ->
+      if String.length word > 12 && String.sub word 0 12 = "retry-after=" then
+        match
+          int_of_string_opt (String.sub word 12 (String.length word - 12))
+        with
+        | Some ms when ms >= 0 -> Some ms
+        | _ -> acc
+      else acc)
+    None
+    (String.split_on_char ' ' line)
+
 (* ------------------------------------------------------------------ *)
 (* Per-synopsis circuit breaker                                        *)
 (* ------------------------------------------------------------------ *)
@@ -448,6 +473,23 @@ let request_unchecked t line =
             close t;
             backoff t k;
             t.cursor <- (t.cursor + 1) mod Array.length t.endpoints;
+            attempt (k + 1) ~may_retry_midflight
+          end
+          else if
+            is_deferred_response response
+            && List.mem (verb_of line) mutation_verbs
+            && k < t.config.attempts
+          then begin
+            (* write-pressure shed: the server retained nothing, so the
+               resend cannot duplicate the mutation.  Honor retry-after
+               with upward jitter (never resend early), keep the
+               connection AND the cursor: a mutation targets one
+               server's WAL — failing over would write elsewhere. *)
+            (match retry_after_ms response with
+            | Some ms when ms > 0 ->
+              let jitter = 1.0 +. (Random.State.float t.rng 1.0 /. 2.0) in
+              Unix.sleepf (float_of_int ms /. 1000. *. jitter)
+            | Some _ | None -> backoff t k);
             attempt (k + 1) ~may_retry_midflight
           end
           else Ok response))

@@ -20,6 +20,15 @@
       happened {e before} the request was written (connect failure);
       after the bytes may have reached a server, the error is surfaced
       instead — unless the caller opts in with [retry_unsafe].
+    - {e Write-pressure sheds} are the one exception for mutations: an
+      [error ingest-deferred retry-after=<ms> ...] response to INGEST,
+      DELETE or UPDATE means the server shed the mutation {e without
+      retaining anything}, so the resend cannot duplicate it.  The
+      client honors [retry-after] with upward jitter (falling back to
+      its own backoff when the token is absent) and retries {e the same
+      endpoint} without rotating the failover cursor — a mutation
+      targets one server's WAL, and failing over would write
+      elsewhere.
 
     {2 Results}
 
@@ -117,6 +126,15 @@ val idempotent : string -> bool
 (** [idempotent line] — is the request's verb safe to retry after it
     may have reached a server?  Case-insensitive; unknown verbs are
     not. *)
+
+val is_deferred_response : string -> bool
+(** Is this response line an [error ingest-deferred ...] write-pressure
+    shed?  (The server retained nothing: resending the mutation is
+    safe.) *)
+
+val retry_after_ms : string -> int option
+(** The [retry-after=<ms>] token of a deferred response, if present and
+    well-formed. *)
 
 val request : t -> string -> (string, error) result
 (** One request line (without the newline) in, one response line out,

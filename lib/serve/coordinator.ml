@@ -481,7 +481,25 @@ let handle_request t ~line (req : Protocol.request) =
      gets the tail-latency hedge — an unhedged read against a frozen
      primary would burn the whole request timeout with no rescue *)
   | Query _ | Answer _ | List | Stat _ -> (scatter t ~hedged:true ~line, false)
-  | Reload _ | Build _ | Ingest _ | Jobs | Cancel _ | Scrub | Fetch _ | Repair ->
+  | Ingest _ | Delete _ | Update _ ->
+    (* Mutations are single-target too, but the refusal can at least
+       point at a member that would ADMIT the write: write-aware
+       ranking sorts shedding/readonly members last, so the suggestion
+       is the group's most writable replica right now. *)
+    bump (fun s -> s.refused <- s.refused + 1) t;
+    let suggestion =
+      match Replica.rank ~writes:true t.group with
+      | r :: _ when Replica.write_penalty r = 0 ->
+        Printf.sprintf " (try --target %s)" (Replica.path r)
+      | _ -> ""
+    in
+    ( Protocol.error_line ~cls:"bad-request"
+        (Printf.sprintf
+           "%s is single-target: a replica group cannot pick its target — \
+            address one replica directly (treesketch client --target)%s"
+           (verb_of line) suggestion),
+      false )
+  | Reload _ | Build _ | Jobs | Cancel _ | Scrub | Fetch _ | Repair ->
     bump (fun s -> s.refused <- s.refused + 1) t;
     ( Protocol.error_line ~cls:"bad-request"
         (Printf.sprintf
@@ -539,6 +557,21 @@ let probed_staleness line =
     0.0
     (String.split_on_char ' ' line)
 
+(* The [write_state=<s>] token of a HEALTH line — the member's
+   write-pressure admission state.  Absent (pre-write-pressure servers,
+   or no ingestion state and no watermark) or malformed reads as "ok":
+   the member would admit a mutation. *)
+let probed_write_state line =
+  List.fold_left
+    (fun acc word ->
+      if String.length word > 12 && String.sub word 0 12 = "write_state=" then
+        match String.sub word 12 (String.length word - 12) with
+        | ("ok" | "paced" | "shedding" | "readonly") as s -> s
+        | _ -> acc
+      else acc)
+    "ok"
+    (String.split_on_char ' ' line)
+
 (* The [catalog_hash=<hex>] token of a HEALTH line — the member's
    catalog content identity.  [None] on pre-anti-entropy servers, so
    divergence detection degrades to off against an old fleet. *)
@@ -567,10 +600,12 @@ let probe_replica t r =
           | Ok line when contains line " ready=yes" ->
             Replica.note_probe ~load:(probed_load line)
               ~staleness:(probed_staleness line)
+              ~write_state:(probed_write_state line)
               ?catalog_hash:(probed_hash line) t.group r `Ready
           | Ok line when starts_with "ok health" line ->
             Replica.note_probe ~load:(probed_load line)
               ~staleness:(probed_staleness line)
+              ~write_state:(probed_write_state line)
               ?catalog_hash:(probed_hash line) t.group r `Not_ready
           | Ok _ | Error _ -> Replica.note_probe t.group r `Failed))
 

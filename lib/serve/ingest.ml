@@ -70,6 +70,34 @@ let level_name file =
 
 let lock_path ~dir ~name = Filename.concat dir ("." ^ name ^ ".lock")
 
+(* ------------------------------------------------------------------ *)
+(* Path predicates                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A DELETE/UPDATE targets subtrees by a slash-joined label path rooted
+   at the engine's shared root: [a/b] matches every [b] child of an
+   [a]-rooted fragment.  The segment alphabet is the job-name alphabet
+   (no spaces, no commas, no slashes inside a segment), which is what
+   lets a path ride in a WAL payload before an XML body and in a
+   comma-joined manifest field without any quoting. *)
+let valid_path_segment seg =
+  seg <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '-')
+       seg
+
+let valid_path s =
+  s <> ""
+  && List.for_all valid_path_segment (String.split_on_char '/' s)
+
+let parse_path s =
+  if not (valid_path s) then None
+  else Some (List.map Xmldoc.Label.of_string (String.split_on_char '/' s))
+
 (* Cross-process critical section around every manifest
    read-modify-write.  [lockf] locks are per-(process, file): they
    exclude the orphan-compactor-vs-restarted-server race that
@@ -114,6 +142,10 @@ type level_info = {
   crc : int32;  (** CRC-32 of the delta file's raw bytes *)
   records : int;  (** ingested records summarized by this level *)
   since : float;  (** arrival time of the level's oldest record *)
+  tombs : string list;
+      (** tombstone path predicates from this level's deletes/updates —
+          they mask matching subtrees in all strictly older levels
+          until compaction reclaims them physically *)
 }
 
 type manifest = {
@@ -133,10 +165,18 @@ let render_manifest m =
   Printf.bprintf b "flushed %d\n" m.flushed;
   List.iter
     (fun e ->
-      Printf.bprintf b "level %d file=%s bytes=%d crc=%s records=%d since=%.6f\n"
-        e.gen e.file e.bytes
+      (* [tombs=] is appended only when present, so tombstone-free
+         manifests render byte-identically to what earlier servers
+         wrote — and earlier parsers, which ignore unknown key=value
+         fields, read tombstoned manifests without choking *)
+      let tombs =
+        if e.tombs = [] then "" else " tombs=" ^ String.concat "," e.tombs
+      in
+      Printf.bprintf b
+        "level %d file=%s bytes=%d crc=%s records=%d since=%.6f%s\n" e.gen
+        e.file e.bytes
         (Sketch.Crc32.to_hex e.crc)
-        e.records e.since)
+        e.records e.since tombs)
     m.entries;
   let body = Buffer.contents b in
   body ^ "crc " ^ Sketch.Crc32.to_hex (Sketch.Crc32.string body) ^ "\n"
@@ -182,20 +222,40 @@ let parse_manifest ~path text =
                   | _ -> error := Some (corrupt path lineno line "bad flushed line"))
                 | "level" :: gen :: fields -> (
                   let field key = List.find_map (kv key) fields in
+                  let tombs =
+                    (* absent = none; present = comma-joined valid paths
+                       (the alphabet excludes commas, so no quoting) *)
+                    match field "tombs" with
+                    | None -> Some []
+                    | Some s ->
+                      let paths = String.split_on_char ',' s in
+                      if paths <> [] && List.for_all valid_path paths then
+                        Some paths
+                      else None
+                  in
                   match
                     ( int_of_string_opt gen,
                       field "file",
                       Option.bind (field "bytes") int_of_string_opt,
                       Option.bind (field "crc") Sketch.Crc32.of_hex,
                       Option.bind (field "records") int_of_string_opt,
-                      Option.bind (field "since") float_of_string_opt )
+                      Option.bind (field "since") float_of_string_opt,
+                      tombs )
                   with
-                  | Some gen, Some file, Some bytes, Some crc, Some records, Some since
+                  | ( Some gen,
+                      Some file,
+                      Some bytes,
+                      Some crc,
+                      Some records,
+                      Some since,
+                      Some tombs )
                     when gen >= 0 && bytes >= 0 && records >= 0
                          && Float.is_finite since
                          && file <> ""
                          && Filename.basename file = file ->
-                    entries := { gen; file; bytes; crc; records; since } :: !entries
+                    entries :=
+                      { gen; file; bytes; crc; records; since; tombs }
+                      :: !entries
                   | _ -> error := Some (corrupt path lineno line "bad level line"))
                 | _ -> error := Some (corrupt path lineno line "unknown manifest line"))
             rest;
@@ -353,30 +413,97 @@ let staleness ?(now = Unix.gettimeofday ()) t =
         in
         Float.max 0. (now -. oldest))
 
+let tomb_paths info = List.filter_map parse_path info.tombs
+
 let level_synopses t =
   with_mutex t (fun () ->
       Array.of_list (List.map (fun l -> l.synopsis) t.levels))
 
-let ingest ?(now = Unix.gettimeofday ()) t ~xml =
+let level_stack t =
+  with_mutex t (fun () ->
+      Array.of_list
+        (List.map (fun l -> (l.synopsis, tomb_paths l.info)) t.levels))
+
+let wal_bytes t = with_mutex t (fun () -> Wal.bytes t.wal)
+
+(* Durably append one validated mutation.  The sequence number is
+   advanced only after the WAL accepted the frame: a rolled-back append
+   (ENOSPC, fault) reuses the same seq on the retry, so replay never
+   sees a gap it would mistake for a tear boundary. *)
+let append_mutation ?(now = Unix.gettimeofday ()) t ~op ~payload =
+  with_mutex t (fun () ->
+      let record = { Wal.seq = t.next_seq; ts = now; op; payload } in
+      match Wal.append t.wal record with
+      | Error _ as e -> e
+      | Ok () ->
+        t.pending <- record :: t.pending;
+        t.next_seq <- t.next_seq + 1;
+        Ok (record.Wal.seq, List.length t.pending))
+
+let bad_path path =
+  `Fault
+    (Xmldoc.Fault.Parse_error
+       {
+         line = 0;
+         column = 0;
+         message =
+           Printf.sprintf
+             "invalid path predicate %S (want slash-joined [A-Za-z0-9_-] \
+              segments)"
+             path;
+       })
+
+let ingest ?now t ~xml =
   (* validate before logging: a fragment the parser rejects must be
      refused at the door, not discovered poisonous during replay *)
   match Xmldoc.Parser.of_string_res ~limits:t.limits xml with
   | Error f -> Error (`Fault f)
-  | Ok _ ->
-    with_mutex t (fun () ->
-        let record = { Wal.seq = t.next_seq; ts = now; payload = xml } in
-        match Wal.append t.wal record with
-        | Error _ as e -> e
-        | Ok () ->
-          t.pending <- record :: t.pending;
-          t.next_seq <- t.next_seq + 1;
-          Ok (record.Wal.seq, List.length t.pending))
+  | Ok _ -> append_mutation ?now t ~op:Wal.Insert ~payload:xml
+
+let delete ?now t ~path =
+  if not (valid_path path) then Error (bad_path path)
+  else append_mutation ?now t ~op:Wal.Delete ~payload:path
+
+(* An update's payload carries both halves — [<path> <xml>] — in one
+   record, so delete-then-insert commits atomically at one seq. *)
+let update ?now t ~path ~xml =
+  if not (valid_path path) then Error (bad_path path)
+  else
+    match Xmldoc.Parser.of_string_res ~limits:t.limits xml with
+    | Error f -> Error (`Fault f)
+    | Ok _ -> append_mutation ?now t ~op:Wal.Update ~payload:(path ^ " " ^ xml)
+
+let split_update payload =
+  match String.index_opt payload ' ' with
+  | None -> None
+  | Some i ->
+    Some
+      ( String.sub payload 0 i,
+        String.sub payload (i + 1) (String.length payload - i - 1) )
 
 let should_flush t =
   with_mutex t (fun () ->
       (not t.compacting) && List.length t.pending >= t.flush_records)
 
 let set_compacting t b = with_mutex t (fun () -> t.compacting <- b)
+
+(* Drop the subtrees one tombstone path matches from an in-batch
+   fragment tree: the path's head addresses the fragment root, each
+   further segment one containment step.  [None] = the whole fragment
+   is deleted. *)
+let rec prune_tree path tree =
+  match path with
+  | [] -> Some tree
+  | [ l ] ->
+    if Xmldoc.Label.equal (Xmldoc.Tree.label tree) l then None else Some tree
+  | l :: rest ->
+    if Xmldoc.Label.equal (Xmldoc.Tree.label tree) l then
+      Some
+        (Xmldoc.Tree.make_arr (Xmldoc.Tree.label tree)
+           (Array.of_list
+              (List.filter_map (prune_tree rest)
+                 (Array.to_list (Xmldoc.Tree.children tree)))))
+    else Some tree
 
 (* Summarize the memtable into one delta TreeSketch and publish it as a
    new level.  Ordering is the crash-safety argument: the delta file
@@ -388,14 +515,41 @@ let flush ?(now = Unix.gettimeofday ()) t =
       if t.pending = [] || t.compacting then Ok false
       else
         let batch = List.rev t.pending in
-        let fragments =
-          List.filter_map
-            (fun r ->
-              match Xmldoc.Parser.of_string_res ~limits:t.limits r.Wal.payload with
-              | Ok tree -> Some tree
-              | Error _ -> None (* validated at ingest; defensive *))
-            batch
+        (* Replay the batch in sequence order: inserts accumulate
+           fragment trees; a delete prunes the fragments accumulated so
+           far (its strictly-older in-batch data) and becomes a
+           tombstone on the published level, masking every older level
+           until compaction; an update is delete-then-insert at one
+           seq.  Inserts after a delete are untouched by it, so the
+           level's own content is already net of its own tombstones. *)
+        let apply (trees, tombs) r =
+          let prune path trees =
+            match parse_path path with
+            | None -> trees (* validated at the door; defensive *)
+            | Some labels -> List.filter_map (prune_tree labels) trees
+          in
+          let tomb path tombs =
+            if List.mem path tombs then tombs else path :: tombs
+          in
+          let insert xml trees =
+            match Xmldoc.Parser.of_string_res ~limits:t.limits xml with
+            | Ok tree -> tree :: trees
+            | Error _ -> trees (* validated at ingest; defensive *)
+          in
+          match r.Wal.op with
+          | Wal.Insert -> (insert r.Wal.payload trees, tombs)
+          | Wal.Delete -> (prune r.Wal.payload trees, tomb r.Wal.payload tombs)
+          | Wal.Update -> (
+            match split_update r.Wal.payload with
+            | None -> (trees, tombs)
+            | Some (path, xml) ->
+              (insert xml (prune path trees), tomb path tombs))
         in
+        let rev_fragments, rev_tombs =
+          List.fold_left apply ([], []) batch
+        in
+        let fragments = List.rev rev_fragments in
+        let tombs = List.rev rev_tombs in
         let last_seq =
           List.fold_left (fun acc r -> max acc r.Wal.seq) t.flushed batch
         in
@@ -426,6 +580,7 @@ let flush ?(now = Unix.gettimeofday ()) t =
                         crc = Sketch.Crc32.string text;
                         records = List.length batch;
                         since = oldest_ts;
+                        tombs;
                       }
                     in
                     let m' =
@@ -459,8 +614,11 @@ let flush ?(now = Unix.gettimeofday ()) t =
         in
         match fragments with
         | [] ->
-          (* nothing summarizable (cannot happen for acked records):
-             still advance flushed so the WAL drains *)
+          (* nothing positive left to summarize — an all-deletes batch,
+             or deletes that cancelled every in-batch insert.  The
+             root-only level still carries the tombstones (they must
+             mask older levels) and advances flushed so the WAL
+             drains. *)
           publish (Sketch.Stable.build (Xmldoc.Tree.make t.root_label []))
         | fragments -> (
           let stable =
@@ -494,13 +652,20 @@ let refresh t =
 (* Compaction (runs in a Jobs child process)                            *)
 (* ------------------------------------------------------------------ *)
 
-(* Merge every level into one delta and swap it in.  The expensive
-   compression journals through Build checkpoints, so a killed-and-
-   restarted compaction job resumes mid-clustering instead of starting
-   over (same discipline as the BUILD worker).  The swap re-reads the
-   manifest under the file lock and verifies the consumed levels are
-   all still listed — if another actor already consumed them, this
-   compaction's output is stale and is discarded as a no-op. *)
+(* Merge every level into one delta and swap it in.  The merge is
+   tombstone-cancelling ({!Sketch.Build.merge_tombstoned}): each
+   level's tombstones prune the strictly older union before its own
+   content joins, so the compacted level carries no tombstones at all —
+   deletion becomes physical reclamation.  The expensive compression
+   journals through Build checkpoints, so a killed-and-restarted
+   compaction job resumes mid-clustering instead of starting over (same
+   discipline as the BUILD worker).  The swap re-reads the manifest
+   under the file lock and verifies the listed levels are EXACTLY the
+   consumed ones — a level that appeared mid-compaction (an orphaned
+   compactor racing a restarted server's flusher) may carry tombstones
+   addressing the very data being merged, and folding it in would need
+   an age order the generation sequence no longer reflects, so the
+   compaction's output is discarded as a stale no-op instead. *)
 let compact ?(limits = Xmldoc.Limits.default) ?(params = Sketch.Build.default_params)
     ~dir ~name ~level_budget ~checkpoint () =
   match read_manifest ~limits ~dir ~name () with
@@ -513,7 +678,8 @@ let compact ?(limits = Xmldoc.Limits.default) ?(params = Sketch.Build.default_pa
     | Error f -> Error f
     | Ok levels -> (
       match
-        Sketch.Build.merge_disjoint (List.map (fun l -> l.synopsis) levels)
+        Sketch.Build.merge_tombstoned
+          (List.map (fun l -> (l.synopsis, tomb_paths l.info)) levels)
       with
       | Error message ->
         Error (Xmldoc.Fault.Corrupt_synopsis { line = 0; content = ""; message })
@@ -558,8 +724,14 @@ let compact ?(limits = Xmldoc.Limits.default) ?(params = Sketch.Build.default_pa
                 match read_manifest ~limits ~dir ~name () with
                 | Error f -> Error f
                 | Ok m2 ->
-                  let listed gen = List.exists (fun e -> e.gen = gen) m2.entries in
-                  if not (List.for_all listed consumed) then Ok None
+                  (* exactly the consumed set: a missing input means
+                     another actor already compacted; an EXTRA level
+                     means a flush landed mid-compaction whose
+                     tombstones we could not have folded — both make
+                     this output stale *)
+                  if
+                    List.map (fun e -> e.gen) m2.entries <> consumed
+                  then Ok None
                   else
                     let gen =
                       1 + List.fold_left (fun acc e -> max acc e.gen) 0 m2.entries
@@ -579,6 +751,10 @@ let compact ?(limits = Xmldoc.Limits.default) ?(params = Sketch.Build.default_pa
                           crc = Sketch.Crc32.string text;
                           records;
                           since;
+                          (* tombstones cancelled into the merge: the
+                             compacted level owes nothing to levels
+                             below it (there are none left) *)
+                          tombs = [];
                         }
                       in
                       let kept =

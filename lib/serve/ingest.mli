@@ -32,6 +32,19 @@ val level_name : string -> (string * int) option
 (** [Some (name, gen)] iff the base name is a level delta file — how
     the scrubber's orphan sweep recognizes unreferenced levels. *)
 
+(** {2 Path predicates}
+
+    A DELETE/UPDATE targets subtrees by a slash-joined label path
+    rooted at the engine's shared root: [a/b] matches every [b] child
+    of an [a]-rooted fragment.  Segments use the job-name alphabet
+    ([A-Za-z0-9_-]) — no spaces or commas, so a path travels unquoted
+    in WAL payloads and comma-joined manifest fields. *)
+
+val valid_path : string -> bool
+
+val parse_path : string -> Xmldoc.Label.t list option
+(** [Some labels] iff {!valid_path}; the interned segment labels. *)
+
 val discover : dir:string -> string list
 (** Names with live ingestion state (a WAL or a manifest) in [dir],
     sorted — how the server finds engines to reopen on restart. *)
@@ -45,6 +58,13 @@ type level_info = {
   crc : int32;  (** CRC-32 of the delta file's raw bytes *)
   records : int;  (** ingested records summarized by this level *)
   since : float;  (** arrival time of the level's oldest record *)
+  tombs : string list;
+      (** tombstone path predicates from this level's deletes/updates:
+          they mask matching subtrees in all strictly older levels
+          until compaction reclaims them physically.  Rendered as a
+          comma-joined [tombs=] field, omitted when empty — manifests
+          without tombstones stay byte-identical to the previous
+          format, and older parsers ignore the unknown field. *)
 }
 
 type manifest = {
@@ -113,7 +133,32 @@ val ingest :
     the WAL, and admit it to the memtable.  Returns [(seq, depth)] —
     the record's sequence number and the post-append memtable depth.
     [`No_space] means the log could not grow: nothing was retained and
-    the caller answers [error ingest-deferred]. *)
+    the caller answers [error ingest-deferred].  A failed append never
+    consumes the sequence number — the retry reuses it, so replay's
+    strictly-increasing check never meets a legitimate gap. *)
+
+val delete :
+  ?now:float ->
+  t ->
+  path:string ->
+  (int * int, [ `No_space | `Fault of Xmldoc.Fault.t ]) result
+(** Durably append a deletion tombstone for every subtree matching the
+    path predicate ({!valid_path}).  Same ack contract and return as
+    {!ingest}.  Visibility follows flushes, like inserts: once the
+    delete's batch is flushed, queries no longer see the deleted
+    subtrees' contribution from any older level (the tombstone masks
+    them) and compaction reclaims them physically.  The base snapshot
+    is not mutated — deletion addresses live-ingested data. *)
+
+val update :
+  ?now:float ->
+  t ->
+  path:string ->
+  xml:string ->
+  (int * int, [ `No_space | `Fault of Xmldoc.Fault.t ]) result
+(** Delete-then-insert committed atomically at one sequence number:
+    one WAL record carries both the path predicate and the validated
+    replacement fragment. *)
 
 val flush : ?now:float -> t -> (bool, Xmldoc.Fault.t) result
 (** Summarize the memtable into one delta TreeSketch (compressed under
@@ -140,10 +185,22 @@ val staleness : ?now:float -> t -> float
     memtable is empty.  The bound on how stale an answer over the
     level stack can be, exposed through STAT/HEALTH. *)
 
+val wal_bytes : t -> int
+(** Bytes of intact WAL on disk — the write-pressure controller's
+    "WAL outstanding" signal. *)
+
 val flushed_seq : t -> int
 val level_count : t -> int
 val level_records : t -> int
 val level_synopses : t -> Sketch.Synopsis.t array
+
+val level_stack : t -> (Sketch.Synopsis.t * Xmldoc.Label.t list list) array
+(** The loaded levels, ascending generation, each paired with its
+    parsed tombstone paths — the stack {!Query_exec.run} subtracts
+    deletions over. *)
+
+val tomb_paths : level_info -> Xmldoc.Label.t list list
+(** The entry's valid tombstone predicates, parsed. *)
 
 (** {2 Compaction (Jobs child body)} *)
 
@@ -156,10 +213,14 @@ val compact :
   checkpoint:string ->
   unit ->
   (bool, Xmldoc.Fault.t) result
-(** Merge every listed level ({!Sketch.Build.merge_disjoint}) and
-    compress the union under the level budget, journaling through
-    Build checkpoints at [checkpoint] so a killed job resumes
-    mid-clustering.  The swap re-validates, under the file lock, that
-    every consumed level is still listed — otherwise the result is
-    stale and discarded as a no-op.  Returns whether the compression
-    degraded (maps to the degraded exit code in the Jobs child). *)
+(** Merge every listed level ({!Sketch.Build.merge_tombstoned}: each
+    level's tombstones prune the strictly older union before its
+    content joins, so the output owes no tombstones — deleted subtrees
+    are physically reclaimed) and compress the union under the level
+    budget, journaling through Build checkpoints at [checkpoint] so a
+    killed job resumes mid-clustering.  The swap re-validates, under
+    the file lock, that the listed levels are exactly the consumed
+    ones — a consumed-elsewhere input or a mid-compaction flush (whose
+    tombstones the merge could not have folded) makes the result stale,
+    discarded as a no-op.  Returns whether the compression degraded
+    (maps to the degraded exit code in the Jobs child). *)

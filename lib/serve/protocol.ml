@@ -16,6 +16,8 @@ type request =
   | Answer of opts * string * Twig.Syntax.t
   | Build of { name : string; xml : string; budget : int }
   | Ingest of { name : string; xml : string }
+  | Delete of { name : string; path : string }
+  | Update of { name : string; path : string; xml : string }
   | Jobs
   | Cancel of string
   | Scrub
@@ -124,6 +126,27 @@ let parse line =
         Error (Printf.sprintf "bad job name %S (want [A-Za-z0-9_-]+)" name)
       else Ok (Ingest { name; xml = String.concat " " xml_words })
     | "INGEST", _ -> Error "INGEST takes a synopsis name and an XML fragment"
+    | "DELETE", [ name; path ] ->
+      if not (valid_job_name name) then
+        Error (Printf.sprintf "bad job name %S (want [A-Za-z0-9_-]+)" name)
+      else if not (Ingest.valid_path path) then
+        Error
+          (Printf.sprintf
+             "bad path predicate %S (want slash-joined [A-Za-z0-9_-] segments)"
+             path)
+      else Ok (Delete { name; path })
+    | "DELETE", _ -> Error "DELETE takes a synopsis name and a path predicate"
+    | "UPDATE", name :: path :: (_ :: _ as xml_words) ->
+      if not (valid_job_name name) then
+        Error (Printf.sprintf "bad job name %S (want [A-Za-z0-9_-]+)" name)
+      else if not (Ingest.valid_path path) then
+        Error
+          (Printf.sprintf
+             "bad path predicate %S (want slash-joined [A-Za-z0-9_-] segments)"
+             path)
+      else Ok (Update { name; path; xml = String.concat " " xml_words })
+    | "UPDATE", _ ->
+      Error "UPDATE takes a synopsis name, a path predicate and an XML fragment"
     | "JOBS", [] -> Ok Jobs
     | "CANCEL", [ name ] -> Ok (Cancel name)
     | "CANCEL", _ -> Error "CANCEL takes exactly one job name"
@@ -142,7 +165,8 @@ let parse line =
       Error
         (Printf.sprintf
            "unknown verb %S (want PING, HEALTH, LIST, RELOAD, STAT, QUERY, \
-            ANSWER, BUILD, INGEST, JOBS, CANCEL, SCRUB, FETCH, REPAIR or QUIT)" v))
+            ANSWER, BUILD, INGEST, DELETE, UPDATE, JOBS, CANCEL, SCRUB, \
+            FETCH, REPAIR or QUIT)" v))
 
 (* Deadline propagation.  A relay (the retrying client, the replica
    coordinator) that burned wall-clock connecting, backing off or
@@ -276,8 +300,8 @@ let single_target line =
   | [] -> false
   | verb :: _ -> (
     match String.uppercase_ascii verb with
-    | "BUILD" | "INGEST" | "RELOAD" | "CANCEL" | "JOBS" | "QUIT" | "SCRUB"
-    | "FETCH" | "REPAIR" ->
+    | "BUILD" | "INGEST" | "DELETE" | "UPDATE" | "RELOAD" | "CANCEL" | "JOBS"
+    | "QUIT" | "SCRUB" | "FETCH" | "REPAIR" ->
       true
     | _ -> false)
 

@@ -14,6 +14,8 @@
     ANSWER [-deadline=<seconds>] [-max-nodes=<n>] [-tier=<k>] <name> <twig-query>
     BUILD <name> <xml-path> <budget>
     INGEST <name> <xml-fragment>
+    DELETE <name> <path-pred>
+    UPDATE <name> <path-pred> <xml-fragment>
     JOBS
     CANCEL <name>
     SCRUB
@@ -43,6 +45,24 @@
     retrying client never replays it.  When the log cannot grow
     (ENOSPC) the server answers [error ingest-deferred ...]: nothing
     was retained, retry later.
+
+    [DELETE] durably tombstones every {e live-ingested} subtree
+    matching a slash-joined label path predicate ([a/b] = every [b]
+    child of an [a]-rooted fragment; segments use the job-name
+    alphabet).  [UPDATE] is delete-then-insert committed atomically at
+    one WAL sequence.  Both share INGEST's durability contract (WAL
+    append + fsync before the ack) and its non-idempotence: a retried
+    mutation is a second mutation, {e except} after
+    [error ingest-deferred], where nothing was retained and the resend
+    is safe.  The base snapshot is never mutated — deletion addresses
+    data that arrived through INGEST.
+
+    Every mutation passes write-pressure admission control: under
+    load the ack carries an advisory [backpressure=<ms>] pacing hint;
+    past the shed threshold (or under the soft disk watermark) the
+    server answers [error ingest-deferred retry-after=<ms>]; under the
+    hard disk watermark all mutations are refused while reads, scrub
+    and repair keep working.
 
     [-tier=<k>] asks for degradation rung [k] or coarser (0 = finest):
     against a ladder snapshot the server answers from tier
@@ -81,7 +101,9 @@
     ok answer degraded=<no|deadline|nodes|work> [tier=<k>/<n> budget=<bytes>] [levels=<k> staleness=<g>] empty=yes
     ok answer degraded=<no|deadline|nodes|work> [tier=<k>/<n> budget=<bytes>] [levels=<k> staleness=<g>] truncated=<yes|no> nodes=<d> tree=<xml>
     ok build name=<s> state=running
-    ok ingest name=<s> seq=<d> wal=<d>
+    ok ingest name=<s> seq=<d> wal=<d> [backpressure=<ms>]
+    ok delete name=<s> seq=<d> wal=<d> [backpressure=<ms>]
+    ok update name=<s> seq=<d> wal=<d> [backpressure=<ms>]
     ok jobs n=<d> [<name>=<state>...]
     ok cancel name=<s> state=<s>
     ok scrub checked=<d> corrupt=<d> swept=<d>
@@ -133,6 +155,11 @@ type request =
   | Build of { name : string; xml : string; budget : int }
   | Ingest of { name : string; xml : string }
       (** one single-line XML fragment for the live update path *)
+  | Delete of { name : string; path : string }
+      (** durably tombstone every live-ingested subtree matching the
+          slash-joined path predicate (see {!Ingest.valid_path}) *)
+  | Update of { name : string; path : string; xml : string }
+      (** delete-then-insert committed atomically at one WAL sequence *)
   | Jobs
   | Cancel of string
   | Scrub  (** synchronous catalog integrity pass *)
@@ -171,8 +198,8 @@ val with_tier : string -> level:int -> string
     option-zone-only discipline as {!with_remaining_deadline}. *)
 
 val single_target : string -> bool
-(** Is this request's verb bound to ONE server (BUILD, INGEST, RELOAD,
-    CANCEL, JOBS, QUIT, SCRUB, FETCH, REPAIR)?  A replica-group relay must
+(** Is this request's verb bound to ONE server (BUILD, INGEST, DELETE,
+    UPDATE, RELOAD, CANCEL, JOBS, QUIT, SCRUB, FETCH, REPAIR)?  A replica-group relay must
     refuse to pick a target implicitly: the coordinator answers
     [error bad-request], and the replica-mode client requires an
     explicit [--target].  Case-insensitive. *)

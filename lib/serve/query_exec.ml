@@ -59,15 +59,33 @@ let run ?tier ?levels ~budget kind synopsis q =
      each evaluated independently under the ONE request budget and
      combined (extents across levels are disjoint sub-forests of the
      same document, so selectivities add and result forests
-     concatenate).  Entries without levels take the exact single-
-     synopsis path — their responses stay byte-identical. *)
+     concatenate).  Deletion subtracts here: each level is masked by
+     the union of every STRICTLY NEWER level's tombstone paths
+     ({!Sketch.Build.prune_paths}) before evaluation — a deleted
+     subtree's contribution vanishes from the answer the moment its
+     tombstone's batch flushes, while compaction reclaims it physically
+     later.  The base is never masked (deletion addresses live-ingested
+     data; a level's own content is already net of its own tombs).
+     Entries without levels take the exact single-synopsis path — their
+     responses stay byte-identical. *)
   let stack, level_tag =
     match levels with
     | None -> ([ synopsis ], "")
     | Some (ls, _) when Array.length ls = 0 -> ([ synopsis ], "")
     | Some (ls, staleness) ->
-      ( synopsis :: Array.to_list ls,
-        Printf.sprintf " levels=%d staleness=%.3f" (Array.length ls) staleness )
+      let n = Array.length ls in
+      let masked =
+        List.init n (fun i ->
+            let s, _ = ls.(i) in
+            let newer_tombs =
+              List.concat
+                (List.init (n - i - 1) (fun j -> snd ls.(i + 1 + j)))
+            in
+            if newer_tombs = [] then s
+            else Sketch.Build.prune_paths s newer_tombs)
+      in
+      ( synopsis :: masked,
+        Printf.sprintf " levels=%d staleness=%.3f" n staleness )
   in
   let tier_tag = tier_tag ^ level_tag in
   match kind with

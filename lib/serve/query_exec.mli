@@ -52,7 +52,7 @@ val select_tier :
 
 val run :
   ?tier:int * int * int ->
-  ?levels:Sketch.Synopsis.t array * float ->
+  ?levels:(Sketch.Synopsis.t * Xmldoc.Label.t list list) array * float ->
   budget:Xmldoc.Budget.t ->
   kind ->
   Sketch.Synopsis.t ->
@@ -62,12 +62,17 @@ val run :
     [tier=<k>/<n> budget=<bytes>] after the [degraded] field.
 
     [levels] is the live-update delta stack with its staleness bound
-    (see {!Ingest}): the base and every level are evaluated
-    independently under the ONE request budget, selectivity estimates
-    add, result forests concatenate under the shared document root, and
-    the response is tagged [levels=<k> staleness=<s>].  The combination
-    is exact for paths below the root because level extents are
-    disjoint sub-forests of one document; a query on the root label
+    (see {!Ingest}), ascending generation, each level paired with its
+    tombstone paths: every level is first masked by the union of the
+    strictly newer levels' tombstones ({!Sketch.Build.prune_paths}) —
+    deletions subtract from the answer as soon as their batch flushes —
+    then the base and every masked level are evaluated independently
+    under the ONE request budget, selectivity estimates add, result
+    forests concatenate under the shared document root, and the
+    response is tagged [levels=<k> staleness=<s>].  The base is never
+    masked: deletion addresses live-ingested data only.  The
+    combination is exact for paths below the root because level extents
+    are disjoint sub-forests of one document; a query on the root label
     itself over-counts (each level carries its own root placeholder).
     An absent or empty stack takes the single-synopsis path unchanged —
     responses stay byte-identical.
@@ -85,7 +90,7 @@ val guard : (unit -> outcome) -> outcome
 
 val run_guarded :
   ?tier:int * int * int ->
-  ?levels:Sketch.Synopsis.t array * float ->
+  ?levels:(Sketch.Synopsis.t * Xmldoc.Label.t list list) array * float ->
   budget:Xmldoc.Budget.t ->
   kind ->
   Sketch.Synopsis.t ->

@@ -369,8 +369,20 @@ let fetch ?limits ~timeout peer name =
    preallocate a staging file of that size and remove it — because the
    answer must come from the same filesystem, quota and fault-injection
    regime the real install will face.  [Error `No_space] is the repair
-   deferral signal; anything else fails the attempt. *)
-let preflight dir ~bytes =
+   deferral signal; anything else fails the attempt.
+
+   [free]/[min_free] teach the preflight the server's hard disk
+   watermark (see {!Write_pressure}): an install that would SUCCEED but
+   push free space under the watermark is deferred too — repair must
+   not consume the headroom the watermark exists to protect.  A probe
+   returning [None] fails open, same as the watermark itself. *)
+let preflight ?free ?(min_free = 0) dir ~bytes =
+  match
+    if min_free <= 0 then None
+    else Option.bind free (fun probe -> probe ())
+  with
+  | Some avail when avail - bytes < min_free -> Error `No_space
+  | Some _ | None -> (
   match Filename.temp_file ~temp_dir:dir ".treesketch-preflight" ".tmp" with
   | exception Sys_error m -> Error (`Io m)
   | tmp ->
@@ -411,7 +423,7 @@ let preflight dir ~bytes =
        Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Close ~path:tmp;
        Sys.remove tmp
      with Sys_error _ | Unix.Unix_error _ -> ());
-    result
+    result)
 
 let install ~dir ~name text =
   Sketch.Serialize.write_atomic
@@ -538,14 +550,14 @@ let plan ~local_hashes ~quarantined ~peer_census =
    surviving full verification, then preflight and install.  ENOSPC
    defers (the copy we could not write is still on the peers; nothing
    is lost by waiting), any other exhaustion fails. *)
-let repair_one ?limits ~timeout ~dir name candidates =
+let repair_one ?limits ?free ?min_free ~timeout ~dir name candidates =
   let rec try_peers last = function
     | [] -> Failed { name; reason = last }
     | peer :: rest -> (
       match fetch ?limits ~timeout peer name with
       | Error e -> try_peers e rest
       | Ok text -> (
-        match preflight dir ~bytes:(String.length text) with
+        match preflight ?free ?min_free dir ~bytes:(String.length text) with
         | Error `No_space ->
           Deferred { name; reason = Printf.sprintf "no space for %d bytes" (String.length text) }
         | Error (`Io m) -> Failed { name; reason = "preflight: " ^ m }
@@ -568,7 +580,8 @@ let repair_one ?limits ~timeout ~dir name candidates =
    target.  Peers that fail to answer LIST are simply absent from the
    census (and logged by the caller); a total census failure yields an
    empty plan, not an error — repair is opportunistic by design. *)
-let sync ?limits ~timeout ~dir ~peers ~local_hashes ~quarantined () =
+let sync ?limits ?free ?min_free ~timeout ~dir ~peers ~local_hashes ~quarantined
+    () =
   let peer_census =
     List.filter_map
       (fun peer ->
@@ -579,5 +592,6 @@ let sync ?limits ~timeout ~dir ~peers ~local_hashes ~quarantined () =
   in
   let targets = plan ~local_hashes ~quarantined ~peer_census in
   List.map
-    (fun (name, candidates) -> repair_one ?limits ~timeout ~dir name candidates)
+    (fun (name, candidates) ->
+      repair_one ?limits ?free ?min_free ~timeout ~dir name candidates)
     targets

@@ -53,11 +53,21 @@ val fetch :
     the server at socket path [peer], verifying everything (see
     above).  [Ok bytes] is safe to install verbatim. *)
 
-val preflight : string -> bytes:int -> (unit, [ `No_space | `Io of string ]) result
+val preflight :
+  ?free:(unit -> int option) ->
+  ?min_free:int ->
+  string ->
+  bytes:int ->
+  (unit, [ `No_space | `Io of string ]) result
 (** Can the catalog directory hold [bytes] more?  Probed empirically —
     preallocate-and-remove a staging file of that size — so the answer
     reflects the real filesystem (and fault-injection) the install
-    will face. *)
+    will face.  [free]/[min_free] teach it the server's hard disk
+    watermark ({!Write_pressure.min_free}): an install that would push
+    [free ()] below [min_free] is [`No_space] even when it would
+    physically fit — repair must not consume the headroom the
+    watermark protects.  A [free] probe returning [None] (or an absent
+    [free]/zero [min_free]) skips the watermark check. *)
 
 val install : dir:string -> name:string -> string -> (unit, Xmldoc.Fault.t) result
 (** Atomically publish verified bytes as [dir/name.ts]
@@ -91,16 +101,21 @@ val plan :
 
 val repair_one :
   ?limits:Xmldoc.Limits.t ->
+  ?free:(unit -> int option) ->
+  ?min_free:int ->
   timeout:float ->
   dir:string ->
   string ->
   string list ->
   outcome
 (** Pull one name from the first candidate that yields fully-verified
-    bytes, preflight, install. *)
+    bytes, preflight (watermark-aware when [free]/[min_free] are
+    given), install. *)
 
 val sync :
   ?limits:Xmldoc.Limits.t ->
+  ?free:(unit -> int option) ->
+  ?min_free:int ->
   timeout:float ->
   dir:string ->
   peers:string list ->

@@ -49,6 +49,11 @@ type replica = {
          HEALTH); 0 = fully flushed (or no live ingestion).  A lagging
          member still serves correct-but-older answers, so like [load]
          it reorders within a state tier without changing state. *)
+  mutable write_state : string;
+      (* last probed [write_state=<s>] from HEALTH ("ok", "paced",
+         "shedding", "readonly"); absent reads as "ok".  Only write
+         routing cares ({!rank} [~writes:true]): a shedding or
+         readonly member serves reads at full quality. *)
   mutable ejected_until : float;
       (* 0 = never ejected; a past timestamp = on probation *)
   mutable catalog_hash : string;
@@ -90,6 +95,7 @@ let create ?(config = default_config) paths =
                draining = false;
                load = 0;
                staleness = 0.0;
+               write_state = "ok";
                ejected_until = 0.0;
                catalog_hash = "";
                stale = false;
@@ -136,7 +142,8 @@ let note_failure t r =
       if r.ejected_until > 0.0 || r.fails >= t.config.eject_threshold then
         eject_locked t r now)
 
-let note_probe ?(load = 0) ?(staleness = 0.0) ?catalog_hash t r outcome =
+let note_probe ?(load = 0) ?(staleness = 0.0) ?(write_state = "ok")
+    ?catalog_hash t r outcome =
   Mutex.protect t.lock (fun () -> r.probes <- r.probes + 1);
   let record_hash () =
     match catalog_hash with None -> () | Some h -> r.catalog_hash <- h
@@ -147,6 +154,7 @@ let note_probe ?(load = 0) ?(staleness = 0.0) ?catalog_hash t r outcome =
         r.draining <- false;
         r.load <- load;
         r.staleness <- staleness;
+        r.write_state <- write_state;
         record_hash ();
         r.fails <- 0;
         r.ejected_until <- 0.0)
@@ -158,6 +166,7 @@ let note_probe ?(load = 0) ?(staleness = 0.0) ?catalog_hash t r outcome =
         r.draining <- true;
         r.load <- load;
         r.staleness <- staleness;
+        r.write_state <- write_state;
         record_hash ();
         r.fails <- 0)
   | `Failed -> note_failure t r
@@ -165,6 +174,14 @@ let note_probe ?(load = 0) ?(staleness = 0.0) ?catalog_hash t r outcome =
 let load r = r.load
 
 let staleness r = r.staleness
+
+let write_state r = r.write_state
+
+(* How costly routing a MUTATION at this member would be: a shedding
+   member answers [ingest-deferred], a readonly one refuses outright.
+   Reads never pay this — both still serve queries at full quality. *)
+let write_penalty r =
+  match r.write_state with "shedding" -> 1 | "readonly" -> 2 | _ -> 0
 
 let catalog_hash r = r.catalog_hash
 
@@ -219,7 +236,7 @@ let all_browned_out t =
 (* Healthiest first.  Within the Ready tier a rotating cursor spreads
    primaries across the group; every other tier keeps a deterministic
    order (fewest consecutive failures, then soonest re-admission). *)
-let rank t =
+let rank ?(writes = false) t =
   Mutex.protect t.lock (fun () ->
       let now = Unix.gettimeofday () in
       let n = Array.length t.members in
@@ -233,7 +250,10 @@ let rank t =
         | Ejected -> 4
       in
       let rotated = Array.init n (fun i -> t.members.((t.cursor + i) mod n)) in
-      (* [load] sorts right after the state tier: a browned-out Ready
+      (* For writes, the write-pressure penalty sorts FIRST: a member
+         that would shed or refuse the mutation is useless however
+         healthy its read path looks (reads leave the penalty at 0).
+         [load] sorts right after the state tier: a browned-out Ready
          member still beats a Draining/Suspect one, but Ready-and-cool
          members take the traffic first.  [staleness] sorts next — a
          member lagging behind its ingestion WAL serves older answers,
@@ -242,25 +262,36 @@ let rank t =
       let order =
         Array.mapi
           (fun i r ->
-            (tier r, r.load, r.staleness, r.fails, r.ejected_until, i, r))
+            ( (if writes then write_penalty r else 0),
+              tier r,
+              r.load,
+              r.staleness,
+              r.fails,
+              r.ejected_until,
+              i,
+              r ))
           rotated
       in
       Array.sort
-        (fun (ta, la, sa, fa, ua, ia, _) (tb, lb, sb, fb, ub, ib, _) ->
-          match compare ta tb with
+        (fun (wa, ta, la, sa, fa, ua, ia, _) (wb, tb, lb, sb, fb, ub, ib, _) ->
+          match compare wa wb with
           | 0 -> (
-            match compare la lb with
+            match compare ta tb with
             | 0 -> (
-              match compare sa sb with
+              match compare la lb with
               | 0 -> (
-                match compare fa fb with
-                | 0 -> ( match compare ua ub with 0 -> compare ia ib | c -> c)
+                match compare sa sb with
+                | 0 -> (
+                  match compare fa fb with
+                  | 0 -> (
+                    match compare ua ub with 0 -> compare ia ib | c -> c)
+                  | c -> c)
                 | c -> c)
               | c -> c)
             | c -> c)
           | c -> c)
         order;
-      Array.to_list (Array.map (fun (_, _, _, _, _, _, r) -> r) order))
+      Array.to_list (Array.map (fun (_, _, _, _, _, _, _, r) -> r) order))
 
 let ready_count t =
   Mutex.protect t.lock (fun () ->
@@ -282,10 +313,13 @@ let describe t =
       Array.to_list
         (Array.map
            (fun r ->
-             Printf.sprintf "%s=%s served=%d failed=%d%s%s" r.path
+             Printf.sprintf "%s=%s served=%d failed=%d%s%s%s" r.path
                (state_name (state_at now r))
                r.served r.failed
                (if r.load > 0 then Printf.sprintf " load=%d" r.load else "")
+               (if r.write_state <> "ok" then
+                  Printf.sprintf " write_state=%s" r.write_state
+                else "")
                (if r.stale then " stale=yes" else ""))
            t.members))
 

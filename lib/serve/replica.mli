@@ -74,6 +74,7 @@ val note_failure : t -> replica -> unit
 val note_probe :
   ?load:int ->
   ?staleness:float ->
+  ?write_state:string ->
   ?catalog_hash:string ->
   t ->
   replica ->
@@ -88,7 +89,11 @@ val note_probe :
     [staleness] is the probed ingestion staleness bound
     ([staleness=<s>] in the HEALTH line, default 0): recorded the same
     way so {!rank} prefers members whose live-ingested data is
-    freshest.  [catalog_hash] is the probed content-identity hash
+    freshest.  [write_state] is the probed write-pressure token
+    ([write_state=<s>] in the HEALTH line, default ["ok"]): recorded
+    the same way so write-aware ranking ({!rank} [~writes:true])
+    avoids members that would shed or refuse a mutation.
+    [catalog_hash] is the probed content-identity hash
     ([catalog_hash=<hex>] in the HEALTH line): recorded on
     [`Ready]/[`Not_ready] and fed to {!mark_divergent}. *)
 
@@ -98,6 +103,16 @@ val load : replica -> int
 val staleness : replica -> float
 (** The member's last-probed ingestion staleness bound, seconds;
     0 = fully flushed (or no live ingestion). *)
+
+val write_state : replica -> string
+(** The member's last-probed write-pressure state token
+    ([ok|paced|shedding|readonly]); ["ok"] when never probed or probed
+    by a server that does not report one. *)
+
+val write_penalty : replica -> int
+(** How costly routing a mutation at this member would be: 0 for
+    [ok]/[paced] (admitted), 1 for [shedding] (deferred), 2 for
+    [readonly] (refused). *)
 
 val catalog_hash : replica -> string
 (** The member's last-probed catalog content hash; [""] = never
@@ -128,12 +143,16 @@ val all_browned_out : t -> bool
     a second copy of a request against a uniformly overloaded group
     is a retry storm, not a tail-latency fix. *)
 
-val rank : t -> replica list
+val rank : ?writes:bool -> t -> replica list
 (** Every member, healthiest first: Ready (rotating), Probation,
     Draining, Suspect (fewest strikes first), Ejected (soonest
     re-admission first).  Within a state tier, cooler (lower {!load})
     members come first, then fresher (lower {!staleness}) ones.
-    Never empty. *)
+    Never empty.  [~writes:true] ranks for a MUTATION target: members
+    whose probed {!write_state} is [shedding] (would defer the write)
+    or [readonly] (would refuse it) sort below everyone else,
+    regardless of read health — how INGEST [--target] suggestions
+    avoid servers that cannot take the write. *)
 
 val ready_count : t -> int
 (** Members currently in the Ready or Probation tiers — what a

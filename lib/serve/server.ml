@@ -28,6 +28,12 @@ type config = {
   compact_levels : int;
       (* level count that triggers a background compaction job; 0
          disables auto-compaction (flushes still accumulate levels) *)
+  write_pressure : Write_pressure.config;
+      (* write-side admission control: pacing/shedding thresholds and
+         the disk watermarks ([serve --disk-watermark] sets the hard
+         one) *)
+  disk_free : (unit -> int option) option;
+      (* test override of the disk-free probe; [None] uses [df] *)
 }
 
 let default_config =
@@ -49,6 +55,8 @@ let default_config =
     flush_records = 64;
     level_budget = 4096;
     compact_levels = 4;
+    write_pressure = Write_pressure.default_config;
+    disk_free = None;
   }
 
 type stats = {
@@ -123,6 +131,10 @@ type t = {
      — each engine serializes its own operations internally. *)
   engines : (string, Ingest.t) Hashtbl.t;
   engines_lock : Mutex.t;
+  (* Write-side admission control ({!Write_pressure}): every mutation
+     verb consults it before touching an engine; HEALTH/STAT expose its
+     state for routing. *)
+  pressure : Write_pressure.t;
 }
 
 let stats t = t.stats
@@ -134,6 +146,8 @@ let jobs t = t.jobs
 let pool t = t.pool
 
 let overload t = t.overload
+
+let write_pressure t = t.pressure
 
 let bump f t = Mutex.protect t.stats_lock (fun () -> f t.stats)
 
@@ -211,6 +225,9 @@ let create ?(log = prerr_endline) ?(config = default_config) dir =
         Option.map (fun config -> Overload.create ~config ()) config.brownout;
       engines = Hashtbl.create 8;
       engines_lock = Mutex.create ();
+      pressure =
+        Write_pressure.create ~config:config.write_pressure
+          ?disk_free:config.disk_free ~dir ();
     }
   in
   (* Startup fsck: the initial refresh above already re-validated every
@@ -510,7 +527,13 @@ let apply_scrub_report t =
    its quarantine — without waiting for the next client request. *)
 let repair_now t =
   let outcomes =
-    Repair.sync ~limits:t.config.limits ~timeout:t.config.repair_timeout
+    (* the repair preflight learns the same hard disk watermark the
+       write path refuses under: an install must not consume the
+       headroom the watermark protects *)
+    Repair.sync ~limits:t.config.limits
+      ~free:(fun () -> Write_pressure.disk_free t.pressure)
+      ~min_free:(Write_pressure.min_free t.pressure)
+      ~timeout:t.config.repair_timeout
       ~dir:(Catalog.dir t.catalog) ~peers:t.config.peers
       ~local_hashes:(Catalog.hashes t.catalog)
       ~quarantined:
@@ -529,6 +552,108 @@ let repair_now t =
     outcomes;
   if outcomes <> [] then log_catalog_events t (Catalog.refresh t.catalog);
   outcomes
+
+(* ------------------------------------------------------------------ *)
+(* The write path: admission-controlled mutations                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Feed the controller the summed write-path signals — WAL bytes
+   outstanding, memtable depth, and the worst flush lag — so its next
+   verdict reflects the whole server's backlog, not one engine's. *)
+let observe_pressure t =
+  let wal_bytes, depth, lag =
+    List.fold_left
+      (fun (w, d, s) eng ->
+        ( w + Ingest.wal_bytes eng,
+          d + Ingest.depth eng,
+          Float.max s (Ingest.staleness eng) ))
+      (0, 0, 0.) (all_engines t)
+  in
+  Write_pressure.observe t.pressure ~wal_bytes ~depth ~lag
+
+(* After a durable append: inline flush when the memtable is full, then
+   background compaction when the level stack is deep — throughput work
+   that must never delay or fail the (already durable) ack. *)
+let schedule_maintenance t name eng =
+  if Ingest.should_flush eng then begin
+    (match Ingest.flush eng with
+    | Ok true ->
+      log_event t "event=ingest-flush name=%s flushed=%d levels=%d" name
+        (Ingest.flushed_seq eng) (Ingest.level_count eng)
+    | Ok false -> ()
+    | Error f ->
+      (* records stay in the WAL and memtable; the next flush attempt
+         retries *)
+      log_event t "event=ingest-flush-failed name=%s class=%s msg=%S" name
+        (Xmldoc.Fault.class_name f)
+        (Xmldoc.Fault.to_string f));
+    if
+      t.config.compact_levels > 0
+      && Ingest.level_count eng >= t.config.compact_levels
+      && not (Ingest.compacting eng)
+    then
+      match
+        Jobs.submit_compact t.jobs ~name ~level_budget:t.config.level_budget
+      with
+      | Ok _ ->
+        (* flushes pause until the job is reaped: the memtable grows and
+           staleness rises, but the level set the child is merging stays
+           stable *)
+        Ingest.set_compacting eng true;
+        log_event t "event=compact-start name=%s levels=%d" name
+          (Ingest.level_count eng)
+      | Error _ -> ()
+  end
+
+(* The shared body of INGEST/DELETE/UPDATE: one write-pressure verdict,
+   then the engine's durable append, the verb-tagged ack, and
+   flush/compaction scheduling.  The deferred answers retain NOTHING —
+   the client's resend is safe — which is what licenses the client
+   library to honor [retry-after] automatically. *)
+let exec_mutation t name verb op =
+  observe_pressure t;
+  match Write_pressure.admit t.pressure with
+  | `Readonly ->
+    Protocol.error_line ~cls:"readonly"
+      (Printf.sprintf
+         "disk free under the hard watermark: mutations refused (%s); reads, \
+          scrub and repair still serve"
+         (Write_pressure.describe t.pressure))
+  | `Defer ms ->
+    Protocol.error_line ~cls:"ingest-deferred"
+      (Printf.sprintf "retry-after=%d %s" ms
+         (Write_pressure.describe t.pressure))
+  | `Admit pace -> (
+    match engine_for t name with
+    | Error f -> Protocol.fault_line f
+    | Ok eng -> (
+      let result =
+        match op with
+        | `Ingest xml -> Ingest.ingest eng ~xml
+        | `Delete path -> Ingest.delete eng ~path
+        | `Update (path, xml) -> Ingest.update eng ~path ~xml
+      in
+      match result with
+      | Error `No_space ->
+        (* nothing was retained — the WAL could not grow.  Same answer
+           shape as a shed, because the client contract is the same:
+           back off [retry-after], then resend. *)
+        Protocol.error_line ~cls:"ingest-deferred"
+          (Printf.sprintf "retry-after=%d WAL for %S cannot grow (no space)"
+             (Write_pressure.retry_hint t.pressure)
+             name)
+      | Error (`Fault f) -> Protocol.fault_line f
+      | Ok (seq, depth) ->
+        (* The ack below is already durable (WAL appended and fsynced
+           before the engine returned). *)
+        let response =
+          Printf.sprintf "ok %s name=%s seq=%d wal=%d%s" verb name seq depth
+            (match pace with
+            | Some ms -> Printf.sprintf " backpressure=%d" ms
+            | None -> "")
+        in
+        schedule_maintenance t name eng;
+        response))
 
 let handle_request t ~line (req : Protocol.request) =
   match req with
@@ -590,16 +715,41 @@ let handle_request t ~line (req : Protocol.request) =
       if depth = 0 then ""
       else Printf.sprintf " wal=%d staleness=%.3f" depth staleness
     in
+    let write_field =
+      (* Write-pressure state for routing: the coordinator's prober
+         prefers members not shedding or readonly for INGEST --target
+         suggestions.  Appended only when the server has live
+         ingestion state or a disk watermark configured: servers with
+         neither keep the exact pre-ingest line. *)
+      let engines = all_engines t in
+      let c = t.config.write_pressure in
+      if
+        engines = []
+        && c.Write_pressure.disk_soft = 0
+        && c.Write_pressure.disk_hard = 0
+      then ""
+      else begin
+        observe_pressure t;
+        let wal_bytes =
+          List.fold_left (fun w eng -> w + Ingest.wal_bytes eng) 0 engines
+        in
+        Printf.sprintf " wal_bytes=%d%s write_state=%s" wal_bytes
+          (match Write_pressure.disk_free t.pressure with
+          | Some free -> Printf.sprintf " disk_free=%d" free
+          | None -> "")
+          (Write_pressure.state_token (Write_pressure.state t.pressure))
+      end
+    in
     ( Printf.sprintf
         "ok health live=yes ready=%s draining=%s catalog=%d quarantined=%d \
-         inflight=%d/%d jobs=%d%s%s%s%s%s"
+         inflight=%d/%d jobs=%d%s%s%s%s%s%s"
         (yes_no (reason = None))
         (yes_no t.draining)
         (Catalog.size t.catalog)
         (List.length (Catalog.quarantined t.catalog))
         inflight capacity
         (Jobs.running_count t.jobs)
-        load_field pool_field hash_field ingest_field
+        load_field pool_field hash_field ingest_field write_field
         (match reason with None -> "" | Some r -> " reason=" ^ r),
       false )
   | List ->
@@ -648,10 +798,17 @@ let handle_request t ~line (req : Protocol.request) =
     let ingest =
       match find_engine t name with
       | Some eng when Ingest.level_count eng > 0 || Ingest.depth eng > 0 ->
+        observe_pressure t;
         Printf.sprintf
-          " levels=%d level_records=%d flushed=%d wal=%d staleness=%.3f"
+          " levels=%d level_records=%d flushed=%d wal=%d staleness=%.3f \
+           wal_bytes=%d%s write_state=%s"
           (Ingest.level_count eng) (Ingest.level_records eng)
           (Ingest.flushed_seq eng) (Ingest.depth eng) (Ingest.staleness eng)
+          (Ingest.wal_bytes eng)
+          (match Write_pressure.disk_free t.pressure with
+          | Some free -> Printf.sprintf " disk_free=%d" free
+          | None -> "")
+          (Write_pressure.state_token (Write_pressure.state t.pressure))
       | Some _ -> ""
       | None -> (
         match Catalog.find t.catalog name with
@@ -694,59 +851,11 @@ let handle_request t ~line (req : Protocol.request) =
       ( Protocol.error_line ~cls:"overloaded"
           (Printf.sprintf "%d builds already running" (Jobs.running_count t.jobs)),
         false ))
-  | Ingest { name; xml } -> (
-    match engine_for t name with
-    | Error f -> (Protocol.fault_line f, false)
-    | Ok eng -> (
-      match Ingest.ingest eng ~xml with
-      | Error `No_space ->
-        (* nothing was retained — the WAL could not grow.  The client
-           must retry explicitly once space frees up; INGEST is not
-           idempotent, so the client library never resends on its
-           own. *)
-        ( Protocol.error_line ~cls:"ingest-deferred"
-            (Printf.sprintf "WAL for %S cannot grow (no space)" name),
-          false )
-      | Error (`Fault f) -> (Protocol.fault_line f, false)
-      | Ok (seq, depth) ->
-        (* The ack below is already durable (WAL appended and fsynced
-           before [ingest] returned); flush and compaction scheduling
-           are throughput work that must not delay or fail it. *)
-        let response =
-          Printf.sprintf "ok ingest name=%s seq=%d wal=%d" name seq depth
-        in
-        if Ingest.should_flush eng then begin
-          (match Ingest.flush eng with
-          | Ok true ->
-            log_event t "event=ingest-flush name=%s flushed=%d levels=%d" name
-              (Ingest.flushed_seq eng) (Ingest.level_count eng)
-          | Ok false -> ()
-          | Error f ->
-            (* records stay in the WAL and memtable; the next flush
-               attempt retries *)
-            log_event t "event=ingest-flush-failed name=%s class=%s msg=%S"
-              name
-              (Xmldoc.Fault.class_name f)
-              (Xmldoc.Fault.to_string f));
-          if
-            t.config.compact_levels > 0
-            && Ingest.level_count eng >= t.config.compact_levels
-            && not (Ingest.compacting eng)
-          then
-            match
-              Jobs.submit_compact t.jobs ~name
-                ~level_budget:t.config.level_budget
-            with
-            | Ok _ ->
-              (* flushes pause until the job is reaped: the memtable
-                 grows and staleness rises, but the level set the
-                 child is merging stays stable *)
-              Ingest.set_compacting eng true;
-              log_event t "event=compact-start name=%s levels=%d" name
-                (Ingest.level_count eng)
-            | Error _ -> ()
-        end;
-        (response, false)))
+  | Ingest { name; xml } -> (exec_mutation t name "ingest" (`Ingest xml), false)
+  | Delete { name; path } ->
+    (exec_mutation t name "delete" (`Delete path), false)
+  | Update { name; path; xml } ->
+    (exec_mutation t name "update" (`Update (path, xml)), false)
   | Jobs ->
     Jobs.poll t.jobs;
     (* dot-prefixed jobs (the reserved scrub job) are supervisor

@@ -35,7 +35,14 @@
       stack — in-process even with the pool enabled, because the
       staleness bound tagged on the response is engine state only the
       parent holds.  On restart the WAL replays and re-flushes, so
-      every acknowledged ingest survives a kill at any point. *)
+      every acknowledged ingest survives a kill at any point.  DELETE
+      and UPDATE ride the same log as tombstone records: flushed
+      levels carry tombstone path predicates that mask matching
+      subtrees in older levels until compaction reclaims them.
+    - {e Write-pressure guardrails}: every mutation passes
+      {!Write_pressure} admission — advisory pacing, shedding with
+      [retry-after], and a hard disk watermark under which the server
+      goes read-only rather than wedging. *)
 
 type config = {
   limits : Xmldoc.Limits.t;  (** bounds every snapshot load *)
@@ -93,6 +100,18 @@ type config = {
       (** level count that triggers a background compaction job
           ({!Jobs.submit_compact}); 0 disables auto-compaction —
           flushes still accumulate levels *)
+  write_pressure : Write_pressure.config;
+      (** write-side admission control ({!Write_pressure}): every
+          mutation verb (INGEST/DELETE/UPDATE) passes its verdict —
+          paced acks carry [backpressure=<ms>], sheds answer
+          [error ingest-deferred retry-after=<ms>], and under the hard
+          disk watermark all mutations are refused
+          ([error readonly ...]) while reads, scrub and repair keep
+          working.  [serve --disk-watermark] sets the hard watermark
+          (soft = 2x). *)
+  disk_free : (unit -> int option) option;
+      (** test override of the disk-free probe; [None] (the default)
+          shells out to [df -P -k] *)
 }
 
 val default_config : config
@@ -100,7 +119,9 @@ val default_config : config
     connections, auto-reload on, 5 s drain deadline,
     {!Jobs.default_config} builds, scrubber off, no peers, 60 s tmp
     sweep age, 5 s repair timeout, 64-record flushes into 4096-byte
-    levels, compaction at 4 levels. *)
+    levels, compaction at 4 levels,
+    {!Write_pressure.default_config} admission (disk watermarks
+    off). *)
 
 type stats = {
   mutable served : int;  (** request lines handled (including errors) *)
@@ -133,6 +154,10 @@ val pool : t -> Pool.t
 val overload : t -> Overload.t option
 (** The brownout controller, present iff [config.brownout] was set
     (exposed for tests and benches: level and pressure inspection). *)
+
+val write_pressure : t -> Write_pressure.t
+(** The write-side admission controller (exposed for tests and benches:
+    state and pressure inspection). *)
 
 val handle_line : t -> string -> string * bool
 (** [handle_line t line] is one supervised request: the response line

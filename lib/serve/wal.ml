@@ -2,9 +2,19 @@
 
    One hidden file per synopsis ([.<name>.wal] — dot-prefixed and not
    [.ts]-suffixed, so the catalog scan and the scrubber's snapshot walk
-   never mistake it for a snapshot).  Records are CRC-framed:
+   never mistake it for a snapshot).  Records are CRC-framed.  Inserts
+   keep the original (v1) frame, so an insert-only log is byte-identical
+   to what earlier servers wrote and old logs replay unchanged:
 
      rec <seq> <ts> <len> <8-hex crc>\n
+     <len payload bytes>\n
+
+   Deletions and updates (v2) use a sibling header carrying the
+   operation kind; a v1 replayer would treat the first [mut] frame as a
+   tear, which is exactly the safe failure mode (truncate, lose nothing
+   acked by a v1 server):
+
+     mut <seq> <ts> <del|upd> <len> <8-hex crc>\n
      <len payload bytes>\n
 
    An append is not acknowledged until the frame is written AND fsynced
@@ -19,9 +29,12 @@
    a tear, so a corrupted middle can never smuggle stale records past
    the exactly-once filter. *)
 
+type op = Insert | Delete | Update
+
 type record = {
   seq : int;
   ts : float;  (* arrival wall-clock, for staleness bounds *)
+  op : op;
   payload : string;
 }
 
@@ -38,10 +51,23 @@ let wal_name file =
   then Some (String.sub file 1 (String.length file - 1 - String.length file_suffix))
   else None
 
+let op_token = function Insert -> "ins" | Delete -> "del" | Update -> "upd"
+
+let op_of_token = function
+  | "ins" -> Some Insert
+  | "del" -> Some Delete
+  | "upd" -> Some Update
+  | _ -> None
+
 let frame r =
-  Printf.sprintf "rec %d %.6f %d %s\n%s\n" r.seq r.ts (String.length r.payload)
-    (Sketch.Crc32.to_hex (Sketch.Crc32.string r.payload))
-    r.payload
+  let crc = Sketch.Crc32.to_hex (Sketch.Crc32.string r.payload) in
+  match r.op with
+  | Insert ->
+    Printf.sprintf "rec %d %.6f %d %s\n%s\n" r.seq r.ts
+      (String.length r.payload) crc r.payload
+  | Delete | Update ->
+    Printf.sprintf "mut %d %.6f %s %d %s\n%s\n" r.seq r.ts (op_token r.op)
+      (String.length r.payload) crc r.payload
 
 let render records = String.concat "" (List.map frame records)
 
@@ -66,8 +92,20 @@ let parse text =
        | None -> tear ()
        | Some nl -> (
          let header = String.sub text start (nl - start) in
-         match String.split_on_char ' ' header with
-         | [ "rec"; seq; ts; plen; crc ] -> (
+         (* both header forms share a tail of (len, crc) preceded by a
+            seq/ts prefix; [mut] carries the op token in between *)
+         let fields =
+           match String.split_on_char ' ' header with
+           | [ "rec"; seq; ts; plen; crc ] -> Some (seq, ts, Insert, plen, crc)
+           | [ "mut"; seq; ts; op; plen; crc ] -> (
+             match op_of_token op with
+             | Some ((Delete | Update) as op) -> Some (seq, ts, op, plen, crc)
+             | Some Insert | None -> None)
+           | _ -> None
+         in
+         match fields with
+         | None -> tear ()
+         | Some (seq, ts, op, plen, crc) -> (
            match
              ( int_of_string_opt seq,
                float_of_string_opt ts,
@@ -85,13 +123,12 @@ let parse text =
                then tear ()
                else begin
                  prev_seq := seq;
-                 records := { seq; ts; payload } :: !records;
+                 records := { seq; ts; op; payload } :: !records;
                  pos := nl + 1 + plen + 1;
                  good := !pos
                end
              end
-           | _ -> tear ())
-         | _ -> tear ())
+           | _ -> tear ()))
      done
    with Exit -> ());
   (List.rev !records, !good, !torn)
@@ -99,6 +136,9 @@ let parse text =
 type t = {
   wal_path : string;
   mutable fd : Unix.file_descr option;
+  mutable bytes : int;
+      (* bytes of intact log on disk — the write-pressure controller's
+         "WAL outstanding" signal, maintained without stat calls *)
 }
 
 let read_all ?(limits = Xmldoc.Limits.default) path =
@@ -158,7 +198,7 @@ let open_ ?limits ~dir ~name () =
               ~finally:(fun () ->
                 try Unix.close fd with Unix.Unix_error _ -> ())
               (fun () -> Unix.ftruncate fd good);
-            Ok (records, true)
+            Ok (records, good, true)
           | exception Unix.Unix_error (e, fn, _) ->
             Error
               (Xmldoc.Fault.Io_error
@@ -167,17 +207,17 @@ let open_ ?limits ~dir ~name () =
                    message = fn ^ ": " ^ Unix.error_message e;
                  })
         end
-        else Ok (records, false)
-    else Ok ([], false)
+        else Ok (records, good, false)
+    else Ok ([], 0, false)
   in
   match replayed with
   | Error f -> Error f
-  | Ok (records, torn) -> (
+  | Ok (records, good, torn) -> (
     match
       Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Open ~path:wal_path;
       Unix.openfile wal_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o666
     with
-    | fd -> Ok ({ wal_path; fd = Some fd }, records, torn)
+    | fd -> Ok ({ wal_path; fd = Some fd; bytes = good }, records, torn)
     | exception Unix.Unix_error (e, fn, _) ->
       Error
         (Xmldoc.Fault.Io_error
@@ -192,11 +232,18 @@ let close t =
 
 let wal_path t = t.wal_path
 
+let bytes t = t.bytes
+
 (* Append one frame and make it durable.  A short write (disk full
    caught mid-frame) or an explicit ENOSPC rolls the file back to the
    pre-append length and reports [`No_space] — the caller defers the
    ingest, and the log never contains the tear we just created.  Any
-   other failure also rolls back, as a structured fault. *)
+   other failure also rolls back, as a structured fault.
+
+   The pre-append length must be known before anything is written: if
+   it cannot be established the append fails fast WITHOUT writing,
+   because a rollback to a guessed base could truncate acknowledged
+   records (a base of 0 would wipe the whole log). *)
 let append t record =
   match t.fd with
   | None ->
@@ -204,38 +251,42 @@ let append t record =
   | Some fd -> (
     let text = frame record in
     let len = String.length text in
-    let base =
-      match Unix.lseek fd 0 Unix.SEEK_END with
-      | n -> n
-      | exception Unix.Unix_error _ -> 0
-    in
-    let rollback () = try Unix.ftruncate fd base with Unix.Unix_error _ -> () in
-    match
-      Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Write ~path:t.wal_path;
-      let n = Xmldoc.Io_fault.cap Xmldoc.Io_fault.Write ~path:t.wal_path len in
-      let bytes = Bytes.of_string text in
-      let rec write off =
-        if off < n then write (off + Unix.write fd bytes off (n - off))
-      in
-      write 0;
-      if n < len then raise (Unix.Unix_error (Unix.ENOSPC, "write", t.wal_path));
-      (* the acknowledgement contract: durable before acked *)
-      Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Fsync ~path:t.wal_path;
-      Unix.fsync fd
-    with
-    | () -> Ok ()
-    | exception Unix.Unix_error (Unix.ENOSPC, _, _) ->
-      rollback ();
-      Error `No_space
+    match Unix.lseek fd 0 Unix.SEEK_END with
     | exception Unix.Unix_error (e, fn, _) ->
-      rollback ();
       Error
         (`Fault
           (Xmldoc.Fault.Io_error
              { path = t.wal_path; message = fn ^ ": " ^ Unix.error_message e }))
-    | exception Sys_error message ->
-      rollback ();
-      Error (`Fault (Xmldoc.Fault.Io_error { path = t.wal_path; message })))
+    | base -> (
+      let rollback () = try Unix.ftruncate fd base with Unix.Unix_error _ -> () in
+      match
+        Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Write ~path:t.wal_path;
+        let n = Xmldoc.Io_fault.cap Xmldoc.Io_fault.Write ~path:t.wal_path len in
+        let bytes = Bytes.of_string text in
+        let rec write off =
+          if off < n then write (off + Unix.write fd bytes off (n - off))
+        in
+        write 0;
+        if n < len then raise (Unix.Unix_error (Unix.ENOSPC, "write", t.wal_path));
+        (* the acknowledgement contract: durable before acked *)
+        Xmldoc.Io_fault.tap_retrying Xmldoc.Io_fault.Fsync ~path:t.wal_path;
+        Unix.fsync fd
+      with
+      | () ->
+        t.bytes <- base + len;
+        Ok ()
+      | exception Unix.Unix_error (Unix.ENOSPC, _, _) ->
+        rollback ();
+        Error `No_space
+      | exception Unix.Unix_error (e, fn, _) ->
+        rollback ();
+        Error
+          (`Fault
+            (Xmldoc.Fault.Io_error
+               { path = t.wal_path; message = fn ^ ": " ^ Unix.error_message e }))
+      | exception Sys_error message ->
+        rollback ();
+        Error (`Fault (Xmldoc.Fault.Io_error { path = t.wal_path; message }))))
 
 (* Replace the log's contents with exactly [records] — how the engine
    discards flushed records after the manifest swap committed them.
@@ -244,7 +295,8 @@ let append t record =
    already-flushed records via the manifest's flushed sequence) or the
    new one; never a tear. *)
 let rewrite t records =
-  match Sketch.Serialize.write_atomic t.wal_path (render records) with
+  let text = render records in
+  match Sketch.Serialize.write_atomic t.wal_path text with
   | Error f -> Error f
   | Ok () -> (
     close t;
@@ -254,6 +306,7 @@ let rewrite t records =
     with
     | fd ->
       t.fd <- Some fd;
+      t.bytes <- String.length text;
       Ok ()
     | exception Unix.Unix_error (e, fn, _) ->
       Error

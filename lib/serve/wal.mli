@@ -2,10 +2,20 @@
     verb.
 
     One hidden file per synopsis ([.<name>.wal]), holding CRC-framed
-    records:
+    records.  Inserts use the original (v1) frame; an insert-only log
+    is byte-identical to what earlier servers wrote, and old logs
+    replay unchanged:
 
     {v
     rec <seq> <ts> <len> <8-hex crc32>\n
+    <len payload bytes>\n
+    v}
+
+    Deletions and updates (v2) use a sibling header carrying the
+    operation kind:
+
+    {v
+    mut <seq> <ts> <del|upd> <len> <8-hex crc32>\n
     <len payload bytes>\n
     v}
 
@@ -23,12 +33,23 @@
       would otherwise tear the log) rolls the file back to its
       pre-append length and reports {!No_space} so the server can
       answer [error ingest-deferred] instead of acking a record it
-      cannot make durable. *)
+      cannot make durable.  The rolled-back record's sequence number is
+      not consumed — the engine reuses it on the retry, so replay never
+      sees a gap. *)
+
+type op =
+  | Insert  (** append an XML fragment (the original v1 record) *)
+  | Delete  (** payload is a slash-joined label path predicate *)
+  | Update
+      (** payload is ["<path> <xml>"] — delete the matching subtrees,
+          then insert the replacement, atomically at one sequence
+          number *)
 
 type record = {
   seq : int;  (** caller-assigned, strictly increasing *)
   ts : float;  (** arrival wall-clock; feeds the staleness bound *)
-  payload : string;  (** opaque — the ingested XML fragment *)
+  op : op;
+  payload : string;  (** opaque — fragment, path-pred, or both *)
 }
 
 type t
@@ -53,7 +74,10 @@ val open_ :
 
 val append : t -> record -> (unit, [ `No_space | `Fault of Xmldoc.Fault.t ]) result
 (** Durably append one record (write + fsync).  On [`No_space] the log
-    is rolled back to its previous length — nothing partial remains. *)
+    is rolled back to its previous length — nothing partial remains.
+    If the pre-append length cannot be established the append fails
+    fast without writing (a rollback to a guessed length could destroy
+    acknowledged records). *)
 
 val rewrite : t -> record list -> (unit, Xmldoc.Fault.t) result
 (** Atomically replace the log's contents with exactly [records] — the
@@ -65,6 +89,10 @@ val scan :
 (** Read-only verification for the scrubber and [treesketch verify]:
     intact records plus a torn-tail flag, without repairing the file.
     A missing file reads as [([], false)]. *)
+
+val bytes : t -> int
+(** Bytes of intact log currently on disk — the write-pressure
+    controller's "WAL outstanding" signal. *)
 
 val wal_path : t -> string
 

@@ -1,0 +1,199 @@
+(* The write-side admission controller: the ingestion counterpart of
+   the {!Overload} brownout controller.
+
+   Reads degrade by answering coarser; writes degrade by arriving
+   later.  The controller folds the write path's leading indicators —
+   WAL bytes outstanding, memtable depth, flush/compaction lag (the
+   staleness of the oldest unflushed record) — into one dimensionless
+   pressure
+
+     pressure = max (wal_bytes / wal_bytes_high)
+                    (depth     / depth_high)
+                    (lag       / lag_high)
+
+   and degrades in stages:
+
+   - [Ok]       pressure below [pace_at]: admit unconditionally.
+   - [Paced]    pressure in [pace_at, shed_at): admit, but attach an
+                advisory [backpressure=<ms>] hint to the ack so a
+                well-behaved client spaces its next write.
+   - [Shedding] pressure at or past [shed_at], or disk free under the
+                soft watermark: refuse with [retry-after=<ms>] — the
+                client backs off with jitter and retries; nothing was
+                retained, so the retry is safe.
+   - [Readonly] disk free under the HARD watermark: refuse every
+                mutation outright while reads, scrub and repair keep
+                working.  Writes resume by themselves once compaction
+                or an operator frees space.
+
+   Unlike serving latency, the inputs here are integrals (bytes and
+   records outstanding age monotonically until a flush drains them), so
+   no EWMA smoothing or dwell hysteresis is needed — the state follows
+   the signals directly and un-flaps as the flush catches up.
+
+   The disk watermark needs a free-space probe.  OCaml's Unix module
+   has no statvfs, so the default probe shells out to POSIX
+   [df -P -k <dir>] — rate-limited to one probe per [probe_interval]
+   seconds and cached in between — and tests inject a deterministic
+   probe instead. *)
+
+type state = Ok | Paced | Shedding | Readonly
+
+let state_token = function
+  | Ok -> "ok"
+  | Paced -> "paced"
+  | Shedding -> "shedding"
+  | Readonly -> "readonly"
+
+type config = {
+  wal_bytes_high : int;  (* WAL bytes outstanding at pressure 1.0 *)
+  depth_high : int;  (* memtable records at pressure 1.0 *)
+  lag_high : float;  (* seconds of flush lag at pressure 1.0 *)
+  pace_at : float;  (* pressure where advisory pacing starts *)
+  shed_at : float;  (* pressure where writes are refused *)
+  pace_ms : int;  (* base advisory pacing hint *)
+  retry_after_ms : int;  (* base shed retry-after *)
+  disk_soft : int;  (* free bytes under which writes shed; 0 = off *)
+  disk_hard : int;  (* free bytes under which writes refuse; 0 = off *)
+  probe_interval : float;  (* min seconds between disk probes *)
+}
+
+let default_config =
+  {
+    wal_bytes_high = 8 * 1024 * 1024;
+    depth_high = 4096;
+    lag_high = 30.0;
+    pace_at = 0.5;
+    shed_at = 1.0;
+    pace_ms = 50;
+    retry_after_ms = 250;
+    disk_soft = 0;
+    disk_hard = 0;
+    probe_interval = 0.25;
+  }
+
+type t = {
+  config : config;
+  probe : unit -> int option;
+  lock : Mutex.t;
+  mutable pressure : float;
+  mutable state : state;
+  mutable cached_free : int option;
+  mutable probed_at : float;
+}
+
+(* POSIX [df -P -k]: one header line, then one line per filesystem with
+   the available KiB in the fourth column.  Any parse or process
+   failure reads as "unknown" — the watermark then simply cannot trip,
+   which fails open (admitting) rather than wedging writes on a broken
+   probe. *)
+let df_free dir () =
+  let cmd = Printf.sprintf "df -P -k %s 2>/dev/null" (Filename.quote dir) in
+  match Unix.open_process_in cmd with
+  | exception _ -> None
+  | ic ->
+    let last = ref None in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then last := Some line
+       done
+     with End_of_file -> ());
+    let status = try Unix.close_process_in ic with _ -> Unix.WEXITED 1 in
+    (match (status, !last) with
+    | Unix.WEXITED 0, Some line -> (
+      match
+        List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+      with
+      | _fs :: _blocks :: _used :: avail :: _ ->
+        Option.map (fun kb -> kb * 1024) (int_of_string_opt avail)
+      | _ -> None)
+    | _ -> None)
+
+let create ?(config = default_config) ?disk_free ~dir () =
+  if config.wal_bytes_high < 1 then
+    invalid_arg "Write_pressure: wal_bytes_high must be >= 1";
+  if config.depth_high < 1 then
+    invalid_arg "Write_pressure: depth_high must be >= 1";
+  if config.lag_high <= 0.0 then
+    invalid_arg "Write_pressure: lag_high must be positive";
+  if not (config.pace_at < config.shed_at) then
+    invalid_arg "Write_pressure: pace_at must be below shed_at";
+  if config.pace_ms < 0 || config.retry_after_ms < 1 then
+    invalid_arg "Write_pressure: bad pacing/retry-after";
+  if config.disk_soft < 0 || config.disk_hard < 0 then
+    invalid_arg "Write_pressure: watermarks must be >= 0";
+  let probe =
+    match disk_free with Some f -> f | None -> df_free dir
+  in
+  {
+    config;
+    probe;
+    lock = Mutex.create ();
+    pressure = 0.0;
+    state = Ok;
+    cached_free = None;
+    probed_at = neg_infinity;
+  }
+
+(* Must be called with the lock held. *)
+let probe_locked t =
+  if t.config.disk_soft = 0 && t.config.disk_hard = 0 then None
+  else begin
+    let now = Xmldoc.Limits.now () in
+    if now -. t.probed_at >= t.config.probe_interval then begin
+      t.cached_free <- t.probe ();
+      t.probed_at <- now
+    end;
+    t.cached_free
+  end
+
+let observe t ~wal_bytes ~depth ~lag =
+  let c = t.config in
+  Mutex.protect t.lock @@ fun () ->
+  t.pressure <-
+    Float.max
+      (float_of_int wal_bytes /. float_of_int c.wal_bytes_high)
+      (Float.max
+         (float_of_int depth /. float_of_int c.depth_high)
+         (lag /. c.lag_high));
+  let free = probe_locked t in
+  t.state <-
+    (match free with
+    | Some free when c.disk_hard > 0 && free < c.disk_hard -> Readonly
+    | Some free when c.disk_soft > 0 && free < c.disk_soft -> Shedding
+    | _ ->
+      if t.pressure >= c.shed_at then Shedding
+      else if t.pressure >= c.pace_at then Paced
+      else Ok)
+
+(* Scale the hints by how far past the threshold we are, capped so a
+   pathological pressure spike cannot park clients for minutes. *)
+let scaled base pressure = int_of_float (float_of_int base *. Float.min 8.0 (Float.max 1.0 pressure))
+
+let admit t =
+  Mutex.protect t.lock @@ fun () ->
+  match t.state with
+  | Ok -> `Admit None
+  | Paced -> `Admit (Some (scaled t.config.pace_ms t.pressure))
+  | Shedding -> `Defer (scaled t.config.retry_after_ms t.pressure)
+  | Readonly -> `Readonly
+
+let retry_hint t =
+  Mutex.protect t.lock @@ fun () -> scaled t.config.retry_after_ms t.pressure
+
+let state t = Mutex.protect t.lock (fun () -> t.state)
+
+let pressure t = Mutex.protect t.lock (fun () -> t.pressure)
+
+let disk_free t = Mutex.protect t.lock (fun () -> probe_locked t)
+
+let min_free t = t.config.disk_hard
+
+let describe t =
+  Mutex.protect t.lock @@ fun () ->
+  Printf.sprintf "write_state=%s pressure=%.2f%s" (state_token t.state)
+    t.pressure
+    (match t.cached_free with
+    | Some free -> Printf.sprintf " disk_free=%d" free
+    | None -> "")

@@ -1,0 +1,81 @@
+(** Write-side admission control — the ingestion counterpart of the
+    {!Overload} brownout controller.
+
+    Folds the write path's leading indicators (WAL bytes outstanding,
+    memtable depth, flush/compaction lag) into one pressure number and
+    a disk-free watermark check, and degrades in stages:
+
+    - [Ok] — admit unconditionally;
+    - [Paced] — admit with an advisory [backpressure=<ms>] pacing hint
+      on the ack;
+    - [Shedding] — refuse with [error ingest-deferred retry-after=<ms>]
+      (nothing retained, so a client retry is safe);
+    - [Readonly] — disk free under the hard watermark: refuse every
+      mutation while reads, scrub and repair keep working.
+
+    The default disk probe shells out to POSIX [df -P -k] (OCaml's
+    Unix module has no statvfs), rate-limited and cached; tests inject
+    a deterministic probe via [disk_free]. *)
+
+type state = Ok | Paced | Shedding | Readonly
+
+val state_token : state -> string
+(** ["ok" | "paced" | "shedding" | "readonly"] — the token HEALTH/STAT
+    report and the coordinator prober parses. *)
+
+type config = {
+  wal_bytes_high : int;
+      (** WAL bytes outstanding that alone mean pressure 1.0 *)
+  depth_high : int;  (** memtable records that alone mean pressure 1.0 *)
+  lag_high : float;  (** seconds of flush lag that alone mean 1.0 *)
+  pace_at : float;  (** pressure where advisory pacing starts *)
+  shed_at : float;  (** pressure where writes are refused *)
+  pace_ms : int;  (** base advisory pacing hint, scaled by pressure *)
+  retry_after_ms : int;  (** base shed retry-after, scaled by pressure *)
+  disk_soft : int;
+      (** free bytes under which writes shed; 0 disables the check *)
+  disk_hard : int;
+      (** free bytes under which all mutations are refused; 0 disables *)
+  probe_interval : float;  (** minimum seconds between disk probes *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config -> ?disk_free:(unit -> int option) -> dir:string -> unit -> t
+(** [create ~dir ()] watches the filesystem holding [dir].  [disk_free]
+    overrides the probe (tests); a probe returning [None] fails open —
+    the watermark cannot trip on a broken probe.
+    @raise Invalid_argument on a nonsensical config. *)
+
+val observe : t -> wal_bytes:int -> depth:int -> lag:float -> unit
+(** Fold in the current write-path signals (summed across engines) and
+    re-derive the state.  The inputs are integrals — they age
+    monotonically until a flush drains them — so no smoothing or dwell
+    is applied; the state follows the signals directly. *)
+
+val admit : t -> [ `Admit of int option | `Defer of int | `Readonly ]
+(** The admission verdict for one mutation: admit (with an optional
+    advisory pacing hint in ms), defer (with a retry-after in ms), or
+    refuse outright (hard watermark). *)
+
+val retry_hint : t -> int
+(** The shed retry-after in ms at the current pressure — what an
+    admitted-then-ENOSPC'd append attaches to its [ingest-deferred]
+    answer. *)
+
+val state : t -> state
+
+val pressure : t -> float
+
+val disk_free : t -> int option
+(** Last probed free bytes (probing now if the cache is stale);
+    [None] when both watermarks are disabled or the probe failed. *)
+
+val min_free : t -> int
+(** The hard watermark, for sharing with repair's ENOSPC preflight —
+    an installation that would push free space under it is deferred. *)
+
+val describe : t -> string

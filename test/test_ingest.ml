@@ -125,7 +125,8 @@ let unwrap what = function
 (* WAL                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let record seq payload = { Wal.seq; ts = 1000.0 +. float_of_int seq; payload }
+let record ?(op = Wal.Insert) seq payload =
+  { Wal.seq; ts = 1000.0 +. float_of_int seq; op; payload }
 
 let test_wal_roundtrip () =
   with_temp_dir (fun dir ->
@@ -246,6 +247,119 @@ let test_wal_enospc_rolls_back () =
       Alcotest.(check (list int)) "both records durable" [ 1; 2 ]
         (List.map (fun r -> r.Wal.seq) replayed))
 
+let test_wal_mixed_ops_roundtrip () =
+  with_temp_dir (fun dir ->
+      let wal, _, _ = unwrap "open" (Wal.open_ ~dir ~name:"db" ()) in
+      List.iter
+        (fun r ->
+          match Wal.append wal r with
+          | Ok () -> ()
+          | Error `No_space -> Alcotest.fail "spurious ENOSPC"
+          | Error (`Fault f) ->
+            Alcotest.failf "append: %s" (Xmldoc.Fault.to_string f))
+        [
+          record 1 "<a/>";
+          record ~op:Wal.Delete 2 "movie/remake";
+          record ~op:Wal.Update 3 "short <clip><title/></clip>";
+        ];
+      Wal.close wal;
+      let wal2, replayed, torn =
+        unwrap "reopen" (Wal.open_ ~dir ~name:"db" ())
+      in
+      Wal.close wal2;
+      Alcotest.(check bool) "clean reopen" false torn;
+      (match replayed with
+      | [ r1; r2; r3 ] ->
+        Alcotest.(check bool) "insert op survives" true (r1.Wal.op = Wal.Insert);
+        Alcotest.(check bool) "delete op survives" true (r2.Wal.op = Wal.Delete);
+        Alcotest.(check string) "delete payload is the path predicate"
+          "movie/remake" r2.Wal.payload;
+        Alcotest.(check bool) "update op survives" true (r3.Wal.op = Wal.Update);
+        Alcotest.(check string) "update payload carries both halves"
+          "short <clip><title/></clip>" r3.Wal.payload
+      | rs -> Alcotest.failf "expected 3 records, got %d" (List.length rs));
+      (* format compatibility: inserts still use the original v1 frame
+         byte-for-byte (an insert-only log is what an older server
+         wrote), mutations the sibling [mut] frame *)
+      let raw =
+        In_channel.with_open_bin (Wal.path ~dir ~name:"db")
+          In_channel.input_all
+      in
+      Alcotest.(check bool) "insert framing is v1" true
+        (starts_with "rec 1 " raw);
+      Alcotest.(check bool) "mutations use the mut frame" true
+        (contains raw "\nmut 2 "))
+
+(* Satellite: a failed append must roll back cleanly and never consume
+   the sequence number — at EVERY byte offset a short write can tear
+   the frame, not just the offsets one lucky seed happens to draw. *)
+let test_wal_append_failure_at_every_offset () =
+  with_temp_dir (fun dir ->
+      let next = record ~op:Wal.Update 2 "movie <remake><title/></remake>" in
+      (* learn the exact frame length with a clean probe append *)
+      let frame_len =
+        let wal, _, _ = unwrap "probe open" (Wal.open_ ~dir ~name:"probe" ()) in
+        (match Wal.append wal next with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "probe append");
+        let n = Wal.bytes wal in
+        Wal.close wal;
+        n
+      in
+      let wal0, _, _ = unwrap "open" (Wal.open_ ~dir ~name:"db" ()) in
+      (match Wal.append wal0 (record 1 "<a/>") with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "seed append");
+      let base_len = Wal.bytes wal0 in
+      Wal.close wal0;
+      let path = Wal.path ~dir ~name:"db" in
+      for off = 0 to frame_len - 1 do
+        let wal, replayed, torn =
+          unwrap "reopen" (Wal.open_ ~dir ~name:"db" ())
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "offset %d: clean open" off)
+          false torn;
+        Alcotest.(check int)
+          (Printf.sprintf "offset %d: prefix intact" off)
+          1 (List.length replayed);
+        Fun.protect ~finally:F.disarm (fun () ->
+            F.arm ~seed
+              [
+                F.rule ~prob:1.0 ~limit:1 ~path:".db.wal" F.Write
+                  (F.Short_at off);
+              ];
+            match Wal.append wal next with
+            | Error `No_space -> ()
+            | Ok () -> Alcotest.failf "offset %d: torn append acked" off
+            | Error (`Fault f) ->
+              Alcotest.failf "offset %d: wrong error %s" off
+                (Xmldoc.Fault.to_string f));
+        Alcotest.(check int)
+          (Printf.sprintf "offset %d: rolled back to pre-append length" off)
+          base_len
+          (Unix.stat path).Unix.st_size;
+        (* the rolled-back seq is reused: the retry is the FIRST durable
+           copy, and replay sees no gap and no duplicate *)
+        (match Wal.append wal next with
+        | Ok () -> ()
+        | Error _ -> Alcotest.failf "offset %d: retry failed" off);
+        Wal.close wal;
+        let wal2, replayed, torn =
+          unwrap "verify" (Wal.open_ ~dir ~name:"db" ())
+        in
+        Wal.close wal2;
+        Alcotest.(check bool)
+          (Printf.sprintf "offset %d: no tear after retry" off)
+          false torn;
+        Alcotest.(check (list int))
+          (Printf.sprintf "offset %d: exactly once" off)
+          [ 1; 2 ]
+          (List.map (fun r -> r.Wal.seq) replayed);
+        (* reset for the next offset *)
+        Unix.truncate path base_len
+      done)
+
 (* ------------------------------------------------------------------ *)
 (* merge_disjoint                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -270,6 +384,42 @@ let test_merge_disjoint () =
   match Sketch.Build.merge_disjoint [ a; c ] with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "mismatched root labels should refuse"
+
+let label l = Xmldoc.Label.of_string l
+
+let test_merge_tombstoned () =
+  (* ascending age order: older levels first.  The newer level's
+     tombstone must prune [movie] out of the older level before its
+     content joins, so the merged output owes no tombstones. *)
+  let older =
+    Stable.build
+      (Xmldoc.Parser.of_string "<db><movie><actor/></movie><short/></db>")
+  in
+  let newer = Stable.build (Xmldoc.Parser.of_string "<db><gala/></db>") in
+  (match
+     Sketch.Build.merge_tombstoned [ (older, []); (newer, [ [ label "movie" ] ]) ]
+   with
+  | Error e -> Alcotest.failf "merge_tombstoned: %s" e
+  | Ok m ->
+    (match Sketch.Synopsis.validate m with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "merged synopsis invalid: %s" e);
+    (* root + short + gala: movie and its actor physically gone *)
+    Alcotest.(check int) "deleted subtree reclaimed" 3
+      (Sketch.Synopsis.num_nodes m));
+  (* a tombstone masks strictly OLDER levels only: the newer level's
+     own matching content (inserted after the delete) survives *)
+  let replay =
+    Stable.build (Xmldoc.Parser.of_string "<db><movie><title/></movie></db>")
+  in
+  match
+    Sketch.Build.merge_tombstoned [ (older, []); (replay, [ [ label "movie" ] ]) ]
+  with
+  | Error e -> Alcotest.failf "replay merge: %s" e
+  | Ok m ->
+    (* root + short + movie + title: only the OLD movie/actor pruned *)
+    Alcotest.(check int) "own content survives own tombstone" 4
+      (Sketch.Synopsis.num_nodes m)
 
 (* ------------------------------------------------------------------ *)
 (* Engine                                                              *)
@@ -432,6 +582,129 @@ let test_compaction_merges_levels () =
       | Error f -> Alcotest.failf "no-op compact: %s" (Xmldoc.Fault.to_string f));
       Ingest.close eng)
 
+let do_delete eng path =
+  match Ingest.delete eng ~path with
+  | Ok r -> r
+  | Error `No_space -> Alcotest.fail "spurious ENOSPC"
+  | Error (`Fault f) -> Alcotest.failf "delete: %s" (Xmldoc.Fault.to_string f)
+
+let do_update eng path xml =
+  match Ingest.update eng ~path ~xml with
+  | Ok r -> r
+  | Error `No_space -> Alcotest.fail "spurious ENOSPC"
+  | Error (`Fault f) -> Alcotest.failf "update: %s" (Xmldoc.Fault.to_string f)
+
+let test_engine_tombstones_flush_and_replay () =
+  with_temp_dir (fun dir ->
+      let eng = open_engine dir in
+      ignore (do_ingest eng "<movie><remake/></movie>");
+      Alcotest.(check bool) "first flush" true (do_flush eng);
+      ignore (do_ingest eng "<gala/>");
+      Alcotest.(check (pair int int)) "delete acks with seq and depth" (3, 2)
+        (do_delete eng "movie");
+      (* the path predicate is validated at the door, nothing durable *)
+      (match Ingest.delete eng ~path:"bad path" with
+      | Error (`Fault _) -> ()
+      | Ok _ -> Alcotest.fail "invalid path acked"
+      | Error `No_space -> Alcotest.fail "wrong error class");
+      Alcotest.(check int) "depth unchanged by the rejection" 2
+        (Ingest.depth eng);
+      Alcotest.(check bool) "second flush" true (do_flush eng);
+      (* the tombstone rides the manifest and the loaded stack *)
+      let m = unwrap "manifest" (Ingest.read_manifest ~dir ~name:"db" ()) in
+      (match m.Ingest.entries with
+      | [ e1; e2 ] ->
+        Alcotest.(check (list string)) "old level owes no tombstones" []
+          e1.Ingest.tombs;
+        Alcotest.(check (list string)) "delete became a tombstone"
+          [ "movie" ] e2.Ingest.tombs
+      | es -> Alcotest.failf "expected two levels, got %d" (List.length es));
+      let stack = Ingest.level_stack eng in
+      Alcotest.(check int) "stack loaded" 2 (Array.length stack);
+      Alcotest.(check int) "tombs parsed into the stack" 1
+        (List.length (snd stack.(1)));
+      Ingest.close eng;
+      (* a restart reloads both levels with their tombstones intact *)
+      let eng2 = open_engine dir in
+      Alcotest.(check int) "stack survives restart" 2
+        (Array.length (Ingest.level_stack eng2));
+      Alcotest.(check int) "tombstones survive restart" 1
+        (List.length (snd (Ingest.level_stack eng2).(1)));
+      Ingest.close eng2)
+
+let test_engine_in_batch_pruning () =
+  with_temp_dir (fun dir ->
+      let eng = open_engine dir in
+      (* insert, delete, re-insert — all in ONE batch: the delete prunes
+         the strictly older in-batch fragment, the later insert
+         survives (the level's content is net of its own tombstones) *)
+      ignore (do_ingest eng "<movie><sequel/></movie>");
+      ignore (do_delete eng "movie");
+      ignore (do_ingest eng "<movie><reboot/></movie>");
+      Alcotest.(check bool) "flushed" true (do_flush eng);
+      let stack = Ingest.level_stack eng in
+      Alcotest.(check int) "one level" 1 (Array.length stack);
+      let s, tombs = stack.(0) in
+      Alcotest.(check int) "tombstone published" 1 (List.length tombs);
+      (* root + movie + reboot: the pre-delete movie/sequel is gone *)
+      Alcotest.(check int) "level content net of its own tombstones" 3
+        (Sketch.Synopsis.num_nodes s);
+      Ingest.close eng)
+
+let test_engine_update_is_atomic () =
+  with_temp_dir (fun dir ->
+      let eng = open_engine dir in
+      ignore (do_ingest eng "<gala><title/></gala>");
+      Alcotest.(check bool) "flush 1" true (do_flush eng);
+      Alcotest.(check (pair int int)) "update acks like an insert" (2, 1)
+        (do_update eng "gala" "<opera><title/></opera>");
+      Alcotest.(check bool) "flush 2" true (do_flush eng);
+      let stack = Ingest.level_stack eng in
+      Alcotest.(check int) "two levels" 2 (Array.length stack);
+      let s, tombs = stack.(1) in
+      Alcotest.(check int) "one tombstone from the update" 1
+        (List.length tombs);
+      (* root + opera + title: the replacement is in the SAME level *)
+      Alcotest.(check int) "replacement rides the update's level" 3
+        (Sketch.Synopsis.num_nodes s);
+      (* malformed replacement: refused before anything durable *)
+      (match Ingest.update eng ~path:"opera" ~xml:"<unclosed" with
+      | Error (`Fault _) -> ()
+      | Ok _ -> Alcotest.fail "malformed replacement acked"
+      | Error `No_space -> Alcotest.fail "wrong error class");
+      Alcotest.(check int) "nothing pending after the rejection" 0
+        (Ingest.depth eng);
+      Ingest.close eng)
+
+let test_compaction_reclaims_tombstoned () =
+  with_temp_dir (fun dir ->
+      let eng = open_engine dir in
+      ignore (do_ingest eng "<movie><actor/></movie>");
+      Alcotest.(check bool) "flush 1" true (do_flush eng);
+      ignore (do_ingest eng "<gala/>");
+      ignore (do_delete eng "movie");
+      Alcotest.(check bool) "flush 2" true (do_flush eng);
+      let ckpt = Filename.concat dir ".compact-db.ckpt" in
+      (match
+         Ingest.compact ~dir ~name:"db" ~level_budget:4096 ~checkpoint:ckpt ()
+       with
+      | Ok _ -> ()
+      | Error f -> Alcotest.failf "compact: %s" (Xmldoc.Fault.to_string f));
+      unwrap "refresh" (Ingest.refresh eng);
+      let m = unwrap "manifest" (Ingest.read_manifest ~dir ~name:"db" ()) in
+      (match m.Ingest.entries with
+      | [ e ] ->
+        Alcotest.(check (list string))
+          "compacted level owes no tombstones (physically reclaimed)" []
+          e.Ingest.tombs
+      | es -> Alcotest.failf "expected one level, got %d" (List.length es));
+      let stack = Ingest.level_stack eng in
+      Alcotest.(check int) "one merged level" 1 (Array.length stack);
+      (* root + gala: movie/actor physically gone from the merged level *)
+      Alcotest.(check int) "deleted subtree reclaimed on disk" 2
+        (Sketch.Synopsis.num_nodes (fst stack.(0)));
+      Ingest.close eng)
+
 (* ------------------------------------------------------------------ *)
 (* The INGEST verb end to end                                          *)
 (* ------------------------------------------------------------------ *)
@@ -529,6 +802,170 @@ let test_ingest_replay_serves_acked_records () =
         (contains (askl2 "STAT db") "levels=1 level_records=1 flushed=1 wal=0");
       ignore askl)
 
+let test_delete_update_verbs_end_to_end () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "db.ts") (Lazy.force synopsis);
+      let server = quiet_server ~config:ingest_config dir in
+      let askl line = fst (Server.handle_line server line) in
+      Alcotest.(check string) "first ack" "ok ingest name=db seq=1 wal=1"
+        (askl "INGEST db <concert><title/></concert>");
+      Alcotest.(check string) "second ack" "ok ingest name=db seq=2 wal=2"
+        (askl "INGEST db <concert><venue/></concert>");
+      Alcotest.(check (option (float 0.01))) "both concerts visible"
+        (Some 2.0)
+        (float_token "est=" (askl "QUERY db //concert"));
+      (* DELETE acks like an insert and becomes visible at its flush *)
+      Alcotest.(check string) "delete ack" "ok delete name=db seq=3 wal=1"
+        (askl "DELETE db concert");
+      Alcotest.(check string) "filler ack" "ok ingest name=db seq=4 wal=2"
+        (askl "INGEST db <gala/>");
+      Alcotest.(check (option (float 0.01)))
+        "flushed tombstone subtracts the concerts" (Some 0.0)
+        (float_token "est=" (askl "QUERY db //concert"));
+      Alcotest.(check (option (float 0.01))) "later insert serves"
+        (Some 1.0)
+        (float_token "est=" (askl "QUERY db //gala"));
+      Alcotest.(check (option (float 0.01))) "base content never masked"
+        (Some 2.0)
+        (float_token "est=" (askl "QUERY db //movie"));
+      (* UPDATE: delete-then-insert at one sequence number *)
+      Alcotest.(check string) "update ack" "ok update name=db seq=5 wal=1"
+        (askl "UPDATE db gala <opera><title/></opera>");
+      Alcotest.(check string) "filler ack 2" "ok ingest name=db seq=6 wal=2"
+        (askl "INGEST db <filler/>");
+      Alcotest.(check (option (float 0.01))) "updated-away subtree gone"
+        (Some 0.0)
+        (float_token "est=" (askl "QUERY db //gala"));
+      Alcotest.(check (option (float 0.01))) "replacement serves"
+        (Some 1.0)
+        (float_token "est=" (askl "QUERY db //opera"));
+      (* a restart replays and serves the same picture *)
+      let server2 = quiet_server ~config:ingest_config dir in
+      let askl2 line = fst (Server.handle_line server2 line) in
+      Alcotest.(check (option (float 0.01))) "deletion survives restart"
+        (Some 0.0)
+        (float_token "est=" (askl2 "QUERY db //concert"));
+      Alcotest.(check (option (float 0.01))) "replacement survives restart"
+        (Some 1.0)
+        (float_token "est=" (askl2 "QUERY db //opera"));
+      (* malformed requests refused before anything durable *)
+      Alcotest.(check bool) "DELETE needs a path" true
+        (starts_with "error bad-request" (askl "DELETE db"));
+      Alcotest.(check bool) "DELETE validates the path" true
+        (starts_with "error bad-request" (askl "DELETE db ../evil"));
+      Alcotest.(check bool) "UPDATE needs a fragment" true
+        (starts_with "error bad-request" (askl "UPDATE db gala"));
+      Alcotest.(check bool) "UPDATE validates the fragment" true
+        (starts_with "error parse" (askl "UPDATE db gala <unclosed"));
+      Alcotest.(check bool) "DELETE is single-target" true
+        (Protocol.single_target "DELETE db concert");
+      Alcotest.(check bool) "UPDATE is single-target" true
+        (Protocol.single_target "UPDATE db gala <a/>"))
+
+(* ------------------------------------------------------------------ *)
+(* Write pressure: pacing, shedding, disk watermarks                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_write_pressure_paces_then_sheds () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "db.ts") (Lazy.force synopsis);
+      let config =
+        {
+          Server.default_config with
+          flush_records = 1000;
+          write_pressure =
+            {
+              Serve.Write_pressure.default_config with
+              depth_high = 4;
+              pace_at = 0.25;
+              shed_at = 0.5;
+            };
+        }
+      in
+      let server = quiet_server ~config dir in
+      let askl line = fst (Server.handle_line server line) in
+      (* empty memtable: plain ack, byte-identical to the unpressured
+         protocol *)
+      Alcotest.(check string) "unpaced ack" "ok ingest name=db seq=1 wal=1"
+        (askl "INGEST db <a1/>");
+      (* depth 1/4 crosses pace_at: the ack carries the advisory hint *)
+      Alcotest.(check string) "paced ack"
+        "ok ingest name=db seq=2 wal=2 backpressure=50"
+        (askl "INGEST db <a2/>");
+      (* depth 2/4 crosses shed_at: refused, nothing retained *)
+      let shed = askl "INGEST db <a3/>" in
+      Alcotest.(check bool)
+        (Printf.sprintf "shed with retry-after (%s)" shed)
+        true
+        (starts_with "error ingest-deferred retry-after=250 " shed);
+      Alcotest.(check bool) "DELETE shed too" true
+        (starts_with "error ingest-deferred" (askl "DELETE db a1"));
+      (* nothing was retained: depth still 2 *)
+      Alcotest.(check bool) "shed retained nothing" true
+        (contains (askl "STAT db") "wal=2");
+      (* reads keep serving while writes shed *)
+      Alcotest.(check bool) "reads live while shedding" true
+        (starts_with "ok query" (askl "QUERY db //movie"));
+      Alcotest.(check bool) "STAT exposes the write state" true
+        (contains (askl "STAT db") "write_state=shedding");
+      Alcotest.(check bool) "HEALTH exposes the write state" true
+        (contains (askl "HEALTH") "write_state=shedding");
+      (* the client recognizes the shed and honors the hint *)
+      Alcotest.(check bool) "client classifies the shed" true
+        (Serve.Client.is_deferred_response shed);
+      Alcotest.(check (option int)) "client parses retry-after" (Some 250)
+        (Serve.Client.retry_after_ms shed))
+
+let test_disk_watermarks_shed_then_refuse () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "db.ts") (Lazy.force synopsis);
+      let free = ref 100_000 in
+      let config =
+        {
+          Server.default_config with
+          flush_records = 1000;
+          write_pressure =
+            {
+              Serve.Write_pressure.default_config with
+              disk_soft = 50_000;
+              disk_hard = 10_000;
+              probe_interval = 0.0;
+            };
+          disk_free = Some (fun () -> Some !free);
+        }
+      in
+      let server = quiet_server ~config dir in
+      let askl line = fst (Server.handle_line server line) in
+      Alcotest.(check string) "plenty of space: admitted"
+        "ok ingest name=db seq=1 wal=1"
+        (askl "INGEST db <a/>");
+      (* under the soft watermark: shed with retry-after *)
+      free := 40_000;
+      Alcotest.(check bool) "soft watermark sheds" true
+        (starts_with "error ingest-deferred" (askl "INGEST db <b/>"));
+      (* under the hard watermark: refuse outright *)
+      free := 9_000;
+      Alcotest.(check bool) "hard watermark refuses inserts" true
+        (starts_with "error readonly" (askl "INGEST db <b/>"));
+      Alcotest.(check bool) "hard watermark refuses deletes" true
+        (starts_with "error readonly" (askl "DELETE db a"));
+      Alcotest.(check bool) "hard watermark refuses updates" true
+        (starts_with "error readonly" (askl "UPDATE db a <c/>"));
+      (* reads, HEALTH and scrub keep working *)
+      Alcotest.(check bool) "reads live in readonly" true
+        (starts_with "ok query" (askl "QUERY db //movie"));
+      Alcotest.(check bool) "HEALTH reports readonly" true
+        (contains (askl "HEALTH") "write_state=readonly");
+      Alcotest.(check bool) "HEALTH reports disk_free" true
+        (contains (askl "HEALTH") "disk_free=9000");
+      Alcotest.(check bool) "scrub live in readonly" true
+        (starts_with "ok scrub" (askl "SCRUB"));
+      (* space freed (compaction, operator): writes resume by themselves *)
+      free := 100_000;
+      Alcotest.(check string) "writes resume when space frees"
+        "ok ingest name=db seq=2 wal=2"
+        (askl "INGEST db <b/>"))
+
 (* ------------------------------------------------------------------ *)
 (* Satellites: deadline clamping, fetch-gone, replica freshness        *)
 (* ------------------------------------------------------------------ *)
@@ -624,6 +1061,31 @@ let test_replica_rank_prefers_fresh () =
   Replica.note_probe ~staleness:0.0 g (m 0) `Ready;
   Replica.note_probe ~staleness:0.0 g (m 1) `Ready;
   Alcotest.(check (float 0.001)) "caught up" 0.0 (Replica.staleness (m 0))
+
+let test_repair_preflight_watermark () =
+  with_temp_dir (fun dir ->
+      (* an install that would push free space below the server's hard
+         watermark is No_space even though it physically fits *)
+      (match
+         Repair.preflight
+           ~free:(fun () -> Some 10_000)
+           ~min_free:8_000 dir ~bytes:4_000
+       with
+      | Error `No_space -> ()
+      | Ok () -> Alcotest.fail "watermark ignored"
+      | Error (`Io m) -> Alcotest.failf "io: %s" m);
+      (* headroom preserved: the same install clears a lower watermark *)
+      (match
+         Repair.preflight
+           ~free:(fun () -> Some 10_000)
+           ~min_free:2_000 dir ~bytes:4_000
+       with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "install within the watermark refused");
+      (* an unknown probe fails open to the empirical preallocation *)
+      match Repair.preflight ~free:(fun () -> None) ~min_free:8_000 dir ~bytes:4_000 with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "unknown probe must fail open")
 
 (* ------------------------------------------------------------------ *)
 (* Kill-point acceptance                                               *)
@@ -758,6 +1220,258 @@ let test_kill_points_lose_nothing () =
       Alcotest.(check bool) "the run actually acknowledged ingests" true
         (List.length !acked > 0))
 
+(* ------------------------------------------------------------------ *)
+(* Write-chaos acceptance                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Regular bytes used under [dir] — the denominator of the fake disk
+   probe, so the watermark guardrail is exercised against real file
+   growth (WAL appends, level publishes), not a synthetic counter. *)
+let dir_bytes dir =
+  Array.fold_left
+    (fun acc f ->
+      match Unix.stat (Filename.concat dir f) with
+      | { Unix.st_kind = Unix.S_REG; st_size; _ } -> acc + st_size
+      | _ -> acc
+      | exception Unix.Unix_error _ -> acc)
+    0
+    (try Sys.readdir dir with Sys_error _ -> [||])
+
+(* Mixed insert/delete/update flood against a forked server with a
+   small disk budget, SIGKILLed mid-flight each round.  The model
+   tracks, per label, what the acks promised: an acked insert must
+   serve est=1, an acked delete est=0, an acked update both halves —
+   across every restart.  A response proves retention (ok) or
+   non-retention (deferred/readonly/error); only a request with NO
+   response (the kill landed mid-flight) leaves a label ambiguous. *)
+let test_write_chaos_mixed_mutations () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "db.ts") (Lazy.force synopsis);
+      let rng = Random.State.make [| seed + 7 |] in
+      let budget_bytes = 512 * 1024 in
+      let expect : (string, [ `Exact of int | `Ambiguous ]) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let live () =
+        List.sort compare
+          (Hashtbl.fold
+             (fun l st acc ->
+               match st with `Exact 1 -> l :: acc | _ -> acc)
+             expect [])
+      in
+      let chaos_config () =
+        {
+          Server.default_config with
+          flush_records = 3;
+          compact_levels = 2;
+          drain_deadline = 2.0;
+          write_pressure =
+            {
+              Serve.Write_pressure.default_config with
+              disk_soft = 128 * 1024;
+              disk_hard = 64 * 1024;
+              probe_interval = 0.0;
+            };
+          disk_free =
+            Some (fun () -> Some (max 0 (budget_bytes - dir_bytes dir)));
+        }
+      in
+      let spawn ?(faults = []) ~round ~sock () =
+        match Unix.fork () with
+        | 0 ->
+          (try
+             if faults <> [] then F.arm ~seed:(seed + 31 + round) faults;
+             let server = quiet_server ~config:(chaos_config ()) dir in
+             Server.install_drain_signals server;
+             Server.serve_socket server ~path:sock;
+             Unix._exit 0
+           with _ -> Unix._exit 99)
+        | pid -> pid
+      in
+      let rounds = 6 in
+      for round = 1 to rounds do
+        let sock = Filename.concat dir (Printf.sprintf "w%d.sock" round) in
+        let pid =
+          spawn ~faults:crash_window_faults ~round ~sock ()
+        in
+        Unix.close (connect sock);
+        let kill_after = 0.002 +. Random.State.float rng 0.12 in
+        let killer =
+          Thread.create
+            (fun () ->
+              Thread.delay kill_after;
+              try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+            ()
+        in
+        let ops = 4 + Random.State.int rng 4 in
+        (try
+           for i = 1 to ops do
+             let roll = Random.State.int rng 4 in
+             let targets = live () in
+             let pick () =
+               List.nth targets (Random.State.int rng (List.length targets))
+             in
+             if roll = 2 && targets <> [] then begin
+               let target = pick () in
+               Hashtbl.replace expect target `Ambiguous;
+               let r = ask sock (Printf.sprintf "DELETE db %s" target) in
+               Hashtbl.replace expect target
+                 (if starts_with "ok delete" r then `Exact 0 else `Exact 1)
+             end
+             else if roll = 3 && targets <> [] then begin
+               let target = pick () in
+               let repl = Printf.sprintf "w%dx%du" round i in
+               Hashtbl.replace expect target `Ambiguous;
+               Hashtbl.replace expect repl `Ambiguous;
+               let r =
+                 ask sock (Printf.sprintf "UPDATE db %s <%s/>" target repl)
+               in
+               if starts_with "ok update" r then begin
+                 Hashtbl.replace expect target (`Exact 0);
+                 Hashtbl.replace expect repl (`Exact 1)
+               end
+               else begin
+                 Hashtbl.replace expect target (`Exact 1);
+                 Hashtbl.replace expect repl (`Exact 0)
+               end
+             end
+             else begin
+               let l = Printf.sprintf "w%dx%d" round i in
+               Hashtbl.replace expect l `Ambiguous;
+               let r = ask sock (Printf.sprintf "INGEST db <%s/>" l) in
+               if starts_with "ok ingest" r then
+                 Hashtbl.replace expect l (`Exact 1)
+               else begin
+                 Hashtbl.replace expect l (`Exact 0);
+                 (* a shed write must never take reads down with it *)
+                 if
+                   starts_with "error ingest-deferred" r
+                   || starts_with "error readonly" r
+                 then begin
+                   let q = ask sock "QUERY db //movie" in
+                   if not (starts_with "ok query" q) then
+                     Alcotest.failf
+                       "round %d: reads died while writes shed (%s)" round q
+                 end
+               end
+             end
+           done
+         with
+        | End_of_file | Sys_error _
+        | Unix.Unix_error _ ->
+          (* the kill landed mid-request: that label stays ambiguous *)
+          ());
+        Thread.join killer;
+        (match Unix.waitpid [] pid with
+        | _, Unix.WSIGNALED s when s = Sys.sigkill -> ()
+        | _, Unix.WEXITED 0 -> ()
+        | _, status ->
+          Alcotest.failf "round %d: unexpected child status (%s)" round
+            (match status with
+            | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+            | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+            | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s));
+        (* restart clean and hold every promise the acks made *)
+        let vsock = Filename.concat dir (Printf.sprintf "wv%d.sock" round) in
+        let vpid = spawn ~round:(100 + round) ~sock:vsock () in
+        Unix.close (connect vsock);
+        Fun.protect
+          ~finally:(fun () ->
+            Unix.kill vpid Sys.sigterm;
+            match Unix.waitpid [] vpid with
+            | _, Unix.WEXITED 0 -> ()
+            | _, _ ->
+              Alcotest.failf "verify server round %d did not drain clean"
+                round)
+          (fun () ->
+            Hashtbl.iter
+              (fun l st ->
+                match st with
+                | `Ambiguous -> ()
+                | `Exact n -> (
+                  let q = ask vsock (Printf.sprintf "QUERY db //%s" l) in
+                  match float_token "est=" q with
+                  | Some e when Float.abs (e -. float_of_int n) < 0.01 -> ()
+                  | _ ->
+                    Alcotest.failf
+                      "round %d: acked state for %s lost (want %d, got %s)"
+                      round l n q))
+              expect;
+            let used = dir_bytes dir in
+            if used > budget_bytes then
+              Alcotest.failf "round %d: disk budget exceeded (%d > %d)"
+                round used budget_bytes)
+      done;
+      let exact, ambiguous =
+        Hashtbl.fold
+          (fun _ st (e, a) ->
+            match st with `Exact _ -> (e + 1, a) | `Ambiguous -> (e, a + 1))
+          expect (0, 0)
+      in
+      Printf.eprintf
+        "write-chaos: %d rounds, %d labels settled, %d ambiguous — every \
+         acked mutation held across SIGKILLs\n%!"
+        rounds exact ambiguous;
+      Alcotest.(check bool) "the run actually settled mutations" true
+        (exact > 0))
+
+(* Insert flood into a nearly-full fake disk: the hard watermark must
+   stop mutations BEFORE the budget is breached, reads must stay live
+   throughout, and writes must resume once the probe sees space. *)
+let test_write_chaos_watermark_holds () =
+  with_temp_dir (fun dir ->
+      save (Filename.concat dir "db.ts") (Lazy.force synopsis);
+      let base = dir_bytes dir in
+      let budget = base + (8 * 1024) in
+      let hard = 4 * 1024 in
+      let config =
+        {
+          Server.default_config with
+          flush_records = 1000;
+          write_pressure =
+            {
+              Serve.Write_pressure.default_config with
+              disk_hard = hard;
+              probe_interval = 0.0;
+            };
+          disk_free = Some (fun () -> Some (max 0 (budget - dir_bytes dir)));
+        }
+      in
+      let server = quiet_server ~config dir in
+      let askl line = fst (Server.handle_line server line) in
+      let payload = String.make 100 'x' in
+      let acked = ref 0 and refused = ref 0 in
+      for i = 1 to 200 do
+        let r =
+          askl (Printf.sprintf "INGEST db <f%d>%s</f%d>" i payload i)
+        in
+        if starts_with "ok ingest" r then incr acked
+        else if starts_with "error readonly" r then begin
+          incr refused;
+          Alcotest.(check bool) "reads live at the watermark" true
+            (starts_with "ok query" (askl "QUERY db //movie"))
+        end
+        else Alcotest.failf "unexpected response: %s" r
+      done;
+      Alcotest.(check bool) "the flood landed some writes" true (!acked > 0);
+      Alcotest.(check bool) "the watermark engaged" true (!refused > 0);
+      (* the guardrail stopped writes before the hard floor: free space
+         never fell more than one frame below the watermark *)
+      let free = budget - dir_bytes dir in
+      Alcotest.(check bool)
+        (Printf.sprintf "hard watermark held (free=%d)" free)
+        true
+        (free >= hard - 512);
+      Alcotest.(check bool) "HEALTH reports readonly" true
+        (contains (askl "HEALTH") "write_state=readonly");
+      Alcotest.(check bool) "DELETE refused at the watermark" true
+        (starts_with "error readonly" (askl "DELETE db f1"));
+      (* an operator frees space: writes resume by themselves *)
+      let wal = Wal.path ~dir ~name:"db" in
+      Unix.truncate wal 0;
+      Alcotest.(check bool) "writes resume when space frees" true
+        (starts_with "ok ingest" (askl "INGEST db <fresh/>")))
+
 let () =
   Alcotest.run "ingest"
     [
@@ -771,9 +1485,18 @@ let () =
             test_wal_seq_regression_is_a_tear;
           Alcotest.test_case "ENOSPC rolls back, nothing partial" `Quick
             test_wal_enospc_rolls_back;
+          Alcotest.test_case "mixed-op (v2) frames round-trip" `Quick
+            test_wal_mixed_ops_roundtrip;
+          Alcotest.test_case "append failure rolls back at every offset"
+            `Quick test_wal_append_failure_at_every_offset;
         ] );
       ( "merge",
-        [ Alcotest.test_case "disjoint union is exact" `Quick test_merge_disjoint ] );
+        [
+          Alcotest.test_case "disjoint union is exact" `Quick
+            test_merge_disjoint;
+          Alcotest.test_case "tombstoned merge reclaims deletions" `Quick
+            test_merge_tombstoned;
+        ] );
       ( "engine",
         [
           Alcotest.test_case "ack, validate-first, replay" `Quick
@@ -786,6 +1509,14 @@ let () =
             test_flush_pauses_while_compacting;
           Alcotest.test_case "compaction merges the level stack" `Quick
             test_compaction_merges_levels;
+          Alcotest.test_case "tombstones flush, load and survive restart"
+            `Quick test_engine_tombstones_flush_and_replay;
+          Alcotest.test_case "in-batch deletes prune before publish" `Quick
+            test_engine_in_batch_pruning;
+          Alcotest.test_case "update commits both halves at one seq" `Quick
+            test_engine_update_is_atomic;
+          Alcotest.test_case "compaction reclaims tombstoned subtrees"
+            `Quick test_compaction_reclaims_tombstoned;
         ] );
       ( "verb",
         [
@@ -795,6 +1526,15 @@ let () =
             test_ingest_enospc_defers;
           Alcotest.test_case "restart replay serves acked records" `Quick
             test_ingest_replay_serves_acked_records;
+          Alcotest.test_case "DELETE/UPDATE end to end" `Quick
+            test_delete_update_verbs_end_to_end;
+        ] );
+      ( "pressure",
+        [
+          Alcotest.test_case "pacing then shedding by memtable depth"
+            `Quick test_write_pressure_paces_then_sheds;
+          Alcotest.test_case "disk watermarks shed then refuse" `Quick
+            test_disk_watermarks_shed_then_refuse;
         ] );
       ( "satellites",
         [
@@ -804,10 +1544,19 @@ let () =
             test_fetch_gone_mid_stream;
           Alcotest.test_case "rank prefers fresher members" `Quick
             test_replica_rank_prefers_fresh;
+          Alcotest.test_case "repair preflight honors the watermark" `Quick
+            test_repair_preflight_watermark;
         ] );
       ( "chaos",
         [
           Alcotest.test_case "seeded kill points lose nothing" `Quick
             test_kill_points_lose_nothing;
+        ] );
+      ( "write-chaos",
+        [
+          Alcotest.test_case "mixed mutation flood survives kill points"
+            `Quick test_write_chaos_mixed_mutations;
+          Alcotest.test_case "hard watermark holds under insert flood"
+            `Quick test_write_chaos_watermark_holds;
         ] );
     ]

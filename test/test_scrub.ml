@@ -295,6 +295,77 @@ let test_tmp_sweep_age_gate () =
       Alcotest.(check bool) "real snapshot untouched" true
         (Sys.file_exists (Filename.concat dir "db.ts")))
 
+(* A background scrub racing a flush's manifest swap: in the window
+   where the new delta level is already on disk but the manifest
+   rename that references it is still in flight, the scanner must read
+   the old committed manifest as clean (never quarantine a mid-swap
+   manifest) and the orphan sweeper must leave the fresh unreferenced
+   delta alone (the age gate, same as for tmp staging files).  The
+   swap window is held open with an injected [Delay] on the manifest's
+   publishing rename. *)
+let test_scrub_never_disturbs_mid_swap_flush () =
+  with_temp_dir (fun dir ->
+      let engine =
+        match
+          Serve.Ingest.open_ ~dir ~name:"db" ~level_budget:64 ~flush_records:64
+            ()
+        with
+        | Ok t -> t
+        | Error f -> Alcotest.failf "open_: %s" (Xmldoc.Fault.to_string f)
+      in
+      let add xml =
+        match Serve.Ingest.ingest engine ~xml with
+        | Ok _ -> ()
+        | Error `No_space -> Alcotest.fail "ingest: no space"
+        | Error (`Fault f) ->
+          Alcotest.failf "ingest: %s" (Xmldoc.Fault.to_string f)
+      in
+      let flush () =
+        match Serve.Ingest.flush engine with
+        | Ok landed -> landed
+        | Error f -> Alcotest.failf "flush: %s" (Xmldoc.Fault.to_string f)
+      in
+      let corrupt_entries () =
+        match Scrub.scan dir with
+        | Error f -> Alcotest.failf "scan: %s" (Xmldoc.Fault.to_string f)
+        | Ok reports ->
+          List.filter_map
+            (fun r ->
+              match r.Scrub.f_result with
+              | Ok _ -> None
+              | Error f ->
+                Some (r.Scrub.f_path ^ ": " ^ Xmldoc.Fault.to_string f))
+            reports
+      in
+      add "movie <movie><title/></movie>";
+      Alcotest.(check bool) "first flush lands" true (flush ());
+      Alcotest.(check (list string)) "clean after first flush" []
+        (corrupt_entries ());
+      add "short <short><title/></short>";
+      Fun.protect ~finally:F.disarm (fun () ->
+          (* Hold the swap open: the delta file for gen 2 is written
+             and fsynced, then the manifest rename sleeps. *)
+          F.arm ~seed
+            [ F.rule ~prob:1.0 ~limit:1 ~path:".levels" F.Rename (F.Delay 0.5) ];
+          let flusher = Thread.create (fun () -> ignore (flush () : bool)) () in
+          Thread.delay 0.15;
+          (* Mid-swap: the committed manifest still references only gen
+             1; gen 2's delta exists, unreferenced and seconds old. *)
+          Alcotest.(check (list string)) "mid-swap scan quarantines nothing" []
+            (corrupt_entries ());
+          Alcotest.(check (list string)) "live delta is never swept as orphan"
+            [] (Scrub.sweep_levels dir);
+          Thread.join flusher);
+      (* After the swap lands the picture is whole: both levels
+         referenced and verifiable, still nothing to sweep. *)
+      Alcotest.(check int) "both levels live" 2
+        (Serve.Ingest.level_count engine);
+      Alcotest.(check (list string)) "clean after the swap" []
+        (corrupt_entries ());
+      Alcotest.(check (list string)) "nothing to sweep after the swap" []
+        (Scrub.sweep_levels dir);
+      Serve.Ingest.close engine)
+
 (* ------------------------------------------------------------------ *)
 (* Catalog: content identity + scrub quarantine                        *)
 (* ------------------------------------------------------------------ *)
@@ -930,6 +1001,8 @@ let () =
             test_report_round_trip;
           Alcotest.test_case "tmp sweep is age-gated" `Quick
             test_tmp_sweep_age_gate;
+          Alcotest.test_case "scrub never disturbs a mid-swap flush" `Quick
+            test_scrub_never_disturbs_mid_swap_flush;
         ] );
       ( "catalog identity",
         [

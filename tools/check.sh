@@ -9,9 +9,10 @@
 #                                  # names: build, test, chaos,
 #                                  # pool-chaos, coordinator-chaos,
 #                                  # overload-chaos, scrub-chaos,
-#                                  # ingest-chaos, serve-bench,
-#                                  # overload-bench, repair-bench,
-#                                  # ingest-bench, build-bench
+#                                  # ingest-chaos, write-chaos,
+#                                  # serve-bench, overload-bench,
+#                                  # repair-bench, ingest-bench,
+#                                  # build-bench
 #
 # The chaos stages are seeded; set CHAOS_SEED=<n> to replay a failure
 # with a specific seed.  The seed in use is printed.
@@ -121,6 +122,17 @@ stage_ingest_chaos() {
   CHAOS_SEED="${CHAOS_SEED:-618342}" dune exec test/test_ingest.exe -- -c
 }
 
+# Mutation-mix crash acceptance under a pinned seed: seeded SIGKILLs
+# across a workload of interleaved INGEST/DELETE/UPDATE with
+# backpressure and a hard disk watermark in play; after every restart
+# each acknowledged mutation must be applied exactly once, each
+# refused mutation must have left no trace, the data directory must
+# stay under its byte budget, and the watermark must never be pierced.
+stage_write_chaos() {
+  CHAOS_SEED="${CHAOS_SEED:-429771}" dune exec test/test_ingest.exe -- \
+    test write-chaos
+}
+
 # Tail-latency acceptance + regression gate: one replica browns out
 # (seeded Io_fault read delay); the hedged group's p99 must beat the
 # single-replica p99, and the hedged/single p99 ratio must stay within
@@ -178,6 +190,7 @@ stage coordinator-chaos  stage_coordinator_chaos
 stage overload-chaos     stage_overload_chaos
 stage scrub-chaos        stage_scrub_chaos
 stage ingest-chaos       stage_ingest_chaos
+stage write-chaos        stage_write_chaos
 stage serve-bench        stage_serve_bench
 stage overload-bench     stage_overload_bench
 stage repair-bench       stage_repair_bench
